@@ -1,0 +1,92 @@
+// Ablation: graph reductions (§3.1, §6).
+//
+// The paper motivates reductions with rendering time ("Large graphs have
+// long rendering times... encouraging results from early experiments with
+// collapsing collections of nodes"). This ablation quantifies what each
+// reduction buys on a large graph: node/edge counts, reduction-pass time,
+// and the conserved aggregate weight.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/fft.hpp"
+#include "apps/sort.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "graph/reductions.hpp"
+#include "graph/summarize.hpp"
+#include "support/bench_support.hpp"
+
+int main() {
+  using namespace gg;
+  using namespace gg::bench;
+
+  print_header("Ablation — graph reductions",
+               "reductions shrink graphs for rendering while conserving "
+               "aggregate weights");
+
+  const sim::Program prog = capture_app("fft", [&](front::Engine& e) {
+    apps::FftParams p;
+    p.num_samples = 1 << 14;
+    p.spawn_cutoff = 2;  // maximal graph
+    return apps::fft_program(e, p);
+  });
+  const Trace t = run48(prog, sim::SimPolicy::mir(), 48);
+  const auto t0 = std::chrono::steady_clock::now();
+  const GrainGraph g = GrainGraph::build(t);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double build_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::printf("graph build: %zu nodes, %zu edges in %.1fms\n", g.node_count(),
+              g.edge_count(), build_ms);
+
+  TimeNs busy_total = 0;
+  for (const GraphNode& n : g.nodes()) busy_total += n.busy;
+
+  struct Case {
+    const char* name;
+    ReductionOptions opts;
+  };
+  const Case cases[] = {
+      {"fragments only", {true, false, false}},
+      {"forks only", {false, true, false}},
+      {"bookkeeps only", {false, false, true}},
+      {"all", {true, true, true}},
+  };
+  Table table("reduction ablation");
+  table.set_header({"reduction", "nodes", "edges", "node shrink",
+                    "pass time", "weight conserved"});
+  for (const Case& c : cases) {
+    const auto r0 = std::chrono::steady_clock::now();
+    const GrainGraph r = reduce_graph(g, c.opts);
+    const auto r1 = std::chrono::steady_clock::now();
+    TimeNs busy_r = 0;
+    for (const GraphNode& n : r.nodes()) busy_r += n.busy;
+    table.add_row(
+        {c.name, std::to_string(r.node_count()), std::to_string(r.edge_count()),
+         strings::trim_double(
+             100.0 * (1.0 - static_cast<double>(r.node_count()) /
+                                static_cast<double>(g.node_count())),
+             1) + "%",
+         strings::trim_double(
+             std::chrono::duration<double, std::milli>(r1 - r0).count(), 1) +
+             "ms",
+         busy_r == busy_total ? "yes" : "NO"});
+  }
+  std::printf("%s", table.to_text().c_str());
+
+  // §6's follow-on idea: collapse whole subtrees into summary nodes.
+  for (size_t budget : {10000ul, 1000ul, 100ul}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const SummarizeResult s = summarize_graph(g, budget);
+    const auto t1 = std::chrono::steady_clock::now();
+    TimeNs busy_s = 0;
+    for (const GraphNode& n : s.graph.nodes()) busy_s += n.busy;
+    std::printf("summarize to <= %6zu nodes: %7zu nodes (cut depth %zu, %zu "
+                "subtrees collapsed, %.1fms, weight conserved: %s)\n",
+                budget, s.graph.node_count(), s.cut_depth,
+                s.collapsed_subtrees,
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                busy_s == busy_total ? "yes" : "NO");
+  }
+  return 0;
+}

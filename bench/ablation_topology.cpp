@@ -1,0 +1,96 @@
+// Ablation: machine-model sensitivity.
+//
+// The paper's numbers come from one machine (48-core Opteron). This
+// ablation re-runs the Fig. 1-style sweep on different modeled machines to
+// check which conclusions are topology-sensitive: the cutoff bugs
+// (kdtree/strassen) hurt on any machine, while the NUMA stories (sort
+// placement, botsspar inflation) shrink with fewer sockets.
+#include <cstdio>
+
+#include "apps/kdtree.hpp"
+#include "apps/sort.hpp"
+#include "apps/sparselu.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "support/bench_support.hpp"
+
+int main() {
+  using namespace gg;
+  using namespace gg::bench;
+
+  print_header("Ablation — topology sensitivity",
+               "cutoff bugs hurt on any machine; NUMA effects scale with "
+               "socket count");
+
+  struct Machine {
+    const char* name;
+    Topology topo;
+    int cores;
+  };
+  const std::vector<Machine> machines = {
+      {"opteron48 (4 sockets x 2 nodes x 6)", Topology::opteron48(), 48},
+      {"generic16 (2 sockets x 2 nodes x 4)", Topology::generic16(), 16},
+      {"generic4 (single socket)", Topology::generic4(), 4},
+  };
+
+  auto ratio_on = [&](const Machine& m,
+                      const std::function<sim::Program(bool)>& capture,
+                      bool memory) {
+    const sim::Program before = capture(false);
+    const sim::Program after = capture(true);
+    sim::SimOptions o;
+    o.topology = m.topo;
+    o.num_cores = m.cores;
+    o.memory_model = memory;
+    const TimeNs tb = sim::simulate(before, o).makespan();
+    const TimeNs ta = sim::simulate(after, o).makespan();
+    return static_cast<double>(tb) / static_cast<double>(ta);
+  };
+
+  auto capture_kdtree = [](bool fixed) {
+    return capture_app("kdtree", [&](front::Engine& e) {
+      apps::KdtreeParams p;
+      p.num_points = 8000;
+      p.fixed = fixed;
+      return apps::kdtree_program(e, p);
+    });
+  };
+  auto capture_sort = [](bool fixed) {
+    return capture_app("sort", [&](front::Engine& e) {
+      apps::SortParams p;
+      p.num_elements = 1 << 19;
+      p.quick_cutoff = 1 << 13;
+      p.merge_cutoff = 1 << 13;
+      p.placement = fixed ? front::PagePlacement::RoundRobin
+                          : front::PagePlacement::FirstTouch;
+      return apps::sort_program(e, p);
+    });
+  };
+  auto capture_botsspar = [](bool fixed) {
+    return capture_app("botsspar", [&](front::Engine& e) {
+      apps::SparseLuParams p;
+      p.blocks = 12;
+      p.block_size = 24;
+      p.interchange = fixed;
+      return apps::sparselu_program(e, p);
+    });
+  };
+
+  Table t("fix benefit (makespan before / after) per machine");
+  t.set_header({"machine", "kdtree depth fix", "sort page placement",
+                "botsspar interchange"});
+  for (const Machine& m : machines) {
+    t.add_row({m.name,
+               strings::trim_double(ratio_on(m, capture_kdtree, false), 2) + "x",
+               strings::trim_double(ratio_on(m, capture_sort, true), 2) + "x",
+               strings::trim_double(ratio_on(m, capture_botsspar, true), 2) +
+                   "x"});
+  }
+  std::printf("%s", t.to_text().c_str());
+  std::printf("expected shape: the cutoff fix (col 1) helps on every machine "
+              "and grows with cores; page placement (col 2) is a pure NUMA "
+              "effect and fades to 1x on a single socket; the interchange "
+              "(col 3) is chiefly a cache-access fix, so it helps "
+              "everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 3: grain-graph structure on the paper's two illustration programs:
+// (a-f) task foo creating bar/baz with computation in between, and (b,g,h)
+// a 20-iteration parallel for-loop in chunks of 4 on two threads. Prints
+// node/edge-kind inventories before and after each reduction and exports
+// DOT renderings of every stage.
+#include <cstdio>
+
+#include "export/dot.hpp"
+#include "export/graphml.hpp"
+#include "graph/reductions.hpp"
+#include "support/bench_support.hpp"
+
+namespace {
+
+using namespace gg;
+
+void print_inventory(const char* name, const GrainGraph& g) {
+  size_t kinds[5] = {0, 0, 0, 0, 0};
+  for (const GraphNode& n : g.nodes()) kinds[static_cast<size_t>(n.kind)]++;
+  size_t ekinds[3] = {0, 0, 0};
+  for (const GraphEdge& e : g.edges()) ekinds[static_cast<size_t>(e.kind)]++;
+  std::printf(
+      "%-28s nodes=%3zu (frag %zu, fork %zu, join %zu, book %zu, chunk %zu)  "
+      "edges=%3zu (creation %zu, join %zu, continuation %zu)\n",
+      name, g.node_count(), kinds[0], kinds[1], kinds[2], kinds[3], kinds[4],
+      g.edge_count(), ekinds[0], ekinds[1], ekinds[2]);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gg;
+  using namespace gg::bench;
+  using front::Ctx;
+  using front::ForOpts;
+
+  print_header("Figure 3 — grain graph structure and reductions",
+               "five node kinds, three edge kinds; fragment/fork/book-keeping "
+               "reductions shrink the graph while conserving weights");
+
+  // (a) task program: foo { spawn bar; compute; spawn baz; compute;
+  // taskwait; }.
+  const sim::Program taskp = capture_app("fig3a", [](front::Engine&) {
+    return front::TaskFn([](Ctx& ctx) {
+      ctx.compute(10000);
+      ctx.spawn(GG_SRC_NAMED("fig3.c", 3, "bar"),
+                [](Ctx& c) { c.compute(40000); });
+      ctx.compute(15000);
+      ctx.spawn(GG_SRC_NAMED("fig3.c", 5, "baz"),
+                [](Ctx& c) { c.compute(25000); });
+      ctx.compute(5000);
+      ctx.taskwait();
+      ctx.compute(2000);
+    });
+  });
+  // (b) loop program: 20 iterations, chunks of 4, two threads.
+  const sim::Program loopp = capture_app("fig3b", [](front::Engine&) {
+    return front::TaskFn([](Ctx& ctx) {
+      ForOpts fo;
+      fo.sched = ScheduleKind::Static;
+      fo.chunk = 4;
+      ctx.parallel_for(GG_SRC_NAMED("fig3.c", 20, "loop"), 0, 20, fo,
+                       [](u64, Ctx& c) { c.compute(30000); });
+    });
+  });
+
+  sim::SimOptions two_cores;
+  two_cores.num_cores = 2;
+  const Trace task_trace = sim::simulate(taskp, two_cores);
+  const Trace loop_trace = sim::simulate(loopp, two_cores);
+
+  const GrainGraph task_g = GrainGraph::build(task_trace);
+  const GrainGraph loop_g = GrainGraph::build(loop_trace);
+  std::printf("-- Fig. 3c: task program (foo spawns bar, baz) --\n");
+  print_inventory("unreduced", task_g);
+  ReductionOptions frag_only{true, false, false};
+  ReductionOptions fork_only{false, true, false};
+  print_inventory("fragment reduction (3d)", reduce_graph(task_g, frag_only));
+  print_inventory("fork reduction (3e)", reduce_graph(task_g, fork_only));
+  print_inventory("both", reduce_graph(task_g, ReductionOptions{}));
+
+  std::printf("\n-- Fig. 3g: for-loop on two threads (5 chunks of 4) --\n");
+  print_inventory("unreduced", loop_g);
+  ReductionOptions book_only{false, false, true};
+  print_inventory("book-keeping grouped (3h)",
+                  reduce_graph(loop_g, book_only));
+
+  const std::string dir = bench::out_dir();
+  write_dot_file(dir + "/fig03_tasks.dot", task_g, task_trace);
+  write_dot_file(dir + "/fig03_loop.dot", loop_g, loop_trace);
+  write_dot_file(dir + "/fig03_tasks_reduced.dot",
+                 reduce_graph(task_g, ReductionOptions{}), task_trace);
+  GraphMlOptions gopts;
+  write_graphml_file(dir + "/fig03_tasks.graphml", task_g, task_trace, nullptr,
+                     nullptr, gopts);
+  std::printf("\nexported: %s/fig03_*.dot, fig03_tasks.graphml\n",
+              dir.c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 4: "Existing visualizations show load imbalance and offer no
+// actionable information about Sort performance" — the VTune-style
+// thread-timeline foil.
+//
+// Renders the per-thread timeline for Sort: it shows that cores perform
+// uneven work and spend time in the runtime, but NOTHING links the
+// imbalance to culprit tasks. The grain-graph report that follows shows the
+// contrast: the same trace pinpoints low instantaneous parallelism and the
+// waxing/waning phases (Fig. 5).
+#include <cstdio>
+
+#include "analysis/timeline.hpp"
+#include "apps/sort.hpp"
+#include "common/strings.hpp"
+#include "support/bench_support.hpp"
+
+int main() {
+  using namespace gg;
+  using namespace gg::bench;
+
+  print_header("Figure 4 — thread-timeline foil (Sort)",
+               "timeline shows uneven per-core work and runtime time; no "
+               "link to culprit tasks");
+
+  const sim::Program prog = capture_app("sort", [&](front::Engine& e) {
+    apps::SortParams p;
+    p.num_elements = 1 << 19;
+    p.quick_cutoff = 1 << 14;
+    p.merge_cutoff = 1 << 14;
+    return apps::sort_program(e, p);
+  });
+  const Trace t = run48(prog, sim::SimPolicy::mir(), 48);
+  const TimelineView v = thread_timeline(t, 72);
+
+  std::printf("thread timeline ('#' busy, '+' runtime, '.' idle), first 12 of "
+              "%d threads:\n", t.meta.num_workers);
+  for (size_t i = 0; i < v.strips.size() && i < 12; ++i) {
+    std::printf("  t%02zu |%s| busy %5.1f%% runtime %4.1f%% idle %5.1f%%\n", i,
+                v.strips[i].c_str(), v.threads[i].busy_percent,
+                v.threads[i].overhead_percent, v.threads[i].idle_percent);
+  }
+  std::printf("\nload imbalance visible (max/mean busy = %.2f) — and that is "
+              "ALL this view shows.\n", v.imbalance);
+  std::printf("No task identities, no parent-child links, no per-instance "
+              "times: the paper's point about Fig. 4.\n");
+  std::printf("\n--- the same trace through the grain-graph pipeline ---\n");
+  const Analysis a = analyze(t, Topology::opteron48());
+  std::printf("%s", render_report(t, a).c_str());
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 11: Strassen (2048x2048 input).
+// (a) hard-coded cutoff -> shallow graph "limited to 58 grains" regardless
+//     of SC: insufficient parallelism for 48 cores;
+// (b) cutoff disabled -> 2801 grains, more parallelism, and poor memory
+//     hierarchy utilization comes to the fore;
+// (c) work stealing keeps sibling grains near each other (low scatter);
+// (d) a central queue scatters siblings across sockets (48-core speedup of
+//     only ~10 under central-queue scheduling).
+#include <cstdio>
+
+#include "apps/strassen.hpp"
+#include "common/strings.hpp"
+#include "export/graphml.hpp"
+#include "support/bench_support.hpp"
+
+int main() {
+  using namespace gg;
+  using namespace gg::bench;
+
+  print_header("Figure 11 — Strassen: hard-coded cutoff + scatter",
+               "(a) 58 grains with hard-coded cutoff; (b) 2801 without; poor "
+               "mem-util surfaces; (c) WS scatter low; (d) central-queue "
+               "scatter high, speedup ~10");
+
+  auto capture_strassen = [&](bool hard_cutoff) {
+    return capture_app("strassen", [&](front::Engine& e) {
+      apps::StrassenParams p;
+      p.matrix_size = 2048;
+      p.sc = 128;
+      p.hard_coded_cutoff = hard_cutoff;
+      return apps::strassen_program(e, p);
+    });
+  };
+
+  // (a) hard-coded cutoff.
+  const sim::Program shallow = capture_strassen(true);
+  const BenchAnalysis a = analyze48(shallow, sim::SimPolicy::mir(), 48);
+  std::printf("(a) grains with hard-coded cutoff: %zu + root = %zu nodes' "
+              "worth (paper: 'limited to 58 grains')\n",
+              a.analysis.grains.size(), a.analysis.grains.size() + 2);
+  std::printf("    SC sweep has NO effect on the graph:");
+  for (u64 sc : {64u, 128u, 256u}) {
+    const sim::Program p2 = capture_app("strassen", [&](front::Engine& e) {
+      apps::StrassenParams sp;
+      sp.matrix_size = 2048;
+      sp.sc = sc;
+      sp.hard_coded_cutoff = true;
+      return apps::strassen_program(e, sp);
+    });
+    std::printf(" SC=%llu -> %zu grains;", static_cast<unsigned long long>(sc),
+                p2.task_count());
+  }
+  std::printf("  (all identical — the bug)\n");
+  std::printf("    low instantaneous parallelism: %.1f%% of grains\n",
+              flagged_percent(a.analysis, Problem::LowParallelism));
+
+  // (b) cutoff disabled.
+  const sim::Program deep = capture_strassen(false);
+  const BenchAnalysis b = analyze48(deep, sim::SimPolicy::mir(), 48);
+  std::printf("\n(b) grains without hard-coded cutoff: %zu (paper: 2801)\n",
+              b.analysis.grains.size());
+  std::printf("    poor memory hierarchy utilization: %.1f%% (comes to the "
+              "fore)\n",
+              flagged_percent(b.analysis, Problem::PoorMemUtil));
+  std::printf("    48-core makespan: shallow %.2fms -> deep %.2fms\n",
+              static_cast<double>(a.trace.makespan()) / 1e6,
+              static_cast<double>(b.trace.makespan()) / 1e6);
+
+  // (c/d) scatter under work stealing vs central queue.
+  const BenchAnalysis ws = analyze48(deep, sim::SimPolicy::mir(), 48);
+  const BenchAnalysis cq = analyze48(deep, sim::SimPolicy::mir_central(), 48);
+  auto scatter_stats = [](const BenchAnalysis& r) {
+    double sum = 0.0;
+    size_t off_socket = 0;
+    for (const auto& m : r.analysis.metrics.per_grain) {
+      sum += m.scatter;
+      if (m.scatter > 16.0) ++off_socket;
+    }
+    return std::make_pair(sum / static_cast<double>(
+                                    r.analysis.metrics.per_grain.size()),
+                          100.0 * static_cast<double>(off_socket) /
+                              static_cast<double>(
+                                  r.analysis.metrics.per_grain.size()));
+  };
+  const auto [ws_mean, ws_off] = scatter_stats(ws);
+  const auto [cq_mean, cq_off] = scatter_stats(cq);
+  std::printf("\n(c) work stealing:  mean sibling scatter %.1f, %.1f%% of "
+              "grains scattered off-socket\n", ws_mean, ws_off);
+  std::printf("(d) central queue:  mean sibling scatter %.1f, %.1f%% of "
+              "grains scattered off-socket\n", cq_mean, cq_off);
+  const TimeNs t1c = run48(deep, sim::SimPolicy::mir_central(), 1).makespan();
+  std::printf("    central-queue 48-core speedup: %.1f (paper: ~10)\n",
+              static_cast<double>(t1c) /
+                  static_cast<double>(cq.trace.makespan()));
+
+  const std::string dir = out_dir();
+  GraphMlOptions gopts;
+  gopts.view = Problem::HighScatter;
+  write_graphml_file(dir + "/fig11c_strassen_scatter_ws.graphml",
+                     ws.analysis.graph, ws.trace, &ws.analysis.grains,
+                     &ws.analysis.metrics, gopts);
+  write_graphml_file(dir + "/fig11d_strassen_scatter_central.graphml",
+                     cq.analysis.graph, cq.trace, &cq.analysis.grains,
+                     &cq.analysis.metrics, gopts);
+  std::printf("exported: %s/fig11{c,d}_strassen_scatter_*.graphml\n",
+              dir.c_str());
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bench_support.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+namespace gg::bench {
+
+std::vector<sim::SimPolicy> paper_policies() {
+  return {sim::SimPolicy::gcc(), sim::SimPolicy::icc(), sim::SimPolicy::mir()};
+}
+
+sim::Program capture_app(
+    const std::string& name,
+    const std::function<front::TaskFn(front::Engine&)>& make) {
+  sim::Capture cap;
+  sim::CaptureRegionEngine eng(cap);
+  return cap.run(name, make(eng));
+}
+
+Trace run48(const sim::Program& prog, const sim::SimPolicy& policy, int cores,
+            bool memory_model) {
+  sim::SimOptions o;
+  o.topology = Topology::opteron48();
+  o.num_cores = cores;
+  o.policy = policy;
+  o.memory_model = memory_model;
+  return sim::simulate(prog, o);
+}
+
+double speedup(const sim::Program& prog, const sim::SimPolicy& policy,
+               int cores, bool memory_model) {
+  const TimeNs t1 = run48(prog, policy, 1, memory_model).makespan();
+  const TimeNs tp = run48(prog, policy, cores, memory_model).makespan();
+  if (tp == 0) return 0.0;
+  return static_cast<double>(t1) / static_cast<double>(tp);
+}
+
+BenchAnalysis analyze48(const sim::Program& prog, const sim::SimPolicy& policy,
+                        int cores, bool with_baseline, bool memory_model) {
+  BenchAnalysis out;
+  out.trace = run48(prog, policy, cores, memory_model);
+  AnalysisOptions ao;
+  if (with_baseline) {
+    const Trace t1 = run48(prog, policy, 1, memory_model);
+    out.baseline = GrainTable::build(t1);
+    ao.baseline = &out.baseline;
+  }
+  out.analysis = analyze(out.trace, Topology::opteron48(), ao);
+  return out;
+}
+
+double flagged_percent(const Analysis& a, Problem problem) {
+  return a.problems[static_cast<size_t>(problem)].flagged_percent;
+}
+
+void print_header(const std::string& experiment,
+                  const std::string& paper_says) {
+  std::printf("################################################################\n");
+  std::printf("# %s\n", experiment.c_str());
+  std::printf("# paper reports: %s\n", paper_says.c_str());
+  std::printf("################################################################\n");
+}
+
+std::string out_dir() {
+  const std::string dir = "bench_out";
+  ::mkdir(dir.c_str(), 0775);
+  return dir;
+}
+
+}  // namespace gg::bench

@@ -1,0 +1,60 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench prints (a) the paper's reported numbers and (b) our measured
+// numbers side by side, so paper-vs-measured comparisons can be read off
+// bench output directly (EXPERIMENTS.md aggregates them).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "graph/grain_table.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/capture.hpp"
+#include "sim/des.hpp"
+#include "topology/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace gg::bench {
+
+/// The three runtime systems of the paper's evaluation.
+std::vector<sim::SimPolicy> paper_policies();  // gcc, icc, mir
+
+/// Captures an app built through the standard builder signature
+/// (Engine& for regions -> TaskFn).
+sim::Program capture_app(
+    const std::string& name,
+    const std::function<front::TaskFn(front::Engine&)>& make);
+
+/// Simulates on the paper's 48-core machine.
+Trace run48(const sim::Program& prog, const sim::SimPolicy& policy,
+            int cores = 48, bool memory_model = true);
+
+/// Speedup of `cores`-core over 1-core execution under the same policy.
+double speedup(const sim::Program& prog, const sim::SimPolicy& policy,
+               int cores = 48, bool memory_model = true);
+
+/// Full analysis pipeline on a 48-core trace (optionally with a 1-core
+/// baseline for work deviation).
+struct BenchAnalysis {
+  Trace trace;
+  Analysis analysis;
+  GrainTable baseline;  ///< valid when with_baseline was requested
+};
+BenchAnalysis analyze48(const sim::Program& prog, const sim::SimPolicy& policy,
+                        int cores = 48, bool with_baseline = false,
+                        bool memory_model = true);
+
+/// Percent of grains flagged with `problem` in an analysis.
+double flagged_percent(const Analysis& a, Problem problem);
+
+/// Prints a standard header naming the experiment and what the paper
+/// reports for it.
+void print_header(const std::string& experiment, const std::string& paper_says);
+
+/// Directory for bench artifacts (GraphML/DOT exports); created on demand.
+std::string out_dir();
+
+}  // namespace gg::bench

@@ -1,0 +1,77 @@
+// §4.3.1 table: Sort's mutually-exclusive problems before/after round-robin
+// NUMA page distribution:
+//
+//   | Problem                           | Before | After |
+//   | Work Inflation                    | 68.54  | 37.08 |
+//   | Poor Memory Hierarchy Utilization | 56.05  | 30.11 |
+//
+// (percent of affected grains). We reproduce the direction and rough
+// magnitude: first-touch placement homes all pages on one node, so 48-core
+// grains inflate; round-robin distribution halves the affected share.
+#include <cstdio>
+
+#include "apps/sort.hpp"
+#include "common/table.hpp"
+#include "common/strings.hpp"
+#include "support/bench_support.hpp"
+
+int main() {
+  using namespace gg;
+  using namespace gg::bench;
+
+  print_header("§4.3.1 table — Sort work inflation vs page placement",
+               "work inflation 68.54% -> 37.08%; poor mem util 56.05% -> "
+               "30.11% after round-robin pages");
+
+  auto measure = [&](front::PagePlacement placement) {
+    const sim::Program prog = capture_app("sort", [&](front::Engine& e) {
+      apps::SortParams p;
+      p.num_elements = 1 << 20;
+      p.quick_cutoff = 1 << 14;
+      p.merge_cutoff = 1 << 14;
+      p.placement = placement;
+      return apps::sort_program(e, p);
+    });
+    BenchAnalysis b =
+        analyze48(prog, sim::SimPolicy::mir(), 48, /*with_baseline=*/true);
+    // The paper lowers the deviation threshold to inspect inflation; keep
+    // the default (2.0) for the headline numbers and also report 1.2.
+    AnalysisOptions ao;
+    ao.baseline = &b.baseline;
+    ProblemThresholds th =
+        ProblemThresholds::defaults(48, Topology::opteron48());
+    th.work_deviation_max = 1.2;
+    ao.thresholds = th;
+    const Analysis sensitive = analyze(b.trace, Topology::opteron48(), ao);
+    struct Out {
+      double inflation_default, inflation_12, mem_util;
+      TimeNs makespan;
+    };
+    return Out{flagged_percent(b.analysis, Problem::WorkInflation),
+               flagged_percent(sensitive, Problem::WorkInflation),
+               flagged_percent(b.analysis, Problem::PoorMemUtil),
+               b.trace.makespan()};
+  };
+
+  const auto before = measure(front::PagePlacement::FirstTouch);
+  const auto after = measure(front::PagePlacement::RoundRobin);
+
+  Table t("affected grains (%), before (first-touch) vs after (round-robin)");
+  t.set_header({"problem", "paper before", "paper after", "ours before",
+                "ours after"});
+  t.add_row({"work inflation (deviation > 1.2)", "68.54", "37.08",
+             strings::trim_double(before.inflation_12, 2),
+             strings::trim_double(after.inflation_12, 2)});
+  t.add_row({"work inflation (deviation > 2.0)", "-", "-",
+             strings::trim_double(before.inflation_default, 2),
+             strings::trim_double(after.inflation_default, 2)});
+  t.add_row({"poor memory hierarchy utilization", "56.05", "30.11",
+             strings::trim_double(before.mem_util, 2),
+             strings::trim_double(after.mem_util, 2)});
+  std::printf("%s", t.to_text().c_str());
+  std::printf("48-core makespan: first-touch %.2fms -> round-robin %.2fms "
+              "(paper: performance improved on all runtimes)\n",
+              static_cast<double>(before.makespan) / 1e6,
+              static_cast<double>(after.makespan) / 1e6);
+  return 0;
+}

@@ -1,0 +1,38 @@
+# Bench binaries land directly in ${CMAKE_BINARY_DIR}/bench (no CMake
+# artifacts there) so `for b in build/bench/*; do $b; done` runs cleanly.
+set(GG_BENCH_DIR ${CMAKE_BINARY_DIR}/bench)
+
+add_library(gg_bench_support ${CMAKE_SOURCE_DIR}/bench/support/bench_support.cpp)
+target_include_directories(gg_bench_support PUBLIC ${CMAKE_SOURCE_DIR}/bench)
+target_link_libraries(gg_bench_support PUBLIC
+  gg_apps gg_sim gg_rts gg_analysis gg_metrics gg_graph gg_export gg_trace
+  gg_topology gg_common)
+
+function(gg_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE gg_bench_support gg_warnings)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${GG_BENCH_DIR})
+endfunction()
+
+gg_add_bench(fig01_speedup)
+gg_add_bench(fig02_kdtree_graph)
+gg_add_bench(fig03_structure)
+gg_add_bench(fig04_timeline_foil)
+gg_add_bench(fig05_sort_parallelism)
+gg_add_bench(tab_sort_inflation)
+gg_add_bench(fig06_botsspar)
+gg_add_bench(fig07_fft_benefit)
+gg_add_bench(fig08_fft_memutil)
+gg_add_bench(fig09_freqmine_graph)
+gg_add_bench(fig10_freqmine_lb)
+gg_add_bench(tab1_freqmine)
+gg_add_bench(fig11_strassen)
+gg_add_bench(other_benchmarks)
+gg_add_bench(overhead_profiling)
+gg_add_bench(ablation_reductions)
+gg_add_bench(ablation_parallelism_intervals)
+gg_add_bench(micro_components)
+target_link_libraries(micro_components PRIVATE benchmark::benchmark)
+gg_add_bench(ext_dataflow_sparselu)
+gg_add_bench(ext_taskloop)
+gg_add_bench(ablation_topology)

@@ -1,0 +1,60 @@
+// Scenario: you applied a fix (here: the botsspar bmod loop interchange)
+// and want the grain-level verdict, not just wall-clock. compare_runs()
+// matches grains by schedule-independent id and diffs the problem views per
+// source definition — the paper's re-profile-and-compare loop in one call.
+#include <cstdio>
+
+#include "analysis/compare.hpp"
+#include "apps/sparselu.hpp"
+#include "sim/capture.hpp"
+#include "sim/des.hpp"
+
+using namespace gg;
+
+namespace {
+
+struct RunPair {
+  Trace trace;
+  Analysis analysis;
+};
+
+RunPair run_botsspar(bool interchange) {
+  sim::Capture cap;
+  sim::CaptureRegionEngine ce(cap);
+  apps::SparseLuParams p;
+  p.blocks = 16;
+  p.block_size = 24;
+  p.interchange = interchange;
+  const sim::Program prog =
+      cap.run("359.botsspar", apps::sparselu_program(ce, p));
+  sim::SimOptions o;  // 48 cores, memory model on
+  RunPair r{sim::simulate(prog, o), {}};
+  // A 1-core baseline enables the work-deviation view in both analyses.
+  sim::SimOptions o1 = o;
+  o1.num_cores = 1;
+  static GrainTable baseline;  // outlives the analyses below
+  baseline = GrainTable::build(sim::simulate(prog, o1));
+  AnalysisOptions ao;
+  ao.baseline = &baseline;
+  ProblemThresholds th = ProblemThresholds::defaults(48, Topology::opteron48());
+  th.work_deviation_max = 1.2;
+  ao.thresholds = th;
+  r.analysis = analyze(r.trace, Topology::opteron48(), ao);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("profiling 359.botsspar before and after the bmod loop "
+              "interchange...\n\n");
+  const RunPair before = run_botsspar(false);
+  const RunPair after = run_botsspar(true);
+  const Comparison c =
+      compare_runs(before.trace, before.analysis, after.trace, after.analysis);
+  std::printf("%s", render_comparison(c).c_str());
+  std::printf("\nThe per-definition rows show the fix hit exactly "
+              "sparselu.c:246(bmod) — the culprit the grain graph "
+              "pin-pointed in §4.3.2.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Scenario (paper §4.3.1): a divide-and-conquer program is load-balanced
+// according to every thread-level tool, yet scales poorly. Per-grain work
+// deviation against a 1-core baseline exposes work inflation; round-robin
+// NUMA page placement fixes it.
+//
+// This is the Sort workflow end-to-end: capture once, simulate at 1 and 48
+// cores, match grains by schedule-independent id, count inflated grains,
+// apply the placement fix, and re-measure.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "apps/sort.hpp"
+#include "sim/capture.hpp"
+#include "sim/des.hpp"
+
+using namespace gg;
+
+namespace {
+
+struct Measured {
+  double inflated_percent = 0.0;
+  TimeNs makespan = 0;
+};
+
+Measured measure(front::PagePlacement placement) {
+  sim::Capture cap;
+  sim::CaptureRegionEngine eng(cap);
+  apps::SortParams p;
+  p.num_elements = 1 << 20;
+  p.quick_cutoff = 1 << 14;
+  p.merge_cutoff = 1 << 14;
+  p.placement = placement;
+  const sim::Program prog = cap.run("sort", apps::sort_program(eng, p));
+
+  sim::SimOptions one;
+  one.num_cores = 1;
+  const GrainTable baseline = GrainTable::build(sim::simulate(prog, one));
+
+  sim::SimOptions full;  // 48 cores
+  const Trace trace = sim::simulate(prog, full);
+  AnalysisOptions ao;
+  ao.baseline = &baseline;
+  ProblemThresholds th = ProblemThresholds::defaults(48, Topology::opteron48());
+  th.work_deviation_max = 1.2;  // inspect mild inflation, like the paper
+  ao.thresholds = th;
+  const Analysis a = analyze(trace, Topology::opteron48(), ao);
+  return Measured{
+      a.problems[static_cast<size_t>(Problem::WorkInflation)].flagged_percent,
+      trace.makespan()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== first-touch placement (the default) ==\n");
+  const Measured before = measure(front::PagePlacement::FirstTouch);
+  std::printf("48-core makespan %.2fms; %.1f%% of grains work-inflated "
+              "(execution time grew vs the same grain on 1 core)\n\n",
+              static_cast<double>(before.makespan) / 1e6,
+              before.inflated_percent);
+
+  std::printf("== round-robin page distribution across NUMA nodes ==\n");
+  const Measured after = measure(front::PagePlacement::RoundRobin);
+  std::printf("48-core makespan %.2fms; %.1f%% of grains work-inflated\n\n",
+              static_cast<double>(after.makespan) / 1e6,
+              after.inflated_percent);
+
+  std::printf("The thread-level view said 'load is balanced' in both runs — "
+              "only per-grain work deviation, computable because grain ids "
+              "are schedule-independent, shows why the first run was slow.\n");
+  return 0;
+}

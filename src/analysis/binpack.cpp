@@ -1,0 +1,115 @@
+#include "analysis/binpack.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace gg {
+
+namespace {
+
+/// First-fit decreasing over pre-sorted (descending) items. Returns bin
+/// loads, or empty if any item exceeds the capacity.
+std::vector<u64> ffd(const std::vector<u64>& sorted, u64 capacity) {
+  std::vector<u64> bins;
+  for (u64 item : sorted) {
+    if (item > capacity) return {};
+    bool placed = false;
+    for (u64& load : bins) {
+      if (load + item <= capacity) {
+        load += item;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) bins.push_back(item);
+  }
+  return bins;
+}
+
+/// Can `sorted` be packed into `k` bins of `capacity`? Exact backtracking
+/// with symmetry pruning (identical bin loads are interchangeable). On
+/// success `*out_loads` (if given) receives the bin loads.
+bool packable(const std::vector<u64>& sorted, u64 capacity, size_t k,
+              size_t node_budget, std::vector<u64>* out_loads = nullptr) {
+  std::vector<u64> bins(k, 0);
+  size_t nodes = 0;
+  std::function<bool(size_t)> place = [&](size_t i) -> bool {
+    if (i == sorted.size()) {
+      if (out_loads != nullptr) *out_loads = bins;
+      return true;
+    }
+    if (++nodes > node_budget) return false;  // give up -> treated as "no"
+    u64 tried_load = ~u64{0};
+    for (size_t b = 0; b < bins.size(); ++b) {
+      if (bins[b] == tried_load) continue;  // symmetric to a tried bin
+      if (bins[b] + sorted[i] > capacity) continue;
+      tried_load = bins[b];
+      bins[b] += sorted[i];
+      if (place(i + 1)) return true;
+      bins[b] -= sorted[i];
+      if (bins[b] == 0) break;  // empty bins are interchangeable
+    }
+    return false;
+  };
+  return place(0);
+}
+
+}  // namespace
+
+BinPackResult min_bins(std::vector<u64> items, u64 capacity,
+                       size_t exact_limit) {
+  BinPackResult res;
+  std::erase(items, u64{0});
+  if (items.empty()) {
+    res.bins = items.empty() ? 0 : 1;
+    res.exact = true;
+    return res;
+  }
+  GG_CHECK(capacity > 0);
+  std::sort(items.begin(), items.end(), std::greater<>());
+  if (items.front() > capacity) {
+    // Infeasible: even one item overflows. Report the tight lower bound of
+    // one bin per oversized item plus FFD of the rest at face value.
+    res.bins = static_cast<int>(items.size());
+    res.exact = false;
+    res.max_bin_load = items.front();
+    return res;
+  }
+  std::vector<u64> heur = ffd(items, capacity);
+  size_t best = heur.size();
+  std::vector<u64> best_loads = heur;
+  // Volume lower bound.
+  const u64 total = std::accumulate(items.begin(), items.end(), u64{0});
+  const size_t lower =
+      static_cast<size_t>((total + capacity - 1) / capacity);
+  res.exact = best == lower;
+  if (!res.exact && items.size() <= exact_limit) {
+    // Try to close the gap exactly.
+    res.exact = true;
+    for (size_t k = lower; k < best; ++k) {
+      std::vector<u64> loads;
+      if (packable(items, capacity, k, 2'000'000, &loads)) {
+        best = k;
+        best_loads = std::move(loads);
+        break;
+      }
+    }
+  }
+  res.bins = static_cast<int>(std::max<size_t>(1, best));
+  res.max_bin_load =
+      best_loads.empty() ? 0
+                         : *std::max_element(best_loads.begin(),
+                                             best_loads.end());
+  return res;
+}
+
+int min_cores_for_makespan(const std::vector<u64>& durations, u64 makespan) {
+  if (makespan == 0) return 1;
+  const BinPackResult r = min_bins(durations, makespan);
+  return std::max(1, r.bins);
+}
+
+}  // namespace gg

@@ -1,0 +1,36 @@
+// Minimum-cores bin packing (paper §4.3.4).
+//
+// Freqmine's FPGF loop is bound to be imbalanced, so the paper optimizes
+// resource usage instead: "We used a straight-forward bin-packer implemented
+// in Gecode to compute the minimum number of cores necessary to retain the
+// same makespan — 7 cores." We replace the Gecode dependency with a
+// first-fit-decreasing heuristic plus an exact branch-and-bound refinement
+// for small item counts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gg {
+
+struct BinPackResult {
+  int bins = 0;            ///< minimum cores found
+  bool exact = false;      ///< true if proven optimal (B&B completed)
+  u64 max_bin_load = 0;    ///< the packed makespan achieved
+};
+
+/// Packs `items` (grain durations) into the fewest bins of capacity
+/// `capacity` (the makespan to retain). `exact_limit` bounds the item count
+/// for the branch-and-bound refinement; larger inputs return the FFD
+/// solution (which is within 11/9 OPT + 1).
+BinPackResult min_bins(std::vector<u64> items, u64 capacity,
+                       std::size_t exact_limit = 64);
+
+/// Convenience: the minimum number of cores that keeps the same makespan for
+/// the given grain durations (capacity = observed makespan). Returns at
+/// least 1.
+int min_cores_for_makespan(const std::vector<u64>& durations, u64 makespan);
+
+}  // namespace gg

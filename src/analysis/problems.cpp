@@ -1,0 +1,127 @@
+#include "analysis/problems.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace gg {
+
+const char* to_string(Problem p) {
+  switch (p) {
+    case Problem::LowParallelBenefit: return "low parallel benefit";
+    case Problem::WorkInflation: return "work inflation";
+    case Problem::PoorMemUtil: return "poor memory hierarchy utilization";
+    case Problem::LowParallelism: return "low instantaneous parallelism";
+    case Problem::HighScatter: return "high scatter";
+    case Problem::kCount: break;
+  }
+  return "?";
+}
+
+ProblemThresholds ProblemThresholds::defaults(int cores_used,
+                                              const Topology& topo) {
+  ProblemThresholds t;
+  t.min_parallelism = cores_used;
+  // "Scatter farther than the number of cores in a CPU socket": in NUMA
+  // distance terms, anything beyond the same-socket distance.
+  int same_socket = 10;
+  if (topo.num_numa_nodes() > 1) {
+    // Distance between the two dies of socket 0, or the local distance on
+    // single-die sockets.
+    const int node0 = topo.numa_of_core(0);
+    const int last_core_socket0 = topo.cores_per_socket() - 1;
+    same_socket = topo.numa_distance(node0, topo.numa_of_core(last_core_socket0));
+  }
+  t.scatter_max = same_socket;
+  return t;
+}
+
+ProblemView evaluate_problem(Problem problem, const GrainTable& grains,
+                             const MetricsResult& metrics,
+                             const ProblemThresholds& th) {
+  const size_t n = grains.size();
+  GG_CHECK(metrics.per_grain.size() == n);
+  ProblemView view;
+  view.problem = problem;
+  view.flagged.assign(n, false);
+  view.severity.assign(n, 0.0);
+
+  // Severity maps the metric linearly between the threshold (severity 0) and
+  // an extreme value (severity 1).
+  auto clamp01 = [](double x) { return std::min(1.0, std::max(0.0, x)); };
+  for (size_t i = 0; i < n; ++i) {
+    const GrainMetrics& m = metrics.per_grain[i];
+    bool flag = false;
+    double sev = 0.0;
+    switch (problem) {
+      case Problem::LowParallelBenefit:
+        flag = m.parallel_benefit < th.parallel_benefit_min;
+        if (flag)
+          sev = clamp01(1.0 - m.parallel_benefit / th.parallel_benefit_min);
+        break;
+      case Problem::WorkInflation:
+        flag = !std::isnan(m.work_deviation) &&
+               m.work_deviation > th.work_deviation_max;
+        if (flag)
+          sev = clamp01((m.work_deviation - th.work_deviation_max) /
+                        (3.0 * th.work_deviation_max));
+        break;
+      case Problem::PoorMemUtil:
+        flag = m.mem_util < th.mem_util_min;
+        if (flag) sev = clamp01(1.0 - m.mem_util / th.mem_util_min);
+        break;
+      case Problem::LowParallelism: {
+        const int ip = th.optimistic_parallelism
+                           ? m.inst_parallelism_optimistic
+                           : m.inst_parallelism;
+        flag = ip < th.min_parallelism;
+        if (flag && th.min_parallelism > 0)
+          sev = clamp01(1.0 - static_cast<double>(ip) /
+                                  static_cast<double>(th.min_parallelism));
+        break;
+      }
+      case Problem::HighScatter:
+        flag = m.scatter > static_cast<double>(th.scatter_max);
+        if (flag)
+          sev = clamp01((m.scatter - th.scatter_max) /
+                        std::max(1.0, 1.5 * th.scatter_max));
+        break;
+      case Problem::kCount:
+        break;
+    }
+    view.flagged[i] = flag;
+    view.severity[i] = flag ? sev : 0.0;
+    if (flag) ++view.flagged_count;
+  }
+  view.flagged_percent =
+      n == 0 ? 0.0
+             : 100.0 * static_cast<double>(view.flagged_count) /
+                   static_cast<double>(n);
+  return view;
+}
+
+std::array<ProblemView, kProblemCount> evaluate_all(
+    const GrainTable& grains, const MetricsResult& metrics,
+    const ProblemThresholds& thresholds) {
+  std::array<ProblemView, kProblemCount> out;
+  for (size_t p = 0; p < kProblemCount; ++p) {
+    out[p] = evaluate_problem(static_cast<Problem>(p), grains, metrics,
+                              thresholds);
+  }
+  return out;
+}
+
+std::string severity_color(double severity) {
+  // Linear red-to-yellow: severity 1 -> #ff0000, severity 0 -> #ffe000.
+  const double s = std::min(1.0, std::max(0.0, severity));
+  const int green = static_cast<int>(std::lround(224.0 * (1.0 - s)));
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "#ff%02x00", green);
+  return buf;
+}
+
+std::string dimmed_color() { return "#d9d9d9"; }
+
+}  // namespace gg

@@ -1,0 +1,46 @@
+// Rule-based optimization recommendations.
+//
+// The paper's promise is "actionable feedback" (§1): each §4.3 case study
+// follows the same moves — read the problem views, find the dominating
+// definition, apply a known fix. This module encodes those moves:
+//
+//  * many low-benefit grains concentrated in one definition -> add a
+//    cutoff / raise grainsize there (FFT §4.3.3, kdtree §2);
+//  * an explosive grain count with bounded-looking cutoffs -> suspect an
+//    ineffective cutoff (kdtree's missing depth increment, Strassen's
+//    hard-coded cutoff §4.3.5);
+//  * widespread work inflation against the 1-core baseline + first-touch
+//    regions -> distribute pages round-robin (Sort §4.3.1) or fix the
+//    dominant definition's access pattern (botsspar §4.3.2);
+//  * an irreparably skewed loop at the smallest chunk size -> bin-pack the
+//    team and set num_threads (Freqmine §4.3.4);
+//  * high sibling scatter -> prefer work stealing / locality-aware
+//    scheduling (Strassen §4.3.5);
+//  * parallelism below the core count with healthy benefit -> structural
+//    limit; consider restructuring or fewer cores (Sort §4.3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "trace/trace.hpp"
+
+namespace gg {
+
+struct Recommendation {
+  std::string headline;   ///< one-line action
+  std::string rationale;  ///< the evidence that triggered the rule
+  std::string paper_ref;  ///< the paper case study this move comes from
+  double score = 0.0;     ///< rough impact proxy for ordering
+};
+
+/// Produces ordered recommendations from an analysis. `min_cores_hint`
+/// supplies the bin-packed team size for skewed loops (0 = compute it here
+/// from the dominant loop's chunks).
+std::vector<Recommendation> recommend(const Trace& trace, const Analysis& a);
+
+/// Renders the recommendations as a numbered text list.
+std::string render_recommendations(const std::vector<Recommendation>& recs);
+
+}  // namespace gg

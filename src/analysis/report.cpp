@@ -1,0 +1,76 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "topology/topology.hpp"
+
+namespace gg {
+
+Analysis analyze(const Trace& trace, const Topology& topo,
+                 const AnalysisOptions& opts) {
+  Analysis a;
+  a.graph = GrainGraph::build(trace);
+  a.grains = GrainTable::build(trace);
+  a.metrics = compute_metrics(trace, a.graph, a.grains, topo, opts.metrics,
+                              opts.baseline);
+  a.thresholds = opts.thresholds.value_or(
+      ProblemThresholds::defaults(trace.meta.num_workers, topo));
+  a.problems = evaluate_all(a.grains, a.metrics, a.thresholds);
+  a.sources = source_profile(trace, a.grains, a.metrics, a.thresholds,
+                             SourceSort::ByCount);
+  return a;
+}
+
+std::string render_report(const Trace& trace, const Analysis& a) {
+  std::ostringstream os;
+  os << "=== grain graph report: " << trace.meta.program << " ===\n";
+  os << "runtime " << trace.meta.runtime << ", " << trace.meta.num_workers
+     << " workers on " << trace.meta.topology << "\n";
+  os << "makespan " << strings::human_time(trace.makespan()) << ", grains "
+     << a.grains.size() << " (" << trace.tasks.size() - 1 << " tasks, "
+     << trace.chunks.size() << " chunks), graph nodes "
+     << a.graph.node_count() << ", edges " << a.graph.edge_count() << "\n";
+  os << "critical path " << strings::human_time(a.metrics.critical_path_time)
+     << " (" << strings::trim_double(
+                    trace.makespan() == 0
+                        ? 0.0
+                        : 100.0 *
+                              static_cast<double>(a.metrics.critical_path_time) /
+                              static_cast<double>(trace.makespan()))
+     << "% of makespan)\n";
+  os << "total grain work " << strings::human_time(a.metrics.total_work)
+     << ", average parallelism (T1/Tinf) "
+     << strings::trim_double(a.metrics.avg_parallelism, 1) << "\n";
+  os << "region load balance "
+     << strings::trim_double(a.metrics.region_load_balance) << "\n";
+  for (const auto& [loop, lb] : a.metrics.loop_load_balance) {
+    os << "loop " << loop << " load balance " << strings::trim_double(lb)
+       << "\n";
+  }
+
+  Table problems("problem summary (affected grains)");
+  problems.set_header({"problem", "affected", "percent"});
+  for (const ProblemView& v : a.problems) {
+    problems.add_row({to_string(v.problem), std::to_string(v.flagged_count),
+                      strings::trim_double(v.flagged_percent, 2) + "%"});
+  }
+  os << problems.to_text();
+
+  Table sources("grains by definition (sorted by creation count)");
+  sources.set_header({"definition", "grains", "work%", "median exec",
+                      "low benefit%", "inflated%", "poor mem%"});
+  for (const SourceProfileRow& r : a.sources) {
+    sources.add_row({r.source, std::to_string(r.grain_count),
+                     strings::trim_double(100.0 * r.work_share, 1),
+                     strings::human_time(r.median_exec),
+                     strings::trim_double(r.low_benefit_percent, 1),
+                     strings::trim_double(r.inflated_percent, 1),
+                     strings::trim_double(r.poor_mem_util_percent, 1)});
+  }
+  os << sources.to_text();
+  return os.str();
+}
+
+}  // namespace gg

@@ -1,0 +1,47 @@
+// One-call analysis pipeline: trace -> grain graph -> grain table ->
+// metrics -> problem views, plus a textual report renderer. This is the
+// programmer-facing work flow of §4.2: build the graph, shift between
+// problem views, read grain properties, drill into source locations.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "analysis/problems.hpp"
+#include "analysis/source_profile.hpp"
+#include "graph/grain_graph.hpp"
+#include "graph/grain_table.hpp"
+#include "metrics/metrics.hpp"
+#include "topology/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace gg {
+
+struct AnalysisOptions {
+  MetricOptions metrics;
+  /// Unset fields of thresholds resolve to paper defaults for the run.
+  std::optional<ProblemThresholds> thresholds;
+  /// 1-core grain table of the same program, enabling work deviation.
+  const GrainTable* baseline = nullptr;
+};
+
+struct Analysis {
+  GrainGraph graph;
+  GrainTable grains;
+  MetricsResult metrics;
+  ProblemThresholds thresholds;
+  std::array<ProblemView, kProblemCount> problems;
+  std::vector<SourceProfileRow> sources;  ///< sorted by creation count
+};
+
+/// Runs the full pipeline on a finalized trace.
+Analysis analyze(const Trace& trace, const Topology& topo,
+                 const AnalysisOptions& opts = {});
+
+/// Renders the summary the paper's tool shows next to the graph: makespan,
+/// grain counts, critical path, load balance, per-problem affected-grain
+/// percentages, and the per-source table.
+std::string render_report(const Trace& trace, const Analysis& a);
+
+}  // namespace gg

@@ -1,0 +1,87 @@
+#include "analysis/source_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace gg {
+
+std::vector<SourceProfileRow> source_profile(const Trace& trace,
+                                             const GrainTable& grains,
+                                             const MetricsResult& metrics,
+                                             const ProblemThresholds& th,
+                                             SourceSort sort) {
+  GG_CHECK(metrics.per_grain.size() == grains.size());
+  struct Acc {
+    std::vector<u64> exec;
+    std::vector<double> benefit;
+    std::vector<double> deviation;
+    TimeNs total = 0;
+    size_t low_benefit = 0;
+    size_t inflated = 0;
+    size_t poor_mem = 0;
+  };
+  std::map<StrId, Acc> by_src;
+  TimeNs grand_total = 0;
+  const auto& table = grains.grains();
+  for (size_t i = 0; i < table.size(); ++i) {
+    const Grain& g = table[i];
+    const GrainMetrics& m = metrics.per_grain[i];
+    Acc& a = by_src[g.src];
+    a.exec.push_back(g.exec_time);
+    a.total += g.exec_time;
+    grand_total += g.exec_time;
+    if (std::isfinite(m.parallel_benefit)) a.benefit.push_back(m.parallel_benefit);
+    if (m.parallel_benefit < th.parallel_benefit_min) ++a.low_benefit;
+    if (!std::isnan(m.work_deviation)) {
+      a.deviation.push_back(m.work_deviation);
+      if (m.work_deviation > th.work_deviation_max) ++a.inflated;
+    }
+    if (m.mem_util < th.mem_util_min) ++a.poor_mem;
+  }
+
+  std::vector<SourceProfileRow> rows;
+  rows.reserve(by_src.size());
+  for (auto& [src, a] : by_src) {
+    SourceProfileRow r;
+    r.source = std::string(trace.strings.get(src));
+    r.grain_count = a.exec.size();
+    r.total_exec = a.total;
+    r.work_share = grand_total == 0
+                       ? 0.0
+                       : static_cast<double>(a.total) /
+                             static_cast<double>(grand_total);
+    r.median_exec = static_cast<TimeNs>(stats::median(a.exec));
+    r.median_parallel_benefit = stats::median(a.benefit);
+    r.low_benefit_percent =
+        100.0 * static_cast<double>(a.low_benefit) /
+        static_cast<double>(r.grain_count);
+    r.median_work_deviation = stats::median(a.deviation);
+    r.inflated_percent = a.deviation.empty()
+                             ? 0.0
+                             : 100.0 * static_cast<double>(a.inflated) /
+                                   static_cast<double>(a.deviation.size());
+    r.poor_mem_util_percent = 100.0 * static_cast<double>(a.poor_mem) /
+                              static_cast<double>(r.grain_count);
+    rows.push_back(std::move(r));
+  }
+  auto key = [&](const SourceProfileRow& r) -> double {
+    switch (sort) {
+      case SourceSort::ByCount: return static_cast<double>(r.grain_count);
+      case SourceSort::ByWorkShare: return r.work_share;
+      case SourceSort::ByInflation: return r.median_work_deviation;
+      case SourceSort::ByLowBenefit: return r.low_benefit_percent;
+    }
+    return 0.0;
+  };
+  std::sort(rows.begin(), rows.end(),
+            [&](const SourceProfileRow& a, const SourceProfileRow& b) {
+              return key(a) > key(b);
+            });
+  return rows;
+}
+
+}  // namespace gg

@@ -1,0 +1,74 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+
+namespace gg {
+
+TimelineView thread_timeline(const Trace& trace, size_t width) {
+  TimelineView view;
+  const int n = std::max(1, trace.meta.num_workers);
+  const TimeNs span = std::max<TimeNs>(1, trace.makespan());
+  view.threads.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    view.threads[static_cast<size_t>(i)].thread = static_cast<u16>(i);
+  std::vector<std::string> strips(static_cast<size_t>(n),
+                                  std::string(width, '.'));
+
+  auto paint = [&](u16 core, TimeNs s, TimeNs e, char c) {
+    if (core >= n || e <= s) return;
+    auto lo = static_cast<size_t>(static_cast<double>(s) / span * width);
+    auto hi = static_cast<size_t>(static_cast<double>(e) / span * width);
+    lo = std::min(lo, width - 1);
+    hi = std::min(std::max(hi, lo + 1), width);
+    for (size_t k = lo; k < hi; ++k) {
+      char& cell = strips[core][k];
+      if (cell == '.' || (cell == '+' && c == '#')) cell = c;
+    }
+  };
+
+  for (const FragmentRec& f : trace.fragments) {
+    if (f.core >= n) continue;
+    view.threads[f.core].busy += f.end - f.start;
+    paint(f.core, f.start, f.end, '#');
+  }
+  for (const ChunkRec& c : trace.chunks) {
+    if (c.core >= n) continue;
+    view.threads[c.core].busy += c.end - c.start;
+    paint(c.core, c.start, c.end, '#');
+  }
+  for (const BookkeepRec& b : trace.bookkeeps) {
+    if (b.core >= n) continue;
+    view.threads[b.core].overhead += b.end - b.start;
+    paint(b.core, b.start, b.end, '+');
+  }
+  for (const JoinRec& j : trace.joins) {
+    if (j.core >= n) continue;
+    // Join waits paint as runtime ('+') but are not summed as overhead: the
+    // waiting thread is either helping (busy, painted over) or idle.
+    paint(j.core, j.start, j.end, '+');
+  }
+  for (const TaskRec& t : trace.tasks) {
+    if (t.create_core >= n || t.uid == kRootTask) continue;
+    view.threads[t.create_core].overhead += t.creation_cost;
+  }
+
+  double total_busy = 0.0, max_busy = 0.0;
+  for (auto& th : view.threads) {
+    // Join wait time overlaps helped task execution on the same thread;
+    // only the non-overlapped remainder counts as runtime overhead.
+    th.busy = std::min(th.busy, span);
+    th.overhead = std::min(th.overhead, span - th.busy);
+    th.idle = span - th.busy - th.overhead;
+    th.busy_percent = 100.0 * static_cast<double>(th.busy) / span;
+    th.overhead_percent = 100.0 * static_cast<double>(th.overhead) / span;
+    th.idle_percent = 100.0 * static_cast<double>(th.idle) / span;
+    total_busy += static_cast<double>(th.busy);
+    max_busy = std::max(max_busy, static_cast<double>(th.busy));
+  }
+  const double mean_busy = total_busy / n;
+  view.imbalance = mean_busy > 0 ? max_busy / mean_busy : 0.0;
+  view.strips = std::move(strips);
+  return view;
+}
+
+}  // namespace gg

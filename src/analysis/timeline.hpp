@@ -1,0 +1,38 @@
+// The thread-timeline "existing tools" foil (paper Fig. 4 and §5).
+//
+// Reconstructs what a VTune/Paraver-style view shows from the same trace:
+// per-thread aggregate busy / runtime-overhead / idle shares and a coarse
+// state strip per thread. The point the paper makes — and the benches
+// reproduce — is that this view shows *that* load is imbalanced and that
+// threads sit in the runtime, but cannot link the imbalance to culprit
+// tasks, chunks, or source lines. Contrast with the grain-graph report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gg {
+
+struct ThreadTimeline {
+  u16 thread = 0;
+  TimeNs busy = 0;      ///< executing task fragments or chunks
+  TimeNs overhead = 0;  ///< task creation, joins, book-keeping
+  TimeNs idle = 0;      ///< the rest of the region
+  double busy_percent = 0.0;
+  double overhead_percent = 0.0;
+  double idle_percent = 0.0;
+};
+
+struct TimelineView {
+  std::vector<ThreadTimeline> threads;
+  double imbalance = 0.0;  ///< max busy / mean busy across threads
+  /// Coarse per-thread state strips ('#': busy, '+': overhead, '.': idle),
+  /// `width` characters spanning the region.
+  std::vector<std::string> strips;
+};
+
+TimelineView thread_timeline(const Trace& trace, size_t width = 64);
+
+}  // namespace gg

@@ -1,0 +1,105 @@
+#include "apps/blackscholes.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+using front::ForOpts;
+
+namespace {
+
+constexpr Cycles kCyclesPerOption = 180;  // CNDF evaluations dominate
+
+struct Option {
+  float spot, strike, rate, volatility, time;
+  int type;  // 0 = call, 1 = put
+};
+
+double cndf(double x) {
+  // Abramowitz & Stegun 26.2.17 — the same polynomial Parsec uses.
+  const double a1 = 0.319381530, a2 = -0.356563782, a3 = 1.781477937,
+               a4 = -1.821255978, a5 = 1.330274429;
+  const bool neg = x < 0.0;
+  if (neg) x = -x;
+  const double k = 1.0 / (1.0 + 0.2316419 * x);
+  const double poly = k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5))));
+  const double nd =
+      1.0 - 1.0 / std::sqrt(2.0 * M_PI) * std::exp(-0.5 * x * x) * poly;
+  return neg ? 1.0 - nd : nd;
+}
+
+double price(const Option& o) {
+  const double sqrt_t = std::sqrt(o.time);
+  const double d1 = (std::log(o.spot / o.strike) +
+                     (o.rate + 0.5 * o.volatility * o.volatility) * o.time) /
+                    (o.volatility * sqrt_t);
+  const double d2 = d1 - o.volatility * sqrt_t;
+  const double discounted = o.strike * std::exp(-o.rate * o.time);
+  if (o.type == 0) return o.spot * cndf(d1) - discounted * cndf(d2);
+  return discounted * cndf(-d2) - o.spot * cndf(-d1);
+}
+
+struct State {
+  BlackscholesParams p;
+  std::vector<Option> options;
+  std::vector<double> prices;
+  front::RegionId in_region = front::kNoRegion;
+  front::RegionId out_region = front::kNoRegion;
+};
+
+}  // namespace
+
+front::TaskFn blackscholes_program(front::Engine& engine,
+                                   const BlackscholesParams& params,
+                                   double* price_sum) {
+  GG_CHECK(params.num_options >= 1);
+  auto st = std::make_shared<State>();
+  st->p = params;
+  st->options.resize(params.num_options);
+  st->prices.assign(params.num_options, 0.0);
+  Xoshiro256 rng(params.seed);
+  for (Option& o : st->options) {
+    o.spot = static_cast<float>(50.0 + rng.uniform01() * 100.0);
+    o.strike = static_cast<float>(50.0 + rng.uniform01() * 100.0);
+    o.rate = static_cast<float>(0.01 + rng.uniform01() * 0.09);
+    o.volatility = static_cast<float>(0.1 + rng.uniform01() * 0.5);
+    o.time = static_cast<float>(0.25 + rng.uniform01() * 2.0);
+    o.type = rng.bounded(2) == 0 ? 0 : 1;
+  }
+  st->in_region =
+      engine.alloc_region("blackscholes.options",
+                          params.num_options * sizeof(Option),
+                          front::PagePlacement::FirstTouch);
+  st->out_region =
+      engine.alloc_region("blackscholes.prices",
+                          params.num_options * sizeof(double),
+                          front::PagePlacement::FirstTouch);
+  return [st, price_sum](Ctx& ctx) {
+    for (int it = 0; it < st->p.iterations; ++it) {
+      ForOpts fo;
+      fo.sched = st->p.sched;
+      fo.chunk = st->p.chunk;
+      ctx.parallel_for(
+          GG_SRC_NAMED("blackscholes.c", 408, "bs_thread"), 0,
+          st->p.num_options, fo, [st](u64 i, Ctx& c) {
+            st->prices[i] = price(st->options[i]);
+            c.compute(kCyclesPerOption);
+            c.touch(st->in_region, i * sizeof(Option), sizeof(Option), 0);
+            c.touch(st->out_region, i * sizeof(double), sizeof(double), 0);
+          });
+    }
+    if (price_sum != nullptr) {
+      double acc = 0.0;
+      for (double v : st->prices) acc += v;
+      *price_sum = acc;
+    }
+  };
+}
+
+}  // namespace gg::apps

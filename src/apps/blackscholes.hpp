@@ -1,0 +1,24 @@
+// Blackscholes (Parsec) — §4.3.6: the sole parallel for-loop prices a
+// portfolio of options; over 65% of its chunks have poor memory-hierarchy
+// utilization (the kernel streams large arrays) and ~33% also have low
+// parallel benefit. Other metrics are healthy.
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct BlackscholesParams {
+  u64 num_options = 200000;  ///< paper: 4M points (scaled; DESIGN.md)
+  u64 chunk = 0;             ///< 0 = schedule default
+  ScheduleKind sched = ScheduleKind::Static;
+  int iterations = 1;        ///< Parsec repeats the pricing loop
+  u64 seed = 2003;
+};
+
+/// Builds the program; *price_sum receives the summed option prices.
+front::TaskFn blackscholes_program(front::Engine& engine,
+                                   const BlackscholesParams& params,
+                                   double* price_sum = nullptr);
+
+}  // namespace gg::apps

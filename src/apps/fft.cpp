@@ -1,0 +1,112 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+#include <complex>
+#include <memory>
+#include <numbers>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+
+namespace {
+
+constexpr Cycles kCyclesPerButterfly = 34;  // complex mul + 2 adds
+constexpr Cycles kCyclesPerMove = 6;
+
+using cplx = std::complex<double>;
+
+struct State {
+  FftParams p;
+  std::vector<cplx> data;
+  std::vector<cplx> scratch;
+  front::RegionId region = front::kNoRegion;
+
+  /// Recursive radix-2 FFT over data[off, off+n). Uses scratch[off..] for
+  /// the even/odd shuffle (BOTS fft_aux structure).
+  void fft_aux(Ctx& ctx, u64 off, u64 n) {
+    if (n <= 1) return;
+    const u64 half = n / 2;
+    // Even/odd shuffle through scratch — stride-2 reads, the cache-hostile
+    // pattern behind Fig. 8.
+    for (u64 i = 0; i < half; ++i) {
+      scratch[off + i] = data[off + 2 * i];
+      scratch[off + half + i] = data[off + 2 * i + 1];
+    }
+    std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(off),
+              scratch.begin() + static_cast<std::ptrdiff_t>(off + n),
+              data.begin() + static_cast<std::ptrdiff_t>(off));
+    ctx.compute(n * kCyclesPerMove);
+    ctx.touch(region, off * sizeof(cplx), n * sizeof(cplx),
+              2 * sizeof(cplx));
+
+    if (n > p.spawn_cutoff) {
+      ctx.spawn(GG_SRC_NAMED("fft.c", 4680, "fft_aux"),
+                [this, off, half](Ctx& c) { fft_aux(c, off, half); });
+      ctx.spawn(GG_SRC_NAMED("fft.c", 4680, "fft_aux"),
+                [this, off, half](Ctx& c) { fft_aux(c, off + half, half); });
+      ctx.taskwait();
+      // The combine is split in two tasks as well ("several tasks are
+      // created for each divide").
+      ctx.spawn(GG_SRC_NAMED("fft.c", 4712, "fft_twiddle"),
+                [this, off, n](Ctx& c) { combine(c, off, n, 0, n / 4); });
+      ctx.spawn(GG_SRC_NAMED("fft.c", 4714, "fft_twiddle"),
+                [this, off, n](Ctx& c) { combine(c, off, n, n / 4, n / 2); });
+      ctx.taskwait();
+    } else {
+      fft_aux(ctx, off, half);
+      fft_aux(ctx, off + half, half);
+      combine(ctx, off, n, 0, n / 2);
+    }
+  }
+
+  /// Butterfly combine of rows [k_lo, k_hi) of the half-transforms.
+  void combine(Ctx& ctx, u64 off, u64 n, u64 k_lo, u64 k_hi) {
+    const u64 half = n / 2;
+    for (u64 k = k_lo; k < k_hi; ++k) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k) /
+                         static_cast<double>(n);
+      const cplx w(std::cos(ang), std::sin(ang));
+      const cplx e = data[off + k];
+      const cplx o = data[off + half + k] * w;
+      data[off + k] = e + o;
+      data[off + half + k] = e - o;
+    }
+    const u64 count = k_hi - k_lo;
+    ctx.compute(count * kCyclesPerButterfly);
+    ctx.touch(region, (off + k_lo) * sizeof(cplx), count * sizeof(cplx), 0);
+    ctx.touch(region, (off + half + k_lo) * sizeof(cplx),
+              count * sizeof(cplx), 0);
+  }
+};
+
+}  // namespace
+
+front::TaskFn fft_program(front::Engine& engine, const FftParams& params,
+                          double* spectrum_energy) {
+  GG_CHECK((params.num_samples & (params.num_samples - 1)) == 0);
+  auto st = std::make_shared<State>();
+  st->p = params;
+  st->data.resize(params.num_samples);
+  st->scratch.resize(params.num_samples);
+  Xoshiro256 rng(params.seed);
+  for (cplx& v : st->data)
+    v = cplx(rng.uniform01() - 0.5, rng.uniform01() - 0.5);
+  st->region = engine.alloc_region("fft.samples",
+                                   params.num_samples * sizeof(cplx) * 2,
+                                   front::PagePlacement::FirstTouch);
+  return [st, spectrum_energy](Ctx& ctx) {
+    st->fft_aux(ctx, 0, st->p.num_samples);
+    if (spectrum_energy != nullptr) {
+      double acc = 0.0;
+      for (const cplx& v : st->data) acc += std::norm(v);
+      *spectrum_energy = acc;
+    }
+  };
+}
+
+}  // namespace gg::apps

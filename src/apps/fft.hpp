@@ -1,0 +1,31 @@
+// FFT (BOTS) — §4.3.3 of the paper.
+//
+// Recursive divide-and-conquer 1-D DFT. Several tasks are created per
+// divide, so even small inputs create very many tasks; in the shipped
+// program most grains are too small to provide parallel benefit (Fig. 7).
+// The paper's optimization adds two recursion-depth/size cutoffs (found by
+// inspecting fft_aux, called solely from fft.c:4680) that stop task
+// creation once subproblems are small; grains then show good parallel
+// benefit, but poor memory-hierarchy utilization remains widespread
+// (Fig. 8) because the even/odd shuffle is cache-hostile.
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct FftParams {
+  u64 num_samples = 1u << 17;  ///< paper: 16M samples (scaled; DESIGN.md)
+  /// Subproblem size below which no tasks are spawned. The shipped program
+  /// effectively uses 2 (spawn everywhere); the optimized version uses a
+  /// cutoff that leaves grains big enough to pay for their creation.
+  u64 spawn_cutoff = 2;
+  u64 seed = 1616;
+};
+
+/// Builds the program; *spectrum_energy (optional) receives sum |X[k]|^2 for
+/// correctness checks (Parseval).
+front::TaskFn fft_program(front::Engine& engine, const FftParams& params,
+                          double* spectrum_energy = nullptr);
+
+}  // namespace gg::apps

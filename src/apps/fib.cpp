@@ -1,0 +1,67 @@
+#include "apps/fib.hpp"
+
+#include <memory>
+
+#include "common/check.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+
+namespace {
+
+constexpr Cycles kCyclesPerCall = 18;
+
+u64 fib_seq(int n, Cycles* calls) {
+  ++*calls;
+  if (n < 2) return static_cast<u64>(n);
+  return fib_seq(n - 1, calls) + fib_seq(n - 2, calls);
+}
+
+struct State {
+  FibParams p;
+  u64 result = 0;
+
+  void fib(Ctx& ctx, int n, int depth, u64* out) {
+    if (n < 2) {
+      *out = static_cast<u64>(n);
+      ctx.compute(kCyclesPerCall);
+      return;
+    }
+    if (depth >= p.cutoff) {
+      Cycles calls = 0;
+      *out = fib_seq(n, &calls);
+      ctx.compute(calls * kCyclesPerCall);
+      return;
+    }
+    auto a = std::make_shared<u64>(0);
+    auto b = std::make_shared<u64>(0);
+    ctx.spawn(GG_SRC_NAMED("fib.c", 33, "fib"), [this, n, depth, a](Ctx& c) {
+      fib(c, n - 1, depth + 1, a.get());
+    });
+    ctx.spawn(GG_SRC_NAMED("fib.c", 35, "fib"), [this, n, depth, b](Ctx& c) {
+      fib(c, n - 2, depth + 1, b.get());
+    });
+    ctx.taskwait();
+    *out = *a + *b;
+    ctx.compute(kCyclesPerCall);
+  }
+};
+
+}  // namespace
+
+front::TaskFn fib_program(front::Engine& engine, const FibParams& params,
+                          u64* result) {
+  (void)engine;
+  // The real sequential leaves cost O(fib(n)) calls at capture time; 35 is
+  // ~15M calls. The paper's input 48 is modeled by scaling (DESIGN.md).
+  GG_CHECK(params.n >= 0 && params.n <= 35);
+  auto st = std::make_shared<State>();
+  st->p = params;
+  return [st, result](Ctx& ctx) {
+    st->fib(ctx, st->p.n, 0, &st->result);
+    if (result != nullptr) *result = st->result;
+  };
+}
+
+}  // namespace gg::apps

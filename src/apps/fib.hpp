@@ -1,0 +1,20 @@
+// Fibonacci — the paper's common task-programming illustration (§4.3.6):
+// for input 48 with cutoff 12 the metrics flag work-deviation and
+// parallel-benefit problems, and the graph shows how depth cutoffs control
+// recursion depth and leaf-grain size.
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct FibParams {
+  int n = 30;       ///< paper: 48 (scaled — leaf work is modeled, not run)
+  int cutoff = 12;  ///< recursion-depth cutoff; below it, sequential
+};
+
+/// Builds the program; *result receives fib(n) mod 2^63 if non-null.
+front::TaskFn fib_program(front::Engine& engine, const FibParams& params,
+                          u64* result = nullptr);
+
+}  // namespace gg::apps

@@ -1,0 +1,116 @@
+#include "apps/floorplan.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+
+namespace {
+
+constexpr Cycles kCyclesPerPlacement = 140;
+
+struct Cell {
+  int w = 1, h = 1;
+};
+
+struct Board {
+  // Shelf packing state: cells go left-to-right on the current shelf; a
+  // cell that does not fit opens a new shelf below.
+  int shelf_x = 0;
+  int shelf_y = 0;
+  int shelf_h = 0;
+  int width = 0;
+
+  static constexpr int kShelfLimit = 14;
+
+  void put(int w, int h) {
+    if (shelf_x + w > kShelfLimit) {
+      shelf_y += shelf_h;
+      shelf_x = 0;
+      shelf_h = 0;
+    }
+    shelf_x += w;
+    shelf_h = shelf_h > h ? shelf_h : h;
+    width = width > shelf_x ? width : shelf_x;
+  }
+  int height() const { return shelf_y + shelf_h; }
+  long area() const { return static_cast<long>(width) * height(); }
+};
+
+struct State {
+  FloorplanParams p;
+  std::vector<Cell> cells;
+  std::vector<std::vector<int>> orders;  // per-cell candidate orientations
+  std::atomic<long> best{1L << 40};
+
+  /// Places cell `idx` in each orientation; prunes against the shared best.
+  /// The bounding-box area only grows as cells are added, so pruning with
+  /// it is admissible: the optimum is order-independent even though the
+  /// explored (and therefore spawned) tree is not.
+  void place(Ctx& ctx, Board board, size_t idx, int depth) {
+    if (idx == cells.size()) {
+      const long area = board.area();
+      long cur = best.load();
+      while (area < cur && !best.compare_exchange_weak(cur, area)) {
+      }
+      return;
+    }
+    const Cell& cell = cells[idx];
+    ctx.compute(kCyclesPerPlacement);
+    for (int orient : orders[idx]) {
+      const int w = orient == 0 ? cell.w : cell.h;
+      const int h = orient == 0 ? cell.h : cell.w;
+      Board next = board;
+      next.put(w, h);
+      if (next.area() >= best.load()) continue;  // prune
+      if (depth < p.cutoff) {
+        ctx.spawn(GG_SRC_NAMED("floorplan.c", 229, "add_cell"),
+                  [this, next, idx, depth](Ctx& c) {
+                    place(c, next, idx + 1, depth + 1);
+                  });
+      } else {
+        place(ctx, next, idx + 1, depth + 1);
+      }
+    }
+    if (depth < p.cutoff) ctx.taskwait();
+  }
+};
+
+}  // namespace
+
+front::TaskFn floorplan_program(front::Engine& engine,
+                                const FloorplanParams& params,
+                                long* best_area) {
+  (void)engine;
+  GG_CHECK(params.num_cells >= 1 && params.num_cells <= 12);
+  auto st = std::make_shared<State>();
+  st->p = params;
+  Xoshiro256 rng(77);
+  st->cells.resize(static_cast<size_t>(params.num_cells));
+  for (Cell& c : st->cells) {
+    c.w = 1 + static_cast<int>(rng.bounded(6));
+    c.h = 1 + static_cast<int>(rng.bounded(6));
+  }
+  // Exploration order varies with shape_seed: earlier good solutions mean
+  // more pruning, i.e. a different executed tree.
+  st->orders.resize(st->cells.size());
+  Xoshiro256 order_rng(params.shape_seed);
+  for (auto& ord : st->orders) {
+    ord = {0, 1};
+    if (order_rng.bounded(2) == 1) std::swap(ord[0], ord[1]);
+  }
+  return [st, best_area](Ctx& ctx) {
+    st->place(ctx, Board{}, 0, 0);
+    if (best_area != nullptr) *best_area = st->best.load();
+  };
+}
+
+}  // namespace gg::apps

@@ -1,0 +1,28 @@
+// Floorplan (BOTS) — §4.3.6: branch-and-bound search for an optimal cell
+// placement. Pruning against the best-known area makes the executed tree
+// depend on exploration order, so the program has non-determinism built in
+// and the grain-graph shape changes across thread counts — the one paper
+// program whose graph is NOT schedule-independent.
+//
+// Our capture executes sequentially (deterministic for a fixed
+// `shape_seed`); the bench varies `shape_seed` with the simulated thread
+// count to reproduce the shape-instability observation.
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct FloorplanParams {
+  int num_cells = 8;
+  int cutoff = 3;      ///< spawn tasks down to this placement depth
+  u64 shape_seed = 1;  ///< perturbs exploration order (stands in for the
+                       ///< scheduling-order dependence of pruning)
+};
+
+/// Builds the program; *best_area receives the optimum found if non-null.
+front::TaskFn floorplan_program(front::Engine& engine,
+                                const FloorplanParams& params,
+                                long* best_area = nullptr);
+
+}  // namespace gg::apps

@@ -1,0 +1,40 @@
+// Freqmine (Parsec) — §4.3.4 of the paper.
+//
+// Array-based FP-growth frequent-itemset mining. The performance-critical
+// construct is FPGF — the dynamically scheduled (chunk size 1) parallel
+// for-loop in FP_tree::FP_growth_first() — instantiated three times; the
+// second instance takes ~70% of execution time and contains 1292 chunks of
+// wildly disproportionate size: a few iterations mine huge conditional
+// trees, spaced irregularly over the iteration range, so the greedy dynamic
+// schedule gives some cores far more work (load balance 35.5 on 48 cores).
+//
+// The paper's resolution is resource trimming: a bin-packer shows 7 cores
+// retain the same makespan, so the loop's team is limited with num_threads
+// (load balance 1.06, Table 1). `fpgf_threads` applies that fix here.
+//
+// Our reimplementation generates a transaction database and mines per-item
+// conditional pattern counts for real; the per-item mining cost follows the
+// conditional-tree size, which is what produces the skew (DESIGN.md
+// documents this substitution for the Parsec kosarak input).
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct FreqmineParams {
+  u64 num_items = 1292;  ///< iteration count of the 2nd FPGF instance (paper)
+  u64 num_transactions = 16000;
+  u64 avg_transaction_len = 12;
+  u64 min_support = 110;
+  int fpgf_threads = 0;  ///< 0 = whole team; 7 = the paper's fix
+  u64 seed = 997;
+};
+
+/// Builds the program; *patterns_found (optional) receives the number of
+/// frequent patterns mined (for determinism checks).
+front::TaskFn freqmine_program(front::Engine& engine,
+                               const FreqmineParams& params,
+                               long* patterns_found = nullptr);
+
+}  // namespace gg::apps

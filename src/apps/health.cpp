@@ -1,0 +1,111 @@
+#include "apps/health.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+
+namespace {
+
+constexpr Cycles kCyclesPerPatient = 2800;  // triage + treatment per patient
+
+struct Village {
+  int level = 0;
+  u64 hash = 0;              // deterministic per-village randomness key
+  std::vector<int> children;  // indices into the village array
+  long waiting = 0;           // patients in the local queue
+  long treated = 0;
+};
+
+struct State {
+  HealthParams p;
+  std::vector<Village> villages;
+  front::RegionId region = front::kNoRegion;
+  int root = 0;
+
+  /// One timestep at one village: treat the local queue (capacity limited),
+  /// escalate the surplus to the parent, recurse into sub-villages as tasks
+  /// (the BOTS sim_village structure).
+  void sim_village(Ctx& ctx, int v, int step, long* escalated) {
+    Village& vil = villages[static_cast<size_t>(v)];
+    // New arrivals, deterministic per (village, step).
+    const u64 h = mix64(vil.hash * 31 + static_cast<u64>(step));
+    vil.waiting += static_cast<long>(h % 4);
+    // Local capacity: treat up to `cap` patients; the rest escalate.
+    const long cap = 3 + vil.level;
+    const long treat_now = std::min(vil.waiting, cap);
+    vil.treated += treat_now;
+    vil.waiting -= treat_now;
+    const long up = vil.waiting / 2;  // half the backlog goes up a level
+    vil.waiting -= up;
+    *escalated = up;
+    ctx.compute(static_cast<Cycles>(treat_now + 1) * kCyclesPerPatient);
+    ctx.touch(region, static_cast<u64>(v) * 256, 256, 0);
+
+    if (vil.children.empty()) return;
+    // Sub-villages as tasks; their escalations land in our queue.
+    auto ups = std::make_shared<std::vector<long>>(vil.children.size(), 0);
+    for (size_t k = 0; k < vil.children.size(); ++k) {
+      const int child = vil.children[k];
+      long* slot = &(*ups)[k];
+      ctx.spawn(GG_SRC_NAMED("health.c", 403, "sim_village"),
+                [this, child, step, slot, ups](Ctx& c) {
+                  sim_village(c, child, step, slot);
+                });
+    }
+    ctx.taskwait();
+    for (long u : *ups) vil.waiting += u;
+  }
+};
+
+}  // namespace
+
+front::TaskFn health_program(front::Engine& engine, const HealthParams& params,
+                             long* treated) {
+  GG_CHECK(params.levels >= 1 && params.branching >= 1);
+  auto st = std::make_shared<State>();
+  st->p = params;
+  // Build the hierarchy breadth-first.
+  Xoshiro256 rng(params.seed);
+  std::function<int(int)> build = [&](int level) -> int {
+    const int idx = static_cast<int>(st->villages.size());
+    st->villages.emplace_back();
+    st->villages[static_cast<size_t>(idx)].level = level;
+    st->villages[static_cast<size_t>(idx)].hash = rng.next();
+    if (level > 0) {
+      for (int k = 0; k < params.branching; ++k) {
+        const int child = build(level - 1);
+        st->villages[static_cast<size_t>(idx)].children.push_back(child);
+      }
+    } else {
+      st->villages[static_cast<size_t>(idx)].waiting = params.population;
+    }
+    return idx;
+  };
+  st->root = build(params.levels - 1);
+  st->region = engine.alloc_region("health.villages",
+                                   st->villages.size() * 256,
+                                   front::PagePlacement::FirstTouch);
+  return [st, treated](Ctx& ctx) {
+    for (int step = 0; step < st->p.timesteps; ++step) {
+      long up = 0;
+      st->sim_village(ctx, st->root, step, &up);
+      // The root has no parent: escalated patients wait another round.
+      st->villages[static_cast<size_t>(st->root)].waiting += up;
+    }
+    if (treated != nullptr) {
+      long total = 0;
+      for (const Village& v : st->villages) total += v.treated;
+      *treated = total;
+    }
+  };
+}
+
+}  // namespace gg::apps

@@ -1,0 +1,26 @@
+// Health (BOTS) — part of the paper's profiled suite (§4.1 profiles all
+// C/C++ programs of BOTS). Simulates the Colombian health-care system: a
+// multilevel hierarchy of villages, each with patients arriving, being
+// treated locally, or escalated to the parent level. One task per village
+// per simulated timestep, recursing down the hierarchy with a taskwait per
+// level — the classic BOTS health structure.
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct HealthParams {
+  int levels = 5;          ///< hierarchy depth (BOTS "small" uses 5)
+  int branching = 3;       ///< sub-villages per village
+  int timesteps = 20;
+  int population = 20;     ///< initial patients per leaf village
+  u64 seed = 1971;
+};
+
+/// Builds the program; *treated (optional) receives the total number of
+/// patients treated across the run (deterministic for a fixed seed).
+front::TaskFn health_program(front::Engine& engine, const HealthParams& params,
+                             long* treated = nullptr);
+
+}  // namespace gg::apps

@@ -1,0 +1,153 @@
+#include "apps/kdtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+
+namespace {
+
+constexpr Cycles kCyclesPerVisit = 55;  ///< distance test + traversal
+
+struct Point {
+  double x[3];
+};
+
+struct KdTree {
+  // Node i covers points_[i]; children are explicit indices (-1 = none).
+  std::vector<Point> points;
+  std::vector<i32> left, right;
+  std::vector<i32> axis;
+  i32 root = -1;
+  front::RegionId region = front::kNoRegion;
+
+  i32 build(std::vector<i32>& idx, size_t lo, size_t hi, int depth) {
+    if (lo >= hi) return -1;
+    const int ax = depth % 3;
+    const size_t mid = (lo + hi) / 2;
+    std::nth_element(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                     idx.begin() + static_cast<std::ptrdiff_t>(mid),
+                     idx.begin() + static_cast<std::ptrdiff_t>(hi),
+                     [&](i32 a, i32 b) {
+                       return points[static_cast<size_t>(a)].x[ax] <
+                              points[static_cast<size_t>(b)].x[ax];
+                     });
+    const i32 node = idx[mid];
+    axis[static_cast<size_t>(node)] = ax;
+    left[static_cast<size_t>(node)] = build(idx, lo, mid, depth + 1);
+    right[static_cast<size_t>(node)] = build(idx, mid + 1, hi, depth + 1);
+    return node;
+  }
+
+  /// Real range search; returns neighbors found and counts visited nodes.
+  long search(const Point& q, double radius, i32 node, u64& visited) const {
+    if (node < 0) return 0;
+    ++visited;
+    const auto n = static_cast<size_t>(node);
+    const Point& p = points[n];
+    const double dx = p.x[0] - q.x[0], dy = p.x[1] - q.x[1],
+                 dz = p.x[2] - q.x[2];
+    const double d2 = dx * dx + dy * dy + dz * dz;
+    long found = d2 <= radius * radius ? 1 : 0;
+    const int ax = axis[n];
+    const double delta = q.x[ax] - p.x[ax];
+    const i32 near = delta <= 0 ? left[n] : right[n];
+    const i32 far = delta <= 0 ? right[n] : left[n];
+    found += search(q, radius, near, visited);
+    if (delta * delta <= radius * radius)
+      found += search(q, radius, far, visited);
+    return found;
+  }
+};
+
+struct State {
+  KdTree tree;
+  KdtreeParams params;
+  long neighbors = 0;  // accumulated during capture (sequential)
+
+  /// Searches neighbors of one point, annotating its cost.
+  void search_point(Ctx& ctx, i32 node) {
+    u64 visited = 0;
+    neighbors += tree.search(tree.points[static_cast<size_t>(node)],
+                             params.radius, tree.root, visited);
+    ctx.compute(visited * kCyclesPerVisit);
+    // The search touches scattered tree nodes: strided access pattern.
+    ctx.touch(tree.region, 0, visited * sizeof(Point), sizeof(Point) * 4);
+  }
+
+  /// Sequentially sweeps a whole subtree.
+  void sweep_seq(Ctx& ctx, i32 node) {
+    if (node < 0) return;
+    search_point(ctx, node);
+    sweep_seq(ctx, tree.left[static_cast<size_t>(node)]);
+    sweep_seq(ctx, tree.right[static_cast<size_t>(node)]);
+  }
+
+  /// kdnode::sweeptree(). Tasks are used both to sweep the tree AND to find
+  /// neighbors for each point (§2). The SHIPPED code forgets `depth + 1` on
+  /// the recursive task spawns — the bug §2 diagnoses. `fixed` restores the
+  /// increment and uses the separate sweep cutoff.
+  void sweeptree(Ctx& ctx, i32 node, int depth) {
+    if (node < 0) return;
+    const int limit = params.fixed ? params.sweep_cutoff : params.cutoff;
+    if (depth < limit) {
+      const int child_depth = params.fixed ? depth + 1 : depth;  // the bug
+      const i32 l = tree.left[static_cast<size_t>(node)];
+      const i32 r = tree.right[static_cast<size_t>(node)];
+      if (l >= 0) {
+        ctx.spawn(GG_SRC_NAMED("kdtree.cpp", 102, "sweeptree"),
+                  [this, l, child_depth](Ctx& c) { sweeptree(c, l, child_depth); });
+      }
+      if (r >= 0) {
+        ctx.spawn(GG_SRC_NAMED("kdtree.cpp", 106, "sweeptree"),
+                  [this, r, child_depth](Ctx& c) { sweeptree(c, r, child_depth); });
+      }
+      ctx.spawn(GG_SRC_NAMED("kdtree.cpp", 110, "find_neighbors"),
+                [this, node](Ctx& c) { search_point(c, node); });
+      ctx.taskwait();
+    } else {
+      sweep_seq(ctx, node);
+    }
+  }
+};
+
+}  // namespace
+
+front::TaskFn kdtree_program(front::Engine& engine, const KdtreeParams& params,
+                             long* total_neighbors) {
+  GG_CHECK(params.num_points > 0);
+  auto state = std::make_shared<State>();
+  state->params = params;
+  KdTree& t = state->tree;
+  const auto n = static_cast<size_t>(params.num_points);
+  t.points.resize(n);
+  t.left.assign(n, -1);
+  t.right.assign(n, -1);
+  t.axis.assign(n, 0);
+  Xoshiro256 rng(params.seed);
+  // Points in a cube sized so that a radius-10 ball holds a few dozen
+  // neighbors regardless of point count (constant density).
+  const double side = 50.0 * std::cbrt(static_cast<double>(n) / 1000.0);
+  for (Point& p : t.points) {
+    for (double& c : p.x) c = rng.uniform01() * side;
+  }
+  std::vector<i32> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<i32>(i);
+  t.root = t.build(idx, 0, n, 0);
+  t.region = engine.alloc_region("kdtree.points", n * sizeof(Point),
+                                 front::PagePlacement::FirstTouch);
+
+  return [state, total_neighbors](Ctx& ctx) {
+    state->sweeptree(ctx, state->tree.root, 0);
+    if (total_neighbors != nullptr) *total_neighbors = state->neighbors;
+  };
+}
+
+}  // namespace gg::apps

@@ -1,0 +1,33 @@
+// 376.kdtree (SPEC OMP 2012) — §2 of the paper.
+//
+// Searches a k-d tree for neighbors within a radius of every point. Tasks
+// sweep the tree; a cutoff parameter is meant to stop task creation below a
+// recursion depth. The shipped program has a bug the grain graph exposed:
+// kdnode::sweeptree() does not increment the depth on its recursive calls,
+// so the cutoff never takes effect and ~N tasks are created (1,488,595 for
+// the SPEC reference input). The fix increments the depth and separates the
+// sweep cutoff from the original cutoff (§2: cutoff 2 -> 8, sweep cutoff 10
+// for GCC/MIR, 100 for ICC).
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct KdtreeParams {
+  int num_points = 20000;  ///< paper reference: 400000 (scaled; DESIGN.md)
+  double radius = 10.0;
+  int cutoff = 2;        ///< the original cutoff parameter
+  int sweep_cutoff = 10; ///< used only when fixed == true
+  bool fixed = false;    ///< apply the paper's fix (depth increment +
+                         ///< separate sweep cutoff)
+  u64 seed = 20160312;
+};
+
+/// Builds the program. The returned value of neighbor counting is
+/// accumulated into *total_neighbors (for correctness checks); pass null to
+/// skip.
+front::TaskFn kdtree_program(front::Engine& engine, const KdtreeParams& params,
+                             long* total_neighbors = nullptr);
+
+}  // namespace gg::apps

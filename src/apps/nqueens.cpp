@@ -1,0 +1,81 @@
+#include "apps/nqueens.hpp"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+
+namespace {
+
+constexpr Cycles kCyclesPerNode = 24;
+
+bool safe(const std::vector<int>& pos, int row, int col) {
+  for (int r = 0; r < row; ++r) {
+    if (pos[static_cast<size_t>(r)] == col ||
+        pos[static_cast<size_t>(r)] - r == col - row ||
+        pos[static_cast<size_t>(r)] + r == col + row) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct State {
+  NQueensParams p;
+  std::atomic<long> solutions{0};
+
+  long solve_seq(std::vector<int>& pos, int row, Cycles* nodes) {
+    ++*nodes;
+    if (row == p.n) return 1;
+    long found = 0;
+    for (int col = 0; col < p.n; ++col) {
+      if (safe(pos, row, col)) {
+        pos[static_cast<size_t>(row)] = col;
+        found += solve_seq(pos, row + 1, nodes);
+      }
+    }
+    return found;
+  }
+
+  void solve(Ctx& ctx, std::vector<int> pos, int row) {
+    if (row >= p.cutoff) {
+      Cycles nodes = 0;
+      solutions.fetch_add(solve_seq(pos, row, &nodes));
+      ctx.compute(nodes * kCyclesPerNode);
+      return;
+    }
+    ctx.compute(static_cast<Cycles>(p.n) * kCyclesPerNode);
+    for (int col = 0; col < p.n; ++col) {
+      if (!safe(pos, row, col)) continue;
+      std::vector<int> next = pos;
+      next[static_cast<size_t>(row)] = col;
+      ctx.spawn(GG_SRC_NAMED("nqueens.c", 110, "nqueens"),
+                [this, next = std::move(next), row](Ctx& c) mutable {
+                  solve(c, std::move(next), row + 1);
+                });
+    }
+    ctx.taskwait();
+  }
+};
+
+}  // namespace
+
+front::TaskFn nqueens_program(front::Engine& engine,
+                              const NQueensParams& params, long* solutions) {
+  (void)engine;
+  GG_CHECK(params.n >= 1 && params.n <= 13);
+  auto st = std::make_shared<State>();
+  st->p = params;
+  return [st, solutions](Ctx& ctx) {
+    std::vector<int> pos(static_cast<size_t>(st->p.n), -1);
+    st->solve(ctx, std::move(pos), 0);
+    if (solutions != nullptr) *solutions = st->solutions.load();
+  };
+}
+
+}  // namespace gg::apps

@@ -1,0 +1,19 @@
+// NQueens (BOTS) — §4.3.6: scales linearly for input 14 and all metrics
+// indicate good behavior; serves as the "healthy program" control.
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct NQueensParams {
+  int n = 11;      ///< paper: 14 (scaled; real backtracking runs at capture)
+  int cutoff = 4;  ///< spawn tasks down to this board row
+};
+
+/// Builds the program; *solutions receives the solution count if non-null.
+front::TaskFn nqueens_program(front::Engine& engine,
+                              const NQueensParams& params,
+                              long* solutions = nullptr);
+
+}  // namespace gg::apps

@@ -1,0 +1,239 @@
+#include "apps/others.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+using front::ForOpts;
+
+// ---------------------------------------------------------------------------
+// 358.botsalgn
+
+front::TaskFn botsalgn_program(front::Engine& engine,
+                               const BotsalgnParams& params, long* score_sum) {
+  struct State {
+    BotsalgnParams p;
+    std::vector<std::vector<u8>> seqs;
+    front::RegionId region;
+    long total = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->p = params;
+  Xoshiro256 rng(params.seed);
+  st->seqs.resize(params.num_sequences);
+  for (auto& s : st->seqs) {
+    s.resize(params.seq_len);
+    for (u8& c : s) c = static_cast<u8>(rng.bounded(20));
+  }
+  st->region = engine.alloc_region("botsalgn.seqs",
+                                   params.num_sequences * params.seq_len,
+                                   front::PagePlacement::FirstTouch);
+  return [st, score_sum](Ctx& ctx) {
+    // BOTS aligns every sequence against the first; tasks per pair. The
+    // original spawns tasks from a loop; we keep the task form (alignments
+    // are chunky and uniform -> all metrics healthy).
+    for (u64 i = 1; i < st->p.num_sequences; ++i) {
+      ctx.spawn(GG_SRC_NAMED("alignment.c", 580, "align"), [st, i](Ctx& c) {
+        // Real Needleman-Wunsch-ish band score against sequence 0.
+        const auto& a = st->seqs[0];
+        const auto& b = st->seqs[i];
+        long score = 0;
+        for (size_t x = 0; x < a.size(); ++x)
+          for (size_t y = x > 8 ? x - 8 : 0; y < std::min(b.size(), x + 8); ++y)
+            score += a[x] == b[y] ? 2 : -1;
+        st->total += score;  // capture is sequential; no race
+        c.compute(a.size() * 16 * 6);
+        c.touch(st->region, i * st->p.seq_len, st->p.seq_len, 0);
+      });
+    }
+    ctx.taskwait();
+    if (score_sum != nullptr) *score_sum = st->total;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// 367.imagick
+
+front::TaskFn imagick_program(front::Engine& engine,
+                              const ImagickParams& params, double* pixel_sum) {
+  struct State {
+    ImagickParams p;
+    std::vector<float> image;
+    front::RegionId region;
+  };
+  auto st = std::make_shared<State>();
+  st->p = params;
+  st->image.assign(params.rows * params.columns, 0.0f);
+  Xoshiro256 rng(params.seed);
+  for (float& v : st->image) v = static_cast<float>(rng.uniform01());
+  st->region = engine.alloc_region("imagick.image",
+                                   params.rows * params.columns * sizeof(float),
+                                   front::PagePlacement::FirstTouch);
+  return [st, pixel_sum](Ctx& ctx) {
+    struct Op {
+      const char* file;
+      int line;
+      const char* func;
+      Cycles per_row;   // per-row kernel cost
+      bool has_throttle;  // loops that DO carry omp_throttle in the original
+    };
+    // The five §4.3.6 loops missing omp_throttle are cheap kernels; the
+    // throttled ones are expensive (convolve/resize) so their chunks are
+    // big regardless.
+    const Op ops[] = {
+        {"magick_shear.c", 1694, "XShearImage", 900, false},
+        {"magick_decorate.c", 406, "FrameImage", 700, false},
+        {"magick_enhance.c", 3554, "NegateImage", 600, false},
+        {"magick_shear.c", 1474, "IntegralRotateImage", 800, false},
+        {"magick_transform.c", 650, "FlopImage", 650, false},
+        {"magick_resize.c", 2210, "ResizeImage", 90000, true},
+        {"magick_fx.c", 3220, "ConvolveImage", 120000, true},
+    };
+    for (const Op& op : ops) {
+      ForOpts fo;
+      fo.sched = ScheduleKind::Dynamic;
+      // omp_throttle raises the chunk so each chunk is worth its delivery;
+      // un-throttled loops run chunk 1 over cheap rows.
+      const bool throttle = op.has_throttle || st->p.throttled_everywhere;
+      fo.chunk = throttle ? 64 : 1;
+      ctx.parallel_for(GG_SRC_NAMED(op.file, op.line, op.func), 0, st->p.rows,
+                       fo, [st, &op](u64 row, Ctx& c) {
+                         float acc = 0.0f;
+                         const u64 base = row * st->p.columns;
+                         for (u64 x = 0; x < st->p.columns; x += 16)
+                           acc += st->image[base + x];
+                         st->image[base] = acc;
+                         c.compute(op.per_row);
+                         c.touch(st->region, base * sizeof(float),
+                                 st->p.columns * sizeof(float), 0);
+                       });
+    }
+    if (pixel_sum != nullptr) {
+      double acc = 0.0;
+      for (float v : st->image) acc += v;
+      *pixel_sum = acc;
+    }
+  };
+}
+
+// ---------------------------------------------------------------------------
+// 372.smithwa
+
+front::TaskFn smithwa_program(front::Engine& engine,
+                              const SmithwaParams& params, long* best_score) {
+  struct State {
+    SmithwaParams p;
+    std::vector<u8> a, b;
+    front::RegionId region;
+    long best = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->p = params;
+  Xoshiro256 rng(params.seed);
+  st->a.resize(params.matrix_dim);
+  st->b.resize(params.matrix_dim);
+  for (u8& c : st->a) c = static_cast<u8>(rng.bounded(4));
+  for (u8& c : st->b) c = static_cast<u8>(rng.bounded(4));
+  st->region = engine.alloc_region(
+      "smithwa.matrix", params.matrix_dim * params.matrix_dim * sizeof(int),
+      front::PagePlacement::FirstTouch);
+  return [st, best_score](Ctx& ctx) {
+    // verifyData.c:46 — an imbalanced verification block outside the timed
+    // region of the original (triangular work per row: later rows cost
+    // more). Dynamic chunk 1 + skew = load imbalance.
+    ForOpts verify;
+    verify.sched = ScheduleKind::Dynamic;
+    verify.chunk = 1;
+    ctx.parallel_for(GG_SRC_NAMED("verifyData.c", 46, "verifyData"), 0,
+                     st->p.matrix_dim, verify, [st](u64 row, Ctx& c) {
+                       c.compute(250 * (row + 1));
+                       c.touch(st->region, 0, (row + 1) * sizeof(int),
+                               st->p.matrix_dim > 64
+                                   ? static_cast<u32>(st->p.matrix_dim)
+                                   : 0);
+                     });
+    // mergeAlignment.c:160 — anti-diagonal wavefront merge: small strided
+    // chunks, poor mem-util and benefit. Real banded SW scoring row.
+    ForOpts merge;
+    merge.sched = ScheduleKind::Dynamic;
+    merge.chunk = 1;
+    ctx.parallel_for(
+        GG_SRC_NAMED("mergeAlignment.c", 160, "mergeAlignment"), 0,
+        st->p.matrix_dim, merge, [st](u64 row, Ctx& c) {
+          long score = 0;
+          for (u64 j = 0; j < st->p.matrix_dim; ++j)
+            score += st->a[row % st->a.size()] == st->b[j] ? 3 : -1;
+          st->best = std::max(st->best, score);
+          c.compute(st->p.matrix_dim * 4);
+          c.touch(st->region, row * st->p.matrix_dim * sizeof(int),
+                  st->p.matrix_dim * sizeof(int),
+                  static_cast<u32>(st->p.matrix_dim * sizeof(int) / 8));
+        });
+    if (best_score != nullptr) *best_score = st->best;
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Bodytrack
+
+front::TaskFn bodytrack_program(front::Engine& engine,
+                                const BodytrackParams& params,
+                                double* likelihood) {
+  struct State {
+    BodytrackParams p;
+    std::vector<float> weights;
+    front::RegionId region;
+  };
+  auto st = std::make_shared<State>();
+  st->p = params;
+  st->weights.assign(params.particles, 1.0f);
+  st->region = engine.alloc_region("bodytrack.frames",
+                                   params.image_rows * 4096,
+                                   front::PagePlacement::FirstTouch);
+  return [st, likelihood](Ctx& ctx) {
+    for (int f = 0; f < st->p.frames; ++f) {
+      // Cheap per-row filter loops (FlexFilterRowV / FlexFilterColumnV):
+      // tiny chunks, poor benefit and mem-util — fusion candidates.
+      for (const auto& [line, name] :
+           {std::pair<int, const char*>{301, "FlexFilterRowVOMP"},
+            std::pair<int, const char*>{355, "FlexFilterColumnVOMP"}}) {
+        ForOpts fo;
+        fo.sched = ScheduleKind::Dynamic;
+        fo.chunk = 1;
+        ctx.parallel_for(GG_SRC_NAMED("ImageMeasurements.cpp", line, name), 0,
+                         st->p.image_rows, fo, [st](u64 row, Ctx& c) {
+                           c.compute(420);
+                           c.touch(st->region, row * 4096, 4096, 128);
+                         });
+      }
+      // CalcWeights: the one healthy loop — substantial per-particle work.
+      ForOpts fo;
+      fo.sched = ScheduleKind::Dynamic;
+      fo.chunk = 16;
+      ctx.parallel_for(
+          GG_SRC_NAMED("TrackingModelOMP.cpp", 117, "CalcWeights"), 0,
+          st->p.particles, fo, [st, f](u64 i, Ctx& c) {
+            st->weights[i] *= 0.9f + 0.2f * static_cast<float>(
+                                                mix64(i * 31 + f) % 100) /
+                                         100.0f;
+            c.compute(45000);
+            c.touch(st->region, (i % st->p.image_rows) * 4096, 4096, 0);
+          });
+      // Serial section between frames (also a §4.3.6 bottleneck).
+      ctx.compute(2'000'000);
+    }
+    if (likelihood != nullptr) {
+      double acc = 0.0;
+      for (float w : st->weights) acc += w;
+      *likelihood = acc;
+    }
+  };
+}
+
+}  // namespace gg::apps

@@ -1,0 +1,60 @@
+// Behavioral models of the remaining §4.3.6 programs. Each reproduces the
+// loop/block structure and the cost profile the paper reports; DESIGN.md
+// records the substitutions (the originals depend on SPEC/Parsec inputs and
+// large library codebases).
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+/// 358.botsalgn — protein alignment: one dynamically scheduled loop of
+/// uniform, sizeable alignments. Scales linearly; all metrics healthy.
+struct BotsalgnParams {
+  u64 num_sequences = 300;
+  u64 seq_len = 2000;  ///< alignment cost ~ len x band
+  u64 seed = 358;
+};
+front::TaskFn botsalgn_program(front::Engine& engine,
+                               const BotsalgnParams& params,
+                               long* score_sum = nullptr);
+
+/// 367.imagick — an image-operation chain where SOME for-loops miss the
+/// conditional omp_throttle macro present elsewhere, leaving them with poor
+/// parallel benefit (tiny per-row chunks on cheap filters).
+struct ImagickParams {
+  u64 rows = 960;
+  u64 columns = 1280;
+  bool throttled_everywhere = false;  ///< fix: apply omp_throttle to all
+  u64 seed = 367;
+};
+front::TaskFn imagick_program(front::Engine& engine,
+                              const ImagickParams& params,
+                              double* pixel_sum = nullptr);
+
+/// 372.smithwa — Smith-Waterman: parallel blocks mergeAlignment.c:160 and
+/// verifyData.c:46 suffer load imbalance + low mem-util + poor benefit; the
+/// verifyData imbalance hides outside the usual timed region but the grain
+/// graph covers the whole program.
+struct SmithwaParams {
+  u64 matrix_dim = 256;
+  u64 seed = 372;
+};
+front::TaskFn smithwa_program(front::Engine& engine,
+                              const SmithwaParams& params,
+                              long* best_score = nullptr);
+
+/// Bodytrack (Parsec) — chunks of all loops except CalcWeights have poor
+/// parallel benefit and low mem-util; serial sections between loops are
+/// also bottlenecks. Models the per-frame filter/weights loop chain.
+struct BodytrackParams {
+  int frames = 4;
+  u64 particles = 1024;
+  u64 image_rows = 128;
+  u64 seed = 512;
+};
+front::TaskFn bodytrack_program(front::Engine& engine,
+                                const BodytrackParams& params,
+                                double* likelihood = nullptr);
+
+}  // namespace gg::apps

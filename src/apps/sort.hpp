@@ -1,0 +1,33 @@
+// Sort (BOTS) — §4.3.1 of the paper.
+//
+// Divide-and-conquer sort in three phases: parallel merge-sort, sequential
+// quick sort below `quick_cutoff`, sequential insertion sort below
+// `insertion_cutoff`; parallel merges split recursively until
+// `merge_cutoff`. The paper's findings reproduced here:
+//  * non-uniform, waxing-and-waning parallelism -> load imbalance that no
+//    cutoff fixes (lower cutoffs raise parallelism but kill parallel
+//    benefit, Fig. 5b);
+//  * widespread work inflation + poor memory-hierarchy utilization under
+//    first-touch page placement, reduced by round-robin placement
+//    (the §4.3.1 table: 68.54% -> 37.08% inflated grains).
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct SortParams {
+  u64 num_elements = 1u << 21;  ///< paper: 16M (scaled; DESIGN.md)
+  u64 quick_cutoff = 1u << 15;  ///< "best" cutoff at paper scale ~ n/512
+  u64 merge_cutoff = 1u << 15;
+  u64 insertion_cutoff = 20;
+  front::PagePlacement placement = front::PagePlacement::FirstTouch;
+  u64 seed = 443;
+};
+
+/// Builds the program. If `sorted_ok` is non-null it receives the
+/// correctness verdict after the run.
+front::TaskFn sort_program(front::Engine& engine, const SortParams& params,
+                           bool* sorted_ok = nullptr);
+
+}  // namespace gg::apps

@@ -1,0 +1,288 @@
+#include "apps/sparselu.hpp"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+
+namespace {
+
+constexpr Cycles kCyclesPerFlop = 2;
+
+struct State {
+  SparseLuParams p;
+  int nb = 0;                 // blocks per dimension
+  int bs = 0;                 // block size
+  std::vector<std::vector<float>> block;  // nb*nb blocks
+  std::vector<u8> pattern;    // static occupancy incl. precomputed fill-in
+                              // (BOTS-style structure prediction; lets tasks
+                              // run concurrently without allocation races)
+  front::RegionId region = front::kNoRegion;
+
+  std::vector<float>& at(int i, int j) {
+    return block[static_cast<size_t>(i * nb + j)];
+  }
+  bool null_block(int i, int j) const {
+    return pattern[static_cast<size_t>(i * nb + j)] == 0;
+  }
+  u64 block_offset(int i, int j) const {
+    return static_cast<u64>(i * nb + j) * static_cast<u64>(bs) *
+           static_cast<u64>(bs) * sizeof(float);
+  }
+
+  /// Annotates a whole-block access pattern. `stride_elems` 1 = unit
+  /// stride; `repeats` = times the pattern is re-walked (the triple-nested
+  /// kernels re-walk their blocks bs or bs^2 times).
+  void touch_block(Ctx& ctx, int i, int j, u32 stride_elems,
+                   u32 repeats = 1) {
+    ctx.touch(region, block_offset(i, j),
+              static_cast<u64>(bs) * bs * sizeof(float),
+              stride_elems * static_cast<u32>(sizeof(float)), repeats);
+  }
+
+  /// Diagonal factorization (sparselu.c lu0).
+  void lu0(Ctx& ctx, int kk) {
+    auto& d = at(kk, kk);
+    for (int k = 0; k < bs; ++k) {
+      const float pivot = d[static_cast<size_t>(k * bs + k)] == 0.0f
+                              ? 1.0f
+                              : d[static_cast<size_t>(k * bs + k)];
+      for (int i = k + 1; i < bs; ++i) {
+        d[static_cast<size_t>(i * bs + k)] /= pivot;
+        for (int j = k + 1; j < bs; ++j) {
+          d[static_cast<size_t>(i * bs + j)] -=
+              d[static_cast<size_t>(i * bs + k)] *
+              d[static_cast<size_t>(k * bs + j)];
+        }
+      }
+    }
+    ctx.compute(static_cast<Cycles>(2.0 / 3.0 * bs * bs * bs *
+                                    kCyclesPerFlop));
+    touch_block(ctx, kk, kk, 1, static_cast<u32>(bs) / 2);
+  }
+
+  /// Forward elimination of a row block (sparselu.c:229 fwd).
+  void fwd(Ctx& ctx, int kk, int jj) {
+    auto& d = at(kk, kk);
+    auto& b = at(kk, jj);
+    for (int k = 0; k < bs; ++k)
+      for (int i = k + 1; i < bs; ++i)
+        for (int j = 0; j < bs; ++j)
+          b[static_cast<size_t>(i * bs + j)] -=
+              d[static_cast<size_t>(i * bs + k)] *
+              b[static_cast<size_t>(k * bs + j)];
+    ctx.compute(static_cast<Cycles>(1.0 * bs * bs * bs * kCyclesPerFlop));
+    touch_block(ctx, kk, kk, 1, static_cast<u32>(bs) / 2);
+    touch_block(ctx, kk, jj, 1, static_cast<u32>(bs) / 2);
+  }
+
+  /// Backward division of a column block (sparselu.c:235 bdiv).
+  void bdiv(Ctx& ctx, int ii, int kk) {
+    auto& d = at(kk, kk);
+    auto& b = at(ii, kk);
+    for (int i = 0; i < bs; ++i)
+      for (int k = 0; k < bs; ++k) {
+        const float pivot = d[static_cast<size_t>(k * bs + k)] == 0.0f
+                                ? 1.0f
+                                : d[static_cast<size_t>(k * bs + k)];
+        b[static_cast<size_t>(i * bs + k)] /= pivot;
+        for (int j = k + 1; j < bs; ++j)
+          b[static_cast<size_t>(i * bs + j)] -=
+              b[static_cast<size_t>(i * bs + k)] *
+              d[static_cast<size_t>(k * bs + j)];
+      }
+    ctx.compute(static_cast<Cycles>(1.0 * bs * bs * bs * kCyclesPerFlop));
+    touch_block(ctx, kk, kk, 1, static_cast<u32>(bs) / 2);
+    touch_block(ctx, ii, kk, 1, static_cast<u32>(bs) / 2);
+  }
+
+  /// Block update (sparselu.c:246 bmod): C -= A * B.
+  ///
+  /// The shipped loop nest is (i, j, k): the innermost index strides through
+  /// B column-wise — a cache-unfriendly pattern the paper identified as the
+  /// work-inflation culprit. The interchange fix reorders to (i, k, j) so
+  /// the inner loop walks B and C with unit stride.
+  void bmod(Ctx& ctx, int ii, int jj, int kk) {
+    auto& a = at(ii, kk);
+    auto& b = at(kk, jj);
+    auto& c0 = at(ii, jj);
+    if (p.interchange) {
+      for (int i = 0; i < bs; ++i)
+        for (int k = 0; k < bs; ++k) {
+          const float aik = a[static_cast<size_t>(i * bs + k)];
+          for (int j = 0; j < bs; ++j)
+            c0[static_cast<size_t>(i * bs + j)] -=
+                aik * b[static_cast<size_t>(k * bs + j)];
+        }
+    } else {
+      for (int i = 0; i < bs; ++i)
+        for (int j = 0; j < bs; ++j) {
+          float acc = 0.0f;
+          for (int k = 0; k < bs; ++k)
+            acc += a[static_cast<size_t>(i * bs + k)] *
+                   b[static_cast<size_t>(k * bs + j)];
+          c0[static_cast<size_t>(i * bs + j)] -= acc;
+        }
+    }
+    ctx.compute(static_cast<Cycles>(2.0 * bs * bs * bs * kCyclesPerFlop));
+    const u32 ubs = static_cast<u32>(bs);
+    // A is walked row-wise bs times (once per j or per i block pass).
+    touch_block(ctx, ii, kk, 1, ubs / 2);
+    // B: the shipped (i,j,k) nest walks a column per (i,j) pair — every
+    // access strides a full row and misses L1, bs^2 walks of bs accesses.
+    // The interchange makes it bs sequential row walks per i.
+    if (p.interchange) {
+      touch_block(ctx, kk, jj, 1, ubs);
+    } else {
+      touch_block(ctx, kk, jj, ubs, ubs * ubs);
+    }
+    touch_block(ctx, ii, jj, 1, ubs / 2);
+  }
+
+  /// Data-flow factorization: every kernel is a task ordered purely by
+  /// per-block depend clauses. lu0(kk) waits for the bmod updates to the
+  /// diagonal; fwd/bdiv read the diagonal; bmod reads its row/column blocks
+  /// and updates its target. One taskwait at the very end.
+  void run_dataflow(Ctx& ctx) {
+    auto handle = [this](int i, int j) {
+      return static_cast<u64>(i * nb + j) + 1;  // block identity
+    };
+    for (int kk = 0; kk < nb; ++kk) {
+      {
+        front::Depends d;
+        d.out = {handle(kk, kk)};
+        ctx.spawn(GG_SRC_NAMED("sparselu.c", 215, "lu0"), d,
+                  [this, kk](Ctx& c) { lu0(c, kk); });
+      }
+      for (int jj = kk + 1; jj < nb; ++jj) {
+        if (null_block(kk, jj)) continue;
+        front::Depends d;
+        d.in = {handle(kk, kk)};
+        d.out = {handle(kk, jj)};
+        ctx.spawn(GG_SRC_NAMED("sparselu.c", 229, "fwd"), d,
+                  [this, kk, jj](Ctx& c) { fwd(c, kk, jj); });
+      }
+      for (int ii = kk + 1; ii < nb; ++ii) {
+        if (null_block(ii, kk)) continue;
+        front::Depends d;
+        d.in = {handle(kk, kk)};
+        d.out = {handle(ii, kk)};
+        ctx.spawn(GG_SRC_NAMED("sparselu.c", 235, "bdiv"), d,
+                  [this, ii, kk](Ctx& c) { bdiv(c, ii, kk); });
+      }
+      for (int ii = kk + 1; ii < nb; ++ii) {
+        if (null_block(ii, kk)) continue;
+        for (int jj = kk + 1; jj < nb; ++jj) {
+          if (null_block(kk, jj)) continue;
+          front::Depends d;
+          d.in = {handle(ii, kk), handle(kk, jj)};
+          d.out = {handle(ii, jj)};
+          ctx.spawn(GG_SRC_NAMED("sparselu.c", 246, "bmod"), d,
+                    [this, ii, jj, kk](Ctx& c) { bmod(c, ii, jj, kk); });
+        }
+      }
+    }
+    ctx.taskwait();
+  }
+
+  void run(Ctx& ctx) {
+    if (p.dataflow) {
+      run_dataflow(ctx);
+      return;
+    }
+    for (int kk = 0; kk < nb; ++kk) {
+      lu0(ctx, kk);
+      // Phase 1: fwd + bdiv (lighter parallelism).
+      for (int jj = kk + 1; jj < nb; ++jj) {
+        if (null_block(kk, jj)) continue;
+        ctx.spawn(GG_SRC_NAMED("sparselu.c", 229, "fwd"),
+                  [this, kk, jj](Ctx& c) { fwd(c, kk, jj); });
+      }
+      for (int ii = kk + 1; ii < nb; ++ii) {
+        if (null_block(ii, kk)) continue;
+        ctx.spawn(GG_SRC_NAMED("sparselu.c", 235, "bdiv"),
+                  [this, ii, kk](Ctx& c) { bdiv(c, ii, kk); });
+      }
+      ctx.taskwait();
+      // Phase 2: bmod over the trailing submatrix (large parallelism).
+      for (int ii = kk + 1; ii < nb; ++ii) {
+        if (null_block(ii, kk)) continue;
+        for (int jj = kk + 1; jj < nb; ++jj) {
+          if (null_block(kk, jj)) continue;
+          ctx.spawn(GG_SRC_NAMED("sparselu.c", 246, "bmod"),
+                    [this, ii, jj, kk](Ctx& c) { bmod(c, ii, jj, kk); });
+        }
+      }
+      ctx.taskwait();
+    }
+  }
+
+  double checksum() const {
+    double acc = 0.0;
+    for (const auto& b : block) {
+      for (float v : b) {
+        if (std::isfinite(v)) acc += static_cast<double>(v) * 1e-6;
+      }
+    }
+    return acc;
+  }
+};
+
+}  // namespace
+
+front::TaskFn sparselu_program(front::Engine& engine,
+                               const SparseLuParams& params,
+                               double* checksum) {
+  GG_CHECK(params.blocks >= 2 && params.block_size >= 4);
+  auto st = std::make_shared<State>();
+  st->p = params;
+  st->nb = params.blocks;
+  st->bs = params.block_size;
+  st->block.resize(static_cast<size_t>(st->nb) * st->nb);
+  Xoshiro256 rng(params.seed);
+  st->pattern.assign(static_cast<size_t>(st->nb) * st->nb, 0);
+  for (int i = 0; i < st->nb; ++i) {
+    for (int j = 0; j < st->nb; ++j) {
+      // BOTS genmat keeps the diagonal plus a random sparse pattern.
+      const bool keep = i == j || rng.uniform01() < params.density;
+      if (!keep) continue;
+      st->pattern[static_cast<size_t>(i * st->nb + j)] = 1;
+      auto& b = st->at(i, j);
+      b.resize(static_cast<size_t>(st->bs) * st->bs);
+      for (float& v : b)
+        v = static_cast<float>(rng.uniform01() * 2.0 - 1.0 + (i == j ? 4.0 : 0.0));
+    }
+  }
+  // Structure prediction: precompute the fill-in pattern and allocate fill
+  // blocks up front so factorization tasks never mutate the structure
+  // (required for data-flow execution; harmless for the barrier version).
+  for (int kk = 0; kk < st->nb; ++kk) {
+    for (int ii = kk + 1; ii < st->nb; ++ii) {
+      if (st->null_block(ii, kk)) continue;
+      for (int jj = kk + 1; jj < st->nb; ++jj) {
+        if (st->null_block(kk, jj)) continue;
+        auto& slot = st->pattern[static_cast<size_t>(ii * st->nb + jj)];
+        if (slot == 0) {
+          slot = 1;
+          st->at(ii, jj).assign(static_cast<size_t>(st->bs) * st->bs, 0.0f);
+        }
+      }
+    }
+  }
+  st->region = engine.alloc_region(
+      "sparselu.blocks",
+      static_cast<u64>(st->nb) * st->nb * st->bs * st->bs * sizeof(float),
+      front::PagePlacement::FirstTouch);
+  return [st, checksum](Ctx& ctx) {
+    st->run(ctx);
+    if (checksum != nullptr) *checksum = st->checksum();
+  };
+}
+
+}  // namespace gg::apps

@@ -1,0 +1,39 @@
+// 359.botsspar (SPEC OMP 2012, descended from BOTS SparseLU) — §4.3.2.
+//
+// LU factorization of a sparse blocked matrix: per outer iteration kk,
+// lu0 on the diagonal block, then a phase of fwd/bdiv tasks (less
+// parallelism), a taskwait, then a phase of bmod tasks over all (ii,jj)
+// pairs (much more parallelism), another taskwait. Parallelism interleaves
+// the two phases and decreases as kk advances (Fig. 6a).
+//
+// The paper's finding: widespread per-grain work inflation, dominated by
+// sparselu.c:246(bmod) whose body has a triple-nested loop with a
+// cache-unfriendly access pattern; a manual loop interchange makes the
+// access unit-stride and removes inflation from the large-parallelism phase
+// (Fig. 6d). `interchange` applies that fix here.
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct SparseLuParams {
+  int blocks = 20;      ///< paper evaluation input: 60x60 (uses 30x30 for
+                        ///< space); scaled here (DESIGN.md)
+  int block_size = 40;  ///< paper: 250x250 (scaled)
+  double density = 0.45;  ///< fraction of non-null blocks initially
+  bool interchange = false;  ///< apply the bmod loop-interchange fix
+  /// OpenMP 4.0 data-flow mode (the paper's §6 future work): per-block
+  /// depend clauses replace the per-phase taskwait barriers, exposing
+  /// parallelism across outer iterations.
+  bool dataflow = false;
+  u64 seed = 359;
+};
+
+/// Builds the program; *checksum (optional) receives a deterministic digest
+/// of the factored matrix for correctness comparisons across runs.
+front::TaskFn sparselu_program(front::Engine& engine,
+                               const SparseLuParams& params,
+                               double* checksum = nullptr);
+
+}  // namespace gg::apps

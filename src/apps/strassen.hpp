@@ -1,0 +1,49 @@
+// Strassen (BOTS) — §4.3.5 of the paper.
+//
+// Recursive Strassen matrix multiplication: matrices are decomposed into
+// quadrants, seven submatrix products are computed as tasks, and plain
+// multiplication runs at the recursion leaves once the submatrix size
+// reaches the cutoff SC.
+//
+// The paper's finding: a HARD-CODED cutoff inside the decomposition
+// functions overrides the user's SC, so the task tree stays shallow no
+// matter the input (58 grains for 2048x2048, Fig. 11a) and exposes too
+// little parallelism for 48 cores. Disabling the hard-coded cutoff lets the
+// recursion honor SC (2801 grains, Fig. 11b), after which poor
+// memory-hierarchy utilization surfaces. Scheduler choice also matters:
+// work stealing keeps sibling tasks near each other while a central queue
+// scatters them across sockets (Fig. 11c-d).
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct StrassenParams {
+  u64 matrix_size = 2048;  ///< paper: 8192 for Fig. 1, 2048 for Fig. 11
+  u64 sc = 128;            ///< submatrix-size cutoff (user parameter)
+  bool hard_coded_cutoff = true;  ///< the shipped bug: decomposition stops
+                                  ///< at a built-in depth regardless of SC
+  /// Depth the hard-coded cutoff stops at (the shipped value allows only
+  /// two levels of decomposition -> 1 + 7 + 49 = 57 tasks + root).
+  int hard_coded_depth = 2;
+  /// The fix catalog of Olivier et al. / Thottethodi et al. (§4.3.5): use a
+  /// standard blocked multiplication at the recursion leaves (cache-aware
+  /// tiling instead of the column-striding naive kernel).
+  bool blocked_leaf = false;
+  u64 seed = 4242;
+};
+
+/// Builds the program. Computation is cost-modeled (an 8192^2 Strassen
+/// multiply is not executed for real); a small real Strassen-vs-naive check
+/// lives in the tests instead.
+front::TaskFn strassen_program(front::Engine& engine,
+                               const StrassenParams& params);
+
+/// Real (small-scale) Strassen multiply used by tests to validate the
+/// algorithm itself: C = A * B, all matrices n x n row-major, n a power of
+/// two.
+void strassen_multiply_reference(const double* a, const double* b, double* c,
+                                 u64 n, u64 leaf_cutoff);
+
+}  // namespace gg::apps

@@ -1,0 +1,74 @@
+#include "apps/uts.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::apps {
+
+using front::Ctx;
+
+namespace {
+
+constexpr Cycles kCyclesPerHash = 220;  // UTS does a SHA-1 per child
+
+struct State {
+  UtsParams p;
+  std::atomic<long> visited{0};
+
+  int num_children(u64 node_hash, int depth) const {
+    if (depth >= p.max_depth) return 0;
+    const double u =
+        static_cast<double>(mix64(node_hash) >> 11) * 0x1.0p-53;
+    if (u < p.leaf_prob) return 0;
+    // Geometric with mean branch_factor / (1 - leaf_prob).
+    const double v =
+        static_cast<double>(mix64(node_hash ^ 0xabcdu) >> 11) * 0x1.0p-53;
+    const double mean = p.branch_factor / (1.0 - p.leaf_prob);
+    const int k = 1 + static_cast<int>(-mean * std::log1p(-std::min(v, 0.999999)));
+    return std::min(k, 16);
+  }
+
+  void visit(Ctx& ctx, u64 node_hash, int depth) {
+    visited.fetch_add(1, std::memory_order_relaxed);
+    const int kids = num_children(node_hash, depth);
+    ctx.compute(static_cast<Cycles>(1 + kids) * kCyclesPerHash);
+    const bool spawn_tasks = p.cutoff == 0 || depth < p.cutoff;
+    for (int k = 0; k < kids; ++k) {
+      const u64 child = mix64(node_hash * 31 + static_cast<u64>(k) + 1);
+      if (spawn_tasks) {
+        ctx.spawn(GG_SRC_NAMED("uts.c", 318, "parTreeSearch"),
+                  [this, child, depth](Ctx& c) { visit(c, child, depth + 1); });
+      } else {
+        visit(ctx, child, depth + 1);
+      }
+    }
+    if (spawn_tasks && kids > 0) ctx.taskwait();
+  }
+};
+
+}  // namespace
+
+front::TaskFn uts_program(front::Engine& engine, const UtsParams& params,
+                          long* nodes_visited) {
+  (void)engine;
+  GG_CHECK(params.root_children >= 1);
+  auto st = std::make_shared<State>();
+  st->p = params;
+  return [st, nodes_visited](Ctx& ctx) {
+    st->visited.fetch_add(1);
+    ctx.compute(static_cast<Cycles>(st->p.root_children) * kCyclesPerHash);
+    for (int k = 0; k < st->p.root_children; ++k) {
+      const u64 child = mix64(st->p.seed * 1315423911u + static_cast<u64>(k));
+      ctx.spawn(GG_SRC_NAMED("uts.c", 318, "parTreeSearch"),
+                [st, child](Ctx& c) { st->visit(c, child, 1); });
+    }
+    ctx.taskwait();
+    if (nodes_visited != nullptr) *nodes_visited = st->visited.load();
+  };
+}
+
+}  // namespace gg::apps

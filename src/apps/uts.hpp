@@ -1,0 +1,32 @@
+// UTS, Unbalanced Tree Search (BOTS) — §4.3.6: poor parallel benefit for
+// most of millions of tiny grains; would benefit from runtime inlining or
+// depth-based cutoffs.
+//
+// The tree is generated on the fly from SHA-like node hashes (we use
+// SplitMix64): each node's child count is drawn from a geometric
+// distribution keyed by the node's hash, so the tree shape is deterministic
+// but highly unbalanced — the defining UTS property.
+#pragma once
+
+#include "front/front.hpp"
+
+namespace gg::apps {
+
+struct UtsParams {
+  double branch_factor = 2.0;  ///< expected children of a non-leaf
+  double leaf_prob = 0.52;     ///< probability a node is a leaf
+  int root_children = 16;      ///< fixed root fan-out (UTS t1-style)
+  int max_depth = 10;          ///< bound on tree depth (the branching is
+                               ///< supercritical, ~2.5 children expected per
+                               ///< node, so the tree grows geometrically —
+                               ///< paper scale is 4M nodes, ours ~50k)
+  int cutoff = 0;              ///< 0 = spawn a task per node (the shipped
+                               ///< behavior); >0 = depth-based cutoff fix
+  u64 seed = 19;
+};
+
+/// Builds the program; *nodes_visited receives the tree size if non-null.
+front::TaskFn uts_program(front::Engine& engine, const UtsParams& params,
+                          long* nodes_visited = nullptr);
+
+}  // namespace gg::apps

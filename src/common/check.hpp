@@ -1,0 +1,40 @@
+// Lightweight always-on invariant checks.
+//
+// GG_CHECK stays enabled in release builds: the graph builder and metric
+// derivations rely on structural invariants whose violation must never pass
+// silently (Core Guidelines I.6/E.12 spirit, without exceptions in hot
+// paths). GG_DCHECK compiles away in NDEBUG builds and is meant for
+// per-element loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gg::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "graingraphs: check failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace gg::detail
+
+#define GG_CHECK(expr)                                                \
+  do {                                                                \
+    if (!(expr)) [[unlikely]]                                         \
+      ::gg::detail::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define GG_CHECK_MSG(expr, msg)                                    \
+  do {                                                             \
+    if (!(expr)) [[unlikely]]                                      \
+      ::gg::detail::check_failed(#expr, __FILE__, __LINE__, msg);  \
+  } while (0)
+
+#ifdef NDEBUG
+#define GG_DCHECK(expr) ((void)0)
+#else
+#define GG_DCHECK(expr) GG_CHECK(expr)
+#endif

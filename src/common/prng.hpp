@@ -1,0 +1,101 @@
+// Deterministic pseudo-random number generation.
+//
+// Workload generators and the simulator must be bit-reproducible across
+// runs and platforms, so we avoid std::mt19937 + std::*_distribution (whose
+// outputs are implementation-defined for distributions) and ship SplitMix64
+// and xoshiro256** with explicit integer/float derivations.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace gg {
+
+/// SplitMix64: tiny, fast, passes BigCrush; used for seeding and for
+/// one-shot hashes of identifiers.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(u64 seed) : state_(seed) {}
+
+  constexpr u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Stateless mixing of a 64-bit value (SplitMix64 finalizer).
+constexpr u64 mix64(u64 x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256**: the default generator for workloads.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(u64 seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  u64 next() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  u64 bounded(u64 bound) {
+    if (bound == 0) return 0;
+    const u64 x = next();
+    const auto m = static_cast<unsigned __int128>(x) * bound;
+    return static_cast<u64>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  i64 range(i64 lo, i64 hi) {
+    return lo + static_cast<i64>(bounded(static_cast<u64>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean) {
+    double u = uniform01();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return -mean * std::log1p(-u);
+  }
+
+  /// Pareto (power-law) distributed with scale xm and shape alpha — used for
+  /// skewed chunk-cost workloads such as the Freqmine FPGF loop.
+  double pareto(double xm, double alpha) {
+    double u = uniform01();
+    if (u >= 1.0) u = 0.9999999999999999;
+    return xm / std::pow(1.0 - u, 1.0 / alpha);
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<u64, 4> state_;
+};
+
+}  // namespace gg

@@ -1,0 +1,82 @@
+#include "common/strings.hpp"
+
+#include <cstdio>
+
+namespace gg {
+
+StringTable::StringTable() {
+  strings_.emplace_back();
+  index_.emplace("", 0);
+}
+
+StrId StringTable::intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<StrId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::string_view StringTable::get(StrId id) const {
+  if (id >= strings_.size()) return strings_[0];
+  return strings_[id];
+}
+
+StrId StringTable::find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? 0 : it->second;
+}
+
+namespace strings {
+
+std::string xml_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string trim_double(double v, int max_decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", max_decimals, v);
+  std::string s(buf);
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+std::string human_time(TimeNs ns) {
+  const double v = static_cast<double>(ns);
+  if (ns < 1000ull) return trim_double(v, 0) + "ns";
+  if (ns < 1000'000ull) return trim_double(v / 1e3, 2) + "us";
+  if (ns < 1000'000'000ull) return trim_double(v / 1e6, 2) + "ms";
+  return trim_double(v / 1e9, 3) + "s";
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace strings
+}  // namespace gg

@@ -1,0 +1,56 @@
+// String helpers: interned string tables for traces and small formatting
+// utilities used by exporters and bench reports.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gg {
+
+/// Append-only interned string table. Ids are stable and dense, id 0 is the
+/// empty string. Used for source locations and names inside traces so
+/// records stay POD-sized.
+class StringTable {
+ public:
+  StringTable();
+
+  /// Returns the id for `s`, inserting it if new.
+  StrId intern(std::string_view s);
+
+  /// Looks up an id; out-of-range ids return the empty string.
+  std::string_view get(StrId id) const;
+
+  /// Returns the id for `s` if present, otherwise 0 (the empty string).
+  StrId find(std::string_view s) const;
+
+  size_t size() const { return strings_.size(); }
+  const std::vector<std::string>& all() const { return strings_; }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, StrId> index_;
+};
+
+namespace strings {
+
+/// Escapes &, <, >, ", ' for XML attribute/text contexts (GraphML export).
+std::string xml_escape(std::string_view s);
+
+/// printf-style double with trimmed trailing zeros, e.g. 1.50 -> "1.5".
+std::string trim_double(double v, int max_decimals = 3);
+
+/// Formats nanoseconds with an adaptive unit: "12ns", "3.4us", "1.2ms", "5.6s".
+std::string human_time(TimeNs ns);
+
+/// Joins parts with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace strings
+}  // namespace gg

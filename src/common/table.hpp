@@ -1,0 +1,42 @@
+// Aligned text tables + CSV output for bench harnesses and reports. Every
+// figure/table bench prints one of these so paper-vs-measured comparisons
+// are easy to eyeball and to parse.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gg {
+
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Sets the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_string-ish rules (doubles are
+  /// trimmed to 3 decimals).
+  void add_row_mixed(const std::vector<double>& values);
+
+  size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  /// Renders an aligned, boxed text table.
+  std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gg

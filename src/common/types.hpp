@@ -1,0 +1,39 @@
+// Fundamental scalar aliases shared by every graingraphs module.
+#pragma once
+
+#include <cstdint>
+
+namespace gg {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Virtual or wall-clock time in nanoseconds since the start of the profiled
+/// program region. All trace records and grain-graph node weights use this
+/// unit so threaded and simulated executions are directly comparable.
+using TimeNs = u64;
+
+/// Processor cycles (simulated executions convert cycles to TimeNs with the
+/// machine frequency from the topology description).
+using Cycles = u64;
+
+/// Identifier of a task instance assigned at creation. Id 0 is reserved for
+/// the implicit root task of the profiled region.
+using TaskId = u64;
+
+/// Identifier of a parallel for-loop instance.
+using LoopId = u64;
+
+/// Index into a trace's interned string table (source locations, names).
+using StrId = u32;
+
+inline constexpr TaskId kRootTask = 0;
+inline constexpr TaskId kNoTask = ~u64{0};
+
+}  // namespace gg

@@ -1,0 +1,24 @@
+// Graphviz DOT export — a quick-look alternative to GraphML for small
+// graphs (paper figures 2/3-scale examples render well with `dot -Tsvg`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/grain_graph.hpp"
+#include "trace/trace.hpp"
+
+namespace gg {
+
+struct DotOptions {
+  bool labels = true;  ///< node labels (source + time)
+  std::string title;
+};
+
+void write_dot(std::ostream& os, const GrainGraph& graph, const Trace& trace,
+               const DotOptions& opts = {});
+
+bool write_dot_file(const std::string& path, const GrainGraph& graph,
+                    const Trace& trace, const DotOptions& opts = {});
+
+}  // namespace gg

@@ -1,0 +1,23 @@
+// CSV export of the grain table + derived metrics — the "clicking on a
+// grain displays its timing, source location, and other properties" data
+// (§4.2), in bulk, for spreadsheet/pandas analysis.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/grain_table.hpp"
+#include "metrics/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace gg {
+
+/// One row per grain: identity, timing, counters, and all derived metrics.
+void write_grain_csv(std::ostream& os, const Trace& trace,
+                     const GrainTable& grains, const MetricsResult& metrics);
+
+bool write_grain_csv_file(const std::string& path, const Trace& trace,
+                          const GrainTable& grains,
+                          const MetricsResult& metrics);
+
+}  // namespace gg

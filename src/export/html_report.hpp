@@ -1,0 +1,20 @@
+// Self-contained HTML report: the textual analysis report plus an inline
+// SVG instantaneous-parallelism timeline and per-problem/source tables —
+// one file to attach to a bug report or CI artifact, no viewer required.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "trace/trace.hpp"
+
+namespace gg {
+
+void write_html_report(std::ostream& os, const Trace& trace,
+                       const Analysis& analysis);
+
+bool write_html_report_file(const std::string& path, const Trace& trace,
+                            const Analysis& analysis);
+
+}  // namespace gg

@@ -1,0 +1,101 @@
+#include "export/json_summary.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "common/strings.hpp"
+
+namespace gg {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string num(double v) {
+  if (std::isnan(v)) return "null";
+  if (std::isinf(v)) return v > 0 ? "1e308" : "-1e308";
+  return strings::trim_double(v, 6);
+}
+
+}  // namespace
+
+void write_json_summary(std::ostream& os, const Trace& trace,
+                        const Analysis& a) {
+  os << "{\n";
+  os << "  \"program\": \"" << json_escape(trace.meta.program) << "\",\n";
+  os << "  \"runtime\": \"" << json_escape(trace.meta.runtime) << "\",\n";
+  os << "  \"topology\": \"" << json_escape(trace.meta.topology) << "\",\n";
+  os << "  \"workers\": " << trace.meta.num_workers << ",\n";
+  os << "  \"makespan_ns\": " << trace.makespan() << ",\n";
+  os << "  \"grains\": " << a.grains.size() << ",\n";
+  os << "  \"tasks\": " << (trace.tasks.empty() ? 0 : trace.tasks.size() - 1)
+     << ",\n";
+  os << "  \"chunks\": " << trace.chunks.size() << ",\n";
+  os << "  \"graph\": {\"nodes\": " << a.graph.node_count()
+     << ", \"edges\": " << a.graph.edge_count() << "},\n";
+  os << "  \"critical_path_ns\": " << a.metrics.critical_path_time << ",\n";
+  os << "  \"region_load_balance\": " << num(a.metrics.region_load_balance)
+     << ",\n";
+  os << "  \"loop_load_balance\": {";
+  bool first = true;
+  for (const auto& [loop, lb] : a.metrics.loop_load_balance) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << loop << "\": " << num(lb);
+  }
+  os << "},\n";
+  os << "  \"problems\": {\n";
+  for (size_t p = 0; p < kProblemCount; ++p) {
+    const ProblemView& v = a.problems[p];
+    os << "    \"" << to_string(v.problem) << "\": {\"count\": "
+       << v.flagged_count << ", \"percent\": " << num(v.flagged_percent)
+       << "}" << (p + 1 < kProblemCount ? "," : "") << "\n";
+  }
+  os << "  },\n";
+  os << "  \"sources\": [\n";
+  for (size_t i = 0; i < a.sources.size(); ++i) {
+    const SourceProfileRow& r = a.sources[i];
+    os << "    {\"source\": \"" << json_escape(r.source)
+       << "\", \"grains\": " << r.grain_count
+       << ", \"work_share\": " << num(r.work_share)
+       << ", \"median_exec_ns\": " << r.median_exec
+       << ", \"low_benefit_percent\": " << num(r.low_benefit_percent)
+       << ", \"inflated_percent\": " << num(r.inflated_percent)
+       << ", \"poor_mem_percent\": " << num(r.poor_mem_util_percent) << "}"
+       << (i + 1 < a.sources.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+bool write_json_summary_file(const std::string& path, const Trace& trace,
+                             const Analysis& analysis) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_json_summary(os, trace, analysis);
+  return static_cast<bool>(os);
+}
+
+}  // namespace gg

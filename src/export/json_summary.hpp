@@ -1,0 +1,23 @@
+// Machine-readable JSON summary of an analysis: run metadata, headline
+// metrics, per-problem counts, and the per-source table. Complements the
+// GraphML/CSV exports for dashboards and regression tracking.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/report.hpp"
+#include "trace/trace.hpp"
+
+namespace gg {
+
+void write_json_summary(std::ostream& os, const Trace& trace,
+                        const Analysis& analysis);
+
+bool write_json_summary_file(const std::string& path, const Trace& trace,
+                             const Analysis& analysis);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string json_escape(std::string_view s);
+
+}  // namespace gg

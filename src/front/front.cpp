@@ -1,0 +1,61 @@
+#include "front/front.hpp"
+
+#include "common/check.hpp"
+
+namespace gg::front {
+
+// Ctx and Engine are interface classes; anchoring their (implicit) key
+// functions here keeps vtables out of every translation unit.
+
+namespace {
+
+/// Recursive binary split: interior tasks split, leaves run <= grainsize
+/// iterations. The body pointer stays valid because every level taskwaits
+/// before returning (the taskloop's implicit taskgroup).
+void taskloop_split(Ctx& ctx, const SrcLoc& loc, u64 lo, u64 hi, u64 grain,
+                    const LoopFn* body) {
+  if (hi - lo <= grain) {
+    for (u64 i = lo; i < hi; ++i) (*body)(i, ctx);
+    return;
+  }
+  const u64 mid = lo + (hi - lo) / 2;
+  ctx.spawn(loc, [loc, lo, mid, grain, body](Ctx& c) {
+    taskloop_split(c, loc, lo, mid, grain, body);
+  });
+  ctx.spawn(loc, [loc, mid, hi, grain, body](Ctx& c) {
+    taskloop_split(c, loc, mid, hi, grain, body);
+  });
+  ctx.taskwait();
+}
+
+}  // namespace
+
+void Ctx::taskloop(const SrcLoc& loc, u64 lo, u64 hi, u64 grainsize,
+                   const LoopFn& body) {
+  if (hi <= lo) return;
+  const u64 grain = grainsize == 0 ? 1 : grainsize;
+  if (hi - lo <= grain) {
+    // Single leaf: still a task, matching OpenMP's "at least one task".
+    ctx_taskloop_leaf(loc, lo, hi, body);
+    return;
+  }
+  taskloop_split(*this, loc, lo, hi, grain, &body);
+}
+
+void Ctx::ctx_taskloop_leaf(const SrcLoc& loc, u64 lo, u64 hi,
+                            const LoopFn& body) {
+  const LoopFn* b = &body;
+  spawn(loc, [lo, hi, b](Ctx& c) {
+    for (u64 i = lo; i < hi; ++i) (*b)(i, c);
+  });
+  taskwait();
+}
+
+void Ctx::spawn(const SrcLoc& loc, const Depends& deps, TaskFn body) {
+  (void)loc;
+  (void)deps;
+  (void)body;
+  GG_CHECK_MSG(false, "this context does not support task dependences");
+}
+
+}  // namespace gg::front

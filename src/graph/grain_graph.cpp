@@ -1,0 +1,463 @@
+#include "graph/grain_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace gg {
+
+const char* to_string(NodeKind k) {
+  switch (k) {
+    case NodeKind::Fragment: return "fragment";
+    case NodeKind::Fork: return "fork";
+    case NodeKind::Join: return "join";
+    case NodeKind::Bookkeep: return "bookkeep";
+    case NodeKind::Chunk: return "chunk";
+  }
+  return "?";
+}
+
+const char* to_string(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::Creation: return "creation";
+    case EdgeKind::Join: return "join";
+    case EdgeKind::Continuation: return "continuation";
+    case EdgeKind::Dependence: return "dependence";
+  }
+  return "?";
+}
+
+u32 GrainGraph::add_node(GraphNode node) {
+  if (node.busy == 0) node.busy = node.duration();
+  nodes_.push_back(node);
+  finalized_ = false;
+  return static_cast<u32>(nodes_.size() - 1);
+}
+
+void GrainGraph::add_edge(u32 from, u32 to, EdgeKind kind) {
+  GG_DCHECK(from < nodes_.size() && to < nodes_.size());
+  edges_.push_back(GraphEdge{from, to, kind});
+  finalized_ = false;
+}
+
+const std::vector<u32>& GrainGraph::out_edges(u32 node) const {
+  GG_CHECK(finalized_ && node < nodes_.size());
+  return out_[node];
+}
+
+const std::vector<u32>& GrainGraph::in_edges(u32 node) const {
+  GG_CHECK(finalized_ && node < nodes_.size());
+  return in_[node];
+}
+
+std::optional<u32> GrainGraph::first_fragment(TaskId task) const {
+  GG_CHECK(finalized_);
+  auto it = std::lower_bound(
+      frag_range_.begin(), frag_range_.end(), task,
+      [](const auto& p, TaskId v) { return p.first < v; });
+  if (it == frag_range_.end() || it->first != task) return std::nullopt;
+  return it->second.first;
+}
+
+std::optional<u32> GrainGraph::last_fragment(TaskId task) const {
+  GG_CHECK(finalized_);
+  auto it = std::lower_bound(
+      frag_range_.begin(), frag_range_.end(), task,
+      [](const auto& p, TaskId v) { return p.first < v; });
+  if (it == frag_range_.end() || it->first != task) return std::nullopt;
+  return it->second.first + it->second.second - 1;
+}
+
+std::vector<u32> GrainGraph::nodes_of_kind(NodeKind kind) const {
+  std::vector<u32> out;
+  for (u32 i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind) out.push_back(i);
+  }
+  return out;
+}
+
+void GrainGraph::finalize_lenient() {
+  finalize_impl(false);
+}
+
+void GrainGraph::finalize() {
+  finalize_impl(true);
+}
+
+void GrainGraph::finalize_impl(bool require_dag) {
+  const size_t n = nodes_.size();
+  out_.assign(n, {});
+  in_.assign(n, {});
+  for (u32 e = 0; e < edges_.size(); ++e) {
+    out_[edges_[e].from].push_back(e);
+    in_[edges_[e].to].push_back(e);
+  }
+  // Fragment index: contiguous runs per task (builder adds them that way).
+  frag_range_.clear();
+  for (u32 i = 0; i < n; ++i) {
+    if (nodes_[i].kind != NodeKind::Fragment) continue;
+    if (!frag_range_.empty() && frag_range_.back().first == nodes_[i].task) {
+      frag_range_.back().second.second++;
+    } else {
+      frag_range_.emplace_back(nodes_[i].task, std::make_pair(i, 1u));
+    }
+  }
+  std::sort(frag_range_.begin(), frag_range_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  topo_.clear();
+  if (!require_dag) {
+    finalized_ = true;
+    return;
+  }
+  // Kahn topological sort; aborts on cycles (the graph must be a DAG).
+  std::vector<u32> indeg(n, 0);
+  for (const GraphEdge& e : edges_) indeg[e.to]++;
+  topo_.reserve(n);
+  std::vector<u32> stack;
+  for (u32 i = 0; i < n; ++i) {
+    if (indeg[i] == 0) stack.push_back(i);
+  }
+  while (!stack.empty()) {
+    const u32 v = stack.back();
+    stack.pop_back();
+    topo_.push_back(v);
+    for (u32 e : out_[v]) {
+      const u32 w = edges_[e].to;
+      if (--indeg[w] == 0) stack.push_back(w);
+    }
+  }
+  GG_CHECK_MSG(topo_.size() == n, "grain graph contains a cycle");
+  finalized_ = true;
+}
+
+namespace {
+
+/// Builder state for one trace -> graph construction.
+class Builder {
+ public:
+  explicit Builder(const Trace& trace) : trace_(trace) {}
+
+  GrainGraph build() {
+    add_fragment_nodes();
+    for (const TaskRec& t : trace_.tasks) wire_task(t);
+    attach_unjoined_children();
+    add_dependence_edges();
+    g_.finalize();
+    return std::move(g_);
+  }
+
+ private:
+  void add_fragment_nodes() {
+    for (const TaskRec& t : trace_.tasks) {
+      u32 first = 0, count = 0;
+      for (const FragmentRec* f : trace_.fragments_of(t.uid)) {
+        GraphNode n;
+        n.kind = NodeKind::Fragment;
+        n.task = t.uid;
+        n.seq = f->seq;
+        n.core = f->core;
+        n.thread = f->core;
+        n.start = f->start;
+        n.end = f->end;
+        n.counters = f->counters;
+        n.src = t.src;
+        const u32 idx = g_.add_node(n);
+        if (count == 0) first = idx;
+        ++count;
+      }
+      if (count > 0) frag_index_[t.uid] = {first, count};
+    }
+  }
+
+  u32 first_frag(TaskId task) const {
+    auto it = frag_index_.find(task);
+    GG_CHECK(it != frag_index_.end());
+    return it->second.first;
+  }
+
+  u32 last_frag(TaskId task) const {
+    auto it = frag_index_.find(task);
+    GG_CHECK(it != frag_index_.end());
+    return it->second.first + it->second.second - 1;
+  }
+
+  u32 frag_node(TaskId task, u32 seq) const { return first_frag(task) + seq; }
+
+  void wire_task(const TaskRec& t) {
+    const auto frags = trace_.fragments_of(t.uid);
+    const auto joins = trace_.joins_of(t.uid);
+    std::vector<TaskId> pending;  // children forked since the last join
+    for (size_t i = 0; i < frags.size(); ++i) {
+      const FragmentRec& f = *frags[i];
+      const u32 fi = frag_node(t.uid, f.seq);
+      switch (f.end_reason) {
+        case FragmentEnd::Fork: {
+          const auto child_idx = trace_.task_index(f.end_ref);
+          GG_CHECK(child_idx.has_value());
+          const TaskRec& child = trace_.tasks[*child_idx];
+          GraphNode fork;
+          fork.kind = NodeKind::Fork;
+          fork.task = t.uid;
+          fork.seq = child.child_index;
+          fork.core = child.create_core;
+          fork.thread = child.create_core;
+          fork.start = child.create_time;
+          fork.end = child.create_time + child.creation_cost;
+          fork.src = child.src;
+          const u32 nf = g_.add_node(fork);
+          g_.add_edge(fi, nf, EdgeKind::Continuation);
+          g_.add_edge(nf, first_frag(child.uid), EdgeKind::Creation);
+          if (i + 1 < frags.size()) {
+            g_.add_edge(nf, frag_node(t.uid, frags[i + 1]->seq),
+                        EdgeKind::Continuation);
+          }
+          pending.push_back(child.uid);
+          break;
+        }
+        case FragmentEnd::Join: {
+          const JoinRec* jr = nullptr;
+          for (const JoinRec* j : joins) {
+            if (j->seq == f.end_ref) jr = j;
+          }
+          GG_CHECK_MSG(jr != nullptr, "fragment references missing join");
+          GraphNode join;
+          join.kind = NodeKind::Join;
+          join.task = t.uid;
+          join.seq = jr->seq;
+          join.core = jr->core;
+          join.thread = jr->core;
+          join.start = jr->start;
+          join.end = jr->end;
+          join.src = t.src;
+          const u32 nj = g_.add_node(join);
+          g_.add_edge(fi, nj, EdgeKind::Continuation);
+          for (TaskId c : pending) {
+            g_.add_edge(last_frag(c), nj, EdgeKind::Join);
+          }
+          pending.clear();
+          if (t.uid == kRootTask) root_joins_.push_back(nj);
+          if (i + 1 < frags.size()) {
+            g_.add_edge(nj, frag_node(t.uid, frags[i + 1]->seq),
+                        EdgeKind::Continuation);
+          }
+          break;
+        }
+        case FragmentEnd::Loop: {
+          const u32 nlj = wire_loop(f.end_ref, fi);
+          if (i + 1 < frags.size()) {
+            g_.add_edge(nlj, frag_node(t.uid, frags[i + 1]->seq),
+                        EdgeKind::Continuation);
+          }
+          break;
+        }
+        case FragmentEnd::TaskEnd: {
+          for (TaskId c : pending) unjoined_.push_back(c);
+          pending.clear();
+          break;
+        }
+      }
+    }
+  }
+
+  /// Wires one parallel for-loop: per-thread book-keeping/chunk chains
+  /// hanging off the encountering fragment, all joining at the loop's join
+  /// node. Returns the join node index.
+  u32 wire_loop(LoopId uid, u32 encountering_fragment) {
+    const auto loop_idx = trace_.loop_index(uid);
+    GG_CHECK(loop_idx.has_value());
+    const LoopRec& loop = trace_.loops[*loop_idx];
+
+    GraphNode join;
+    join.kind = NodeKind::Join;
+    join.task = loop.enclosing_task;
+    join.loop = uid;
+    join.seq = 0;
+    join.start = loop.end;
+    join.end = loop.end;
+    join.src = loop.src;
+    const u32 nlj = g_.add_node(join);
+
+    // Group records per thread.
+    std::map<u16, std::vector<const BookkeepRec*>> books;
+    std::map<u16, std::vector<const ChunkRec*>> chunks;
+    for (const BookkeepRec* b : trace_.bookkeeps_of(uid))
+      books[b->thread].push_back(b);
+    for (const ChunkRec* c : trace_.chunks_of(uid))
+      chunks[c->thread].push_back(c);
+
+    bool any_thread = false;
+    for (auto& [thread, bs] : books) {
+      any_thread = true;
+      auto& cs = chunks[thread];  // may be empty
+      u32 prev = encountering_fragment;
+      EdgeKind next_kind = EdgeKind::Creation;
+      size_t chunk_i = 0;
+      for (const BookkeepRec* b : bs) {
+        GraphNode bk;
+        bk.kind = NodeKind::Bookkeep;
+        bk.loop = uid;
+        bk.thread = b->thread;
+        bk.core = b->core;
+        bk.seq = b->seq_on_thread;
+        bk.start = b->start;
+        bk.end = b->end;
+        bk.src = loop.src;
+        const u32 nb = g_.add_node(bk);
+        g_.add_edge(prev, nb, next_kind);
+        next_kind = EdgeKind::Continuation;
+        prev = nb;
+        if (b->got_chunk && chunk_i < cs.size()) {
+          const ChunkRec& c = *cs[chunk_i++];
+          GraphNode ch;
+          ch.kind = NodeKind::Chunk;
+          ch.loop = uid;
+          ch.thread = c.thread;
+          ch.core = c.core;
+          ch.seq = c.seq_on_thread;
+          ch.start = c.start;
+          ch.end = c.end;
+          ch.counters = c.counters;
+          ch.src = loop.src;
+          ch.iter_begin = c.iter_begin;
+          ch.iter_end = c.iter_end;
+          const u32 nc = g_.add_node(ch);
+          g_.add_edge(prev, nc, EdgeKind::Continuation);
+          prev = nc;
+        }
+      }
+      // The chain's final node synchronizes at the loop join.
+      g_.add_edge(prev, nlj, EdgeKind::Join);
+    }
+    if (!any_thread) {
+      // Empty loop: the fragment continues straight to the join.
+      g_.add_edge(encountering_fragment, nlj, EdgeKind::Continuation);
+    }
+    return nlj;
+  }
+
+  /// OpenMP 4.0 task dependences (§6 future work, implemented): the
+  /// predecessor's last fragment happens-before the successor's first.
+  void add_dependence_edges() {
+    for (const DependRec& d : trace_.depends) {
+      if (frag_index_.count(d.pred) == 0 || frag_index_.count(d.succ) == 0)
+        continue;
+      g_.add_edge(last_frag(d.pred), first_frag(d.succ),
+                  EdgeKind::Dependence);
+    }
+  }
+
+  /// Children never taskwait-ed by their parent synchronize at the region's
+  /// implicit barrier — the root's last join. Synthesizes one if absent.
+  void attach_unjoined_children() {
+    if (unjoined_.empty()) return;
+    u32 barrier;
+    if (!root_joins_.empty()) {
+      barrier = root_joins_.back();
+    } else {
+      GraphNode join;
+      join.kind = NodeKind::Join;
+      join.task = kRootTask;
+      join.seq = 0;
+      join.start = trace_.meta.region_end;
+      join.end = trace_.meta.region_end;
+      const u32 nj = g_.add_node(join);
+      if (frag_index_.count(kRootTask) > 0) {
+        g_.add_edge(last_frag(kRootTask), nj, EdgeKind::Continuation);
+      }
+      barrier = nj;
+    }
+    for (TaskId c : unjoined_) {
+      g_.add_edge(last_frag(c), barrier, EdgeKind::Join);
+    }
+  }
+
+  const Trace& trace_;
+  GrainGraph g_;
+  std::map<TaskId, std::pair<u32, u32>> frag_index_;  // uid -> (first, count)
+  std::vector<TaskId> unjoined_;
+  std::vector<u32> root_joins_;
+};
+
+}  // namespace
+
+GrainGraph GrainGraph::build(const Trace& trace) {
+  GG_CHECK_MSG(trace.finalized(), "build requires a finalized trace");
+  Builder b(trace);
+  return b.build();
+}
+
+std::vector<std::string> validate_graph(const GrainGraph& g) {
+  std::vector<std::string> errs;
+  auto report = [&](const std::string& s) { errs.push_back(s); };
+
+  const auto& nodes = g.nodes();
+  const auto& edges = g.edges();
+  for (u32 i = 0; i < nodes.size(); ++i) {
+    const GraphNode& n = nodes[i];
+    size_t creation_out = 0, continuation_out = 0, join_in = 0;
+    for (u32 e : g.out_edges(i)) {
+      if (edges[e].kind == EdgeKind::Creation) ++creation_out;
+      if (edges[e].kind == EdgeKind::Continuation) ++continuation_out;
+    }
+    for (u32 e : g.in_edges(i)) {
+      if (edges[e].kind == EdgeKind::Join) ++join_in;
+    }
+    switch (n.kind) {
+      case NodeKind::Fork:
+        if (creation_out != 1)
+          report("fork node " + std::to_string(i) +
+                 " has creation out-degree != 1");
+        break;
+      case NodeKind::Join: {
+        // Root implicit barrier and loop joins of empty loops may be
+        // childless; all other joins synchronize at least one child.
+        const bool childless_ok = n.task == kRootTask || n.loop != 0;
+        if (join_in == 0 && !childless_ok)
+          report("join node " + std::to_string(i) + " has no join in-edges");
+        break;
+      }
+      case NodeKind::Chunk: {
+        // Chunk nodes always continue to a book-keeping node.
+        bool ok = false;
+        for (u32 e : g.out_edges(i)) {
+          const GraphNode& to = nodes[edges[e].to];
+          if (edges[e].kind == EdgeKind::Continuation &&
+              to.kind == NodeKind::Bookkeep) {
+            ok = true;
+          }
+          if (edges[e].kind == EdgeKind::Join && to.kind == NodeKind::Join) {
+            ok = true;  // reduced graphs may join directly
+          }
+        }
+        if (!ok && !g.out_edges(i).empty()) {
+          report("chunk node " + std::to_string(i) +
+                 " does not continue to book-keeping or join");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (n.end < n.start)
+      report("node " + std::to_string(i) + " has negative duration");
+  }
+  // Continuation edges stay within one task context (fragment -> fork/join
+  // of the same task), or within one loop chain.
+  for (const GraphEdge& e : edges) {
+    if (e.kind != EdgeKind::Continuation) continue;
+    const GraphNode& a = nodes[e.from];
+    const GraphNode& b = nodes[e.to];
+    const bool task_side =
+        a.task != kNoTask && b.task != kNoTask && a.task == b.task;
+    const bool loop_side = a.loop != 0 || b.loop != 0;
+    if (!task_side && !loop_side) {
+      report("continuation edge crosses task contexts (" +
+             std::to_string(e.from) + " -> " + std::to_string(e.to) + ")");
+    }
+  }
+  return errs;
+}
+
+}  // namespace gg

@@ -1,0 +1,115 @@
+// The grain graph (paper §3.1).
+//
+// A directed acyclic graph capturing the order of creation and
+// synchronization between grains. Five node kinds — fragment, fork, join,
+// book-keeping, chunk — and three control-flow edge kinds — creation
+// (fork -> first fragment of the child, green in the paper), join (last
+// fragment of a synchronizing child -> join node, orange), and continuation
+// (fragment -> fork/join within the same context, black).
+//
+// Connection constraints enforced by the builder and checked by
+// validate_graph():
+//  * a fork node connects to exactly one child first-fragment;
+//  * at least one fragment connects to every join node (the root's implicit
+//    barrier join may be childless);
+//  * continuation edges only connect fragments to fork/join nodes of the
+//    same task context;
+//  * book-keeping nodes are followed by a chunk node when iterations remain
+//    and continue to the loop's join node otherwise; chunk nodes always
+//    continue to a book-keeping node.
+//
+// For a deterministic task-based program with fixed input the graph is
+// independent of machine size and scheduling; for for-loop programs its
+// shape depends on the profiled thread count (§3.1).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gg {
+
+enum class NodeKind : u8 { Fragment, Fork, Join, Bookkeep, Chunk };
+enum class EdgeKind : u8 { Creation, Join, Continuation, Dependence };
+
+const char* to_string(NodeKind k);
+const char* to_string(EdgeKind k);
+
+struct GraphNode {
+  NodeKind kind = NodeKind::Fragment;
+  TaskId task = kNoTask;  ///< owning task context (Fragment/Fork/Join)
+  LoopId loop = 0;        ///< owning loop (Bookkeep/Chunk/loop Join)
+  u32 seq = 0;            ///< fragment seq / join seq / chunk seq-on-thread
+  u16 thread = 0;         ///< executing thread (Bookkeep/Chunk)
+  u16 core = 0;
+  TimeNs start = 0;
+  TimeNs end = 0;
+  Counters counters;
+  StrId src = 0;
+  u64 iter_begin = 0, iter_end = 0;  ///< Chunk: iteration range
+  u32 group_size = 1;  ///< members represented after reduction
+  TimeNs busy = 0;     ///< summed member durations (== duration() before
+                       ///< reduction; aggregated weight afterwards)
+  TimeNs duration() const { return end - start; }
+};
+
+struct GraphEdge {
+  u32 from = 0;
+  u32 to = 0;
+  EdgeKind kind = EdgeKind::Continuation;
+};
+
+class GrainGraph {
+ public:
+  /// Builds the grain graph from a finalized, valid trace.
+  static GrainGraph build(const Trace& trace);
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  /// Outgoing / incoming edge indices of a node.
+  const std::vector<u32>& out_edges(u32 node) const;
+  const std::vector<u32>& in_edges(u32 node) const;
+
+  /// Node index of the first/last fragment of a task, if present.
+  std::optional<u32> first_fragment(TaskId task) const;
+  std::optional<u32> last_fragment(TaskId task) const;
+
+  /// All node indices of a given kind.
+  std::vector<u32> nodes_of_kind(NodeKind kind) const;
+
+  /// Topological order (creation order is already topological; verified).
+  const std::vector<u32>& topo_order() const { return topo_; }
+
+  size_t node_count() const { return nodes_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+
+  /// Builder-side mutation API (used by build() and by reductions).
+  u32 add_node(GraphNode node);
+  void add_edge(u32 from, u32 to, EdgeKind kind);
+  /// Recomputes adjacency, fragment indices, and the topological order;
+  /// aborts on cycles. Must be called after mutation before queries.
+  void finalize();
+  /// finalize() without the DAG requirement — reduced graphs may contain
+  /// join-back cycles. topo_order() is empty afterwards.
+  void finalize_lenient();
+
+ private:
+  void finalize_impl(bool require_dag);
+
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+  std::vector<std::vector<u32>> out_;
+  std::vector<std::vector<u32>> in_;
+  std::vector<u32> topo_;
+  std::vector<std::pair<TaskId, std::pair<u32, u32>>> frag_range_;  // sorted
+  bool finalized_ = false;
+};
+
+/// Structural invariant check; returns human-readable violations (empty ==
+/// valid). See the header comment for the constraint list.
+std::vector<std::string> validate_graph(const GrainGraph& g);
+
+}  // namespace gg

@@ -1,0 +1,202 @@
+#include "graph/grain_table.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/check.hpp"
+
+namespace gg {
+
+namespace {
+
+/// Computes the path-enumeration id of every task: root is "0", a child is
+/// "<parent path>.<child_index>".
+std::unordered_map<TaskId, std::string> task_paths(const Trace& trace) {
+  std::unordered_map<TaskId, std::string> paths;
+  paths.reserve(trace.tasks.size());
+  // Tasks are sorted by uid and every runtime assigns child uids greater
+  // than the parent's... which is true for both our engines (monotonic
+  // counters), but don't rely on it: iterate until fixpoint-free ordering
+  // via recursion over the parent chain.
+  std::function<const std::string&(TaskId)> path_of =
+      [&](TaskId uid) -> const std::string& {
+    auto it = paths.find(uid);
+    if (it != paths.end()) return it->second;
+    const auto idx = trace.task_index(uid);
+    GG_CHECK(idx.has_value());
+    const TaskRec& t = trace.tasks[*idx];
+    std::string p;
+    if (t.uid == kRootTask || t.parent == kNoTask) {
+      p = "0";
+    } else {
+      p = path_of(t.parent) + "." + std::to_string(t.child_index);
+    }
+    return paths.emplace(uid, std::move(p)).first->second;
+  };
+  for (const TaskRec& t : trace.tasks) path_of(t.uid);
+  return paths;
+}
+
+}  // namespace
+
+GrainTable GrainTable::build(const Trace& trace) {
+  GG_CHECK(trace.finalized());
+  GrainTable table;
+  const auto paths = task_paths(trace);
+
+  // --- Task grains ---------------------------------------------------------
+  // First pass: per-task aggregates.
+  std::unordered_map<TaskId, size_t> index_of;
+  for (const TaskRec& t : trace.tasks) {
+    if (t.uid == kRootTask) continue;
+    Grain g;
+    g.kind = GrainKind::Task;
+    g.task = t.uid;
+    g.parent = t.parent;
+    g.src = t.src;
+    g.path = paths.at(t.uid);
+    g.creation_cost = t.creation_cost;
+    g.inlined = t.inlined;
+    const auto frags = trace.fragments_of(t.uid);
+    GG_CHECK(!frags.empty());
+    g.first_start = frags.front()->start;
+    g.last_end = frags.back()->end;
+    g.core = frags.front()->core;
+    g.n_fragments = static_cast<u32>(frags.size());
+    for (const FragmentRec* f : frags) {
+      g.exec_time += f->end - f->start;
+      g.counters += f->counters;
+      if (f->end_reason == FragmentEnd::Fork) g.n_children++;
+    }
+    index_of[t.uid] = table.grains_.size();
+    table.grains_.push_back(std::move(g));
+  }
+
+  // Second pass: synchronization-cost shares. Walk every task's fragment
+  // stream matching forked children to the join they synchronize at (the
+  // same pending-children discipline as the graph builder). Children left
+  // unjoined synchronize at the root's last join (the implicit barrier).
+  std::vector<TaskId> unjoined;
+  const JoinRec* root_last_join = nullptr;
+  {
+    const auto rjoins = trace.joins_of(kRootTask);
+    if (!rjoins.empty()) root_last_join = rjoins.back();
+  }
+  size_t root_barrier_extra = 0;  // children of root pending at its last join
+  for (const TaskRec& t : trace.tasks) {
+    const auto frags = trace.fragments_of(t.uid);
+    const auto joins = trace.joins_of(t.uid);
+    std::vector<TaskId> pending;
+    for (const FragmentRec* f : frags) {
+      if (f->end_reason == FragmentEnd::Fork) {
+        pending.push_back(f->end_ref);
+      } else if (f->end_reason == FragmentEnd::Join) {
+        const JoinRec* jr = nullptr;
+        for (const JoinRec* j : joins) {
+          if (j->seq == f->end_ref) jr = j;
+        }
+        GG_CHECK(jr != nullptr);
+        // The chargeable synchronization cost is the join overhead — the
+        // tail of the join interval not overlapped by any synchronizing
+        // child's execution. Time the parent spends merely *waiting* for
+        // (or helping while) children run is not a parallelization cost.
+        TimeNs last_child_end = jr->start;
+        for (TaskId c : pending) {
+          auto it = index_of.find(c);
+          if (it != index_of.end()) {
+            last_child_end =
+                std::max(last_child_end, table.grains_[it->second].last_end);
+          }
+        }
+        const TimeNs overhead =
+            jr->end > last_child_end ? jr->end - last_child_end : 0;
+        const TimeNs share = pending.empty() ? 0 : overhead / pending.size();
+        for (TaskId c : pending) {
+          auto it = index_of.find(c);
+          if (it != index_of.end()) table.grains_[it->second].sync_cost = share;
+        }
+        if (t.uid == kRootTask && jr == root_last_join)
+          root_barrier_extra = pending.size();
+        pending.clear();
+      }
+    }
+    for (TaskId c : pending) unjoined.push_back(c);
+  }
+  if (!unjoined.empty() && root_last_join != nullptr) {
+    const size_t total = unjoined.size() + root_barrier_extra;
+    TimeNs last_child_end = root_last_join->start;
+    for (TaskId c : unjoined) {
+      auto it = index_of.find(c);
+      if (it != index_of.end()) {
+        last_child_end =
+            std::max(last_child_end, table.grains_[it->second].last_end);
+      }
+    }
+    const TimeNs overhead = root_last_join->end > last_child_end
+                                ? root_last_join->end - last_child_end
+                                : 0;
+    const TimeNs share = overhead / total;
+    for (TaskId c : unjoined) {
+      auto it = index_of.find(c);
+      if (it != index_of.end()) table.grains_[it->second].sync_cost = share;
+    }
+  }
+
+  // --- Chunk grains ----------------------------------------------------------
+  for (const LoopRec& loop : trace.loops) {
+    // Pair each chunk with the book-keeping step that delivered it: the
+    // n-th got_chunk book-keeping of a thread delivered the n-th chunk.
+    std::map<u16, std::vector<const BookkeepRec*>> delivering;
+    for (const BookkeepRec* b : trace.bookkeeps_of(loop.uid)) {
+      if (b->got_chunk) delivering[b->thread].push_back(b);
+    }
+    std::map<u16, u32> nth;
+    for (const ChunkRec* c : trace.chunks_of(loop.uid)) {
+      Grain g;
+      g.kind = GrainKind::Chunk;
+      g.loop = loop.uid;
+      g.thread = c->thread;
+      g.chunk_seq = c->seq_on_thread;
+      g.iter_begin = c->iter_begin;
+      g.iter_end = c->iter_end;
+      g.parent = loop.enclosing_task;
+      g.src = loop.src;
+      g.path = "L" + std::to_string(loop.starting_thread) + "." +
+               std::to_string(loop.seq) + ":" + std::to_string(c->iter_begin) +
+               "-" + std::to_string(c->iter_end);
+      g.first_start = c->start;
+      g.last_end = c->end;
+      g.exec_time = c->end - c->start;
+      g.counters = c->counters;
+      g.core = c->core;
+      const u32 k = nth[c->thread]++;
+      const auto& dl = delivering[c->thread];
+      if (k < dl.size()) g.creation_cost = dl[k]->end - dl[k]->start;
+      table.grains_.push_back(std::move(g));
+    }
+  }
+
+  table.by_path_.reserve(table.grains_.size());
+  for (size_t i = 0; i < table.grains_.size(); ++i)
+    table.by_path_.emplace(table.grains_[i].path, i);
+  return table;
+}
+
+const Grain* GrainTable::by_path(const std::string& path) const {
+  auto it = by_path_.find(path);
+  return it == by_path_.end() ? nullptr : &grains_[it->second];
+}
+
+std::vector<const Grain*> GrainTable::children_of(TaskId parent) const {
+  std::vector<const Grain*> out;
+  for (const Grain& g : grains_) {
+    if (g.kind == GrainKind::Task && g.parent == parent) out.push_back(&g);
+  }
+  std::sort(out.begin(), out.end(), [](const Grain* a, const Grain* b) {
+    return a->task < b->task;
+  });
+  return out;
+}
+
+}  // namespace gg

@@ -1,0 +1,74 @@
+// The grain table: one row per grain (task instance or loop chunk), the
+// unit everything in §3.2 is derived at.
+//
+// Grains carry schedule-independent identifiers so runs of the same program
+// on different machine sizes can be compared grain-by-grain (needed for the
+// work-deviation metric):
+//  * tasks use path enumeration — the chain of creation indices from the
+//    root, e.g. "0.2.1" (§3.1: "relies on the static nature of the graph");
+//  * chunks use (starting thread of the loop, loop sequence counter,
+//    iteration range), e.g. "L0.2:128-256".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gg {
+
+enum class GrainKind : u8 { Task, Chunk };
+
+struct Grain {
+  GrainKind kind = GrainKind::Task;
+  // Task grains.
+  TaskId task = kNoTask;
+  // Chunk grains.
+  LoopId loop = 0;
+  u16 thread = 0;
+  u32 chunk_seq = 0;
+  u64 iter_begin = 0, iter_end = 0;
+
+  std::string path;  ///< schedule-independent identifier
+  StrId src = 0;     ///< definition site
+  TaskId parent = kNoTask;  ///< creating task (chunks: loop's enclosing task)
+
+  TimeNs first_start = 0;
+  TimeNs last_end = 0;
+  TimeNs exec_time = 0;  ///< sum of fragment durations / chunk duration
+  Counters counters;
+  u16 core = 0;
+  u32 n_fragments = 1;
+  u32 n_children = 0;  ///< direct children spawned (task grains)
+  bool inlined = false;
+
+  /// Parallelization cost components (§3.2, parallel benefit):
+  /// creation_cost — time the parent spent creating this grain (tasks), or
+  /// the book-keeping time that delivered this chunk (chunks);
+  /// sync_cost — the parent's synchronization time averaged over the
+  /// siblings synchronizing at the same join.
+  TimeNs creation_cost = 0;
+  TimeNs sync_cost = 0;
+};
+
+class GrainTable {
+ public:
+  /// Builds the table from a finalized trace. The root task is the region
+  /// itself and is not a grain (matching the paper's grain counts).
+  static GrainTable build(const Trace& trace);
+
+  const std::vector<Grain>& grains() const { return grains_; }
+  size_t size() const { return grains_.size(); }
+
+  const Grain* by_path(const std::string& path) const;
+  /// All task grains that are children of `parent`, in creation order.
+  std::vector<const Grain*> children_of(TaskId parent) const;
+
+ private:
+  std::vector<Grain> grains_;
+  std::unordered_map<std::string, size_t> by_path_;
+};
+
+}  // namespace gg

@@ -1,0 +1,271 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace gg {
+
+namespace {
+
+/// Execution intervals of one grain: fragment intervals for tasks, the
+/// chunk interval for chunks. `trace` supplies the fragments.
+std::vector<std::pair<TimeNs, TimeNs>> grain_intervals(const Trace& trace,
+                                                       const Grain& g) {
+  std::vector<std::pair<TimeNs, TimeNs>> out;
+  if (g.kind == GrainKind::Task) {
+    for (const FragmentRec* f : trace.fragments_of(g.task))
+      out.emplace_back(f->start, f->end);
+  } else {
+    out.emplace_back(g.first_start, g.last_end);
+  }
+  return out;
+}
+
+TimeNs choose_interval(const Trace& trace, const GrainTable& grains,
+                       const MetricOptions& opts) {
+  const TimeNs makespan = std::max<TimeNs>(1, trace.makespan());
+  std::vector<u64> lengths;
+  lengths.reserve(grains.size());
+  for (const Grain& g : grains.grains())
+    if (g.exec_time > 0) lengths.push_back(g.exec_time);
+  TimeNs interval = 0;
+  switch (opts.interval) {
+    case IntervalPreset::MinGrain:
+      interval = stats::min_value(lengths);
+      break;
+    case IntervalPreset::MedianGrain:
+      interval = static_cast<TimeNs>(stats::median(lengths));
+      break;
+    case IntervalPreset::MinGap: {
+      // Smallest positive difference between any grain start and any other
+      // grain's end: merge the sorted boundary lists.
+      std::vector<TimeNs> starts, ends;
+      for (const Grain& g : grains.grains()) {
+        starts.push_back(g.first_start);
+        ends.push_back(g.last_end);
+      }
+      std::sort(starts.begin(), starts.end());
+      std::sort(ends.begin(), ends.end());
+      TimeNs best = makespan;
+      for (TimeNs e : ends) {
+        auto it = std::lower_bound(starts.begin(), starts.end(), e);
+        if (it != starts.end() && *it > e) best = std::min(best, *it - e);
+        if (it != starts.begin() && e > *(it - 1))
+          best = std::min(best, e - *(it - 1));
+      }
+      interval = best;
+      break;
+    }
+    case IntervalPreset::Fixed:
+      interval = opts.fixed_interval_ns;
+      break;
+  }
+  if (interval == 0) interval = makespan / 100 + 1;
+  // Bound post-processing time.
+  const TimeNs floor_interval =
+      (makespan + opts.max_intervals - 1) / opts.max_intervals;
+  return std::max<TimeNs>({interval, floor_interval, 1});
+}
+
+}  // namespace
+
+double loop_load_balance(const Trace& trace, const LoopRec& loop) {
+  const auto chunks = trace.chunks_of(loop.uid);
+  if (chunks.empty()) return 1.0;
+  TimeNs longest = 0;
+  std::map<u16, u64> chain;
+  for (const ChunkRec* c : chunks) {
+    longest = std::max<TimeNs>(longest, c->end - c->start);
+    chain[c->thread] += c->end - c->start;
+  }
+  std::vector<u64> chains;
+  chains.reserve(chain.size());
+  for (auto& [t, len] : chain) chains.push_back(len);
+  const double med = stats::median(chains);
+  if (med <= 0) return 1.0;
+  return static_cast<double>(longest) / med;
+}
+
+double region_load_balance(const GrainTable& grains, int num_cores) {
+  if (grains.size() == 0) return 1.0;
+  TimeNs longest = 0;
+  std::vector<u64> busy(static_cast<size_t>(std::max(1, num_cores)), 0);
+  for (const Grain& g : grains.grains()) {
+    longest = std::max(longest, g.exec_time);
+    if (g.core < busy.size()) busy[g.core] += g.exec_time;
+  }
+  std::vector<u64> nonzero;
+  for (u64 b : busy)
+    if (b > 0) nonzero.push_back(b);
+  const double med = stats::median(nonzero);
+  if (med <= 0) return 1.0;
+  return static_cast<double>(longest) / med;
+}
+
+double work_deviation(const Grain& grain, const GrainTable& baseline) {
+  const Grain* ref = baseline.by_path(grain.path);
+  if (ref == nullptr || ref->exec_time == 0)
+    return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(grain.exec_time) /
+         static_cast<double>(ref->exec_time);
+}
+
+MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
+                              const GrainTable& grains, const Topology& topo,
+                              const MetricOptions& opts,
+                              const GrainTable* baseline) {
+  MetricsResult res;
+  const auto& table = grains.grains();
+  res.per_grain.assign(table.size(), GrainMetrics{});
+
+  // ---- parallel benefit, mem util, work deviation -------------------------
+  for (size_t i = 0; i < table.size(); ++i) {
+    const Grain& g = table[i];
+    GrainMetrics& m = res.per_grain[i];
+    const TimeNs cost = g.creation_cost + g.sync_cost;
+    m.parallel_benefit = cost == 0
+                             ? std::numeric_limits<double>::infinity()
+                             : static_cast<double>(g.exec_time) /
+                                   static_cast<double>(cost);
+    m.mem_util = g.counters.stall == 0
+                     ? std::numeric_limits<double>::infinity()
+                     : static_cast<double>(g.counters.compute) /
+                           static_cast<double>(g.counters.stall);
+    if (baseline != nullptr) m.work_deviation = work_deviation(g, *baseline);
+  }
+
+  // ---- load balance ---------------------------------------------------------
+  res.region_load_balance = region_load_balance(grains, trace.meta.num_cores);
+  for (const LoopRec& loop : trace.loops)
+    res.loop_load_balance[loop.uid] = loop_load_balance(trace, loop);
+
+  // ---- instantaneous parallelism --------------------------------------------
+  const TimeNs interval = choose_interval(trace, grains, opts);
+  res.interval_used = interval;
+  const TimeNs makespan = std::max<TimeNs>(1, trace.makespan());
+  const size_t slots = static_cast<size_t>((makespan + interval - 1) / interval);
+  std::vector<i64> opt_diff(slots + 1, 0), con_diff(slots + 1, 0);
+  // Each grain contributes its execution intervals.
+  std::vector<std::vector<std::pair<TimeNs, TimeNs>>> g_ivs(table.size());
+  for (size_t i = 0; i < table.size(); ++i) {
+    g_ivs[i] = grain_intervals(trace, table[i]);
+    for (auto [s, e] : g_ivs[i]) {
+      if (e <= s) continue;
+      // Optimistic: any overlap.
+      const size_t o_lo = static_cast<size_t>(s / interval);
+      const size_t o_hi = static_cast<size_t>((e - 1) / interval);
+      opt_diff[o_lo] += 1;
+      opt_diff[std::min(o_hi + 1, slots)] -= 1;
+      // Conservative: full overlap only.
+      const size_t c_lo = static_cast<size_t>((s + interval - 1) / interval);
+      const size_t c_hi_excl = static_cast<size_t>(e / interval);
+      if (c_hi_excl > c_lo) {
+        con_diff[c_lo] += 1;
+        con_diff[std::min(c_hi_excl, slots)] -= 1;
+      }
+    }
+  }
+  res.parallelism_optimistic.assign(slots, 0);
+  res.parallelism_conservative.assign(slots, 0);
+  i64 acc_o = 0, acc_c = 0;
+  for (size_t s = 0; s < slots; ++s) {
+    acc_o += opt_diff[s];
+    acc_c += con_diff[s];
+    res.parallelism_optimistic[s] = static_cast<u32>(std::max<i64>(0, acc_o));
+    res.parallelism_conservative[s] = static_cast<u32>(std::max<i64>(0, acc_c));
+  }
+  // Per grain: minimum over its overlapping intervals (§3.2).
+  for (size_t i = 0; i < table.size(); ++i) {
+    u32 min_o = std::numeric_limits<u32>::max();
+    u32 min_c = std::numeric_limits<u32>::max();
+    for (auto [s, e] : g_ivs[i]) {
+      if (e <= s) continue;
+      const size_t lo = static_cast<size_t>(s / interval);
+      const size_t hi = std::min(static_cast<size_t>((e - 1) / interval),
+                                 slots == 0 ? 0 : slots - 1);
+      for (size_t k = lo; k <= hi && k < slots; ++k) {
+        min_o = std::min(min_o, res.parallelism_optimistic[k]);
+        min_c = std::min(min_c, res.parallelism_conservative[k]);
+      }
+    }
+    if (min_o == std::numeric_limits<u32>::max()) min_o = 0;
+    if (min_c == std::numeric_limits<u32>::max()) min_c = 0;
+    res.per_grain[i].inst_parallelism_optimistic = static_cast<int>(min_o);
+    res.per_grain[i].inst_parallelism = static_cast<int>(min_c);
+  }
+
+  // ---- scatter ----------------------------------------------------------------
+  // Sibling groups: task grains share a parent; chunks share a loop.
+  std::map<std::pair<u64, u64>, std::vector<size_t>> siblings;
+  for (size_t i = 0; i < table.size(); ++i) {
+    const Grain& g = table[i];
+    const auto key = g.kind == GrainKind::Task
+                         ? std::make_pair<u64, u64>(0, u64{g.parent})
+                         : std::make_pair<u64, u64>(1, u64{g.loop});
+    siblings[key].push_back(i);
+  }
+  const int cores_in_machine = topo.num_cores();
+  for (auto& [key, members] : siblings) {
+    if (members.size() < 2) continue;
+    // Deterministically sample large groups to bound the pairwise cost.
+    std::vector<size_t> sample;
+    if (members.size() > opts.scatter_sample) {
+      const size_t stride = members.size() / opts.scatter_sample;
+      for (size_t k = 0; k < members.size(); k += stride)
+        sample.push_back(members[k]);
+    } else {
+      sample = members;
+    }
+    std::vector<double> dists;
+    dists.reserve(sample.size() * (sample.size() - 1) / 2);
+    for (size_t a = 0; a < sample.size(); ++a) {
+      for (size_t b = a + 1; b < sample.size(); ++b) {
+        int ca = table[sample[a]].core;
+        int cb = table[sample[b]].core;
+        if (ca >= cores_in_machine) ca = ca % cores_in_machine;
+        if (cb >= cores_in_machine) cb = cb % cores_in_machine;
+        dists.push_back(static_cast<double>(topo.core_distance(ca, cb)));
+      }
+    }
+    const double med = stats::median(dists);
+    for (size_t i : members) res.per_grain[i].scatter = med;
+  }
+
+  // ---- critical path + work/span --------------------------------------------
+  const CriticalPath cp = critical_path(graph);
+  res.critical_path_time = cp.length;
+  for (const Grain& g : table) res.total_work += g.exec_time;
+  res.avg_parallelism = cp.length == 0
+                            ? 0.0
+                            : static_cast<double>(res.total_work) /
+                                  static_cast<double>(cp.length);
+  // Map graph nodes on the path back to grains.
+  std::map<TaskId, size_t> task_to_grain;
+  std::map<std::pair<LoopId, std::pair<u16, u32>>, size_t> chunk_to_grain;
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (table[i].kind == GrainKind::Task) {
+      task_to_grain[table[i].task] = i;
+    } else {
+      chunk_to_grain[{table[i].loop, {table[i].thread, table[i].chunk_seq}}] =
+          i;
+    }
+  }
+  for (u32 v : cp.nodes) {
+    const GraphNode& n = graph.nodes()[v];
+    if (n.kind == NodeKind::Fragment && n.task != kRootTask) {
+      auto it = task_to_grain.find(n.task);
+      if (it != task_to_grain.end())
+        res.per_grain[it->second].on_critical_path = true;
+    } else if (n.kind == NodeKind::Chunk) {
+      auto it = chunk_to_grain.find({n.loop, {n.thread, n.seq}});
+      if (it != chunk_to_grain.end())
+        res.per_grain[it->second].on_critical_path = true;
+    }
+  }
+  return res;
+}
+
+}  // namespace gg

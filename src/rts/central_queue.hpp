@@ -1,0 +1,38 @@
+// A single mutex-protected FIFO task queue — the "central queue-based task
+// scheduler" the paper contrasts with work stealing in the Strassen scatter
+// experiment (§4.3.5, Fig. 11d).
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace gg::rts {
+
+template <typename T>
+class CentralQueue {
+ public:
+  void push(T value) {
+    std::lock_guard lock(mutex_);
+    items_.push_back(value);
+  }
+
+  std::optional<T> pop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+  size_t size_estimate() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<T> items_;
+};
+
+}  // namespace gg::rts

@@ -1,0 +1,140 @@
+// Chase–Lev dynamic circular work-stealing deque (SPAA'05), the lock-free
+// task queue the MIR runtime uses (paper §4.2, citing Chase & Lev [8]).
+//
+// Memory ordering follows Lê, Pop, Cohen & Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP'13), with the
+// standalone fences of that formulation replaced by equivalent (or
+// stronger) orderings on the operations themselves: ThreadSanitizer does
+// not model atomic_thread_fence, and operation-level orderings keep the
+// whole runtime TSan-clean without suppressions. The owner pushes and pops
+// at the bottom; thieves steal from the top. Retired buffers are kept
+// alive until destruction so racing thieves never read freed memory (a
+// standard simplification in runtime deques; growth is amortized and
+// buffers are small).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace gg::rts {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "slots are raw atomics; store pointers or handles");
+
+ public:
+  explicit ChaseLevDeque(size_t initial_capacity = 64) {
+    GG_CHECK((initial_capacity & (initial_capacity - 1)) == 0);
+    auto buf = std::make_unique<Buffer>(initial_capacity);
+    buffer_.store(buf.get(), std::memory_order_relaxed);
+    retired_.push_back(std::move(buf));
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner-only: pushes a value at the bottom.
+  void push(T value) {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<i64>(buf->capacity) - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, value);
+    // Release on the bottom store publishes the slot write to thieves whose
+    // bottom load (seq_cst, hence acquire) observes it.
+    bottom_.store(b + 1, std::memory_order_release);
+  }
+
+  /// Owner-only: pops the most recently pushed value (LIFO).
+  std::optional<T> pop() {
+    const i64 b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    // The seq_cst store/load pair below orders this reservation against
+    // concurrent thieves' (seq_cst) top/bottom accesses, replacing the
+    // classic seq_cst fence.
+    bottom_.store(b, std::memory_order_seq_cst);
+    i64 t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      T value = buf->get(b);
+      if (t == b) {
+        // Last element: race against thieves for it.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won ? std::optional<T>(value) : std::nullopt;
+      }
+      return value;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  /// Thief: steals the oldest value (FIFO end). May spuriously fail under
+  /// contention; callers retry or move to the next victim.
+  std::optional<T> steal() {
+    i64 t = top_.load(std::memory_order_seq_cst);
+    const i64 b = bottom_.load(std::memory_order_seq_cst);
+    if (t < b) {
+      Buffer* buf = buffer_.load(std::memory_order_acquire);
+      T value = buf->get(t);
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        return std::nullopt;
+      }
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate number of queued items (any thread).
+  size_t size_estimate() const {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(size_t cap)
+        : capacity(cap), mask(cap - 1),
+          slots(std::make_unique<std::atomic<T>[]>(cap)) {}
+    T get(i64 i) const {
+      return slots[static_cast<size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(i64 i, T v) {
+      slots[static_cast<size_t>(i) & mask].store(v,
+                                                 std::memory_order_relaxed);
+    }
+    size_t capacity;
+    size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  // Owner-only: doubles the buffer, copying live entries [t, b).
+  Buffer* grow(Buffer* old, i64 t, i64 b) {
+    auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+    for (i64 i = t; i < b; ++i) bigger->put(i, old->get(i));
+    Buffer* raw = bigger.get();
+    buffer_.store(raw, std::memory_order_release);
+    retired_.push_back(std::move(bigger));
+    return raw;
+  }
+
+  std::atomic<i64> top_{0};
+  std::atomic<i64> bottom_{0};
+  std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only mutation
+};
+
+}  // namespace gg::rts

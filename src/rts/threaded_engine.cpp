@@ -1,0 +1,779 @@
+#include "rts/threaded_engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace gg::rts {
+
+namespace {
+
+// Low-overhead timestamps: modern x86 TSCs are constant/invariant, so one
+// process-wide calibration against steady_clock converts ticks to ns. This
+// is what keeps profiling overhead in the couple-percent range the paper
+// reports for the MIR profiler (steady_clock calls alone would cost ~10x
+// more per grain event).
+#if defined(__x86_64__) || defined(__i386__)
+inline u64 tsc_now() { return __builtin_ia32_rdtsc(); }
+
+double tsc_ns_per_tick() {
+  static const double ratio = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const u64 c0 = tsc_now();
+    // Busy-wait ~2ms for a stable ratio.
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(2)) {
+    }
+    const u64 c1 = tsc_now();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                t1 - t0)
+                                .count());
+    return ns / static_cast<double>(c1 - c0);
+  }();
+  return ratio;
+}
+#endif
+
+}  // namespace
+
+using front::Ctx;
+using front::ForOpts;
+using front::LoopFn;
+using front::SrcLoc;
+using front::TaskFn;
+
+// ---------------------------------------------------------------------------
+// Internal structures
+
+struct ThreadedEngine::Task {
+  TaskFn body;
+  TaskId uid = 0;
+  Task* parent = nullptr;
+  u32 child_index = 0;
+  StrId src = 0;
+  bool inlined = false;
+  std::atomic<u32> live_children{0};
+  std::atomic<u32> refs{1};
+
+  // Task-dependence state (OpenMP depend clauses). `dep_mutex` guards the
+  // finished flag and the successor list; a successor registered before the
+  // predecessor finishes is released (pred_count decrement, enqueue at 0)
+  // by the predecessor's completing worker.
+  std::mutex dep_mutex;
+  bool dep_finished = false;
+  std::vector<Task*> dep_successors;
+  std::atomic<u32> pred_count{0};
+};
+
+/// Per-executing-task dependence bookkeeping: OpenMP dependences order
+/// sibling tasks, so the map lives in the spawning context (single
+/// threaded, no locking). Referenced tasks are kept alive with a ref.
+struct ThreadedEngine::DepMap {
+  struct Entry {
+    Task* last_writer = nullptr;
+    std::vector<Task*> readers;
+  };
+  std::map<u64, Entry> entries;
+};
+
+struct ThreadedEngine::Worker {
+  int id = 0;
+  ChaseLevDeque<Task*> deque;
+  std::thread thread;  // not started for worker 0 (the caller's thread)
+  TraceRecorder::Writer writer;
+  Xoshiro256 rng;
+  u32 loop_seq = 0;           // loops started by this thread
+  LoopId finished_loop = 0;   // last loop this worker fully drained
+
+  Worker(int id_, TraceRecorder::Writer w, u64 seed)
+      : id(id_), writer(w), rng(seed) {}
+};
+
+struct ThreadedEngine::LoopState {
+  LoopId uid = 0;
+  StrId src = 0;
+  ScheduleKind sched = ScheduleKind::Static;
+  u64 chunk_min = 1;
+  u64 lo = 0, hi = 0;
+  u64 total = 0;
+  int team = 1;
+  const LoopFn* body = nullptr;
+  std::atomic<u64> cursor{0};
+  std::atomic<u64> iters_done{0};
+  std::atomic<int> active{0};
+  std::atomic<bool> done{false};
+  std::vector<std::vector<std::pair<u64, u64>>> static_chunks;
+  std::vector<u32> static_pos;  // per-thread; each slot touched only by owner
+
+  /// Claims the next chunk for `thread`, or nullopt when the schedule has no
+  /// more work for it.
+  std::optional<std::pair<u64, u64>> claim(int thread) {
+    switch (sched) {
+      case ScheduleKind::Static: {
+        auto& pos = static_pos[static_cast<size_t>(thread)];
+        const auto& mine = static_chunks[static_cast<size_t>(thread)];
+        if (pos >= mine.size()) return std::nullopt;
+        return mine[pos++];
+      }
+      case ScheduleKind::Dynamic: {
+        const u64 got = cursor.fetch_add(chunk_min, std::memory_order_relaxed);
+        if (got >= hi) return std::nullopt;
+        return std::make_pair(got, std::min(got + chunk_min, hi));
+      }
+      case ScheduleKind::Guided: {
+        u64 got = cursor.load(std::memory_order_relaxed);
+        while (true) {
+          if (got >= hi) return std::nullopt;
+          const u64 remaining = hi - got;
+          const u64 size =
+              std::max<u64>(chunk_min,
+                            remaining / (2 * static_cast<u64>(team)));
+          const u64 take = std::min(size, remaining);
+          if (cursor.compare_exchange_weak(got, got + take,
+                                           std::memory_order_relaxed)) {
+            return std::make_pair(got, got + take);
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Execution context
+
+class ThreadedEngine::CtxImpl final : public Ctx {
+ public:
+  CtxImpl(ThreadedEngine* eng, Worker* w, Task* task)
+      : eng_(eng), w_(w), task_(task) {}
+
+  void spawn(const SrcLoc& loc, TaskFn body) override {
+    spawn_impl(loc, nullptr, std::move(body));
+  }
+
+  void spawn(const SrcLoc& loc, const front::Depends& deps,
+             TaskFn body) override {
+    spawn_impl(loc, &deps, std::move(body));
+  }
+
+  void spawn_impl(const SrcLoc& loc, const front::Depends* deps, TaskFn body) {
+    GG_CHECK_MSG(!in_chunk_,
+                 "spawning tasks from loop chunks is not supported (the "
+                 "profiler does not support nested parallelism)");
+    ThreadedEngine& eng = *eng_;
+    const TimeNs fork_time = eng.now();
+    Task* child = eng.make_task(std::move(body), task_, intern_loc(loc),
+                                fork_time, static_cast<u16>(w_->id),
+                                /*inlined=*/false);
+    child->child_index = next_child_index_++;
+
+    // Resolve dependences against earlier siblings (OpenMP last-writer /
+    // reader rules). Structural edges are recorded even when the
+    // predecessor already finished; runtime blocking counts live preds.
+    //
+    // Creation guard: pred_count starts at 1 so that predecessors finishing
+    // DURING registration cannot release (and race with) a half-registered
+    // child; the guard is dropped at the end of this function.
+    u32 live_regs = 0;
+    if (deps != nullptr && !deps->empty()) {
+      child->pred_count.store(1, std::memory_order_relaxed);
+      live_regs = resolve_dependences(*deps, child);
+    }
+    const bool has_live_preds = live_regs > 0;
+
+    // Runtime internal cutoffs: execute inline instead of deferring. A task
+    // with unsatisfied dependences can never run inline.
+    bool inline_child = false;
+    const Options& o = eng.opts_;
+    if (!has_live_preds) {
+      if (o.task_throttle_per_worker > 0 &&
+          eng.live_tasks_.load(std::memory_order_relaxed) >=
+              o.task_throttle_per_worker * static_cast<u64>(o.num_workers)) {
+        inline_child = true;
+      }
+      if (!inline_child && o.inline_queue_limit > 0) {
+        const size_t qsize = o.scheduler == SchedulerKind::WorkStealing
+                                 ? w_->deque.size_estimate()
+                                 : eng.central_queue_.size_estimate();
+        if (qsize >= o.inline_queue_limit) inline_child = true;
+      }
+    }
+    child->inlined = inline_child;
+
+    // Snapshot the fields the profiler needs BEFORE the child becomes
+    // visible to thieves: once pushed it can be stolen, executed, and freed
+    // while this spawner is still recording.
+    const TaskId child_uid = child->uid;
+    const u32 child_index = child->child_index;
+    const StrId child_src = child->src;
+
+    const bool guarded = deps != nullptr && !deps->empty();
+    if (!inline_child) {
+      child->parent->refs.fetch_add(1, std::memory_order_relaxed);
+      child->parent->live_children.fetch_add(1, std::memory_order_relaxed);
+      eng.live_tasks_.fetch_add(1, std::memory_order_relaxed);
+      if (!guarded) eng.push_task(child, *w_);
+      // else: enqueued when the creation guard drops below.
+    }
+    const TimeNs created = eng.now();
+    ++children_since_join_;
+
+    if (eng.profiling()) {
+      end_fragment(fork_time, FragmentEnd::Fork, child_uid);
+      TaskRec rec;
+      rec.uid = child_uid;
+      rec.parent = task_->uid;
+      rec.child_index = child_index;
+      rec.src = child_src;
+      rec.create_time = fork_time;
+      rec.create_core = static_cast<u16>(w_->id);
+      rec.creation_cost = created - fork_time;
+      rec.inlined = inline_child;
+      w_->writer.task(rec);
+    }
+
+    if (inline_child) {
+      // Inline implies no live predecessors were registered; clear the
+      // guard (nobody will ever decrement it) and run.
+      if (guarded) child->pred_count.store(0, std::memory_order_relaxed);
+      eng.exec_task(child, *w_);
+    } else if (guarded) {
+      // Drop the creation guard: if every registered predecessor already
+      // finished (each decrements once), this spawner enqueues; otherwise
+      // the last finishing predecessor does. After this line the child may
+      // run and be freed at any moment — the dependence map's retain keeps
+      // the pointer valid, but no further mutation of *child is allowed.
+      if (child->pred_count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        eng.push_task(child, *w_);
+      }
+    }
+    frag_start_ = eng.now();
+  }
+
+  /// Computes the child's predecessors per OpenMP rules: `in` waits on the
+  /// handle's last writer; `out` waits on the last writer and every reader
+  /// since, then becomes the new last writer. Returns the number of LIVE
+  /// predecessors registered (each will decrement the child's pred_count).
+  u32 resolve_dependences(const front::Depends& deps, Task* child) {
+    if (!dep_map_) dep_map_ = std::make_unique<DepMap>();
+    ThreadedEngine& eng = *eng_;
+    std::vector<Task*> preds;
+    auto add_pred = [&](Task* p) {
+      if (p == nullptr || p == child) return;
+      for (Task* q : preds) {
+        if (q == p) return;
+      }
+      preds.push_back(p);
+    };
+    for (u64 h : deps.in) {
+      auto it = dep_map_->entries.find(h);
+      if (it != dep_map_->entries.end()) add_pred(it->second.last_writer);
+    }
+    for (u64 h : deps.out) {
+      auto it = dep_map_->entries.find(h);
+      if (it != dep_map_->entries.end()) {
+        add_pred(it->second.last_writer);
+        for (Task* r : it->second.readers) add_pred(r);
+      }
+    }
+    u32 live_regs = 0;
+    for (Task* p : preds) {
+      if (eng.profiling()) {
+        DependRec d;
+        d.pred = p->uid;
+        d.succ = child->uid;
+        w_->writer.depend(d);
+      }
+      std::lock_guard lock(p->dep_mutex);
+      if (!p->dep_finished) {
+        p->dep_successors.push_back(child);
+        child->pred_count.fetch_add(1, std::memory_order_relaxed);
+        ++live_regs;
+      }
+    }
+    // Update the map; it holds a ref on every task it references.
+    auto retain = [&](Task* t) {
+      t->refs.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    };
+    for (u64 h : deps.in) {
+      dep_map_->entries[h].readers.push_back(retain(child));
+    }
+    for (u64 h : deps.out) {
+      auto& e = dep_map_->entries[h];
+      if (e.last_writer != nullptr) eng.release_task(e.last_writer);
+      for (Task* r : e.readers) eng.release_task(r);
+      e.readers.clear();
+      e.last_writer = retain(child);
+    }
+    return live_regs;
+  }
+
+  /// Releases the dependence map's task references (called when the task's
+  /// execution ends and the context is destroyed).
+  ~CtxImpl() override {
+    if (!dep_map_) return;
+    for (auto& [h, e] : dep_map_->entries) {
+      if (e.last_writer != nullptr) eng_->release_task(e.last_writer);
+      for (Task* r : e.readers) eng_->release_task(r);
+    }
+  }
+
+  void taskwait() override {
+    GG_CHECK_MSG(!in_chunk_, "taskwait inside loop chunks is not supported");
+    ThreadedEngine& eng = *eng_;
+    if (children_since_join_ == 0 &&
+        task_->live_children.load(std::memory_order_acquire) == 0) {
+      return;  // structurally a no-op: nothing to synchronize with
+    }
+    const TimeNs t0 = eng.now();
+    const u32 jseq = next_join_seq_++;
+    if (eng.profiling()) end_fragment(t0, FragmentEnd::Join, jseq);
+    eng.help_until(*w_, task_->live_children);
+    const TimeNs t1 = eng.now();
+    if (eng.profiling()) {
+      JoinRec j;
+      j.task = task_->uid;
+      j.seq = jseq;
+      j.start = t0;
+      j.end = t1;
+      j.core = static_cast<u16>(w_->id);
+      w_->writer.join(j);
+    }
+    children_since_join_ = 0;
+    frag_start_ = eng.now();
+  }
+
+  void parallel_for(const SrcLoc& loc, u64 lo, u64 hi, const ForOpts& opts,
+                    const LoopFn& body) override {
+    GG_CHECK_MSG(task_->uid == kRootTask && !in_chunk_,
+                 "parallel_for is only supported from the root task (no "
+                 "nested parallelism)");
+    eng_->run_parallel_for(*w_, task_, loc, lo, hi, opts, body, frag_start_,
+                           *this);
+  }
+
+  int worker() const override { return w_->id; }
+  int num_workers() const override { return eng_->opts_.num_workers; }
+
+ private:
+  friend class ThreadedEngine;
+
+  StrId intern_loc(const SrcLoc& loc) {
+    return eng_->recorder_->intern_source(loc.file, loc.line, loc.func);
+  }
+
+  /// Emits the fragment [frag_start_, end) with the given end reason.
+  void end_fragment(TimeNs end, FragmentEnd reason, u64 ref) {
+    FragmentRec f;
+    f.task = task_->uid;
+    f.seq = next_fragment_seq_++;
+    f.start = frag_start_;
+    f.end = end;
+    f.core = static_cast<u16>(w_->id);
+    f.counters.compute = end - frag_start_;
+    f.end_reason = reason;
+    f.end_ref = ref;
+    w_->writer.fragment(f);
+  }
+
+  ThreadedEngine* eng_;
+  Worker* w_;
+  Task* task_;
+  TimeNs frag_start_ = 0;
+  u32 next_fragment_seq_ = 0;
+  u32 next_join_seq_ = 0;
+  u32 next_child_index_ = 0;
+  u32 children_since_join_ = 0;
+  bool in_chunk_ = false;
+  std::unique_ptr<DepMap> dep_map_;  // lazily created on first depend spawn
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+
+ThreadedEngine::ThreadedEngine(Options opts) : opts_(opts) {
+  GG_CHECK(opts_.num_workers >= 1);
+}
+
+ThreadedEngine::~ThreadedEngine() = default;
+
+front::RegionId ThreadedEngine::alloc_region(const std::string& name,
+                                             u64 bytes,
+                                             front::PagePlacement placement,
+                                             int touch_node) {
+  // Real executions have real memory; regions are provenance only.
+  (void)placement;
+  (void)touch_node;
+  region_notes_.push_back("region " + name + " bytes=" + std::to_string(bytes));
+  return next_region_++;
+}
+
+TimeNs ThreadedEngine::now() const {
+#if defined(__x86_64__) || defined(__i386__)
+  return static_cast<TimeNs>(
+      static_cast<double>(tsc_now() - tsc_base_) * tsc_ns_per_tick());
+#else
+  return static_cast<TimeNs>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - region_start_)
+          .count());
+#endif
+}
+
+ThreadedEngine::Task* ThreadedEngine::make_task(TaskFn body, Task* parent,
+                                                StrId src, TimeNs create_time,
+                                                u16 create_core, bool inlined) {
+  (void)create_time;
+  (void)create_core;
+  Task* t = new Task();
+  t->body = std::move(body);
+  t->uid = parent == nullptr ? kRootTask
+                             : next_task_id_.fetch_add(1,
+                                                       std::memory_order_relaxed);
+  t->parent = parent;
+  t->src = src;
+  t->inlined = inlined;
+  return t;
+}
+
+void ThreadedEngine::release_task(Task* task) {
+  if (task->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) delete task;
+}
+
+void ThreadedEngine::push_task(Task* task, Worker& w) {
+  if (opts_.scheduler == SchedulerKind::WorkStealing) {
+    w.deque.push(task);
+  } else {
+    central_queue_.push(task);
+  }
+}
+
+ThreadedEngine::Task* ThreadedEngine::get_task(Worker& w) {
+  if (opts_.scheduler == SchedulerKind::CentralQueue) {
+    if (auto t = central_queue_.pop()) return *t;
+    return nullptr;
+  }
+  if (auto t = w.deque.pop()) return *t;
+  // Steal: visit every other worker once, starting at a random victim.
+  const int n = opts_.num_workers;
+  if (n <= 1) return nullptr;
+  const int start = static_cast<int>(w.rng.bounded(static_cast<u64>(n)));
+  for (int i = 0; i < n; ++i) {
+    const int victim = (start + i) % n;
+    if (victim == w.id) continue;
+    if (auto t = workers_[static_cast<size_t>(victim)]->deque.steal())
+      return *t;
+  }
+  return nullptr;
+}
+
+void ThreadedEngine::exec_task(Task* task, Worker& w) {
+  CtxImpl ctx(this, &w, task);
+  ctx.frag_start_ = now();
+  task->body(ctx);
+  const TimeNs t1 = now();
+  if (profiling()) ctx.end_fragment(t1, FragmentEnd::TaskEnd, 0);
+
+  // Release dependence successors: the last finishing predecessor enqueues
+  // the waiting task on its own worker's queue.
+  {
+    std::vector<Task*> succs;
+    {
+      std::lock_guard lock(task->dep_mutex);
+      task->dep_finished = true;
+      succs = std::move(task->dep_successors);
+    }
+    for (Task* s : succs) {
+      if (s->pred_count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        push_task(s, w);
+      }
+    }
+  }
+
+  Task* parent = task->parent;
+  if (parent != nullptr && !task->inlined) {
+    live_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    parent->live_children.fetch_sub(1, std::memory_order_release);
+    release_task(parent);
+  }
+  release_task(task);
+}
+
+void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
+  while (counter.load(std::memory_order_acquire) != 0) {
+    if (Task* t = get_task(w)) {
+      exec_task(t, w);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void ThreadedEngine::worker_main(int id) {
+  Worker& w = *workers_[static_cast<size_t>(id)];
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (Task* t = get_task(w)) {
+      exec_task(t, w);
+      continue;
+    }
+    auto loop = load_loop();
+    if (loop && !loop->done.load(std::memory_order_acquire) &&
+        w.id < loop->team && w.finished_loop != loop->uid) {
+      participate_in_loop(loop, w);
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void ThreadedEngine::participate_in_loop(const std::shared_ptr<LoopState>& L,
+                                         Worker& w) {
+  L->active.fetch_add(1, std::memory_order_acq_rel);
+  // Re-check after registering: if all iterations are already claimed we
+  // leave silently so latecomers do not pollute the trace with book-keeping
+  // for a loop they never worked on.
+  if (L->done.load(std::memory_order_acquire) ||
+      (L->sched != ScheduleKind::Static &&
+       L->cursor.load(std::memory_order_relaxed) >= L->hi)) {
+    w.finished_loop = L->uid;
+    L->active.fetch_sub(1, std::memory_order_acq_rel);
+    return;
+  }
+
+  u32 bk_seq = 0;
+  u32 chunk_seq = 0;
+  bool worked = false;
+  while (true) {
+    const TimeNs bk0 = now();
+    auto range = L->claim(w.id);
+    const TimeNs bk1 = now();
+    if (profiling() && (worked || range.has_value())) {
+      BookkeepRec b;
+      b.loop = L->uid;
+      b.thread = static_cast<u16>(w.id);
+      b.core = static_cast<u16>(w.id);
+      b.seq_on_thread = bk_seq++;
+      b.start = bk0;
+      b.end = bk1;
+      b.got_chunk = range.has_value();
+      w.writer.bookkeep(b);
+    }
+    if (!range) break;
+    worked = true;
+    CtxImpl ctx(this, &w, root_task_for_loops_);
+    ctx.in_chunk_ = true;
+    const TimeNs c0 = now();
+    for (u64 i = range->first; i < range->second; ++i) (*L->body)(i, ctx);
+    const TimeNs c1 = now();
+    if (profiling()) {
+      ChunkRec c;
+      c.loop = L->uid;
+      c.thread = static_cast<u16>(w.id);
+      c.core = static_cast<u16>(w.id);
+      c.seq_on_thread = chunk_seq++;
+      c.iter_begin = range->first;
+      c.iter_end = range->second;
+      c.start = c0;
+      c.end = c1;
+      c.counters.compute = c1 - c0;
+      w.writer.chunk(c);
+    }
+    L->iters_done.fetch_add(range->second - range->first,
+                            std::memory_order_acq_rel);
+  }
+  w.finished_loop = L->uid;
+  L->active.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
+                                      const SrcLoc& loc, u64 lo, u64 hi,
+                                      const ForOpts& opts, const LoopFn& body,
+                                      TimeNs frag_start, CtxImpl& ctx) {
+  (void)frag_start;
+  auto L = std::make_shared<LoopState>();
+  L->uid = next_loop_id_.fetch_add(1, std::memory_order_relaxed);
+  L->src = recorder_->intern_source(loc.file, loc.line, loc.func);
+  L->sched = opts.sched;
+  L->lo = lo;
+  L->hi = hi;
+  L->total = hi > lo ? hi - lo : 0;
+  L->team = opts.num_threads > 0
+                ? std::min(opts.num_threads, opts_.num_workers)
+                : opts_.num_workers;
+  L->body = &body;
+  L->cursor.store(lo, std::memory_order_relaxed);
+
+  if (opts.sched == ScheduleKind::Static) {
+    const u64 team = static_cast<u64>(L->team);
+    const u64 csize =
+        opts.chunk > 0 ? opts.chunk
+                       : std::max<u64>(1, (L->total + team - 1) / team);
+    L->chunk_min = csize;
+    L->static_chunks.assign(static_cast<size_t>(L->team), {});
+    L->static_pos.assign(static_cast<size_t>(L->team), 0);
+    u64 pos = lo;
+    u64 index = 0;
+    while (pos < hi) {
+      const u64 end = std::min(pos + csize, hi);
+      L->static_chunks[static_cast<size_t>(index % team)].emplace_back(pos,
+                                                                       end);
+      pos = end;
+      ++index;
+    }
+  } else {
+    L->chunk_min = std::max<u64>(1, opts.chunk);
+  }
+
+  const TimeNs loop_start = now();
+  if (profiling()) ctx.end_fragment(loop_start, FragmentEnd::Loop, L->uid);
+
+  const u32 loop_seq = w.loop_seq++;
+  if (L->total > 0) {
+    store_loop(L);
+    participate_in_loop(L, w);
+    // Wait for every participant to drain; help with stray tasks meanwhile.
+    while (!(L->iters_done.load(std::memory_order_acquire) == L->total &&
+             L->active.load(std::memory_order_acquire) == 0)) {
+      if (Task* t = get_task(w)) {
+        exec_task(t, w);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    L->done.store(true, std::memory_order_release);
+    store_loop(nullptr);
+  }
+  const TimeNs loop_end = now();
+
+  if (profiling()) {
+    LoopRec rec;
+    rec.uid = L->uid;
+    rec.enclosing_task = root_task->uid;
+    rec.src = L->src;
+    rec.sched = opts.sched;
+    rec.chunk_param = opts.chunk;
+    rec.iter_begin = lo;
+    rec.iter_end = hi;
+    rec.num_threads = static_cast<u16>(L->team);
+    rec.starting_thread = static_cast<u16>(w.id);
+    rec.seq = loop_seq;
+    rec.start = loop_start;
+    rec.end = loop_end;
+    w.writer.loop(rec);
+  }
+  ctx.frag_start_ = now();
+}
+
+Trace ThreadedEngine::run(const std::string& program_name,
+                          const TaskFn& root) {
+  recorder_ = std::make_unique<TraceRecorder>(opts_.num_workers);
+  next_task_id_.store(1);
+  next_loop_id_.store(1);
+  live_tasks_.store(0);
+  shutdown_.store(false);
+  store_loop(nullptr);
+
+  workers_.clear();
+  for (int i = 0; i < opts_.num_workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>(
+        i, recorder_->writer(i), mix64(0x9e3779b9u + static_cast<u64>(i))));
+  }
+
+  region_start_ = std::chrono::steady_clock::now();
+#if defined(__x86_64__) || defined(__i386__)
+  tsc_ns_per_tick();  // calibrate before the region starts
+  tsc_base_ = tsc_now();
+#endif
+  for (int i = 1; i < opts_.num_workers; ++i) {
+    Worker* w = workers_[static_cast<size_t>(i)].get();
+    w->thread = std::thread([this, i] { worker_main(i); });
+  }
+
+  Task* root_task = make_task(root, nullptr,
+                              recorder_->intern("<root>"), 0, 0, false);
+  root_task_for_loops_ = root_task;
+  Worker& w0 = *workers_[0];
+  if (profiling()) {
+    TaskRec rec;
+    rec.uid = kRootTask;
+    rec.parent = kNoTask;
+    rec.src = root_task->src;
+    w0.writer.task(rec);
+  }
+
+  // Execute the root body as the implicit task of the parallel region, with
+  // an implicit barrier (drain of all outstanding tasks) at the end.
+  CtxImpl ctx(this, &w0, root_task);
+  ctx.frag_start_ = now();
+  root_task->body(ctx);
+  const TimeNs body_end = now();
+
+  const bool need_implicit_join =
+      ctx.children_since_join_ > 0 ||
+      live_tasks_.load(std::memory_order_acquire) > 0;
+  if (need_implicit_join) {
+    const u32 jseq = ctx.next_join_seq_++;
+    if (profiling()) ctx.end_fragment(body_end, FragmentEnd::Join, jseq);
+    while (live_tasks_.load(std::memory_order_acquire) != 0) {
+      if (Task* t = get_task(w0)) {
+        exec_task(t, w0);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    const TimeNs barrier_end = now();
+    if (profiling()) {
+      JoinRec j;
+      j.task = kRootTask;
+      j.seq = jseq;
+      j.start = body_end;
+      j.end = barrier_end;
+      j.core = 0;
+      w0.writer.join(j);
+      ctx.frag_start_ = barrier_end;
+    }
+  }
+  const TimeNs region_end = now();
+  if (profiling()) ctx.end_fragment(region_end, FragmentEnd::TaskEnd, 0);
+
+  shutdown_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  release_task(root_task);
+  root_task_for_loops_ = nullptr;
+
+  TraceMeta meta;
+  meta.program = program_name;
+  meta.runtime = std::string("threaded/") +
+                 (opts_.scheduler == SchedulerKind::WorkStealing
+                      ? "ws"
+                      : "central");
+  meta.topology = "host";
+  meta.num_workers = opts_.num_workers;
+  meta.num_cores = opts_.num_workers;
+  meta.ghz = 1.0;  // cycles are nanoseconds in threaded executions
+  meta.region_start = 0;
+  meta.region_end = region_end;
+  meta.notes = region_notes_;
+  if (!opts_.profile) {
+    // Produce an empty (but well-formed) trace carrying only the makespan —
+    // used by the profiling-overhead experiment.
+    TraceRecorder empty(1);
+    Trace t = empty.finish(meta);
+    recorder_.reset();
+    return t;
+  }
+  Trace trace = recorder_->finish(meta);
+  recorder_.reset();
+  return trace;
+}
+
+}  // namespace gg::rts

@@ -1,0 +1,242 @@
+#include "sim/capture.hpp"
+
+#include <map>
+#include <utility>
+
+#include "common/check.hpp"
+#include "trace/trace.hpp"
+
+namespace gg::sim {
+
+using front::Ctx;
+using front::ForOpts;
+using front::LoopFn;
+using front::RegionId;
+using front::SrcLoc;
+using front::TaskFn;
+
+Cycles Program::total_compute() const {
+  Cycles total = 0;
+  for (const TaskDef& t : tasks) {
+    for (const Op& op : t.ops) {
+      if (op.kind == Op::Kind::Compute) total += op.arg;
+    }
+  }
+  for (const LoopDef& l : loops) {
+    for (const IterDef& it : l.iters) total += it.compute;
+  }
+  return total;
+}
+
+/// Capture context: one instance per task being captured; spawn recurses.
+class Capture::CtxImpl final : public Ctx {
+ public:
+  CtxImpl(Program* prog, u32 task_index)
+      : prog_(prog), task_(task_index) {}
+
+  void spawn(const SrcLoc& loc, TaskFn body) override {
+    spawn_impl(loc, nullptr, std::move(body));
+  }
+
+  void spawn(const SrcLoc& loc, const front::Depends& deps,
+             TaskFn body) override {
+    spawn_impl(loc, &deps, std::move(body));
+  }
+
+  void spawn_impl(const SrcLoc& loc, const front::Depends* deps, TaskFn body) {
+    GG_CHECK_MSG(iter_ == nullptr,
+                 "spawning tasks from loop chunks is not supported");
+    const u32 child = static_cast<u32>(prog_->tasks.size());
+    {
+      TaskDef def;
+      def.parent = task_;
+      def.child_index = next_child_index_++;
+      def.src = intern_loc(loc);
+      if (deps != nullptr && !deps->empty()) {
+        def.dep_preds = resolve_dependences(*deps, child);
+      }
+      prog_->tasks.push_back(std::move(def));
+    }
+    Op op;
+    op.kind = Op::Kind::Spawn;
+    op.arg = child;
+    ops().push_back(op);
+    // Depth-first capture: run the child now; its ops land in its own def.
+    // Sequential program order satisfies every dependence by construction.
+    CtxImpl child_ctx(prog_, child);
+    body(child_ctx);
+  }
+
+  /// OpenMP last-writer/reader resolution against earlier siblings.
+  std::vector<u32> resolve_dependences(const front::Depends& deps, u32 child) {
+    std::vector<u32> preds;
+    auto add = [&](u32 p) {
+      if (p == child) return;
+      for (u32 q : preds) {
+        if (q == p) return;
+      }
+      preds.push_back(p);
+    };
+    for (u64 h : deps.in) {
+      auto it = dep_map_.find(h);
+      if (it != dep_map_.end() && it->second.has_writer)
+        add(it->second.last_writer);
+    }
+    for (u64 h : deps.out) {
+      auto it = dep_map_.find(h);
+      if (it != dep_map_.end()) {
+        if (it->second.has_writer) add(it->second.last_writer);
+        for (u32 r : it->second.readers) add(r);
+      }
+    }
+    for (u64 h : deps.in) dep_map_[h].readers.push_back(child);
+    for (u64 h : deps.out) {
+      auto& e = dep_map_[h];
+      e.has_writer = true;
+      e.last_writer = child;
+      e.readers.clear();
+    }
+    return preds;
+  }
+
+  void taskwait() override {
+    GG_CHECK_MSG(iter_ == nullptr,
+                 "taskwait inside loop chunks is not supported");
+    Op op;
+    op.kind = Op::Kind::Wait;
+    ops().push_back(op);
+  }
+
+  void parallel_for(const SrcLoc& loc, u64 lo, u64 hi, const ForOpts& opts,
+                    const LoopFn& body) override {
+    GG_CHECK_MSG(task_ == 0 && iter_ == nullptr,
+                 "parallel_for is only supported from the root task");
+    const u32 loop_index = static_cast<u32>(prog_->loops.size());
+    prog_->loops.emplace_back();
+    {
+      LoopDef& def = prog_->loops.back();
+      def.enclosing_task = task_;
+      def.src = intern_loc(loc);
+      def.sched = opts.sched;
+      def.chunk_param = opts.chunk;
+      def.lo = lo;
+      def.hi = hi;
+      def.num_threads_req = opts.num_threads;
+      def.iters.resize(hi > lo ? hi - lo : 0);
+    }
+    Op op;
+    op.kind = Op::Kind::Loop;
+    op.arg = loop_index;
+    ops().push_back(op);
+    for (u64 i = lo; i < hi; ++i) {
+      // Point the annotation sink at this iteration's cost record. Re-read
+      // the loop def each iteration: the body may not grow loops (no nested
+      // parallelism) but keeping the access local is cheap and safe.
+      iter_ = &prog_->loops[loop_index].iters[i - lo];
+      body(i, *this);
+      iter_ = nullptr;
+    }
+  }
+
+  void compute(Cycles cycles) override {
+    if (iter_ != nullptr) {
+      iter_->compute += cycles;
+      return;
+    }
+    auto& v = ops();
+    if (!v.empty() && v.back().kind == Op::Kind::Compute) {
+      v.back().arg += cycles;  // merge adjacent compute annotations
+    } else {
+      Op op;
+      op.kind = Op::Kind::Compute;
+      op.arg = cycles;
+      v.push_back(op);
+    }
+  }
+
+  void touch(RegionId region, u64 offset, u64 bytes, u32 stride,
+             u32 repeats) override {
+    GG_CHECK_MSG(region != front::kNoRegion &&
+                     region < prog_->regions.size(),
+                 "touch() on an unallocated region");
+    TouchOp t;
+    t.region = region;
+    t.offset = offset;
+    t.span = bytes;
+    t.stride = stride;
+    t.repeats = repeats == 0 ? 1 : repeats;
+    if (iter_ != nullptr) {
+      iter_->touches.push_back(t);
+      return;
+    }
+    Op op;
+    op.kind = Op::Kind::Touch;
+    op.touch = t;
+    ops().push_back(op);
+  }
+
+  int worker() const override { return 0; }
+  int num_workers() const override { return 1; }
+
+ private:
+  std::vector<Op>& ops() { return prog_->tasks[task_].ops; }
+
+  StrId intern_loc(const SrcLoc& loc) {
+    return intern_src(prog_->strings, loc.file, loc.line, loc.func);
+  }
+
+  struct DepEntry {
+    bool has_writer = false;
+    u32 last_writer = 0;
+    std::vector<u32> readers;
+  };
+
+  Program* prog_;
+  u32 task_;
+  u32 next_child_index_ = 0;
+  IterDef* iter_ = nullptr;  ///< non-null while capturing a loop iteration
+  std::map<u64, DepEntry> dep_map_;
+};
+
+Capture::Capture() : program_(std::make_unique<Program>()) {
+  program_->regions.push_back(RegionDef{"<none>", 0,
+                                        front::PagePlacement::FirstTouch, 0});
+}
+
+front::RegionId Capture::alloc_region(const std::string& name, u64 bytes,
+                                      front::PagePlacement placement,
+                                      int touch_node) {
+  RegionDef def;
+  def.name = name;
+  def.bytes = bytes;
+  def.placement = placement;
+  def.home_node = touch_node < 0 ? 0 : touch_node;
+  program_->regions.push_back(std::move(def));
+  return static_cast<front::RegionId>(program_->regions.size() - 1);
+}
+
+Program Capture::run(const std::string& program_name, const TaskFn& root) {
+  GG_CHECK_MSG(program_->tasks.empty() && !program_->regions.empty(),
+               "Capture::run may only be called once per Capture");
+  program_->name = program_name;
+  TaskDef root_def;
+  root_def.is_root = true;
+  root_def.src = program_->strings.intern("<root>");
+  program_->tasks.push_back(std::move(root_def));
+  CtxImpl ctx(program_.get(), 0);
+  root(ctx);
+  return std::move(*program_);
+}
+
+Program capture_program(const std::string& name, const front::TaskFn& root) {
+  Capture cap;
+  return cap.run(name, root);
+}
+
+Trace CaptureRegionEngine::run(const std::string&, const front::TaskFn&) {
+  GG_CHECK_MSG(false,
+               "CaptureRegionEngine only allocates regions; use Capture::run");
+  return Trace{};  // unreachable
+}
+
+}  // namespace gg::sim

@@ -1,0 +1,53 @@
+// Phase A: capture. Runs the app once, sequentially, recording its parallel
+// structure and cost annotations into a sim::Program.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "front/front.hpp"
+#include "sim/program.hpp"
+
+namespace gg::sim {
+
+/// Captures programs written against front::Ctx. Regions must be allocated
+/// before run(). The capture executes task bodies depth-first at spawn
+/// (inline), so real results are computed exactly once.
+class Capture {
+ public:
+  Capture();
+
+  /// Registers a region with the (future) memory model.
+  front::RegionId alloc_region(const std::string& name, u64 bytes,
+                               front::PagePlacement placement,
+                               int touch_node = -1);
+
+  /// Runs the root body and returns the captured program.
+  Program run(const std::string& program_name, const front::TaskFn& root);
+
+ private:
+  class CtxImpl;
+  std::unique_ptr<Program> program_;
+};
+
+/// One-call convenience.
+Program capture_program(const std::string& name, const front::TaskFn& root);
+
+/// front::Engine adapter over a Capture for app builders that only need
+/// region allocation before the capture run (benches capture once and then
+/// simulate under many configurations). run() aborts — use Capture::run.
+class CaptureRegionEngine final : public front::Engine {
+ public:
+  explicit CaptureRegionEngine(Capture& cap) : cap_(cap) {}
+  front::RegionId alloc_region(const std::string& name, u64 bytes,
+                               front::PagePlacement placement,
+                               int touch_node = -1) override {
+    return cap_.alloc_region(name, bytes, placement, touch_node);
+  }
+  Trace run(const std::string&, const front::TaskFn&) override;
+
+ private:
+  Capture& cap_;
+};
+
+}  // namespace gg::sim

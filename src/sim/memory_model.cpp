@@ -1,0 +1,168 @@
+#include "sim/memory_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace gg::sim {
+
+MemoryModel::MemoryModel(const Topology& topo,
+                         const std::vector<RegionDef>& regions, int num_cores)
+    : topo_(topo), regions_(regions) {
+  const MemoryParams& mp = topo.memory();
+  capacity_segments_ =
+      std::max<u64>(1, mp.private_cache_bytes / kSegmentBytes);
+  caches_.resize(static_cast<size_t>(num_cores));
+  frontiers_.resize(static_cast<size_t>(num_cores));
+}
+
+void MemoryModel::reset() {
+  for (auto& c : caches_) {
+    c.lru.clear();
+    c.index.clear();
+  }
+  for (auto& f : frontiers_) f.clear();
+}
+
+bool MemoryModel::lookup_insert(int core, const SegKey& key) {
+  CoreCache& cache = caches_[static_cast<size_t>(core)];
+  auto it = cache.index.find(key);
+  if (it != cache.index.end()) {
+    cache.lru.splice(cache.lru.begin(), cache.lru, it->second);
+    return true;
+  }
+  cache.lru.push_front(key);
+  cache.index.emplace(key, cache.lru.begin());
+  if (cache.lru.size() > capacity_segments_) {
+    cache.index.erase(cache.lru.back());
+    cache.lru.pop_back();
+  }
+  return false;
+}
+
+double MemoryModel::miss_latency(int core, const RegionDef& region,
+                                 int active_cores) const {
+  const MemoryParams& mp = topo_.memory();
+  const int my_node = topo_.numa_of_core(core);
+  const int nodes = topo_.num_numa_nodes();
+
+  // Expected line latency over the region's home-node distribution and the
+  // expected memory-controller queueing at those nodes.
+  auto line_cycles = [&](int dist) {
+    // dist 10 (local) -> base latency; each extra distance unit adds
+    // distance_unit_cycles.
+    return static_cast<double>(mp.local_line_cycles) +
+           static_cast<double>(mp.distance_unit_cycles) *
+               static_cast<double>(std::max(0, dist - 10));
+  };
+  double lat = 0.0;
+  double node_share = 1.0;  // fraction of this region homed per node
+  switch (region.placement) {
+    case front::PagePlacement::FirstTouch:
+    case front::PagePlacement::Local:
+      lat = line_cycles(topo_.numa_distance(my_node, region.home_node));
+      node_share = 1.0;
+      break;
+    case front::PagePlacement::RoundRobin: {
+      double acc = 0.0;
+      for (int n = 0; n < nodes; ++n)
+        acc += line_cycles(topo_.numa_distance(my_node, n));
+      lat = acc / nodes;
+      node_share = 1.0 / nodes;
+      break;
+    }
+  }
+  // Contention: other busy cores are assumed to miss at a similar rate; the
+  // expected number queueing on this region's controller(s) scales with the
+  // share of pages homed there.
+  const double pressure =
+      std::max(0.0, static_cast<double>(active_cores) * node_share - 1.0);
+  const double contention = 1.0 + mp.contention_factor * pressure;
+  return lat * contention;
+}
+
+TouchCost MemoryModel::on_touch(int core, const TouchOp& touch,
+                                int active_cores) {
+  TouchCost cost;
+  if (touch.span == 0 || touch.region == front::kNoRegion ||
+      touch.region >= regions_.size()) {
+    return cost;
+  }
+  const RegionDef& region = regions_[touch.region];
+  const MemoryParams& mp = topo_.memory();
+  const u64 line = std::max<u32>(1, mp.line_bytes);
+  const u64 repeats = std::max<u32>(1, touch.repeats);
+
+  // ---- L1 behaviour (analytic, stateless) --------------------------------
+  // A walk with stride > line misses L1 on every access (the bmod column
+  // walk, §4.3.2); sequential walks are prefetched and pay a small per-line
+  // refill. Repeats multiply: re-walking a block larger than L1 re-misses.
+  const u64 accesses_per_walk =
+      touch.stride > line ? std::max<u64>(1, touch.span / touch.stride)
+                          : std::max<u64>(1, touch.span / line);
+  Cycles l1_stall = 0;
+  u64 l1_misses = 0;
+  if (touch.stride > line) {
+    l1_misses = accesses_per_walk * repeats;
+    // Under multicore execution a share of these misses is serviced by
+    // remote caches (the block was produced by another core): coherence
+    // traffic that inflates per-grain work relative to 1-core runs.
+    const double remote_frac =
+        mp.coherence_rate *
+        (caches_.size() <= 1
+             ? 0.0
+             : static_cast<double>(active_cores - 1) /
+                   static_cast<double>(caches_.size() - 1));
+    const double per_miss =
+        static_cast<double>(mp.l1_miss_cycles) +
+        remote_frac * miss_latency(core, region, active_cores);
+    l1_stall = static_cast<Cycles>(static_cast<double>(l1_misses) * per_miss);
+  } else {
+    l1_misses = accesses_per_walk * repeats;
+    l1_stall = l1_misses * mp.l1_stream_cycles;
+  }
+
+  // ---- Private-cache residency + NUMA (stateful) --------------------------
+  // Distinct lines eventually brought in from memory: the whole span once
+  // (repeats hit the private cache). Resident segments hit; absent ones
+  // miss their share and pay the distance/contention latency.
+  const u64 distinct_lines = std::max<u64>(1, touch.span / line);
+  const u64 seg_lo = touch.offset / kSegmentBytes;
+  const u64 seg_hi = (touch.offset + touch.span - 1) / kSegmentBytes;
+  const u64 nsegs = seg_hi - seg_lo + 1;
+  u64 missed_segments = 0;
+  for (u64 s = seg_lo; s <= seg_hi; ++s) {
+    if (!lookup_insert(core, SegKey{touch.region, s})) ++missed_segments;
+  }
+  const double miss_fraction =
+      static_cast<double>(missed_segments) / static_cast<double>(nsegs);
+  u64 missed_lines = static_cast<u64>(
+      std::llround(static_cast<double>(distinct_lines) * miss_fraction));
+
+  // Streaming frontier: fresh bytes beyond anything this core has seen in
+  // the region are memory fetches even when the 16 KB segment already
+  // counts as resident (a sequence of sub-segment touches walking forward).
+  {
+    Frontier& fr = frontiers_[static_cast<size_t>(core)][touch.region];
+    const u64 end = touch.offset + touch.span;
+    if (end > fr.end) {
+      const u64 from = std::max(fr.end, touch.offset);
+      fr.frac_bytes += end - from;
+      fr.end = end;
+      const u64 fresh_lines = fr.frac_bytes / line;
+      fr.frac_bytes %= line;
+      missed_lines = std::max(missed_lines, fresh_lines);
+    }
+  }
+
+  cost.line_misses = l1_misses * (touch.stride > line ? 1 : 0) + missed_lines;
+  cost.bytes = touch.span * repeats;
+  cost.stall =
+      l1_stall + static_cast<Cycles>(std::llround(
+                     static_cast<double>(missed_lines) *
+                     miss_latency(core, region, active_cores)));
+  return cost;
+}
+
+}  // namespace gg::sim

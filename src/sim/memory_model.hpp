@@ -1,0 +1,99 @@
+// The simulator's cache/NUMA cost model.
+//
+// This is the substitution for the paper's real 48-core Opteron memory
+// system + PAPI counters (DESIGN.md §1). It is intentionally simple but
+// carries exactly the effects the paper's analyses hinge on:
+//
+//  * private-cache reuse — a per-core LRU over fixed-size region segments;
+//    repeated touches of a resident working set are free. This produces
+//    beneficial work deviation (< 1) when per-core working sets shrink
+//    under multicore execution (§3.2).
+//  * stride sensitivity — a touch with stride > line size misses on every
+//    element instead of every line. Fixing the bmod triple-loop access
+//    pattern by interchange (359.botsspar, §4.3.2) shows up as a ~line/elem
+//    reduction in misses.
+//  * NUMA distance — each missed line pays a latency scaled by the distance
+//    between the executing core's node and the region's home node(s).
+//  * memory-controller contention — with first-touch placement every page
+//    homes on one node and all cores queue on its controller; round-robin
+//    placement (the Sort fix, §4.3.1) spreads the pressure.
+//
+// All effects are deterministic expected-value computations — no randomness.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/program.hpp"
+#include "topology/topology.hpp"
+
+namespace gg::sim {
+
+/// Result of costing one touch.
+struct TouchCost {
+  Cycles stall = 0;
+  u64 line_misses = 0;
+  u64 bytes = 0;
+};
+
+class MemoryModel {
+ public:
+  /// `active_cores` is queried at each touch to estimate contention.
+  MemoryModel(const Topology& topo, const std::vector<RegionDef>& regions,
+              int num_cores);
+
+  /// Costs a touch executed on `core` while `active_cores` cores are busy.
+  /// Updates the core's private-cache state.
+  TouchCost on_touch(int core, const TouchOp& touch, int active_cores);
+
+  /// Drops all private-cache state (used between independent phases).
+  void reset();
+
+  /// Cache segment granularity (bytes) used for residency tracking.
+  static constexpr u64 kSegmentBytes = 16 * 1024;
+
+ private:
+  struct SegKey {
+    u32 region;
+    u64 segment;
+    bool operator==(const SegKey& o) const {
+      return region == o.region && segment == o.segment;
+    }
+  };
+  struct SegKeyHash {
+    size_t operator()(const SegKey& k) const {
+      return std::hash<u64>()(k.segment * 1315423911u + k.region);
+    }
+  };
+  /// Per-core LRU of resident segments.
+  struct CoreCache {
+    std::list<SegKey> lru;  // front = most recent
+    std::unordered_map<SegKey, std::list<SegKey>::iterator, SegKeyHash> index;
+  };
+
+  /// Expected line latency (cycles) for a miss from `core` into `region`,
+  /// taking home-node distance and controller contention into account.
+  double miss_latency(int core, const RegionDef& region,
+                      int active_cores) const;
+
+  bool lookup_insert(int core, const SegKey& key);
+
+  /// Per-(core, region) stream frontier: the furthest byte yet touched plus
+  /// a sub-line byte accumulator, so sequential streams of tiny touches
+  /// (e.g. one option per loop iteration) still pay one memory fetch per
+  /// fresh line.
+  struct Frontier {
+    u64 end = 0;
+    u64 frac_bytes = 0;
+  };
+
+  const Topology& topo_;
+  const std::vector<RegionDef>& regions_;
+  size_t capacity_segments_;
+  std::vector<CoreCache> caches_;
+  std::vector<std::unordered_map<u32, Frontier>> frontiers_;  // per core
+};
+
+}  // namespace gg::sim

@@ -1,0 +1,102 @@
+// Captured-program representation for the simulator.
+//
+// The simulator works in two phases (DESIGN.md §3):
+//   Phase A (capture): the app's root body runs once, sequentially and
+//   depth-first. Real computation happens here; cost annotations
+//   (compute/touch) and structure (spawn/taskwait/parallel_for) are recorded
+//   into the op lists below. For a deterministic program the captured
+//   structure is schedule-independent — exactly the property the paper
+//   relies on for grain graphs ("independent from machine size and
+//   scheduling choices", §3.1).
+//   Phase B (simulate): a discrete-event scheduler replays the ops on a
+//   modeled NUMA machine under a runtime policy, producing a Trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/types.hpp"
+#include "front/front.hpp"
+#include "trace/records.hpp"
+
+namespace gg::sim {
+
+/// A memory access recorded by front::Ctx::touch().
+struct TouchOp {
+  front::RegionId region = front::kNoRegion;
+  u64 offset = 0;   ///< start byte within the region
+  u64 span = 0;     ///< bytes covered by the access pattern
+  u32 stride = 0;   ///< bytes between consecutive accesses; 0 = sequential
+  u32 repeats = 1;  ///< times the pattern is re-walked
+};
+
+/// One recorded action of a task body.
+struct Op {
+  enum class Kind : u8 { Compute, Touch, Spawn, Wait, Loop };
+  Kind kind = Kind::Compute;
+  u64 arg = 0;  ///< Compute: cycles; Spawn: child task index; Loop: loop index
+  TouchOp touch;  ///< valid when kind == Touch
+};
+
+/// One task instance (capture runs each dynamic task exactly once, so a
+/// definition here IS an instance). Index 0 is the root task.
+struct TaskDef {
+  u32 parent = 0;       ///< parent task index (ignored for root)
+  u32 child_index = 0;  ///< creation index among the parent's children
+  StrId src = 0;
+  bool is_root = false;
+  std::vector<Op> ops;
+  std::vector<u32> dep_preds;  ///< task indices this task depends on
+                               ///< (OpenMP depend clauses, resolved at
+                               ///< capture in program order)
+};
+
+/// Cost of one loop iteration: straight-line compute/touch ops only
+/// (spawning from chunks is not supported, matching the profiler's
+/// no-nested-parallelism restriction).
+struct IterDef {
+  Cycles compute = 0;
+  std::vector<TouchOp> touches;
+};
+
+/// One parallel for-loop instance.
+struct LoopDef {
+  u32 enclosing_task = 0;
+  StrId src = 0;
+  ScheduleKind sched = ScheduleKind::Static;
+  u64 chunk_param = 0;
+  u64 lo = 0;
+  u64 hi = 0;
+  int num_threads_req = 0;  ///< 0 = whole team
+  std::vector<IterDef> iters;  ///< size == hi - lo
+};
+
+/// A registered memory region and its page-placement policy.
+struct RegionDef {
+  std::string name;
+  u64 bytes = 0;
+  front::PagePlacement placement = front::PagePlacement::FirstTouch;
+  int home_node = 0;  ///< FirstTouch/Local: the single home NUMA node
+};
+
+/// A fully captured program, ready to be simulated any number of times
+/// under different machine sizes and runtime policies.
+struct Program {
+  std::string name;
+  std::vector<TaskDef> tasks;   ///< [0] is the root
+  std::vector<LoopDef> loops;
+  std::vector<RegionDef> regions;  ///< [0] is a dummy (kNoRegion)
+  StringTable strings;
+
+  /// Total annotated compute cycles across all tasks and loop iterations —
+  /// the serial work lower bound (T1 without memory effects).
+  Cycles total_compute() const;
+
+  /// Number of grains the program will produce: tasks (minus root) plus a
+  /// schedule-dependent number of chunks (so loops are counted as their
+  /// iteration totals only by the simulator; here we count tasks only).
+  size_t task_count() const { return tasks.empty() ? 0 : tasks.size() - 1; }
+};
+
+}  // namespace gg::sim

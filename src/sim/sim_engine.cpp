@@ -1,0 +1,21 @@
+#include "sim/sim_engine.hpp"
+
+namespace gg::sim {
+
+SimEngine::SimEngine(SimOptions opts)
+    : opts_(std::move(opts)), capture_(std::make_unique<Capture>()) {}
+
+front::RegionId SimEngine::alloc_region(const std::string& name, u64 bytes,
+                                        front::PagePlacement placement,
+                                        int touch_node) {
+  return capture_->alloc_region(name, bytes, placement, touch_node);
+}
+
+Trace SimEngine::run(const std::string& program_name,
+                     const front::TaskFn& root) {
+  Program prog = capture_->run(program_name, root);
+  capture_ = std::make_unique<Capture>();  // allow further runs
+  return simulate(prog, opts_);
+}
+
+}  // namespace gg::sim

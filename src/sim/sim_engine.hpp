@@ -1,0 +1,32 @@
+// SimEngine: front::Engine convenience wrapper around capture + simulate.
+// For parameter sweeps (e.g. Fig. 1 speedup curves over core counts and
+// policies) capture once with sim::Capture and call sim::simulate() per
+// configuration instead — the capture is reused.
+#pragma once
+
+#include <memory>
+
+#include "front/front.hpp"
+#include "sim/capture.hpp"
+#include "sim/des.hpp"
+
+namespace gg::sim {
+
+class SimEngine final : public front::Engine {
+ public:
+  explicit SimEngine(SimOptions opts);
+
+  front::RegionId alloc_region(const std::string& name, u64 bytes,
+                               front::PagePlacement placement,
+                               int touch_node = -1) override;
+
+  Trace run(const std::string& program_name, const front::TaskFn& root) override;
+
+  const SimOptions& options() const { return opts_; }
+
+ private:
+  SimOptions opts_;
+  std::unique_ptr<Capture> capture_;
+};
+
+}  // namespace gg::sim

@@ -1,0 +1,100 @@
+#include "topology/topology.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gg {
+
+Topology Topology::symmetric(int sockets, int numa_per_socket,
+                             int cores_per_numa, std::string name) {
+  GG_CHECK(sockets >= 1 && numa_per_socket >= 1 && cores_per_numa >= 1);
+  Topology t;
+  t.name_ = std::move(name);
+  t.num_sockets_ = sockets;
+  t.cores_per_numa_ = cores_per_numa;
+  t.cores_per_socket_ = numa_per_socket * cores_per_numa;
+  const int nodes = sockets * numa_per_socket;
+  for (int node = 0; node < nodes; ++node) {
+    const int socket = node / numa_per_socket;
+    for (int c = 0; c < cores_per_numa; ++c) {
+      t.core_numa_.push_back(node);
+      t.core_socket_.push_back(socket);
+    }
+  }
+  t.distance_.assign(static_cast<size_t>(nodes),
+                     std::vector<int>(static_cast<size_t>(nodes), 0));
+  for (int a = 0; a < nodes; ++a) {
+    for (int b = 0; b < nodes; ++b) {
+      if (a == b) {
+        t.distance_[a][b] = 10;
+      } else if (a / numa_per_socket == b / numa_per_socket) {
+        t.distance_[a][b] = 16;
+      } else {
+        t.distance_[a][b] = 22;
+      }
+    }
+  }
+  return t;
+}
+
+Topology Topology::opteron48() {
+  Topology t = symmetric(/*sockets=*/4, /*numa_per_socket=*/2,
+                         /*cores_per_numa=*/6, "opteron48");
+  t.ghz_ = 2.1;
+  // Magny-Cours: 512 KB private L2 per core, 6 MB L3 per die.
+  t.memory_.private_cache_bytes = 512 * 1024;
+  t.memory_.shared_cache_bytes = 6 * 1024 * 1024;
+  return t;
+}
+
+Topology Topology::generic4() {
+  Topology t = symmetric(1, 1, 4, "generic4");
+  t.ghz_ = 2.0;
+  return t;
+}
+
+Topology Topology::generic16() {
+  Topology t = symmetric(2, 2, 4, "generic16");
+  t.ghz_ = 2.0;
+  return t;
+}
+
+int Topology::numa_of_core(int core) const {
+  GG_CHECK(core >= 0 && core < num_cores());
+  return core_numa_[static_cast<size_t>(core)];
+}
+
+int Topology::socket_of_core(int core) const {
+  GG_CHECK(core >= 0 && core < num_cores());
+  return core_socket_[static_cast<size_t>(core)];
+}
+
+int Topology::numa_distance(int node_a, int node_b) const {
+  GG_CHECK(node_a >= 0 && node_a < num_numa_nodes());
+  GG_CHECK(node_b >= 0 && node_b < num_numa_nodes());
+  return distance_[static_cast<size_t>(node_a)][static_cast<size_t>(node_b)];
+}
+
+int Topology::core_distance(int core_a, int core_b) const {
+  if (core_a == core_b) return 0;
+  return numa_distance(numa_of_core(core_a), numa_of_core(core_b));
+}
+
+std::vector<int> Topology::cores_of_numa(int node) const {
+  std::vector<int> cores;
+  for (int c = 0; c < num_cores(); ++c) {
+    if (core_numa_[static_cast<size_t>(c)] == node) cores.push_back(c);
+  }
+  return cores;
+}
+
+TimeNs Topology::cycles_to_ns(Cycles c) const {
+  return static_cast<TimeNs>(static_cast<double>(c) / ghz_);
+}
+
+Cycles Topology::ns_to_cycles(TimeNs ns) const {
+  return static_cast<Cycles>(static_cast<double>(ns) * ghz_);
+}
+
+}  // namespace gg

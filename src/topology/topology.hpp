@@ -1,0 +1,98 @@
+// Machine topology descriptions.
+//
+// The scatter metric (§3.2 of the paper) measures the median pairwise
+// distance in the system topology between cores executing sibling grains,
+// using the NUMA distance table. The simulator additionally uses the
+// topology for its memory cost model (private cache size, NUMA latencies,
+// cores per socket). The paper's test machine — 4 × 2.1 GHz AMD Opteron
+// 6172 (12 cores each, 2 NUMA dies of 6 cores per package), 48 cores, 8
+// NUMA nodes, 64 GB — ships as the `opteron48()` preset.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gg {
+
+/// Cache and memory latency parameters used by the simulator's cost model.
+/// Latencies are in processor cycles per cache line.
+struct MemoryParams {
+  u64 private_cache_bytes = 512 * 1024;  ///< per-core private cache (L1+L2)
+  u64 shared_cache_bytes = 6 * 1024 * 1024;  ///< per-NUMA-die shared L3
+  u32 line_bytes = 64;
+  u32 local_line_cycles = 60;    ///< miss serviced by the local NUMA node
+  u32 distance_unit_cycles = 8;  ///< extra cycles per NUMA-distance unit
+                                 ///< above the local distance
+  u32 l1_miss_cycles = 12;       ///< strided access missing L1, hitting L2
+  u32 l1_stream_cycles = 2;      ///< sequential (prefetched) L1 refill
+  double contention_factor = 0.04;  ///< memory-controller queueing slope per
+                                    ///< extra core hammering the same node
+  double coherence_rate = 0.2;    ///< fraction of strided re-walk misses that
+                                 ///< hit remote caches under multicore
+                                 ///< execution (coherence traffic — Olivier
+                                 ///< et al.'s work-inflation source)
+};
+
+/// Description of a shared-memory machine: cores grouped into NUMA nodes
+/// grouped into sockets, plus the ACPI-style NUMA distance table.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Builds a symmetric machine: `sockets` sockets, `numa_per_socket` NUMA
+  /// nodes per socket, `cores_per_numa` cores per node. Distances follow the
+  /// common ACPI convention: 10 local, 16 same-socket, 22 one-hop remote.
+  static Topology symmetric(int sockets, int numa_per_socket,
+                            int cores_per_numa, std::string name);
+
+  /// The paper's machine: 4 sockets x 2 NUMA dies x 6 cores = 48 cores,
+  /// 2.1 GHz, frequency scaling disabled.
+  static Topology opteron48();
+
+  /// Small presets for tests and laptop-scale examples.
+  static Topology generic4();
+  static Topology generic16();
+
+  const std::string& name() const { return name_; }
+  int num_cores() const { return static_cast<int>(core_numa_.size()); }
+  int num_numa_nodes() const { return static_cast<int>(distance_.size()); }
+  int num_sockets() const { return num_sockets_; }
+  int cores_per_socket() const { return cores_per_socket_; }
+  int cores_per_numa() const { return cores_per_numa_; }
+  double ghz() const { return ghz_; }
+  void set_ghz(double ghz) { ghz_ = ghz; }
+
+  int numa_of_core(int core) const;
+  int socket_of_core(int core) const;
+
+  /// NUMA distance between two nodes (10 == local by ACPI convention).
+  int numa_distance(int node_a, int node_b) const;
+
+  /// Distance between the NUMA nodes of two cores; 0 when equal cores.
+  int core_distance(int core_a, int core_b) const;
+
+  /// Cores that belong to the given NUMA node, in id order.
+  std::vector<int> cores_of_numa(int node) const;
+
+  /// Converts cycles to nanoseconds at this machine's frequency.
+  TimeNs cycles_to_ns(Cycles c) const;
+  Cycles ns_to_cycles(TimeNs ns) const;
+
+  const MemoryParams& memory() const { return memory_; }
+  MemoryParams& memory() { return memory_; }
+
+ private:
+  std::string name_;
+  std::vector<int> core_numa_;    // core id -> NUMA node
+  std::vector<int> core_socket_;  // core id -> socket
+  std::vector<std::vector<int>> distance_;
+  int num_sockets_ = 0;
+  int cores_per_socket_ = 0;
+  int cores_per_numa_ = 0;
+  double ghz_ = 2.1;
+  MemoryParams memory_;
+};
+
+}  // namespace gg

@@ -1,0 +1,56 @@
+#include "trace/recorder.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace gg {
+
+TraceRecorder::TraceRecorder(int num_workers) {
+  GG_CHECK(num_workers >= 1);
+  buffers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i)
+    buffers_.push_back(std::make_unique<Writer::Buffer>());
+}
+
+TraceRecorder::Writer TraceRecorder::writer(int worker) {
+  GG_CHECK(worker >= 0 && static_cast<size_t>(worker) < buffers_.size());
+  return Writer(buffers_[static_cast<size_t>(worker)].get());
+}
+
+StrId TraceRecorder::intern(std::string_view s) {
+  std::lock_guard lock(strings_mutex_);
+  return strings_.intern(s);
+}
+
+StrId TraceRecorder::intern_source(std::string_view file, int line,
+                                   std::string_view func) {
+  std::lock_guard lock(strings_mutex_);
+  return intern_src(strings_, file, line, func);
+}
+
+Trace TraceRecorder::finish(TraceMeta meta) {
+  Trace trace;
+  trace.meta = std::move(meta);
+  for (auto& buf : buffers_) {
+    auto move_into = [](auto& dst, auto& src) {
+      dst.insert(dst.end(), src.begin(), src.end());
+      src.clear();
+    };
+    move_into(trace.tasks, buf->tasks);
+    move_into(trace.fragments, buf->fragments);
+    move_into(trace.joins, buf->joins);
+    move_into(trace.loops, buf->loops);
+    move_into(trace.chunks, buf->chunks);
+    move_into(trace.bookkeeps, buf->bookkeeps);
+    move_into(trace.depends, buf->depends);
+  }
+  {
+    std::lock_guard lock(strings_mutex_);
+    trace.strings = std::exchange(strings_, StringTable{});
+  }
+  trace.finalize();
+  return trace;
+}
+
+}  // namespace gg

@@ -1,0 +1,532 @@
+#include "trace/serialize.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace gg {
+
+namespace {
+
+constexpr int kVersion = 2;  // v2 adds dependence records
+
+// Strings may contain spaces; they are written percent-escaped so that every
+// record stays a single whitespace-separated line.
+std::string escape(std::string_view s) {
+  if (s.empty()) return "%";  // sentinel: a lone '%' is otherwise invalid
+  std::string out;
+  out.reserve(s.size());
+  static const char* hex = "0123456789ABCDEF";
+  for (char c : s) {
+    if (c == '%' || c == ' ' || c == '\n' || c == '\t') {
+      out += '%';
+      out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+      out += hex[static_cast<unsigned char>(c) & 0xF];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::optional<std::string> unescape(std::string_view s) {
+  if (s == "%") return std::string();
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%') {
+      if (i + 2 >= s.size()) return std::nullopt;
+      auto nib = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      const int hi = nib(s[i + 1]), lo = nib(s[i + 2]);
+      if (hi < 0 || lo < 0) return std::nullopt;
+      out += static_cast<char>(hi * 16 + lo);
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+void write_counters(std::ostream& os, const Counters& c) {
+  os << ' ' << c.compute << ' ' << c.stall << ' ' << c.cache_misses << ' '
+     << c.bytes_accessed;
+}
+
+bool read_counters(std::istringstream& is, Counters& c) {
+  return static_cast<bool>(is >> c.compute >> c.stall >> c.cache_misses >>
+                           c.bytes_accessed);
+}
+
+}  // namespace
+
+void save_trace(const Trace& trace, std::ostream& os) {
+  os << "ggtrace " << kVersion << '\n';
+  const TraceMeta& m = trace.meta;
+  os << "meta " << escape(m.program) << ' ' << escape(m.runtime) << ' '
+     << escape(m.topology) << ' ' << m.num_workers << ' ' << m.num_cores
+     << ' ' << m.ghz << ' ' << m.region_start << ' ' << m.region_end << '\n';
+  for (const std::string& n : m.notes) os << "note " << escape(n) << '\n';
+  // String table (skip the implicit empty string at id 0).
+  const auto& strs = trace.strings.all();
+  for (size_t i = 1; i < strs.size(); ++i)
+    os << "str " << i << ' ' << escape(strs[i]) << '\n';
+  for (const TaskRec& t : trace.tasks) {
+    os << "task " << t.uid << ' '
+       << (t.parent == kNoTask ? std::string("-")
+                               : std::to_string(t.parent))
+       << ' ' << t.child_index << ' ' << t.src << ' ' << t.create_time << ' '
+       << t.create_core << ' ' << t.creation_cost << ' ' << (t.inlined ? 1 : 0)
+       << '\n';
+  }
+  for (const FragmentRec& f : trace.fragments) {
+    os << "frag " << f.task << ' ' << f.seq << ' ' << f.start << ' ' << f.end
+       << ' ' << f.core << ' ' << static_cast<int>(f.end_reason) << ' '
+       << f.end_ref;
+    write_counters(os, f.counters);
+    os << '\n';
+  }
+  for (const JoinRec& j : trace.joins) {
+    os << "join " << j.task << ' ' << j.seq << ' ' << j.start << ' ' << j.end
+       << ' ' << j.core << '\n';
+  }
+  for (const LoopRec& l : trace.loops) {
+    os << "loop " << l.uid << ' ' << l.enclosing_task << ' ' << l.src << ' '
+       << static_cast<int>(l.sched) << ' ' << l.chunk_param << ' '
+       << l.iter_begin << ' ' << l.iter_end << ' ' << l.num_threads << ' '
+       << l.starting_thread << ' ' << l.seq << ' ' << l.start << ' ' << l.end
+       << '\n';
+  }
+  for (const ChunkRec& c : trace.chunks) {
+    os << "chunk " << c.loop << ' ' << c.thread << ' ' << c.core << ' '
+       << c.seq_on_thread << ' ' << c.iter_begin << ' ' << c.iter_end << ' '
+       << c.start << ' ' << c.end;
+    write_counters(os, c.counters);
+    os << '\n';
+  }
+  for (const BookkeepRec& b : trace.bookkeeps) {
+    os << "book " << b.loop << ' ' << b.thread << ' ' << b.core << ' '
+       << b.seq_on_thread << ' ' << b.start << ' ' << b.end << ' '
+       << (b.got_chunk ? 1 : 0) << '\n';
+  }
+  for (const DependRec& d : trace.depends) {
+    os << "dep " << d.pred << ' ' << d.succ << '\n';
+  }
+}
+
+std::optional<Trace> load_trace(std::istream& is, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Trace> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  std::string line;
+  if (!std::getline(is, line)) return fail("empty input");
+  {
+    std::istringstream head(line);
+    std::string magic;
+    int version = 0;
+    if (!(head >> magic >> version) || magic != "ggtrace")
+      return fail("bad header: " + line);
+    if (version < 1 || version > kVersion)
+      return fail("unsupported version " + std::to_string(version));
+  }
+
+  Trace trace;
+  // The string table must be rebuilt with identical ids; collect then intern
+  // in id order.
+  std::vector<std::pair<StrId, std::string>> strs;
+  int lineno = 1;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    auto bad = [&]() {
+      return fail("malformed " + kind + " record at line " +
+                  std::to_string(lineno));
+    };
+    if (kind == "meta") {
+      std::string program, runtime, topology;
+      TraceMeta& m = trace.meta;
+      if (!(ls >> program >> runtime >> topology >> m.num_workers >>
+            m.num_cores >> m.ghz >> m.region_start >> m.region_end))
+        return bad();
+      auto p = unescape(program), r = unescape(runtime), t = unescape(topology);
+      if (!p || !r || !t) return bad();
+      m.program = *p;
+      m.runtime = *r;
+      m.topology = *t;
+    } else if (kind == "note") {
+      std::string n;
+      if (!(ls >> n)) return bad();
+      auto u = unescape(n);
+      if (!u) return bad();
+      trace.meta.notes.push_back(*u);
+    } else if (kind == "str") {
+      StrId id;
+      std::string s;
+      if (!(ls >> id >> s)) return bad();
+      auto u = unescape(s);
+      if (!u) return bad();
+      strs.emplace_back(id, *u);
+    } else if (kind == "task") {
+      TaskRec t;
+      std::string parent;
+      int inlined = 0;
+      if (!(ls >> t.uid >> parent >> t.child_index >> t.src >> t.create_time >>
+            t.create_core >> t.creation_cost >> inlined))
+        return bad();
+      t.parent = parent == "-" ? kNoTask : std::stoull(parent);
+      t.inlined = inlined != 0;
+      trace.tasks.push_back(t);
+    } else if (kind == "frag") {
+      FragmentRec f;
+      int reason = 0;
+      if (!(ls >> f.task >> f.seq >> f.start >> f.end >> f.core >> reason >>
+            f.end_ref) ||
+          !read_counters(ls, f.counters))
+        return bad();
+      if (reason < 0 || reason > 3) return bad();
+      f.end_reason = static_cast<FragmentEnd>(reason);
+      trace.fragments.push_back(f);
+    } else if (kind == "join") {
+      JoinRec j;
+      if (!(ls >> j.task >> j.seq >> j.start >> j.end >> j.core)) return bad();
+      trace.joins.push_back(j);
+    } else if (kind == "loop") {
+      LoopRec l;
+      int sched = 0;
+      if (!(ls >> l.uid >> l.enclosing_task >> l.src >> sched >>
+            l.chunk_param >> l.iter_begin >> l.iter_end >> l.num_threads >>
+            l.starting_thread >> l.seq >> l.start >> l.end))
+        return bad();
+      if (sched < 0 || sched > 2) return bad();
+      l.sched = static_cast<ScheduleKind>(sched);
+      trace.loops.push_back(l);
+    } else if (kind == "chunk") {
+      ChunkRec c;
+      if (!(ls >> c.loop >> c.thread >> c.core >> c.seq_on_thread >>
+            c.iter_begin >> c.iter_end >> c.start >> c.end) ||
+          !read_counters(ls, c.counters))
+        return bad();
+      trace.chunks.push_back(c);
+    } else if (kind == "dep") {
+      DependRec d;
+      if (!(ls >> d.pred >> d.succ)) return bad();
+      trace.depends.push_back(d);
+    } else if (kind == "book") {
+      BookkeepRec b;
+      int got = 0;
+      if (!(ls >> b.loop >> b.thread >> b.core >> b.seq_on_thread >> b.start >>
+            b.end >> got))
+        return bad();
+      b.got_chunk = got != 0;
+      trace.bookkeeps.push_back(b);
+    } else {
+      return fail("unknown record kind '" + kind + "' at line " +
+                  std::to_string(lineno));
+    }
+  }
+
+  std::sort(strs.begin(), strs.end());
+  for (const auto& [id, s] : strs) {
+    const StrId got = trace.strings.intern(s);
+    if (got != id)
+      return fail("string table ids not dense (expected " +
+                  std::to_string(id) + ", got " + std::to_string(got) + ")");
+  }
+  trace.finalize();
+  return trace;
+}
+
+namespace {
+
+bool has_suffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// --- binary helpers (little-endian native; checked by magic) ---------------
+
+void put_u64(std::ostream& os, u64 v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_u32(std::ostream& os, u32 v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void put_str(std::ostream& os, const std::string& s) {
+  put_u64(os, s.size());
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+bool get_u64(std::istream& is, u64& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+bool get_u32(std::istream& is, u32& v) {
+  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
+}
+bool get_str(std::istream& is, std::string& s) {
+  u64 n = 0;
+  if (!get_u64(is, n) || n > (1ull << 32)) return false;
+  s.resize(n);
+  return static_cast<bool>(is.read(s.data(), static_cast<std::streamsize>(n)));
+}
+void put_counters(std::ostream& os, const Counters& c) {
+  put_u64(os, c.compute);
+  put_u64(os, c.stall);
+  put_u64(os, c.cache_misses);
+  put_u64(os, c.bytes_accessed);
+}
+bool get_counters(std::istream& is, Counters& c) {
+  return get_u64(is, c.compute) && get_u64(is, c.stall) &&
+         get_u64(is, c.cache_misses) && get_u64(is, c.bytes_accessed);
+}
+
+constexpr char kBinMagic[] = "GGTB2";  // v2 adds a dependence section
+constexpr char kBinMagicV1[] = "GGTB1";
+
+}  // namespace
+
+void save_trace_binary(const Trace& trace, std::ostream& os) {
+  os.write(kBinMagic, 5);
+  const TraceMeta& m = trace.meta;
+  put_str(os, m.program);
+  put_str(os, m.runtime);
+  put_str(os, m.topology);
+  put_u32(os, static_cast<u32>(m.num_workers));
+  put_u32(os, static_cast<u32>(m.num_cores));
+  put_u64(os, static_cast<u64>(m.ghz * 1e6));  // micro-GHz fixed point
+  put_u64(os, m.region_start);
+  put_u64(os, m.region_end);
+  put_u64(os, m.notes.size());
+  for (const std::string& n : m.notes) put_str(os, n);
+
+  const auto& strs = trace.strings.all();
+  put_u64(os, strs.size());
+  for (size_t i = 1; i < strs.size(); ++i) put_str(os, strs[i]);
+
+  put_u64(os, trace.tasks.size());
+  for (const TaskRec& t : trace.tasks) {
+    put_u64(os, t.uid);
+    put_u64(os, t.parent);
+    put_u32(os, t.child_index);
+    put_u32(os, t.src);
+    put_u64(os, t.create_time);
+    put_u32(os, t.create_core);
+    put_u64(os, t.creation_cost);
+    put_u32(os, t.inlined ? 1 : 0);
+  }
+  put_u64(os, trace.fragments.size());
+  for (const FragmentRec& f : trace.fragments) {
+    put_u64(os, f.task);
+    put_u32(os, f.seq);
+    put_u64(os, f.start);
+    put_u64(os, f.end);
+    put_u32(os, f.core);
+    put_u32(os, static_cast<u32>(f.end_reason));
+    put_u64(os, f.end_ref);
+    put_counters(os, f.counters);
+  }
+  put_u64(os, trace.joins.size());
+  for (const JoinRec& j : trace.joins) {
+    put_u64(os, j.task);
+    put_u32(os, j.seq);
+    put_u64(os, j.start);
+    put_u64(os, j.end);
+    put_u32(os, j.core);
+  }
+  put_u64(os, trace.loops.size());
+  for (const LoopRec& l : trace.loops) {
+    put_u64(os, l.uid);
+    put_u64(os, l.enclosing_task);
+    put_u32(os, l.src);
+    put_u32(os, static_cast<u32>(l.sched));
+    put_u64(os, l.chunk_param);
+    put_u64(os, l.iter_begin);
+    put_u64(os, l.iter_end);
+    put_u32(os, l.num_threads);
+    put_u32(os, l.starting_thread);
+    put_u32(os, l.seq);
+    put_u64(os, l.start);
+    put_u64(os, l.end);
+  }
+  put_u64(os, trace.chunks.size());
+  for (const ChunkRec& c : trace.chunks) {
+    put_u64(os, c.loop);
+    put_u32(os, c.thread);
+    put_u32(os, c.core);
+    put_u32(os, c.seq_on_thread);
+    put_u64(os, c.iter_begin);
+    put_u64(os, c.iter_end);
+    put_u64(os, c.start);
+    put_u64(os, c.end);
+    put_counters(os, c.counters);
+  }
+  put_u64(os, trace.bookkeeps.size());
+  for (const BookkeepRec& b : trace.bookkeeps) {
+    put_u64(os, b.loop);
+    put_u32(os, b.thread);
+    put_u32(os, b.core);
+    put_u32(os, b.seq_on_thread);
+    put_u64(os, b.start);
+    put_u64(os, b.end);
+    put_u32(os, b.got_chunk ? 1 : 0);
+  }
+  put_u64(os, trace.depends.size());
+  for (const DependRec& d : trace.depends) {
+    put_u64(os, d.pred);
+    put_u64(os, d.succ);
+  }
+}
+
+std::optional<Trace> load_trace_binary(std::istream& is, std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<Trace> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  char magic[5];
+  if (!is.read(magic, 5)) return fail("bad binary magic");
+  const std::string_view m5(magic, 5);
+  const bool v1 = m5 == kBinMagicV1;
+  if (!v1 && m5 != kBinMagic) return fail("bad binary magic");
+  Trace trace;
+  TraceMeta& m = trace.meta;
+  u32 workers = 0, cores = 0;
+  u64 ghz_u = 0, nnotes = 0;
+  if (!get_str(is, m.program) || !get_str(is, m.runtime) ||
+      !get_str(is, m.topology) || !get_u32(is, workers) ||
+      !get_u32(is, cores) || !get_u64(is, ghz_u) ||
+      !get_u64(is, m.region_start) || !get_u64(is, m.region_end) ||
+      !get_u64(is, nnotes)) {
+    return fail("truncated meta");
+  }
+  m.num_workers = static_cast<int>(workers);
+  m.num_cores = static_cast<int>(cores);
+  m.ghz = static_cast<double>(ghz_u) / 1e6;
+  for (u64 i = 0; i < nnotes; ++i) {
+    std::string n;
+    if (!get_str(is, n)) return fail("truncated notes");
+    m.notes.push_back(std::move(n));
+  }
+  u64 nstrs = 0;
+  if (!get_u64(is, nstrs)) return fail("truncated string table");
+  for (u64 i = 1; i < nstrs; ++i) {
+    std::string str;
+    if (!get_str(is, str)) return fail("truncated string table");
+    if (trace.strings.intern(str) != i) return fail("string ids not dense");
+  }
+  u64 n = 0;
+  if (!get_u64(is, n)) return fail("truncated tasks");
+  trace.tasks.resize(n);
+  for (TaskRec& t : trace.tasks) {
+    u32 core = 0, inl = 0;
+    if (!get_u64(is, t.uid) || !get_u64(is, t.parent) ||
+        !get_u32(is, t.child_index) || !get_u32(is, t.src) ||
+        !get_u64(is, t.create_time) || !get_u32(is, core) ||
+        !get_u64(is, t.creation_cost) || !get_u32(is, inl))
+      return fail("truncated task record");
+    t.create_core = static_cast<u16>(core);
+    t.inlined = inl != 0;
+  }
+  if (!get_u64(is, n)) return fail("truncated fragments");
+  trace.fragments.resize(n);
+  for (FragmentRec& f : trace.fragments) {
+    u32 core = 0, reason = 0;
+    if (!get_u64(is, f.task) || !get_u32(is, f.seq) || !get_u64(is, f.start) ||
+        !get_u64(is, f.end) || !get_u32(is, core) || !get_u32(is, reason) ||
+        !get_u64(is, f.end_ref) || !get_counters(is, f.counters))
+      return fail("truncated fragment record");
+    if (reason > 3) return fail("bad fragment end reason");
+    f.core = static_cast<u16>(core);
+    f.end_reason = static_cast<FragmentEnd>(reason);
+  }
+  if (!get_u64(is, n)) return fail("truncated joins");
+  trace.joins.resize(n);
+  for (JoinRec& j : trace.joins) {
+    u32 core = 0;
+    if (!get_u64(is, j.task) || !get_u32(is, j.seq) || !get_u64(is, j.start) ||
+        !get_u64(is, j.end) || !get_u32(is, core))
+      return fail("truncated join record");
+    j.core = static_cast<u16>(core);
+  }
+  if (!get_u64(is, n)) return fail("truncated loops");
+  trace.loops.resize(n);
+  for (LoopRec& l : trace.loops) {
+    u32 sched = 0, threads = 0, start_thread = 0;
+    if (!get_u64(is, l.uid) || !get_u64(is, l.enclosing_task) ||
+        !get_u32(is, l.src) || !get_u32(is, sched) ||
+        !get_u64(is, l.chunk_param) || !get_u64(is, l.iter_begin) ||
+        !get_u64(is, l.iter_end) || !get_u32(is, threads) ||
+        !get_u32(is, start_thread) || !get_u32(is, l.seq) ||
+        !get_u64(is, l.start) || !get_u64(is, l.end))
+      return fail("truncated loop record");
+    if (sched > 2) return fail("bad loop schedule");
+    l.sched = static_cast<ScheduleKind>(sched);
+    l.num_threads = static_cast<u16>(threads);
+    l.starting_thread = static_cast<u16>(start_thread);
+  }
+  if (!get_u64(is, n)) return fail("truncated chunks");
+  trace.chunks.resize(n);
+  for (ChunkRec& c : trace.chunks) {
+    u32 thread = 0, core = 0;
+    if (!get_u64(is, c.loop) || !get_u32(is, thread) || !get_u32(is, core) ||
+        !get_u32(is, c.seq_on_thread) || !get_u64(is, c.iter_begin) ||
+        !get_u64(is, c.iter_end) || !get_u64(is, c.start) ||
+        !get_u64(is, c.end) || !get_counters(is, c.counters))
+      return fail("truncated chunk record");
+    c.thread = static_cast<u16>(thread);
+    c.core = static_cast<u16>(core);
+  }
+  if (!get_u64(is, n)) return fail("truncated bookkeeps");
+  trace.bookkeeps.resize(n);
+  for (BookkeepRec& b : trace.bookkeeps) {
+    u32 thread = 0, core = 0, got = 0;
+    if (!get_u64(is, b.loop) || !get_u32(is, thread) || !get_u32(is, core) ||
+        !get_u32(is, b.seq_on_thread) || !get_u64(is, b.start) ||
+        !get_u64(is, b.end) || !get_u32(is, got))
+      return fail("truncated bookkeep record");
+    b.thread = static_cast<u16>(thread);
+    b.core = static_cast<u16>(core);
+    b.got_chunk = got != 0;
+  }
+  if (!v1) {
+    if (!get_u64(is, n)) return fail("truncated depends");
+    trace.depends.resize(n);
+    for (DependRec& d : trace.depends) {
+      if (!get_u64(is, d.pred) || !get_u64(is, d.succ))
+        return fail("truncated depend record");
+    }
+  }
+  trace.finalize();
+  return trace;
+}
+
+bool save_trace_file(const Trace& trace, const std::string& path) {
+  const bool binary = has_suffix(path, ".ggbin");
+  std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+  if (!os) return false;
+  if (binary) {
+    save_trace_binary(trace, os);
+  } else {
+    save_trace(trace, os);
+  }
+  return static_cast<bool>(os);
+}
+
+std::optional<Trace> load_trace_file(const std::string& path,
+                                     std::string* error) {
+  const bool binary = has_suffix(path, ".ggbin");
+  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
+  if (!is) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  return binary ? load_trace_binary(is, error) : load_trace(is, error);
+}
+
+}  // namespace gg

@@ -1,0 +1,36 @@
+// Versioned line-oriented text serialization of traces (the equivalent of
+// the MIR profiler's on-disk raw files). Human-greppable, diff-friendly,
+// and round-trip exact.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace gg {
+
+/// Writes the full trace. Format: one "ggtrace <version>" header line, then
+/// one record per line with a kind prefix (meta/str/task/frag/join/loop/
+/// chunk/book).
+void save_trace(const Trace& trace, std::ostream& os);
+
+/// Parses a trace written by save_trace. Returns nullopt (and sets *error
+/// when provided) on malformed input. The returned trace is finalized.
+std::optional<Trace> load_trace(std::istream& is, std::string* error = nullptr);
+
+/// File-path convenience wrappers (format chosen by extension: `.ggtrace`
+/// text, `.ggbin` binary; anything else defaults to text).
+bool save_trace_file(const Trace& trace, const std::string& path);
+std::optional<Trace> load_trace_file(const std::string& path,
+                                     std::string* error = nullptr);
+
+/// Binary serialization: ~10x smaller/faster than text for the million-task
+/// traces unoptimized kdtree/FFT produce. Little-endian, versioned
+/// ("GGTB1"); round-trip exact.
+void save_trace_binary(const Trace& trace, std::ostream& os);
+std::optional<Trace> load_trace_binary(std::istream& is,
+                                       std::string* error = nullptr);
+
+}  // namespace gg

@@ -1,0 +1,162 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace gg {
+
+const char* to_string(ScheduleKind k) {
+  switch (k) {
+    case ScheduleKind::Static: return "static";
+    case ScheduleKind::Dynamic: return "dynamic";
+    case ScheduleKind::Guided: return "guided";
+  }
+  return "?";
+}
+
+void Trace::finalize() {
+  std::sort(tasks.begin(), tasks.end(),
+            [](const TaskRec& a, const TaskRec& b) { return a.uid < b.uid; });
+  std::sort(fragments.begin(), fragments.end(),
+            [](const FragmentRec& a, const FragmentRec& b) {
+              return a.task != b.task ? a.task < b.task : a.seq < b.seq;
+            });
+  std::sort(joins.begin(), joins.end(), [](const JoinRec& a, const JoinRec& b) {
+    return a.task != b.task ? a.task < b.task : a.seq < b.seq;
+  });
+  std::sort(loops.begin(), loops.end(),
+            [](const LoopRec& a, const LoopRec& b) { return a.uid < b.uid; });
+  std::sort(chunks.begin(), chunks.end(),
+            [](const ChunkRec& a, const ChunkRec& b) {
+              if (a.loop != b.loop) return a.loop < b.loop;
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.seq_on_thread < b.seq_on_thread;
+            });
+  std::sort(depends.begin(), depends.end(),
+            [](const DependRec& a, const DependRec& b) {
+              return a.succ != b.succ ? a.succ < b.succ : a.pred < b.pred;
+            });
+  std::sort(bookkeeps.begin(), bookkeeps.end(),
+            [](const BookkeepRec& a, const BookkeepRec& b) {
+              if (a.loop != b.loop) return a.loop < b.loop;
+              if (a.thread != b.thread) return a.thread < b.thread;
+              return a.seq_on_thread < b.seq_on_thread;
+            });
+
+  task_index_.clear();
+  task_index_.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i)
+    task_index_.emplace_back(tasks[i].uid, i);
+  loop_index_.clear();
+  loop_index_.reserve(loops.size());
+  for (size_t i = 0; i < loops.size(); ++i)
+    loop_index_.emplace_back(loops[i].uid, i);
+  finalized_ = true;
+}
+
+std::optional<size_t> Trace::task_index(TaskId uid) const {
+  GG_CHECK(finalized_);
+  auto it = std::lower_bound(
+      task_index_.begin(), task_index_.end(), uid,
+      [](const auto& p, TaskId v) { return p.first < v; });
+  if (it == task_index_.end() || it->first != uid) return std::nullopt;
+  return it->second;
+}
+
+std::optional<size_t> Trace::loop_index(LoopId uid) const {
+  GG_CHECK(finalized_);
+  auto it = std::lower_bound(
+      loop_index_.begin(), loop_index_.end(), uid,
+      [](const auto& p, LoopId v) { return p.first < v; });
+  if (it == loop_index_.end() || it->first != uid) return std::nullopt;
+  return it->second;
+}
+
+std::vector<const FragmentRec*> Trace::fragments_of(TaskId uid) const {
+  GG_CHECK(finalized_);
+  std::vector<const FragmentRec*> out;
+  auto lo = std::lower_bound(
+      fragments.begin(), fragments.end(), uid,
+      [](const FragmentRec& f, TaskId v) { return f.task < v; });
+  for (auto it = lo; it != fragments.end() && it->task == uid; ++it)
+    out.push_back(&*it);
+  return out;
+}
+
+std::vector<const JoinRec*> Trace::joins_of(TaskId uid) const {
+  GG_CHECK(finalized_);
+  std::vector<const JoinRec*> out;
+  auto lo = std::lower_bound(joins.begin(), joins.end(), uid,
+                             [](const JoinRec& j, TaskId v) { return j.task < v; });
+  for (auto it = lo; it != joins.end() && it->task == uid; ++it)
+    out.push_back(&*it);
+  return out;
+}
+
+std::vector<const ChunkRec*> Trace::chunks_of(LoopId uid) const {
+  GG_CHECK(finalized_);
+  std::vector<const ChunkRec*> out;
+  auto lo = std::lower_bound(chunks.begin(), chunks.end(), uid,
+                             [](const ChunkRec& c, LoopId v) { return c.loop < v; });
+  for (auto it = lo; it != chunks.end() && it->loop == uid; ++it)
+    out.push_back(&*it);
+  return out;
+}
+
+std::vector<const BookkeepRec*> Trace::bookkeeps_of(LoopId uid) const {
+  GG_CHECK(finalized_);
+  std::vector<const BookkeepRec*> out;
+  auto lo = std::lower_bound(
+      bookkeeps.begin(), bookkeeps.end(), uid,
+      [](const BookkeepRec& b, LoopId v) { return b.loop < v; });
+  for (auto it = lo; it != bookkeeps.end() && it->loop == uid; ++it)
+    out.push_back(&*it);
+  return out;
+}
+
+std::vector<const TaskRec*> Trace::children_of(TaskId uid) const {
+  GG_CHECK(finalized_);
+  std::vector<const TaskRec*> out;
+  for (const TaskRec& t : tasks) {
+    if (t.parent == uid) out.push_back(&t);
+  }
+  std::sort(out.begin(), out.end(), [](const TaskRec* a, const TaskRec* b) {
+    return a->child_index < b->child_index;
+  });
+  return out;
+}
+
+std::vector<TaskId> Trace::predecessors_of(TaskId uid) const {
+  GG_CHECK(finalized_);
+  std::vector<TaskId> out;
+  auto lo = std::lower_bound(
+      depends.begin(), depends.end(), uid,
+      [](const DependRec& d, TaskId v) { return d.succ < v; });
+  for (auto it = lo; it != depends.end() && it->succ == uid; ++it)
+    out.push_back(it->pred);
+  return out;
+}
+
+size_t Trace::grain_count() const {
+  size_t n = chunks.size();
+  for (const TaskRec& t : tasks) {
+    if (t.uid != kRootTask) ++n;
+  }
+  return n;
+}
+
+StrId intern_src(StringTable& strings, std::string_view file, int line,
+                 std::string_view func) {
+  std::string s;
+  s.reserve(file.size() + func.size() + 16);
+  s += file;
+  s += ':';
+  s += std::to_string(line);
+  s += '(';
+  s += func;
+  s += ')';
+  return strings.intern(s);
+}
+
+}  // namespace gg

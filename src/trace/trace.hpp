@@ -1,0 +1,91 @@
+// The in-memory trace: every record captured during one profiled execution,
+// plus execution metadata. Produced by a TraceRecorder attached to either
+// runtime; consumed by the grain-graph builder and metric derivations.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/types.hpp"
+#include "trace/records.hpp"
+
+namespace gg {
+
+/// Execution-wide facts needed to interpret a trace.
+struct TraceMeta {
+  std::string program;       ///< e.g. "sort"
+  std::string runtime;       ///< e.g. "sim/mir-ws" or "threaded/ws"
+  std::string topology;      ///< topology preset name
+  int num_workers = 1;       ///< team size used for the run
+  int num_cores = 1;         ///< cores of the (possibly simulated) machine
+  double ghz = 1.0;          ///< core frequency for cycle<->ns conversion
+  TimeNs region_start = 0;   ///< profiled-region bounds (makespan =
+  TimeNs region_end = 0;     ///<   region_end - region_start)
+  std::vector<std::string> notes;  ///< free-form provenance, e.g. knobs used
+};
+
+class Trace {
+ public:
+  TraceMeta meta;
+
+  std::vector<TaskRec> tasks;
+  std::vector<FragmentRec> fragments;
+  std::vector<JoinRec> joins;
+  std::vector<LoopRec> loops;
+  std::vector<ChunkRec> chunks;
+  std::vector<BookkeepRec> bookkeeps;
+  std::vector<DependRec> depends;
+
+  StringTable strings;
+
+  /// Sorts all record vectors into canonical order (tasks by uid, fragments
+  /// by (task, seq), ...) and builds the task-uid index. Must be called
+  /// after recording and after deserialization, before lookups.
+  void finalize();
+
+  /// Index of a task by uid after finalize(); nullopt if absent.
+  std::optional<size_t> task_index(TaskId uid) const;
+
+  /// Index of a loop by uid after finalize(); nullopt if absent.
+  std::optional<size_t> loop_index(LoopId uid) const;
+
+  /// Fragments of one task in seq order (contiguous after finalize()).
+  std::vector<const FragmentRec*> fragments_of(TaskId uid) const;
+
+  /// Joins of one task in seq order.
+  std::vector<const JoinRec*> joins_of(TaskId uid) const;
+
+  /// Chunks of one loop.
+  std::vector<const ChunkRec*> chunks_of(LoopId uid) const;
+
+  /// Book-keeping records of one loop.
+  std::vector<const BookkeepRec*> bookkeeps_of(LoopId uid) const;
+
+  /// Children of a task in creation order.
+  std::vector<const TaskRec*> children_of(TaskId uid) const;
+
+  /// Dependence predecessors of a task (sorted after finalize()).
+  std::vector<TaskId> predecessors_of(TaskId uid) const;
+
+  TimeNs makespan() const { return meta.region_end - meta.region_start; }
+
+  /// Total grains (tasks excluding the implicit root, plus chunks) — the
+  /// counts the paper quotes per figure ("contains N grains").
+  size_t grain_count() const;
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  bool finalized_ = false;
+  std::vector<std::pair<TaskId, size_t>> task_index_;  // sorted by uid
+  std::vector<std::pair<LoopId, size_t>> loop_index_;  // sorted by uid
+};
+
+/// Interns a "file:line(func)" source identifier, the format the paper uses
+/// to name task/loop definitions (e.g. "sparselu.c:246(bmod)").
+StrId intern_src(StringTable& strings, std::string_view file, int line,
+                 std::string_view func);
+
+}  // namespace gg

@@ -1,0 +1,194 @@
+#include "trace/validate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace gg {
+
+namespace {
+
+template <typename... Args>
+void report(std::vector<std::string>& errs, Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  errs.push_back(os.str());
+}
+
+}  // namespace
+
+std::vector<std::string> validate_trace(const Trace& trace) {
+  std::vector<std::string> errs;
+  if (!trace.finalized()) {
+    report(errs, "trace not finalized");
+    return errs;
+  }
+
+  // Root task.
+  size_t roots = 0;
+  for (const TaskRec& t : trace.tasks) {
+    if (t.uid == kRootTask) {
+      ++roots;
+      if (t.parent != kNoTask)
+        report(errs, "root task has a parent: ", t.parent);
+    } else if (t.parent == kNoTask) {
+      report(errs, "non-root task ", t.uid, " has no parent");
+    }
+  }
+  if (roots != 1) report(errs, "expected exactly 1 root task, found ", roots);
+
+  // Parent existence + child_index density.
+  std::map<TaskId, std::vector<u32>> child_indices;
+  for (const TaskRec& t : trace.tasks) {
+    if (t.uid == kRootTask) continue;
+    if (!trace.task_index(t.parent)) {
+      report(errs, "task ", t.uid, " references missing parent ", t.parent);
+      continue;
+    }
+    child_indices[t.parent].push_back(t.child_index);
+  }
+  for (auto& [parent, idx] : child_indices) {
+    std::sort(idx.begin(), idx.end());
+    for (size_t i = 0; i < idx.size(); ++i) {
+      if (idx[i] != i) {
+        report(errs, "task ", parent, " has non-dense child indices");
+        break;
+      }
+    }
+  }
+
+  // Fragments per task.
+  for (const TaskRec& t : trace.tasks) {
+    auto frags = trace.fragments_of(t.uid);
+    if (frags.empty()) {
+      report(errs, "task ", t.uid, " has no fragments");
+      continue;
+    }
+    auto joins = trace.joins_of(t.uid);
+    for (size_t i = 0; i < frags.size(); ++i) {
+      const FragmentRec& f = *frags[i];
+      if (f.seq != i) {
+        report(errs, "task ", t.uid, " fragment seq gap at ", i);
+        break;
+      }
+      if (f.end < f.start)
+        report(errs, "task ", t.uid, " fragment ", i, " ends before start");
+      if (i + 1 < frags.size() && frags[i + 1]->start < f.end)
+        report(errs, "task ", t.uid, " fragments ", i, " and ", i + 1,
+               " overlap");
+      const bool last = (i + 1 == frags.size());
+      if (last && f.end_reason != FragmentEnd::TaskEnd)
+        report(errs, "task ", t.uid, " last fragment does not end the task");
+      if (!last && f.end_reason == FragmentEnd::TaskEnd)
+        report(errs, "task ", t.uid, " fragment ", i,
+               " ends task before last fragment");
+      if (f.end_reason == FragmentEnd::Fork) {
+        auto child = trace.task_index(f.end_ref);
+        if (!child) {
+          report(errs, "task ", t.uid, " fork fragment references missing "
+                 "child ", f.end_ref);
+        } else if (trace.tasks[*child].parent != t.uid) {
+          report(errs, "task ", t.uid, " fork fragment references task ",
+                 f.end_ref, " that is not its child");
+        }
+      }
+      if (f.end_reason == FragmentEnd::Loop) {
+        if (!trace.loop_index(f.end_ref))
+          report(errs, "task ", t.uid, " fragment ", i,
+                 " references missing loop ", f.end_ref);
+      }
+      if (f.end_reason == FragmentEnd::Join) {
+        const bool found = std::any_of(
+            joins.begin(), joins.end(),
+            [&](const JoinRec* j) { return j->seq == f.end_ref; });
+        if (!found)
+          report(errs, "task ", t.uid, " fragment ", i,
+                 " references missing join ", f.end_ref);
+      }
+    }
+  }
+
+  // Loops, chunks, bookkeeping.
+  for (const LoopRec& loop : trace.loops) {
+    if (loop.iter_end < loop.iter_begin)
+      report(errs, "loop ", loop.uid, " has inverted range");
+    if (!trace.task_index(loop.enclosing_task))
+      report(errs, "loop ", loop.uid, " references missing task ",
+             loop.enclosing_task);
+    auto chunks = trace.chunks_of(loop.uid);
+    std::vector<std::pair<u64, u64>> ranges;
+    for (const ChunkRec* c : chunks) {
+      if (c->iter_begin < loop.iter_begin || c->iter_end > loop.iter_end)
+        report(errs, "loop ", loop.uid, " chunk outside iteration range");
+      if (c->iter_end <= c->iter_begin)
+        report(errs, "loop ", loop.uid, " has an empty chunk");
+      if (c->thread >= loop.num_threads)
+        report(errs, "loop ", loop.uid, " chunk on thread ", c->thread,
+               " >= team size ", loop.num_threads);
+      ranges.emplace_back(c->iter_begin, c->iter_end);
+    }
+    std::sort(ranges.begin(), ranges.end());
+    u64 cursor = loop.iter_begin;
+    bool covered = true;
+    for (auto [lo, hi] : ranges) {
+      if (lo != cursor) {
+        covered = false;
+        break;
+      }
+      cursor = hi;
+    }
+    if (cursor != loop.iter_end) covered = false;
+    if (!covered && loop.iter_end > loop.iter_begin)
+      report(errs, "loop ", loop.uid,
+             " chunks do not partition the iteration range");
+    for (const BookkeepRec* b : trace.bookkeeps_of(loop.uid)) {
+      if (b->thread >= loop.num_threads)
+        report(errs, "loop ", loop.uid, " bookkeep on thread ", b->thread,
+               " >= team size ", loop.num_threads);
+    }
+  }
+
+  // Chunk/bookkeep loop references.
+  for (const ChunkRec& c : trace.chunks) {
+    if (!trace.loop_index(c.loop))
+      report(errs, "chunk references missing loop ", c.loop);
+  }
+  for (const BookkeepRec& b : trace.bookkeeps) {
+    if (!trace.loop_index(b.loop))
+      report(errs, "bookkeep references missing loop ", b.loop);
+  }
+
+  // Dependences: both endpoints exist, no self-dependence, and the
+  // predecessor was spawned first (dependences order siblings in program
+  // order, so runtime-assigned uids are monotone across a dependence).
+  for (const DependRec& d : trace.depends) {
+    if (d.pred == d.succ) report(errs, "self-dependence on task ", d.pred);
+    if (!trace.task_index(d.pred))
+      report(errs, "dependence references missing pred ", d.pred);
+    if (!trace.task_index(d.succ))
+      report(errs, "dependence references missing succ ", d.succ);
+    if (d.pred >= d.succ)
+      report(errs, "dependence pred ", d.pred, " not spawned before succ ",
+             d.succ);
+  }
+
+  // Time bounds.
+  const TimeNs lo = trace.meta.region_start;
+  const TimeNs hi = trace.meta.region_end;
+  auto in_bounds = [&](TimeNs s, TimeNs e) { return s >= lo && e <= hi && s <= e; };
+  for (const FragmentRec& f : trace.fragments) {
+    if (!in_bounds(f.start, f.end)) {
+      report(errs, "fragment of task ", f.task, " outside region bounds");
+      break;
+    }
+  }
+  for (const ChunkRec& c : trace.chunks) {
+    if (!in_bounds(c.start, c.end)) {
+      report(errs, "chunk of loop ", c.loop, " outside region bounds");
+      break;
+    }
+  }
+  return errs;
+}
+
+}  // namespace gg

@@ -1,0 +1,29 @@
+// Referential/structural consistency checks on raw traces, run by tests and
+// by the graph builder before construction. A valid trace is the contract
+// between the runtimes and everything downstream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gg {
+
+/// Returns human-readable descriptions of every violation found (empty ==
+/// valid). Checks include:
+///  - exactly one root task (uid 0, parent == kNoTask)
+///  - every non-root task's parent exists; child_index values of one parent
+///    are 0..n-1 without gaps
+///  - every task has >= 1 fragment; fragment seq contiguous from 0; at most
+///    the last fragment ends with TaskEnd, and only the last
+///  - fragment intervals of one task are non-overlapping and ordered
+///  - Fork end_refs name existing children of that task; Join end_refs name
+///    existing joins
+///  - chunk iteration ranges lie inside their loop's range, are pairwise
+///    disjoint, and cover the range exactly
+///  - every chunk/bookkeep references an existing loop; threads < team size
+///  - all record times lie within [region_start, region_end]
+std::vector<std::string> validate_trace(const Trace& trace);
+
+}  // namespace gg

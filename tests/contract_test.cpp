@@ -1,0 +1,109 @@
+// API-contract tests: the restrictions both engines enforce (mirroring the
+// paper's profiler, which does not support nested parallelism — §4.1 omits
+// 352.nab for this reason) must fail loudly, not silently corrupt traces.
+#include <gtest/gtest.h>
+
+#include "rts/threaded_engine.hpp"
+#include "sim/capture.hpp"
+#include "sim/sim_engine.hpp"
+
+namespace gg {
+namespace {
+
+using front::Ctx;
+using front::ForOpts;
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, SpawnFromChunkAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::SimEngine eng(sim::SimOptions{});
+        eng.run("bad", [](Ctx& ctx) {
+          ctx.parallel_for(GG_SRC, 0, 4, ForOpts{}, [](u64, Ctx& c) {
+            c.spawn(GG_SRC, [](Ctx&) {});
+          });
+        });
+      },
+      "spawning tasks from loop chunks");
+}
+
+TEST(ContractDeathTest, TaskwaitFromChunkAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::SimEngine eng(sim::SimOptions{});
+        eng.run("bad", [](Ctx& ctx) {
+          ctx.parallel_for(GG_SRC, 0, 4, ForOpts{},
+                           [](u64, Ctx& c) { c.taskwait(); });
+        });
+      },
+      "taskwait inside loop chunks");
+}
+
+TEST(ContractDeathTest, NestedParallelForAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::SimEngine eng(sim::SimOptions{});
+        eng.run("bad", [](Ctx& ctx) {
+          ctx.spawn(GG_SRC, [](Ctx& c) {
+            c.parallel_for(GG_SRC, 0, 4, ForOpts{}, [](u64, Ctx&) {});
+          });
+          ctx.taskwait();
+        });
+      },
+      "parallel_for is only supported from the root task");
+}
+
+TEST(ContractDeathTest, ThreadedSpawnFromChunkAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rts::Options o;
+        o.num_workers = 1;
+        rts::ThreadedEngine eng(o);
+        eng.run("bad", [](Ctx& ctx) {
+          ctx.parallel_for(GG_SRC, 0, 4, ForOpts{}, [](u64, Ctx& c) {
+            c.spawn(GG_SRC, [](Ctx&) {});
+          });
+        });
+      },
+      "spawning tasks from loop chunks");
+}
+
+TEST(ContractDeathTest, CaptureRunTwiceAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::Capture cap;
+        cap.run("first", [](Ctx&) {});
+        cap.run("second", [](Ctx&) {});
+      },
+      "once per Capture");
+}
+
+TEST(ContractDeathTest, CaptureRegionEngineRunAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::Capture cap;
+        sim::CaptureRegionEngine eng(cap);
+        eng.run("nope", [](Ctx&) {});
+      },
+      "only allocates regions");
+}
+
+TEST(ContractTest, TouchOnUnallocatedRegionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        sim::SimEngine eng(sim::SimOptions{});
+        eng.run("bad", [](Ctx& ctx) { ctx.touch(7, 0, 64); });
+      },
+      "unallocated region");
+}
+
+}  // namespace
+}  // namespace gg

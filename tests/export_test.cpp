@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/report.hpp"
+#include "export/dot.hpp"
+#include "export/grain_csv.hpp"
+#include "export/graphml.hpp"
+#include "export/html_report.hpp"
+#include "graph/reductions.hpp"
+#include "sim/capture.hpp"
+#include "sim/des.hpp"
+
+namespace gg {
+namespace {
+
+using front::Ctx;
+using front::ForOpts;
+
+struct Fixture {
+  Trace trace;
+  Analysis analysis;
+};
+
+Fixture make_fixture() {
+  sim::Capture cap;
+  sim::Program p = cap.run("export_demo", [](Ctx& ctx) {
+    ctx.spawn(GG_SRC_NAMED("e.c", 1, "alpha"),
+              [](Ctx& c) { c.compute(2'000'000); });
+    ctx.spawn(GG_SRC_NAMED("e.c", 2, "beta"), [](Ctx& c) { c.compute(50); });
+    ctx.taskwait();
+    ForOpts fo;
+    fo.sched = ScheduleKind::Dynamic;
+    fo.chunk = 4;
+    ctx.parallel_for(GG_SRC_NAMED("e.c", 9, "loop"), 0, 16, fo,
+                     [](u64, Ctx& c) { c.compute(100'000); });
+  });
+  sim::SimOptions o;
+  o.num_cores = 4;
+  o.memory_model = false;
+  Trace t = sim::simulate(p, o);
+  Analysis a = analyze(t, Topology::opteron48());
+  return Fixture{std::move(t), std::move(a)};
+}
+
+// Minimal structural XML balance check: every <tag opens a matching </tag>.
+void expect_balanced_xml(const std::string& xml) {
+  std::vector<std::string> stack;
+  size_t i = 0;
+  while ((i = xml.find('<', i)) != std::string::npos) {
+    if (xml.compare(i, 2, "<?") == 0) {
+      i = xml.find('>', i);
+      continue;
+    }
+    const size_t end = xml.find('>', i);
+    ASSERT_NE(end, std::string::npos);
+    std::string tag = xml.substr(i + 1, end - i - 1);
+    const bool closing = !tag.empty() && tag[0] == '/';
+    const bool selfclosing = !tag.empty() && tag.back() == '/';
+    std::string name = closing ? tag.substr(1) : tag;
+    const size_t sp = name.find_first_of(" \t\n");
+    if (sp != std::string::npos) name = name.substr(0, sp);
+    if (closing) {
+      ASSERT_FALSE(stack.empty()) << "unbalanced at " << name;
+      EXPECT_EQ(stack.back(), name);
+      stack.pop_back();
+    } else if (!selfclosing) {
+      stack.push_back(name);
+    }
+    i = end + 1;
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(GraphMlTest, WellFormedWithAllNodeAndEdgeKinds) {
+  const Fixture f = make_fixture();
+  std::ostringstream os;
+  GraphMlOptions opts;
+  write_graphml(os, f.analysis.graph, f.trace, &f.analysis.grains,
+                &f.analysis.metrics, opts);
+  const std::string xml = os.str();
+  expect_balanced_xml(xml);
+  EXPECT_NE(xml.find("<graphml"), std::string::npos);
+  EXPECT_NE(xml.find("y:ShapeNode"), std::string::npos);
+  for (const char* kind : {"fragment", "fork", "join", "bookkeep", "chunk"})
+    EXPECT_NE(xml.find(">" + std::string(kind) + "<"), std::string::npos)
+        << kind;
+  for (const char* kind : {"creation", "continuation"})
+    EXPECT_NE(xml.find(">" + std::string(kind) + "<"), std::string::npos);
+  // Node/edge counts match the graph.
+  size_t n_nodes = 0, pos = 0;
+  while ((pos = xml.find("<node ", pos)) != std::string::npos) {
+    ++n_nodes;
+    ++pos;
+  }
+  EXPECT_EQ(n_nodes, f.analysis.graph.node_count());
+}
+
+TEST(GraphMlTest, ProblemViewColorsFlaggedAndDimsOthers) {
+  const Fixture f = make_fixture();
+  std::ostringstream os;
+  GraphMlOptions opts;
+  opts.view = Problem::LowParallelBenefit;
+  write_graphml(os, f.analysis.graph, f.trace, &f.analysis.grains,
+                &f.analysis.metrics, opts);
+  const std::string xml = os.str();
+  // beta (50 cycles) is flagged red-ish; alpha is dimmed.
+  EXPECT_NE(xml.find(dimmed_color()), std::string::npos);
+  EXPECT_NE(xml.find("#ff"), std::string::npos);
+}
+
+TEST(GraphMlTest, ReducedGraphExports) {
+  const Fixture f = make_fixture();
+  const GrainGraph r = reduce_graph(f.analysis.graph, ReductionOptions{});
+  std::ostringstream os;
+  write_graphml(os, r, f.trace, nullptr, nullptr, GraphMlOptions{});
+  expect_balanced_xml(os.str());
+  EXPECT_NE(os.str().find("grp\">5<"), std::string::npos);  // a merged group
+}
+
+TEST(DotTest, ContainsNodesAndColoredEdges) {
+  const Fixture f = make_fixture();
+  std::ostringstream os;
+  write_dot(os, f.analysis.graph, f.trace);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("color=green"), std::string::npos);
+  EXPECT_NE(dot.find("color=orange"), std::string::npos);
+  EXPECT_NE(dot.find("e.c:1(alpha)"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(GrainCsvTest, OneRowPerGrainWithMetrics) {
+  const Fixture f = make_fixture();
+  std::ostringstream os;
+  write_grain_csv(os, f.trace, f.analysis.grains, f.analysis.metrics);
+  const std::string csv = os.str();
+  // header + one line per grain
+  size_t lines = 0;
+  for (char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, f.analysis.grains.size() + 1);
+  EXPECT_NE(csv.find("parallel_benefit"), std::string::npos);
+  EXPECT_NE(csv.find("0.0,task"), std::string::npos);
+  EXPECT_NE(csv.find("L0.0:"), std::string::npos);
+}
+
+TEST(GrainCsvTest, FileRoundTrip) {
+  const Fixture f = make_fixture();
+  const std::string path = "/tmp/gg_export_test.csv";
+  ASSERT_TRUE(
+      write_grain_csv_file(path, f.trace, f.analysis.grains, f.analysis.metrics));
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_NE(header.find("path,kind"), std::string::npos);
+}
+
+TEST(HtmlReportTest, WellFormedAndContainsSections) {
+  const Fixture f = make_fixture();
+  std::ostringstream os;
+  write_html_report(os, f.trace, f.analysis);
+  const std::string html = os.str();
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("Instantaneous parallelism"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("e.c:1(alpha)"), std::string::npos);
+  EXPECT_NE(html.find("low parallel benefit"), std::string::npos);
+  // Loop table present (the fixture has one loop).
+  EXPECT_NE(html.find("e.c:9(loop)"), std::string::npos);
+  // All tags balanced at least for tables.
+  size_t open_tr = 0, close_tr = 0, pos = 0;
+  while ((pos = html.find("<tr>", pos)) != std::string::npos) { ++open_tr; ++pos; }
+  pos = 0;
+  while ((pos = html.find("</tr>", pos)) != std::string::npos) { ++close_tr; ++pos; }
+  EXPECT_EQ(open_tr, close_tr);
+}
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,188 @@
+// Property-based sweeps: randomized task/loop programs run through both
+// engines under many configurations, checking the invariants the system
+// guarantees rather than specific values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "analysis/report.hpp"
+#include "common/prng.hpp"
+#include "graph/grain_graph.hpp"
+#include "graph/grain_table.hpp"
+#include "metrics/metrics.hpp"
+#include "rts/threaded_engine.hpp"
+#include "sim/capture.hpp"
+#include "sim/des.hpp"
+#include "trace/validate.hpp"
+
+namespace gg {
+namespace {
+
+using front::Ctx;
+using front::ForOpts;
+
+/// Builds a random but deterministic program: a task tree with mixed
+/// fan-outs, taskwait placements, compute costs, and (optionally) a
+/// parallel loop at the root.
+// Grows one random subtree. A free function (not a capturing closure): tasks
+// left unjoined outlive their spawning frame, so child bodies must not
+// reference any enclosing stack state.
+void grow_random(Ctx& c, int depth, u64 h) {
+  c.compute(100 + mix64(h) % 100000);
+  if (depth >= 5) return;
+  const int kids = static_cast<int>(mix64(h ^ 0x51) % 4);
+  const bool wait_mid = mix64(h ^ 0xabcd) % 2 == 0;
+  for (int k = 0; k < kids; ++k) {
+    const u64 child_h = mix64(h * 31 + static_cast<u64>(k) + 1);
+    c.spawn(GG_SRC,
+            [depth, child_h](Ctx& g) { grow_random(g, depth + 1, child_h); });
+    if (wait_mid && k == 0 && kids > 1) c.taskwait();
+  }
+  if (mix64(h ^ 0x77) % 4 != 0) c.taskwait();  // sometimes leave unjoined
+  c.compute(mix64(h ^ 0x99) % 5000);
+}
+
+front::TaskFn random_program(u64 seed) {
+  // All randomness is keyed by (seed, tree path), never by execution order:
+  // the program must be deterministic under ANY schedule, or the threaded
+  // and simulated runs would legitimately diverge.
+  return [seed](Ctx& ctx) {
+    grow_random(ctx, 0, mix64(seed));
+    if (mix64(seed ^ 0x5) % 2 == 0) {
+      ForOpts fo;
+      const u64 pick = mix64(seed ^ 0x6) % 3;
+      fo.sched = pick == 0 ? ScheduleKind::Static
+                 : pick == 1 ? ScheduleKind::Dynamic
+                             : ScheduleKind::Guided;
+      fo.chunk = mix64(seed ^ 0x7) % 7;
+      const u64 iters = 10 + mix64(seed ^ 0x8) % 200;
+      ctx.parallel_for(GG_SRC, 0, iters, fo, [seed](u64 i, Ctx& c) {
+        c.compute(1000 + mix64(seed * 131 + i) % 50000);
+      });
+    }
+  };
+}
+
+class RandomProgramTest : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomProgramTest, SimInvariantsHoldAcrossConfigurations) {
+  const u64 seed = GetParam();
+  const sim::Program prog =
+      sim::capture_program("random", random_program(seed));
+  const Cycles total_compute = prog.total_compute();
+
+  for (auto pol : {sim::SimPolicy::mir(), sim::SimPolicy::gcc(),
+                   sim::SimPolicy::icc(), sim::SimPolicy::mir_central()}) {
+    for (int cores : {1, 3, 48}) {
+      sim::SimOptions o;
+      o.policy = pol;
+      o.num_cores = cores;
+      o.memory_model = false;
+      const Trace t = sim::simulate(prog, o);
+      // 1. The trace is structurally valid.
+      const auto errs = validate_trace(t);
+      ASSERT_TRUE(errs.empty())
+          << "seed " << seed << " " << pol.name << "/" << cores << ": "
+          << errs.front();
+      // 2. The graph is a valid DAG with the paper's constraints.
+      const GrainGraph g = GrainGraph::build(t);
+      ASSERT_TRUE(validate_graph(g).empty()) << "seed " << seed;
+      // 3. Work conservation: makespan covers the annotated compute.
+      const TimeNs compute_ns = o.topology.cycles_to_ns(total_compute);
+      EXPECT_GE(t.makespan() * static_cast<u64>(cores) + cores,
+                compute_ns)
+          << "seed " << seed;
+      // 4. Metrics invariants.
+      const GrainTable grains = GrainTable::build(t);
+      const MetricsResult m =
+          compute_metrics(t, g, grains, o.topology, MetricOptions{});
+      EXPECT_LE(m.critical_path_time, t.makespan() + 1) << "seed " << seed;
+      for (size_t i = 0; i < m.per_grain.size(); ++i) {
+        EXPECT_LE(m.per_grain[i].inst_parallelism,
+                  m.per_grain[i].inst_parallelism_optimistic);
+        EXPECT_GE(m.per_grain[i].scatter, 0.0);
+      }
+      // 5. Grain exec time equals the sum of its fragments.
+      for (const Grain& grain : grains.grains()) {
+        if (grain.kind != GrainKind::Task) continue;
+        TimeNs sum = 0;
+        for (const FragmentRec* f : t.fragments_of(grain.task))
+          sum += f->end - f->start;
+        EXPECT_EQ(sum, grain.exec_time);
+      }
+    }
+  }
+}
+
+TEST_P(RandomProgramTest, WorkDeviationIsOneWithoutMemoryModel) {
+  const u64 seed = GetParam();
+  const sim::Program prog =
+      sim::capture_program("random", random_program(seed));
+  sim::SimOptions o1;
+  o1.num_cores = 1;
+  o1.memory_model = false;
+  sim::SimOptions oN;
+  oN.num_cores = 17;
+  oN.memory_model = false;
+  const GrainTable base = GrainTable::build(sim::simulate(prog, o1));
+  const Trace tN = sim::simulate(prog, oN);
+  const GrainTable gN = GrainTable::build(tN);
+  for (const Grain& g : gN.grains()) {
+    if (g.kind != GrainKind::Task) continue;  // chunk splits differ by team
+    const double dev = work_deviation(g, base);
+    ASSERT_FALSE(std::isnan(dev)) << g.path;
+    EXPECT_NEAR(dev, 1.0, 1e-9) << g.path;
+  }
+}
+
+TEST_P(RandomProgramTest, ThreadedEngineAgreesStructurally) {
+  const u64 seed = GetParam();
+  rts::Options o;
+  o.num_workers = 3;
+  rts::ThreadedEngine eng(o);
+  const Trace real = eng.run("random", random_program(seed));
+  const auto errs = validate_trace(real);
+  ASSERT_TRUE(errs.empty()) << "seed " << seed << ": " << errs.front();
+  EXPECT_TRUE(validate_graph(GrainGraph::build(real)).empty());
+
+  const sim::Program prog =
+      sim::capture_program("random", random_program(seed));
+  sim::SimOptions so;
+  so.num_cores = 8;
+  const Trace simulated = sim::simulate(prog, so);
+  // Task-grain ids agree between the real and simulated executions (chunk
+  // ids depend on the profiled thread count, §3.1, so compare tasks only).
+  auto task_paths = [](const Trace& t) {
+    std::set<std::string> out;
+    const GrainTable table = GrainTable::build(t);
+    for (const Grain& g : table.grains()) {
+      if (g.kind == GrainKind::Task) out.insert(g.path);
+    }
+    return out;
+  };
+  EXPECT_EQ(task_paths(real), task_paths(simulated)) << "seed " << seed;
+}
+
+TEST_P(RandomProgramTest, SimulationIsDeterministic) {
+  const u64 seed = GetParam();
+  const sim::Program prog =
+      sim::capture_program("random", random_program(seed));
+  sim::SimOptions o;
+  o.num_cores = 29;
+  const Trace a = sim::simulate(prog, o);
+  const Trace b = sim::simulate(prog, o);
+  EXPECT_EQ(a.makespan(), b.makespan());
+  ASSERT_EQ(a.fragments.size(), b.fragments.size());
+  for (size_t i = 0; i < a.fragments.size(); ++i) {
+    EXPECT_EQ(a.fragments[i].start, b.fragments[i].start);
+    EXPECT_EQ(a.fragments[i].core, b.fragments[i].core);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,143 @@
+// Tests for the recommendation rules: each paper case study's situation
+// must trigger its matching advice (and healthy programs must stay quiet).
+#include <gtest/gtest.h>
+
+#include "analysis/recommend.hpp"
+#include "apps/fft.hpp"
+#include "apps/freqmine.hpp"
+#include "apps/kdtree.hpp"
+#include "apps/sort.hpp"
+#include "apps/strassen.hpp"
+#include "sim/capture.hpp"
+#include "sim/des.hpp"
+#include "sim/sim_engine.hpp"
+
+namespace gg {
+namespace {
+
+using front::Ctx;
+
+struct R {
+  Trace trace;
+  Analysis analysis;
+  std::vector<Recommendation> recs;
+};
+
+R run(const std::function<front::TaskFn(front::Engine&)>& make,
+      bool with_baseline = false, sim::SimPolicy pol = sim::SimPolicy::mir()) {
+  sim::Capture cap;
+  sim::CaptureRegionEngine ce(cap);
+  const sim::Program prog = cap.run("p", make(ce));
+  sim::SimOptions o;
+  o.policy = pol;
+  R r{sim::simulate(prog, o), {}, {}};
+  AnalysisOptions ao;
+  static GrainTable baseline;
+  if (with_baseline) {
+    sim::SimOptions o1 = o;
+    o1.num_cores = 1;
+    baseline = GrainTable::build(sim::simulate(prog, o1));
+    ao.baseline = &baseline;
+    ProblemThresholds th =
+        ProblemThresholds::defaults(48, Topology::opteron48());
+    th.work_deviation_max = 1.2;
+    ao.thresholds = th;
+  }
+  r.analysis = analyze(r.trace, Topology::opteron48(), ao);
+  r.recs = recommend(r.trace, r.analysis);
+  return r;
+}
+
+bool any_mentions(const std::vector<Recommendation>& recs,
+                  const std::string& needle) {
+  for (const Recommendation& r : recs) {
+    if (r.headline.find(needle) != std::string::npos ||
+        r.paper_ref.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(RecommendTest, UnoptimizedFftSuggestsCutoffAtTheCulprit) {
+  const R r = run([](front::Engine& e) {
+    apps::FftParams p;
+    p.num_samples = 1 << 12;
+    p.spawn_cutoff = 2;
+    return apps::fft_program(e, p);
+  });
+  ASSERT_FALSE(r.recs.empty());
+  EXPECT_TRUE(any_mentions(r.recs, "cutoff"));
+  EXPECT_TRUE(any_mentions(r.recs, "fft"));  // names the culprit definition
+}
+
+TEST(RecommendTest, SortFirstTouchSuggestsPageDistribution) {
+  const R r = run(
+      [](front::Engine& e) {
+        apps::SortParams p;
+        p.num_elements = 1 << 19;
+        p.quick_cutoff = 1 << 13;
+        p.merge_cutoff = 1 << 13;
+        return apps::sort_program(e, p);
+      },
+      /*with_baseline=*/true);
+  EXPECT_TRUE(any_mentions(r.recs, "round-robin"));
+}
+
+TEST(RecommendTest, FreqmineSuggestsTeamTrim) {
+  const R r = run([](front::Engine& e) {
+    return apps::freqmine_program(e, apps::FreqmineParams{});
+  });
+  bool found = false;
+  for (const Recommendation& rec : r.recs) {
+    if (rec.headline.find("num_threads(") != std::string::npos) {
+      found = true;
+      EXPECT_NE(rec.headline.find("FP_growth_first"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RecommendTest, CentralQueueStrassenSuggestsWorkStealing) {
+  const R r = run(
+      [](front::Engine& e) {
+        apps::StrassenParams p;
+        p.matrix_size = 2048;
+        p.hard_coded_cutoff = false;
+        return apps::strassen_program(e, p);
+      },
+      false, sim::SimPolicy::mir_central());
+  EXPECT_TRUE(any_mentions(r.recs, "work-stealing"));
+}
+
+TEST(RecommendTest, HealthyProgramStaysQuietOnBenefitAndInflation) {
+  const R r = run([](front::Engine&) {
+    return front::TaskFn([](Ctx& ctx) {
+      for (int i = 0; i < 96; ++i)
+        ctx.spawn(GG_SRC, [](Ctx& c) { c.compute(20'000'000); });
+      ctx.taskwait();
+    });
+  });
+  EXPECT_FALSE(any_mentions(r.recs, "cutoff"));
+  EXPECT_FALSE(any_mentions(r.recs, "round-robin"));
+  EXPECT_FALSE(any_mentions(r.recs, "num_threads("));
+}
+
+TEST(RecommendTest, RenderedListIsNumberedWithEvidence) {
+  const R r = run([](front::Engine& e) {
+    apps::KdtreeParams p;
+    p.num_points = 3000;
+    return apps::kdtree_program(e, p);
+  });
+  const std::string text = render_recommendations(r.recs);
+  if (!r.recs.empty()) {
+    EXPECT_NE(text.find("1. "), std::string::npos);
+    EXPECT_NE(text.find("evidence:"), std::string::npos);
+    EXPECT_NE(text.find("cf. "), std::string::npos);
+  } else {
+    EXPECT_NE(text.find("healthy"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "topology/topology.hpp"
+
+namespace gg {
+namespace {
+
+TEST(TopologyTest, Opteron48MatchesPaperMachine) {
+  const Topology t = Topology::opteron48();
+  EXPECT_EQ(t.num_cores(), 48);
+  EXPECT_EQ(t.num_sockets(), 4);
+  EXPECT_EQ(t.cores_per_socket(), 12);
+  EXPECT_EQ(t.cores_per_numa(), 6);
+  EXPECT_EQ(t.num_numa_nodes(), 8);
+  EXPECT_DOUBLE_EQ(t.ghz(), 2.1);
+}
+
+TEST(TopologyTest, CoreToNodeMapping) {
+  const Topology t = Topology::opteron48();
+  EXPECT_EQ(t.numa_of_core(0), 0);
+  EXPECT_EQ(t.numa_of_core(5), 0);
+  EXPECT_EQ(t.numa_of_core(6), 1);
+  EXPECT_EQ(t.numa_of_core(47), 7);
+  EXPECT_EQ(t.socket_of_core(0), 0);
+  EXPECT_EQ(t.socket_of_core(11), 0);
+  EXPECT_EQ(t.socket_of_core(12), 1);
+  EXPECT_EQ(t.socket_of_core(47), 3);
+}
+
+TEST(TopologyTest, DistanceTableConventions) {
+  const Topology t = Topology::opteron48();
+  EXPECT_EQ(t.numa_distance(0, 0), 10);   // local
+  EXPECT_EQ(t.numa_distance(0, 1), 16);   // same socket
+  EXPECT_EQ(t.numa_distance(0, 2), 22);   // remote socket
+  EXPECT_EQ(t.numa_distance(3, 2), 16);
+  // Symmetry.
+  for (int a = 0; a < t.num_numa_nodes(); ++a)
+    for (int b = 0; b < t.num_numa_nodes(); ++b)
+      EXPECT_EQ(t.numa_distance(a, b), t.numa_distance(b, a));
+}
+
+TEST(TopologyTest, CoreDistance) {
+  const Topology t = Topology::opteron48();
+  EXPECT_EQ(t.core_distance(3, 3), 0);
+  EXPECT_EQ(t.core_distance(0, 1), 10);   // same node
+  EXPECT_EQ(t.core_distance(0, 6), 16);   // same socket, other die
+  EXPECT_EQ(t.core_distance(0, 12), 22);  // other socket
+}
+
+TEST(TopologyTest, CoresOfNuma) {
+  const Topology t = Topology::opteron48();
+  const auto cores = t.cores_of_numa(1);
+  ASSERT_EQ(cores.size(), 6u);
+  EXPECT_EQ(cores.front(), 6);
+  EXPECT_EQ(cores.back(), 11);
+}
+
+TEST(TopologyTest, CycleTimeConversionRoundTrips) {
+  const Topology t = Topology::opteron48();
+  EXPECT_EQ(t.cycles_to_ns(2100), 1000u);
+  EXPECT_EQ(t.ns_to_cycles(1000), 2100u);
+  Topology g = Topology::generic4();
+  g.set_ghz(1.0);
+  EXPECT_EQ(g.cycles_to_ns(123), 123u);
+}
+
+TEST(TopologyTest, SmallPresets) {
+  const Topology g4 = Topology::generic4();
+  EXPECT_EQ(g4.num_cores(), 4);
+  EXPECT_EQ(g4.num_numa_nodes(), 1);
+  const Topology g16 = Topology::generic16();
+  EXPECT_EQ(g16.num_cores(), 16);
+  EXPECT_EQ(g16.num_numa_nodes(), 4);
+  EXPECT_EQ(g16.num_sockets(), 2);
+}
+
+TEST(TopologyTest, SymmetricCustomShape) {
+  const Topology t = Topology::symmetric(3, 2, 5, "custom");
+  EXPECT_EQ(t.num_cores(), 30);
+  EXPECT_EQ(t.num_numa_nodes(), 6);
+  EXPECT_EQ(t.cores_per_socket(), 10);
+  EXPECT_EQ(t.name(), "custom");
+}
+
+}  // namespace
+}  // namespace gg

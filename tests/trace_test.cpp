@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/recorder.hpp"
+#include "trace/serialize.hpp"
+#include "trace/trace.hpp"
+#include "trace/validate.hpp"
+
+namespace gg {
+namespace {
+
+// Builds a small, fully consistent trace: root spawns two tasks, waits, and
+// runs one 2-thread static loop with two chunks.
+Trace make_sample_trace() {
+  TraceRecorder rec(2);
+  auto w0 = rec.writer(0);
+  auto w1 = rec.writer(1);
+
+  const StrId src_root = rec.intern("<root>");
+  const StrId src_task = rec.intern_source("demo.c", 10, "work");
+  const StrId src_loop = rec.intern_source("demo.c", 50, "loop");
+
+  TaskRec root;
+  root.uid = kRootTask;
+  root.parent = kNoTask;
+  root.src = src_root;
+  w0.task(root);
+
+  // Root fragments: [0,10) fork t1, [12,20) fork t2, [22,30) join, [40,41) loop,
+  // [100,101) end.
+  auto frag = [&](TaskId task, u32 seq, TimeNs s, TimeNs e, FragmentEnd r,
+                  u64 ref) {
+    FragmentRec f;
+    f.task = task;
+    f.seq = seq;
+    f.start = s;
+    f.end = e;
+    f.end_reason = r;
+    f.end_ref = ref;
+    f.counters.compute = e - s;
+    return f;
+  };
+  w0.fragment(frag(kRootTask, 0, 0, 10, FragmentEnd::Fork, 1));
+  w0.fragment(frag(kRootTask, 1, 12, 20, FragmentEnd::Fork, 2));
+  w0.fragment(frag(kRootTask, 2, 22, 30, FragmentEnd::Join, 0));
+  w0.fragment(frag(kRootTask, 3, 40, 41, FragmentEnd::Loop, 1));
+  w0.fragment(frag(kRootTask, 4, 100, 101, FragmentEnd::TaskEnd, 0));
+
+  TaskRec t1;
+  t1.uid = 1;
+  t1.parent = kRootTask;
+  t1.child_index = 0;
+  t1.src = src_task;
+  t1.create_time = 10;
+  t1.creation_cost = 2;
+  w0.task(t1);
+  TaskRec t2 = t1;
+  t2.uid = 2;
+  t2.child_index = 1;
+  t2.create_time = 20;
+  w0.task(t2);
+
+  w1.fragment(frag(1, 0, 11, 25, FragmentEnd::TaskEnd, 0));
+  w0.fragment(frag(2, 0, 21, 28, FragmentEnd::TaskEnd, 0));
+
+  JoinRec j;
+  j.task = kRootTask;
+  j.seq = 0;
+  j.start = 30;
+  j.end = 39;
+  w0.join(j);
+
+  LoopRec loop;
+  loop.uid = 1;
+  loop.enclosing_task = kRootTask;
+  loop.src = src_loop;
+  loop.sched = ScheduleKind::Static;
+  loop.iter_begin = 0;
+  loop.iter_end = 8;
+  loop.num_threads = 2;
+  loop.starting_thread = 0;
+  loop.start = 41;
+  loop.end = 99;
+  w0.loop(loop);
+
+  auto chunk = [&](u16 thread, u32 seq, u64 lo, u64 hi, TimeNs s, TimeNs e) {
+    ChunkRec c;
+    c.loop = 1;
+    c.thread = thread;
+    c.core = thread;
+    c.seq_on_thread = seq;
+    c.iter_begin = lo;
+    c.iter_end = hi;
+    c.start = s;
+    c.end = e;
+    c.counters.compute = e - s;
+    return c;
+  };
+  auto book = [&](u16 thread, u32 seq, TimeNs s, TimeNs e, bool got) {
+    BookkeepRec b;
+    b.loop = 1;
+    b.thread = thread;
+    b.core = thread;
+    b.seq_on_thread = seq;
+    b.start = s;
+    b.end = e;
+    b.got_chunk = got;
+    return b;
+  };
+  w0.bookkeep(book(0, 0, 42, 43, true));
+  w0.chunk(chunk(0, 0, 0, 4, 43, 60));
+  w0.bookkeep(book(0, 1, 60, 61, false));
+  w1.bookkeep(book(1, 0, 42, 44, true));
+  w1.chunk(chunk(1, 0, 4, 8, 44, 70));
+  w1.bookkeep(book(1, 1, 70, 71, false));
+
+  TraceMeta meta;
+  meta.program = "sample";
+  meta.runtime = "handmade";
+  meta.topology = "generic4";
+  meta.num_workers = 2;
+  meta.num_cores = 2;
+  meta.ghz = 1.0;
+  meta.region_start = 0;
+  meta.region_end = 101;
+  meta.notes = {"note one", "note two"};
+  return rec.finish(meta);
+}
+
+TEST(TraceTest, SampleTraceIsValid) {
+  const Trace t = make_sample_trace();
+  const auto errs = validate_trace(t);
+  EXPECT_TRUE(errs.empty()) << (errs.empty() ? "" : errs.front());
+}
+
+TEST(TraceTest, FinalizeSortsAndIndexes) {
+  const Trace t = make_sample_trace();
+  ASSERT_TRUE(t.finalized());
+  ASSERT_TRUE(t.task_index(kRootTask).has_value());
+  ASSERT_TRUE(t.task_index(2).has_value());
+  EXPECT_FALSE(t.task_index(99).has_value());
+  const auto frags = t.fragments_of(kRootTask);
+  ASSERT_EQ(frags.size(), 5u);
+  for (u32 i = 0; i < frags.size(); ++i) EXPECT_EQ(frags[i]->seq, i);
+  EXPECT_EQ(t.fragments_of(1).size(), 1u);
+  EXPECT_EQ(t.children_of(kRootTask).size(), 2u);
+  EXPECT_EQ(t.children_of(1).size(), 0u);
+  EXPECT_EQ(t.joins_of(kRootTask).size(), 1u);
+  EXPECT_EQ(t.chunks_of(1).size(), 2u);
+  EXPECT_EQ(t.bookkeeps_of(1).size(), 4u);
+}
+
+TEST(TraceTest, GrainCountExcludesRootIncludesChunks) {
+  const Trace t = make_sample_trace();
+  // 2 tasks + 2 chunks.
+  EXPECT_EQ(t.grain_count(), 4u);
+}
+
+TEST(TraceTest, MakespanFromMeta) {
+  const Trace t = make_sample_trace();
+  EXPECT_EQ(t.makespan(), 101u);
+}
+
+TEST(TraceTest, InternSrcFormat) {
+  StringTable st;
+  const StrId id = intern_src(st, "sparselu.c", 246, "bmod");
+  EXPECT_EQ(st.get(id), "sparselu.c:246(bmod)");
+}
+
+TEST(TraceSerializeTest, RoundTripPreservesEverything) {
+  const Trace t = make_sample_trace();
+  std::ostringstream os;
+  save_trace(t, os);
+  std::istringstream is(os.str());
+  std::string error;
+  auto loaded = load_trace(is, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  EXPECT_EQ(loaded->meta.program, t.meta.program);
+  EXPECT_EQ(loaded->meta.runtime, t.meta.runtime);
+  EXPECT_EQ(loaded->meta.num_workers, t.meta.num_workers);
+  EXPECT_EQ(loaded->meta.region_end, t.meta.region_end);
+  EXPECT_EQ(loaded->meta.notes, t.meta.notes);
+  ASSERT_EQ(loaded->tasks.size(), t.tasks.size());
+  ASSERT_EQ(loaded->fragments.size(), t.fragments.size());
+  ASSERT_EQ(loaded->joins.size(), t.joins.size());
+  ASSERT_EQ(loaded->loops.size(), t.loops.size());
+  ASSERT_EQ(loaded->chunks.size(), t.chunks.size());
+  ASSERT_EQ(loaded->bookkeeps.size(), t.bookkeeps.size());
+  for (size_t i = 0; i < t.tasks.size(); ++i) {
+    EXPECT_EQ(loaded->tasks[i].uid, t.tasks[i].uid);
+    EXPECT_EQ(loaded->tasks[i].parent, t.tasks[i].parent);
+    EXPECT_EQ(loaded->tasks[i].src, t.tasks[i].src);
+  }
+  for (size_t i = 0; i < t.fragments.size(); ++i) {
+    EXPECT_EQ(loaded->fragments[i].start, t.fragments[i].start);
+    EXPECT_EQ(loaded->fragments[i].end_reason, t.fragments[i].end_reason);
+    EXPECT_EQ(loaded->fragments[i].counters.compute,
+              t.fragments[i].counters.compute);
+  }
+  // String table identical.
+  ASSERT_EQ(loaded->strings.size(), t.strings.size());
+  for (StrId i = 0; i < t.strings.size(); ++i)
+    EXPECT_EQ(loaded->strings.get(i), t.strings.get(i));
+  // And the loaded trace still validates.
+  EXPECT_TRUE(validate_trace(*loaded).empty());
+}
+
+TEST(TraceSerializeTest, RejectsGarbage) {
+  std::istringstream is("not a trace\n");
+  std::string error;
+  EXPECT_FALSE(load_trace(is, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceSerializeTest, RejectsBadRecord) {
+  std::istringstream is("ggtrace 1\ntask nonsense\n");
+  std::string error;
+  EXPECT_FALSE(load_trace(is, &error).has_value());
+}
+
+TEST(TraceSerializeTest, EscapedStringsSurvive) {
+  TraceRecorder rec(1);
+  rec.intern("has space and %percent%");
+  TraceMeta meta;
+  meta.program = "white space program";
+  meta.region_end = 1;
+  TaskRec root;
+  root.uid = kRootTask;
+  root.parent = kNoTask;
+  rec.writer(0).task(root);
+  FragmentRec f;
+  f.task = kRootTask;
+  f.end = 1;
+  rec.writer(0).fragment(f);
+  const Trace t = rec.finish(meta);
+
+  std::ostringstream os;
+  save_trace(t, os);
+  std::istringstream is(os.str());
+  auto loaded = load_trace(is);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->meta.program, "white space program");
+  EXPECT_NE(loaded->strings.find("has space and %percent%"), 0u);
+}
+
+TEST(TraceValidateTest, DetectsMissingParent) {
+  Trace t = make_sample_trace();
+  TaskRec orphan;
+  orphan.uid = 77;
+  orphan.parent = 55;  // does not exist
+  t.tasks.push_back(orphan);
+  FragmentRec f;
+  f.task = 77;
+  f.end = 1;
+  t.fragments.push_back(f);
+  t.finalize();
+  const auto errs = validate_trace(t);
+  EXPECT_FALSE(errs.empty());
+}
+
+TEST(TraceValidateTest, DetectsFragmentGap) {
+  Trace t = make_sample_trace();
+  // Remove fragment seq 1 of root.
+  std::erase_if(t.fragments, [](const FragmentRec& f) {
+    return f.task == kRootTask && f.seq == 1;
+  });
+  t.finalize();
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(TraceValidateTest, DetectsChunkCoverageHole) {
+  Trace t = make_sample_trace();
+  std::erase_if(t.chunks, [](const ChunkRec& c) { return c.thread == 1; });
+  t.finalize();
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(TraceValidateTest, DetectsTaskWithoutFragments) {
+  Trace t = make_sample_trace();
+  std::erase_if(t.fragments, [](const FragmentRec& f) { return f.task == 2; });
+  t.finalize();
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(TraceValidateTest, DetectsOutOfBoundsTimes) {
+  Trace t = make_sample_trace();
+  t.meta.region_end = 50;  // several records end later
+  t.finalize();
+  EXPECT_FALSE(validate_trace(t).empty());
+}
+
+TEST(TraceRecorderTest, ParallelWritersMerge) {
+  TraceRecorder rec(4);
+  for (int w = 0; w < 4; ++w) {
+    auto writer = rec.writer(w);
+    TaskRec t;
+    t.uid = w == 0 ? kRootTask : static_cast<TaskId>(w);
+    t.parent = w == 0 ? kNoTask : kRootTask;
+    t.child_index = w == 0 ? 0 : static_cast<u32>(w - 1);
+    writer.task(t);
+  }
+  TraceMeta meta;
+  meta.num_workers = 4;
+  const Trace t = rec.finish(meta);
+  EXPECT_EQ(t.tasks.size(), 4u);
+  // Sorted by uid after finalize.
+  for (size_t i = 1; i < t.tasks.size(); ++i)
+    EXPECT_LT(t.tasks[i - 1].uid, t.tasks[i].uid);
+}
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,237 @@
+// gganalyze — the post-profiling command-line front end (the paper's
+// post-processing step as a tool): load a trace, derive metrics, print the
+// report, and export problem views.
+//
+// Usage:
+//   gganalyze <trace.(ggtrace|ggbin)> [options]
+//     --baseline <trace>     1-core trace of the same program: enables the
+//                            work-deviation metric (grains matched by
+//                            schedule-independent id)
+//     --view <problem>       benefit|inflation|memutil|parallelism|scatter
+//     --graphml <out.graphml>  export (honors --view and --reduced)
+//     --dot <out.dot>        export Graphviz
+//     --csv <out.csv>        per-grain metric table
+//     --json <out.json>      machine-readable summary
+//     --html <out.html>      self-contained HTML report
+//     --reduced              apply all reductions before graph export
+//     --topology <name>      opteron48|generic4|generic16 (default: from
+//                            the trace's metadata when recognized)
+//     --timeline             print the thread-timeline foil view
+//     --compare <trace>      before/after comparison against another run of
+//                            the same program (this trace = before)
+//     --summarize <N>        collapse task subtrees until the exported
+//                            graph has ~N nodes (implies graph export path)
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "analysis/compare.hpp"
+#include "analysis/recommend.hpp"
+#include "analysis/report.hpp"
+#include "analysis/timeline.hpp"
+#include "export/dot.hpp"
+#include "export/grain_csv.hpp"
+#include "export/graphml.hpp"
+#include "export/html_report.hpp"
+#include "export/json_summary.hpp"
+#include "graph/reductions.hpp"
+#include "graph/summarize.hpp"
+#include "trace/serialize.hpp"
+#include "trace/validate.hpp"
+
+namespace {
+
+using namespace gg;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <trace.(ggtrace|ggbin)> [--baseline t] [--view "
+               "benefit|inflation|memutil|parallelism|scatter] [--graphml f] "
+               "[--dot f] [--csv f] [--json f] [--html f] [--reduced] "
+               "[--summarize N] [--compare t] [--topology "
+               "opteron48|generic4|generic16] [--timeline]\n",
+               argv0);
+  return 2;
+}
+
+std::optional<Problem> parse_view(const std::string& s) {
+  if (s == "benefit") return Problem::LowParallelBenefit;
+  if (s == "inflation") return Problem::WorkInflation;
+  if (s == "memutil") return Problem::PoorMemUtil;
+  if (s == "parallelism") return Problem::LowParallelism;
+  if (s == "scatter") return Problem::HighScatter;
+  return std::nullopt;
+}
+
+Topology parse_topology(const std::string& name) {
+  if (name == "opteron48") return Topology::opteron48();
+  if (name == "generic16") return Topology::generic16();
+  return Topology::generic4();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string trace_path = argv[1];
+  std::string baseline_path, graphml_path, dot_path, csv_path, json_path;
+  std::string compare_path, html_path;
+  std::string topology_name;
+  std::optional<Problem> view;
+  bool reduced = false, timeline = false;
+  size_t summarize_budget = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--baseline") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      baseline_path = v;
+    } else if (arg == "--view") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      view = parse_view(v);
+      if (!view) {
+        std::fprintf(stderr, "unknown view '%s'\n", v);
+        return 2;
+      }
+    } else if (arg == "--graphml") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      graphml_path = v;
+    } else if (arg == "--dot") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      dot_path = v;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      csv_path = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      json_path = v;
+    } else if (arg == "--html") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      html_path = v;
+    } else if (arg == "--compare") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      compare_path = v;
+    } else if (arg == "--topology") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      topology_name = v;
+    } else if (arg == "--summarize") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      summarize_budget = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--reduced") {
+      reduced = true;
+    } else if (arg == "--timeline") {
+      timeline = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::string error;
+  auto trace = load_trace_file(trace_path, &error);
+  if (!trace) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto problems = validate_trace(*trace);
+  if (!problems.empty()) {
+    std::fprintf(stderr, "trace failed validation (%zu issues); first: %s\n",
+                 problems.size(), problems.front().c_str());
+    return 1;
+  }
+
+  const Topology topo = parse_topology(
+      topology_name.empty() ? trace->meta.topology : topology_name);
+
+  AnalysisOptions opts;
+  GrainTable baseline;
+  if (!baseline_path.empty()) {
+    auto base = load_trace_file(baseline_path, &error);
+    if (!base) {
+      std::fprintf(stderr, "error loading baseline: %s\n", error.c_str());
+      return 1;
+    }
+    baseline = GrainTable::build(*base);
+    opts.baseline = &baseline;
+  }
+  const Analysis a = analyze(*trace, topo, opts);
+  std::printf("%s", render_report(*trace, a).c_str());
+  std::printf("%s", render_recommendations(recommend(*trace, a)).c_str());
+
+  if (!compare_path.empty()) {
+    auto other = load_trace_file(compare_path, &error);
+    if (!other) {
+      std::fprintf(stderr, "error loading --compare trace: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    const Analysis oa = analyze(*other, topo, opts);
+    std::printf("\n%s", render_comparison(
+                             compare_runs(*trace, a, *other, oa)).c_str());
+  }
+
+  if (timeline) {
+    const TimelineView v = thread_timeline(*trace, 72);
+    std::printf("\nthread timeline ('#' busy, '+' runtime, '.' idle), "
+                "imbalance %.2f:\n", v.imbalance);
+    for (size_t i = 0; i < v.strips.size() && i < 16; ++i) {
+      std::printf("  t%02zu |%s| busy %5.1f%%\n", i, v.strips[i].c_str(),
+                  v.threads[i].busy_percent);
+    }
+  }
+
+  if (!graphml_path.empty()) {
+    GraphMlOptions gopts;
+    gopts.view = view;
+    bool ok;
+    if (summarize_budget > 0) {
+      const SummarizeResult s = summarize_graph(a.graph, summarize_budget);
+      std::printf("summarized to %zu nodes (cut depth %zu)\n",
+                  s.graph.node_count(), s.cut_depth);
+      ok = write_graphml_file(graphml_path, s.graph, *trace, nullptr, nullptr,
+                              gopts);
+    } else if (reduced) {
+      const GrainGraph r = reduce_graph(a.graph, ReductionOptions{});
+      ok = write_graphml_file(graphml_path, r, *trace, nullptr, nullptr, gopts);
+    } else {
+      ok = write_graphml_file(graphml_path, a.graph, *trace, &a.grains,
+                              &a.metrics, gopts);
+    }
+    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                graphml_path.c_str());
+  }
+  if (!dot_path.empty()) {
+    const bool ok =
+        reduced
+            ? write_dot_file(dot_path, reduce_graph(a.graph, ReductionOptions{}),
+                             *trace)
+            : write_dot_file(dot_path, a.graph, *trace);
+    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", dot_path.c_str());
+  }
+  if (!csv_path.empty()) {
+    const bool ok = write_grain_csv_file(csv_path, *trace, a.grains, a.metrics);
+    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    const bool ok = write_json_summary_file(json_path, *trace, a);
+    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", json_path.c_str());
+  }
+  if (!html_path.empty()) {
+    const bool ok = write_html_report_file(html_path, *trace, a);
+    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", html_path.c_str());
+  }
+  return 0;
+}

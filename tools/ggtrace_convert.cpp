@@ -1,0 +1,39 @@
+// ggtrace-convert — convert traces between the text (.ggtrace) and binary
+// (.ggbin) formats; formats are chosen by file extension.
+//
+//   ggtrace-convert in.ggtrace out.ggbin
+//   ggtrace-convert in.ggbin out.ggtrace
+#include <cstdio>
+#include <string>
+
+#include "trace/serialize.hpp"
+#include "trace/validate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gg;
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: %s <in.(ggtrace|ggbin)> <out.(ggtrace|ggbin)>\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string error;
+  auto trace = load_trace_file(argv[1], &error);
+  if (!trace) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto problems = validate_trace(*trace);
+  if (!problems.empty()) {
+    std::fprintf(stderr, "warning: trace has %zu validation issues; first: %s\n",
+                 problems.size(), problems.front().c_str());
+  }
+  if (!save_trace_file(*trace, argv[2])) {
+    std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::printf("%s -> %s (%zu tasks, %zu fragments, %zu chunks, %zu "
+              "dependences)\n",
+              argv[1], argv[2], trace->tasks.size(), trace->fragments.size(),
+              trace->chunks.size(), trace->depends.size());
+  return 0;
+}
