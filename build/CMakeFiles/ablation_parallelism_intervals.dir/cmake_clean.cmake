@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallelism_intervals.dir/bench/ablation_parallelism_intervals.cpp.o"
+  "CMakeFiles/ablation_parallelism_intervals.dir/bench/ablation_parallelism_intervals.cpp.o.d"
+  "bench/ablation_parallelism_intervals"
+  "bench/ablation_parallelism_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallelism_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

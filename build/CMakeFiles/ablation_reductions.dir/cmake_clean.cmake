@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reductions.dir/bench/ablation_reductions.cpp.o"
+  "CMakeFiles/ablation_reductions.dir/bench/ablation_reductions.cpp.o.d"
+  "bench/ablation_reductions"
+  "bench/ablation_reductions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reductions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dataflow_sparselu.dir/bench/ext_dataflow_sparselu.cpp.o"
+  "CMakeFiles/ext_dataflow_sparselu.dir/bench/ext_dataflow_sparselu.cpp.o.d"
+  "bench/ext_dataflow_sparselu"
+  "bench/ext_dataflow_sparselu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dataflow_sparselu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_dataflow_sparselu.
+# This may be replaced when dependencies are built.

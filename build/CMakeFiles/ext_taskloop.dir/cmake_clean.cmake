@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_taskloop.dir/bench/ext_taskloop.cpp.o"
+  "CMakeFiles/ext_taskloop.dir/bench/ext_taskloop.cpp.o.d"
+  "bench/ext_taskloop"
+  "bench/ext_taskloop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_taskloop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

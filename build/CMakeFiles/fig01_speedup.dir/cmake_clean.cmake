@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_speedup.dir/bench/fig01_speedup.cpp.o"
+  "CMakeFiles/fig01_speedup.dir/bench/fig01_speedup.cpp.o.d"
+  "bench/fig01_speedup"
+  "bench/fig01_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

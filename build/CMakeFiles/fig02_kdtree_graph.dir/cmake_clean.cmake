@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_kdtree_graph.dir/bench/fig02_kdtree_graph.cpp.o"
+  "CMakeFiles/fig02_kdtree_graph.dir/bench/fig02_kdtree_graph.cpp.o.d"
+  "bench/fig02_kdtree_graph"
+  "bench/fig02_kdtree_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_kdtree_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

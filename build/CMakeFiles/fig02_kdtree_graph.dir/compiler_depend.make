@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig02_kdtree_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_structure.dir/bench/fig03_structure.cpp.o"
+  "CMakeFiles/fig03_structure.dir/bench/fig03_structure.cpp.o.d"
+  "bench/fig03_structure"
+  "bench/fig03_structure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_timeline_foil.cpp" "CMakeFiles/fig04_timeline_foil.dir/bench/fig04_timeline_foil.cpp.o" "gcc" "CMakeFiles/fig04_timeline_foil.dir/bench/fig04_timeline_foil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/gg_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/gg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rts/CMakeFiles/gg_rts.dir/DependInfo.cmake"
+  "/root/repo/build/src/front/CMakeFiles/gg_front.dir/DependInfo.cmake"
+  "/root/repo/build/src/export/CMakeFiles/gg_export.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gg_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_timeline_foil.dir/bench/fig04_timeline_foil.cpp.o"
+  "CMakeFiles/fig04_timeline_foil.dir/bench/fig04_timeline_foil.cpp.o.d"
+  "bench/fig04_timeline_foil"
+  "bench/fig04_timeline_foil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_timeline_foil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

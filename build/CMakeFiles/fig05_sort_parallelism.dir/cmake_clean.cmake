@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_sort_parallelism.dir/bench/fig05_sort_parallelism.cpp.o"
+  "CMakeFiles/fig05_sort_parallelism.dir/bench/fig05_sort_parallelism.cpp.o.d"
+  "bench/fig05_sort_parallelism"
+  "bench/fig05_sort_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_sort_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_botsspar.dir/bench/fig06_botsspar.cpp.o"
+  "CMakeFiles/fig06_botsspar.dir/bench/fig06_botsspar.cpp.o.d"
+  "bench/fig06_botsspar"
+  "bench/fig06_botsspar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_botsspar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

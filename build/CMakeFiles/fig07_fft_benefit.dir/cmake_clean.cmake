@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_fft_benefit.dir/bench/fig07_fft_benefit.cpp.o"
+  "CMakeFiles/fig07_fft_benefit.dir/bench/fig07_fft_benefit.cpp.o.d"
+  "bench/fig07_fft_benefit"
+  "bench/fig07_fft_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fft_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_fft_memutil.dir/bench/fig08_fft_memutil.cpp.o"
+  "CMakeFiles/fig08_fft_memutil.dir/bench/fig08_fft_memutil.cpp.o.d"
+  "bench/fig08_fft_memutil"
+  "bench/fig08_fft_memutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fft_memutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

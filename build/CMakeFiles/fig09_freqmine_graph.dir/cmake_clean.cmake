@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_freqmine_graph.dir/bench/fig09_freqmine_graph.cpp.o"
+  "CMakeFiles/fig09_freqmine_graph.dir/bench/fig09_freqmine_graph.cpp.o.d"
+  "bench/fig09_freqmine_graph"
+  "bench/fig09_freqmine_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_freqmine_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

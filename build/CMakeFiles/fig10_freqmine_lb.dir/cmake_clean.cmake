@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_freqmine_lb.dir/bench/fig10_freqmine_lb.cpp.o"
+  "CMakeFiles/fig10_freqmine_lb.dir/bench/fig10_freqmine_lb.cpp.o.d"
+  "bench/fig10_freqmine_lb"
+  "bench/fig10_freqmine_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_freqmine_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

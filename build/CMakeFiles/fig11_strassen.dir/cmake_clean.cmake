@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_strassen.dir/bench/fig11_strassen.cpp.o"
+  "CMakeFiles/fig11_strassen.dir/bench/fig11_strassen.cpp.o.d"
+  "bench/fig11_strassen"
+  "bench/fig11_strassen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_strassen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

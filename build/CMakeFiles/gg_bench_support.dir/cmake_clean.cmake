@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_bench_support.dir/bench/support/bench_support.cpp.o"
+  "CMakeFiles/gg_bench_support.dir/bench/support/bench_support.cpp.o.d"
+  "libgg_bench_support.a"
+  "libgg_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_components.dir/bench/micro_components.cpp.o"
+  "CMakeFiles/micro_components.dir/bench/micro_components.cpp.o.d"
+  "bench/micro_components"
+  "bench/micro_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/other_benchmarks.dir/bench/other_benchmarks.cpp.o"
+  "CMakeFiles/other_benchmarks.dir/bench/other_benchmarks.cpp.o.d"
+  "bench/other_benchmarks"
+  "bench/other_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/other_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_freqmine.dir/bench/tab1_freqmine.cpp.o"
+  "CMakeFiles/tab1_freqmine.dir/bench/tab1_freqmine.cpp.o.d"
+  "bench/tab1_freqmine"
+  "bench/tab1_freqmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_freqmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_sort_inflation.dir/bench/tab_sort_inflation.cpp.o"
+  "CMakeFiles/tab_sort_inflation.dir/bench/tab_sort_inflation.cpp.o.d"
+  "bench/tab_sort_inflation"
+  "bench/tab_sort_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sort_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_optimizations.dir/compare_optimizations.cpp.o"
+  "CMakeFiles/compare_optimizations.dir/compare_optimizations.cpp.o.d"
+  "compare_optimizations"
+  "compare_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnose_cutoff_bug.dir/diagnose_cutoff_bug.cpp.o"
+  "CMakeFiles/diagnose_cutoff_bug.dir/diagnose_cutoff_bug.cpp.o.d"
+  "diagnose_cutoff_bug"
+  "diagnose_cutoff_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnose_cutoff_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for diagnose_cutoff_bug.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_tuning.dir/numa_tuning.cpp.o"
+  "CMakeFiles/numa_tuning.dir/numa_tuning.cpp.o.d"
+  "numa_tuning"
+  "numa_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trim_team_size.dir/trim_team_size.cpp.o"
+  "CMakeFiles/trim_team_size.dir/trim_team_size.cpp.o.d"
+  "trim_team_size"
+  "trim_team_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trim_team_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for trim_team_size.
+# This may be replaced when dependencies are built.

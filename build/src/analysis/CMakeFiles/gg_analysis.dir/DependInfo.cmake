@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/binpack.cpp" "src/analysis/CMakeFiles/gg_analysis.dir/binpack.cpp.o" "gcc" "src/analysis/CMakeFiles/gg_analysis.dir/binpack.cpp.o.d"
+  "/root/repo/src/analysis/compare.cpp" "src/analysis/CMakeFiles/gg_analysis.dir/compare.cpp.o" "gcc" "src/analysis/CMakeFiles/gg_analysis.dir/compare.cpp.o.d"
+  "/root/repo/src/analysis/problems.cpp" "src/analysis/CMakeFiles/gg_analysis.dir/problems.cpp.o" "gcc" "src/analysis/CMakeFiles/gg_analysis.dir/problems.cpp.o.d"
+  "/root/repo/src/analysis/recommend.cpp" "src/analysis/CMakeFiles/gg_analysis.dir/recommend.cpp.o" "gcc" "src/analysis/CMakeFiles/gg_analysis.dir/recommend.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/gg_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/gg_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/source_profile.cpp" "src/analysis/CMakeFiles/gg_analysis.dir/source_profile.cpp.o" "gcc" "src/analysis/CMakeFiles/gg_analysis.dir/source_profile.cpp.o.d"
+  "/root/repo/src/analysis/timeline.cpp" "src/analysis/CMakeFiles/gg_analysis.dir/timeline.cpp.o" "gcc" "src/analysis/CMakeFiles/gg_analysis.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/gg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gg_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_analysis.dir/binpack.cpp.o"
+  "CMakeFiles/gg_analysis.dir/binpack.cpp.o.d"
+  "CMakeFiles/gg_analysis.dir/compare.cpp.o"
+  "CMakeFiles/gg_analysis.dir/compare.cpp.o.d"
+  "CMakeFiles/gg_analysis.dir/problems.cpp.o"
+  "CMakeFiles/gg_analysis.dir/problems.cpp.o.d"
+  "CMakeFiles/gg_analysis.dir/recommend.cpp.o"
+  "CMakeFiles/gg_analysis.dir/recommend.cpp.o.d"
+  "CMakeFiles/gg_analysis.dir/report.cpp.o"
+  "CMakeFiles/gg_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/gg_analysis.dir/source_profile.cpp.o"
+  "CMakeFiles/gg_analysis.dir/source_profile.cpp.o.d"
+  "CMakeFiles/gg_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/gg_analysis.dir/timeline.cpp.o.d"
+  "libgg_analysis.a"
+  "libgg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blackscholes.cpp" "src/apps/CMakeFiles/gg_apps.dir/blackscholes.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/blackscholes.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/gg_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/fib.cpp" "src/apps/CMakeFiles/gg_apps.dir/fib.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/fib.cpp.o.d"
+  "/root/repo/src/apps/floorplan.cpp" "src/apps/CMakeFiles/gg_apps.dir/floorplan.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/floorplan.cpp.o.d"
+  "/root/repo/src/apps/freqmine.cpp" "src/apps/CMakeFiles/gg_apps.dir/freqmine.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/freqmine.cpp.o.d"
+  "/root/repo/src/apps/health.cpp" "src/apps/CMakeFiles/gg_apps.dir/health.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/health.cpp.o.d"
+  "/root/repo/src/apps/kdtree.cpp" "src/apps/CMakeFiles/gg_apps.dir/kdtree.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/kdtree.cpp.o.d"
+  "/root/repo/src/apps/nqueens.cpp" "src/apps/CMakeFiles/gg_apps.dir/nqueens.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/nqueens.cpp.o.d"
+  "/root/repo/src/apps/others.cpp" "src/apps/CMakeFiles/gg_apps.dir/others.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/others.cpp.o.d"
+  "/root/repo/src/apps/sort.cpp" "src/apps/CMakeFiles/gg_apps.dir/sort.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/sort.cpp.o.d"
+  "/root/repo/src/apps/sparselu.cpp" "src/apps/CMakeFiles/gg_apps.dir/sparselu.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/sparselu.cpp.o.d"
+  "/root/repo/src/apps/strassen.cpp" "src/apps/CMakeFiles/gg_apps.dir/strassen.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/strassen.cpp.o.d"
+  "/root/repo/src/apps/uts.cpp" "src/apps/CMakeFiles/gg_apps.dir/uts.cpp.o" "gcc" "src/apps/CMakeFiles/gg_apps.dir/uts.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/front/CMakeFiles/gg_front.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gg_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_apps.dir/blackscholes.cpp.o"
+  "CMakeFiles/gg_apps.dir/blackscholes.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/fft.cpp.o"
+  "CMakeFiles/gg_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/fib.cpp.o"
+  "CMakeFiles/gg_apps.dir/fib.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/floorplan.cpp.o"
+  "CMakeFiles/gg_apps.dir/floorplan.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/freqmine.cpp.o"
+  "CMakeFiles/gg_apps.dir/freqmine.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/health.cpp.o"
+  "CMakeFiles/gg_apps.dir/health.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/kdtree.cpp.o"
+  "CMakeFiles/gg_apps.dir/kdtree.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/nqueens.cpp.o"
+  "CMakeFiles/gg_apps.dir/nqueens.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/others.cpp.o"
+  "CMakeFiles/gg_apps.dir/others.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/sort.cpp.o"
+  "CMakeFiles/gg_apps.dir/sort.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/sparselu.cpp.o"
+  "CMakeFiles/gg_apps.dir/sparselu.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/strassen.cpp.o"
+  "CMakeFiles/gg_apps.dir/strassen.cpp.o.d"
+  "CMakeFiles/gg_apps.dir/uts.cpp.o"
+  "CMakeFiles/gg_apps.dir/uts.cpp.o.d"
+  "libgg_apps.a"
+  "libgg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_common.dir/stats.cpp.o"
+  "CMakeFiles/gg_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gg_common.dir/strings.cpp.o"
+  "CMakeFiles/gg_common.dir/strings.cpp.o.d"
+  "CMakeFiles/gg_common.dir/table.cpp.o"
+  "CMakeFiles/gg_common.dir/table.cpp.o.d"
+  "libgg_common.a"
+  "libgg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/export/dot.cpp" "src/export/CMakeFiles/gg_export.dir/dot.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/dot.cpp.o.d"
+  "/root/repo/src/export/grain_csv.cpp" "src/export/CMakeFiles/gg_export.dir/grain_csv.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/grain_csv.cpp.o.d"
+  "/root/repo/src/export/graphml.cpp" "src/export/CMakeFiles/gg_export.dir/graphml.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/graphml.cpp.o.d"
+  "/root/repo/src/export/html_report.cpp" "src/export/CMakeFiles/gg_export.dir/html_report.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/html_report.cpp.o.d"
+  "/root/repo/src/export/json_summary.cpp" "src/export/CMakeFiles/gg_export.dir/json_summary.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/json_summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/gg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gg_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

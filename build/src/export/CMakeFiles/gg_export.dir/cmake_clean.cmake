@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_export.dir/dot.cpp.o"
+  "CMakeFiles/gg_export.dir/dot.cpp.o.d"
+  "CMakeFiles/gg_export.dir/grain_csv.cpp.o"
+  "CMakeFiles/gg_export.dir/grain_csv.cpp.o.d"
+  "CMakeFiles/gg_export.dir/graphml.cpp.o"
+  "CMakeFiles/gg_export.dir/graphml.cpp.o.d"
+  "CMakeFiles/gg_export.dir/html_report.cpp.o"
+  "CMakeFiles/gg_export.dir/html_report.cpp.o.d"
+  "CMakeFiles/gg_export.dir/json_summary.cpp.o"
+  "CMakeFiles/gg_export.dir/json_summary.cpp.o.d"
+  "libgg_export.a"
+  "libgg_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

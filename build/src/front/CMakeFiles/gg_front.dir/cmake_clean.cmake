@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_front.dir/front.cpp.o"
+  "CMakeFiles/gg_front.dir/front.cpp.o.d"
+  "libgg_front.a"
+  "libgg_front.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_front.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

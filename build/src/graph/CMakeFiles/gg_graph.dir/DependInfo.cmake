@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/grain_graph.cpp" "src/graph/CMakeFiles/gg_graph.dir/grain_graph.cpp.o" "gcc" "src/graph/CMakeFiles/gg_graph.dir/grain_graph.cpp.o.d"
+  "/root/repo/src/graph/grain_table.cpp" "src/graph/CMakeFiles/gg_graph.dir/grain_table.cpp.o" "gcc" "src/graph/CMakeFiles/gg_graph.dir/grain_table.cpp.o.d"
+  "/root/repo/src/graph/reductions.cpp" "src/graph/CMakeFiles/gg_graph.dir/reductions.cpp.o" "gcc" "src/graph/CMakeFiles/gg_graph.dir/reductions.cpp.o.d"
+  "/root/repo/src/graph/summarize.cpp" "src/graph/CMakeFiles/gg_graph.dir/summarize.cpp.o" "gcc" "src/graph/CMakeFiles/gg_graph.dir/summarize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/gg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gg_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_graph.dir/grain_graph.cpp.o"
+  "CMakeFiles/gg_graph.dir/grain_graph.cpp.o.d"
+  "CMakeFiles/gg_graph.dir/grain_table.cpp.o"
+  "CMakeFiles/gg_graph.dir/grain_table.cpp.o.d"
+  "CMakeFiles/gg_graph.dir/reductions.cpp.o"
+  "CMakeFiles/gg_graph.dir/reductions.cpp.o.d"
+  "CMakeFiles/gg_graph.dir/summarize.cpp.o"
+  "CMakeFiles/gg_graph.dir/summarize.cpp.o.d"
+  "libgg_graph.a"
+  "libgg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_metrics.dir/critical_path.cpp.o"
+  "CMakeFiles/gg_metrics.dir/critical_path.cpp.o.d"
+  "CMakeFiles/gg_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/gg_metrics.dir/metrics.cpp.o.d"
+  "libgg_metrics.a"
+  "libgg_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_rts.dir/threaded_engine.cpp.o"
+  "CMakeFiles/gg_rts.dir/threaded_engine.cpp.o.d"
+  "libgg_rts.a"
+  "libgg_rts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_rts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

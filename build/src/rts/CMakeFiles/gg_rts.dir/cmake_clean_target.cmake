@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgg_rts.a"
+)

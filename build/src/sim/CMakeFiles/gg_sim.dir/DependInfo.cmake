@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/capture.cpp" "src/sim/CMakeFiles/gg_sim.dir/capture.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/capture.cpp.o.d"
+  "/root/repo/src/sim/des.cpp" "src/sim/CMakeFiles/gg_sim.dir/des.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/des.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/sim/CMakeFiles/gg_sim.dir/memory_model.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sim/policy.cpp" "src/sim/CMakeFiles/gg_sim.dir/policy.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/policy.cpp.o.d"
+  "/root/repo/src/sim/sim_engine.cpp" "src/sim/CMakeFiles/gg_sim.dir/sim_engine.cpp.o" "gcc" "src/sim/CMakeFiles/gg_sim.dir/sim_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/front/CMakeFiles/gg_front.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gg_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_sim.dir/capture.cpp.o"
+  "CMakeFiles/gg_sim.dir/capture.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/des.cpp.o"
+  "CMakeFiles/gg_sim.dir/des.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/memory_model.cpp.o"
+  "CMakeFiles/gg_sim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/policy.cpp.o"
+  "CMakeFiles/gg_sim.dir/policy.cpp.o.d"
+  "CMakeFiles/gg_sim.dir/sim_engine.cpp.o"
+  "CMakeFiles/gg_sim.dir/sim_engine.cpp.o.d"
+  "libgg_sim.a"
+  "libgg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_topology.dir/topology.cpp.o"
+  "CMakeFiles/gg_topology.dir/topology.cpp.o.d"
+  "libgg_topology.a"
+  "libgg_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

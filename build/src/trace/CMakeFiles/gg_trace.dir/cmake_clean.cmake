@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gg_trace.dir/recorder.cpp.o"
+  "CMakeFiles/gg_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/gg_trace.dir/serialize.cpp.o"
+  "CMakeFiles/gg_trace.dir/serialize.cpp.o.d"
+  "CMakeFiles/gg_trace.dir/trace.cpp.o"
+  "CMakeFiles/gg_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/gg_trace.dir/validate.cpp.o"
+  "CMakeFiles/gg_trace.dir/validate.cpp.o.d"
+  "libgg_trace.a"
+  "libgg_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gg_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/compare_test.cpp" "tests/CMakeFiles/compare_test.dir/compare_test.cpp.o" "gcc" "tests/CMakeFiles/compare_test.dir/compare_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/gg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/front/CMakeFiles/gg_front.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gg_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/gg_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/gg_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

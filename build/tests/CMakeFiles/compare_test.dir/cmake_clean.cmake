@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_test.dir/compare_test.cpp.o"
+  "CMakeFiles/compare_test.dir/compare_test.cpp.o.d"
+  "compare_test"
+  "compare_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_test.dir/contract_test.cpp.o"
+  "CMakeFiles/contract_test.dir/contract_test.cpp.o.d"
+  "contract_test"
+  "contract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depend_test.dir/depend_test.cpp.o"
+  "CMakeFiles/depend_test.dir/depend_test.cpp.o.d"
+  "depend_test"
+  "depend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

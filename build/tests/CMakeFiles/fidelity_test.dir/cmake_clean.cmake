@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fidelity_test.dir/fidelity_test.cpp.o"
+  "CMakeFiles/fidelity_test.dir/fidelity_test.cpp.o.d"
+  "fidelity_test"
+  "fidelity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fidelity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

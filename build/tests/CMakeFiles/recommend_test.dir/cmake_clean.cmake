@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommend_test.dir/recommend_test.cpp.o"
+  "CMakeFiles/recommend_test.dir/recommend_test.cpp.o.d"
+  "recommend_test"
+  "recommend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rts_test.dir/rts_test.cpp.o"
+  "CMakeFiles/rts_test.dir/rts_test.cpp.o.d"
+  "rts_test"
+  "rts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

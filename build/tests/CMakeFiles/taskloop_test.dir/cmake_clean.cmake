@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskloop_test.dir/taskloop_test.cpp.o"
+  "CMakeFiles/taskloop_test.dir/taskloop_test.cpp.o.d"
+  "taskloop_test"
+  "taskloop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskloop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gganalyze.dir/gganalyze.cpp.o"
+  "CMakeFiles/gganalyze.dir/gganalyze.cpp.o.d"
+  "gganalyze"
+  "gganalyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gganalyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggtrace-convert.dir/ggtrace_convert.cpp.o"
+  "CMakeFiles/ggtrace-convert.dir/ggtrace_convert.cpp.o.d"
+  "ggtrace-convert"
+  "ggtrace-convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggtrace-convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
