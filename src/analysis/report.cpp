@@ -70,6 +70,34 @@ std::string render_report(const Trace& trace, const Analysis& a) {
                      strings::trim_double(r.poor_mem_util_percent, 1)});
   }
   os << sources.to_text();
+
+  if (!trace.worker_stats.empty()) {
+    os << "profiling " << (trace.meta.profiled ? "on" : "off")
+       << ", clock source "
+       << (trace.meta.clock_source.empty() ? "unknown"
+                                           : trace.meta.clock_source)
+       << ", recorder buffers " << trace.meta.trace_buffer_bytes
+       << " bytes\n";
+    Table sched("scheduler health (per worker)");
+    sched.set_header({"worker", "spawned", "executed", "inlined", "steals",
+                      "steal fails", "CAS fails", "pushes", "pops", "resizes",
+                      "helps", "idle"});
+    for (const WorkerStatsRec& s : trace.worker_stats) {
+      sched.add_row({std::to_string(s.worker),
+                     std::to_string(s.tasks_spawned),
+                     std::to_string(s.tasks_executed),
+                     std::to_string(s.tasks_inlined),
+                     std::to_string(s.steals),
+                     std::to_string(s.steal_failures),
+                     std::to_string(s.cas_failures),
+                     std::to_string(s.deque_pushes),
+                     std::to_string(s.deque_pops),
+                     std::to_string(s.deque_resizes),
+                     std::to_string(s.taskwait_helps),
+                     strings::human_time(s.idle_ns)});
+    }
+    os << sched.to_text();
+  }
   return os.str();
 }
 

@@ -1,0 +1,175 @@
+#include "export/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "export/json_summary.hpp"
+
+namespace gg {
+
+namespace {
+
+// Trace-event timestamps are microseconds; keep nanosecond resolution with
+// three decimals (the format accepts fractional ts/dur).
+std::string us(TimeNs t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(t) / 1000.0);
+  return buf;
+}
+
+class EventSink {
+ public:
+  explicit EventSink(std::ostream& os) : os_(os) {}
+
+  void emit(const std::string& event) {
+    os_ << (first_ ? "\n  " : ",\n  ") << event;
+    first_ = false;
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+/// Emits one counter track from +1/-1 deltas. Samples are the running sum
+/// with all deltas at a given timestamp applied before sampling, so a track
+/// whose every decrement has a matching earlier-or-equal increment (slice
+/// starts/ends, create/finish pairs) never goes negative.
+void emit_counter(EventSink& sink, const char* name,
+                  std::vector<std::pair<TimeNs, int>> deltas) {
+  std::sort(deltas.begin(), deltas.end());
+  long long value = 0;
+  size_t i = 0;
+  while (i < deltas.size()) {
+    const TimeNs t = deltas[i].first;
+    while (i < deltas.size() && deltas[i].first == t) {
+      value += deltas[i].second;
+      ++i;
+    }
+    sink.emit(std::string("{\"ph\":\"C\",\"pid\":1,\"name\":\"") + name +
+              "\",\"ts\":" + us(t) + ",\"args\":{\"value\":" +
+              std::to_string(value) + "}}");
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const Trace& trace) {
+  os << "{\"traceEvents\":[";
+  EventSink sink(os);
+
+  // Metadata: name the process after the run, one named thread per worker.
+  const std::string pname =
+      trace.meta.program + " (" + trace.meta.runtime + ")";
+  sink.emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+            "\"args\":{\"name\":\"" + json_escape(pname) + "\"}}");
+  for (int w = 0; w < trace.meta.num_workers; ++w) {
+    sink.emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(w) +
+              ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker " +
+              std::to_string(w) + "\"}}");
+  }
+
+  // Task fragments: one complete slice each, on the executing worker's
+  // track, named by the task's source location.
+  for (const FragmentRec& f : trace.fragments) {
+    std::string name = "task";
+    if (auto idx = trace.task_index(f.task))
+      name = std::string(trace.strings.get(trace.tasks[*idx].src));
+    sink.emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(f.core) +
+              ",\"ts\":" + us(f.start) + ",\"dur\":" + us(f.end - f.start) +
+              ",\"name\":\"" + json_escape(name) +
+              "\",\"cat\":\"task\",\"args\":{\"task\":" +
+              std::to_string(f.task) + ",\"seq\":" + std::to_string(f.seq) +
+              "}}");
+  }
+
+  // Loop chunks: one complete slice each, named by the loop's source.
+  for (const ChunkRec& c : trace.chunks) {
+    std::string name = "chunk";
+    if (auto idx = trace.loop_index(c.loop))
+      name = std::string(trace.strings.get(trace.loops[*idx].src));
+    sink.emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(c.core) +
+              ",\"ts\":" + us(c.start) + ",\"dur\":" + us(c.end - c.start) +
+              ",\"name\":\"" + json_escape(name) +
+              "\",\"cat\":\"chunk\",\"args\":{\"loop\":" +
+              std::to_string(c.loop) + ",\"iter_begin\":" +
+              std::to_string(c.iter_begin) + ",\"iter_end\":" +
+              std::to_string(c.iter_end) + "}}");
+  }
+
+  // Flow arrows. Spawn edges: creation point on the spawner's track to the
+  // first fragment of the child. Join edges: end of the child's last
+  // fragment to the end of the parent join that synchronized with it. Flows
+  // bind by (cat, id), so the two edge families use distinct categories
+  // with the child's uid as the id in both.
+  for (const TaskRec& t : trace.tasks) {
+    if (t.uid == kRootTask) continue;
+    auto frags = trace.fragments_of(t.uid);
+    if (frags.empty()) continue;
+    const std::string id = std::to_string(t.uid);
+    sink.emit("{\"ph\":\"s\",\"pid\":1,\"tid\":" +
+              std::to_string(t.create_core) + ",\"ts\":" +
+              us(t.create_time) + ",\"id\":" + id +
+              ",\"name\":\"spawn\",\"cat\":\"spawn\"}");
+    sink.emit("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" +
+              std::to_string(frags.front()->core) + ",\"ts\":" +
+              us(frags.front()->start) + ",\"id\":" + id +
+              ",\"name\":\"spawn\",\"cat\":\"spawn\"}");
+    const FragmentRec& last = *frags.back();
+    auto joins = trace.joins_of(t.parent);
+    const JoinRec* join = nullptr;
+    for (const JoinRec* j : joins) {
+      if (j->end >= last.end && (join == nullptr || j->end < join->end))
+        join = j;
+    }
+    if (join != nullptr) {
+      sink.emit("{\"ph\":\"s\",\"pid\":1,\"tid\":" +
+                std::to_string(last.core) + ",\"ts\":" + us(last.end) +
+                ",\"id\":" + id + ",\"name\":\"join\",\"cat\":\"join\"}");
+      sink.emit("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" +
+                std::to_string(join->core) + ",\"ts\":" + us(join->end) +
+                ",\"id\":" + id + ",\"name\":\"join\",\"cat\":\"join\"}");
+    }
+  }
+
+  // Counter tracks: instantaneous parallelism (executing fragments and
+  // chunks) and outstanding tasks (created but not yet finished).
+  {
+    std::vector<std::pair<TimeNs, int>> par;
+    par.reserve(2 * (trace.fragments.size() + trace.chunks.size()));
+    for (const FragmentRec& f : trace.fragments) {
+      par.emplace_back(f.start, +1);
+      par.emplace_back(f.end, -1);
+    }
+    for (const ChunkRec& c : trace.chunks) {
+      par.emplace_back(c.start, +1);
+      par.emplace_back(c.end, -1);
+    }
+    emit_counter(sink, "parallelism", std::move(par));
+
+    std::vector<std::pair<TimeNs, int>> out;
+    for (const TaskRec& t : trace.tasks) {
+      if (t.uid == kRootTask) continue;
+      auto frags = trace.fragments_of(t.uid);
+      if (frags.empty()) continue;
+      out.emplace_back(t.create_time, +1);
+      out.emplace_back(frags.back()->end, -1);
+    }
+    emit_counter(sink, "outstanding tasks", std::move(out));
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const Trace& trace) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os, trace);
+  return static_cast<bool>(os);
+}
+
+}  // namespace gg

@@ -1,0 +1,20 @@
+// Chrome trace-event JSON export (loadable in Perfetto / about://tracing):
+// one timeline track per worker with a complete slice per task fragment and
+// loop chunk, flow arrows along spawn and join edges, and counter tracks
+// for instantaneous parallelism and outstanding (created, unfinished)
+// tasks. Complements the grain-graph exports with a familiar wall-clock
+// timeline view of the same execution.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace gg {
+
+void write_chrome_trace(std::ostream& os, const Trace& trace);
+
+bool write_chrome_trace_file(const std::string& path, const Trace& trace);
+
+}  // namespace gg

@@ -124,6 +124,32 @@ void write_html_report(std::ostream& os, const Trace& trace,
     }
     os << "</table>";
   }
+  os << "<h2>Scheduler health</h2>";
+  os << "<p>profiling " << (trace.meta.profiled ? "on" : "off")
+     << ", clock source <b>"
+     << esc(trace.meta.clock_source.empty() ? "unknown"
+                                            : trace.meta.clock_source)
+     << "</b>, recorder buffers " << trace.meta.trace_buffer_bytes
+     << " bytes</p>";
+  if (trace.worker_stats.empty()) {
+    os << "<p>(no per-worker scheduler stats in this trace)</p>";
+  } else {
+    os << "<table><tr><th>worker</th><th>spawned</th><th>executed</th>"
+       << "<th>inlined</th><th>steals</th><th>steal fails</th>"
+       << "<th>CAS fails</th><th>pushes</th><th>pops</th><th>resizes</th>"
+       << "<th>helps</th><th>idle</th><th>trace bytes</th></tr>";
+    for (const WorkerStatsRec& s : trace.worker_stats) {
+      os << "<tr><td>" << s.worker << "</td><td>" << s.tasks_spawned
+         << "</td><td>" << s.tasks_executed << "</td><td>" << s.tasks_inlined
+         << "</td><td>" << s.steals << "</td><td>" << s.steal_failures
+         << "</td><td>" << s.cas_failures << "</td><td>" << s.deque_pushes
+         << "</td><td>" << s.deque_pops << "</td><td>" << s.deque_resizes
+         << "</td><td>" << s.taskwait_helps << "</td><td>"
+         << strings::human_time(s.idle_ns) << "</td><td>" << s.trace_bytes
+         << "</td></tr>";
+    }
+    os << "</table>";
+  }
   os << "<p style='color:#888'>generated by graingraphs (PPoPP'16 "
      << "reproduction)</p></body></html>\n";
 }

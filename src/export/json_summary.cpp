@@ -66,6 +66,33 @@ void write_json_summary(std::ostream& os, const Trace& trace,
     os << "\"" << loop << "\": " << num(lb);
   }
   os << "},\n";
+  os << "  \"scheduler_health\": {\n";
+  os << "    \"profiled\": " << (trace.meta.profiled ? "true" : "false")
+     << ",\n";
+  os << "    \"clock_source\": \"" << json_escape(trace.meta.clock_source)
+     << "\",\n";
+  os << "    \"trace_buffer_bytes\": " << trace.meta.trace_buffer_bytes
+     << ",\n";
+  os << "    \"workers\": [\n";
+  for (size_t i = 0; i < trace.worker_stats.size(); ++i) {
+    const WorkerStatsRec& s = trace.worker_stats[i];
+    os << "      {\"worker\": " << s.worker
+       << ", \"tasks_spawned\": " << s.tasks_spawned
+       << ", \"tasks_executed\": " << s.tasks_executed
+       << ", \"tasks_inlined\": " << s.tasks_inlined
+       << ", \"steals\": " << s.steals
+       << ", \"steal_failures\": " << s.steal_failures
+       << ", \"cas_failures\": " << s.cas_failures
+       << ", \"deque_pushes\": " << s.deque_pushes
+       << ", \"deque_pops\": " << s.deque_pops
+       << ", \"deque_resizes\": " << s.deque_resizes
+       << ", \"taskwait_helps\": " << s.taskwait_helps
+       << ", \"idle_ns\": " << s.idle_ns
+       << ", \"trace_bytes\": " << s.trace_bytes << "}"
+       << (i + 1 < trace.worker_stats.size() ? "," : "") << "\n";
+  }
+  os << "    ]\n";
+  os << "  },\n";
   os << "  \"problems\": {\n";
   for (size_t p = 0; p < kProblemCount; ++p) {
     const ProblemView& v = a.problems[p];

@@ -53,8 +53,11 @@ class ChaseLevDeque {
     bottom_.store(b + 1, std::memory_order_release);
   }
 
-  /// Owner-only: pops the most recently pushed value (LIFO).
-  std::optional<T> pop() {
+  /// Owner-only: pops the most recently pushed value (LIFO). When
+  /// `lost_race` is given it is set to true iff the pop failed because a
+  /// thief won the CAS on the last element (scheduler introspection).
+  std::optional<T> pop(bool* lost_race = nullptr) {
+    if (lost_race) *lost_race = false;
     const i64 b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     // The seq_cst store/load pair below orders this reservation against
@@ -69,6 +72,7 @@ class ChaseLevDeque {
         const bool won = top_.compare_exchange_strong(
             t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
         bottom_.store(b + 1, std::memory_order_relaxed);
+        if (!won && lost_race) *lost_race = true;
         return won ? std::optional<T>(value) : std::nullopt;
       }
       return value;
@@ -78,8 +82,11 @@ class ChaseLevDeque {
   }
 
   /// Thief: steals the oldest value (FIFO end). May spuriously fail under
-  /// contention; callers retry or move to the next victim.
-  std::optional<T> steal() {
+  /// contention; callers retry or move to the next victim. When `lost_race`
+  /// is given it is set to true iff the steal saw an element but lost the
+  /// top CAS to a competing thief or the owner.
+  std::optional<T> steal(bool* lost_race = nullptr) {
+    if (lost_race) *lost_race = false;
     i64 t = top_.load(std::memory_order_seq_cst);
     const i64 b = bottom_.load(std::memory_order_seq_cst);
     if (t < b) {
@@ -87,6 +94,7 @@ class ChaseLevDeque {
       T value = buf->get(t);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
+        if (lost_race) *lost_race = true;
         return std::nullopt;
       }
       return value;
@@ -102,6 +110,11 @@ class ChaseLevDeque {
   }
 
   bool empty_estimate() const { return size_estimate() == 0; }
+
+  /// Times the buffer doubled since construction. Owner-written (amortized,
+  /// off the hot path); read it only from the owner or after the owner
+  /// quiesced (e.g. post-join), as the counter is deliberately non-atomic.
+  u64 resize_count() const { return resizes_; }
 
  private:
   struct Buffer {
@@ -123,6 +136,7 @@ class ChaseLevDeque {
 
   // Owner-only: doubles the buffer, copying live entries [t, b).
   Buffer* grow(Buffer* old, i64 t, i64 b) {
+    ++resizes_;
     auto bigger = std::make_unique<Buffer>(old->capacity * 2);
     for (i64 i = t; i < b; ++i) bigger->put(i, old->get(i));
     Buffer* raw = bigger.get();
@@ -135,6 +149,7 @@ class ChaseLevDeque {
   std::atomic<i64> bottom_{0};
   std::atomic<Buffer*> buffer_{nullptr};
   std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only mutation
+  u64 resizes_ = 0;                               // owner-only mutation
 };
 
 }  // namespace gg::rts

@@ -81,6 +81,24 @@ struct ThreadedEngine::DepMap {
   std::map<u64, Entry> entries;
 };
 
+/// Scheduler-introspection counters, one cache-line-padded slot per worker.
+/// Incremented only by the owning worker, only when profiling is on (plain
+/// u64 adds, no synchronization — the task hot path stays within the
+/// paper's 2.5% overhead budget), and read by the main thread after the
+/// worker threads joined.
+struct alignas(64) SchedCounters {
+  u64 tasks_spawned = 0;
+  u64 tasks_executed = 0;
+  u64 tasks_inlined = 0;
+  u64 steals = 0;
+  u64 steal_failures = 0;
+  u64 cas_failures = 0;
+  u64 deque_pushes = 0;
+  u64 deque_pops = 0;
+  u64 taskwait_helps = 0;
+  TimeNs idle_ns = 0;
+};
+
 struct ThreadedEngine::Worker {
   int id = 0;
   ChaseLevDeque<Task*> deque;
@@ -89,6 +107,7 @@ struct ThreadedEngine::Worker {
   Xoshiro256 rng;
   u32 loop_seq = 0;           // loops started by this thread
   LoopId finished_loop = 0;   // last loop this worker fully drained
+  SchedCounters cnt;          // padded: no false sharing with neighbors
 
   Worker(int id_, TraceRecorder::Writer w, u64 seed)
       : id(id_), writer(w), rng(seed) {}
@@ -225,6 +244,8 @@ class ThreadedEngine::CtxImpl final : public Ctx {
     ++children_since_join_;
 
     if (eng.profiling()) {
+      ++w_->cnt.tasks_spawned;
+      if (inline_child) ++w_->cnt.tasks_inlined;
       end_fragment(fork_time, FragmentEnd::Fork, child_uid);
       TaskRec rec;
       rec.uid = child_uid;
@@ -448,6 +469,7 @@ void ThreadedEngine::release_task(Task* task) {
 }
 
 void ThreadedEngine::push_task(Task* task, Worker& w) {
+  if (opts_.profile) ++w.cnt.deque_pushes;
   if (opts_.scheduler == SchedulerKind::WorkStealing) {
     w.deque.push(task);
   } else {
@@ -456,11 +478,20 @@ void ThreadedEngine::push_task(Task* task, Worker& w) {
 }
 
 ThreadedEngine::Task* ThreadedEngine::get_task(Worker& w) {
+  const bool prof = opts_.profile;
   if (opts_.scheduler == SchedulerKind::CentralQueue) {
-    if (auto t = central_queue_.pop()) return *t;
+    if (auto t = central_queue_.pop()) {
+      if (prof) ++w.cnt.deque_pops;
+      return *t;
+    }
     return nullptr;
   }
-  if (auto t = w.deque.pop()) return *t;
+  bool lost = false;
+  if (auto t = w.deque.pop(prof ? &lost : nullptr)) {
+    if (prof) ++w.cnt.deque_pops;
+    return *t;
+  }
+  if (prof && lost) ++w.cnt.cas_failures;
   // Steal: visit every other worker once, starting at a random victim.
   const int n = opts_.num_workers;
   if (n <= 1) return nullptr;
@@ -468,13 +499,21 @@ ThreadedEngine::Task* ThreadedEngine::get_task(Worker& w) {
   for (int i = 0; i < n; ++i) {
     const int victim = (start + i) % n;
     if (victim == w.id) continue;
-    if (auto t = workers_[static_cast<size_t>(victim)]->deque.steal())
+    if (auto t = workers_[static_cast<size_t>(victim)]->deque.steal(
+            prof ? &lost : nullptr)) {
+      if (prof) ++w.cnt.steals;
       return *t;
+    }
+    if (prof) {
+      ++w.cnt.steal_failures;
+      if (lost) ++w.cnt.cas_failures;
+    }
   }
   return nullptr;
 }
 
 void ThreadedEngine::exec_task(Task* task, Worker& w) {
+  if (opts_.profile) ++w.cnt.tasks_executed;
   CtxImpl ctx(this, &w, task);
   ctx.frag_start_ = now();
   task->body(ctx);
@@ -507,9 +546,15 @@ void ThreadedEngine::exec_task(Task* task, Worker& w) {
 }
 
 void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
+  const bool prof = opts_.profile;
   while (counter.load(std::memory_order_acquire) != 0) {
     if (Task* t = get_task(w)) {
+      if (prof) ++w.cnt.taskwait_helps;
       exec_task(t, w);
+    } else if (prof) {
+      const TimeNs i0 = now();
+      std::this_thread::yield();
+      w.cnt.idle_ns += now() - i0;
     } else {
       std::this_thread::yield();
     }
@@ -529,7 +574,13 @@ void ThreadedEngine::worker_main(int id) {
       participate_in_loop(loop, w);
       continue;
     }
-    std::this_thread::yield();
+    if (opts_.profile) {
+      const TimeNs i0 = now();
+      std::this_thread::yield();
+      w.cnt.idle_ns += now() - i0;
+    } else {
+      std::this_thread::yield();
+    }
   }
 }
 
@@ -643,6 +694,10 @@ void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
              L->active.load(std::memory_order_acquire) == 0)) {
       if (Task* t = get_task(w)) {
         exec_task(t, w);
+      } else if (profiling()) {
+        const TimeNs i0 = now();
+        std::this_thread::yield();
+        w.cnt.idle_ns += now() - i0;
       } else {
         std::this_thread::yield();
       }
@@ -724,6 +779,10 @@ Trace ThreadedEngine::run(const std::string& program_name,
     while (live_tasks_.load(std::memory_order_acquire) != 0) {
       if (Task* t = get_task(w0)) {
         exec_task(t, w0);
+      } else if (profiling()) {
+        const TimeNs i0 = now();
+        std::this_thread::yield();
+        w0.cnt.idle_ns += now() - i0;
       } else {
         std::this_thread::yield();
       }
@@ -750,6 +809,30 @@ Trace ThreadedEngine::run(const std::string& program_name,
   release_task(root_task);
   root_task_for_loops_ = nullptr;
 
+  // Scheduler introspection: every worker thread has joined, so their
+  // counters (and the deques' owner-only resize counts) are safe to read
+  // from here. trace_bytes is sampled before the stats record itself is
+  // appended, making it the footprint of the worker's grain events proper.
+  if (opts_.profile) {
+    for (auto& w : workers_) {
+      WorkerStatsRec s;
+      s.worker = static_cast<u16>(w->id);
+      s.tasks_spawned = w->cnt.tasks_spawned;
+      s.tasks_executed = w->cnt.tasks_executed;
+      s.tasks_inlined = w->cnt.tasks_inlined;
+      s.steals = w->cnt.steals;
+      s.steal_failures = w->cnt.steal_failures;
+      s.cas_failures = w->cnt.cas_failures;
+      s.deque_pushes = w->cnt.deque_pushes;
+      s.deque_pops = w->cnt.deque_pops;
+      s.deque_resizes = w->deque.resize_count();
+      s.taskwait_helps = w->cnt.taskwait_helps;
+      s.idle_ns = w->cnt.idle_ns;
+      s.trace_bytes = w->writer.footprint_bytes();
+      w->writer.stats(s);
+    }
+  }
+
   TraceMeta meta;
   meta.program = program_name;
   meta.runtime = std::string("threaded/") +
@@ -763,6 +846,12 @@ Trace ThreadedEngine::run(const std::string& program_name,
   meta.region_start = 0;
   meta.region_end = region_end;
   meta.notes = region_notes_;
+  meta.profiled = opts_.profile;
+#if defined(__x86_64__) || defined(__i386__)
+  meta.clock_source = "tsc";
+#else
+  meta.clock_source = "steady_clock";
+#endif
   if (!opts_.profile) {
     // Produce an empty (but well-formed) trace carrying only the makespan —
     // used by the profiling-overhead experiment.

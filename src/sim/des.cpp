@@ -74,6 +74,19 @@ class Simulator {
     u32 loop_bk_seq = 0;
     u32 loop_chunk_seq = 0;
     bool loop_worked = false;
+    // Modeled scheduler-introspection counters (mirror of the threaded
+    // engine's SchedCounters; the DES has no CAS races or deque growth, so
+    // those fields stay zero in the emitted stats).
+    u64 tasks_spawned = 0;
+    u64 tasks_executed = 0;
+    u64 tasks_inlined = 0;
+    u64 steals = 0;
+    u64 steal_failures = 0;
+    u64 queue_pushes = 0;
+    u64 queue_pops = 0;
+    u64 taskwait_helps = 0;
+    TimeNs idle_ns = 0;
+    TimeNs sleep_since = 0;  // valid while sleeping
   };
 
   struct LoopRun {
@@ -110,6 +123,7 @@ class Simulator {
       c.sleeping = false;
       --sleeping_count_;
       c.time = std::max(c.time, at);
+      c.idle_ns += c.time - c.sleep_since;  // modeled time parked
       schedule(c);
     }
   }
@@ -122,6 +136,7 @@ class Simulator {
     if (!c.sleeping) {
       c.sleeping = true;
       ++sleeping_count_;
+      c.sleep_since = c.time;
     }
   }
 
@@ -245,6 +260,14 @@ class Simulator {
 };
 
 void Simulator::start_task(Core& c, u32 task) {
+  if (task != 0) {
+    ++c.tasks_executed;  // root's implicit task is not counted (matches rts)
+    if (!c.stack.empty() &&
+        (c.stack.back().block == Frame::Block::Children ||
+         c.stack.back().block == Frame::Block::Barrier)) {
+      ++c.taskwait_helps;  // picked up while a frame waits on this core
+    }
+  }
   Frame f;
   f.task = task;
   f.pc = 0;
@@ -287,6 +310,7 @@ void Simulator::complete_current(Core& c) {
   for (u32 succ : tstate_[task].dep_succs) {
     if (--tstate_[succ].dep_pending == 0) {
       tstate_[succ].ready_at = c.time;
+      ++c.queue_pushes;
       if (opts_.policy.scheduler == SimSchedulerKind::WorkStealing) {
         c.deque.push_back(succ);
       } else {
@@ -381,6 +405,8 @@ void Simulator::exec_one_op(Core& c) {
       emit_task_rec(child, static_cast<u16>(c.id), fork_t, c.time - fork_t,
                     inline_child);
       inlined_[child] = inline_child;
+      ++c.tasks_spawned;
+      if (inline_child) ++c.tasks_inlined;
       TaskState& ts = tstate_[f.task];
       ts.children_since_join++;
       f.pc++;
@@ -395,6 +421,7 @@ void Simulator::exec_one_op(Core& c) {
         live_tasks_++;
         if (live_preds == 0) {
           tstate_[child].ready_at = c.time;
+          ++c.queue_pushes;
           if (pol.scheduler == SimSchedulerKind::WorkStealing) {
             c.deque.push_back(child);
           } else {
@@ -738,6 +765,7 @@ void Simulator::find_work(Core& c) {
     if (!c.deque.empty()) {
       const u32 task = c.deque.back();
       c.deque.pop_back();
+      ++c.queue_pops;
       c.time = std::max(c.time, tstate_[task].ready_at);
       c.time += ns(pol.task_dispatch_cycles);
       charge_queue_op(c);
@@ -748,6 +776,7 @@ void Simulator::find_work(Core& c) {
   } else if (!central_.empty()) {
     const u32 task = central_.front();
     central_.pop_front();
+    ++c.queue_pops;
     c.time = std::max(c.time, tstate_[task].ready_at);
     c.time += ns(pol.task_dispatch_cycles);
     charge_queue_op(c);
@@ -766,6 +795,7 @@ void Simulator::find_work(Core& c) {
       if (!v.deque.empty()) {
         const u32 task = v.deque.front();  // thieves take the top (oldest)
         v.deque.pop_front();
+        ++c.steals;
         c.time = std::max(c.time, tstate_[task].ready_at);
         c.time += ns(pol.steal_cycles);
         charge_queue_op(c);
@@ -773,6 +803,7 @@ void Simulator::find_work(Core& c) {
         schedule(c);
         return;
       }
+      ++c.steal_failures;
       c.time += ns(pol.steal_fail_cycles);
     }
   }
@@ -815,6 +846,24 @@ Trace Simulator::run() {
   }
   GG_CHECK_MSG(done_, "simulation deadlocked (event queue drained early)");
 
+  // Modeled per-core scheduler stats. cas_failures and deque_resizes stay
+  // zero: the DES model is deterministic and its queues never "grow".
+  for (const Core& c : cores_) {
+    WorkerStatsRec s;
+    s.worker = static_cast<u16>(c.id);
+    s.tasks_spawned = c.tasks_spawned;
+    s.tasks_executed = c.tasks_executed;
+    s.tasks_inlined = c.tasks_inlined;
+    s.steals = c.steals;
+    s.steal_failures = c.steal_failures;
+    s.deque_pushes = c.queue_pushes;
+    s.deque_pops = c.queue_pops;
+    s.taskwait_helps = c.taskwait_helps;
+    s.idle_ns = c.idle_ns +
+                (c.sleeping ? region_end_ - c.sleep_since : TimeNs{0});
+    writer_.stats(s);
+  }
+
   TraceMeta meta;
   meta.program = prog_.name;
   meta.runtime = "sim/" + opts_.policy.name;
@@ -827,6 +876,8 @@ Trace Simulator::run() {
   meta.notes.push_back("seed=" + std::to_string(opts_.seed));
   meta.notes.push_back(std::string("memory_model=") +
                        (opts_.memory_model ? "on" : "off"));
+  meta.profiled = true;
+  meta.clock_source = "virtual";
   return recorder_.finish(meta);
 }
 

@@ -32,6 +32,11 @@ StrId TraceRecorder::intern_source(std::string_view file, int line,
 Trace TraceRecorder::finish(TraceMeta meta) {
   Trace trace;
   trace.meta = std::move(meta);
+  // Self-measurement: account the recorder's own buffer footprint before the
+  // buffers are merged (and freed) into the trace.
+  trace.meta.trace_buffer_bytes = 0;
+  for (auto& buf : buffers_)
+    trace.meta.trace_buffer_bytes += Writer(buf.get()).footprint_bytes();
   for (auto& buf : buffers_) {
     auto move_into = [](auto& dst, auto& src) {
       dst.insert(dst.end(), src.begin(), src.end());
@@ -44,6 +49,7 @@ Trace TraceRecorder::finish(TraceMeta meta) {
     move_into(trace.chunks, buf->chunks);
     move_into(trace.bookkeeps, buf->bookkeeps);
     move_into(trace.depends, buf->depends);
+    move_into(trace.worker_stats, buf->worker_stats);
   }
   {
     std::lock_guard lock(strings_mutex_);

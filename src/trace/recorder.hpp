@@ -35,6 +35,20 @@ class TraceRecorder {
     void chunk(const ChunkRec& r) { buf_->chunks.push_back(r); }
     void bookkeep(const BookkeepRec& r) { buf_->bookkeeps.push_back(r); }
     void depend(const DependRec& r) { buf_->depends.push_back(r); }
+    void stats(const WorkerStatsRec& r) { buf_->worker_stats.push_back(r); }
+
+    /// Bytes of record payload held by this worker's buffer — the profiler's
+    /// own memory footprint, reported in WorkerStatsRec::trace_bytes and
+    /// summed into TraceMeta::trace_buffer_bytes.
+    u64 footprint_bytes() const {
+      auto bytes = [](const auto& v) {
+        return static_cast<u64>(v.size() * sizeof(v[0]));
+      };
+      return bytes(buf_->tasks) + bytes(buf_->fragments) +
+             bytes(buf_->joins) + bytes(buf_->loops) + bytes(buf_->chunks) +
+             bytes(buf_->bookkeeps) + bytes(buf_->depends) +
+             bytes(buf_->worker_stats);
+    }
 
    private:
     friend class TraceRecorder;
@@ -46,6 +60,7 @@ class TraceRecorder {
       std::vector<ChunkRec> chunks;
       std::vector<BookkeepRec> bookkeeps;
       std::vector<DependRec> depends;
+      std::vector<WorkerStatsRec> worker_stats;
     };
     explicit Writer(Buffer* buf) : buf_(buf) {}
     Buffer* buf_;

@@ -129,4 +129,26 @@ struct BookkeepRec {
                            ///< that proceeds to the loop join
 };
 
+/// Scheduler-internal counters accumulated by one worker over the profiled
+/// region. These explain the gap between a grain graph's predicted
+/// parallelism and the realized makespan (steal rates, queue contention,
+/// idle time) and account for the profiler's own footprint. The threaded
+/// runtime measures them; the simulator emits the modeled equivalents.
+/// Emitted once per worker at region end (trace-format v3).
+struct WorkerStatsRec {
+  u16 worker = 0;           ///< worker/core id
+  u64 tasks_spawned = 0;    ///< children created by tasks running here
+  u64 tasks_executed = 0;   ///< task bodies executed here (incl. inlined)
+  u64 tasks_inlined = 0;    ///< spawns cut off inline (internal cutoffs)
+  u64 steals = 0;           ///< successful steals by this worker
+  u64 steal_failures = 0;   ///< victim probes that came back empty-handed
+  u64 cas_failures = 0;     ///< Chase-Lev top CAS races lost (pop + steal)
+  u64 deque_pushes = 0;     ///< deferred tasks enqueued by this worker
+  u64 deque_pops = 0;       ///< tasks taken from the own queue
+  u64 deque_resizes = 0;    ///< Chase-Lev buffer growths
+  u64 taskwait_helps = 0;   ///< tasks executed while helping inside a wait
+  TimeNs idle_ns = 0;       ///< time spent spinning with nothing to run
+  u64 trace_bytes = 0;      ///< profiler buffer bytes this worker recorded
+};
+
 }  // namespace gg

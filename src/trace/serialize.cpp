@@ -8,7 +8,8 @@ namespace gg {
 
 namespace {
 
-constexpr int kVersion = 2;  // v2 adds dependence records
+constexpr int kVersion = 3;  // v2 added dependence records; v3 adds
+                             // worker-stats records and profiling metadata
 
 // Strings may contain spaces; they are written percent-escaped so that every
 // record stays a single whitespace-separated line.
@@ -71,6 +72,10 @@ void save_trace(const Trace& trace, std::ostream& os) {
   os << "meta " << escape(m.program) << ' ' << escape(m.runtime) << ' '
      << escape(m.topology) << ' ' << m.num_workers << ' ' << m.num_cores
      << ' ' << m.ghz << ' ' << m.region_start << ' ' << m.region_end << '\n';
+  // v3 profiling-substrate metadata (a separate record so v1/v2 `meta` lines
+  // keep their field layout).
+  os << "metax " << (m.profiled ? 1 : 0) << ' ' << m.trace_buffer_bytes << ' '
+     << escape(m.clock_source) << '\n';
   for (const std::string& n : m.notes) os << "note " << escape(n) << '\n';
   // String table (skip the implicit empty string at id 0).
   const auto& strs = trace.strings.all();
@@ -117,6 +122,14 @@ void save_trace(const Trace& trace, std::ostream& os) {
   for (const DependRec& d : trace.depends) {
     os << "dep " << d.pred << ' ' << d.succ << '\n';
   }
+  for (const WorkerStatsRec& s : trace.worker_stats) {
+    os << "wstat " << s.worker << ' ' << s.tasks_spawned << ' '
+       << s.tasks_executed << ' ' << s.tasks_inlined << ' ' << s.steals << ' '
+       << s.steal_failures << ' ' << s.cas_failures << ' ' << s.deque_pushes
+       << ' ' << s.deque_pops << ' ' << s.deque_resizes << ' '
+       << s.taskwait_helps << ' ' << s.idle_ns << ' ' << s.trace_bytes
+       << '\n';
+  }
 }
 
 std::optional<Trace> load_trace(std::istream& is, std::string* error) {
@@ -162,6 +175,15 @@ std::optional<Trace> load_trace(std::istream& is, std::string* error) {
       m.program = *p;
       m.runtime = *r;
       m.topology = *t;
+    } else if (kind == "metax") {
+      TraceMeta& m = trace.meta;
+      int profiled = 1;
+      std::string clock;
+      if (!(ls >> profiled >> m.trace_buffer_bytes >> clock)) return bad();
+      auto c = unescape(clock);
+      if (!c) return bad();
+      m.profiled = profiled != 0;
+      m.clock_source = *c;
     } else if (kind == "note") {
       std::string n;
       if (!(ls >> n)) return bad();
@@ -220,6 +242,15 @@ std::optional<Trace> load_trace(std::istream& is, std::string* error) {
       DependRec d;
       if (!(ls >> d.pred >> d.succ)) return bad();
       trace.depends.push_back(d);
+    } else if (kind == "wstat") {
+      WorkerStatsRec s;
+      if (!(ls >> s.worker >> s.tasks_spawned >> s.tasks_executed >>
+            s.tasks_inlined >> s.steals >> s.steal_failures >>
+            s.cas_failures >> s.deque_pushes >> s.deque_pops >>
+            s.deque_resizes >> s.taskwait_helps >> s.idle_ns >>
+            s.trace_bytes))
+        return bad();
+      trace.worker_stats.push_back(s);
     } else if (kind == "book") {
       BookkeepRec b;
       int got = 0;
@@ -287,7 +318,8 @@ bool get_counters(std::istream& is, Counters& c) {
          get_u64(is, c.cache_misses) && get_u64(is, c.bytes_accessed);
 }
 
-constexpr char kBinMagic[] = "GGTB2";  // v2 adds a dependence section
+constexpr char kBinMagic[] = "GGTB3";  // v3 adds worker stats + profiling meta
+constexpr char kBinMagicV2[] = "GGTB2";  // v2 added a dependence section
 constexpr char kBinMagicV1[] = "GGTB1";
 
 }  // namespace
@@ -382,6 +414,26 @@ void save_trace_binary(const Trace& trace, std::ostream& os) {
     put_u64(os, d.pred);
     put_u64(os, d.succ);
   }
+  // v3 trailer: profiling-substrate metadata + per-worker scheduler stats.
+  put_u32(os, m.profiled ? 1 : 0);
+  put_u64(os, m.trace_buffer_bytes);
+  put_str(os, m.clock_source);
+  put_u64(os, trace.worker_stats.size());
+  for (const WorkerStatsRec& s : trace.worker_stats) {
+    put_u32(os, s.worker);
+    put_u64(os, s.tasks_spawned);
+    put_u64(os, s.tasks_executed);
+    put_u64(os, s.tasks_inlined);
+    put_u64(os, s.steals);
+    put_u64(os, s.steal_failures);
+    put_u64(os, s.cas_failures);
+    put_u64(os, s.deque_pushes);
+    put_u64(os, s.deque_pops);
+    put_u64(os, s.deque_resizes);
+    put_u64(os, s.taskwait_helps);
+    put_u64(os, s.idle_ns);
+    put_u64(os, s.trace_bytes);
+  }
 }
 
 std::optional<Trace> load_trace_binary(std::istream& is, std::string* error) {
@@ -393,7 +445,8 @@ std::optional<Trace> load_trace_binary(std::istream& is, std::string* error) {
   if (!is.read(magic, 5)) return fail("bad binary magic");
   const std::string_view m5(magic, 5);
   const bool v1 = m5 == kBinMagicV1;
-  if (!v1 && m5 != kBinMagic) return fail("bad binary magic");
+  const bool v2 = m5 == kBinMagicV2;
+  if (!v1 && !v2 && m5 != kBinMagic) return fail("bad binary magic");
   Trace trace;
   TraceMeta& m = trace.meta;
   u32 workers = 0, cores = 0;
@@ -500,6 +553,27 @@ std::optional<Trace> load_trace_binary(std::istream& is, std::string* error) {
     for (DependRec& d : trace.depends) {
       if (!get_u64(is, d.pred) || !get_u64(is, d.succ))
         return fail("truncated depend record");
+    }
+  }
+  if (!v1 && !v2) {
+    u32 profiled = 1;
+    if (!get_u32(is, profiled) || !get_u64(is, m.trace_buffer_bytes) ||
+        !get_str(is, m.clock_source))
+      return fail("truncated profiling meta");
+    m.profiled = profiled != 0;
+    if (!get_u64(is, n)) return fail("truncated worker stats");
+    trace.worker_stats.resize(n);
+    for (WorkerStatsRec& s : trace.worker_stats) {
+      u32 worker = 0;
+      if (!get_u32(is, worker) || !get_u64(is, s.tasks_spawned) ||
+          !get_u64(is, s.tasks_executed) || !get_u64(is, s.tasks_inlined) ||
+          !get_u64(is, s.steals) || !get_u64(is, s.steal_failures) ||
+          !get_u64(is, s.cas_failures) || !get_u64(is, s.deque_pushes) ||
+          !get_u64(is, s.deque_pops) || !get_u64(is, s.deque_resizes) ||
+          !get_u64(is, s.taskwait_helps) || !get_u64(is, s.idle_ns) ||
+          !get_u64(is, s.trace_bytes))
+        return fail("truncated worker stats record");
+      s.worker = static_cast<u16>(worker);
     }
   }
   trace.finalize();

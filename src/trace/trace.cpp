@@ -43,6 +43,10 @@ void Trace::finalize() {
               if (a.thread != b.thread) return a.thread < b.thread;
               return a.seq_on_thread < b.seq_on_thread;
             });
+  std::sort(worker_stats.begin(), worker_stats.end(),
+            [](const WorkerStatsRec& a, const WorkerStatsRec& b) {
+              return a.worker < b.worker;
+            });
 
   task_index_.clear();
   task_index_.reserve(tasks.size());
@@ -136,6 +140,15 @@ std::vector<TaskId> Trace::predecessors_of(TaskId uid) const {
   for (auto it = lo; it != depends.end() && it->succ == uid; ++it)
     out.push_back(it->pred);
   return out;
+}
+
+const WorkerStatsRec* Trace::worker_stats_of(u16 worker) const {
+  GG_CHECK(finalized_);
+  auto it = std::lower_bound(
+      worker_stats.begin(), worker_stats.end(), worker,
+      [](const WorkerStatsRec& s, u16 v) { return s.worker < v; });
+  if (it == worker_stats.end() || it->worker != worker) return nullptr;
+  return &*it;
 }
 
 size_t Trace::grain_count() const {

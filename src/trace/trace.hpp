@@ -24,6 +24,11 @@ struct TraceMeta {
   TimeNs region_start = 0;   ///< profiled-region bounds (makespan =
   TimeNs region_end = 0;     ///<   region_end - region_start)
   std::vector<std::string> notes;  ///< free-form provenance, e.g. knobs used
+  // Profiling-substrate accounting (trace-format v3; defaults describe
+  // pre-v3 traces, which were always recorded with profiling on).
+  bool profiled = true;           ///< per-grain profiling was enabled
+  u64 trace_buffer_bytes = 0;     ///< recorder buffer footprint at finish
+  std::string clock_source;       ///< "tsc", "steady_clock", or "virtual"
 };
 
 class Trace {
@@ -37,6 +42,8 @@ class Trace {
   std::vector<ChunkRec> chunks;
   std::vector<BookkeepRec> bookkeeps;
   std::vector<DependRec> depends;
+  std::vector<WorkerStatsRec> worker_stats;  ///< one per worker; may be empty
+                                             ///< (pre-v3 or unprofiled runs)
 
   StringTable strings;
 
@@ -68,6 +75,9 @@ class Trace {
 
   /// Dependence predecessors of a task (sorted after finalize()).
   std::vector<TaskId> predecessors_of(TaskId uid) const;
+
+  /// Stats of one worker after finalize(); nullptr if not recorded.
+  const WorkerStatsRec* worker_stats_of(u16 worker) const;
 
   TimeNs makespan() const { return meta.region_end - meta.region_start; }
 

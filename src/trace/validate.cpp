@@ -172,6 +172,26 @@ std::vector<std::string> validate_trace(const Trace& trace) {
              d.succ);
   }
 
+  // Worker stats: one record per worker at most, ids within the team, and
+  // internal consistency (a steal always dispatches a task on the thief).
+  {
+    std::vector<u16> seen;
+    for (const WorkerStatsRec& s : trace.worker_stats) {
+      if (static_cast<int>(s.worker) >= trace.meta.num_workers)
+        report(errs, "worker stats for worker ", s.worker, " >= team size ",
+               trace.meta.num_workers);
+      if (std::find(seen.begin(), seen.end(), s.worker) != seen.end())
+        report(errs, "duplicate worker stats for worker ", s.worker);
+      seen.push_back(s.worker);
+      if (s.steals > s.tasks_executed)
+        report(errs, "worker ", s.worker, " stole ", s.steals,
+               " tasks but executed only ", s.tasks_executed);
+      if (s.tasks_inlined > s.tasks_spawned)
+        report(errs, "worker ", s.worker, " inlined ", s.tasks_inlined,
+               " of only ", s.tasks_spawned, " spawns");
+    }
+  }
+
   // Time bounds.
   const TimeNs lo = trace.meta.region_start;
   const TimeNs hi = trace.meta.region_end;

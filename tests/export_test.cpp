@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
+#include "trace/recorder.hpp"
+
 #include "analysis/report.hpp"
+#include "export/chrome_trace.hpp"
 #include "export/dot.hpp"
 #include "export/grain_csv.hpp"
 #include "export/graphml.hpp"
@@ -71,6 +75,148 @@ void expect_balanced_xml(const std::string& xml) {
     i = end + 1;
   }
   EXPECT_TRUE(stack.empty());
+}
+
+// Minimal recursive-descent JSON well-formedness checker, enough to reject
+// truncated output, trailing commas, and unescaped strings.
+bool json_parse_value(const std::string& s, size_t& i);
+
+void json_skip_ws(const std::string& s, size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r'))
+    ++i;
+}
+
+bool json_parse_string(const std::string& s, size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') ++i;
+    ++i;
+  }
+  if (i >= s.size()) return false;
+  ++i;
+  return true;
+}
+
+bool json_parse_value(const std::string& s, size_t& i) {
+  json_skip_ws(s, i);
+  if (i >= s.size()) return false;
+  const char c = s[i];
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    ++i;
+    json_skip_ws(s, i);
+    if (i < s.size() && s[i] == close) {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (close == '}') {
+        json_skip_ws(s, i);
+        if (!json_parse_string(s, i)) return false;
+        json_skip_ws(s, i);
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+      }
+      if (!json_parse_value(s, i)) return false;
+      json_skip_ws(s, i);
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < s.size() && s[i] == close) {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (c == '"') return json_parse_string(s, i);
+  for (const char* lit : {"true", "false", "null"}) {
+    const size_t n = std::string(lit).size();
+    if (s.compare(i, n, lit) == 0) {
+      i += n;
+      return true;
+    }
+  }
+  const size_t start = i;
+  if (s[i] == '-') ++i;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+          s[i] == 'e' || s[i] == 'E' || s[i] == '+' || s[i] == '-'))
+    ++i;
+  return i > start;
+}
+
+bool json_valid(const std::string& s) {
+  size_t i = 0;
+  if (!json_parse_value(s, i)) return false;
+  json_skip_ws(s, i);
+  return i == s.size();
+}
+
+size_t count_occurrences(const std::string& hay, const std::string& needle) {
+  size_t n = 0, pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+TEST(ChromeTraceTest, EmitsValidJsonWithOneSlicePerGrain) {
+  const Fixture f = make_fixture();
+  std::ostringstream os;
+  write_chrome_trace(os, f.trace);
+  const std::string out = os.str();
+  ASSERT_TRUE(json_valid(out)) << out.substr(0, 400);
+  // One complete ("ph":"X") slice per fragment and per chunk.
+  EXPECT_EQ(count_occurrences(out, "\"ph\":\"X\""),
+            f.trace.fragments.size() + f.trace.chunks.size());
+  // Flow events come in matched start/finish pairs.
+  EXPECT_EQ(count_occurrences(out, "\"ph\":\"s\""),
+            count_occurrences(out, "\"ph\":\"f\""));
+  // Worker tracks are named.
+  for (int w = 0; w < f.trace.meta.num_workers; ++w)
+    EXPECT_NE(out.find("worker " + std::to_string(w)), std::string::npos);
+  EXPECT_NE(out.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, CounterTracksStayNonNegative) {
+  const Fixture f = make_fixture();
+  std::ostringstream os;
+  write_chrome_trace(os, f.trace);
+  const std::string out = os.str();
+  EXPECT_GT(count_occurrences(out, "\"name\":\"parallelism\""), 0u);
+  EXPECT_GT(count_occurrences(out, "\"name\":\"outstanding tasks\""), 0u);
+  // Every counter sample value is non-negative.
+  EXPECT_EQ(count_occurrences(out, "\"value\":-"), 0u);
+  // The parallelism track returns to zero at the end of the region.
+  size_t last = out.rfind("\"name\":\"parallelism\"");
+  ASSERT_NE(last, std::string::npos);
+  const size_t vpos = out.find("\"value\":", last);
+  ASSERT_NE(vpos, std::string::npos);
+  EXPECT_EQ(out.substr(vpos, 10), "\"value\":0}");
+}
+
+TEST(ChromeTraceTest, EmptyTraceStillValidJson) {
+  TraceRecorder rec(1);
+  TaskRec root;
+  root.uid = kRootTask;
+  root.parent = kNoTask;
+  rec.writer(0).task(root);
+  FragmentRec frag;
+  frag.task = kRootTask;
+  frag.end = 1;
+  rec.writer(0).fragment(frag);
+  TraceMeta meta;
+  meta.program = "tiny";
+  meta.region_end = 1;
+  const Trace t = rec.finish(meta);
+  std::ostringstream os;
+  write_chrome_trace(os, t);
+  EXPECT_TRUE(json_valid(os.str())) << os.str();
 }
 
 TEST(GraphMlTest, WellFormedWithAllNodeAndEdgeKinds) {

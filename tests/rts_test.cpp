@@ -389,6 +389,50 @@ TEST(ThreadedEngineTest, ProfilingOffStillRunsAndReportsMakespan) {
   EXPECT_TRUE(t.fragments.empty());
 }
 
+TEST(ThreadedEngineTest, WorkerStatsSatisfyCounterInvariants) {
+  const int workers = 4;
+  ThreadedEngine eng(ws_opts(workers));
+  std::atomic<long> result{0};
+  Trace t = eng.run("fib_stats", [&](Ctx& ctx) { fib_task(ctx, 14, &result); });
+  EXPECT_TRUE(validate_trace(t).empty());
+  ASSERT_EQ(t.worker_stats.size(), static_cast<size_t>(workers));
+  u64 spawned = 0, executed = 0, inlined = 0, trace_bytes = 0;
+  for (const WorkerStatsRec& s : t.worker_stats) {
+    spawned += s.tasks_spawned;
+    executed += s.tasks_executed;
+    inlined += s.tasks_inlined;
+    trace_bytes += s.trace_bytes;
+    // A steal always dispatches a task on the stealing worker.
+    EXPECT_LE(s.steals, s.tasks_executed);
+    EXPECT_LE(s.tasks_inlined, s.tasks_spawned);
+  }
+  EXPECT_GT(trace_bytes, 0u);
+  // Every spawned child executed exactly once (the root body is the
+  // region's implicit task and is not dispatched through the scheduler).
+  EXPECT_EQ(spawned, executed);
+  EXPECT_EQ(executed, static_cast<u64>(t.tasks.size() - 1));
+  // Stats are discoverable per worker, and the metadata names the substrate.
+  ASSERT_NE(t.worker_stats_of(0), nullptr);
+  EXPECT_TRUE(t.meta.profiled);
+  EXPECT_FALSE(t.meta.clock_source.empty());
+  EXPECT_GT(t.meta.trace_buffer_bytes, 0u);
+  (void)inlined;
+}
+
+TEST(ThreadedEngineTest, ProfilingOffEmitsNoWorkerStats) {
+  Options o = ws_opts(2);
+  o.profile = false;
+  ThreadedEngine eng(o);
+  std::atomic<int> n{0};
+  Trace t = eng.run("noprof_stats", [&](Ctx& ctx) {
+    for (int i = 0; i < 8; ++i) ctx.spawn(GG_SRC, [&](Ctx&) { n++; });
+    ctx.taskwait();
+  });
+  EXPECT_EQ(n.load(), 8);
+  EXPECT_TRUE(t.worker_stats.empty());
+  EXPECT_FALSE(t.meta.profiled);
+}
+
 TEST(ThreadedEngineTest, SourceLocationsAreRecorded) {
   ThreadedEngine eng(ws_opts(1));
   Trace t = eng.run("src", [&](Ctx& ctx) {

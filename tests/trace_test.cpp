@@ -115,6 +115,26 @@ Trace make_sample_trace() {
   w1.chunk(chunk(1, 0, 4, 8, 44, 70));
   w1.bookkeep(book(1, 1, 70, 71, false));
 
+  auto stats = [&](u16 worker) {
+    WorkerStatsRec s;
+    s.worker = worker;
+    s.tasks_spawned = 2 + worker;
+    s.tasks_executed = 1 + worker;
+    s.tasks_inlined = 1;
+    s.steals = worker;  // <= tasks_executed
+    s.steal_failures = 3;
+    s.cas_failures = 1;
+    s.deque_pushes = 2;
+    s.deque_pops = 1;
+    s.deque_resizes = worker;
+    s.taskwait_helps = 1;
+    s.idle_ns = 7 + worker;
+    s.trace_bytes = 1000 + worker;
+    return s;
+  };
+  w0.stats(stats(0));
+  w1.stats(stats(1));
+
   TraceMeta meta;
   meta.program = "sample";
   meta.runtime = "handmade";
@@ -125,6 +145,8 @@ Trace make_sample_trace() {
   meta.region_start = 0;
   meta.region_end = 101;
   meta.notes = {"note one", "note two"};
+  meta.profiled = true;
+  meta.clock_source = "steady_clock";
   return rec.finish(meta);
 }
 
@@ -203,8 +225,105 @@ TEST(TraceSerializeTest, RoundTripPreservesEverything) {
   ASSERT_EQ(loaded->strings.size(), t.strings.size());
   for (StrId i = 0; i < t.strings.size(); ++i)
     EXPECT_EQ(loaded->strings.get(i), t.strings.get(i));
+  // Worker stats and the v3 meta fields.
+  EXPECT_EQ(loaded->meta.profiled, t.meta.profiled);
+  EXPECT_EQ(loaded->meta.clock_source, t.meta.clock_source);
+  EXPECT_EQ(loaded->meta.trace_buffer_bytes, t.meta.trace_buffer_bytes);
+  ASSERT_EQ(loaded->worker_stats.size(), t.worker_stats.size());
+  for (size_t i = 0; i < t.worker_stats.size(); ++i) {
+    const WorkerStatsRec& a = loaded->worker_stats[i];
+    const WorkerStatsRec& b = t.worker_stats[i];
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.tasks_spawned, b.tasks_spawned);
+    EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+    EXPECT_EQ(a.tasks_inlined, b.tasks_inlined);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.steal_failures, b.steal_failures);
+    EXPECT_EQ(a.cas_failures, b.cas_failures);
+    EXPECT_EQ(a.deque_pushes, b.deque_pushes);
+    EXPECT_EQ(a.deque_pops, b.deque_pops);
+    EXPECT_EQ(a.deque_resizes, b.deque_resizes);
+    EXPECT_EQ(a.taskwait_helps, b.taskwait_helps);
+    EXPECT_EQ(a.idle_ns, b.idle_ns);
+    EXPECT_EQ(a.trace_bytes, b.trace_bytes);
+  }
   // And the loaded trace still validates.
   EXPECT_TRUE(validate_trace(*loaded).empty());
+}
+
+TEST(TraceSerializeTest, BinaryRoundTripPreservesWorkerStats) {
+  const Trace t = make_sample_trace();
+  ASSERT_EQ(t.worker_stats.size(), 2u);
+  std::ostringstream os(std::ios::binary);
+  save_trace_binary(t, os);
+  std::istringstream is(os.str(), std::ios::binary);
+  std::string error;
+  auto loaded = load_trace_binary(is, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->meta.profiled, t.meta.profiled);
+  EXPECT_EQ(loaded->meta.clock_source, t.meta.clock_source);
+  EXPECT_EQ(loaded->meta.trace_buffer_bytes, t.meta.trace_buffer_bytes);
+  ASSERT_EQ(loaded->worker_stats.size(), t.worker_stats.size());
+  for (size_t i = 0; i < t.worker_stats.size(); ++i) {
+    const WorkerStatsRec& a = loaded->worker_stats[i];
+    const WorkerStatsRec& b = t.worker_stats[i];
+    EXPECT_EQ(a.worker, b.worker);
+    EXPECT_EQ(a.tasks_spawned, b.tasks_spawned);
+    EXPECT_EQ(a.steals, b.steals);
+    EXPECT_EQ(a.cas_failures, b.cas_failures);
+    EXPECT_EQ(a.deque_resizes, b.deque_resizes);
+    EXPECT_EQ(a.idle_ns, b.idle_ns);
+    EXPECT_EQ(a.trace_bytes, b.trace_bytes);
+  }
+  EXPECT_TRUE(validate_trace(*loaded).empty());
+}
+
+TEST(TraceSerializeTest, PreV3TextTraceStillLoads) {
+  // A v2 writer never emitted metax/wstat lines; strip them and lower the
+  // version header to simulate an old on-disk trace.
+  const Trace t = make_sample_trace();
+  std::ostringstream os;
+  save_trace(t, os);
+  std::istringstream lines(os.str());
+  std::string line, old;
+  while (std::getline(lines, line)) {
+    if (line.rfind("ggtrace ", 0) == 0) {
+      old += "ggtrace 2\n";
+    } else if (line.rfind("metax", 0) == 0 || line.rfind("wstat", 0) == 0) {
+      continue;
+    } else {
+      old += line + "\n";
+    }
+  }
+  std::istringstream is(old);
+  std::string error;
+  auto loaded = load_trace(is, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  // Pre-v3 defaults: profiling on, no stats, no buffer accounting.
+  EXPECT_TRUE(loaded->meta.profiled);
+  EXPECT_TRUE(loaded->meta.clock_source.empty());
+  EXPECT_EQ(loaded->meta.trace_buffer_bytes, 0u);
+  EXPECT_TRUE(loaded->worker_stats.empty());
+  EXPECT_EQ(loaded->tasks.size(), t.tasks.size());
+  EXPECT_TRUE(validate_trace(*loaded).empty());
+}
+
+TEST(TraceTest, WorkerStatsLookup) {
+  const Trace t = make_sample_trace();
+  ASSERT_NE(t.worker_stats_of(1), nullptr);
+  EXPECT_EQ(t.worker_stats_of(1)->worker, 1);
+  EXPECT_EQ(t.worker_stats_of(7), nullptr);
+}
+
+TEST(TraceValidateTest, DetectsBogusWorkerStats) {
+  Trace t = make_sample_trace();
+  WorkerStatsRec s;
+  s.worker = 9;  // >= num_workers
+  s.steals = 5;
+  s.tasks_executed = 1;  // steals > executed
+  t.worker_stats.push_back(s);
+  t.finalize();
+  EXPECT_FALSE(validate_trace(t).empty());
 }
 
 TEST(TraceSerializeTest, RejectsGarbage) {

@@ -13,6 +13,7 @@
 //     --csv <out.csv>        per-grain metric table
 //     --json <out.json>      machine-readable summary
 //     --html <out.html>      self-contained HTML report
+//     --chrome <out.json>    Chrome trace-event timeline (Perfetto-loadable)
 //     --reduced              apply all reductions before graph export
 //     --topology <name>      opteron48|generic4|generic16 (default: from
 //                            the trace's metadata when recognized)
@@ -30,6 +31,7 @@
 #include "analysis/recommend.hpp"
 #include "analysis/report.hpp"
 #include "analysis/timeline.hpp"
+#include "export/chrome_trace.hpp"
 #include "export/dot.hpp"
 #include "export/grain_csv.hpp"
 #include "export/graphml.hpp"
@@ -48,8 +50,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <trace.(ggtrace|ggbin)> [--baseline t] [--view "
                "benefit|inflation|memutil|parallelism|scatter] [--graphml f] "
-               "[--dot f] [--csv f] [--json f] [--html f] [--reduced] "
-               "[--summarize N] [--compare t] [--topology "
+               "[--dot f] [--csv f] [--json f] [--html f] [--chrome f] "
+               "[--reduced] [--summarize N] [--compare t] [--topology "
                "opteron48|generic4|generic16] [--timeline]\n",
                argv0);
   return 2;
@@ -64,10 +66,11 @@ std::optional<Problem> parse_view(const std::string& s) {
   return std::nullopt;
 }
 
-Topology parse_topology(const std::string& name) {
+std::optional<Topology> parse_topology(const std::string& name) {
   if (name == "opteron48") return Topology::opteron48();
   if (name == "generic16") return Topology::generic16();
-  return Topology::generic4();
+  if (name == "generic4") return Topology::generic4();
+  return std::nullopt;
 }
 
 }  // namespace
@@ -76,7 +79,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string trace_path = argv[1];
   std::string baseline_path, graphml_path, dot_path, csv_path, json_path;
-  std::string compare_path, html_path;
+  std::string compare_path, html_path, chrome_path;
   std::string topology_name;
   std::optional<Problem> view;
   bool reduced = false, timeline = false;
@@ -119,6 +122,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       html_path = v;
+    } else if (arg == "--chrome") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      chrome_path = v;
     } else if (arg == "--compare") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -130,7 +137,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--summarize") {
       const char* v = next();
       if (!v) return usage(argv[0]);
-      summarize_budget = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(v, &end, 10);
+      if (v[0] == '-' || end == v || *end != '\0') {
+        std::fprintf(stderr, "--summarize expects a non-negative integer, "
+                     "got '%s'\n", v);
+        return 2;
+      }
+      summarize_budget = static_cast<size_t>(parsed);
     } else if (arg == "--reduced") {
       reduced = true;
     } else if (arg == "--timeline") {
@@ -153,8 +167,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const Topology topo = parse_topology(
-      topology_name.empty() ? trace->meta.topology : topology_name);
+  // An explicit --topology must name a known preset; an unrecognized name
+  // from the trace's own metadata (e.g. "host") falls back to generic4.
+  Topology topo = Topology::generic4();
+  if (!topology_name.empty()) {
+    auto parsed = parse_topology(topology_name);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown topology '%s' (expected "
+                   "opteron48|generic4|generic16)\n", topology_name.c_str());
+      return 2;
+    }
+    topo = *parsed;
+  } else if (auto from_meta = parse_topology(trace->meta.topology)) {
+    topo = *from_meta;
+  }
 
   AnalysisOptions opts;
   GrainTable baseline;
@@ -232,6 +258,11 @@ int main(int argc, char** argv) {
   if (!html_path.empty()) {
     const bool ok = write_html_report_file(html_path, *trace, a);
     std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", html_path.c_str());
+  }
+  if (!chrome_path.empty()) {
+    const bool ok = write_chrome_trace_file(chrome_path, *trace);
+    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                chrome_path.c_str());
   }
   return 0;
 }
