@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/export/chrome_trace.cpp" "src/export/CMakeFiles/gg_export.dir/chrome_trace.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/chrome_trace.cpp.o.d"
   "/root/repo/src/export/dot.cpp" "src/export/CMakeFiles/gg_export.dir/dot.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/dot.cpp.o.d"
   "/root/repo/src/export/grain_csv.cpp" "src/export/CMakeFiles/gg_export.dir/grain_csv.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/grain_csv.cpp.o.d"
   "/root/repo/src/export/graphml.cpp" "src/export/CMakeFiles/gg_export.dir/graphml.cpp.o" "gcc" "src/export/CMakeFiles/gg_export.dir/graphml.cpp.o.d"

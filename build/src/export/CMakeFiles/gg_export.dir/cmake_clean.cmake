@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/gg_export.dir/chrome_trace.cpp.o"
+  "CMakeFiles/gg_export.dir/chrome_trace.cpp.o.d"
   "CMakeFiles/gg_export.dir/dot.cpp.o"
   "CMakeFiles/gg_export.dir/dot.cpp.o.d"
   "CMakeFiles/gg_export.dir/grain_csv.cpp.o"

@@ -296,15 +296,18 @@ tests/CMakeFiles/export_test.dir/export_test.cpp.o: \
  /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc /root/repo/src/analysis/report.hpp \
- /root/repo/src/analysis/problems.hpp \
- /root/repo/src/graph/grain_table.hpp /root/repo/src/trace/trace.hpp \
- /root/repo/src/common/strings.hpp /root/repo/src/common/types.hpp \
- /root/repo/src/trace/records.hpp /root/repo/src/metrics/metrics.hpp \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/trace/recorder.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/trace/trace.hpp /root/repo/src/common/strings.hpp \
+ /root/repo/src/common/types.hpp /root/repo/src/trace/records.hpp \
+ /root/repo/src/analysis/report.hpp /root/repo/src/analysis/problems.hpp \
+ /root/repo/src/graph/grain_table.hpp /root/repo/src/metrics/metrics.hpp \
  /root/repo/src/graph/grain_graph.hpp \
  /root/repo/src/metrics/critical_path.hpp \
  /root/repo/src/topology/topology.hpp \
- /root/repo/src/analysis/source_profile.hpp /root/repo/src/export/dot.hpp \
+ /root/repo/src/analysis/source_profile.hpp \
+ /root/repo/src/export/chrome_trace.hpp /root/repo/src/export/dot.hpp \
  /root/repo/src/export/grain_csv.hpp /root/repo/src/export/graphml.hpp \
  /root/repo/src/export/html_report.hpp \
  /root/repo/src/graph/reductions.hpp /root/repo/src/sim/capture.hpp \

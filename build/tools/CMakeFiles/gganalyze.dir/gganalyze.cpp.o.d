@@ -150,7 +150,8 @@ tools/CMakeFiles/gganalyze.dir/gganalyze.cpp.o: \
  /root/repo/src/topology/topology.hpp \
  /root/repo/src/analysis/source_profile.hpp \
  /root/repo/src/analysis/recommend.hpp \
- /root/repo/src/analysis/timeline.hpp /root/repo/src/export/dot.hpp \
+ /root/repo/src/analysis/timeline.hpp \
+ /root/repo/src/export/chrome_trace.hpp /root/repo/src/export/dot.hpp \
  /root/repo/src/export/grain_csv.hpp /root/repo/src/export/graphml.hpp \
  /root/repo/src/export/html_report.hpp \
  /root/repo/src/export/json_summary.hpp \
