@@ -1,0 +1,261 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+#include "common/prng.hpp"
+
+namespace gg::fault {
+
+namespace {
+
+// Distinct sub-seeds per fault class so enabling one class never changes the
+// random choices of another.
+enum : u64 {
+  kDropSalt = 0xD809,
+  kDupSalt = 0xD0B1,
+  kSkewSalt = 0xC10C,
+  kShuffleSalt = 0x5F0F,
+};
+
+bool coin(Xoshiro256& rng, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return rng.uniform01() < p;
+}
+
+// Applies drop/duplicate decisions to one record vector. The root task
+// record is exempt from dropping: it is written at region start and would
+// have been flushed long before any fault window — and dropping it makes
+// every damaged trace look the same (everything orphaned), which hides the
+// more interesting recovery paths.
+template <typename Rec, typename IsRoot>
+void drop_dup(std::vector<Rec>& recs, const FaultPlan& plan, Xoshiro256& rng,
+              InjectionReport& rep, const IsRoot& is_root) {
+  std::vector<Rec> out;
+  out.reserve(recs.size());
+  for (const Rec& r : recs) {
+    if (!is_root(r) && coin(rng, plan.drop_rate)) {
+      ++rep.dropped;
+      continue;
+    }
+    out.push_back(r);
+    if (coin(rng, plan.duplicate_rate)) {
+      out.push_back(r);
+      ++rep.duplicated;
+    }
+  }
+  recs.swap(out);
+}
+
+template <typename Rec>
+void drop_dup(std::vector<Rec>& recs, const FaultPlan& plan, Xoshiro256& rng,
+              InjectionReport& rep) {
+  drop_dup(recs, plan, rng, rep, [](const Rec&) { return false; });
+}
+
+TimeNs worker_skew(const FaultPlan& plan, u16 worker) {
+  if (plan.clock_skew_max_ns == 0) return 0;
+  return mix64(plan.seed ^ (kSkewSalt << 16) ^ worker) %
+         (plan.clock_skew_max_ns + 1);
+}
+
+bool is_dead(const FaultPlan& plan, u16 worker) {
+  return std::find(plan.dead_workers.begin(), plan.dead_workers.end(),
+                   worker) != plan.dead_workers.end();
+}
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::DropRecord: return "drop-record";
+    case FaultKind::DuplicateRecord: return "duplicate-record";
+    case FaultKind::ReorderRecords: return "reorder-records";
+    case FaultKind::TruncateStream: return "truncate-stream";
+    case FaultKind::BitFlip: return "bit-flip";
+    case FaultKind::ClockSkew: return "clock-skew";
+    case FaultKind::BufferOverflow: return "buffer-overflow";
+    case FaultKind::WorkerDeath: return "worker-death";
+  }
+  return "?";
+}
+
+std::string InjectionReport::summary() const {
+  std::ostringstream os;
+  os << "dropped=" << dropped << " duplicated=" << duplicated
+     << " overflow_dropped=" << overflow_dropped
+     << " death_dropped=" << death_dropped
+     << " skewed_workers=" << skewed_workers;
+  return os.str();
+}
+
+InjectionReport inject(Trace& trace, const FaultPlan& plan) {
+  InjectionReport rep;
+  if (!plan.enabled()) return rep;
+
+  // 1. Worker death: the tail of a dead worker's buffer never reaches the
+  // merged trace. Applied first — a dead worker's records cannot then be
+  // duplicated or skewed.
+  if (!plan.dead_workers.empty()) {
+    auto dead_after = [&](u16 worker, TimeNs end) {
+      return is_dead(plan, worker) && end >= plan.death_time_ns;
+    };
+    auto purge = [&](auto& recs, auto worker_of, auto end_of) {
+      const size_t before = recs.size();
+      std::erase_if(recs, [&](const auto& r) {
+        return dead_after(worker_of(r), end_of(r));
+      });
+      rep.death_dropped += before - recs.size();
+    };
+    purge(trace.fragments, [](const FragmentRec& f) { return f.core; },
+          [](const FragmentRec& f) { return f.end; });
+    purge(trace.joins, [](const JoinRec& j) { return j.core; },
+          [](const JoinRec& j) { return j.end; });
+    purge(trace.chunks, [](const ChunkRec& c) { return c.core; },
+          [](const ChunkRec& c) { return c.end; });
+    purge(trace.bookkeeps, [](const BookkeepRec& b) { return b.core; },
+          [](const BookkeepRec& b) { return b.end; });
+    purge(trace.tasks, [](const TaskRec& t) { return t.create_core; },
+          [](const TaskRec& t) { return t.create_time; });
+    // Region-end stats are never written by a dead worker.
+    const size_t before = trace.worker_stats.size();
+    std::erase_if(trace.worker_stats, [&](const WorkerStatsRec& s) {
+      return is_dead(plan, s.worker);
+    });
+    rep.death_dropped += before - trace.worker_stats.size();
+  }
+
+  // 2. Buffer overflow: per worker, keep only the chronologically-earliest
+  // `buffer_capacity` high-volume records (a full ring stops recording).
+  if (plan.buffer_capacity > 0) {
+    // (time, class, index) per worker; classes: 0=frag 1=join 2=chunk 3=book.
+    struct Entry {
+      TimeNs time;
+      int cls;
+      size_t idx;
+    };
+    std::vector<std::vector<Entry>> per_worker;
+    auto slot = [&](u16 w) -> std::vector<Entry>& {
+      if (per_worker.size() <= w) per_worker.resize(size_t{w} + 1);
+      return per_worker[w];
+    };
+    for (size_t i = 0; i < trace.fragments.size(); ++i)
+      slot(trace.fragments[i].core).push_back({trace.fragments[i].start, 0, i});
+    for (size_t i = 0; i < trace.joins.size(); ++i)
+      slot(trace.joins[i].core).push_back({trace.joins[i].start, 1, i});
+    for (size_t i = 0; i < trace.chunks.size(); ++i)
+      slot(trace.chunks[i].core).push_back({trace.chunks[i].start, 2, i});
+    for (size_t i = 0; i < trace.bookkeeps.size(); ++i)
+      slot(trace.bookkeeps[i].core).push_back({trace.bookkeeps[i].start, 3, i});
+    std::vector<std::vector<bool>> doomed(4);
+    doomed[0].resize(trace.fragments.size());
+    doomed[1].resize(trace.joins.size());
+    doomed[2].resize(trace.chunks.size());
+    doomed[3].resize(trace.bookkeeps.size());
+    for (auto& entries : per_worker) {
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  return std::tie(a.time, a.cls, a.idx) <
+                         std::tie(b.time, b.cls, b.idx);
+                });
+      for (size_t i = plan.buffer_capacity; i < entries.size(); ++i) {
+        doomed[static_cast<size_t>(entries[i].cls)][entries[i].idx] = true;
+        ++rep.overflow_dropped;
+      }
+    }
+    auto sweep = [](auto& recs, const std::vector<bool>& kill) {
+      size_t i = 0;
+      std::erase_if(recs, [&](const auto&) { return kill[i++]; });
+    };
+    sweep(trace.fragments, doomed[0]);
+    sweep(trace.joins, doomed[1]);
+    sweep(trace.chunks, doomed[2]);
+    sweep(trace.bookkeeps, doomed[3]);
+  }
+
+  // 3. Per-worker clock skew: every timestamp a worker produced shifts by
+  // its deterministic offset, breaking cross-worker interval ordering and
+  // the recorded region bounds.
+  if (plan.clock_skew_max_ns > 0) {
+    std::vector<u16> seen;
+    auto skew_of = [&](u16 w) {
+      if (std::find(seen.begin(), seen.end(), w) == seen.end()) seen.push_back(w);
+      return worker_skew(plan, w);
+    };
+    for (FragmentRec& f : trace.fragments) {
+      const TimeNs d = skew_of(f.core);
+      f.start += d;
+      f.end += d;
+    }
+    for (JoinRec& j : trace.joins) {
+      const TimeNs d = skew_of(j.core);
+      j.start += d;
+      j.end += d;
+    }
+    for (ChunkRec& c : trace.chunks) {
+      const TimeNs d = skew_of(c.core);
+      c.start += d;
+      c.end += d;
+    }
+    for (BookkeepRec& b : trace.bookkeeps) {
+      const TimeNs d = skew_of(b.core);
+      b.start += d;
+      b.end += d;
+    }
+    for (TaskRec& t : trace.tasks) t.create_time += skew_of(t.create_core);
+    for (LoopRec& l : trace.loops) {
+      const TimeNs d = skew_of(l.starting_thread);
+      l.start += d;
+      l.end += d;
+    }
+    rep.skewed_workers = seen.size();
+  }
+
+  // 4. Random drops and duplicates across every record class.
+  if (plan.drop_rate > 0.0 || plan.duplicate_rate > 0.0) {
+    Xoshiro256 rng(mix64(plan.seed ^ kDropSalt) ^ kDupSalt);
+    drop_dup(trace.tasks, plan, rng, rep,
+             [](const TaskRec& t) { return t.uid == kRootTask; });
+    drop_dup(trace.fragments, plan, rng, rep);
+    drop_dup(trace.joins, plan, rng, rep);
+    drop_dup(trace.loops, plan, rng, rep);
+    drop_dup(trace.chunks, plan, rng, rep);
+    drop_dup(trace.bookkeeps, plan, rng, rep);
+    drop_dup(trace.depends, plan, rng, rep);
+    drop_dup(trace.worker_stats, plan, rng, rep);
+  }
+
+  trace.finalize();
+  return rep;
+}
+
+std::string truncate_stream(std::string bytes, size_t keep) {
+  if (keep < bytes.size()) bytes.resize(keep);
+  return bytes;
+}
+
+std::string flip_bit(std::string bytes, size_t offset, int bit) {
+  if (offset < bytes.size() && bit >= 0 && bit < 8)
+    bytes[offset] = static_cast<char>(
+        static_cast<unsigned char>(bytes[offset]) ^ (1u << bit));
+  return bytes;
+}
+
+std::string shuffle_lines(const std::string& text, u64 seed) {
+  std::istringstream is(text);
+  std::string header, line;
+  std::vector<std::string> lines;
+  if (!std::getline(is, header)) return text;
+  while (std::getline(is, line)) lines.push_back(line);
+  // Fisher–Yates with our deterministic generator.
+  Xoshiro256 rng(mix64(seed ^ kShuffleSalt));
+  for (size_t i = lines.size(); i > 1; --i)
+    std::swap(lines[i - 1], lines[rng.bounded(i)]);
+  std::string out = header + "\n";
+  for (const std::string& l : lines) out += l + "\n";
+  return out;
+}
+
+}  // namespace gg::fault

@@ -1,0 +1,111 @@
+// Deterministic fault injection for the profiling pipeline.
+//
+// A production profiler sees crashes mid-run, lossy flushes, skewed clocks
+// and half-written files far more often than pristine traces. This module
+// reproduces those conditions on demand so every recovery path in the
+// ingestion layer (trace/load_result.hpp, trace/salvage.hpp) is exercised by
+// a regression corpus instead of waiting for a real outage.
+//
+// Two fault surfaces:
+//  * record-level — inject() mutates an in-memory Trace the way a sick
+//    recorder would (dropped/duplicated records, per-worker clock skew,
+//    recorder buffer overflow, worker death mid-task). Both execution
+//    engines accept an optional FaultPlan (rts::Options::fault_plan,
+//    sim::SimOptions::fault_plan) and apply it to the trace they produce.
+//  * stream-level — corrupt serialized bytes the way a sick filesystem
+//    would (truncation mid-record or mid-trailer, bit flips, record
+//    reordering). These are free functions over the serialized string.
+//
+// Everything is seeded: the same FaultPlan applied to the same trace yields
+// bit-identical damage, so a failing corpus case is a reproducible test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gg::fault {
+
+/// The fault classes the harness can inject. Used for reporting and for
+/// iterating "one test per fault class" corpora.
+enum class FaultKind : u8 {
+  DropRecord,       ///< record never reaches the merged trace
+  DuplicateRecord,  ///< record is delivered twice
+  ReorderRecords,   ///< serialized records shuffled out of canonical order
+  TruncateStream,   ///< serialized bytes cut mid-record / mid-trailer
+  BitFlip,          ///< single bit flipped in the serialized stream
+  ClockSkew,        ///< per-worker clock offset (unsynchronized TSCs)
+  BufferOverflow,   ///< recorder ring filled; later records lost
+  WorkerDeath,      ///< worker crashed mid-task; its tail records lost
+};
+
+const char* to_string(FaultKind kind);
+
+/// Seeded description of the record-level faults to inject into one trace.
+/// Default-constructed plans inject nothing.
+struct FaultPlan {
+  u64 seed = 1;  ///< drives every probabilistic choice below
+
+  double drop_rate = 0.0;       ///< P(each record is dropped), in [0,1]
+  double duplicate_rate = 0.0;  ///< P(each record is duplicated), in [0,1]
+
+  /// Max per-worker clock offset in ns; each worker gets a deterministic
+  /// offset in [0, clock_skew_max_ns] added to all of its timestamps,
+  /// modelling unsynchronized per-core clocks. 0 disables.
+  TimeNs clock_skew_max_ns = 0;
+
+  /// Per-worker record budget modelling a fixed-capacity recorder ring that
+  /// stops accepting records once full: each worker keeps only its
+  /// `buffer_capacity` chronologically-earliest fragment/join/chunk/bookkeep
+  /// records. 0 disables.
+  u64 buffer_capacity = 0;
+
+  /// Workers that die at `death_time_ns`: every record they produced that
+  /// ends at or after the instant of death is lost (their buffer tail was
+  /// never flushed), and they never emit WorkerStatsRec.
+  std::vector<u16> dead_workers;
+  TimeNs death_time_ns = 0;
+
+  bool enabled() const {
+    return drop_rate > 0.0 || duplicate_rate > 0.0 || clock_skew_max_ns > 0 ||
+           buffer_capacity > 0 || !dead_workers.empty();
+  }
+};
+
+/// What inject() actually did — asserted on by tests and appended to the
+/// trace's provenance notes by the engines.
+struct InjectionReport {
+  u64 dropped = 0;           ///< records removed by drop_rate
+  u64 duplicated = 0;        ///< records delivered twice
+  u64 overflow_dropped = 0;  ///< records lost to buffer_capacity
+  u64 death_dropped = 0;     ///< records lost to worker death
+  u64 skewed_workers = 0;    ///< workers whose clock was offset
+
+  bool any() const {
+    return dropped || duplicated || overflow_dropped || death_dropped ||
+           skewed_workers;
+  }
+  std::string summary() const;
+};
+
+/// Applies the plan's record-level faults to `trace` in place and
+/// re-finalizes it. Deterministic in (plan, trace). The damaged trace is
+/// typically *invalid* — that is the point; feed it to the salvage path.
+InjectionReport inject(Trace& trace, const FaultPlan& plan);
+
+// --- stream-level corruptions (serialized traces) --------------------------
+
+/// Cuts the serialized stream after `keep` bytes (mid-record, mid-trailer —
+/// wherever it lands).
+std::string truncate_stream(std::string bytes, size_t keep);
+
+/// Flips one bit of byte `offset` (no-op when out of range).
+std::string flip_bit(std::string bytes, size_t offset, int bit);
+
+/// Deterministically shuffles the record lines of a *text* trace, keeping
+/// the "ggtrace N" header first — models unordered flushes of per-worker
+/// buffers. A correct text loader accepts any record order.
+std::string shuffle_lines(const std::string& text, u64 seed);
+
+}  // namespace gg::fault

@@ -862,6 +862,12 @@ Trace ThreadedEngine::run(const std::string& program_name,
   }
   Trace trace = recorder_->finish(meta);
   recorder_.reset();
+  if (opts_.fault_plan) {
+    const fault::InjectionReport rep = fault::inject(trace, *opts_.fault_plan);
+    trace.meta.notes.push_back(
+        "fault_injection seed=" + std::to_string(opts_.fault_plan->seed) +
+        " " + rep.summary());
+  }
   return trace;
 }
 

@@ -21,10 +21,12 @@
 #include <chrono>
 #include <mutex>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "front/front.hpp"
 #include "rts/central_queue.hpp"
 #include "rts/chase_lev_deque.hpp"
@@ -45,6 +47,10 @@ struct Options {
   /// spawning worker's queue already holds >= inline_queue_limit tasks.
   /// 0 disables.
   u64 inline_queue_limit = 0;
+  /// Fault-injection harness hook: when set, the plan's record-level faults
+  /// are applied deterministically to the trace this engine produces (the
+  /// damage is noted in the trace's provenance notes). Testing only.
+  std::optional<fault::FaultPlan> fault_plan;
 };
 
 class ThreadedEngine final : public front::Engine {

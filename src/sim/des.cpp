@@ -885,7 +885,14 @@ Trace Simulator::run() {
 
 Trace simulate(const Program& prog, const SimOptions& opts) {
   Simulator sim(prog, opts);
-  return sim.run();
+  Trace trace = sim.run();
+  if (opts.fault_plan) {
+    const fault::InjectionReport rep = fault::inject(trace, *opts.fault_plan);
+    trace.meta.notes.push_back(
+        "fault_injection seed=" + std::to_string(opts.fault_plan->seed) +
+        " " + rep.summary());
+  }
+  return trace;
 }
 
 }  // namespace gg::sim

@@ -20,6 +20,9 @@
 //  * the region ends with an implicit barrier that drains all tasks.
 #pragma once
 
+#include <optional>
+
+#include "fault/fault.hpp"
 #include "sim/memory_model.hpp"
 #include "sim/policy.hpp"
 #include "sim/program.hpp"
@@ -34,6 +37,9 @@ struct SimOptions {
   SimPolicy policy = SimPolicy::mir();
   u64 seed = 42;  ///< steal-victim selection seed
   bool memory_model = true;  ///< false = zero-cost memory (pure task costs)
+  /// Fault-injection harness hook: when set, the plan's record-level faults
+  /// are applied deterministically to the simulated trace. Testing only.
+  std::optional<fault::FaultPlan> fault_plan;
 };
 
 /// Simulates `prog` and returns the finalized trace.

@@ -1,0 +1,67 @@
+#include "trace/load_result.hpp"
+
+#include <sstream>
+
+namespace gg {
+
+const char* to_string(LoadStatus s) {
+  switch (s) {
+    case LoadStatus::Ok: return "ok";
+    case LoadStatus::Salvaged: return "salvaged";
+    case LoadStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+const char* to_string(LoadErrorCode c) {
+  switch (c) {
+    case LoadErrorCode::None: return "none";
+    case LoadErrorCode::CannotOpen: return "cannot-open";
+    case LoadErrorCode::EmptyInput: return "empty-input";
+    case LoadErrorCode::BadMagic: return "bad-magic";
+    case LoadErrorCode::UnsupportedVersion: return "unsupported-version";
+    case LoadErrorCode::MalformedRecord: return "malformed-record";
+    case LoadErrorCode::UnknownRecordKind: return "unknown-record-kind";
+    case LoadErrorCode::StringTableCorrupt: return "string-table-corrupt";
+    case LoadErrorCode::TruncatedStream: return "truncated-stream";
+    case LoadErrorCode::LimitExceeded: return "limit-exceeded";
+    case LoadErrorCode::InvalidStructure: return "invalid-structure";
+  }
+  return "?";
+}
+
+std::string LoadDiagnostic::to_string() const {
+  std::ostringstream os;
+  os << (offset_is_line ? "line " : "byte ") << offset;
+  if (!context.empty()) os << " [" << context << "]";
+  os << ": " << message << " (" << gg::to_string(code) << ")";
+  return os.str();
+}
+
+const LoadDiagnostic* LoadResult::first_error() const {
+  for (const LoadDiagnostic& d : diagnostics) {
+    if (d.code != LoadErrorCode::None) return &d;
+  }
+  return nullptr;
+}
+
+std::string LoadResult::describe() const {
+  std::ostringstream os;
+  os << (source.empty() ? std::string("<stream>") : source) << ": "
+     << to_string(status);
+  if (trace.has_value() && status != LoadStatus::Failed) {
+    os << ", " << trace->grain_count() << " grains";
+  }
+  os << '\n';
+  for (const LoadDiagnostic& d : diagnostics) {
+    os << "  " << d.to_string() << '\n';
+  }
+  if (salvage.any()) {
+    os << "  " << salvage.summary() << '\n';
+    for (size_t i = 1; i < salvage.actions.size(); ++i)
+      os << "    " << salvage.actions[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gg

@@ -1,0 +1,69 @@
+// Salvage-mode recovery for damaged traces.
+//
+// A crashed run, a lossy flush or a truncated file leaves a trace that
+// validate_trace rejects. Rejecting wholesale throws away everything a
+// profiler user still cares about ("what was the program doing up to the
+// crash?"). salvage_trace() instead recovers the longest structurally-valid
+// subset: it synthesizes the missing closing records (TaskEnd fragments,
+// joins, covering chunks) at the last observed timestamps, quarantines
+// grains whose context is unrecoverable (orphaned subtrees, records of
+// missing tasks/loops) into a reported set, and repairs metadata (region
+// bounds, team sizes) from the surviving records. The repaired trace passes
+// validate_trace, so downstream graph/metric code never sees a malformed
+// trace; the report quantifies exactly how degraded the analysis is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gg {
+
+/// Everything salvage did to one trace. `any()` == false means the trace
+/// was already structurally sound and untouched.
+struct SalvageReport {
+  // Quarantine: grains whose context could not be reconstructed.
+  u64 quarantined_tasks = 0;  ///< tasks removed with their records
+  std::vector<TaskId> unrecoverable_tasks;  ///< uids (capped at kMaxListed)
+  std::vector<LoopId> unrecoverable_loops;  ///< loop uids (capped)
+
+  // Dropped records (duplicates, dangling references, unusable tails).
+  u64 dropped_records = 0;
+
+  // Synthesis: records invented to close open structures.
+  u64 synthesized_task_ends = 0;  ///< last fragments forced to TaskEnd
+  u64 synthesized_fragments = 0;  ///< zero-length fragments for bare tasks
+  u64 synthesized_joins = 0;      ///< joins for dangling Join/Loop/Fork refs
+  u64 synthesized_chunks = 0;     ///< chunks filling iteration-range holes
+
+  // Repairs in place.
+  u64 repaired_times = 0;       ///< clamped/reordered intervals
+  u64 repaired_records = 0;     ///< other field repairs (indices, team sizes)
+  bool root_synthesized = false;
+  bool bounds_extended = false;  ///< region bounds grown to cover records
+
+  // Degradation accounting (grains = tasks excl. root + chunks).
+  u64 grains_before = 0;
+  u64 grains_after = 0;
+
+  /// Human-readable action log, most significant first (capped).
+  std::vector<std::string> actions;
+
+  static constexpr size_t kMaxListed = 32;
+
+  bool any() const;
+  /// Fraction of pre-salvage grains that survived (1.0 when nothing to lose).
+  double grain_survival() const;
+  /// One-paragraph degradation summary for tools.
+  std::string summary() const;
+};
+
+/// Repairs `trace` in place (finalizing it) and reports what was done.
+/// Postcondition: validate_trace(trace) is empty for every input this
+/// function can repair; the corrupted-trace corpus test enforces that for
+/// all damage the fault harness can produce. Callers should still re-run
+/// validate_trace and treat remaining violations as unsalvageable.
+SalvageReport salvage_trace(Trace& trace);
+
+}  // namespace gg

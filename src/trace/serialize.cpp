@@ -1,8 +1,13 @@
 #include "trace/serialize.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
+
+#include "trace/salvage.hpp"
+#include "trace/validate.hpp"
 
 namespace gg {
 
@@ -62,6 +67,52 @@ void write_counters(std::ostream& os, const Counters& c) {
 bool read_counters(std::istringstream& is, Counters& c) {
   return static_cast<bool>(is >> c.compute >> c.stall >> c.cache_misses >>
                            c.bytes_accessed);
+}
+
+// Finalizes, optionally salvages, optionally validates, and fills in the
+// result status. Shared tail of the text and binary _ex loaders.
+void finish_load(Trace&& trace, const LoadOptions& opts, LoadResult& res) {
+  trace.finalize();
+  if (opts.mode == LoadMode::Salvage) {
+    res.salvage = salvage_trace(trace);
+    if (opts.validate) {
+      const ValidationReport v = validate_trace_structured(trace);
+      if (!v.ok()) {
+        size_t listed = 0;
+        for (const Violation& viol : v.violations) {
+          if (listed++ >= 16) break;
+          res.diagnostics.push_back(LoadDiagnostic{
+              LoadErrorCode::InvalidStructure, 0, true, viol.where(),
+              "unsalvageable: " + viol.message});
+        }
+        res.status = LoadStatus::Failed;
+        res.trace = std::move(trace);  // kept for postmortem inspection
+        return;
+      }
+    }
+    res.status = (res.salvage.any() || !res.diagnostics.empty())
+                     ? LoadStatus::Salvaged
+                     : LoadStatus::Ok;
+    res.trace = std::move(trace);
+    return;
+  }
+  if (opts.validate) {
+    const ValidationReport v = validate_trace_structured(trace);
+    if (!v.ok()) {
+      size_t listed = 0;
+      for (const Violation& viol : v.violations) {
+        if (listed++ >= 16) break;
+        res.diagnostics.push_back(LoadDiagnostic{
+            LoadErrorCode::InvalidStructure, 0, true, viol.where(),
+            viol.message});
+      }
+      res.status = LoadStatus::Failed;
+      res.trace = std::move(trace);
+      return;
+    }
+  }
+  res.status = LoadStatus::Ok;
+  res.trace = std::move(trace);
 }
 
 }  // namespace
@@ -132,21 +183,37 @@ void save_trace(const Trace& trace, std::ostream& os) {
   }
 }
 
-std::optional<Trace> load_trace(std::istream& is, std::string* error) {
-  auto fail = [&](const std::string& msg) -> std::optional<Trace> {
-    if (error) *error = msg;
-    return std::nullopt;
+LoadResult load_trace_ex(std::istream& is, const LoadOptions& opts) {
+  LoadResult res;
+  res.source = "<stream>";
+  const bool salv = opts.mode == LoadMode::Salvage;
+  auto add = [&](LoadErrorCode code, u64 line, std::string context,
+                 std::string msg) {
+    res.diagnostics.push_back(LoadDiagnostic{code, line, true,
+                                             std::move(context),
+                                             std::move(msg)});
   };
+
   std::string line;
-  if (!std::getline(is, line)) return fail("empty input");
+  if (!std::getline(is, line)) {
+    add(LoadErrorCode::EmptyInput, 0, "header", "empty input");
+    return res;  // status defaults to Failed
+  }
   {
     std::istringstream head(line);
     std::string magic;
     int version = 0;
-    if (!(head >> magic >> version) || magic != "ggtrace")
-      return fail("bad header: " + line);
-    if (version < 1 || version > kVersion)
-      return fail("unsupported version " + std::to_string(version));
+    if (!(head >> magic >> version) || magic != "ggtrace") {
+      add(LoadErrorCode::BadMagic, 1, "header", "bad header: " + line);
+      return res;
+    }
+    if (version < 1 || version > kVersion) {
+      add(LoadErrorCode::UnsupportedVersion, 1, "header",
+          "unsupported version " + std::to_string(version));
+      if (!salv) return res;
+      // Salvage: read it as the newest format we know and let the record
+      // parser flag whatever does not fit.
+    }
   }
 
   Trace trace;
@@ -154,57 +221,102 @@ std::optional<Trace> load_trace(std::istream& is, std::string* error) {
   // in id order.
   std::vector<std::pair<StrId, std::string>> strs;
   int lineno = 1;
-  while (std::getline(is, line)) {
+  bool aborted = false;
+  while (!aborted && std::getline(is, line)) {
     ++lineno;
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string kind;
     ls >> kind;
+    // In Strict/Lenient a malformed record is fatal; in Salvage it is
+    // skipped with a diagnostic and parsing continues.
     auto bad = [&]() {
-      return fail("malformed " + kind + " record at line " +
-                  std::to_string(lineno));
+      add(LoadErrorCode::MalformedRecord, static_cast<u64>(lineno), kind,
+          "malformed " + kind + " record at line " + std::to_string(lineno));
+      if (!salv) aborted = true;
     };
     if (kind == "meta") {
       std::string program, runtime, topology;
-      TraceMeta& m = trace.meta;
+      TraceMeta m;
       if (!(ls >> program >> runtime >> topology >> m.num_workers >>
-            m.num_cores >> m.ghz >> m.region_start >> m.region_end))
-        return bad();
+            m.num_cores >> m.ghz >> m.region_start >> m.region_end)) {
+        bad();
+        continue;
+      }
       auto p = unescape(program), r = unescape(runtime), t = unescape(topology);
-      if (!p || !r || !t) return bad();
+      if (!p || !r || !t) {
+        bad();
+        continue;
+      }
+      m.profiled = trace.meta.profiled;
+      m.trace_buffer_bytes = trace.meta.trace_buffer_bytes;
+      m.clock_source = trace.meta.clock_source;
+      m.notes = std::move(trace.meta.notes);
       m.program = *p;
       m.runtime = *r;
       m.topology = *t;
+      trace.meta = std::move(m);
     } else if (kind == "metax") {
-      TraceMeta& m = trace.meta;
       int profiled = 1;
+      u64 buffer_bytes = 0;
       std::string clock;
-      if (!(ls >> profiled >> m.trace_buffer_bytes >> clock)) return bad();
+      if (!(ls >> profiled >> buffer_bytes >> clock)) {
+        bad();
+        continue;
+      }
       auto c = unescape(clock);
-      if (!c) return bad();
-      m.profiled = profiled != 0;
-      m.clock_source = *c;
+      if (!c) {
+        bad();
+        continue;
+      }
+      trace.meta.profiled = profiled != 0;
+      trace.meta.trace_buffer_bytes = buffer_bytes;
+      trace.meta.clock_source = *c;
     } else if (kind == "note") {
       std::string n;
-      if (!(ls >> n)) return bad();
+      if (!(ls >> n)) {
+        bad();
+        continue;
+      }
       auto u = unescape(n);
-      if (!u) return bad();
+      if (!u) {
+        bad();
+        continue;
+      }
       trace.meta.notes.push_back(*u);
     } else if (kind == "str") {
       StrId id;
       std::string s;
-      if (!(ls >> id >> s)) return bad();
+      if (!(ls >> id >> s)) {
+        bad();
+        continue;
+      }
       auto u = unescape(s);
-      if (!u) return bad();
+      if (!u) {
+        bad();
+        continue;
+      }
       strs.emplace_back(id, *u);
     } else if (kind == "task") {
       TaskRec t;
       std::string parent;
       int inlined = 0;
       if (!(ls >> t.uid >> parent >> t.child_index >> t.src >> t.create_time >>
-            t.create_core >> t.creation_cost >> inlined))
-        return bad();
-      t.parent = parent == "-" ? kNoTask : std::stoull(parent);
+            t.create_core >> t.creation_cost >> inlined)) {
+        bad();
+        continue;
+      }
+      if (parent == "-") {
+        t.parent = kNoTask;
+      } else {
+        u64 p = 0;
+        std::istringstream ps(parent);
+        if (!(ps >> p)) {
+          bad();
+          continue;
+        }
+        t.parent = p;
+      }
       t.inlined = inlined != 0;
       trace.tasks.push_back(t);
     } else if (kind == "frag") {
@@ -212,35 +324,46 @@ std::optional<Trace> load_trace(std::istream& is, std::string* error) {
       int reason = 0;
       if (!(ls >> f.task >> f.seq >> f.start >> f.end >> f.core >> reason >>
             f.end_ref) ||
-          !read_counters(ls, f.counters))
-        return bad();
-      if (reason < 0 || reason > 3) return bad();
+          !read_counters(ls, f.counters) || reason < 0 || reason > 3) {
+        bad();
+        continue;
+      }
       f.end_reason = static_cast<FragmentEnd>(reason);
       trace.fragments.push_back(f);
     } else if (kind == "join") {
       JoinRec j;
-      if (!(ls >> j.task >> j.seq >> j.start >> j.end >> j.core)) return bad();
+      if (!(ls >> j.task >> j.seq >> j.start >> j.end >> j.core)) {
+        bad();
+        continue;
+      }
       trace.joins.push_back(j);
     } else if (kind == "loop") {
       LoopRec l;
       int sched = 0;
       if (!(ls >> l.uid >> l.enclosing_task >> l.src >> sched >>
             l.chunk_param >> l.iter_begin >> l.iter_end >> l.num_threads >>
-            l.starting_thread >> l.seq >> l.start >> l.end))
-        return bad();
-      if (sched < 0 || sched > 2) return bad();
+            l.starting_thread >> l.seq >> l.start >> l.end) ||
+          sched < 0 || sched > 2) {
+        bad();
+        continue;
+      }
       l.sched = static_cast<ScheduleKind>(sched);
       trace.loops.push_back(l);
     } else if (kind == "chunk") {
       ChunkRec c;
       if (!(ls >> c.loop >> c.thread >> c.core >> c.seq_on_thread >>
             c.iter_begin >> c.iter_end >> c.start >> c.end) ||
-          !read_counters(ls, c.counters))
-        return bad();
+          !read_counters(ls, c.counters)) {
+        bad();
+        continue;
+      }
       trace.chunks.push_back(c);
     } else if (kind == "dep") {
       DependRec d;
-      if (!(ls >> d.pred >> d.succ)) return bad();
+      if (!(ls >> d.pred >> d.succ)) {
+        bad();
+        continue;
+      }
       trace.depends.push_back(d);
     } else if (kind == "wstat") {
       WorkerStatsRec s;
@@ -248,32 +371,91 @@ std::optional<Trace> load_trace(std::istream& is, std::string* error) {
             s.tasks_inlined >> s.steals >> s.steal_failures >>
             s.cas_failures >> s.deque_pushes >> s.deque_pops >>
             s.deque_resizes >> s.taskwait_helps >> s.idle_ns >>
-            s.trace_bytes))
-        return bad();
+            s.trace_bytes)) {
+        bad();
+        continue;
+      }
       trace.worker_stats.push_back(s);
     } else if (kind == "book") {
       BookkeepRec b;
       int got = 0;
       if (!(ls >> b.loop >> b.thread >> b.core >> b.seq_on_thread >> b.start >>
-            b.end >> got))
-        return bad();
+            b.end >> got)) {
+        bad();
+        continue;
+      }
       b.got_chunk = got != 0;
       trace.bookkeeps.push_back(b);
     } else {
-      return fail("unknown record kind '" + kind + "' at line " +
-                  std::to_string(lineno));
+      add(LoadErrorCode::UnknownRecordKind, static_cast<u64>(lineno), kind,
+          "unknown record kind '" + kind + "' at line " +
+              std::to_string(lineno));
+      if (opts.mode == LoadMode::Strict) aborted = true;
+      // Lenient/Salvage: skip the line (forward compatibility).
     }
   }
+  if (aborted) return res;  // fatal diagnostic already recorded
 
   std::sort(strs.begin(), strs.end());
+  bool table_ok = true;
   for (const auto& [id, s] : strs) {
     const StrId got = trace.strings.intern(s);
-    if (got != id)
-      return fail("string table ids not dense (expected " +
-                  std::to_string(id) + ", got " + std::to_string(got) + ")");
+    if (got != id) {
+      if (!salv) {
+        add(LoadErrorCode::StringTableCorrupt, 0, "str",
+            "string table ids not dense (expected " + std::to_string(id) +
+                ", got " + std::to_string(got) + ")");
+        return res;
+      }
+      table_ok = false;
+      break;
+    }
   }
-  trace.finalize();
-  return trace;
+  if (!table_ok) {
+    // Salvage: rebuild a dense table, padding holes and de-duplicating
+    // colliding contents with unique placeholders so every recorded id keeps
+    // its original string where possible. Dangling src ids degrade to ""
+    // (StringTable::get is total), so references never become unsafe.
+    trace.strings = StringTable{};
+    add(LoadErrorCode::StringTableCorrupt, 0, "str",
+        "string table ids not dense; rebuilt with placeholders");
+    std::map<StrId, std::string> by_id;
+    u64 max_id = 0;
+    for (const auto& [id, s] : strs) {
+      by_id.emplace(id, s);
+      max_id = std::max<u64>(max_id, id);
+    }
+    if (max_id > strs.size() + 1024) {
+      // Garbage ids: keep the contents, abandon the numbering.
+      for (const auto& [id, s] : by_id) trace.strings.intern(s);
+    } else {
+      for (u64 i = 1; i <= max_id; ++i) {
+        auto it = by_id.find(static_cast<StrId>(i));
+        std::string candidate = it != by_id.end()
+                                    ? it->second
+                                    : "<missing-str-" + std::to_string(i) + ">";
+        StrId got = trace.strings.intern(candidate);
+        while (got != i) {  // content collides with an earlier id
+          candidate += "#";
+          got = trace.strings.intern(candidate);
+        }
+      }
+    }
+  }
+  finish_load(std::move(trace), opts, res);
+  return res;
+}
+
+std::optional<Trace> load_trace(std::istream& is, std::string* error) {
+  LoadResult r = load_trace_ex(is, LoadOptions{LoadMode::Strict, false});
+  if (!r.ok()) {
+    if (error) {
+      const LoadDiagnostic* d = r.first_error();
+      *error = d ? d->message : "load failed";
+    }
+    return std::nullopt;
+  }
+  return std::move(r.trace);
 }
 
 namespace {
@@ -295,32 +477,328 @@ void put_str(std::ostream& os, const std::string& s) {
   put_u64(os, s.size());
   os.write(s.data(), static_cast<std::streamsize>(s.size()));
 }
-bool get_u64(std::istream& is, u64& v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
-}
-bool get_u32(std::istream& is, u32& v) {
-  return static_cast<bool>(is.read(reinterpret_cast<char*>(&v), sizeof v));
-}
-bool get_str(std::istream& is, std::string& s) {
-  u64 n = 0;
-  if (!get_u64(is, n) || n > (1ull << 32)) return false;
-  s.resize(n);
-  return static_cast<bool>(is.read(s.data(), static_cast<std::streamsize>(n)));
-}
 void put_counters(std::ostream& os, const Counters& c) {
   put_u64(os, c.compute);
   put_u64(os, c.stall);
   put_u64(os, c.cache_misses);
   put_u64(os, c.bytes_accessed);
 }
-bool get_counters(std::istream& is, Counters& c) {
-  return get_u64(is, c.compute) && get_u64(is, c.stall) &&
-         get_u64(is, c.cache_misses) && get_u64(is, c.bytes_accessed);
-}
+
+// Bounds-checked cursor over a fully-buffered binary stream. Every read is
+// checked against the remaining bytes, so a corrupted length/count can never
+// trigger an over-read or an attempted multi-gigabyte allocation.
+struct ByteReader {
+  const std::string& buf;
+  size_t pos = 0;
+
+  size_t remaining() const { return buf.size() - pos; }
+  bool get_u64(u64& v) {
+    if (remaining() < sizeof v) return false;
+    std::memcpy(&v, buf.data() + pos, sizeof v);
+    pos += sizeof v;
+    return true;
+  }
+  bool get_u32(u32& v) {
+    if (remaining() < sizeof v) return false;
+    std::memcpy(&v, buf.data() + pos, sizeof v);
+    pos += sizeof v;
+    return true;
+  }
+  bool get_str(std::string& s) {
+    u64 n = 0;
+    if (!get_u64(n)) return false;
+    if (n > remaining()) {
+      pos -= sizeof n;
+      return false;
+    }
+    s.assign(buf.data() + pos, static_cast<size_t>(n));
+    pos += static_cast<size_t>(n);
+    return true;
+  }
+  bool get_counters(Counters& c) {
+    return get_u64(c.compute) && get_u64(c.stall) && get_u64(c.cache_misses) &&
+           get_u64(c.bytes_accessed);
+  }
+};
 
 constexpr char kBinMagic[] = "GGTB3";  // v3 adds worker stats + profiling meta
 constexpr char kBinMagicV2[] = "GGTB2";  // v2 added a dependence section
 constexpr char kBinMagicV1[] = "GGTB1";
+
+// Minimum encoded sizes per record, used to reject section counts that could
+// not possibly fit in the remaining bytes (a bit-flipped count would
+// otherwise demand a huge allocation).
+constexpr size_t kMinTaskBytes = 48;
+constexpr size_t kMinFragBytes = 76;
+constexpr size_t kMinJoinBytes = 32;
+constexpr size_t kMinLoopBytes = 76;
+constexpr size_t kMinChunkBytes = 84;
+constexpr size_t kMinBookBytes = 40;
+constexpr size_t kMinDependBytes = 16;
+constexpr size_t kMinWstatBytes = 100;
+
+// Parses the sections after the magic. Returns false on a fatal problem
+// (Strict/Lenient); in Salvage mode it always returns true and simply stops
+// at the end of the longest readable prefix, leaving what was parsed in
+// `trace`. Diagnostics are appended either way.
+bool parse_binary_body(ByteReader& r, bool v1, bool v2, bool salv,
+                       Trace& trace, std::vector<LoadDiagnostic>& diags) {
+  auto add = [&](LoadErrorCode code, u64 off, const char* ctx,
+                 std::string msg) {
+    diags.push_back(
+        LoadDiagnostic{code, off, false, ctx, std::move(msg)});
+  };
+  auto truncated = [&](u64 off, const char* ctx, const char* msg) {
+    add(LoadErrorCode::TruncatedStream, off, ctx, msg);
+    return salv;  // salvage keeps the prefix; strict/lenient fail
+  };
+  // Reads a section count and sanity-checks it against the bytes that are
+  // actually left; min_size == 0 skips the plausibility check.
+  auto get_count = [&](u64& n, size_t min_size, const char* ctx,
+                       const char* trunc_msg, bool& ok) {
+    const u64 off = r.pos;
+    if (!r.get_u64(n)) {
+      ok = truncated(off, ctx, trunc_msg);
+      return false;
+    }
+    if (min_size != 0 && n > r.remaining() / min_size) {
+      add(LoadErrorCode::LimitExceeded, off, ctx,
+          std::string("implausible ") + ctx + " count " + std::to_string(n));
+      ok = salv;
+      return false;
+    }
+    return true;
+  };
+
+  TraceMeta& m = trace.meta;
+  u32 workers = 0, cores = 0;
+  u64 ghz_u = 0, nnotes = 0;
+  if (!(r.get_str(m.program) && r.get_str(m.runtime) &&
+        r.get_str(m.topology) && r.get_u32(workers) && r.get_u32(cores) &&
+        r.get_u64(ghz_u) && r.get_u64(m.region_start) &&
+        r.get_u64(m.region_end))) {
+    return truncated(r.pos, "meta", "truncated meta");
+  }
+  m.num_workers = static_cast<int>(workers);
+  m.num_cores = static_cast<int>(cores);
+  m.ghz = static_cast<double>(ghz_u) / 1e6;
+  {
+    bool ok = true;
+    if (!get_count(nnotes, 8, "notes", "truncated notes", ok)) return ok;
+    for (u64 i = 0; i < nnotes; ++i) {
+      std::string n;
+      if (!r.get_str(n)) return truncated(r.pos, "notes", "truncated notes");
+      m.notes.push_back(std::move(n));
+    }
+  }
+  {
+    u64 nstrs = 0;
+    const u64 off = r.pos;
+    if (!r.get_u64(nstrs))
+      return truncated(off, "strings", "truncated string table");
+    if (nstrs > 0 && nstrs - 1 > r.remaining() / 8) {
+      add(LoadErrorCode::LimitExceeded, off, "strings",
+          "implausible string count " + std::to_string(nstrs));
+      return salv;
+    }
+    bool warned = false;
+    for (u64 i = 1; i < nstrs; ++i) {
+      std::string str;
+      const u64 soff = r.pos;
+      if (!r.get_str(str))
+        return truncated(soff, "strings", "truncated string table");
+      StrId got = trace.strings.intern(str);
+      if (got != i) {
+        if (!salv) {
+          add(LoadErrorCode::StringTableCorrupt, soff, "strings",
+              "string ids not dense");
+          return false;
+        }
+        if (!warned) {
+          add(LoadErrorCode::StringTableCorrupt, soff, "strings",
+              "duplicate string contents; de-duplicated with placeholders");
+          warned = true;
+        }
+        while (got != i) {
+          str += "#";
+          got = trace.strings.intern(str);
+        }
+      }
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinTaskBytes, "tasks", "truncated tasks", ok))
+      return ok;
+    trace.tasks.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      TaskRec t;
+      u32 core = 0, inl = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(t.uid) && r.get_u64(t.parent) &&
+            r.get_u32(t.child_index) && r.get_u32(t.src) &&
+            r.get_u64(t.create_time) && r.get_u32(core) &&
+            r.get_u64(t.creation_cost) && r.get_u32(inl)))
+        return truncated(off, "tasks", "truncated task record");
+      t.create_core = static_cast<u16>(core);
+      t.inlined = inl != 0;
+      trace.tasks.push_back(t);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinFragBytes, "fragments", "truncated fragments", ok))
+      return ok;
+    trace.fragments.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      FragmentRec f;
+      u32 core = 0, reason = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(f.task) && r.get_u32(f.seq) && r.get_u64(f.start) &&
+            r.get_u64(f.end) && r.get_u32(core) && r.get_u32(reason) &&
+            r.get_u64(f.end_ref) && r.get_counters(f.counters)))
+        return truncated(off, "fragments", "truncated fragment record");
+      if (reason > 3) {
+        add(LoadErrorCode::MalformedRecord, off, "fragments",
+            "bad fragment end reason");
+        if (!salv) return false;
+        continue;  // salvage: skip the record, keep parsing
+      }
+      f.core = static_cast<u16>(core);
+      f.end_reason = static_cast<FragmentEnd>(reason);
+      trace.fragments.push_back(f);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinJoinBytes, "joins", "truncated joins", ok))
+      return ok;
+    trace.joins.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      JoinRec j;
+      u32 core = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(j.task) && r.get_u32(j.seq) && r.get_u64(j.start) &&
+            r.get_u64(j.end) && r.get_u32(core)))
+        return truncated(off, "joins", "truncated join record");
+      j.core = static_cast<u16>(core);
+      trace.joins.push_back(j);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinLoopBytes, "loops", "truncated loops", ok))
+      return ok;
+    trace.loops.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      LoopRec l;
+      u32 sched = 0, threads = 0, start_thread = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(l.uid) && r.get_u64(l.enclosing_task) &&
+            r.get_u32(l.src) && r.get_u32(sched) && r.get_u64(l.chunk_param) &&
+            r.get_u64(l.iter_begin) && r.get_u64(l.iter_end) &&
+            r.get_u32(threads) && r.get_u32(start_thread) &&
+            r.get_u32(l.seq) && r.get_u64(l.start) && r.get_u64(l.end)))
+        return truncated(off, "loops", "truncated loop record");
+      if (sched > 2) {
+        add(LoadErrorCode::MalformedRecord, off, "loops", "bad loop schedule");
+        if (!salv) return false;
+        continue;
+      }
+      l.sched = static_cast<ScheduleKind>(sched);
+      l.num_threads = static_cast<u16>(threads);
+      l.starting_thread = static_cast<u16>(start_thread);
+      trace.loops.push_back(l);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinChunkBytes, "chunks", "truncated chunks", ok))
+      return ok;
+    trace.chunks.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      ChunkRec c;
+      u32 thread = 0, core = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(c.loop) && r.get_u32(thread) && r.get_u32(core) &&
+            r.get_u32(c.seq_on_thread) && r.get_u64(c.iter_begin) &&
+            r.get_u64(c.iter_end) && r.get_u64(c.start) && r.get_u64(c.end) &&
+            r.get_counters(c.counters)))
+        return truncated(off, "chunks", "truncated chunk record");
+      c.thread = static_cast<u16>(thread);
+      c.core = static_cast<u16>(core);
+      trace.chunks.push_back(c);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinBookBytes, "bookkeeps", "truncated bookkeeps", ok))
+      return ok;
+    trace.bookkeeps.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      BookkeepRec b;
+      u32 thread = 0, core = 0, got = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(b.loop) && r.get_u32(thread) && r.get_u32(core) &&
+            r.get_u32(b.seq_on_thread) && r.get_u64(b.start) &&
+            r.get_u64(b.end) && r.get_u32(got)))
+        return truncated(off, "bookkeeps", "truncated bookkeep record");
+      b.thread = static_cast<u16>(thread);
+      b.core = static_cast<u16>(core);
+      b.got_chunk = got != 0;
+      trace.bookkeeps.push_back(b);
+    }
+  }
+  if (!v1) {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinDependBytes, "depends", "truncated depends", ok))
+      return ok;
+    trace.depends.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      DependRec d;
+      const u64 off = r.pos;
+      if (!(r.get_u64(d.pred) && r.get_u64(d.succ)))
+        return truncated(off, "depends", "truncated depend record");
+      trace.depends.push_back(d);
+    }
+  }
+  if (!v1 && !v2) {
+    u32 profiled = 1;
+    if (!(r.get_u32(profiled) && r.get_u64(m.trace_buffer_bytes) &&
+          r.get_str(m.clock_source)))
+      return truncated(r.pos, "trailer", "truncated profiling meta");
+    m.profiled = profiled != 0;
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinWstatBytes, "worker stats", "truncated worker stats",
+                   ok))
+      return ok;
+    trace.worker_stats.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      WorkerStatsRec s;
+      u32 worker = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u32(worker) && r.get_u64(s.tasks_spawned) &&
+            r.get_u64(s.tasks_executed) && r.get_u64(s.tasks_inlined) &&
+            r.get_u64(s.steals) && r.get_u64(s.steal_failures) &&
+            r.get_u64(s.cas_failures) && r.get_u64(s.deque_pushes) &&
+            r.get_u64(s.deque_pops) && r.get_u64(s.deque_resizes) &&
+            r.get_u64(s.taskwait_helps) && r.get_u64(s.idle_ns) &&
+            r.get_u64(s.trace_bytes)))
+        return truncated(off, "worker stats", "truncated worker stats record");
+      s.worker = static_cast<u16>(worker);
+      trace.worker_stats.push_back(s);
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -436,148 +914,45 @@ void save_trace_binary(const Trace& trace, std::ostream& os) {
   }
 }
 
-std::optional<Trace> load_trace_binary(std::istream& is, std::string* error) {
-  auto fail = [&](const char* msg) -> std::optional<Trace> {
-    if (error) *error = msg;
-    return std::nullopt;
-  };
-  char magic[5];
-  if (!is.read(magic, 5)) return fail("bad binary magic");
-  const std::string_view m5(magic, 5);
+LoadResult load_trace_binary_ex(std::istream& is, const LoadOptions& opts) {
+  LoadResult res;
+  res.source = "<stream>";
+  const bool salv = opts.mode == LoadMode::Salvage;
+  const std::string buf((std::istreambuf_iterator<char>(is)),
+                        std::istreambuf_iterator<char>());
+  ByteReader r{buf};
+  if (buf.size() < 5) {
+    res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::BadMagic, 0, false,
+                                             "magic", "bad binary magic"});
+    return res;
+  }
+  const std::string_view m5(buf.data(), 5);
   const bool v1 = m5 == kBinMagicV1;
   const bool v2 = m5 == kBinMagicV2;
-  if (!v1 && !v2 && m5 != kBinMagic) return fail("bad binary magic");
+  if (!v1 && !v2 && m5 != kBinMagic) {
+    res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::BadMagic, 0, false,
+                                             "magic", "bad binary magic"});
+    return res;
+  }
+  r.pos = 5;
   Trace trace;
-  TraceMeta& m = trace.meta;
-  u32 workers = 0, cores = 0;
-  u64 ghz_u = 0, nnotes = 0;
-  if (!get_str(is, m.program) || !get_str(is, m.runtime) ||
-      !get_str(is, m.topology) || !get_u32(is, workers) ||
-      !get_u32(is, cores) || !get_u64(is, ghz_u) ||
-      !get_u64(is, m.region_start) || !get_u64(is, m.region_end) ||
-      !get_u64(is, nnotes)) {
-    return fail("truncated meta");
+  if (!parse_binary_body(r, v1, v2, salv, trace, res.diagnostics)) {
+    return res;  // fatal in Strict/Lenient; diagnostics already recorded
   }
-  m.num_workers = static_cast<int>(workers);
-  m.num_cores = static_cast<int>(cores);
-  m.ghz = static_cast<double>(ghz_u) / 1e6;
-  for (u64 i = 0; i < nnotes; ++i) {
-    std::string n;
-    if (!get_str(is, n)) return fail("truncated notes");
-    m.notes.push_back(std::move(n));
-  }
-  u64 nstrs = 0;
-  if (!get_u64(is, nstrs)) return fail("truncated string table");
-  for (u64 i = 1; i < nstrs; ++i) {
-    std::string str;
-    if (!get_str(is, str)) return fail("truncated string table");
-    if (trace.strings.intern(str) != i) return fail("string ids not dense");
-  }
-  u64 n = 0;
-  if (!get_u64(is, n)) return fail("truncated tasks");
-  trace.tasks.resize(n);
-  for (TaskRec& t : trace.tasks) {
-    u32 core = 0, inl = 0;
-    if (!get_u64(is, t.uid) || !get_u64(is, t.parent) ||
-        !get_u32(is, t.child_index) || !get_u32(is, t.src) ||
-        !get_u64(is, t.create_time) || !get_u32(is, core) ||
-        !get_u64(is, t.creation_cost) || !get_u32(is, inl))
-      return fail("truncated task record");
-    t.create_core = static_cast<u16>(core);
-    t.inlined = inl != 0;
-  }
-  if (!get_u64(is, n)) return fail("truncated fragments");
-  trace.fragments.resize(n);
-  for (FragmentRec& f : trace.fragments) {
-    u32 core = 0, reason = 0;
-    if (!get_u64(is, f.task) || !get_u32(is, f.seq) || !get_u64(is, f.start) ||
-        !get_u64(is, f.end) || !get_u32(is, core) || !get_u32(is, reason) ||
-        !get_u64(is, f.end_ref) || !get_counters(is, f.counters))
-      return fail("truncated fragment record");
-    if (reason > 3) return fail("bad fragment end reason");
-    f.core = static_cast<u16>(core);
-    f.end_reason = static_cast<FragmentEnd>(reason);
-  }
-  if (!get_u64(is, n)) return fail("truncated joins");
-  trace.joins.resize(n);
-  for (JoinRec& j : trace.joins) {
-    u32 core = 0;
-    if (!get_u64(is, j.task) || !get_u32(is, j.seq) || !get_u64(is, j.start) ||
-        !get_u64(is, j.end) || !get_u32(is, core))
-      return fail("truncated join record");
-    j.core = static_cast<u16>(core);
-  }
-  if (!get_u64(is, n)) return fail("truncated loops");
-  trace.loops.resize(n);
-  for (LoopRec& l : trace.loops) {
-    u32 sched = 0, threads = 0, start_thread = 0;
-    if (!get_u64(is, l.uid) || !get_u64(is, l.enclosing_task) ||
-        !get_u32(is, l.src) || !get_u32(is, sched) ||
-        !get_u64(is, l.chunk_param) || !get_u64(is, l.iter_begin) ||
-        !get_u64(is, l.iter_end) || !get_u32(is, threads) ||
-        !get_u32(is, start_thread) || !get_u32(is, l.seq) ||
-        !get_u64(is, l.start) || !get_u64(is, l.end))
-      return fail("truncated loop record");
-    if (sched > 2) return fail("bad loop schedule");
-    l.sched = static_cast<ScheduleKind>(sched);
-    l.num_threads = static_cast<u16>(threads);
-    l.starting_thread = static_cast<u16>(start_thread);
-  }
-  if (!get_u64(is, n)) return fail("truncated chunks");
-  trace.chunks.resize(n);
-  for (ChunkRec& c : trace.chunks) {
-    u32 thread = 0, core = 0;
-    if (!get_u64(is, c.loop) || !get_u32(is, thread) || !get_u32(is, core) ||
-        !get_u32(is, c.seq_on_thread) || !get_u64(is, c.iter_begin) ||
-        !get_u64(is, c.iter_end) || !get_u64(is, c.start) ||
-        !get_u64(is, c.end) || !get_counters(is, c.counters))
-      return fail("truncated chunk record");
-    c.thread = static_cast<u16>(thread);
-    c.core = static_cast<u16>(core);
-  }
-  if (!get_u64(is, n)) return fail("truncated bookkeeps");
-  trace.bookkeeps.resize(n);
-  for (BookkeepRec& b : trace.bookkeeps) {
-    u32 thread = 0, core = 0, got = 0;
-    if (!get_u64(is, b.loop) || !get_u32(is, thread) || !get_u32(is, core) ||
-        !get_u32(is, b.seq_on_thread) || !get_u64(is, b.start) ||
-        !get_u64(is, b.end) || !get_u32(is, got))
-      return fail("truncated bookkeep record");
-    b.thread = static_cast<u16>(thread);
-    b.core = static_cast<u16>(core);
-    b.got_chunk = got != 0;
-  }
-  if (!v1) {
-    if (!get_u64(is, n)) return fail("truncated depends");
-    trace.depends.resize(n);
-    for (DependRec& d : trace.depends) {
-      if (!get_u64(is, d.pred) || !get_u64(is, d.succ))
-        return fail("truncated depend record");
+  finish_load(std::move(trace), opts, res);
+  return res;
+}
+
+std::optional<Trace> load_trace_binary(std::istream& is, std::string* error) {
+  LoadResult r = load_trace_binary_ex(is, LoadOptions{LoadMode::Strict, false});
+  if (!r.ok()) {
+    if (error) {
+      const LoadDiagnostic* d = r.first_error();
+      *error = d ? d->message : "load failed";
     }
+    return std::nullopt;
   }
-  if (!v1 && !v2) {
-    u32 profiled = 1;
-    if (!get_u32(is, profiled) || !get_u64(is, m.trace_buffer_bytes) ||
-        !get_str(is, m.clock_source))
-      return fail("truncated profiling meta");
-    m.profiled = profiled != 0;
-    if (!get_u64(is, n)) return fail("truncated worker stats");
-    trace.worker_stats.resize(n);
-    for (WorkerStatsRec& s : trace.worker_stats) {
-      u32 worker = 0;
-      if (!get_u32(is, worker) || !get_u64(is, s.tasks_spawned) ||
-          !get_u64(is, s.tasks_executed) || !get_u64(is, s.tasks_inlined) ||
-          !get_u64(is, s.steals) || !get_u64(is, s.steal_failures) ||
-          !get_u64(is, s.cas_failures) || !get_u64(is, s.deque_pushes) ||
-          !get_u64(is, s.deque_pops) || !get_u64(is, s.deque_resizes) ||
-          !get_u64(is, s.taskwait_helps) || !get_u64(is, s.idle_ns) ||
-          !get_u64(is, s.trace_bytes))
-        return fail("truncated worker stats record");
-      s.worker = static_cast<u16>(worker);
-    }
-  }
-  trace.finalize();
-  return trace;
+  return std::move(r.trace);
 }
 
 bool save_trace_file(const Trace& trace, const std::string& path) {
@@ -592,15 +967,35 @@ bool save_trace_file(const Trace& trace, const std::string& path) {
   return static_cast<bool>(os);
 }
 
-std::optional<Trace> load_trace_file(const std::string& path,
-                                     std::string* error) {
+LoadResult load_trace_file_ex(const std::string& path,
+                              const LoadOptions& opts) {
   const bool binary = has_suffix(path, ".ggbin");
   std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
   if (!is) {
-    if (error) *error = "cannot open " + path;
+    LoadResult res;
+    res.source = path;
+    res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::CannotOpen, 0,
+                                             !binary, "file",
+                                             "cannot open " + path});
+    return res;
+  }
+  LoadResult res = binary ? load_trace_binary_ex(is, opts)
+                          : load_trace_ex(is, opts);
+  res.source = path;
+  return res;
+}
+
+std::optional<Trace> load_trace_file(const std::string& path,
+                                     std::string* error) {
+  LoadResult r = load_trace_file_ex(path, LoadOptions{LoadMode::Strict, false});
+  if (!r.ok()) {
+    if (error) {
+      const LoadDiagnostic* d = r.first_error();
+      *error = d ? d->message : "load failed";
+    }
     return std::nullopt;
   }
-  return binary ? load_trace_binary(is, error) : load_trace(is, error);
+  return std::move(r.trace);
 }
 
 }  // namespace gg

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "trace/load_result.hpp"
 #include "trace/trace.hpp"
 
 namespace gg {
@@ -32,5 +33,25 @@ std::optional<Trace> load_trace_file(const std::string& path,
 void save_trace_binary(const Trace& trace, std::ostream& os);
 std::optional<Trace> load_trace_binary(std::istream& is,
                                        std::string* error = nullptr);
+
+// --- hardened ingestion ----------------------------------------------------
+//
+// The _ex loaders never abort, never over-allocate from a corrupt count, and
+// classify every problem with a position (line / byte offset). Behavior per
+// LoadMode:
+//   Strict  — first problem is fatal; for regression gating and CI.
+//   Lenient — unknown record kinds are skipped with a diagnostic (forward
+//             compatibility); everything else is fatal. The default.
+//   Salvage — recovers the longest valid prefix of a damaged stream, then
+//             repairs it with salvage_trace(); result.salvage reports the
+//             degradation. Fails only when nothing usable survives.
+// With opts.validate (default), the loaded (or salvaged) trace is checked by
+// validate_trace_structured and violations are surfaced as diagnostics with
+// entity context; a non-valid trace yields status Failed.
+
+LoadResult load_trace_ex(std::istream& is, const LoadOptions& opts = {});
+LoadResult load_trace_binary_ex(std::istream& is, const LoadOptions& opts = {});
+LoadResult load_trace_file_ex(const std::string& path,
+                              const LoadOptions& opts = {});
 
 }  // namespace gg

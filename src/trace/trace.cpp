@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "common/check.hpp"
-
 namespace gg {
 
 const char* to_string(ScheduleKind k) {
@@ -60,7 +58,7 @@ void Trace::finalize() {
 }
 
 std::optional<size_t> Trace::task_index(TaskId uid) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return std::nullopt;
   auto it = std::lower_bound(
       task_index_.begin(), task_index_.end(), uid,
       [](const auto& p, TaskId v) { return p.first < v; });
@@ -69,7 +67,7 @@ std::optional<size_t> Trace::task_index(TaskId uid) const {
 }
 
 std::optional<size_t> Trace::loop_index(LoopId uid) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return std::nullopt;
   auto it = std::lower_bound(
       loop_index_.begin(), loop_index_.end(), uid,
       [](const auto& p, LoopId v) { return p.first < v; });
@@ -78,7 +76,7 @@ std::optional<size_t> Trace::loop_index(LoopId uid) const {
 }
 
 std::vector<const FragmentRec*> Trace::fragments_of(TaskId uid) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return {};
   std::vector<const FragmentRec*> out;
   auto lo = std::lower_bound(
       fragments.begin(), fragments.end(), uid,
@@ -89,7 +87,7 @@ std::vector<const FragmentRec*> Trace::fragments_of(TaskId uid) const {
 }
 
 std::vector<const JoinRec*> Trace::joins_of(TaskId uid) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return {};
   std::vector<const JoinRec*> out;
   auto lo = std::lower_bound(joins.begin(), joins.end(), uid,
                              [](const JoinRec& j, TaskId v) { return j.task < v; });
@@ -99,7 +97,7 @@ std::vector<const JoinRec*> Trace::joins_of(TaskId uid) const {
 }
 
 std::vector<const ChunkRec*> Trace::chunks_of(LoopId uid) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return {};
   std::vector<const ChunkRec*> out;
   auto lo = std::lower_bound(chunks.begin(), chunks.end(), uid,
                              [](const ChunkRec& c, LoopId v) { return c.loop < v; });
@@ -109,7 +107,7 @@ std::vector<const ChunkRec*> Trace::chunks_of(LoopId uid) const {
 }
 
 std::vector<const BookkeepRec*> Trace::bookkeeps_of(LoopId uid) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return {};
   std::vector<const BookkeepRec*> out;
   auto lo = std::lower_bound(
       bookkeeps.begin(), bookkeeps.end(), uid,
@@ -120,7 +118,7 @@ std::vector<const BookkeepRec*> Trace::bookkeeps_of(LoopId uid) const {
 }
 
 std::vector<const TaskRec*> Trace::children_of(TaskId uid) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return {};
   std::vector<const TaskRec*> out;
   for (const TaskRec& t : tasks) {
     if (t.parent == uid) out.push_back(&t);
@@ -132,7 +130,7 @@ std::vector<const TaskRec*> Trace::children_of(TaskId uid) const {
 }
 
 std::vector<TaskId> Trace::predecessors_of(TaskId uid) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return {};
   std::vector<TaskId> out;
   auto lo = std::lower_bound(
       depends.begin(), depends.end(), uid,
@@ -143,7 +141,7 @@ std::vector<TaskId> Trace::predecessors_of(TaskId uid) const {
 }
 
 const WorkerStatsRec* Trace::worker_stats_of(u16 worker) const {
-  GG_CHECK(finalized_);
+  if (!finalized_) return nullptr;
   auto it = std::lower_bound(
       worker_stats.begin(), worker_stats.end(), worker,
       [](const WorkerStatsRec& s, u16 v) { return s.worker < v; });

@@ -49,7 +49,9 @@ class Trace {
 
   /// Sorts all record vectors into canonical order (tasks by uid, fragments
   /// by (task, seq), ...) and builds the task-uid index. Must be called
-  /// after recording and after deserialization, before lookups.
+  /// after recording and after deserialization, before lookups. Lookups on
+  /// a not-yet-finalized trace return empty/nullopt instead of aborting, so
+  /// partially-ingested traces are safe to probe.
   void finalize();
 
   /// Index of a task by uid after finalize(); nullopt if absent.

@@ -10,8 +10,40 @@
 
 namespace gg {
 
-/// Returns human-readable descriptions of every violation found (empty ==
-/// valid). Checks include:
+/// One structural violation with enough context for a caller to point at
+/// the offending entity (tools add file/offset context on top).
+struct Violation {
+  enum class Subject : u8 {
+    Trace,     ///< whole-trace property (e.g. "no root task")
+    Task,      ///< id = task uid
+    Fragment,  ///< id = owning task uid
+    Join,      ///< id = owning task uid
+    Loop,      ///< id = loop uid
+    Chunk,     ///< id = owning loop uid
+    Bookkeep,  ///< id = owning loop uid
+    Depend,    ///< id = successor task uid
+    Worker,    ///< id = worker id
+  };
+
+  Subject subject = Subject::Trace;
+  u64 id = 0;
+  std::string message;  ///< human-readable description
+
+  /// "task 7", "loop 3", "trace", ... — the entity the violation is about.
+  std::string where() const;
+};
+
+const char* to_string(Violation::Subject s);
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// Flattened human-readable messages (the legacy string API).
+  std::vector<std::string> messages() const;
+};
+
+/// Structural validation with per-violation context. Checks include:
 ///  - exactly one root task (uid 0, parent == kNoTask)
 ///  - every non-root task's parent exists; child_index values of one parent
 ///    are 0..n-1 without gaps
@@ -24,6 +56,10 @@ namespace gg {
 ///    disjoint, and cover the range exactly
 ///  - every chunk/bookkeep references an existing loop; threads < team size
 ///  - all record times lie within [region_start, region_end]
+ValidationReport validate_trace_structured(const Trace& trace);
+
+/// Legacy flattened form: human-readable descriptions of every violation
+/// found (empty == valid).
 std::vector<std::string> validate_trace(const Trace& trace);
 
 }  // namespace gg

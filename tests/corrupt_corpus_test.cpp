@@ -1,0 +1,274 @@
+// Corrupted-trace corpus: systematically damage serialized traces (truncate
+// at every record boundary and every byte, flip a bit at every byte) and
+// assert the hardened loaders never crash, never hang, and always land in
+// one of three states: loaded clean, salvaged (then structurally valid), or
+// failed with diagnostics. This is the regression corpus the ASan/UBSan CI
+// job runs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "trace/recorder.hpp"
+#include "trace/serialize.hpp"
+#include "trace/validate.hpp"
+
+namespace gg {
+namespace {
+
+// Small but fully-featured trace: tasks, fragments, joins, a loop with
+// chunks and bookkeeping, dependences, worker stats, and a string table.
+Trace make_corpus_trace() {
+  TraceRecorder rec(2);
+  auto w0 = rec.writer(0);
+  auto w1 = rec.writer(1);
+
+  const StrId src_root = rec.intern("<root>");
+  const StrId src_task = rec.intern_source("corpus.c", 10, "work");
+  const StrId src_loop = rec.intern_source("corpus.c", 50, "loop");
+
+  TaskRec root;
+  root.uid = kRootTask;
+  root.parent = kNoTask;
+  root.src = src_root;
+  w0.task(root);
+
+  auto frag = [&](TaskId task, u32 seq, TimeNs s, TimeNs e, FragmentEnd r,
+                  u64 ref) {
+    FragmentRec f;
+    f.task = task;
+    f.seq = seq;
+    f.start = s;
+    f.end = e;
+    f.end_reason = r;
+    f.end_ref = ref;
+    f.counters.compute = e - s;
+    return f;
+  };
+  w0.fragment(frag(kRootTask, 0, 0, 10, FragmentEnd::Fork, 1));
+  w0.fragment(frag(kRootTask, 1, 12, 20, FragmentEnd::Fork, 2));
+  w0.fragment(frag(kRootTask, 2, 22, 30, FragmentEnd::Join, 0));
+  w0.fragment(frag(kRootTask, 3, 40, 41, FragmentEnd::Loop, 1));
+  w0.fragment(frag(kRootTask, 4, 100, 101, FragmentEnd::TaskEnd, 0));
+
+  TaskRec t1;
+  t1.uid = 1;
+  t1.parent = kRootTask;
+  t1.child_index = 0;
+  t1.src = src_task;
+  t1.create_time = 10;
+  w0.task(t1);
+  TaskRec t2 = t1;
+  t2.uid = 2;
+  t2.child_index = 1;
+  t2.create_time = 20;
+  w0.task(t2);
+
+  w1.fragment(frag(1, 0, 11, 25, FragmentEnd::TaskEnd, 0));
+  w0.fragment(frag(2, 0, 21, 28, FragmentEnd::TaskEnd, 0));
+
+  JoinRec j;
+  j.task = kRootTask;
+  j.seq = 0;
+  j.start = 30;
+  j.end = 39;
+  w0.join(j);
+
+  LoopRec loop;
+  loop.uid = 1;
+  loop.enclosing_task = kRootTask;
+  loop.src = src_loop;
+  loop.sched = ScheduleKind::Static;
+  loop.iter_begin = 0;
+  loop.iter_end = 8;
+  loop.num_threads = 2;
+  loop.start = 41;
+  loop.end = 99;
+  w0.loop(loop);
+
+  auto chunk = [&](u16 thread, u32 seq, u64 lo, u64 hi, TimeNs s, TimeNs e) {
+    ChunkRec c;
+    c.loop = 1;
+    c.thread = thread;
+    c.core = thread;
+    c.seq_on_thread = seq;
+    c.iter_begin = lo;
+    c.iter_end = hi;
+    c.start = s;
+    c.end = e;
+    return c;
+  };
+  w0.chunk(chunk(0, 0, 0, 4, 43, 60));
+  w1.chunk(chunk(1, 0, 4, 8, 44, 70));
+  BookkeepRec b;
+  b.loop = 1;
+  b.thread = 0;
+  b.seq_on_thread = 0;
+  b.start = 42;
+  b.end = 43;
+  b.got_chunk = true;
+  w0.bookkeep(b);
+
+  DependRec d;
+  d.pred = 1;
+  d.succ = 2;
+  w0.depend(d);
+
+  WorkerStatsRec s0;
+  s0.worker = 0;
+  s0.tasks_spawned = 2;
+  s0.tasks_executed = 2;
+  w0.stats(s0);
+  WorkerStatsRec s1 = s0;
+  s1.worker = 1;
+  w1.stats(s1);
+
+  TraceMeta meta;
+  meta.program = "corpus";
+  meta.runtime = "handmade";
+  meta.topology = "generic4";
+  meta.num_workers = 2;
+  meta.num_cores = 2;
+  meta.region_start = 0;
+  meta.region_end = 101;
+  return rec.finish(meta);
+}
+
+std::string text_bytes() {
+  std::ostringstream os;
+  save_trace(make_corpus_trace(), os);
+  return os.str();
+}
+
+std::string binary_bytes() {
+  std::ostringstream os;
+  save_trace_binary(make_corpus_trace(), os);
+  return os.str();
+}
+
+// The corpus invariant: whatever the damage, a load lands in exactly one of
+// {Ok, Salvaged, Failed}; anything usable is structurally valid; Strict
+// never reports Salvaged.
+void check_invariants(const std::string& bytes, bool binary) {
+  for (const LoadMode mode :
+       {LoadMode::Strict, LoadMode::Lenient, LoadMode::Salvage}) {
+    std::istringstream is(bytes);
+    const LoadOptions opts{mode, true};
+    const LoadResult lr =
+        binary ? load_trace_binary_ex(is, opts) : load_trace_ex(is, opts);
+    ASSERT_TRUE(lr.status == LoadStatus::Ok ||
+                lr.status == LoadStatus::Salvaged ||
+                lr.status == LoadStatus::Failed);
+    if (mode != LoadMode::Salvage) {
+      EXPECT_NE(lr.status, LoadStatus::Salvaged);
+    }
+    if (lr.status == LoadStatus::Failed) {
+      EXPECT_NE(lr.first_error(), nullptr) << "failure without diagnostics";
+    }
+    if (lr.usable()) {
+      EXPECT_TRUE(lr.trace->finalized());
+      EXPECT_TRUE(validate_trace(*lr.trace).empty())
+          << "usable trace failed validation: " << lr.describe();
+    }
+  }
+}
+
+TEST(CorruptCorpusTest, PristineInputsLoadOk) {
+  {
+    std::istringstream is(text_bytes());
+    const LoadResult lr = load_trace_ex(is, LoadOptions{LoadMode::Salvage, true});
+    EXPECT_EQ(lr.status, LoadStatus::Ok) << lr.describe();
+  }
+  {
+    std::istringstream is(binary_bytes());
+    const LoadResult lr =
+        load_trace_binary_ex(is, LoadOptions{LoadMode::Salvage, true});
+    EXPECT_EQ(lr.status, LoadStatus::Ok) << lr.describe();
+  }
+}
+
+TEST(CorruptCorpusTest, TextTruncatedAtEveryLineBoundary) {
+  const std::string text = text_bytes();
+  for (size_t pos = 0; pos < text.size(); ++pos) {
+    if (text[pos] != '\n') continue;
+    const std::string cut = fault::truncate_stream(text, pos + 1);
+    check_invariants(cut, /*binary=*/false);
+    // Any cut that keeps the header must be salvageable: the valid prefix of
+    // records is real data.
+    std::istringstream is(cut);
+    const LoadResult lr =
+        load_trace_ex(is, LoadOptions{LoadMode::Salvage, true});
+    EXPECT_TRUE(lr.usable()) << "line-boundary cut at byte " << pos
+                             << " unsalvageable: " << lr.describe();
+  }
+}
+
+TEST(CorruptCorpusTest, TextTruncatedAtEveryByte) {
+  const std::string text = text_bytes();
+  const size_t header_len = text.find('\n') + 1;
+  for (size_t keep = 0; keep <= text.size(); ++keep) {
+    const std::string cut = fault::truncate_stream(text, keep);
+    check_invariants(cut, /*binary=*/false);
+    if (keep >= header_len) {
+      std::istringstream is(cut);
+      const LoadResult lr =
+          load_trace_ex(is, LoadOptions{LoadMode::Salvage, true});
+      EXPECT_TRUE(lr.usable()) << "cut at byte " << keep
+                               << " unsalvageable: " << lr.describe();
+    }
+  }
+}
+
+TEST(CorruptCorpusTest, BinaryTruncatedAtEveryByte) {
+  const std::string bin = binary_bytes();
+  for (size_t keep = 0; keep <= bin.size(); ++keep) {
+    const std::string cut = fault::truncate_stream(bin, keep);
+    check_invariants(cut, /*binary=*/true);
+    if (keep >= 5) {  // magic intact: the readable prefix must salvage
+      std::istringstream is(cut);
+      const LoadResult lr =
+          load_trace_binary_ex(is, LoadOptions{LoadMode::Salvage, true});
+      EXPECT_TRUE(lr.usable()) << "cut at byte " << keep
+                               << " unsalvageable: " << lr.describe();
+    }
+  }
+}
+
+TEST(CorruptCorpusTest, TextBitFlipAtEveryByte) {
+  const std::string text = text_bytes();
+  for (size_t i = 0; i < text.size(); ++i) {
+    check_invariants(fault::flip_bit(text, i, static_cast<int>((i * 7) % 8)),
+                     /*binary=*/false);
+  }
+}
+
+TEST(CorruptCorpusTest, BinaryBitFlipAtEveryByte) {
+  const std::string bin = binary_bytes();
+  for (size_t i = 0; i < bin.size(); ++i) {
+    check_invariants(fault::flip_bit(bin, i, static_cast<int>((i * 7) % 8)),
+                     /*binary=*/true);
+  }
+}
+
+TEST(CorruptCorpusTest, ShuffledRecordOrderLoadsOk) {
+  const std::string text = text_bytes();
+  for (u64 seed = 1; seed <= 8; ++seed) {
+    std::istringstream is(fault::shuffle_lines(text, seed));
+    const LoadResult lr =
+        load_trace_ex(is, LoadOptions{LoadMode::Strict, true});
+    EXPECT_EQ(lr.status, LoadStatus::Ok) << "seed " << seed << ": "
+                                         << lr.describe();
+  }
+}
+
+TEST(CorruptCorpusTest, EmptyAndGarbageInputsFailCleanly) {
+  for (const std::string& bytes :
+       {std::string(), std::string("garbage\n"), std::string("ggtrace 99\n"),
+        std::string("GGTB9everything-else"), std::string(1000, '\0')}) {
+    check_invariants(bytes, /*binary=*/false);
+    check_invariants(bytes, /*binary=*/true);
+  }
+}
+
+}  // namespace
+}  // namespace gg

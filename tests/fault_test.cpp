@@ -1,0 +1,503 @@
+// Fault-injection harness tests: every fault class the harness can inject is
+// driven end-to-end — inject, observe the damage, salvage, and verify the
+// repaired trace passes full structural validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "rts/threaded_engine.hpp"
+#include "sim/capture.hpp"
+#include "sim/des.hpp"
+#include "trace/recorder.hpp"
+#include "trace/salvage.hpp"
+#include "trace/serialize.hpp"
+#include "trace/validate.hpp"
+
+namespace gg {
+namespace {
+
+using front::Ctx;
+
+// Same shape as trace_test's sample: root spawns two tasks, waits, runs one
+// 2-thread static loop with two chunks. Fully consistent.
+Trace make_sample_trace() {
+  TraceRecorder rec(2);
+  auto w0 = rec.writer(0);
+  auto w1 = rec.writer(1);
+
+  const StrId src_root = rec.intern("<root>");
+  const StrId src_task = rec.intern_source("demo.c", 10, "work");
+  const StrId src_loop = rec.intern_source("demo.c", 50, "loop");
+
+  TaskRec root;
+  root.uid = kRootTask;
+  root.parent = kNoTask;
+  root.src = src_root;
+  w0.task(root);
+
+  auto frag = [&](TaskId task, u32 seq, TimeNs s, TimeNs e, FragmentEnd r,
+                  u64 ref) {
+    FragmentRec f;
+    f.task = task;
+    f.seq = seq;
+    f.start = s;
+    f.end = e;
+    f.end_reason = r;
+    f.end_ref = ref;
+    f.counters.compute = e - s;
+    return f;
+  };
+  w0.fragment(frag(kRootTask, 0, 0, 10, FragmentEnd::Fork, 1));
+  w0.fragment(frag(kRootTask, 1, 12, 20, FragmentEnd::Fork, 2));
+  w0.fragment(frag(kRootTask, 2, 22, 30, FragmentEnd::Join, 0));
+  w0.fragment(frag(kRootTask, 3, 40, 41, FragmentEnd::Loop, 1));
+  w0.fragment(frag(kRootTask, 4, 100, 101, FragmentEnd::TaskEnd, 0));
+
+  TaskRec t1;
+  t1.uid = 1;
+  t1.parent = kRootTask;
+  t1.child_index = 0;
+  t1.src = src_task;
+  t1.create_time = 10;
+  t1.creation_cost = 2;
+  w0.task(t1);
+  TaskRec t2 = t1;
+  t2.uid = 2;
+  t2.child_index = 1;
+  t2.create_time = 20;
+  w0.task(t2);
+
+  FragmentRec f1 = frag(1, 0, 11, 25, FragmentEnd::TaskEnd, 0);
+  f1.core = 1;
+  w1.fragment(f1);
+  w0.fragment(frag(2, 0, 21, 28, FragmentEnd::TaskEnd, 0));
+
+  JoinRec j;
+  j.task = kRootTask;
+  j.seq = 0;
+  j.start = 30;
+  j.end = 39;
+  w0.join(j);
+
+  LoopRec loop;
+  loop.uid = 1;
+  loop.enclosing_task = kRootTask;
+  loop.src = src_loop;
+  loop.sched = ScheduleKind::Static;
+  loop.iter_begin = 0;
+  loop.iter_end = 8;
+  loop.num_threads = 2;
+  loop.starting_thread = 0;
+  loop.start = 41;
+  loop.end = 99;
+  w0.loop(loop);
+
+  auto chunk = [&](u16 thread, u32 seq, u64 lo, u64 hi, TimeNs s, TimeNs e) {
+    ChunkRec c;
+    c.loop = 1;
+    c.thread = thread;
+    c.core = thread;
+    c.seq_on_thread = seq;
+    c.iter_begin = lo;
+    c.iter_end = hi;
+    c.start = s;
+    c.end = e;
+    c.counters.compute = e - s;
+    return c;
+  };
+  auto book = [&](u16 thread, u32 seq, TimeNs s, TimeNs e, bool got) {
+    BookkeepRec b;
+    b.loop = 1;
+    b.thread = thread;
+    b.core = thread;
+    b.seq_on_thread = seq;
+    b.start = s;
+    b.end = e;
+    b.got_chunk = got;
+    return b;
+  };
+  w0.bookkeep(book(0, 0, 42, 43, true));
+  w0.chunk(chunk(0, 0, 0, 4, 43, 60));
+  w0.bookkeep(book(0, 1, 60, 61, false));
+  w1.bookkeep(book(1, 0, 42, 44, true));
+  w1.chunk(chunk(1, 0, 4, 8, 44, 70));
+  w1.bookkeep(book(1, 1, 70, 71, false));
+
+  auto stats = [&](u16 worker) {
+    WorkerStatsRec s;
+    s.worker = worker;
+    s.tasks_spawned = 2;
+    s.tasks_executed = 1 + worker;
+    s.tasks_inlined = 1;
+    s.steals = worker;
+    s.idle_ns = 7;
+    return s;
+  };
+  w0.stats(stats(0));
+  w1.stats(stats(1));
+
+  TraceMeta meta;
+  meta.program = "sample";
+  meta.runtime = "handmade";
+  meta.topology = "generic4";
+  meta.num_workers = 2;
+  meta.num_cores = 2;
+  meta.region_start = 0;
+  meta.region_end = 101;
+  return rec.finish(meta);
+}
+
+std::string to_text(const Trace& t) {
+  std::ostringstream os;
+  save_trace(t, os);
+  return os.str();
+}
+
+// Damaged -> salvaged -> structurally valid, for one plan.
+void expect_salvageable(const fault::FaultPlan& plan) {
+  Trace t = make_sample_trace();
+  const fault::InjectionReport rep = fault::inject(t, plan);
+  EXPECT_TRUE(rep.any()) << rep.summary();
+  const SalvageReport srep = salvage_trace(t);
+  EXPECT_TRUE(validate_trace(t).empty())
+      << "after " << rep.summary() << " then " << srep.summary() << ": "
+      << validate_trace(t).front();
+}
+
+TEST(FaultInjectTest, DisabledPlanIsNoop) {
+  Trace t = make_sample_trace();
+  const std::string before = to_text(t);
+  const fault::InjectionReport rep = fault::inject(t, fault::FaultPlan{});
+  EXPECT_FALSE(rep.any());
+  EXPECT_EQ(to_text(t), before);
+}
+
+TEST(FaultInjectTest, DeterministicForSameSeed) {
+  fault::FaultPlan plan;
+  plan.seed = 42;
+  plan.drop_rate = 0.4;
+  plan.duplicate_rate = 0.4;
+  plan.clock_skew_max_ns = 500;
+
+  Trace a = make_sample_trace();
+  Trace b = make_sample_trace();
+  const auto ra = fault::inject(a, plan);
+  const auto rb = fault::inject(b, plan);
+  EXPECT_EQ(ra.summary(), rb.summary());
+  EXPECT_EQ(to_text(a), to_text(b));
+
+  Trace c = make_sample_trace();
+  plan.seed = 43;
+  fault::inject(c, plan);
+  EXPECT_NE(to_text(a), to_text(c));
+}
+
+TEST(FaultInjectTest, DropRecordsThenSalvageRecovers) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_rate = 0.5;
+  expect_salvageable(plan);
+}
+
+TEST(FaultInjectTest, DuplicateRecordsThenSalvageDeduplicates) {
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  plan.duplicate_rate = 1.0;
+
+  Trace t = make_sample_trace();
+  const size_t tasks_before = t.tasks.size();
+  const auto rep = fault::inject(t, plan);
+  EXPECT_GT(rep.duplicated, 0u);
+  EXPECT_EQ(t.tasks.size(), 2 * tasks_before);  // every record delivered twice
+  const SalvageReport srep = salvage_trace(t);
+  EXPECT_GT(srep.dropped_records, 0u);
+  EXPECT_EQ(t.tasks.size(), tasks_before);
+  EXPECT_TRUE(validate_trace(t).empty());
+}
+
+TEST(FaultInjectTest, ClockSkewThenSalvageExtendsBounds) {
+  fault::FaultPlan plan;
+  plan.seed = 3;
+  plan.clock_skew_max_ns = 10'000;
+
+  Trace t = make_sample_trace();
+  const auto rep = fault::inject(t, plan);
+  EXPECT_GE(rep.skewed_workers, 1u);
+  EXPECT_FALSE(validate_trace(t).empty());  // records past region_end
+  const SalvageReport srep = salvage_trace(t);
+  EXPECT_TRUE(srep.bounds_extended || srep.repaired_times > 0);
+  EXPECT_TRUE(validate_trace(t).empty());
+}
+
+TEST(FaultInjectTest, BufferOverflowThenSalvageRecovers) {
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.buffer_capacity = 2;
+
+  Trace t = make_sample_trace();
+  const auto rep = fault::inject(t, plan);
+  EXPECT_GT(rep.overflow_dropped, 0u);
+  const SalvageReport srep = salvage_trace(t);
+  EXPECT_TRUE(validate_trace(t).empty()) << srep.summary();
+}
+
+TEST(FaultInjectTest, WorkerDeathThenSalvageRecovers) {
+  fault::FaultPlan plan;
+  plan.seed = 5;
+  plan.dead_workers = {1};
+  plan.death_time_ns = 20;
+
+  Trace t = make_sample_trace();
+  const auto rep = fault::inject(t, plan);
+  EXPECT_GT(rep.death_dropped, 0u);
+  // Worker 1's stats and post-death records are gone.
+  for (const WorkerStatsRec& s : t.worker_stats) EXPECT_NE(s.worker, 1);
+  const SalvageReport srep = salvage_trace(t);
+  EXPECT_TRUE(validate_trace(t).empty()) << srep.summary();
+  // Task 1 lost its only fragment (it ran on the dead worker); salvage must
+  // have synthesized a closing fragment rather than dropping the task.
+  EXPECT_GT(srep.synthesized_fragments, 0u);
+}
+
+TEST(FaultInjectTest, EverythingAtOnceThenSalvageRecovers) {
+  fault::FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_rate = 0.3;
+  plan.duplicate_rate = 0.3;
+  plan.clock_skew_max_ns = 1000;
+  plan.buffer_capacity = 4;
+  plan.dead_workers = {1};
+  plan.death_time_ns = 50;
+  expect_salvageable(plan);
+}
+
+TEST(SalvageTest, NoopOnCleanTrace) {
+  Trace t = make_sample_trace();
+  const std::string before = to_text(t);
+  const SalvageReport rep = salvage_trace(t);
+  EXPECT_FALSE(rep.any()) << rep.summary();
+  EXPECT_EQ(rep.grain_survival(), 1.0);
+  EXPECT_EQ(to_text(t), before);
+}
+
+TEST(SalvageTest, SynthesizesRootWhenMissing) {
+  Trace t = make_sample_trace();
+  std::erase_if(t.tasks, [](const TaskRec& r) { return r.uid == kRootTask; });
+  t.finalize();
+  const SalvageReport rep = salvage_trace(t);
+  EXPECT_TRUE(rep.root_synthesized);
+  EXPECT_TRUE(validate_trace(t).empty());
+}
+
+TEST(SalvageTest, QuarantinesOrphanedSubtree) {
+  Trace t = make_sample_trace();
+  // Point task 2 at a parent that never existed: unrecoverable context.
+  for (TaskRec& task : t.tasks) {
+    if (task.uid == 2) task.parent = 777;
+  }
+  t.finalize();
+  const SalvageReport rep = salvage_trace(t);
+  EXPECT_EQ(rep.quarantined_tasks, 1u);
+  ASSERT_FALSE(rep.unrecoverable_tasks.empty());
+  EXPECT_TRUE(validate_trace(t).empty());
+  EXPECT_LT(rep.grains_after, rep.grains_before);
+}
+
+TEST(SalvageTest, FillsChunkCoverageHole) {
+  Trace t = make_sample_trace();
+  std::erase_if(t.chunks, [](const ChunkRec& c) { return c.thread == 1; });
+  t.finalize();
+  EXPECT_FALSE(validate_trace(t).empty());
+  const SalvageReport rep = salvage_trace(t);
+  EXPECT_GT(rep.synthesized_chunks, 0u);
+  EXPECT_TRUE(validate_trace(t).empty());
+}
+
+// --- engine integration ----------------------------------------------------
+
+TEST(FaultEngineTest, ThreadedEngineAppliesPlanAndNotesProvenance) {
+  rts::Options o;
+  o.num_workers = 2;
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  plan.drop_rate = 0.5;
+  o.fault_plan = plan;
+  rts::ThreadedEngine eng(o);
+  Trace t = eng.run("faulty", [&](Ctx& ctx) {
+    for (int i = 0; i < 8; ++i) {
+      ctx.spawn(GG_SRC, [](Ctx&) {});
+    }
+    ctx.taskwait();
+  });
+  bool noted = false;
+  for (const std::string& n : t.meta.notes)
+    noted = noted || n.rfind("fault_injection", 0) == 0;
+  EXPECT_TRUE(noted);
+  salvage_trace(t);
+  EXPECT_TRUE(validate_trace(t).empty());
+}
+
+TEST(FaultEngineTest, SimulatorAppliesPlanAndNotesProvenance) {
+  sim::Program p = sim::capture_program("faulty", [](Ctx& ctx) {
+    for (int i = 0; i < 8; ++i) {
+      ctx.spawn(GG_SRC, [](Ctx& c) { c.compute(100); });
+    }
+    ctx.taskwait();
+  });
+  sim::SimOptions o;
+  o.num_cores = 2;
+  fault::FaultPlan plan;
+  plan.seed = 9;
+  plan.drop_rate = 0.5;
+  o.fault_plan = plan;
+  const Trace damaged = sim::simulate(p, o);
+  bool noted = false;
+  for (const std::string& n : damaged.meta.notes)
+    noted = noted || n.rfind("fault_injection", 0) == 0;
+  EXPECT_TRUE(noted);
+
+  // Same program without the plan must still be pristine.
+  o.fault_plan.reset();
+  const Trace clean = sim::simulate(p, o);
+  EXPECT_TRUE(validate_trace(clean).empty());
+
+  Trace repaired = damaged;
+  salvage_trace(repaired);
+  EXPECT_TRUE(validate_trace(repaired).empty());
+}
+
+// --- stream-level corruptions ---------------------------------------------
+
+TEST(FaultStreamTest, ShuffledTextTraceStillLoadsCleanly) {
+  const Trace t = make_sample_trace();
+  const std::string text = to_text(t);
+  for (u64 seed : {1, 2, 3}) {
+    const std::string shuffled = fault::shuffle_lines(text, seed);
+    EXPECT_EQ(shuffled.substr(0, 9), "ggtrace 3");
+    std::istringstream is(shuffled);
+    const LoadResult lr = load_trace_ex(is, LoadOptions{LoadMode::Strict, true});
+    EXPECT_EQ(lr.status, LoadStatus::Ok) << lr.describe();
+  }
+}
+
+TEST(FaultStreamTest, TruncatedTextFailsStrictButSalvages) {
+  const Trace t = make_sample_trace();
+  const std::string text = to_text(t);
+  const std::string cut = fault::truncate_stream(text, text.size() / 2);
+  {
+    std::istringstream is(cut);
+    const LoadResult lr = load_trace_ex(is, LoadOptions{LoadMode::Strict, true});
+    EXPECT_EQ(lr.status, LoadStatus::Failed);
+    EXPECT_NE(lr.first_error(), nullptr);
+  }
+  {
+    std::istringstream is(cut);
+    const LoadResult lr =
+        load_trace_ex(is, LoadOptions{LoadMode::Salvage, true});
+    ASSERT_TRUE(lr.usable()) << lr.describe();
+    EXPECT_EQ(lr.status, LoadStatus::Salvaged);
+    EXPECT_TRUE(validate_trace(*lr.trace).empty());
+    EXPECT_LE(lr.salvage.grain_survival(), 1.0);
+  }
+}
+
+TEST(FaultStreamTest, TruncatedBinaryMidTrailerSalvages) {
+  const Trace t = make_sample_trace();
+  std::ostringstream os;
+  save_trace_binary(t, os);
+  const std::string bin = os.str();
+  // Cut inside the v3 trailer (worker stats live at the very end).
+  const std::string cut = fault::truncate_stream(bin, bin.size() - 40);
+  {
+    std::istringstream is(cut);
+    const LoadResult lr =
+        load_trace_binary_ex(is, LoadOptions{LoadMode::Strict, true});
+    EXPECT_EQ(lr.status, LoadStatus::Failed);
+  }
+  {
+    std::istringstream is(cut);
+    const LoadResult lr =
+        load_trace_binary_ex(is, LoadOptions{LoadMode::Salvage, true});
+    ASSERT_TRUE(lr.usable()) << lr.describe();
+    EXPECT_TRUE(validate_trace(*lr.trace).empty());
+    // Everything before the trailer survived.
+    EXPECT_EQ(lr.trace->tasks.size(), t.tasks.size());
+    EXPECT_EQ(lr.trace->chunks.size(), t.chunks.size());
+  }
+}
+
+TEST(FaultStreamTest, FlipBitIsDeterministicAndBounded) {
+  const std::string s = "abc";
+  EXPECT_EQ(fault::flip_bit(s, 1, 0), "acc");
+  EXPECT_EQ(fault::flip_bit(s, 99, 0), s);  // out of range: no-op
+  EXPECT_EQ(fault::flip_bit(fault::flip_bit(s, 0, 5), 0, 5), s);
+}
+
+// --- structured diagnostics ------------------------------------------------
+
+TEST(LoadResultTest, MalformedRecordNamesLineAndKind) {
+  const Trace t = make_sample_trace();
+  std::string text = to_text(t);
+  // Corrupt the first frag line.
+  const size_t pos = text.find("\nfrag ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t eol = text.find('\n', pos + 1);
+  text.replace(pos, eol - pos, "\nfrag bogus");
+  std::istringstream is(text);
+  const LoadResult lr = load_trace_ex(is, LoadOptions{LoadMode::Strict, true});
+  EXPECT_EQ(lr.status, LoadStatus::Failed);
+  ASSERT_NE(lr.first_error(), nullptr);
+  EXPECT_EQ(lr.first_error()->code, LoadErrorCode::MalformedRecord);
+  EXPECT_EQ(lr.first_error()->context, "frag");
+  EXPECT_TRUE(lr.first_error()->offset_is_line);
+  EXPECT_GT(lr.first_error()->offset, 1u);
+  EXPECT_NE(lr.describe().find("malformed frag record"), std::string::npos);
+}
+
+TEST(LoadResultTest, LenientSkipsUnknownRecordKinds) {
+  const Trace t = make_sample_trace();
+  std::string text = to_text(t);
+  text += "future-record 1 2 3\n";
+  {
+    std::istringstream is(text);
+    const LoadResult lr =
+        load_trace_ex(is, LoadOptions{LoadMode::Strict, true});
+    EXPECT_EQ(lr.status, LoadStatus::Failed);
+  }
+  {
+    std::istringstream is(text);
+    const LoadResult lr =
+        load_trace_ex(is, LoadOptions{LoadMode::Lenient, true});
+    EXPECT_EQ(lr.status, LoadStatus::Ok) << lr.describe();
+    EXPECT_EQ(lr.diagnostics.size(), 1u);
+    EXPECT_EQ(lr.diagnostics[0].code, LoadErrorCode::UnknownRecordKind);
+  }
+}
+
+TEST(LoadResultTest, ValidationViolationsCarryEntityContext) {
+  Trace t = make_sample_trace();
+  std::erase_if(t.chunks, [](const ChunkRec& c) { return c.thread == 1; });
+  t.finalize();
+  std::ostringstream os;
+  save_trace(t, os);
+  std::istringstream is(os.str());
+  const LoadResult lr = load_trace_ex(is, LoadOptions{LoadMode::Lenient, true});
+  EXPECT_EQ(lr.status, LoadStatus::Failed);
+  ASSERT_NE(lr.first_error(), nullptr);
+  EXPECT_EQ(lr.first_error()->code, LoadErrorCode::InvalidStructure);
+  EXPECT_EQ(lr.first_error()->context, "loop 1");
+}
+
+TEST(LoadResultTest, StructuredValidationMatchesLegacyMessages) {
+  Trace t = make_sample_trace();
+  t.meta.region_end = 50;  // fragments now out of bounds
+  t.finalize();
+  const ValidationReport rep = validate_trace_structured(t);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_EQ(rep.messages(), validate_trace(t));
+  EXPECT_FALSE(rep.violations.front().where().empty());
+}
+
+}  // namespace
+}  // namespace gg

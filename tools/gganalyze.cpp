@@ -22,6 +22,13 @@
 //                            the same program (this trace = before)
 //     --summarize <N>        collapse task subtrees until the exported
 //                            graph has ~N nodes (implies graph export path)
+//     --strict               fail on the first ingestion problem (CI gating)
+//     --salvage              repair a damaged trace and analyze what
+//                            survives; prints a degradation report
+//
+// Exit codes: 0 clean; 1 load/validation failure; 2 usage error; 3 analysis
+// ran on a salvaged (degraded) trace; 4 --salvage given but nothing usable
+// could be recovered.
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -52,7 +59,8 @@ int usage(const char* argv0) {
                "benefit|inflation|memutil|parallelism|scatter] [--graphml f] "
                "[--dot f] [--csv f] [--json f] [--html f] [--chrome f] "
                "[--reduced] [--summarize N] [--compare t] [--topology "
-               "opteron48|generic4|generic16] [--timeline]\n",
+               "opteron48|generic4|generic16] [--timeline] "
+               "[--strict|--salvage]\n",
                argv0);
   return 2;
 }
@@ -83,6 +91,7 @@ int main(int argc, char** argv) {
   std::string topology_name;
   std::optional<Problem> view;
   bool reduced = false, timeline = false;
+  bool strict = false, salvage = false;
   size_t summarize_budget = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -149,23 +158,33 @@ int main(int argc, char** argv) {
       reduced = true;
     } else if (arg == "--timeline") {
       timeline = true;
+    } else if (arg == "--strict") {
+      strict = true;
+    } else if (arg == "--salvage") {
+      salvage = true;
     } else {
       return usage(argv[0]);
     }
   }
+  if (strict && salvage) {
+    std::fprintf(stderr, "--strict and --salvage are mutually exclusive\n");
+    return 2;
+  }
 
+  LoadOptions lopts;
+  lopts.mode = salvage ? LoadMode::Salvage
+                       : (strict ? LoadMode::Strict : LoadMode::Lenient);
+  LoadResult lr = load_trace_file_ex(trace_path, lopts);
+  if (!lr.usable()) {
+    std::fprintf(stderr, "error: %s", lr.describe().c_str());
+    return salvage ? 4 : 1;
+  }
+  if (lr.status == LoadStatus::Salvaged) {
+    // Degradation report: what was lost/repaired before analysis.
+    std::fprintf(stderr, "%s", lr.describe().c_str());
+  }
+  std::optional<Trace>& trace = lr.trace;
   std::string error;
-  auto trace = load_trace_file(trace_path, &error);
-  if (!trace) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
-  }
-  const auto problems = validate_trace(*trace);
-  if (!problems.empty()) {
-    std::fprintf(stderr, "trace failed validation (%zu issues); first: %s\n",
-                 problems.size(), problems.front().c_str());
-    return 1;
-  }
 
   // An explicit --topology must name a known preset; an unrecognized name
   // from the trace's own metadata (e.g. "host") falls back to generic4.
@@ -264,5 +283,5 @@ int main(int argc, char** argv) {
     std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
                 chrome_path.c_str());
   }
-  return 0;
+  return lr.status == LoadStatus::Salvaged ? 3 : 0;
 }

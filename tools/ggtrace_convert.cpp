@@ -1,39 +1,54 @@
 // ggtrace-convert — convert traces between the text (.ggtrace) and binary
 // (.ggbin) formats; formats are chosen by file extension.
 //
-//   ggtrace-convert in.ggtrace out.ggbin
-//   ggtrace-convert in.ggbin out.ggtrace
+//   ggtrace-convert [--salvage] in.ggtrace out.ggbin
+//   ggtrace-convert [--salvage] in.ggbin out.ggtrace
+//
+// The input is validated before conversion; a malformed or structurally
+// invalid trace fails (exit 1) naming the first bad record. With --salvage
+// a damaged trace is repaired first (exit 3 when anything was repaired) and
+// only an unsalvageable input fails (exit 4).
 #include <cstdio>
 #include <string>
 
 #include "trace/serialize.hpp"
-#include "trace/validate.hpp"
 
 int main(int argc, char** argv) {
   using namespace gg;
-  if (argc != 3) {
-    std::fprintf(stderr, "usage: %s <in.(ggtrace|ggbin)> <out.(ggtrace|ggbin)>\n",
+  bool salvage = false;
+  int argi = 1;
+  if (argi < argc && std::string(argv[argi]) == "--salvage") {
+    salvage = true;
+    ++argi;
+  }
+  if (argc - argi != 2) {
+    std::fprintf(stderr,
+                 "usage: %s [--salvage] <in.(ggtrace|ggbin)> "
+                 "<out.(ggtrace|ggbin)>\n",
                  argv[0]);
     return 2;
   }
-  std::string error;
-  auto trace = load_trace_file(argv[1], &error);
-  if (!trace) {
-    std::fprintf(stderr, "error: %s\n", error.c_str());
-    return 1;
+  const char* in_path = argv[argi];
+  const char* out_path = argv[argi + 1];
+
+  LoadOptions opts;
+  opts.mode = salvage ? LoadMode::Salvage : LoadMode::Strict;
+  LoadResult lr = load_trace_file_ex(in_path, opts);
+  if (!lr.usable()) {
+    std::fprintf(stderr, "error: %s", lr.describe().c_str());
+    return salvage ? 4 : 1;
   }
-  const auto problems = validate_trace(*trace);
-  if (!problems.empty()) {
-    std::fprintf(stderr, "warning: trace has %zu validation issues; first: %s\n",
-                 problems.size(), problems.front().c_str());
+  if (lr.status == LoadStatus::Salvaged) {
+    std::fprintf(stderr, "%s", lr.describe().c_str());
   }
-  if (!save_trace_file(*trace, argv[2])) {
-    std::fprintf(stderr, "error: cannot write %s\n", argv[2]);
+  const Trace& trace = *lr.trace;
+  if (!save_trace_file(trace, out_path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path);
     return 1;
   }
   std::printf("%s -> %s (%zu tasks, %zu fragments, %zu chunks, %zu "
               "dependences)\n",
-              argv[1], argv[2], trace->tasks.size(), trace->fragments.size(),
-              trace->chunks.size(), trace->depends.size());
-  return 0;
+              in_path, out_path, trace.tasks.size(), trace.fragments.size(),
+              trace.chunks.size(), trace.depends.size());
+  return lr.status == LoadStatus::Salvaged ? 3 : 0;
 }
