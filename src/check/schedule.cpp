@@ -1,0 +1,226 @@
+#include "check/schedule.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace gg::check {
+
+namespace {
+// The slot this thread registered under, or -1. Thread-local so calls from
+// threads outside the controlled team (e.g. the test main thread poking a
+// deque directly) fall through without serialization.
+thread_local int tls_slot = -1;
+
+bool is_publish_point(rts::PreemptPoint p) {
+  using P = rts::PreemptPoint;
+  return p == P::DequePush || p == P::DequePushPublish || p == P::QueuePush;
+}
+}  // namespace
+
+const char* to_string(Strategy s) {
+  switch (s) {
+    case Strategy::RoundRobin: return "round-robin";
+    case Strategy::RandomWalk: return "random-walk";
+    case Strategy::SleepSet: return "sleep-set";
+  }
+  return "?";
+}
+
+ScheduleController::ScheduleController(const ScheduleOptions& opts)
+    : opts_(opts), rng_(opts.seed) {
+  GG_CHECK(opts_.num_threads >= 1);
+  state_.assign(static_cast<size_t>(opts_.num_threads), SlotState::Absent);
+  sleeping_.assign(static_cast<size_t>(opts_.num_threads), 0);
+}
+
+ScheduleController::~ScheduleController() { uninstall(); }
+
+void ScheduleController::install() {
+  GG_CHECK_MSG(rts::preempt_observer() == nullptr,
+               "another schedule controller is already installed");
+  installed_ = true;
+  rts::set_preempt_observer(this);
+}
+
+void ScheduleController::uninstall() {
+  if (installed_) {
+    rts::set_preempt_observer(nullptr);
+    installed_ = false;
+  }
+}
+
+void ScheduleController::on_thread_start(int worker_id) {
+  std::unique_lock lk(mutex_);
+  GG_CHECK_MSG(worker_id >= 0 && worker_id < opts_.num_threads,
+               "worker id outside the controller's configured team "
+               "(ScheduleOptions::num_threads must equal the engine's "
+               "worker count)");
+  GG_CHECK_MSG(state_[static_cast<size_t>(worker_id)] != SlotState::Started,
+               "worker id registered twice");
+  tls_slot = worker_id;
+  state_[static_cast<size_t>(worker_id)] = SlotState::Started;
+  // The first registrant takes the token; with the engine weaving this is
+  // always worker 0 (it registers before spawning the team).
+  if (current_ == -1) current_ = worker_id;
+  cv_.notify_all();
+  wait_for_token_locked(lk, worker_id);
+}
+
+void ScheduleController::on_thread_stop() {
+  if (tls_slot < 0) return;
+  std::unique_lock lk(mutex_);
+  const int self = tls_slot;
+  tls_slot = -1;
+  state_[static_cast<size_t>(self)] = SlotState::Finished;
+  sleeping_[static_cast<size_t>(self)] = 0;
+  if (current_ == self) {
+    current_ = decide_next_locked(self, rts::PreemptPoint::Idle,
+                                  /*stopping=*/true);
+    trail_.push_back(current_);
+    ++decisions_;
+  }
+  cv_.notify_all();
+}
+
+void ScheduleController::preempt(rts::PreemptPoint point) {
+  if (tls_slot < 0) return;
+  std::unique_lock lk(mutex_);
+  const int self = tls_slot;
+  const int next = decide_next_locked(self, point, /*stopping=*/false);
+  trail_.push_back(next);
+  ++decisions_;
+  if (next == self || next == -1) return;
+  if (point != rts::PreemptPoint::Idle) ++preemptions_;
+  current_ = next;
+  cv_.notify_all();
+  wait_for_token_locked(lk, self);
+}
+
+int ScheduleController::decide_next_locked(int self, rts::PreemptPoint point,
+                                           bool stopping) {
+  const int n = opts_.num_threads;
+  const bool idle = point == rts::PreemptPoint::Idle;
+
+  if (opts_.strategy == Strategy::SleepSet) {
+    if (!stopping && idle) sleeping_[static_cast<size_t>(self)] = 1;
+    if (is_publish_point(point)) {
+      for (auto& s : sleeping_) s = 0;
+    }
+  }
+
+  // Candidates: every configured id that has not finished (Absent ids count
+  // — choosing one simply waits for it to register, which is deterministic
+  // because registration is the thread's first action).
+  std::vector<int> cands;
+  cands.reserve(static_cast<size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    if (state_[static_cast<size_t>(id)] == SlotState::Finished) continue;
+    if (stopping && id == self) continue;
+    cands.push_back(id);
+  }
+  if (cands.empty()) return -1;
+  if (cands.size() == 1) return cands.front();
+
+  // Exhausted preemption budget: keep running the current thread except at
+  // voluntary yields, which must always be able to hand the token on.
+  const bool budget_left = opts_.max_preemptions < 0 ||
+                           preemptions_ <
+                               static_cast<u64>(opts_.max_preemptions);
+  if (!stopping && !idle && !budget_left) return self;
+
+  // At a voluntary yield the yielding thread steps aside when anyone else
+  // can run — this is what guarantees progress under every strategy.
+  std::vector<int> avail;
+  avail.reserve(cands.size());
+  const bool drop_self = stopping || idle;
+  for (int id : cands) {
+    if (drop_self && id == self) continue;
+    if (opts_.strategy == Strategy::SleepSet && !stopping &&
+        sleeping_[static_cast<size_t>(id)]) {
+      continue;
+    }
+    avail.push_back(id);
+  }
+  if (avail.empty()) {
+    // Everyone else is parked: clear the sleep set rather than starve.
+    for (auto& s : sleeping_) s = 0;
+    for (int id : cands) {
+      if (!(drop_self && id == self)) avail.push_back(id);
+    }
+  }
+  if (avail.empty()) avail = cands;
+
+  switch (opts_.strategy) {
+    case Strategy::RoundRobin: {
+      // Next available id after self, cyclically.
+      int best = avail.front();
+      for (int id : avail) {
+        const int d_id = (id - self + n) % n;
+        const int d_best = (best - self + n) % n;
+        if (d_id != 0 && (d_best == 0 || d_id < d_best)) best = id;
+      }
+      return best;
+    }
+    case Strategy::RandomWalk:
+    case Strategy::SleepSet:
+      return avail[static_cast<size_t>(
+          rng_.bounded(static_cast<u64>(avail.size())))];
+  }
+  return self;
+}
+
+void ScheduleController::wait_for_token_locked(std::unique_lock<std::mutex>& lk,
+                                               int self) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(opts_.timeout_seconds);
+  while (current_ != self) {
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout &&
+        current_ != self) {
+      dump_state_locked("token wait timed out (schedule deadlock?)");
+      std::abort();
+    }
+  }
+}
+
+void ScheduleController::dump_state_locked(const char* why) const {
+  std::fprintf(stderr, "ScheduleController: %s\n  %s\n  current=%d\n", why,
+               describe().c_str(), current_);
+  for (int id = 0; id < opts_.num_threads; ++id) {
+    const auto s = state_[static_cast<size_t>(id)];
+    std::fprintf(stderr, "  thread %d: %s%s\n", id,
+                 s == SlotState::Absent ? "absent"
+                 : s == SlotState::Started ? "started"
+                                           : "finished",
+                 sleeping_[static_cast<size_t>(id)] ? " (sleeping)" : "");
+  }
+  std::fflush(stderr);
+}
+
+u64 ScheduleController::decision_count() const {
+  std::lock_guard lk(mutex_);
+  return decisions_;
+}
+
+u64 ScheduleController::preemption_count() const {
+  std::lock_guard lk(mutex_);
+  return preemptions_;
+}
+
+std::vector<i32> ScheduleController::trail() const {
+  std::lock_guard lk(mutex_);
+  return trail_;
+}
+
+std::string ScheduleController::describe() const {
+  std::string out = "strategy=";
+  out += to_string(opts_.strategy);
+  out += " seed=" + std::to_string(opts_.seed);
+  out += " threads=" + std::to_string(opts_.num_threads);
+  out += " bound=" + std::to_string(opts_.max_preemptions);
+  return out;
+}
+
+}  // namespace gg::check

@@ -1,0 +1,112 @@
+// Deterministic schedule exploration for the threaded runtime.
+//
+// The ScheduleController implements rts::PreemptObserver with CHESS-style
+// cooperative serialization: exactly one registered thread runs at a time
+// (it "holds the token"), and at every preemption point the running thread
+// consults a seeded strategy to decide which thread runs next. Because only
+// the token holder executes between points, the interleaving of all
+// scheduling-relevant steps is a pure function of {strategy, seed,
+// preemption bound} and the program — any failing schedule replays exactly
+// from that triple.
+//
+// Strategies:
+//  * RoundRobin  — switch to the next runnable thread at every point;
+//    guarantees progress and quickly covers "fully alternating" schedules.
+//  * RandomWalk  — uniform seeded pick (including staying put) at every
+//    point; covers irregular interleavings.
+//  * SleepSet    — RandomWalk that additionally parks threads that reported
+//    an empty-handed idle iteration until someone publishes work (a push
+//    point); inspired by sleep-set partial-order reduction, it spends the
+//    schedule budget on threads that can make progress.
+//
+// The preemption bound (`max_preemptions`) counts switches away from a
+// thread at a NON-idle point, i.e. genuine preemptions inside an operation.
+// Idle points are voluntary yields and always allow a switch — otherwise a
+// bounded schedule could spin a starving thread forever.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+#include "rts/preempt.hpp"
+
+namespace gg::check {
+
+enum class Strategy : u8 { RoundRobin, RandomWalk, SleepSet };
+
+const char* to_string(Strategy s);
+
+struct ScheduleOptions {
+  Strategy strategy = Strategy::RandomWalk;
+  u64 seed = 1;
+  /// Threads expected to register, with ids 0..num_threads-1. Must equal
+  /// the engine's worker count (or the harness's thread count): choosing an
+  /// id that never registers would stall the schedule until the watchdog.
+  int num_threads = 2;
+  /// Bound on non-idle preemptions; < 0 means unbounded.
+  int max_preemptions = -1;
+  /// Watchdog: a thread waiting longer than this for the token aborts the
+  /// process with a state dump — turns harness deadlocks into diagnosable
+  /// failures instead of silent CI hangs.
+  int timeout_seconds = 120;
+};
+
+class ScheduleController final : public rts::PreemptObserver {
+ public:
+  explicit ScheduleController(const ScheduleOptions& opts);
+  ~ScheduleController() override;
+
+  ScheduleController(const ScheduleController&) = delete;
+  ScheduleController& operator=(const ScheduleController&) = delete;
+
+  /// Installs this controller as the process-wide preemption observer.
+  /// At most one controller may be installed at a time.
+  void install();
+  /// Removes the observer; idempotent, also called by the destructor.
+  void uninstall();
+
+  // PreemptObserver interface (called by the runtime under test).
+  void on_thread_start(int worker_id) override;
+  void on_thread_stop() override;
+  void preempt(rts::PreemptPoint point) override;
+
+  const ScheduleOptions& options() const { return opts_; }
+
+  /// Scheduling decisions made so far.
+  u64 decision_count() const;
+  /// Non-idle preemptions charged against the bound.
+  u64 preemption_count() const;
+  /// The thread chosen at each decision. Replaying the same {strategy,
+  /// seed, bound} on the same program yields an identical trail — the
+  /// determinism test and the replay workflow both key off this.
+  std::vector<i32> trail() const;
+  /// "strategy=random-walk seed=0x2a bound=2" — embed in failure messages
+  /// so any run is replayable.
+  std::string describe() const;
+
+ private:
+  enum class SlotState : u8 { Absent, Started, Finished };
+
+  // All *_locked methods require mutex_ to be held.
+  int decide_next_locked(int self, rts::PreemptPoint point, bool stopping);
+  void wait_for_token_locked(std::unique_lock<std::mutex>& lk, int self);
+  void dump_state_locked(const char* why) const;
+
+  ScheduleOptions opts_;
+  Xoshiro256 rng_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<SlotState> state_;
+  std::vector<u8> sleeping_;  // SleepSet: parked until work is published
+  int current_ = -1;          // token holder; -1 = nobody yet / all finished
+  u64 decisions_ = 0;
+  u64 preemptions_ = 0;
+  std::vector<i32> trail_;
+  bool installed_ = false;
+};
+
+}  // namespace gg::check

@@ -1,0 +1,393 @@
+#include "check/serial_ref.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace gg::check {
+
+namespace {
+
+using front::Ctx;
+using front::ForOpts;
+using front::LoopFn;
+using front::SrcLoc;
+using front::TaskFn;
+
+/// Shared state of one elaboration.
+struct Elab {
+  Trace trace;
+  Topology topo;
+  int team = 1;
+  TimeNs now = 0;
+  TaskId next_task_uid = 1;
+  LoopId next_loop_uid = 1;
+  u32 root_loop_seq = 0;
+
+  TimeNs ns(Cycles c) const { return topo.cycles_to_ns(c); }
+};
+
+class RefCtx final : public Ctx {
+ public:
+  RefCtx(Elab* st, TaskId uid) : st_(st), uid_(uid) {}
+
+  void spawn(const SrcLoc& loc, TaskFn body) override {
+    spawn_impl(loc, nullptr, std::move(body));
+  }
+
+  void spawn(const SrcLoc& loc, const front::Depends& deps,
+             TaskFn body) override {
+    spawn_impl(loc, &deps, std::move(body));
+  }
+
+  void taskwait() override {
+    GG_CHECK_MSG(!in_chunk_, "taskwait inside loop chunks is not supported");
+    flush_compute();
+    // Structural no-op when nothing synchronizes here. Inline execution
+    // means children are never live, so only children_since_join_ matters
+    // (the engines under test additionally check live children).
+    if (children_since_join_ == 0) return;
+    const u32 jseq = next_join_seq_++;
+    end_fragment(FragmentEnd::Join, jseq);
+    JoinRec j;
+    j.task = uid_;
+    j.seq = jseq;
+    j.start = st_->now;
+    j.end = st_->now;
+    j.core = 0;
+    st_->trace.joins.push_back(j);
+    children_since_join_ = 0;
+  }
+
+  void parallel_for(const SrcLoc& loc, u64 lo, u64 hi, const ForOpts& opts,
+                    const LoopFn& body) override;
+
+  void compute(Cycles cycles) override {
+    if (in_chunk_) {
+      iter_compute_ += cycles;
+    } else {
+      pending_compute_ += cycles;
+    }
+  }
+
+  void touch(front::RegionId, u64, u64, u32, u32) override {
+    // No memory model; still an op boundary for compute merging (the
+    // capture breaks merged compute runs at touch ops the same way).
+    if (!in_chunk_) flush_compute();
+  }
+
+  int worker() const override { return 0; }
+  int num_workers() const override { return st_->team; }
+
+  /// Opens the first fragment at the current virtual time.
+  void begin() { frag_start_ = st_->now; }
+
+  /// Ends the task: final fragment with reason TaskEnd.
+  void finish_task() {
+    flush_compute();
+    end_fragment(FragmentEnd::TaskEnd, 0);
+  }
+
+  /// Root epilogue: the implicit barrier. Inline execution finishes every
+  /// descendant before the root body returns, so the barrier join appears
+  /// exactly when the root still has unjoined direct children — which the
+  /// generator's join discipline makes schedule-independent.
+  void finish_root() {
+    flush_compute();
+    if (children_since_join_ > 0) {
+      const u32 jseq = next_join_seq_++;
+      end_fragment(FragmentEnd::Join, jseq);
+      JoinRec j;
+      j.task = uid_;
+      j.seq = jseq;
+      j.start = st_->now;
+      j.end = st_->now;
+      j.core = 0;
+      st_->trace.joins.push_back(j);
+      children_since_join_ = 0;
+    }
+    end_fragment(FragmentEnd::TaskEnd, 0);
+  }
+
+ private:
+  void flush_compute() {
+    if (pending_compute_ == 0) return;
+    st_->now += st_->ns(pending_compute_);
+    frag_cnt_.compute += pending_compute_;
+    pending_compute_ = 0;
+  }
+
+  void end_fragment(FragmentEnd reason, u64 ref) {
+    FragmentRec f;
+    f.task = uid_;
+    f.seq = next_frag_seq_++;
+    f.start = frag_start_;
+    f.end = st_->now;
+    f.core = 0;
+    f.counters = frag_cnt_;
+    f.end_reason = reason;
+    f.end_ref = ref;
+    st_->trace.fragments.push_back(f);
+    frag_cnt_ = Counters{};
+    frag_start_ = st_->now;
+  }
+
+  void spawn_impl(const SrcLoc& loc, const front::Depends* deps,
+                  TaskFn body) {
+    GG_CHECK_MSG(!in_chunk_,
+                 "spawning tasks from loop chunks is not supported");
+    flush_compute();
+    const TaskId child = st_->next_task_uid++;
+    if (deps != nullptr && !deps->empty()) resolve_dependences(*deps, child);
+    end_fragment(FragmentEnd::Fork, child);
+    TaskRec rec;
+    rec.uid = child;
+    rec.parent = uid_;
+    rec.child_index = next_child_index_++;
+    rec.src = intern_src(st_->trace.strings, loc.file, loc.line, loc.func);
+    rec.create_time = st_->now;
+    rec.create_core = 0;
+    rec.creation_cost = 0;
+    rec.inlined = false;
+    st_->trace.tasks.push_back(rec);
+    ++children_since_join_;
+    RefCtx child_ctx(st_, child);
+    child_ctx.frag_start_ = st_->now;
+    body(child_ctx);
+    child_ctx.finish_task();
+    frag_start_ = st_->now;
+  }
+
+  /// OpenMP last-writer/reader resolution against earlier siblings — the
+  /// same rules the runtimes apply, so the recorded edge set matches.
+  void resolve_dependences(const front::Depends& deps, TaskId child) {
+    std::vector<TaskId> preds;
+    auto add = [&](TaskId p) {
+      if (p == child) return;
+      for (TaskId q : preds) {
+        if (q == p) return;
+      }
+      preds.push_back(p);
+    };
+    for (u64 h : deps.in) {
+      auto it = dep_map_.find(h);
+      if (it != dep_map_.end() && it->second.has_writer)
+        add(it->second.last_writer);
+    }
+    for (u64 h : deps.out) {
+      auto it = dep_map_.find(h);
+      if (it != dep_map_.end()) {
+        if (it->second.has_writer) add(it->second.last_writer);
+        for (TaskId r : it->second.readers) add(r);
+      }
+    }
+    for (TaskId p : preds) {
+      DependRec d;
+      d.pred = p;
+      d.succ = child;
+      st_->trace.depends.push_back(d);
+    }
+    for (u64 h : deps.in) dep_map_[h].readers.push_back(child);
+    for (u64 h : deps.out) {
+      auto& e = dep_map_[h];
+      e.has_writer = true;
+      e.last_writer = child;
+      e.readers.clear();
+    }
+  }
+
+  struct DepEntry {
+    bool has_writer = false;
+    TaskId last_writer = 0;
+    std::vector<TaskId> readers;
+  };
+
+  Elab* st_;
+  TaskId uid_;
+  TimeNs frag_start_ = 0;
+  Counters frag_cnt_;
+  Cycles pending_compute_ = 0;
+  u32 next_frag_seq_ = 0;
+  u32 next_join_seq_ = 0;
+  u32 next_child_index_ = 0;
+  u32 children_since_join_ = 0;
+  bool in_chunk_ = false;
+  Cycles iter_compute_ = 0;  ///< accumulates while in_chunk_
+  std::map<u64, DepEntry> dep_map_;
+};
+
+void RefCtx::parallel_for(const SrcLoc& loc, u64 lo, u64 hi,
+                          const ForOpts& opts, const LoopFn& body) {
+  GG_CHECK_MSG(uid_ == kRootTask && !in_chunk_,
+               "parallel_for is only supported from the root task");
+  flush_compute();
+  Elab& st = *st_;
+  const LoopId uid = st.next_loop_uid++;
+  const u32 seq = st.root_loop_seq++;
+  end_fragment(FragmentEnd::Loop, uid);
+
+  const int team = opts.num_threads > 0 ? std::min(opts.num_threads, st.team)
+                                        : st.team;
+  LoopRec rec;
+  rec.uid = uid;
+  rec.enclosing_task = uid_;
+  rec.src = intern_src(st.trace.strings, loc.file, loc.line, loc.func);
+  rec.sched = opts.sched;
+  rec.chunk_param = opts.chunk;
+  rec.iter_begin = lo;
+  rec.iter_end = hi;
+  rec.num_threads = static_cast<u16>(team);
+  rec.starting_thread = 0;  // the root always runs on thread 0
+  rec.seq = seq;
+  rec.start = st.now;
+
+  if (hi <= lo) {
+    rec.end = st.now;
+    st.trace.loops.push_back(rec);
+    return;
+  }
+
+  const u64 total = hi - lo;
+  // Chunk assignment, with the formulas every engine shares.
+  //  thread id -> ordered chunk ranges it elaborates
+  std::vector<std::vector<std::pair<u64, u64>>> per_thread(
+      static_cast<size_t>(team));
+  if (opts.sched == ScheduleKind::Static) {
+    const u64 t = static_cast<u64>(team);
+    const u64 csize =
+        opts.chunk > 0 ? opts.chunk : std::max<u64>(1, (total + t - 1) / t);
+    u64 pos = lo;
+    u64 index = 0;
+    while (pos < hi) {
+      const u64 end = std::min(pos + csize, hi);
+      per_thread[static_cast<size_t>(index % t)].emplace_back(pos, end);
+      pos = end;
+      ++index;
+    }
+  } else {
+    // Dynamic/guided ranges come from a shared cursor, so the range SET is
+    // schedule-independent; which thread runs each is not. Elaborate all of
+    // them on thread 0 — the signature ignores dynamic chunk placement.
+    const u64 chunk_min = std::max<u64>(1, opts.chunk);
+    u64 cursor = lo;
+    while (cursor < hi) {
+      u64 take;
+      if (opts.sched == ScheduleKind::Dynamic) {
+        take = std::min(chunk_min, hi - cursor);
+      } else {
+        const u64 remaining = hi - cursor;
+        const u64 size = std::max<u64>(
+            chunk_min, remaining / (2 * static_cast<u64>(team)));
+        take = std::min(size, remaining);
+      }
+      per_thread[0].emplace_back(cursor, cursor + take);
+      cursor += take;
+    }
+  }
+
+  in_chunk_ = true;
+  for (int t = 0; t < team; ++t) {
+    const auto& mine = per_thread[static_cast<size_t>(t)];
+    if (mine.empty()) continue;  // silent: never participated
+    u32 bk_seq = 0;
+    u32 chunk_seq = 0;
+    for (const auto& [clo, chi] : mine) {
+      BookkeepRec b;
+      b.loop = uid;
+      b.thread = static_cast<u16>(t);
+      b.core = static_cast<u16>(t);
+      b.seq_on_thread = bk_seq++;
+      b.start = st.now;
+      b.end = st.now;
+      b.got_chunk = true;
+      st.trace.bookkeeps.push_back(b);
+
+      const TimeNs c0 = st.now;
+      Counters cnt;
+      for (u64 i = clo; i < chi; ++i) {
+        iter_compute_ = 0;
+        body(i, *this);
+        // Per-iteration aggregated conversion, as the DES does.
+        st.now += st.ns(iter_compute_);
+        cnt.compute += iter_compute_;
+      }
+      ChunkRec c;
+      c.loop = uid;
+      c.thread = static_cast<u16>(t);
+      c.core = static_cast<u16>(t);
+      c.seq_on_thread = chunk_seq++;
+      c.iter_begin = clo;
+      c.iter_end = chi;
+      c.start = c0;
+      c.end = st.now;
+      c.counters = cnt;
+      st.trace.chunks.push_back(c);
+    }
+    // Final empty book-keeping step of a thread that worked.
+    BookkeepRec b;
+    b.loop = uid;
+    b.thread = static_cast<u16>(t);
+    b.core = static_cast<u16>(t);
+    b.seq_on_thread = bk_seq++;
+    b.start = st.now;
+    b.end = st.now;
+    b.got_chunk = false;
+    st.trace.bookkeeps.push_back(b);
+  }
+  in_chunk_ = false;
+
+  rec.end = st.now;
+  st.trace.loops.push_back(rec);
+  frag_start_ = st.now;
+}
+
+}  // namespace
+
+SerialRefEngine::SerialRefEngine(SerialRefOptions opts)
+    : opts_(std::move(opts)) {
+  GG_CHECK(opts_.team_size >= 1);
+}
+
+front::RegionId SerialRefEngine::alloc_region(const std::string&, u64,
+                                              front::PagePlacement, int) {
+  return next_region_++;  // regions are accepted and ignored (no memory model)
+}
+
+Trace SerialRefEngine::run(const std::string& program_name,
+                           const TaskFn& root) {
+  Elab st;
+  st.topo = opts_.topology;
+  st.team = opts_.team_size;
+
+  TaskRec root_rec;
+  root_rec.uid = kRootTask;
+  root_rec.parent = kNoTask;
+  root_rec.src = st.trace.strings.intern("<root>");
+  st.trace.tasks.push_back(root_rec);
+
+  RefCtx ctx(&st, kRootTask);
+  ctx.begin();
+  root(ctx);
+  ctx.finish_root();
+
+  TraceMeta meta;
+  meta.program = program_name;
+  meta.runtime = "serial/ref";
+  meta.topology = st.topo.name();
+  meta.num_workers = st.team;
+  meta.num_cores = st.team;
+  meta.ghz = st.topo.ghz();
+  meta.region_start = 0;
+  meta.region_end = st.now;
+  meta.notes.push_back("team=" + std::to_string(st.team));
+  meta.profiled = true;
+  meta.clock_source = "virtual";
+  st.trace.meta = meta;
+  st.trace.finalize();
+  return std::move(st.trace);
+}
+
+}  // namespace gg::check

@@ -1,0 +1,55 @@
+// Serial reference elaborator: a third, independent implementation of the
+// front::Engine contract for the differential oracle.
+//
+// Executes the program inline and depth-first (every spawned child runs to
+// completion at its spawn point) on a virtual clock, and writes trace
+// records directly — no TraceRecorder, no discrete-event machinery, no
+// threads. Because it shares no execution code with rts::ThreadedEngine or
+// sim::SimEngine, structural agreement between all three is strong evidence
+// that the grain-graph invariants hold, not that one bug is copied thrice.
+//
+// Cost accounting mirrors the simulator's conversion granularity exactly so
+// the oracle's exact-agreement tier (vs. the zero-overhead policy) can
+// demand equality, not just tolerance:
+//  * task bodies convert cycles->ns per merged compute run (adjacent
+//    compute() calls merge, any other op flushes — as sim::Capture does);
+//  * loop iterations convert once per iteration over the iteration's total
+//    compute (as the DES's run_chunk does).
+// Both matter: cycles_to_ns truncates, so ns(a)+ns(b) != ns(a+b) in general.
+#pragma once
+
+#include <string>
+
+#include "front/front.hpp"
+#include "topology/topology.hpp"
+#include "trace/trace.hpp"
+
+namespace gg::check {
+
+struct SerialRefOptions {
+  Topology topology = Topology::opteron48();
+  /// Modeled team size. Loop chunks are partitioned/claimed exactly as a
+  /// team of this size would, then elaborated sequentially. 1 reproduces a
+  /// 1-core zero-overhead simulation bit-for-bit (exact tier); larger teams
+  /// reproduce the schedule-independent structure of N-worker runs
+  /// (structural tier).
+  int team_size = 1;
+};
+
+class SerialRefEngine final : public front::Engine {
+ public:
+  explicit SerialRefEngine(SerialRefOptions opts);
+
+  front::RegionId alloc_region(const std::string& name, u64 bytes,
+                               front::PagePlacement placement,
+                               int touch_node = -1) override;
+
+  Trace run(const std::string& program_name,
+            const front::TaskFn& root) override;
+
+ private:
+  SerialRefOptions opts_;
+  front::RegionId next_region_ = 1;
+};
+
+}  // namespace gg::check

@@ -1,0 +1,39 @@
+// Canonical structural signature of a trace for cross-engine comparison.
+//
+// Two traces of the same deterministic program — produced by different
+// engines, schedules, or core counts — must have equal signatures. The
+// signature therefore contains exactly the schedule-INdependent structure
+// (paper §3.1: the grain graph "is independent from machine size and
+// scheduling choices"):
+//  * tasks keyed by creation path ("2.0.1"), with source site, parent path,
+//    and the per-task sequence of fragment end reasons (Fork -> child path,
+//    Join -> join seq, Loop -> root loop seq, TaskEnd);
+//  * the dependence edge set, as (pred path, succ path) pairs;
+//  * loops keyed by root loop sequence, with schedule, chunk parameter,
+//    iteration range, and team size;
+//  * chunk structure: static schedules fix both ranges and thread
+//    assignment (per-thread ordered range lists); dynamic/guided schedules
+//    fix only the range set (shared-cursor claiming), so those loops
+//    contribute a sorted range multiset.
+// Deliberately excluded: task uids (engines number tasks in different
+// orders), timestamps, cores/threads of task fragments, inlined flags,
+// worker stats, and dynamic-loop book-keeping chains — all legitimately
+// schedule- or engine-dependent.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace gg::check {
+
+/// Canonical multi-line text signature. The trace must be finalized.
+/// Aborts (GG_CHECK) on traces too malformed to walk — run validate_trace
+/// first for graceful diagnostics.
+std::string canonical_signature(const Trace& trace);
+
+/// First line that differs between two signatures, as "theirs | ours";
+/// empty when equal. For failure messages.
+std::string first_signature_diff(const std::string& a, const std::string& b);
+
+}  // namespace gg::check

@@ -1,11 +1,19 @@
 // A single mutex-protected FIFO task queue — the "central queue-based task
 // scheduler" the paper contrasts with work stealing in the Strassen scatter
 // experiment (§4.3.5, Fig. 11d).
+//
+// Preemption points (rts/preempt.hpp) sit BEFORE the lock acquisition:
+// points inside the critical section would let the schedule controller park
+// a thread while it holds the mutex and deadlock the serialized schedule.
+// The GG_MUT_* block is a compile-time seeded bug for the mutation
+// smoke-test; never enabled in production builds.
 #pragma once
 
 #include <deque>
 #include <mutex>
 #include <optional>
+
+#include "rts/preempt.hpp"
 
 namespace gg::rts {
 
@@ -13,15 +21,21 @@ template <typename T>
 class CentralQueue {
  public:
   void push(T value) {
+    preempt_point(PreemptPoint::QueuePush);
     std::lock_guard lock(mutex_);
     items_.push_back(value);
   }
 
   std::optional<T> pop() {
+    preempt_point(PreemptPoint::QueuePop);
     std::lock_guard lock(mutex_);
     if (items_.empty()) return std::nullopt;
     T v = items_.front();
+#ifndef GG_MUT_CQ_POP_NO_REMOVE
     items_.pop_front();
+#endif
+    // Seeded bug (GG_MUT_CQ_POP_NO_REMOVE): the dequeue returns the front
+    // element without removing it, so every consumer sees duplicates.
     return v;
   }
 

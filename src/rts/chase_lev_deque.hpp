@@ -11,6 +11,13 @@
 // alive until destruction so racing thieves never read freed memory (a
 // standard simplification in runtime deques; growth is amortized and
 // buffers are small).
+//
+// Every scheduling-relevant step announces itself through a preemption
+// point (rts/preempt.hpp) so the deterministic schedule controller can
+// explore interleavings. The GG_MUT_* blocks are compile-time seeded bugs
+// for the mutation smoke-test (tests/mutation_smoke_test.cpp): they exist
+// to prove the schedule-exploration harness detects exactly these bug
+// classes, and are never enabled in production builds.
 #pragma once
 
 #include <atomic>
@@ -20,6 +27,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "rts/preempt.hpp"
 
 namespace gg::rts {
 
@@ -41,16 +49,26 @@ class ChaseLevDeque {
 
   /// Owner-only: pushes a value at the bottom.
   void push(T value) {
+    preempt_point(PreemptPoint::DequePush);
     const i64 b = bottom_.load(std::memory_order_relaxed);
     const i64 t = top_.load(std::memory_order_acquire);
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     if (b - t > static_cast<i64>(buf->capacity) - 1) {
       buf = grow(buf, t, b);
     }
+#ifdef GG_MUT_DEQUE_PUSH_PUBLISH_EARLY
+    // Seeded bug: the bottom publish is reordered before the slot write, so
+    // a thief scheduled in between reads an unwritten (or stale) slot.
+    bottom_.store(b + 1, std::memory_order_release);
+    preempt_point(PreemptPoint::DequePushPublish);
     buf->put(b, value);
+#else
+    buf->put(b, value);
+    preempt_point(PreemptPoint::DequePushPublish);
     // Release on the bottom store publishes the slot write to thieves whose
     // bottom load (seq_cst, hence acquire) observes it.
     bottom_.store(b + 1, std::memory_order_release);
+#endif
   }
 
   /// Owner-only: pops the most recently pushed value (LIFO). When
@@ -58,6 +76,7 @@ class ChaseLevDeque {
   /// thief won the CAS on the last element (scheduler introspection).
   std::optional<T> pop(bool* lost_race = nullptr) {
     if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::DequePopReserve);
     const i64 b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     // The seq_cst store/load pair below orders this reservation against
@@ -68,12 +87,21 @@ class ChaseLevDeque {
     if (t <= b) {
       T value = buf->get(b);
       if (t == b) {
+        preempt_point(PreemptPoint::DequePopCas);
+#ifdef GG_MUT_DEQUE_POP_SKIP_CAS
+        // Seeded bug: the owner claims the last element without racing the
+        // thieves on top, so a thief that already read the slot delivers
+        // the same element a second time.
+        if (lost_race) *lost_race = false;
+        return value;
+#else
         // Last element: race against thieves for it.
         const bool won = top_.compare_exchange_strong(
             t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
         bottom_.store(b + 1, std::memory_order_relaxed);
         if (!won && lost_race) *lost_race = true;
         return won ? std::optional<T>(value) : std::nullopt;
+#endif
       }
       return value;
     }
@@ -87,11 +115,13 @@ class ChaseLevDeque {
   /// top CAS to a competing thief or the owner.
   std::optional<T> steal(bool* lost_race = nullptr) {
     if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::DequeStealLoad);
     i64 t = top_.load(std::memory_order_seq_cst);
     const i64 b = bottom_.load(std::memory_order_seq_cst);
     if (t < b) {
       Buffer* buf = buffer_.load(std::memory_order_acquire);
       T value = buf->get(t);
+      preempt_point(PreemptPoint::DequeStealCas);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         if (lost_race) *lost_race = true;
@@ -138,7 +168,13 @@ class ChaseLevDeque {
   Buffer* grow(Buffer* old, i64 t, i64 b) {
     ++resizes_;
     auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+#ifdef GG_MUT_DEQUE_GROW_DROP_OLDEST
+    // Seeded bug: the copy starts one past the top, losing the oldest live
+    // element (a thief that raced the growth reads a never-written slot).
+    for (i64 i = t + 1; i < b; ++i) bigger->put(i, old->get(i));
+#else
     for (i64 i = t; i < b; ++i) bigger->put(i, old->get(i));
+#endif
     Buffer* raw = bigger.get();
     buffer_.store(raw, std::memory_order_release);
     retired_.push_back(std::move(bigger));

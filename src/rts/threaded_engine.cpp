@@ -6,6 +6,7 @@
 
 #include "common/check.hpp"
 #include "common/prng.hpp"
+#include "rts/preempt.hpp"
 
 namespace gg::rts {
 
@@ -513,6 +514,7 @@ ThreadedEngine::Task* ThreadedEngine::get_task(Worker& w) {
 }
 
 void ThreadedEngine::exec_task(Task* task, Worker& w) {
+  preempt_point(PreemptPoint::TaskExec);
   if (opts_.profile) ++w.cnt.tasks_executed;
   CtxImpl ctx(this, &w, task);
   ctx.frag_start_ = now();
@@ -553,9 +555,11 @@ void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
       exec_task(t, w);
     } else if (prof) {
       const TimeNs i0 = now();
+      preempt_point(PreemptPoint::Idle);
       std::this_thread::yield();
       w.cnt.idle_ns += now() - i0;
     } else {
+      preempt_point(PreemptPoint::Idle);
       std::this_thread::yield();
     }
   }
@@ -563,6 +567,7 @@ void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
 
 void ThreadedEngine::worker_main(int id) {
   Worker& w = *workers_[static_cast<size_t>(id)];
+  preempt_thread_start(id);
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (Task* t = get_task(w)) {
       exec_task(t, w);
@@ -576,12 +581,15 @@ void ThreadedEngine::worker_main(int id) {
     }
     if (opts_.profile) {
       const TimeNs i0 = now();
+      preempt_point(PreemptPoint::Idle);
       std::this_thread::yield();
       w.cnt.idle_ns += now() - i0;
     } else {
+      preempt_point(PreemptPoint::Idle);
       std::this_thread::yield();
     }
   }
+  preempt_thread_stop();
 }
 
 void ThreadedEngine::participate_in_loop(const std::shared_ptr<LoopState>& L,
@@ -602,6 +610,7 @@ void ThreadedEngine::participate_in_loop(const std::shared_ptr<LoopState>& L,
   u32 chunk_seq = 0;
   bool worked = false;
   while (true) {
+    preempt_point(PreemptPoint::LoopClaim);
     const TimeNs bk0 = now();
     auto range = L->claim(w.id);
     const TimeNs bk1 = now();
@@ -696,9 +705,11 @@ void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
         exec_task(t, w);
       } else if (profiling()) {
         const TimeNs i0 = now();
+        preempt_point(PreemptPoint::Idle);
         std::this_thread::yield();
         w.cnt.idle_ns += now() - i0;
       } else {
+        preempt_point(PreemptPoint::Idle);
         std::this_thread::yield();
       }
     }
@@ -746,6 +757,10 @@ Trace ThreadedEngine::run(const std::string& program_name,
   tsc_ns_per_tick();  // calibrate before the region starts
   tsc_base_ = tsc_now();
 #endif
+  // Register with a schedule controller (if installed) BEFORE the worker
+  // threads exist: worker 0 is the first registrant, so it takes the token
+  // deterministically and the whole region is explored serialized.
+  preempt_thread_start(0);
   for (int i = 1; i < opts_.num_workers; ++i) {
     Worker* w = workers_[static_cast<size_t>(i)].get();
     w->thread = std::thread([this, i] { worker_main(i); });
@@ -781,9 +796,11 @@ Trace ThreadedEngine::run(const std::string& program_name,
         exec_task(t, w0);
       } else if (profiling()) {
         const TimeNs i0 = now();
+        preempt_point(PreemptPoint::Idle);
         std::this_thread::yield();
         w0.cnt.idle_ns += now() - i0;
       } else {
+        preempt_point(PreemptPoint::Idle);
         std::this_thread::yield();
       }
     }
@@ -802,7 +819,13 @@ Trace ThreadedEngine::run(const std::string& program_name,
   const TimeNs region_end = now();
   if (profiling()) ctx.end_fragment(region_end, FragmentEnd::TaskEnd, 0);
 
+  // The shutdown store happens while this thread still holds the schedule
+  // token (if a controller is installed), and the token is handed over
+  // BEFORE the joins: joining while holding it would deadlock the
+  // serialized schedule, and storing the flag after releasing it would make
+  // the workers' final idle iterations nondeterministic.
   shutdown_.store(true, std::memory_order_release);
+  preempt_thread_stop();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }

@@ -40,6 +40,28 @@ SimPolicy SimPolicy::icc() {
   return p;
 }
 
+SimPolicy SimPolicy::zero_overhead() {
+  SimPolicy p;
+  p.name = "zero";
+  p.scheduler = SimSchedulerKind::WorkStealing;
+  // Every runtime operation is free: fragment and chunk times reduce to the
+  // annotated compute costs exactly, which is what lets the differential
+  // oracle (src/check/oracle.hpp) demand bit-exact agreement between the
+  // serial reference elaborator and the simulator.
+  p.task_create_cycles = 0;
+  p.task_dispatch_cycles = 0;
+  p.inline_exec_cycles = 0;
+  p.steal_cycles = 0;
+  p.steal_fail_cycles = 0;
+  p.taskwait_cycles = 0;
+  p.bookkeep_cycles = 0;
+  p.loop_setup_cycles = 0;
+  p.lock_serialized = false;
+  p.lock_cycles = 0;
+  p.coherence_serial_cycles = 0;
+  return p;
+}
+
 SimPolicy SimPolicy::mir_central() {
   SimPolicy p = mir();
   p.name = "mir-central";

@@ -55,6 +55,10 @@ struct SimPolicy {
   static SimPolicy icc();
   /// MIR with the central locked queue (Fig. 11d scatter foil).
   static SimPolicy mir_central();
+  /// All overheads zero: grain times equal annotated compute exactly. The
+  /// differential oracle's exact-agreement tier compares the serial
+  /// reference elaborator against simulations under this policy.
+  static SimPolicy zero_overhead();
 };
 
 }  // namespace gg::sim

@@ -29,7 +29,16 @@ class TraceRecorder {
   class Writer {
    public:
     void task(const TaskRec& r) { buf_->tasks.push_back(r); }
-    void fragment(const FragmentRec& r) { buf_->fragments.push_back(r); }
+    void fragment(const FragmentRec& r) {
+#ifdef GG_MUT_RECORDER_DROP_FRAGMENT
+      // Seeded bug for the mutation smoke-test: the recorder silently drops
+      // every task's second fragment, the kind of event-loss bug
+      // validate_trace's seq-contiguity check and the cross-engine
+      // differential oracle exist to catch. Never enabled in production.
+      if (r.seq == 1) return;
+#endif
+      buf_->fragments.push_back(r);
+    }
     void join(const JoinRec& r) { buf_->joins.push_back(r); }
     void loop(const LoopRec& r) { buf_->loops.push_back(r); }
     void chunk(const ChunkRec& r) { buf_->chunks.push_back(r); }

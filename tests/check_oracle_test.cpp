@@ -1,0 +1,101 @@
+// The cross-engine differential oracle (rts under deterministic schedule
+// exploration, simulator, serial reference). The default run is sized for
+// per-commit CI; the deep configuration — 200 programs x 50 schedules, the
+// acceptance bar — runs the same binary under `ctest -L deep`, which sets
+// GG_CHECK_PROGRAMS / GG_CHECK_SCHEDULES.
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "check/genprog.hpp"
+#include "check/oracle.hpp"
+#include "check/serial_ref.hpp"
+#include "check/signature.hpp"
+#include "sim/sim_engine.hpp"
+#include "support/test_support.hpp"
+
+namespace gg {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int parsed = std::atoi(v);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+TEST(GenProgTest, SameSeedSameProgram) {
+  const u64 seed = test::test_seed();
+  GG_SEED_TRACE(seed);
+  const check::ProgramSpec a = check::generate_program(seed);
+  const check::ProgramSpec b = check::generate_program(seed);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (size_t t = 0; t < a.tasks.size(); ++t) {
+    ASSERT_EQ(a.tasks[t].actions.size(), b.tasks[t].actions.size());
+    for (size_t i = 0; i < a.tasks[t].actions.size(); ++i) {
+      EXPECT_EQ(a.tasks[t].actions[i].kind, b.tasks[t].actions[i].kind);
+      EXPECT_EQ(a.tasks[t].actions[i].cycles, b.tasks[t].actions[i].cycles);
+    }
+  }
+}
+
+TEST(GenProgTest, EveryProgramHasGrains) {
+  for (u64 d = 0; d < 32; ++d) {
+    const check::ProgramSpec spec =
+        check::generate_program(test::test_seed() + d);
+    GG_SEED_TRACE(spec.seed);
+    bool has_grain = spec.spawned_tasks() > 0;
+    for (const check::GenAction& a : spec.tasks[0].actions) {
+      if (a.kind == check::GenAction::Kind::ParallelFor ||
+          a.kind == check::GenAction::Kind::Taskloop) {
+        has_grain = true;
+      }
+    }
+    EXPECT_TRUE(has_grain) << spec.name() << " is all-compute";
+  }
+}
+
+TEST(OracleTest, SerialReferenceMatchesZeroOverheadSimExactly) {
+  // A focused version of the oracle's exact tier, for a sharper failure
+  // when only the serial reference drifts.
+  for (u64 d = 0; d < 6; ++d) {
+    const check::ProgramSpec spec =
+        check::generate_program(test::test_seed() + d);
+    GG_SEED_TRACE(spec.seed);
+    check::SerialRefOptions sropts;
+    check::SerialRefEngine ser(sropts);
+    const Trace t_ser = run_spec(spec, ser);
+
+    sim::SimOptions so;
+    so.num_cores = 1;
+    so.policy = sim::SimPolicy::zero_overhead();
+    so.memory_model = false;
+    sim::SimEngine sim_eng(so);
+    const Trace t_sim = run_spec(spec, sim_eng);
+
+    const std::string sig_ser = check::canonical_signature(t_ser);
+    const std::string sig_sim = check::canonical_signature(t_sim);
+    EXPECT_EQ(sig_ser, sig_sim)
+        << spec.name() << ": "
+        << check::first_signature_diff(sig_ser, sig_sim);
+    EXPECT_EQ(t_ser.makespan(), t_sim.makespan()) << spec.name();
+  }
+}
+
+TEST(OracleTest, DifferentialOraclePasses) {
+  const int programs = env_int("GG_CHECK_PROGRAMS", 8);
+  const int schedules = env_int("GG_CHECK_SCHEDULES", 6);
+  const u64 base = test::test_seed();
+  GG_SEED_TRACE(base);
+  check::OracleOptions opts;
+  opts.schedules = schedules;
+  opts.log = programs > 20;  // progress lines for the deep configuration
+  const check::OracleResult res = check::check_many(base, programs, opts);
+  EXPECT_EQ(res.programs_checked, programs);
+  EXPECT_EQ(res.schedules_explored, programs * schedules);
+  EXPECT_TRUE(res.ok()) << res.summary();
+}
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,177 @@
+// The deterministic schedule controller: token discipline, strategy
+// behavior, preemption bounding, and — the property everything else rests
+// on — bit-identical decision trails when a {strategy, seed, bound} replays.
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "check/genprog.hpp"
+#include "check/schedule.hpp"
+#include "check/signature.hpp"
+#include "rts/preempt.hpp"
+#include "rts/threaded_engine.hpp"
+#include "support/test_support.hpp"
+
+namespace gg {
+namespace {
+
+using check::ScheduleController;
+using check::ScheduleOptions;
+using check::Strategy;
+
+struct TrailResult {
+  std::vector<i32> trail;
+  u64 preemptions = 0;
+  std::vector<int> order;  ///< thread id per recorded step, program order
+};
+
+/// Two threads, each hitting a mix of non-idle and idle preemption points
+/// while appending their id to a shared log. Fully serialized by the
+/// controller, so `order` is a pure function of the schedule.
+TrailResult run_two_thread_harness(const ScheduleOptions& base) {
+  ScheduleOptions opts = base;
+  opts.num_threads = 2;
+  ScheduleController ctrl(opts);
+  TrailResult r;
+  ctrl.install();
+  rts::preempt_thread_start(0);
+  std::thread other([&r] {
+    rts::preempt_thread_start(1);
+    for (int i = 0; i < 40; ++i) {
+      rts::preempt_point(i % 4 == 3 ? rts::PreemptPoint::Idle
+                                    : rts::PreemptPoint::QueuePush);
+      r.order.push_back(1);
+    }
+    rts::preempt_thread_stop();
+  });
+  for (int i = 0; i < 40; ++i) {
+    rts::preempt_point(i % 4 == 3 ? rts::PreemptPoint::Idle
+                                  : rts::PreemptPoint::DequePush);
+    r.order.push_back(0);
+  }
+  rts::preempt_thread_stop();
+  other.join();
+  ctrl.uninstall();
+  r.trail = ctrl.trail();
+  r.preemptions = ctrl.preemption_count();
+  return r;
+}
+
+TEST(ScheduleControllerTest, StrategyNamesRoundTrip) {
+  EXPECT_STREQ(to_string(Strategy::RoundRobin), "round-robin");
+  EXPECT_STREQ(to_string(Strategy::RandomWalk), "random-walk");
+  EXPECT_STREQ(to_string(Strategy::SleepSet), "sleep-set");
+}
+
+TEST(ScheduleControllerTest, DescribeEmbedsReplayTriple) {
+  ScheduleOptions opts;
+  opts.strategy = Strategy::SleepSet;
+  opts.seed = 0x2a;
+  opts.max_preemptions = 3;
+  ScheduleController ctrl(opts);
+  const std::string d = ctrl.describe();
+  EXPECT_NE(d.find("sleep-set"), std::string::npos) << d;
+  EXPECT_NE(d.find("seed="), std::string::npos) << d;
+  EXPECT_NE(d.find("bound=3"), std::string::npos) << d;
+}
+
+TEST(ScheduleControllerTest, TrailsReplayIdenticallyPerStrategy) {
+  for (const Strategy s :
+       {Strategy::RoundRobin, Strategy::RandomWalk, Strategy::SleepSet}) {
+    ScheduleOptions opts;
+    opts.strategy = s;
+    opts.seed = test::test_seed();
+    GG_SEED_TRACE(opts.seed);
+    const TrailResult a = run_two_thread_harness(opts);
+    const TrailResult b = run_two_thread_harness(opts);
+    EXPECT_EQ(a.trail, b.trail) << to_string(s);
+    EXPECT_EQ(a.order, b.order) << to_string(s);
+    EXPECT_EQ(a.preemptions, b.preemptions) << to_string(s);
+    EXPECT_FALSE(a.trail.empty()) << to_string(s);
+  }
+}
+
+TEST(ScheduleControllerTest, DifferentSeedsExploreDifferentSchedules) {
+  // Not guaranteed for any single pair, so demand at least one difference
+  // across a handful of seeds — a fixed-point RNG bug fails this reliably.
+  ScheduleOptions opts;
+  opts.strategy = Strategy::RandomWalk;
+  opts.seed = test::test_seed();
+  const TrailResult base = run_two_thread_harness(opts);
+  bool any_different = false;
+  for (u64 d = 1; d <= 4 && !any_different; ++d) {
+    ScheduleOptions o2 = opts;
+    o2.seed = opts.seed + d;
+    any_different = run_two_thread_harness(o2).order != base.order;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(ScheduleControllerTest, RoundRobinAlternatesThreads) {
+  ScheduleOptions opts;
+  opts.strategy = Strategy::RoundRobin;
+  const TrailResult r = run_two_thread_harness(opts);
+  // With both threads runnable, round-robin must not let either thread run
+  // an overwhelming majority of consecutive steps.
+  int switches = 0;
+  for (size_t i = 1; i < r.order.size(); ++i) {
+    if (r.order[i] != r.order[i - 1]) ++switches;
+  }
+  EXPECT_GT(switches, static_cast<int>(r.order.size()) / 4) << "order barely "
+      "alternates under round-robin";
+}
+
+TEST(ScheduleControllerTest, ZeroPreemptionBoundDisablesPreemption) {
+  for (const Strategy s :
+       {Strategy::RoundRobin, Strategy::RandomWalk, Strategy::SleepSet}) {
+    ScheduleOptions opts;
+    opts.strategy = s;
+    opts.seed = test::test_seed();
+    opts.max_preemptions = 0;
+    const TrailResult r = run_two_thread_harness(opts);
+    EXPECT_EQ(r.preemptions, 0u) << to_string(s);
+  }
+}
+
+TEST(ScheduleControllerTest, BoundedPreemptionsRespectTheBound) {
+  ScheduleOptions opts;
+  opts.strategy = Strategy::RandomWalk;
+  opts.seed = test::test_seed();
+  opts.max_preemptions = 5;
+  const TrailResult r = run_two_thread_harness(opts);
+  EXPECT_LE(r.preemptions, 5u);
+}
+
+TEST(ScheduleControllerTest, EngineRunsReplayUnderTheController) {
+  const check::ProgramSpec spec =
+      check::generate_program(test::test_seed() + 7);
+  GG_SEED_TRACE(spec.seed);
+  auto run_once = [&spec](std::vector<i32>* trail) {
+    ScheduleOptions sopts;
+    sopts.strategy = Strategy::RandomWalk;
+    sopts.seed = test::test_seed() + 99;
+    sopts.num_threads = 2;
+    ScheduleController ctrl(sopts);
+    ctrl.install();
+    rts::Options ropts;
+    ropts.num_workers = 2;
+    Trace t;
+    {
+      rts::ThreadedEngine eng(ropts);
+      t = run_spec(spec, eng);
+    }
+    ctrl.uninstall();
+    *trail = ctrl.trail();
+    return check::canonical_signature(t);
+  };
+  std::vector<i32> trail_a, trail_b;
+  const std::string sig_a = run_once(&trail_a);
+  const std::string sig_b = run_once(&trail_b);
+  EXPECT_EQ(trail_a, trail_b);
+  EXPECT_FALSE(trail_a.empty());
+  EXPECT_EQ(sig_a, sig_b) << check::first_signature_diff(sig_a, sig_b);
+}
+
+}  // namespace
+}  // namespace gg

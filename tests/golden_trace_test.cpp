@@ -1,0 +1,106 @@
+// Golden-trace regression corpus (tests/golden/): committed traces in both
+// serialization formats plus a committed .expect summary. Asserts the whole
+// ingestion pipeline — load -> graph -> metrics — is byte-stable across
+// formats and across time: any change to the trace format, the graph
+// builder, or the integer metrics shows up as a diff against the committed
+// expectation. Regenerate with `make_golden tests/golden` and commit the
+// result together with the change that caused it.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "check/signature.hpp"
+#include "graph/grain_graph.hpp"
+#include "graph/grain_table.hpp"
+#include "metrics/metrics.hpp"
+#include "trace/serialize.hpp"
+#include "trace/validate.hpp"
+
+#ifndef GG_GOLDEN_DIR
+#error "GG_GOLDEN_DIR must point at the committed corpus"
+#endif
+
+namespace gg {
+namespace {
+
+const char* const kEntries[] = {"tasks_mir4", "loops_gcc2", "exact_zero1"};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Must stay in sync with make_golden.cpp (the committed .expect files are
+/// the actual contract; this merely recomputes the same summary).
+std::string golden_summary(const Trace& t) {
+  const GrainGraph graph = GrainGraph::build(t);
+  const GrainTable grains = GrainTable::build(t);
+  const MetricsResult m =
+      compute_metrics(t, graph, grains, Topology::opteron48());
+  std::ostringstream os;
+  os << "makespan=" << t.makespan() << "\n"
+     << "total_work=" << m.total_work << "\n"
+     << "critical_path=" << m.critical_path_time << "\n"
+     << "grains=" << grains.size() << "\n"
+     << check::canonical_signature(t);
+  return os.str();
+}
+
+class GoldenTraceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenTraceTest, BothFormatsLoadToTheSameValidTrace) {
+  const std::string base = std::string(GG_GOLDEN_DIR) + "/" + GetParam();
+  const auto text = load_trace_file(base + ".ggtrace");
+  const auto binary = load_trace_file(base + ".ggbin");
+  ASSERT_TRUE(text.has_value());
+  ASSERT_TRUE(binary.has_value());
+  EXPECT_TRUE(validate_trace(*text).empty());
+  EXPECT_TRUE(validate_trace(*binary).empty());
+  EXPECT_EQ(check::canonical_signature(*text),
+            check::canonical_signature(*binary));
+  EXPECT_EQ(text->makespan(), binary->makespan());
+  EXPECT_EQ(text->meta.clock_source, binary->meta.clock_source);
+  EXPECT_EQ(text->worker_stats.size(), binary->worker_stats.size());
+}
+
+TEST_P(GoldenTraceTest, PipelineMatchesCommittedExpectation) {
+  const std::string base = std::string(GG_GOLDEN_DIR) + "/" + GetParam();
+  const std::string expected = read_file(base + ".expect");
+  for (const char* ext : {".ggtrace", ".ggbin"}) {
+    const auto t = load_trace_file(base + ext);
+    ASSERT_TRUE(t.has_value()) << ext;
+    EXPECT_EQ(golden_summary(*t) + "\n", expected)
+        << ext << ": load -> graph -> metrics drifted from the committed "
+        << "expectation; if the change is intentional, regenerate with "
+        << "make_golden";
+  }
+}
+
+TEST_P(GoldenTraceTest, SerializationRoundTripsByteExactly) {
+  const std::string base = std::string(GG_GOLDEN_DIR) + "/" + GetParam();
+  {
+    const auto t = load_trace_file(base + ".ggtrace");
+    ASSERT_TRUE(t.has_value());
+    std::ostringstream os;
+    save_trace(*t, os);
+    EXPECT_EQ(os.str(), read_file(base + ".ggtrace")) << "text format";
+  }
+  {
+    const auto t = load_trace_file(base + ".ggbin");
+    ASSERT_TRUE(t.has_value());
+    std::ostringstream os(std::ios::binary);
+    save_trace_binary(*t, os);
+    EXPECT_EQ(os.str(), read_file(base + ".ggbin")) << "binary format";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenTraceTest,
+                         ::testing::ValuesIn(kEntries));
+
+}  // namespace
+}  // namespace gg

@@ -1,0 +1,70 @@
+// Shared support for randomized tests.
+//
+// Every randomized test derives its seeds from test_seed(), which honors the
+// GG_TEST_SEED environment variable (decimal or 0x-hex). The effective base
+// seed is printed once to stderr, so a failing CI log always carries enough
+// to replay locally:
+//
+//   GG_TEST_SEED=<seed from the log> ctest -R <test> --output-on-failure
+//
+// Per-case messages should use GG_SEED_TRACE(seed) so the specific failing
+// seed (not just the base) lands next to the assertion output.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace gg::test {
+
+/// Base seed: GG_TEST_SEED when set, 1 otherwise. Stable for the lifetime
+/// of the process; the first call prints the effective value.
+inline u64 test_seed() {
+  static const u64 seed = [] {
+    u64 s = 1;
+    bool overridden = false;
+    if (const char* env = std::getenv("GG_TEST_SEED")) {
+      s = std::strtoull(env, nullptr, 0);
+      overridden = true;
+    }
+    std::fprintf(stderr,
+                 "[test_support] base seed = %llu%s (override with "
+                 "GG_TEST_SEED)\n",
+                 static_cast<unsigned long long>(s),
+                 overridden ? " [from GG_TEST_SEED]" : "");
+    return s;
+  }();
+  return seed;
+}
+
+/// The shared randomized-test generator, seeded from test_seed() and an
+/// optional per-call-site salt so independent tests draw independent
+/// streams from the same base seed.
+inline std::mt19937_64 test_rng(u64 salt = 0) {
+  return std::mt19937_64(test_seed() ^ (salt * 0x9e3779b97f4a7c15ull) ^
+                         0x6767746573740000ull);
+}
+
+/// `n` consecutive parameter seeds starting at the base seed, for
+/// INSTANTIATE_TEST_SUITE_P: a failing case prints its own seed, and
+/// GG_TEST_SEED=<that seed> with n=1 coverage replays it as the first case.
+inline std::vector<u64> param_seeds(int n) {
+  std::vector<u64> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(test_seed() + static_cast<u64>(i));
+  return out;
+}
+
+}  // namespace gg::test
+
+/// Attaches the effective seed (and the replay recipe) to every assertion
+/// in the current scope.
+#define GG_SEED_TRACE(seed)                                          \
+  SCOPED_TRACE(::testing::Message()                                  \
+               << "seed=" << (seed) << " (replay: GG_TEST_SEED="     \
+               << (seed) << ")")

@@ -26,15 +26,24 @@
 //     --salvage              repair a damaged trace and analyze what
 //                            survives; prints a degradation report
 //
+//   gganalyze --selftest [programs] [schedules]
+//     Runs the built-in differential oracle (src/check): generated programs
+//     elaborated by the threaded runtime under deterministic schedule
+//     exploration, the simulator, and the serial reference, with all grain
+//     graphs and metrics cross-checked. GG_TEST_SEED sets the base seed.
+//
 // Exit codes: 0 clean; 1 load/validation failure; 2 usage error; 3 analysis
 // ran on a salvaged (degraded) trace; 4 --salvage given but nothing usable
 // could be recovered.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
 
 #include "analysis/compare.hpp"
+#include "check/deque_check.hpp"
+#include "check/oracle.hpp"
 #include "analysis/recommend.hpp"
 #include "analysis/report.hpp"
 #include "analysis/timeline.hpp"
@@ -60,8 +69,9 @@ int usage(const char* argv0) {
                "[--dot f] [--csv f] [--json f] [--html f] [--chrome f] "
                "[--reduced] [--summarize N] [--compare t] [--topology "
                "opteron48|generic4|generic16] [--timeline] "
-               "[--strict|--salvage]\n",
-               argv0);
+               "[--strict|--salvage]\n"
+               "       %s --selftest [programs] [schedules]\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -81,10 +91,65 @@ std::optional<Topology> parse_topology(const std::string& name) {
   return std::nullopt;
 }
 
+/// Self-check mode: the differential oracle plus a queue-harness sweep, all
+/// in-process. Used by CI as a one-command health probe of the entire
+/// profiling pipeline (runtimes -> trace -> graph -> metrics).
+int run_selftest(int programs, int schedules) {
+  u64 base_seed = 1;
+  if (const char* env = std::getenv("GG_TEST_SEED")) {
+    base_seed = std::strtoull(env, nullptr, 0);
+  }
+  std::fprintf(stderr,
+               "[selftest] oracle: %d program(s) x %d rts schedule(s), base "
+               "seed %llu\n",
+               programs, schedules,
+               static_cast<unsigned long long>(base_seed));
+  gg::check::OracleOptions opts;
+  opts.schedules = schedules;
+  opts.log = true;
+  gg::check::OracleResult res =
+      gg::check::check_many(base_seed, programs, opts);
+
+  std::fprintf(stderr, "[selftest] queue harness sweep\n");
+  int queue_runs = 0;
+  std::vector<std::string> queue_violations;
+  for (int s = 0; s < 8; ++s) {
+    gg::check::DequeCheckOptions dopts;
+    dopts.schedule.strategy = static_cast<gg::check::Strategy>(s % 3);
+    dopts.schedule.seed = base_seed + static_cast<u64>(s);
+    dopts.num_thieves = 1 + (s % 2);
+    dopts.initial_capacity = (s % 2 == 0) ? 2 : 64;
+    dopts.items_per_round = 1 + (s % 3);
+    auto collect = [&](const gg::check::DequeCheckResult& r) {
+      ++queue_runs;
+      queue_violations.insert(queue_violations.end(), r.violations.begin(),
+                              r.violations.end());
+    };
+    collect(gg::check::check_deque(dopts));
+    collect(gg::check::check_central_queue(dopts));
+  }
+
+  std::fprintf(stderr, "%s\n", res.summary().c_str());
+  std::fprintf(stderr, "[selftest] queue harness: %zu violation(s) in %d "
+               "run(s)\n", queue_violations.size(), queue_runs);
+  for (size_t i = 0; i < queue_violations.size() && i < 10; ++i) {
+    std::fprintf(stderr, "  %s\n", queue_violations[i].c_str());
+  }
+  const bool ok = res.ok() && queue_violations.empty();
+  std::fprintf(stderr, "[selftest] %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+  if (std::strcmp(argv[1], "--selftest") == 0) {
+    const int programs = argc > 2 ? std::atoi(argv[2]) : 5;
+    const int schedules = argc > 3 ? std::atoi(argv[3]) : 6;
+    if (programs <= 0 || schedules <= 0) return usage(argv[0]);
+    return run_selftest(programs, schedules);
+  }
   const std::string trace_path = argv[1];
   std::string baseline_path, graphml_path, dot_path, csv_path, json_path;
   std::string compare_path, html_path, chrome_path;
