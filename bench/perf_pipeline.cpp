@@ -1,0 +1,193 @@
+// perf_pipeline — end-to-end analysis pipeline benchmark: legacy path
+// (istream parser + serial metrics) vs fast path (buffered parser +
+// parallel metrics) on a seeded synthetic trace.
+//
+//   perf_pipeline [--grains N] [--seed S] [--workers W] [--out file.json]
+//
+// Measures load + graph + grain-table + metrics + problem-view wall time
+// for both engines on the same input file, checks the two paths produce
+// byte-identical analysis output, and writes machine-readable results to
+// BENCH_analyze.json. Exit 1 on any parse error or output mismatch (so CI
+// can gate on correctness without gating on timing).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "export/grain_csv.hpp"
+#include "export/graphml.hpp"
+#include "export/json_summary.hpp"
+#include "support/bench_support.hpp"
+#include "trace/serialize.hpp"
+#include "trace/synth.hpp"
+
+namespace {
+
+using namespace gg;
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PathResult {
+  i64 load_ns = 0;
+  AnalysisTimings stages;
+  std::string report;     ///< rendered textual report
+  std::string summary;    ///< JSON summary bytes
+  i64 total_ns() const { return load_ns + stages.total_ns(); }
+};
+
+/// Loads `path` with the given engine and runs the full pipeline.
+/// Returns false on any load failure.
+bool run_path(const std::string& path, ParseEngine engine, int threads,
+              PathResult& out) {
+  LoadOptions lo;
+  lo.engine = engine;
+  lo.mode = LoadMode::Strict;
+  const i64 t0 = now_ns();
+  LoadResult lr = load_trace_file_ex(path, lo);
+  out.load_ns = now_ns() - t0;
+  if (!lr.usable()) {
+    std::fprintf(stderr, "error: %s", lr.describe().c_str());
+    return false;
+  }
+  AnalysisOptions opts;
+  opts.metrics.threads = threads;
+  const Analysis a = analyze(*lr.trace, Topology::generic4(), opts,
+                             &out.stages);
+  out.report = render_report(*lr.trace, a);
+  std::ostringstream js;
+  write_json_summary(js, *lr.trace, a);
+  out.summary = js.str();
+  return true;
+}
+
+void emit_stages(std::ofstream& os, const char* name, const PathResult& r) {
+  os << "  \"" << name << "\": {\"load_ns\": " << r.load_ns
+     << ", \"graph_ns\": " << r.stages.graph_ns
+     << ", \"grains_ns\": " << r.stages.grains_ns
+     << ", \"metrics_ns\": " << r.stages.metrics_ns
+     << ", \"problems_ns\": " << r.stages.problems_ns
+     << ", \"total_ns\": " << r.total_ns() << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SynthOptions sopts;
+  sopts.grains = 1000000;
+  std::string out_json = "BENCH_analyze.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--grains") {
+      sopts.grains = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      sopts.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--workers") {
+      sopts.workers = std::atoi(value());
+    } else if (arg == "--out") {
+      out_json = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--grains N] [--seed S] [--workers W] "
+                   "[--out file.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bench::print_header(
+      "analysis pipeline throughput (fast vs legacy engine)",
+      "n/a (implementation benchmark; target >= 5x end-to-end)");
+
+  std::printf("generating synthetic trace: %llu grains, %d workers, seed "
+              "%llu\n",
+              static_cast<unsigned long long>(sopts.grains), sopts.workers,
+              static_cast<unsigned long long>(sopts.seed));
+  const Trace trace = synth_trace(sopts);
+  const std::string dir = bench::out_dir();
+  const std::string text_path = dir + "/perf_pipeline.ggtrace";
+  const std::string bin_path = dir + "/perf_pipeline.ggbin";
+  if (!save_trace_file(trace, text_path) ||
+      !save_trace_file(trace, bin_path)) {
+    std::fprintf(stderr, "error: cannot write trace files under %s\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::error_code ec;
+  const u64 text_bytes = std::filesystem::file_size(text_path, ec);
+  const u64 bin_bytes = std::filesystem::file_size(bin_path, ec);
+  std::printf("trace files: %s (%.1f MB text), %s (%.1f MB binary)\n",
+              text_path.c_str(), static_cast<double>(text_bytes) / 1e6,
+              bin_path.c_str(), static_cast<double>(bin_bytes) / 1e6);
+
+  PathResult legacy, fast, fast_bin;
+  if (!run_path(text_path, ParseEngine::Legacy, /*threads=*/1, legacy))
+    return 1;
+  if (!run_path(text_path, ParseEngine::Fast, /*threads=*/0, fast)) return 1;
+  if (!run_path(bin_path, ParseEngine::Fast, /*threads=*/0, fast_bin))
+    return 1;
+
+  const bool identical = legacy.report == fast.report &&
+                         legacy.summary == fast.summary &&
+                         legacy.report == fast_bin.report &&
+                         legacy.summary == fast_bin.summary;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "error: fast and legacy paths produced different output\n");
+  }
+
+  auto ms = [](i64 ns) { return static_cast<double>(ns) / 1e6; };
+  auto print_path = [&](const char* name, const PathResult& r) {
+    std::printf("%-12s load %9.1f ms, graph %9.1f ms, grains %9.1f ms, "
+                "metrics %9.1f ms, problems %9.1f ms => total %9.1f ms\n",
+                name, ms(r.load_ns), ms(r.stages.graph_ns),
+                ms(r.stages.grains_ns), ms(r.stages.metrics_ns),
+                ms(r.stages.problems_ns), ms(r.total_ns()));
+  };
+  print_path("legacy/text", legacy);
+  print_path("fast/text", fast);
+  print_path("fast/binary", fast_bin);
+  const double speedup = legacy.total_ns() > 0 && fast.total_ns() > 0
+                             ? static_cast<double>(legacy.total_ns()) /
+                                   static_cast<double>(fast.total_ns())
+                             : 0.0;
+  std::printf("end-to-end speedup (legacy/text vs fast/text): %.2fx\n",
+              speedup);
+  std::printf("outputs byte-identical across paths: %s\n",
+              identical ? "yes" : "NO");
+
+  std::ofstream os(out_json);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_json.c_str());
+    return 1;
+  }
+  os << "{\n  \"bench\": \"perf_pipeline\",\n  \"grains\": "
+     << trace.grain_count() << ",\n  \"workers\": " << trace.meta.num_workers
+     << ",\n  \"seed\": " << sopts.seed
+     << ",\n  \"text_bytes\": " << text_bytes
+     << ",\n  \"binary_bytes\": " << bin_bytes << ",\n";
+  emit_stages(os, "legacy_text", legacy);
+  os << ",\n";
+  emit_stages(os, "fast_text", fast);
+  os << ",\n";
+  emit_stages(os, "fast_binary", fast_bin);
+  os << ",\n  \"speedup_end_to_end\": " << speedup
+     << ",\n  \"outputs_identical\": " << (identical ? "true" : "false")
+     << "\n}\n";
+  os.close();
+  std::printf("wrote %s\n", out_json.c_str());
+  return identical ? 0 : 1;
+}

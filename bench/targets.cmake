@@ -36,3 +36,4 @@ target_link_libraries(micro_components PRIVATE benchmark::benchmark)
 gg_add_bench(ext_dataflow_sparselu)
 gg_add_bench(ext_taskloop)
 gg_add_bench(ablation_topology)
+gg_add_bench(perf_pipeline)

@@ -1,5 +1,6 @@
 #include "analysis/report.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/strings.hpp"
@@ -8,18 +9,39 @@
 
 namespace gg {
 
+namespace {
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 Analysis analyze(const Trace& trace, const Topology& topo,
-                 const AnalysisOptions& opts) {
+                 const AnalysisOptions& opts, AnalysisTimings* timings) {
   Analysis a;
+  i64 t0 = now_ns();
   a.graph = GrainGraph::build(trace);
+  const i64 t1 = now_ns();
   a.grains = GrainTable::build(trace);
+  const i64 t2 = now_ns();
   a.metrics = compute_metrics(trace, a.graph, a.grains, topo, opts.metrics,
                               opts.baseline);
+  const i64 t3 = now_ns();
   a.thresholds = opts.thresholds.value_or(
       ProblemThresholds::defaults(trace.meta.num_workers, topo));
   a.problems = evaluate_all(a.grains, a.metrics, a.thresholds);
   a.sources = source_profile(trace, a.grains, a.metrics, a.thresholds,
                              SourceSort::ByCount);
+  const i64 t4 = now_ns();
+  if (timings != nullptr) {
+    timings->graph_ns = t1 - t0;
+    timings->grains_ns = t2 - t1;
+    timings->metrics_ns = t3 - t2;
+    timings->problems_ns = t4 - t3;
+  }
   return a;
 }
 

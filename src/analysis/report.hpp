@@ -35,9 +35,22 @@ struct Analysis {
   std::vector<SourceProfileRow> sources;  ///< sorted by creation count
 };
 
-/// Runs the full pipeline on a finalized trace.
+/// Per-stage wall times of one analyze() call, in nanoseconds.
+struct AnalysisTimings {
+  i64 graph_ns = 0;
+  i64 grains_ns = 0;
+  i64 metrics_ns = 0;
+  i64 problems_ns = 0;  ///< thresholds + problem views + source profile
+  i64 total_ns() const {
+    return graph_ns + grains_ns + metrics_ns + problems_ns;
+  }
+};
+
+/// Runs the full pipeline on a finalized trace. When `timings` is non-null
+/// it receives the wall time of each stage.
 Analysis analyze(const Trace& trace, const Topology& topo,
-                 const AnalysisOptions& opts = {});
+                 const AnalysisOptions& opts = {},
+                 AnalysisTimings* timings = nullptr);
 
 /// Renders the summary the paper's tool shows next to the graph: makespan,
 /// grain counts, critical path, load balance, per-problem affected-grain

@@ -1,0 +1,66 @@
+#pragma once
+
+// Append-only text buffer used by the exporters instead of ostringstream.
+//
+// operator<< mirrors the subset of ostream formatting the exporters relied
+// on — and produces byte-identical output for it: integers via
+// std::to_chars, doubles via printf "%g" (the same 6-significant-digit
+// default formatting as an unconfigured ostream, including "inf"/"nan" and
+// exponent spelling). Exporters format into one reusable buffer and flush it
+// to the output stream with a single write.
+
+#include <charconv>
+#include <concepts>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace gg {
+
+class BufWriter {
+ public:
+  explicit BufWriter(size_t reserve_bytes = 1 << 16) { buf_.reserve(reserve_bytes); }
+
+  void clear() { buf_.clear(); }
+  size_t size() const { return buf_.size(); }
+  std::string_view view() const { return buf_; }
+  const std::string& str() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+  void write_to(std::ostream& os) const { os.write(buf_.data(), static_cast<std::streamsize>(buf_.size())); }
+
+  BufWriter& operator<<(std::string_view v) {
+    buf_.append(v);
+    return *this;
+  }
+  BufWriter& operator<<(char c) {
+    buf_.push_back(c);
+    return *this;
+  }
+  template <std::integral T>
+    requires(!std::same_as<T, char> && !std::same_as<T, bool>)
+  BufWriter& operator<<(T v) {
+    char tmp[24];
+    auto [end, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    (void)ec;
+    buf_.append(tmp, end);
+    return *this;
+  }
+  BufWriter& operator<<(double v) {
+    char tmp[64];
+    const int n = std::snprintf(tmp, sizeof(tmp), "%g", v);
+    if (n > 0) buf_.append(tmp, static_cast<size_t>(n));
+    return *this;
+  }
+
+ private:
+  std::string buf_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const BufWriter& b) {
+  b.write_to(os);
+  return os;
+}
+
+}  // namespace gg

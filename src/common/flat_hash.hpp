@@ -1,0 +1,116 @@
+#pragma once
+
+// Open-addressing hash map for the analysis hot paths.
+//
+// The analysis pipeline only ever builds an index once and then queries it
+// (fragment ranges per task, grain row per task/chunk, GraphML node ids), so
+// the map supports insert and lookup but not erase. Linear probing over a
+// power-of-two slot array keeps probes within one or two cache lines; keys
+// are expected to be small PODs with a cheap mix-style hash.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gg {
+
+/// Default hasher: finalizer of SplitMix64 for 64-bit integral keys, which is
+/// enough avalanche for linear probing; everything else falls back to
+/// std::hash.
+template <class K>
+struct FlatHashOf {
+  size_t operator()(const K& k) const { return std::hash<K>{}(k); }
+};
+
+inline u64 flat_hash_mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <>
+struct FlatHashOf<u64> {
+  size_t operator()(u64 k) const { return static_cast<size_t>(flat_hash_mix64(k)); }
+};
+
+template <>
+struct FlatHashOf<u32> {
+  size_t operator()(u32 k) const { return static_cast<size_t>(flat_hash_mix64(k)); }
+};
+
+/// Insert-only open-addressing map (linear probing, power-of-two capacity,
+/// max load factor 0.7). Iteration order is unspecified — callers that need
+/// deterministic order must iterate their own key list, not the map.
+template <class K, class V, class Hash = FlatHashOf<K>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  void reserve(size_t n) {
+    size_t cap = 16;
+    while (cap * 7 / 10 < n) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  V* find(const K& key) {
+    if (slots_.empty()) return nullptr;
+    for (size_t i = Hash{}(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.val;
+    }
+  }
+  const V* find(const K& key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+
+  /// Returns the value for `key`, default-constructing it on first use.
+  V& operator[](const K& key) {
+    if (slots_.empty() || (size_ + 1) * 10 > slots_.size() * 7) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    for (size_t i = Hash{}(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        s.val = V{};
+        ++size_;
+        return s.val;
+      }
+      if (s.key == key) return s.val;
+    }
+  }
+
+  void insert_or_assign(const K& key, V val) { (*this)[key] = std::move(val); }
+
+ private:
+  struct Slot {
+    K key{};
+    V val{};
+    bool used = false;
+  };
+
+  void rehash(size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+    size_ = 0;
+    for (Slot& s : old) {
+      if (s.used) (*this)[s.key] = std::move(s.val);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace gg

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bufwriter.hpp"
 #include "export/json_summary.hpp"
 
 namespace gg {
@@ -15,23 +16,27 @@ namespace {
 
 // Trace-event timestamps are microseconds; keep nanosecond resolution with
 // three decimals (the format accepts fractional ts/dur).
-std::string us(TimeNs t) {
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(t) / 1000.0);
-  return buf;
+void us(BufWriter& buf, TimeNs t) {
+  char tmp[32];
+  const int n =
+      std::snprintf(tmp, sizeof tmp, "%.3f", static_cast<double>(t) / 1000.0);
+  if (n > 0) buf << std::string_view(tmp, static_cast<size_t>(n));
 }
 
+/// Separator management for the event array; callers append the event body
+/// to the returned buffer.
 class EventSink {
  public:
-  explicit EventSink(std::ostream& os) : os_(os) {}
+  explicit EventSink(BufWriter& buf) : buf_(buf) {}
 
-  void emit(const std::string& event) {
-    os_ << (first_ ? "\n  " : ",\n  ") << event;
+  BufWriter& next() {
+    buf_ << (first_ ? "\n  " : ",\n  ");
     first_ = false;
+    return buf_;
   }
 
  private:
-  std::ostream& os_;
+  BufWriter& buf_;
   bool first_ = true;
 };
 
@@ -50,55 +55,62 @@ void emit_counter(EventSink& sink, const char* name,
       value += deltas[i].second;
       ++i;
     }
-    sink.emit(std::string("{\"ph\":\"C\",\"pid\":1,\"name\":\"") + name +
-              "\",\"ts\":" + us(t) + ",\"args\":{\"value\":" +
-              std::to_string(value) + "}}");
+    BufWriter& buf = sink.next();
+    buf << "{\"ph\":\"C\",\"pid\":1,\"name\":\"" << name << "\",\"ts\":";
+    us(buf, t);
+    buf << ",\"args\":{\"value\":" << value << "}}";
   }
 }
 
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Trace& trace) {
-  os << "{\"traceEvents\":[";
-  EventSink sink(os);
+  BufWriter buf(1 << 20);
+  buf << "{\"traceEvents\":[";
+  EventSink sink(buf);
 
   // Metadata: name the process after the run, one named thread per worker.
   const std::string pname =
       trace.meta.program + " (" + trace.meta.runtime + ")";
-  sink.emit("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
-            "\"args\":{\"name\":\"" + json_escape(pname) + "\"}}");
+  sink.next() << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+                 "\"args\":{\"name\":\""
+              << json_escape(pname) << "\"}}";
   for (int w = 0; w < trace.meta.num_workers; ++w) {
-    sink.emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(w) +
-              ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker " +
-              std::to_string(w) + "\"}}");
+    sink.next() << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << w
+                << ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker "
+                << w << "\"}}";
   }
 
   // Task fragments: one complete slice each, on the executing worker's
   // track, named by the task's source location.
   for (const FragmentRec& f : trace.fragments) {
-    std::string name = "task";
+    std::string_view name = "task";
     if (auto idx = trace.task_index(f.task))
-      name = std::string(trace.strings.get(trace.tasks[*idx].src));
-    sink.emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(f.core) +
-              ",\"ts\":" + us(f.start) + ",\"dur\":" + us(f.end - f.start) +
-              ",\"name\":\"" + json_escape(name) +
-              "\",\"cat\":\"task\",\"args\":{\"task\":" +
-              std::to_string(f.task) + ",\"seq\":" + std::to_string(f.seq) +
-              "}}");
+      name = trace.strings.get(trace.tasks[*idx].src);
+    BufWriter& b = sink.next();
+    b << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << f.core << ",\"ts\":";
+    us(b, f.start);
+    b << ",\"dur\":";
+    us(b, f.end - f.start);
+    b << ",\"name\":\"" << json_escape(name)
+      << "\",\"cat\":\"task\",\"args\":{\"task\":" << f.task
+      << ",\"seq\":" << f.seq << "}}";
   }
 
   // Loop chunks: one complete slice each, named by the loop's source.
   for (const ChunkRec& c : trace.chunks) {
-    std::string name = "chunk";
+    std::string_view name = "chunk";
     if (auto idx = trace.loop_index(c.loop))
-      name = std::string(trace.strings.get(trace.loops[*idx].src));
-    sink.emit("{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(c.core) +
-              ",\"ts\":" + us(c.start) + ",\"dur\":" + us(c.end - c.start) +
-              ",\"name\":\"" + json_escape(name) +
-              "\",\"cat\":\"chunk\",\"args\":{\"loop\":" +
-              std::to_string(c.loop) + ",\"iter_begin\":" +
-              std::to_string(c.iter_begin) + ",\"iter_end\":" +
-              std::to_string(c.iter_end) + "}}");
+      name = trace.strings.get(trace.loops[*idx].src);
+    BufWriter& b = sink.next();
+    b << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << c.core << ",\"ts\":";
+    us(b, c.start);
+    b << ",\"dur\":";
+    us(b, c.end - c.start);
+    b << ",\"name\":\"" << json_escape(name)
+      << "\",\"cat\":\"chunk\",\"args\":{\"loop\":" << c.loop
+      << ",\"iter_begin\":" << c.iter_begin
+      << ",\"iter_end\":" << c.iter_end << "}}";
   }
 
   // Flow arrows. Spawn edges: creation point on the spawner's track to the
@@ -108,31 +120,34 @@ void write_chrome_trace(std::ostream& os, const Trace& trace) {
   // with the child's uid as the id in both.
   for (const TaskRec& t : trace.tasks) {
     if (t.uid == kRootTask) continue;
-    auto frags = trace.fragments_of(t.uid);
+    const auto frags = trace.fragments_span(t.uid);
     if (frags.empty()) continue;
-    const std::string id = std::to_string(t.uid);
-    sink.emit("{\"ph\":\"s\",\"pid\":1,\"tid\":" +
-              std::to_string(t.create_core) + ",\"ts\":" +
-              us(t.create_time) + ",\"id\":" + id +
-              ",\"name\":\"spawn\",\"cat\":\"spawn\"}");
-    sink.emit("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" +
-              std::to_string(frags.front()->core) + ",\"ts\":" +
-              us(frags.front()->start) + ",\"id\":" + id +
-              ",\"name\":\"spawn\",\"cat\":\"spawn\"}");
-    const FragmentRec& last = *frags.back();
-    auto joins = trace.joins_of(t.parent);
+    BufWriter& b1 = sink.next();
+    b1 << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << t.create_core << ",\"ts\":";
+    us(b1, t.create_time);
+    b1 << ",\"id\":" << t.uid << ",\"name\":\"spawn\",\"cat\":\"spawn\"}";
+    BufWriter& b2 = sink.next();
+    b2 << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":"
+       << frags.front().core << ",\"ts\":";
+    us(b2, frags.front().start);
+    b2 << ",\"id\":" << t.uid << ",\"name\":\"spawn\",\"cat\":\"spawn\"}";
+    const FragmentRec& last = frags.back();
+    const auto joins = trace.joins_span(t.parent);
     const JoinRec* join = nullptr;
-    for (const JoinRec* j : joins) {
-      if (j->end >= last.end && (join == nullptr || j->end < join->end))
-        join = j;
+    for (const JoinRec& j : joins) {
+      if (j.end >= last.end && (join == nullptr || j.end < join->end))
+        join = &j;
     }
     if (join != nullptr) {
-      sink.emit("{\"ph\":\"s\",\"pid\":1,\"tid\":" +
-                std::to_string(last.core) + ",\"ts\":" + us(last.end) +
-                ",\"id\":" + id + ",\"name\":\"join\",\"cat\":\"join\"}");
-      sink.emit("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" +
-                std::to_string(join->core) + ",\"ts\":" + us(join->end) +
-                ",\"id\":" + id + ",\"name\":\"join\",\"cat\":\"join\"}");
+      BufWriter& b3 = sink.next();
+      b3 << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << last.core << ",\"ts\":";
+      us(b3, last.end);
+      b3 << ",\"id\":" << t.uid << ",\"name\":\"join\",\"cat\":\"join\"}";
+      BufWriter& b4 = sink.next();
+      b4 << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << join->core
+         << ",\"ts\":";
+      us(b4, join->end);
+      b4 << ",\"id\":" << t.uid << ",\"name\":\"join\",\"cat\":\"join\"}";
     }
   }
 
@@ -152,17 +167,19 @@ void write_chrome_trace(std::ostream& os, const Trace& trace) {
     emit_counter(sink, "parallelism", std::move(par));
 
     std::vector<std::pair<TimeNs, int>> out;
+    out.reserve(2 * trace.tasks.size());
     for (const TaskRec& t : trace.tasks) {
       if (t.uid == kRootTask) continue;
-      auto frags = trace.fragments_of(t.uid);
+      const auto frags = trace.fragments_span(t.uid);
       if (frags.empty()) continue;
       out.emplace_back(t.create_time, +1);
-      out.emplace_back(frags.back()->end, -1);
+      out.emplace_back(frags.back().end, -1);
     }
     emit_counter(sink, "outstanding tasks", std::move(out));
   }
 
-  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  buf << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  buf.write_to(os);
 }
 
 bool write_chrome_trace_file(const std::string& path, const Trace& trace) {

@@ -2,52 +2,67 @@
 
 #include <fstream>
 #include <ostream>
+#include <string_view>
 
+#include "common/bufwriter.hpp"
 #include "common/check.hpp"
 #include "common/strings.hpp"
-#include "common/table.hpp"
 
 namespace gg {
+
+namespace {
+
+/// Appends one CSV cell with the same quoting rules as Table::to_csv():
+/// quote when the cell contains a comma, quote, or newline; double embedded
+/// quotes.
+void csv_cell(BufWriter& buf, std::string_view cell) {
+  if (cell.find_first_of(",\"\n") == std::string_view::npos) {
+    buf << cell;
+    return;
+  }
+  buf << '"';
+  for (char c : cell) {
+    if (c == '"') buf << '"';
+    buf << c;
+  }
+  buf << '"';
+}
+
+}  // namespace
 
 void write_grain_csv(std::ostream& os, const Trace& trace,
                      const GrainTable& grains, const MetricsResult& metrics) {
   GG_CHECK(metrics.per_grain.size() == grains.size());
-  Table t;
-  t.set_header({"path", "kind", "source", "core", "start_ns", "end_ns",
-                "exec_ns", "compute_cycles", "stall_cycles", "cache_misses",
-                "bytes", "creation_cost_ns", "sync_cost_ns", "fragments",
-                "children", "inlined", "parallel_benefit", "work_deviation",
-                "mem_util", "inst_parallelism", "inst_parallelism_opt",
-                "scatter", "on_critical_path"});
+  BufWriter buf(1 << 20);
+  buf << "path,kind,source,core,start_ns,end_ns,exec_ns,compute_cycles,"
+         "stall_cycles,cache_misses,bytes,creation_cost_ns,sync_cost_ns,"
+         "fragments,children,inlined,parallel_benefit,work_deviation,"
+         "mem_util,inst_parallelism,inst_parallelism_opt,scatter,"
+         "on_critical_path\n";
   const auto& table = grains.grains();
   for (size_t i = 0; i < table.size(); ++i) {
     const Grain& g = table[i];
     const GrainMetrics& m = metrics.per_grain[i];
-    t.add_row({g.path,
-               g.kind == GrainKind::Task ? "task" : "chunk",
-               std::string(trace.strings.get(g.src)),
-               std::to_string(g.core),
-               std::to_string(g.first_start),
-               std::to_string(g.last_end),
-               std::to_string(g.exec_time),
-               std::to_string(g.counters.compute),
-               std::to_string(g.counters.stall),
-               std::to_string(g.counters.cache_misses),
-               std::to_string(g.counters.bytes_accessed),
-               std::to_string(g.creation_cost),
-               std::to_string(g.sync_cost),
-               std::to_string(g.n_fragments),
-               std::to_string(g.n_children),
-               g.inlined ? "1" : "0",
-               strings::trim_double(m.parallel_benefit, 4),
-               strings::trim_double(m.work_deviation, 4),
-               strings::trim_double(m.mem_util, 4),
-               std::to_string(m.inst_parallelism),
-               std::to_string(m.inst_parallelism_optimistic),
-               strings::trim_double(m.scatter, 2),
-               m.on_critical_path ? "1" : "0"});
+    csv_cell(buf, g.path);
+    buf << ',' << (g.kind == GrainKind::Task ? "task" : "chunk") << ',';
+    csv_cell(buf, trace.strings.get(g.src));
+    buf << ',' << g.core << ',' << g.first_start << ',' << g.last_end << ','
+        << g.exec_time << ',' << g.counters.compute << ','
+        << g.counters.stall << ',' << g.counters.cache_misses << ','
+        << g.counters.bytes_accessed << ',' << g.creation_cost << ','
+        << g.sync_cost << ',' << g.n_fragments << ',' << g.n_children << ','
+        << (g.inlined ? "1" : "0") << ',';
+    csv_cell(buf, strings::trim_double(m.parallel_benefit, 4));
+    buf << ',';
+    csv_cell(buf, strings::trim_double(m.work_deviation, 4));
+    buf << ',';
+    csv_cell(buf, strings::trim_double(m.mem_util, 4));
+    buf << ',' << m.inst_parallelism << ',' << m.inst_parallelism_optimistic
+        << ',';
+    csv_cell(buf, strings::trim_double(m.scatter, 2));
+    buf << ',' << (m.on_critical_path ? "1" : "0") << '\n';
   }
-  os << t.to_csv();
+  buf.write_to(os);
 }
 
 bool write_grain_csv_file(const std::string& path, const Trace& trace,

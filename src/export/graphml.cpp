@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
-#include <map>
 #include <ostream>
 
+#include "common/bufwriter.hpp"
 #include "common/strings.hpp"
 
 namespace gg {
@@ -39,27 +39,11 @@ void write_graphml(std::ostream& os, const GrainGraph& graph,
   const auto& edges = graph.edges();
 
   // Map graph nodes to grain-table indices (for problem-view coloring).
-  std::map<TaskId, size_t> task_grain;
-  std::map<std::tuple<LoopId, u16, u32>, size_t> chunk_grain;
-  if (grains != nullptr) {
-    const auto& table = grains->grains();
-    for (size_t i = 0; i < table.size(); ++i) {
-      if (table[i].kind == GrainKind::Task) {
-        task_grain[table[i].task] = i;
-      } else {
-        chunk_grain[{table[i].loop, table[i].thread, table[i].chunk_seq}] = i;
-      }
-    }
-  }
+  std::optional<GrainLookup> lookup;
+  if (grains != nullptr) lookup.emplace(*grains);
   auto grain_index = [&](const GraphNode& n) -> std::optional<size_t> {
-    if (n.kind == NodeKind::Fragment && n.task != kRootTask) {
-      auto it = task_grain.find(n.task);
-      if (it != task_grain.end()) return it->second;
-    } else if (n.kind == NodeKind::Chunk) {
-      auto it = chunk_grain.find({n.loop, n.thread, n.seq});
-      if (it != chunk_grain.end()) return it->second;
-    }
-    return std::nullopt;
+    if (!lookup.has_value()) return std::nullopt;
+    return lookup->row_of(n);
   };
 
   // Problem view (optional).
@@ -74,28 +58,31 @@ void write_graphml(std::ostream& os, const GrainGraph& graph,
   // index within the depth level.
   std::vector<u32> depth(nodes.size(), 0);
   const bool has_topo = graph.topo_order().size() == nodes.size();
+  u32 max_depth = 0;
   if (has_topo) {
     for (u32 v : graph.topo_order()) {
       for (u32 e : graph.out_edges(v)) {
         depth[edges[e].to] = std::max(depth[edges[e].to], depth[v] + 1);
       }
     }
+    for (u32 d : depth) max_depth = std::max(max_depth, d);
   }
-  std::map<u32, u32> col_at_depth;
+  std::vector<u32> col_at_depth(static_cast<size_t>(max_depth) + 1, 0);
 
-  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
-     << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\"\n"
-     << "         xmlns:y=\"http://www.yworks.com/xml/graphml\">\n"
-     << "  <key id=\"d0\" for=\"node\" yfiles.type=\"nodegraphics\"/>\n"
-     << "  <key id=\"d1\" for=\"edge\" yfiles.type=\"edgegraphics\"/>\n"
-     << "  <key id=\"kind\" for=\"node\" attr.name=\"kind\" attr.type=\"string\"/>\n"
-     << "  <key id=\"src\" for=\"node\" attr.name=\"source\" attr.type=\"string\"/>\n"
-     << "  <key id=\"exec\" for=\"node\" attr.name=\"exec_ns\" attr.type=\"long\"/>\n"
-     << "  <key id=\"grp\" for=\"node\" attr.name=\"group_size\" attr.type=\"int\"/>\n"
-     << "  <key id=\"ekind\" for=\"edge\" attr.name=\"kind\" attr.type=\"string\"/>\n"
-     << "  <graph id=\"" << strings::xml_escape(
-            opts.title.empty() ? trace.meta.program : opts.title)
-     << "\" edgedefault=\"directed\">\n";
+  BufWriter buf(1 << 20);
+  buf << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\"\n"
+      << "         xmlns:y=\"http://www.yworks.com/xml/graphml\">\n"
+      << "  <key id=\"d0\" for=\"node\" yfiles.type=\"nodegraphics\"/>\n"
+      << "  <key id=\"d1\" for=\"edge\" yfiles.type=\"edgegraphics\"/>\n"
+      << "  <key id=\"kind\" for=\"node\" attr.name=\"kind\" attr.type=\"string\"/>\n"
+      << "  <key id=\"src\" for=\"node\" attr.name=\"source\" attr.type=\"string\"/>\n"
+      << "  <key id=\"exec\" for=\"node\" attr.name=\"exec_ns\" attr.type=\"long\"/>\n"
+      << "  <key id=\"grp\" for=\"node\" attr.name=\"group_size\" attr.type=\"int\"/>\n"
+      << "  <key id=\"ekind\" for=\"edge\" attr.name=\"kind\" attr.type=\"string\"/>\n"
+      << "  <graph id=\"" << strings::xml_escape(
+             opts.title.empty() ? trace.meta.program : opts.title)
+      << "\" edgedefault=\"directed\">\n";
 
   for (u32 i = 0; i < nodes.size(); ++i) {
     const GraphNode& n = nodes[i];
@@ -134,29 +121,35 @@ void write_graphml(std::ostream& os, const GrainGraph& graph,
     if (n.kind == NodeKind::Fragment || n.kind == NodeKind::Chunk) {
       label = std::string(trace.strings.get(n.src));
       if (n.kind == NodeKind::Chunk) {
-        label += " [" + std::to_string(n.iter_begin) + "," +
-                 std::to_string(n.iter_end) + ")";
+        label += " [";
+        label += std::to_string(n.iter_begin);
+        label += ',';
+        label += std::to_string(n.iter_end);
+        label += ')';
       }
-      if (n.group_size > 1) label += " x" + std::to_string(n.group_size);
+      if (n.group_size > 1) {
+        label += " x";
+        label += std::to_string(n.group_size);
+      }
     }
 
-    os << "    <node id=\"n" << i << "\">\n"
-       << "      <data key=\"kind\">" << to_string(n.kind) << "</data>\n"
-       << "      <data key=\"src\">"
-       << strings::xml_escape(trace.strings.get(n.src)) << "</data>\n"
-       << "      <data key=\"exec\">" << n.busy << "</data>\n"
-       << "      <data key=\"grp\">" << n.group_size << "</data>\n"
-       << "      <data key=\"d0\"><y:ShapeNode>"
-       << "<y:Geometry height=\"" << style.height << "\" width=\""
-       << style.width << "\" x=\"" << x << "\" y=\"" << y << "\"/>"
-       << "<y:Fill color=\"" << style.fill << "\" transparent=\"false\"/>"
-       << "<y:BorderStyle color=\"" << style.border
-       << "\" type=\"line\" width=\"" << (on_cp ? 2.0 : 1.0) << "\"/>"
-       << "<y:NodeLabel visible=\"" << (label.empty() ? "false" : "true")
-       << "\">" << strings::xml_escape(label) << "</y:NodeLabel>"
-       << "<y:Shape type=\"" << style.shape << "\"/>"
-       << "</y:ShapeNode></data>\n"
-       << "    </node>\n";
+    buf << "    <node id=\"n" << i << "\">\n"
+        << "      <data key=\"kind\">" << to_string(n.kind) << "</data>\n"
+        << "      <data key=\"src\">"
+        << strings::xml_escape(trace.strings.get(n.src)) << "</data>\n"
+        << "      <data key=\"exec\">" << n.busy << "</data>\n"
+        << "      <data key=\"grp\">" << n.group_size << "</data>\n"
+        << "      <data key=\"d0\"><y:ShapeNode>"
+        << "<y:Geometry height=\"" << style.height << "\" width=\""
+        << style.width << "\" x=\"" << x << "\" y=\"" << y << "\"/>"
+        << "<y:Fill color=\"" << style.fill << "\" transparent=\"false\"/>"
+        << "<y:BorderStyle color=\"" << style.border
+        << "\" type=\"line\" width=\"" << (on_cp ? 2.0 : 1.0) << "\"/>"
+        << "<y:NodeLabel visible=\"" << (label.empty() ? "false" : "true")
+        << "\">" << strings::xml_escape(label) << "</y:NodeLabel>"
+        << "<y:Shape type=\"" << style.shape << "\"/>"
+        << "</y:ShapeNode></data>\n"
+        << "    </node>\n";
   }
 
   for (u32 e = 0; e < edges.size(); ++e) {
@@ -167,16 +160,17 @@ void write_graphml(std::ostream& os, const GrainGraph& graph,
                                                           : "#000000";
     const char* style =
         ed.kind == EdgeKind::Dependence ? "dashed" : "line";
-    os << "    <edge id=\"e" << e << "\" source=\"n" << ed.from
-       << "\" target=\"n" << ed.to << "\">\n"
-       << "      <data key=\"ekind\">" << to_string(ed.kind) << "</data>\n"
-       << "      <data key=\"d1\"><y:PolyLineEdge><y:LineStyle color=\""
-       << color << "\" type=\"" << style << "\" width=\"1.0\"/>"
-       << "<y:Arrows source=\"none\" target=\"standard\"/>"
-       << "</y:PolyLineEdge></data>\n"
-       << "    </edge>\n";
+    buf << "    <edge id=\"e" << e << "\" source=\"n" << ed.from
+        << "\" target=\"n" << ed.to << "\">\n"
+        << "      <data key=\"ekind\">" << to_string(ed.kind) << "</data>\n"
+        << "      <data key=\"d1\"><y:PolyLineEdge><y:LineStyle color=\""
+        << color << "\" type=\"" << style << "\" width=\"1.0\"/>"
+        << "<y:Arrows source=\"none\" target=\"standard\"/>"
+        << "</y:PolyLineEdge></data>\n"
+        << "    </edge>\n";
   }
-  os << "  </graph>\n</graphml>\n";
+  buf << "  </graph>\n</graphml>\n";
+  buf.write_to(os);
 }
 
 bool write_graphml_file(const std::string& path, const GrainGraph& graph,

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <ostream>
 
+#include "common/bufwriter.hpp"
 #include "common/strings.hpp"
 
 namespace gg {
@@ -43,78 +44,80 @@ std::string num(double v) {
 
 void write_json_summary(std::ostream& os, const Trace& trace,
                         const Analysis& a) {
-  os << "{\n";
-  os << "  \"program\": \"" << json_escape(trace.meta.program) << "\",\n";
-  os << "  \"runtime\": \"" << json_escape(trace.meta.runtime) << "\",\n";
-  os << "  \"topology\": \"" << json_escape(trace.meta.topology) << "\",\n";
-  os << "  \"workers\": " << trace.meta.num_workers << ",\n";
-  os << "  \"makespan_ns\": " << trace.makespan() << ",\n";
-  os << "  \"grains\": " << a.grains.size() << ",\n";
-  os << "  \"tasks\": " << (trace.tasks.empty() ? 0 : trace.tasks.size() - 1)
-     << ",\n";
-  os << "  \"chunks\": " << trace.chunks.size() << ",\n";
-  os << "  \"graph\": {\"nodes\": " << a.graph.node_count()
-     << ", \"edges\": " << a.graph.edge_count() << "},\n";
-  os << "  \"critical_path_ns\": " << a.metrics.critical_path_time << ",\n";
-  os << "  \"region_load_balance\": " << num(a.metrics.region_load_balance)
-     << ",\n";
-  os << "  \"loop_load_balance\": {";
+  BufWriter buf(1 << 16);
+  buf << "{\n";
+  buf << "  \"program\": \"" << json_escape(trace.meta.program) << "\",\n";
+  buf << "  \"runtime\": \"" << json_escape(trace.meta.runtime) << "\",\n";
+  buf << "  \"topology\": \"" << json_escape(trace.meta.topology) << "\",\n";
+  buf << "  \"workers\": " << trace.meta.num_workers << ",\n";
+  buf << "  \"makespan_ns\": " << trace.makespan() << ",\n";
+  buf << "  \"grains\": " << a.grains.size() << ",\n";
+  buf << "  \"tasks\": " << (trace.tasks.empty() ? 0 : trace.tasks.size() - 1)
+      << ",\n";
+  buf << "  \"chunks\": " << trace.chunks.size() << ",\n";
+  buf << "  \"graph\": {\"nodes\": " << a.graph.node_count()
+      << ", \"edges\": " << a.graph.edge_count() << "},\n";
+  buf << "  \"critical_path_ns\": " << a.metrics.critical_path_time << ",\n";
+  buf << "  \"region_load_balance\": " << num(a.metrics.region_load_balance)
+      << ",\n";
+  buf << "  \"loop_load_balance\": {";
   bool first = true;
   for (const auto& [loop, lb] : a.metrics.loop_load_balance) {
-    if (!first) os << ", ";
+    if (!first) buf << ", ";
     first = false;
-    os << "\"" << loop << "\": " << num(lb);
+    buf << "\"" << loop << "\": " << num(lb);
   }
-  os << "},\n";
-  os << "  \"scheduler_health\": {\n";
-  os << "    \"profiled\": " << (trace.meta.profiled ? "true" : "false")
-     << ",\n";
-  os << "    \"clock_source\": \"" << json_escape(trace.meta.clock_source)
-     << "\",\n";
-  os << "    \"trace_buffer_bytes\": " << trace.meta.trace_buffer_bytes
-     << ",\n";
-  os << "    \"workers\": [\n";
+  buf << "},\n";
+  buf << "  \"scheduler_health\": {\n";
+  buf << "    \"profiled\": " << (trace.meta.profiled ? "true" : "false")
+      << ",\n";
+  buf << "    \"clock_source\": \"" << json_escape(trace.meta.clock_source)
+      << "\",\n";
+  buf << "    \"trace_buffer_bytes\": " << trace.meta.trace_buffer_bytes
+      << ",\n";
+  buf << "    \"workers\": [\n";
   for (size_t i = 0; i < trace.worker_stats.size(); ++i) {
     const WorkerStatsRec& s = trace.worker_stats[i];
-    os << "      {\"worker\": " << s.worker
-       << ", \"tasks_spawned\": " << s.tasks_spawned
-       << ", \"tasks_executed\": " << s.tasks_executed
-       << ", \"tasks_inlined\": " << s.tasks_inlined
-       << ", \"steals\": " << s.steals
-       << ", \"steal_failures\": " << s.steal_failures
-       << ", \"cas_failures\": " << s.cas_failures
-       << ", \"deque_pushes\": " << s.deque_pushes
-       << ", \"deque_pops\": " << s.deque_pops
-       << ", \"deque_resizes\": " << s.deque_resizes
-       << ", \"taskwait_helps\": " << s.taskwait_helps
-       << ", \"idle_ns\": " << s.idle_ns
-       << ", \"trace_bytes\": " << s.trace_bytes << "}"
-       << (i + 1 < trace.worker_stats.size() ? "," : "") << "\n";
+    buf << "      {\"worker\": " << s.worker
+        << ", \"tasks_spawned\": " << s.tasks_spawned
+        << ", \"tasks_executed\": " << s.tasks_executed
+        << ", \"tasks_inlined\": " << s.tasks_inlined
+        << ", \"steals\": " << s.steals
+        << ", \"steal_failures\": " << s.steal_failures
+        << ", \"cas_failures\": " << s.cas_failures
+        << ", \"deque_pushes\": " << s.deque_pushes
+        << ", \"deque_pops\": " << s.deque_pops
+        << ", \"deque_resizes\": " << s.deque_resizes
+        << ", \"taskwait_helps\": " << s.taskwait_helps
+        << ", \"idle_ns\": " << s.idle_ns
+        << ", \"trace_bytes\": " << s.trace_bytes << "}"
+        << (i + 1 < trace.worker_stats.size() ? "," : "") << "\n";
   }
-  os << "    ]\n";
-  os << "  },\n";
-  os << "  \"problems\": {\n";
+  buf << "    ]\n";
+  buf << "  },\n";
+  buf << "  \"problems\": {\n";
   for (size_t p = 0; p < kProblemCount; ++p) {
     const ProblemView& v = a.problems[p];
-    os << "    \"" << to_string(v.problem) << "\": {\"count\": "
-       << v.flagged_count << ", \"percent\": " << num(v.flagged_percent)
-       << "}" << (p + 1 < kProblemCount ? "," : "") << "\n";
+    buf << "    \"" << to_string(v.problem) << "\": {\"count\": "
+        << v.flagged_count << ", \"percent\": " << num(v.flagged_percent)
+        << "}" << (p + 1 < kProblemCount ? "," : "") << "\n";
   }
-  os << "  },\n";
-  os << "  \"sources\": [\n";
+  buf << "  },\n";
+  buf << "  \"sources\": [\n";
   for (size_t i = 0; i < a.sources.size(); ++i) {
     const SourceProfileRow& r = a.sources[i];
-    os << "    {\"source\": \"" << json_escape(r.source)
-       << "\", \"grains\": " << r.grain_count
-       << ", \"work_share\": " << num(r.work_share)
-       << ", \"median_exec_ns\": " << r.median_exec
-       << ", \"low_benefit_percent\": " << num(r.low_benefit_percent)
-       << ", \"inflated_percent\": " << num(r.inflated_percent)
-       << ", \"poor_mem_percent\": " << num(r.poor_mem_util_percent) << "}"
-       << (i + 1 < a.sources.size() ? "," : "") << "\n";
+    buf << "    {\"source\": \"" << json_escape(r.source)
+        << "\", \"grains\": " << r.grain_count
+        << ", \"work_share\": " << num(r.work_share)
+        << ", \"median_exec_ns\": " << r.median_exec
+        << ", \"low_benefit_percent\": " << num(r.low_benefit_percent)
+        << ", \"inflated_percent\": " << num(r.inflated_percent)
+        << ", \"poor_mem_percent\": " << num(r.poor_mem_util_percent) << "}"
+        << (i + 1 < a.sources.size() ? "," : "") << "\n";
   }
-  os << "  ]\n";
-  os << "}\n";
+  buf << "  ]\n";
+  buf << "}\n";
+  buf.write_to(os);
 }
 
 bool write_json_summary_file(const std::string& path, const Trace& trace,

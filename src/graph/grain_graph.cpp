@@ -1,10 +1,10 @@
 #include "graph/grain_graph.hpp"
 
 #include <algorithm>
-#include <map>
-#include <sstream>
 
 #include "common/check.hpp"
+#include "common/flat_hash.hpp"
+#include "graph/thread_groups.hpp"
 
 namespace gg {
 
@@ -42,14 +42,16 @@ void GrainGraph::add_edge(u32 from, u32 to, EdgeKind kind) {
   finalized_ = false;
 }
 
-const std::vector<u32>& GrainGraph::out_edges(u32 node) const {
+std::span<const u32> GrainGraph::out_edges(u32 node) const {
   GG_CHECK(finalized_ && node < nodes_.size());
-  return out_[node];
+  return {out_edge_ids_.data() + out_offsets_[node],
+          out_offsets_[node + 1] - out_offsets_[node]};
 }
 
-const std::vector<u32>& GrainGraph::in_edges(u32 node) const {
+std::span<const u32> GrainGraph::in_edges(u32 node) const {
   GG_CHECK(finalized_ && node < nodes_.size());
-  return in_[node];
+  return {in_edge_ids_.data() + in_offsets_[node],
+          in_offsets_[node + 1] - in_offsets_[node]};
 }
 
 std::optional<u32> GrainGraph::first_fragment(TaskId task) const {
@@ -88,11 +90,26 @@ void GrainGraph::finalize() {
 
 void GrainGraph::finalize_impl(bool require_dag) {
   const size_t n = nodes_.size();
-  out_.assign(n, {});
-  in_.assign(n, {});
+  // CSR adjacency via counting sort over the edge list. Filling in edge-id
+  // order keeps each node's list ascending, exactly as repeated push_back
+  // into per-node vectors produced before.
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (const GraphEdge& e : edges_) {
+    out_offsets_[e.from + 1]++;
+    in_offsets_[e.to + 1]++;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_edge_ids_.resize(edges_.size());
+  in_edge_ids_.resize(edges_.size());
+  std::vector<u32> out_cur(out_offsets_.begin(), out_offsets_.end() - 1);
+  std::vector<u32> in_cur(in_offsets_.begin(), in_offsets_.end() - 1);
   for (u32 e = 0; e < edges_.size(); ++e) {
-    out_[edges_[e].from].push_back(e);
-    in_[edges_[e].to].push_back(e);
+    out_edge_ids_[out_cur[edges_[e].from]++] = e;
+    in_edge_ids_[in_cur[edges_[e].to]++] = e;
   }
   // Fragment index: contiguous runs per task (builder adds them that way).
   frag_range_.clear();
@@ -123,8 +140,8 @@ void GrainGraph::finalize_impl(bool require_dag) {
     const u32 v = stack.back();
     stack.pop_back();
     topo_.push_back(v);
-    for (u32 e : out_[v]) {
-      const u32 w = edges_[e].to;
+    for (u32 k = out_offsets_[v]; k < out_offsets_[v + 1]; ++k) {
+      const u32 w = edges_[out_edge_ids_[k]].to;
       if (--indeg[w] == 0) stack.push_back(w);
     }
   }
@@ -140,6 +157,7 @@ class Builder {
   explicit Builder(const Trace& trace) : trace_(trace) {}
 
   GrainGraph build() {
+    frag_index_.reserve(trace_.tasks.size());
     add_fragment_nodes();
     for (const TaskRec& t : trace_.tasks) wire_task(t);
     attach_unjoined_children();
@@ -150,47 +168,61 @@ class Builder {
 
  private:
   void add_fragment_nodes() {
-    for (const TaskRec& t : trace_.tasks) {
+    // Fragments are sorted by (task, seq) after finalize(), so one walk over
+    // the flat vector adds every task's fragments contiguously.
+    const auto& frags = trace_.fragments;
+    size_t i = 0;
+    while (i < frags.size()) {
+      const TaskId uid = frags[i].task;
+      const auto idx = trace_.task_index(uid);
+      if (!idx.has_value()) {
+        // Orphan fragments (task record missing from a damaged trace) get no
+        // nodes, same as when iteration went task-by-task.
+        while (i < frags.size() && frags[i].task == uid) ++i;
+        continue;
+      }
+      const StrId src = trace_.tasks[*idx].src;
       u32 first = 0, count = 0;
-      for (const FragmentRec* f : trace_.fragments_of(t.uid)) {
+      for (; i < frags.size() && frags[i].task == uid; ++i) {
+        const FragmentRec& f = frags[i];
         GraphNode n;
         n.kind = NodeKind::Fragment;
-        n.task = t.uid;
-        n.seq = f->seq;
-        n.core = f->core;
-        n.thread = f->core;
-        n.start = f->start;
-        n.end = f->end;
-        n.counters = f->counters;
-        n.src = t.src;
-        const u32 idx = g_.add_node(n);
-        if (count == 0) first = idx;
+        n.task = uid;
+        n.seq = f.seq;
+        n.core = f.core;
+        n.thread = f.core;
+        n.start = f.start;
+        n.end = f.end;
+        n.counters = f.counters;
+        n.src = src;
+        const u32 node = g_.add_node(n);
+        if (count == 0) first = node;
         ++count;
       }
-      if (count > 0) frag_index_[t.uid] = {first, count};
+      frag_index_[uid] = {first, count};
     }
   }
 
   u32 first_frag(TaskId task) const {
-    auto it = frag_index_.find(task);
-    GG_CHECK(it != frag_index_.end());
-    return it->second.first;
+    const auto* p = frag_index_.find(task);
+    GG_CHECK(p != nullptr);
+    return p->first;
   }
 
   u32 last_frag(TaskId task) const {
-    auto it = frag_index_.find(task);
-    GG_CHECK(it != frag_index_.end());
-    return it->second.first + it->second.second - 1;
+    const auto* p = frag_index_.find(task);
+    GG_CHECK(p != nullptr);
+    return p->first + p->second - 1;
   }
 
   u32 frag_node(TaskId task, u32 seq) const { return first_frag(task) + seq; }
 
   void wire_task(const TaskRec& t) {
-    const auto frags = trace_.fragments_of(t.uid);
-    const auto joins = trace_.joins_of(t.uid);
+    const auto frags = trace_.fragments_span(t.uid);
+    const auto joins = trace_.joins_span(t.uid);
     std::vector<TaskId> pending;  // children forked since the last join
     for (size_t i = 0; i < frags.size(); ++i) {
-      const FragmentRec& f = *frags[i];
+      const FragmentRec& f = frags[i];
       const u32 fi = frag_node(t.uid, f.seq);
       switch (f.end_reason) {
         case FragmentEnd::Fork: {
@@ -210,7 +242,7 @@ class Builder {
           g_.add_edge(fi, nf, EdgeKind::Continuation);
           g_.add_edge(nf, first_frag(child.uid), EdgeKind::Creation);
           if (i + 1 < frags.size()) {
-            g_.add_edge(nf, frag_node(t.uid, frags[i + 1]->seq),
+            g_.add_edge(nf, frag_node(t.uid, frags[i + 1].seq),
                         EdgeKind::Continuation);
           }
           pending.push_back(child.uid);
@@ -218,8 +250,8 @@ class Builder {
         }
         case FragmentEnd::Join: {
           const JoinRec* jr = nullptr;
-          for (const JoinRec* j : joins) {
-            if (j->seq == f.end_ref) jr = j;
+          for (const JoinRec& j : joins) {
+            if (j.seq == f.end_ref) jr = &j;
           }
           GG_CHECK_MSG(jr != nullptr, "fragment references missing join");
           GraphNode join;
@@ -239,7 +271,7 @@ class Builder {
           pending.clear();
           if (t.uid == kRootTask) root_joins_.push_back(nj);
           if (i + 1 < frags.size()) {
-            g_.add_edge(nj, frag_node(t.uid, frags[i + 1]->seq),
+            g_.add_edge(nj, frag_node(t.uid, frags[i + 1].seq),
                         EdgeKind::Continuation);
           }
           break;
@@ -247,7 +279,7 @@ class Builder {
         case FragmentEnd::Loop: {
           const u32 nlj = wire_loop(f.end_ref, fi);
           if (i + 1 < frags.size()) {
-            g_.add_edge(nlj, frag_node(t.uid, frags[i + 1]->seq),
+            g_.add_edge(nlj, frag_node(t.uid, frags[i + 1].seq),
                         EdgeKind::Continuation);
           }
           break;
@@ -279,57 +311,53 @@ class Builder {
     join.src = loop.src;
     const u32 nlj = g_.add_node(join);
 
-    // Group records per thread.
-    std::map<u16, std::vector<const BookkeepRec*>> books;
-    std::map<u16, std::vector<const ChunkRec*>> chunks;
-    for (const BookkeepRec* b : trace_.bookkeeps_of(uid))
-      books[b->thread].push_back(b);
-    for (const ChunkRec* c : trace_.chunks_of(uid))
-      chunks[c->thread].push_back(c);
-
+    // Per-thread chains: bookkeeps/chunks are (thread, seq)-sorted after
+    // finalize(), so the per-thread groups are contiguous runs.
     bool any_thread = false;
-    for (auto& [thread, bs] : books) {
-      any_thread = true;
-      auto& cs = chunks[thread];  // may be empty
-      u32 prev = encountering_fragment;
-      EdgeKind next_kind = EdgeKind::Creation;
-      size_t chunk_i = 0;
-      for (const BookkeepRec* b : bs) {
-        GraphNode bk;
-        bk.kind = NodeKind::Bookkeep;
-        bk.loop = uid;
-        bk.thread = b->thread;
-        bk.core = b->core;
-        bk.seq = b->seq_on_thread;
-        bk.start = b->start;
-        bk.end = b->end;
-        bk.src = loop.src;
-        const u32 nb = g_.add_node(bk);
-        g_.add_edge(prev, nb, next_kind);
-        next_kind = EdgeKind::Continuation;
-        prev = nb;
-        if (b->got_chunk && chunk_i < cs.size()) {
-          const ChunkRec& c = *cs[chunk_i++];
-          GraphNode ch;
-          ch.kind = NodeKind::Chunk;
-          ch.loop = uid;
-          ch.thread = c.thread;
-          ch.core = c.core;
-          ch.seq = c.seq_on_thread;
-          ch.start = c.start;
-          ch.end = c.end;
-          ch.counters = c.counters;
-          ch.src = loop.src;
-          ch.iter_begin = c.iter_begin;
-          ch.iter_end = c.iter_end;
-          const u32 nc = g_.add_node(ch);
-          g_.add_edge(prev, nc, EdgeKind::Continuation);
-          prev = nc;
-        }
-      }
-      // The chain's final node synchronizes at the loop join.
-      g_.add_edge(prev, nlj, EdgeKind::Join);
-    }
+    for_each_thread_pair(
+        trace_.bookkeeps_span(uid), trace_.chunks_span(uid),
+        [&](u16, std::span<const BookkeepRec> bs,
+            std::span<const ChunkRec> cs) {
+          any_thread = true;
+          u32 prev = encountering_fragment;
+          EdgeKind next_kind = EdgeKind::Creation;
+          size_t chunk_i = 0;
+          for (const BookkeepRec& b : bs) {
+            GraphNode bk;
+            bk.kind = NodeKind::Bookkeep;
+            bk.loop = uid;
+            bk.thread = b.thread;
+            bk.core = b.core;
+            bk.seq = b.seq_on_thread;
+            bk.start = b.start;
+            bk.end = b.end;
+            bk.src = loop.src;
+            const u32 nb = g_.add_node(bk);
+            g_.add_edge(prev, nb, next_kind);
+            next_kind = EdgeKind::Continuation;
+            prev = nb;
+            if (b.got_chunk && chunk_i < cs.size()) {
+              const ChunkRec& c = cs[chunk_i++];
+              GraphNode ch;
+              ch.kind = NodeKind::Chunk;
+              ch.loop = uid;
+              ch.thread = c.thread;
+              ch.core = c.core;
+              ch.seq = c.seq_on_thread;
+              ch.start = c.start;
+              ch.end = c.end;
+              ch.counters = c.counters;
+              ch.src = loop.src;
+              ch.iter_begin = c.iter_begin;
+              ch.iter_end = c.iter_end;
+              const u32 nc = g_.add_node(ch);
+              g_.add_edge(prev, nc, EdgeKind::Continuation);
+              prev = nc;
+            }
+          }
+          // The chain's final node synchronizes at the loop join.
+          g_.add_edge(prev, nlj, EdgeKind::Join);
+        });
     if (!any_thread) {
       // Empty loop: the fragment continues straight to the join.
       g_.add_edge(encountering_fragment, nlj, EdgeKind::Continuation);
@@ -341,7 +369,8 @@ class Builder {
   /// predecessor's last fragment happens-before the successor's first.
   void add_dependence_edges() {
     for (const DependRec& d : trace_.depends) {
-      if (frag_index_.count(d.pred) == 0 || frag_index_.count(d.succ) == 0)
+      if (frag_index_.find(d.pred) == nullptr ||
+          frag_index_.find(d.succ) == nullptr)
         continue;
       g_.add_edge(last_frag(d.pred), first_frag(d.succ),
                   EdgeKind::Dependence);
@@ -363,7 +392,7 @@ class Builder {
       join.start = trace_.meta.region_end;
       join.end = trace_.meta.region_end;
       const u32 nj = g_.add_node(join);
-      if (frag_index_.count(kRootTask) > 0) {
+      if (frag_index_.find(kRootTask) != nullptr) {
         g_.add_edge(last_frag(kRootTask), nj, EdgeKind::Continuation);
       }
       barrier = nj;
@@ -375,7 +404,7 @@ class Builder {
 
   const Trace& trace_;
   GrainGraph g_;
-  std::map<TaskId, std::pair<u32, u32>> frag_index_;  // uid -> (first, count)
+  FlatMap<TaskId, std::pair<u32, u32>> frag_index_;  // uid -> (first, count)
   std::vector<TaskId> unjoined_;
   std::vector<u32> root_joins_;
 };

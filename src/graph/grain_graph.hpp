@@ -24,6 +24,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,9 +70,10 @@ class GrainGraph {
   const std::vector<GraphNode>& nodes() const { return nodes_; }
   const std::vector<GraphEdge>& edges() const { return edges_; }
 
-  /// Outgoing / incoming edge indices of a node.
-  const std::vector<u32>& out_edges(u32 node) const;
-  const std::vector<u32>& in_edges(u32 node) const;
+  /// Outgoing / incoming edge indices of a node (views into the CSR
+  /// adjacency arrays; valid until the next finalize()).
+  std::span<const u32> out_edges(u32 node) const;
+  std::span<const u32> in_edges(u32 node) const;
 
   /// Node index of the first/last fragment of a task, if present.
   std::optional<u32> first_fragment(TaskId task) const;
@@ -101,8 +103,10 @@ class GrainGraph {
 
   std::vector<GraphNode> nodes_;
   std::vector<GraphEdge> edges_;
-  std::vector<std::vector<u32>> out_;
-  std::vector<std::vector<u32>> in_;
+  // CSR adjacency: edge ids of node v live at [offsets[v], offsets[v+1]),
+  // in ascending edge-id order (matching the old per-node push_back order).
+  std::vector<u32> out_offsets_, out_edge_ids_;
+  std::vector<u32> in_offsets_, in_edge_ids_;
   std::vector<u32> topo_;
   std::vector<std::pair<TaskId, std::pair<u32, u32>>> frag_range_;  // sorted
   bool finalized_ = false;

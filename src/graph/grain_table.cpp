@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 
 #include "common/check.hpp"
+#include "graph/thread_groups.hpp"
 
 namespace gg {
 
@@ -47,7 +47,9 @@ GrainTable GrainTable::build(const Trace& trace) {
 
   // --- Task grains ---------------------------------------------------------
   // First pass: per-task aggregates.
-  std::unordered_map<TaskId, size_t> index_of;
+  FlatMap<TaskId, size_t> index_of;
+  index_of.reserve(trace.tasks.size());
+  table.grains_.reserve(trace.grain_count());
   for (const TaskRec& t : trace.tasks) {
     if (t.uid == kRootTask) continue;
     Grain g;
@@ -58,16 +60,16 @@ GrainTable GrainTable::build(const Trace& trace) {
     g.path = paths.at(t.uid);
     g.creation_cost = t.creation_cost;
     g.inlined = t.inlined;
-    const auto frags = trace.fragments_of(t.uid);
+    const auto frags = trace.fragments_span(t.uid);
     GG_CHECK(!frags.empty());
-    g.first_start = frags.front()->start;
-    g.last_end = frags.back()->end;
-    g.core = frags.front()->core;
+    g.first_start = frags.front().start;
+    g.last_end = frags.back().end;
+    g.core = frags.front().core;
     g.n_fragments = static_cast<u32>(frags.size());
-    for (const FragmentRec* f : frags) {
-      g.exec_time += f->end - f->start;
-      g.counters += f->counters;
-      if (f->end_reason == FragmentEnd::Fork) g.n_children++;
+    for (const FragmentRec& f : frags) {
+      g.exec_time += f.end - f.start;
+      g.counters += f.counters;
+      if (f.end_reason == FragmentEnd::Fork) g.n_children++;
     }
     index_of[t.uid] = table.grains_.size();
     table.grains_.push_back(std::move(g));
@@ -80,21 +82,21 @@ GrainTable GrainTable::build(const Trace& trace) {
   std::vector<TaskId> unjoined;
   const JoinRec* root_last_join = nullptr;
   {
-    const auto rjoins = trace.joins_of(kRootTask);
-    if (!rjoins.empty()) root_last_join = rjoins.back();
+    const auto rjoins = trace.joins_span(kRootTask);
+    if (!rjoins.empty()) root_last_join = &rjoins.back();
   }
   size_t root_barrier_extra = 0;  // children of root pending at its last join
   for (const TaskRec& t : trace.tasks) {
-    const auto frags = trace.fragments_of(t.uid);
-    const auto joins = trace.joins_of(t.uid);
+    const auto frags = trace.fragments_span(t.uid);
+    const auto joins = trace.joins_span(t.uid);
     std::vector<TaskId> pending;
-    for (const FragmentRec* f : frags) {
-      if (f->end_reason == FragmentEnd::Fork) {
-        pending.push_back(f->end_ref);
-      } else if (f->end_reason == FragmentEnd::Join) {
+    for (const FragmentRec& f : frags) {
+      if (f.end_reason == FragmentEnd::Fork) {
+        pending.push_back(f.end_ref);
+      } else if (f.end_reason == FragmentEnd::Join) {
         const JoinRec* jr = nullptr;
-        for (const JoinRec* j : joins) {
-          if (j->seq == f->end_ref) jr = j;
+        for (const JoinRec& j : joins) {
+          if (j.seq == f.end_ref) jr = &j;
         }
         GG_CHECK(jr != nullptr);
         // The chargeable synchronization cost is the join overhead — the
@@ -103,18 +105,17 @@ GrainTable GrainTable::build(const Trace& trace) {
         // (or helping while) children run is not a parallelization cost.
         TimeNs last_child_end = jr->start;
         for (TaskId c : pending) {
-          auto it = index_of.find(c);
-          if (it != index_of.end()) {
+          if (const size_t* row = index_of.find(c)) {
             last_child_end =
-                std::max(last_child_end, table.grains_[it->second].last_end);
+                std::max(last_child_end, table.grains_[*row].last_end);
           }
         }
         const TimeNs overhead =
             jr->end > last_child_end ? jr->end - last_child_end : 0;
         const TimeNs share = pending.empty() ? 0 : overhead / pending.size();
         for (TaskId c : pending) {
-          auto it = index_of.find(c);
-          if (it != index_of.end()) table.grains_[it->second].sync_cost = share;
+          if (const size_t* row = index_of.find(c))
+            table.grains_[*row].sync_cost = share;
         }
         if (t.uid == kRootTask && jr == root_last_join)
           root_barrier_extra = pending.size();
@@ -127,10 +128,9 @@ GrainTable GrainTable::build(const Trace& trace) {
     const size_t total = unjoined.size() + root_barrier_extra;
     TimeNs last_child_end = root_last_join->start;
     for (TaskId c : unjoined) {
-      auto it = index_of.find(c);
-      if (it != index_of.end()) {
+      if (const size_t* row = index_of.find(c)) {
         last_child_end =
-            std::max(last_child_end, table.grains_[it->second].last_end);
+            std::max(last_child_end, table.grains_[*row].last_end);
       }
     }
     const TimeNs overhead = root_last_join->end > last_child_end
@@ -138,8 +138,8 @@ GrainTable GrainTable::build(const Trace& trace) {
                                 : 0;
     const TimeNs share = overhead / total;
     for (TaskId c : unjoined) {
-      auto it = index_of.find(c);
-      if (it != index_of.end()) table.grains_[it->second].sync_cost = share;
+      if (const size_t* row = index_of.find(c))
+        table.grains_[*row].sync_cost = share;
     }
   }
 
@@ -147,34 +147,42 @@ GrainTable GrainTable::build(const Trace& trace) {
   for (const LoopRec& loop : trace.loops) {
     // Pair each chunk with the book-keeping step that delivered it: the
     // n-th got_chunk book-keeping of a thread delivered the n-th chunk.
-    std::map<u16, std::vector<const BookkeepRec*>> delivering;
-    for (const BookkeepRec* b : trace.bookkeeps_of(loop.uid)) {
-      if (b->got_chunk) delivering[b->thread].push_back(b);
-    }
-    std::map<u16, u32> nth;
-    for (const ChunkRec* c : trace.chunks_of(loop.uid)) {
-      Grain g;
-      g.kind = GrainKind::Chunk;
-      g.loop = loop.uid;
-      g.thread = c->thread;
-      g.chunk_seq = c->seq_on_thread;
-      g.iter_begin = c->iter_begin;
-      g.iter_end = c->iter_end;
-      g.parent = loop.enclosing_task;
-      g.src = loop.src;
-      g.path = "L" + std::to_string(loop.starting_thread) + "." +
-               std::to_string(loop.seq) + ":" + std::to_string(c->iter_begin) +
-               "-" + std::to_string(c->iter_end);
-      g.first_start = c->start;
-      g.last_end = c->end;
-      g.exec_time = c->end - c->start;
-      g.counters = c->counters;
-      g.core = c->core;
-      const u32 k = nth[c->thread]++;
-      const auto& dl = delivering[c->thread];
-      if (k < dl.size()) g.creation_cost = dl[k]->end - dl[k]->start;
-      table.grains_.push_back(std::move(g));
-    }
+    // Both record kinds are (thread, seq)-sorted runs after finalize().
+    std::string loop_prefix = "L";
+    loop_prefix += std::to_string(loop.starting_thread);
+    loop_prefix += '.';
+    loop_prefix += std::to_string(loop.seq);
+    loop_prefix += ':';
+    for_each_thread_pair(
+        trace.chunks_span(loop.uid), trace.bookkeeps_span(loop.uid),
+        [&](u16, std::span<const ChunkRec> cs,
+            std::span<const BookkeepRec> bs) {
+          size_t bi = 0;  // next got_chunk book-keeping record
+          for (const ChunkRec& c : cs) {
+            Grain g;
+            g.kind = GrainKind::Chunk;
+            g.loop = loop.uid;
+            g.thread = c.thread;
+            g.chunk_seq = c.seq_on_thread;
+            g.iter_begin = c.iter_begin;
+            g.iter_end = c.iter_end;
+            g.parent = loop.enclosing_task;
+            g.src = loop.src;
+            g.path = loop_prefix + std::to_string(c.iter_begin) + "-" +
+                     std::to_string(c.iter_end);
+            g.first_start = c.start;
+            g.last_end = c.end;
+            g.exec_time = c.end - c.start;
+            g.counters = c.counters;
+            g.core = c.core;
+            while (bi < bs.size() && !bs[bi].got_chunk) ++bi;
+            if (bi < bs.size()) {
+              g.creation_cost = bs[bi].end - bs[bi].start;
+              ++bi;
+            }
+            table.grains_.push_back(std::move(g));
+          }
+        });
   }
 
   table.by_path_.reserve(table.grains_.size());
@@ -197,6 +205,40 @@ std::vector<const Grain*> GrainTable::children_of(TaskId parent) const {
     return a->task < b->task;
   });
   return out;
+}
+
+GrainLookup::GrainLookup(const GrainTable& table) {
+  const auto& grains = table.grains();
+  task_.reserve(grains.size());
+  chunk_.reserve(grains.size());
+  for (size_t i = 0; i < grains.size(); ++i) {
+    const Grain& g = grains[i];
+    if (g.kind == GrainKind::Task) {
+      task_[g.task] = i;
+    } else {
+      chunk_[ChunkKey{g.loop, g.chunk_seq, g.thread}] = i;
+    }
+  }
+}
+
+std::optional<size_t> GrainLookup::task_row(TaskId uid) const {
+  const size_t* row = task_.find(uid);
+  if (row == nullptr) return std::nullopt;
+  return *row;
+}
+
+std::optional<size_t> GrainLookup::chunk_row(LoopId loop, u16 thread,
+                                             u32 seq) const {
+  const size_t* row = chunk_.find(ChunkKey{loop, seq, thread});
+  if (row == nullptr) return std::nullopt;
+  return *row;
+}
+
+std::optional<size_t> GrainLookup::row_of(const GraphNode& n) const {
+  if (n.kind == NodeKind::Fragment && n.task != kRootTask)
+    return task_row(n.task);
+  if (n.kind == NodeKind::Chunk) return chunk_row(n.loop, n.thread, n.seq);
+  return std::nullopt;
 }
 
 }  // namespace gg

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.hpp"
+#include "graph/grain_graph.hpp"
 #include "trace/trace.hpp"
 
 namespace gg {
@@ -69,6 +71,43 @@ class GrainTable {
  private:
   std::vector<Grain> grains_;
   std::unordered_map<std::string, size_t> by_path_;
+};
+
+/// Flat-hash index from trace identities to grain-table rows, shared by the
+/// metric passes and the exporters (both need to map graph nodes back to
+/// grains; each used to build its own ordered std::map).
+class GrainLookup {
+ public:
+  explicit GrainLookup(const GrainTable& table);
+
+  /// Row of a task grain; nullopt for the root and unknown uids.
+  std::optional<size_t> task_row(TaskId uid) const;
+
+  /// Row of a chunk grain by its (loop, thread, seq-on-thread) identity.
+  std::optional<size_t> chunk_row(LoopId loop, u16 thread, u32 seq) const;
+
+  /// Row of the grain a graph node represents: task grains for non-root
+  /// fragment nodes, chunk grains for chunk nodes; nullopt for everything
+  /// else (forks, joins, book-keeping, root fragments).
+  std::optional<size_t> row_of(const GraphNode& n) const;
+
+ private:
+  struct ChunkKey {
+    LoopId loop = 0;
+    u32 seq = 0;
+    u16 thread = 0;
+    bool operator==(const ChunkKey&) const = default;
+  };
+  struct ChunkKeyHash {
+    size_t operator()(const ChunkKey& k) const {
+      return static_cast<size_t>(flat_hash_mix64(
+          k.loop ^ (static_cast<u64>(k.thread) << 48) ^
+          (static_cast<u64>(k.seq) << 16)));
+    }
+  };
+
+  FlatMap<TaskId, size_t> task_;
+  FlatMap<ChunkKey, size_t, ChunkKeyHash> chunk_;
 };
 
 }  // namespace gg

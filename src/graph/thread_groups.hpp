@@ -1,0 +1,65 @@
+#pragma once
+
+// Per-thread grouping of loop-scoped records.
+//
+// Trace::finalize() sorts chunks and bookkeeping records by
+// (loop, thread, seq_on_thread), so the records of one loop form contiguous
+// per-thread runs in ascending thread order. Splitting those runs replaces
+// the `std::map<u16, std::vector<const Rec*>>` grouping that grain_graph.cpp
+// and grain_table.cpp each used to build per loop: same iteration order
+// (ascending thread), same per-thread record order (ascending seq), no
+// allocation.
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace gg {
+
+/// Calls `fn(thread, run)` for each maximal run of records sharing `.thread`,
+/// in the order the runs appear (ascending thread for finalized traces).
+/// `run` is a std::span over the input — valid as long as the trace is.
+template <class Rec, class Fn>
+void for_each_thread_run(std::span<const Rec> recs, Fn&& fn) {
+  size_t i = 0;
+  while (i < recs.size()) {
+    size_t j = i + 1;
+    while (j < recs.size() && recs[j].thread == recs[i].thread) ++j;
+    fn(recs[i].thread, recs.subspan(i, j - i));
+    i = j;
+  }
+}
+
+/// Returns the run for one specific thread (empty span if the thread has no
+/// records). Linear scan over the loop's records; runs are short.
+template <class Rec>
+std::span<const Rec> thread_run_of(std::span<const Rec> recs, u16 thread) {
+  size_t i = 0;
+  while (i < recs.size() && recs[i].thread != thread) ++i;
+  size_t j = i;
+  while (j < recs.size() && recs[j].thread == thread) ++j;
+  return recs.subspan(i, j - i);
+}
+
+/// Zips two thread-sorted record sequences: calls `fn(thread, prim, sec)` for
+/// each maximal thread run of `primary`, with `sec` the same thread's run of
+/// `secondary` (possibly empty). One forward walk over both — this is how the
+/// loop wiring pairs book-keeping records with the chunks they delivered.
+template <class A, class B, class Fn>
+void for_each_thread_pair(std::span<const A> primary,
+                          std::span<const B> secondary, Fn&& fn) {
+  size_t i = 0, c = 0;
+  while (i < primary.size()) {
+    const u16 th = primary[i].thread;
+    size_t j = i + 1;
+    while (j < primary.size() && primary[j].thread == th) ++j;
+    while (c < secondary.size() && secondary[c].thread < th) ++c;
+    size_t d = c;
+    while (d < secondary.size() && secondary[d].thread == th) ++d;
+    fn(th, primary.subspan(i, j - i), secondary.subspan(c, d - c));
+    i = j;
+    c = d;
+  }
+}
+
+}  // namespace gg

@@ -2,26 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
 #include "common/check.hpp"
+#include "common/par_for.hpp"
 #include "common/stats.hpp"
+#include "graph/thread_groups.hpp"
 
 namespace gg {
 
 namespace {
 
-/// Execution intervals of one grain: fragment intervals for tasks, the
-/// chunk interval for chunks. `trace` supplies the fragments.
-std::vector<std::pair<TimeNs, TimeNs>> grain_intervals(const Trace& trace,
-                                                       const Grain& g) {
-  std::vector<std::pair<TimeNs, TimeNs>> out;
+/// Visits the execution intervals of one grain: fragment intervals for
+/// tasks (a zero-copy span lookup), the chunk interval for chunks.
+template <class Fn>
+void for_each_grain_interval(const Trace& trace, const Grain& g, Fn&& fn) {
   if (g.kind == GrainKind::Task) {
-    for (const FragmentRec* f : trace.fragments_of(g.task))
-      out.emplace_back(f->start, f->end);
+    for (const FragmentRec& f : trace.fragments_span(g.task))
+      fn(f.start, f.end);
   } else {
-    out.emplace_back(g.first_start, g.last_end);
+    fn(g.first_start, g.last_end);
   }
-  return out;
 }
 
 TimeNs choose_interval(const Trace& trace, const GrainTable& grains,
@@ -73,17 +74,18 @@ TimeNs choose_interval(const Trace& trace, const GrainTable& grains,
 }  // namespace
 
 double loop_load_balance(const Trace& trace, const LoopRec& loop) {
-  const auto chunks = trace.chunks_of(loop.uid);
+  const auto chunks = trace.chunks_span(loop.uid);
   if (chunks.empty()) return 1.0;
   TimeNs longest = 0;
-  std::map<u16, u64> chain;
-  for (const ChunkRec* c : chunks) {
-    longest = std::max<TimeNs>(longest, c->end - c->start);
-    chain[c->thread] += c->end - c->start;
-  }
-  std::vector<u64> chains;
-  chains.reserve(chain.size());
-  for (auto& [t, len] : chain) chains.push_back(len);
+  std::vector<u64> chains;  // per-thread summed chunk time, thread order
+  for_each_thread_run(chunks, [&](u16, std::span<const ChunkRec> cs) {
+    u64 len = 0;
+    for (const ChunkRec& c : cs) {
+      longest = std::max<TimeNs>(longest, c.end - c.start);
+      len += c.end - c.start;
+    }
+    chains.push_back(len);
+  });
   const double med = stats::median(chains);
   if (med <= 0) return 1.0;
   return static_cast<double>(longest) / med;
@@ -120,9 +122,12 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
   MetricsResult res;
   const auto& table = grains.grains();
   res.per_grain.assign(table.size(), GrainMetrics{});
+  const int threads = resolve_threads(opts.threads);
 
   // ---- parallel benefit, mem util, work deviation -------------------------
-  for (size_t i = 0; i < table.size(); ++i) {
+  // Pure per-grain computation into per-index slots: any partition of the
+  // index range produces the same bytes.
+  par_for_each_index(table.size(), threads, [&](size_t i) {
     const Grain& g = table[i];
     GrainMetrics& m = res.per_grain[i];
     const TimeNs cost = g.creation_cost + g.sync_cost;
@@ -135,54 +140,71 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
                      : static_cast<double>(g.counters.compute) /
                            static_cast<double>(g.counters.stall);
     if (baseline != nullptr) m.work_deviation = work_deviation(g, *baseline);
-  }
+  });
 
   // ---- load balance ---------------------------------------------------------
   res.region_load_balance = region_load_balance(grains, trace.meta.num_cores);
-  for (const LoopRec& loop : trace.loops)
-    res.loop_load_balance[loop.uid] = loop_load_balance(trace, loop);
+  {
+    std::vector<double> lb(trace.loops.size());
+    par_for_each_index(trace.loops.size(), threads, [&](size_t i) {
+      lb[i] = loop_load_balance(trace, trace.loops[i]);
+    });
+    for (size_t i = 0; i < trace.loops.size(); ++i)
+      res.loop_load_balance[trace.loops[i].uid] = lb[i];
+  }
 
   // ---- instantaneous parallelism --------------------------------------------
   const TimeNs interval = choose_interval(trace, grains, opts);
   res.interval_used = interval;
   const TimeNs makespan = std::max<TimeNs>(1, trace.makespan());
   const size_t slots = static_cast<size_t>((makespan + interval - 1) / interval);
-  std::vector<i64> opt_diff(slots + 1, 0), con_diff(slots + 1, 0);
-  // Each grain contributes its execution intervals.
-  std::vector<std::vector<std::pair<TimeNs, TimeNs>>> g_ivs(table.size());
-  for (size_t i = 0; i < table.size(); ++i) {
-    g_ivs[i] = grain_intervals(trace, table[i]);
-    for (auto [s, e] : g_ivs[i]) {
-      if (e <= s) continue;
-      // Optimistic: any overlap.
-      const size_t o_lo = static_cast<size_t>(s / interval);
-      const size_t o_hi = static_cast<size_t>((e - 1) / interval);
-      opt_diff[o_lo] += 1;
-      opt_diff[std::min(o_hi + 1, slots)] -= 1;
-      // Conservative: full overlap only.
-      const size_t c_lo = static_cast<size_t>((s + interval - 1) / interval);
-      const size_t c_hi_excl = static_cast<size_t>(e / interval);
-      if (c_hi_excl > c_lo) {
-        con_diff[c_lo] += 1;
-        con_diff[std::min(c_hi_excl, slots)] -= 1;
-      }
+  // Each grain contributes its execution intervals to +1/-1 histogram
+  // deltas. Blocks accumulate into private diff arrays which are then summed
+  // in block order; integer addition is associative and commutative, so the
+  // merged histogram is identical for every thread count.
+  const size_t nblocks = static_cast<size_t>(std::max(threads, 1));
+  std::vector<std::vector<i64>> opt_local(nblocks), con_local(nblocks);
+  par_for_blocks(table.size(), threads, [&](size_t b, size_t lo, size_t hi) {
+    auto& opt_diff = opt_local[b];
+    auto& con_diff = con_local[b];
+    opt_diff.assign(slots + 1, 0);
+    con_diff.assign(slots + 1, 0);
+    for (size_t i = lo; i < hi; ++i) {
+      for_each_grain_interval(trace, table[i], [&](TimeNs s, TimeNs e) {
+        if (e <= s) return;
+        // Optimistic: any overlap.
+        const size_t o_lo = static_cast<size_t>(s / interval);
+        const size_t o_hi = static_cast<size_t>((e - 1) / interval);
+        opt_diff[o_lo] += 1;
+        opt_diff[std::min(o_hi + 1, slots)] -= 1;
+        // Conservative: full overlap only.
+        const size_t c_lo = static_cast<size_t>((s + interval - 1) / interval);
+        const size_t c_hi_excl = static_cast<size_t>(e / interval);
+        if (c_hi_excl > c_lo) {
+          con_diff[c_lo] += 1;
+          con_diff[std::min(c_hi_excl, slots)] -= 1;
+        }
+      });
     }
-  }
+  });
   res.parallelism_optimistic.assign(slots, 0);
   res.parallelism_conservative.assign(slots, 0);
   i64 acc_o = 0, acc_c = 0;
   for (size_t s = 0; s < slots; ++s) {
-    acc_o += opt_diff[s];
-    acc_c += con_diff[s];
+    for (size_t b = 0; b < nblocks; ++b) {
+      if (!opt_local[b].empty()) acc_o += opt_local[b][s];
+      if (!con_local[b].empty()) acc_c += con_local[b][s];
+    }
     res.parallelism_optimistic[s] = static_cast<u32>(std::max<i64>(0, acc_o));
     res.parallelism_conservative[s] = static_cast<u32>(std::max<i64>(0, acc_c));
   }
-  // Per grain: minimum over its overlapping intervals (§3.2).
-  for (size_t i = 0; i < table.size(); ++i) {
+  // Per grain: minimum over its overlapping intervals (§3.2). Reads the
+  // finished timeline, writes per-grain slots.
+  par_for_each_index(table.size(), threads, [&](size_t i) {
     u32 min_o = std::numeric_limits<u32>::max();
     u32 min_c = std::numeric_limits<u32>::max();
-    for (auto [s, e] : g_ivs[i]) {
-      if (e <= s) continue;
+    for_each_grain_interval(trace, table[i], [&](TimeNs s, TimeNs e) {
+      if (e <= s) return;
       const size_t lo = static_cast<size_t>(s / interval);
       const size_t hi = std::min(static_cast<size_t>((e - 1) / interval),
                                  slots == 0 ? 0 : slots - 1);
@@ -190,34 +212,53 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
         min_o = std::min(min_o, res.parallelism_optimistic[k]);
         min_c = std::min(min_c, res.parallelism_conservative[k]);
       }
-    }
+    });
     if (min_o == std::numeric_limits<u32>::max()) min_o = 0;
     if (min_c == std::numeric_limits<u32>::max()) min_c = 0;
     res.per_grain[i].inst_parallelism_optimistic = static_cast<int>(min_o);
     res.per_grain[i].inst_parallelism = static_cast<int>(min_c);
-  }
+  });
 
   // ---- scatter ----------------------------------------------------------------
-  // Sibling groups: task grains share a parent; chunks share a loop.
-  std::map<std::pair<u64, u64>, std::vector<size_t>> siblings;
+  // Sibling groups: task grains share a parent; chunks share a loop. Sorting
+  // (kind, owner, row) triples makes each group a contiguous range with
+  // members in ascending row order — exactly the order the previous
+  // std::map-of-vectors produced — and groups are then independent work.
+  std::vector<std::tuple<u64, u64, u64>> sib;
+  sib.reserve(table.size());
   for (size_t i = 0; i < table.size(); ++i) {
     const Grain& g = table[i];
-    const auto key = g.kind == GrainKind::Task
-                         ? std::make_pair<u64, u64>(0, u64{g.parent})
-                         : std::make_pair<u64, u64>(1, u64{g.loop});
-    siblings[key].push_back(i);
+    if (g.kind == GrainKind::Task) {
+      sib.emplace_back(0, u64{g.parent}, i);
+    } else {
+      sib.emplace_back(1, u64{g.loop}, i);
+    }
+  }
+  std::sort(sib.begin(), sib.end());
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end) into sib
+  for (size_t i = 0; i < sib.size();) {
+    size_t j = i + 1;
+    while (j < sib.size() && std::get<0>(sib[j]) == std::get<0>(sib[i]) &&
+           std::get<1>(sib[j]) == std::get<1>(sib[i]))
+      ++j;
+    if (j - i >= 2) groups.emplace_back(i, j);
+    i = j;
   }
   const int cores_in_machine = topo.num_cores();
-  for (auto& [key, members] : siblings) {
-    if (members.size() < 2) continue;
+  par_for_each_index(groups.size(), threads, [&](size_t gi) {
+    const auto [gbegin, gend] = groups[gi];
+    const size_t count = gend - gbegin;
+    auto member = [&](size_t k) {
+      return static_cast<size_t>(std::get<2>(sib[gbegin + k]));
+    };
     // Deterministically sample large groups to bound the pairwise cost.
     std::vector<size_t> sample;
-    if (members.size() > opts.scatter_sample) {
-      const size_t stride = members.size() / opts.scatter_sample;
-      for (size_t k = 0; k < members.size(); k += stride)
-        sample.push_back(members[k]);
+    if (count > opts.scatter_sample) {
+      const size_t stride = count / opts.scatter_sample;
+      for (size_t k = 0; k < count; k += stride) sample.push_back(member(k));
     } else {
-      sample = members;
+      sample.reserve(count);
+      for (size_t k = 0; k < count; ++k) sample.push_back(member(k));
     }
     std::vector<double> dists;
     dists.reserve(sample.size() * (sample.size() - 1) / 2);
@@ -231,8 +272,9 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
       }
     }
     const double med = stats::median(dists);
-    for (size_t i : members) res.per_grain[i].scatter = med;
-  }
+    for (size_t k = 0; k < count; ++k)
+      res.per_grain[member(k)].scatter = med;
+  });
 
   // ---- critical path + work/span --------------------------------------------
   const CriticalPath cp = critical_path(graph);
@@ -243,27 +285,10 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
                             : static_cast<double>(res.total_work) /
                                   static_cast<double>(cp.length);
   // Map graph nodes on the path back to grains.
-  std::map<TaskId, size_t> task_to_grain;
-  std::map<std::pair<LoopId, std::pair<u16, u32>>, size_t> chunk_to_grain;
-  for (size_t i = 0; i < table.size(); ++i) {
-    if (table[i].kind == GrainKind::Task) {
-      task_to_grain[table[i].task] = i;
-    } else {
-      chunk_to_grain[{table[i].loop, {table[i].thread, table[i].chunk_seq}}] =
-          i;
-    }
-  }
+  const GrainLookup lookup(grains);
   for (u32 v : cp.nodes) {
-    const GraphNode& n = graph.nodes()[v];
-    if (n.kind == NodeKind::Fragment && n.task != kRootTask) {
-      auto it = task_to_grain.find(n.task);
-      if (it != task_to_grain.end())
-        res.per_grain[it->second].on_critical_path = true;
-    } else if (n.kind == NodeKind::Chunk) {
-      auto it = chunk_to_grain.find({n.loop, {n.thread, n.seq}});
-      if (it != chunk_to_grain.end())
-        res.per_grain[it->second].on_critical_path = true;
-    }
+    if (const auto row = lookup.row_of(graph.nodes()[v]))
+      res.per_grain[*row].on_critical_path = true;
   }
   return res;
 }

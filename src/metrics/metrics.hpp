@@ -44,6 +44,11 @@ struct MetricOptions {
   size_t max_intervals = 20000;
   /// Pairwise-distance computations sample at most this many siblings.
   size_t scatter_sample = 512;
+  /// Worker threads for the per-grain metric passes. 0 = auto (GG_THREADS
+  /// env, then hardware concurrency). Results are bit-identical for every
+  /// setting: parallel passes write per-grain slots or merge integer
+  /// partial sums in a fixed order.
+  int threads = 0;
 };
 
 struct GrainMetrics {

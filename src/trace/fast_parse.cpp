@@ -1,0 +1,772 @@
+#include "trace/fast_parse.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/serialize_detail.hpp"
+
+namespace gg {
+namespace {
+
+// --- text field cursor -----------------------------------------------------
+//
+// Replicates the extraction semantics the legacy loader got from
+// `istringstream >> field`: skip C-locale whitespace, optional sign, greedy
+// decimal digits, failure on missing digits or overflow, strtoull-style
+// wraparound for negative fields read into a 64-bit unsigned target, and the
+// position resting on the first unconsumed character. Once one extraction
+// fails, every later one fails too (failbit behavior), so a whole-record
+// `if (!(c >> a >> b >> ...))` reads exactly like the stream code it
+// replaces.
+
+inline bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f' ||
+         c == '\n';
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+  explicit operator bool() const { return ok_; }
+
+  Cursor& operator>>(std::string_view& out) {
+    if (!skip_ws()) return *this;
+    const size_t start = pos_;
+    while (pos_ < s_.size() && !is_space(s_[pos_])) ++pos_;
+    out = s_.substr(start, pos_ - start);
+    return *this;
+  }
+
+  Cursor& operator>>(u64& v) { return extract_unsigned(v); }
+  Cursor& operator>>(u32& v) { return extract_unsigned(v); }
+  Cursor& operator>>(u16& v) { return extract_unsigned(v); }
+
+  Cursor& operator>>(int& v) {
+    if (!skip_ws()) return *this;
+    size_t p = pos_;
+    if (s_[p] == '+') {  // from_chars rejects '+'; streams accept it
+      ++p;
+      if (p >= s_.size() || s_[p] < '0' || s_[p] > '9') {
+        ok_ = false;
+        return *this;
+      }
+    }
+    const char* first = s_.data() + p;
+    int out = 0;
+    auto [ptr, ec] = std::from_chars(first, s_.data() + s_.size(), out);
+    if (ptr == first) {
+      ok_ = false;
+      return *this;
+    }
+    pos_ = static_cast<size_t>(ptr - s_.data());
+    if (ec != std::errc()) {
+      ok_ = false;
+      return *this;
+    }
+    v = out;
+    return *this;
+  }
+
+  Cursor& operator>>(double& v) {
+    if (!skip_ws()) return *this;
+    size_t p = pos_;
+    bool neg = false;
+    if (s_[p] == '+' || s_[p] == '-') {
+      neg = s_[p] == '-';
+      ++p;
+    }
+    const char* first = s_.data() + p;
+    double out = 0;
+    auto [ptr, ec] = std::from_chars(first, s_.data() + s_.size(), out);
+    if (ptr == first || ec != std::errc()) {
+      ok_ = false;
+      return *this;
+    }
+    pos_ = static_cast<size_t>(ptr - s_.data());
+    v = neg ? -out : out;
+    return *this;
+  }
+
+ private:
+  // Positions on the next field; extraction at end-of-view fails like eof.
+  bool skip_ws() {
+    if (!ok_) return false;
+    while (pos_ < s_.size() && is_space(s_[pos_])) ++pos_;
+    if (pos_ >= s_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  template <class T>
+  Cursor& extract_unsigned(T& v) {
+    if (!skip_ws()) return *this;
+    size_t p = pos_;
+    bool neg = false;
+    if (s_[p] == '+' || s_[p] == '-') {
+      neg = s_[p] == '-';
+      ++p;
+    }
+    const char* first = s_.data() + p;
+    u64 out = 0;
+    auto [ptr, ec] = std::from_chars(first, s_.data() + s_.size(), out, 10);
+    if (ptr == first) {
+      ok_ = false;
+      return *this;
+    }
+    pos_ = static_cast<size_t>(ptr - s_.data());
+    if (ec != std::errc()) {  // magnitude overflowed even u64
+      ok_ = false;
+      return *this;
+    }
+    if (neg) out = 0 - out;  // strtoull wraparound, as num_get does
+    if (out > std::numeric_limits<T>::max()) {
+      ok_ = false;
+      return *this;
+    }
+    v = static_cast<T>(out);
+    return *this;
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+bool read_counters(Cursor& c, Counters& k) {
+  return static_cast<bool>(c >> k.compute >> k.stall >> k.cache_misses >>
+                           k.bytes_accessed);
+}
+
+// The task record's parent field is either "-" or a number parsed from the
+// token in isolation (trailing junk ignored, like `istringstream >> u64`).
+bool parse_parent_token(std::string_view tok, u64& out) {
+  Cursor c(tok);
+  u64 v = 0;
+  if (!(c >> v)) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+LoadResult parse_trace_text(std::string_view buf, const LoadOptions& opts) {
+  LoadResult res;
+  res.source = "<stream>";
+  const bool salv = opts.mode == LoadMode::Salvage;
+  auto add = [&](LoadErrorCode code, u64 line, std::string context,
+                 std::string msg) {
+    res.diagnostics.push_back(LoadDiagnostic{code, line, true,
+                                             std::move(context),
+                                             std::move(msg)});
+  };
+
+  size_t pos = 0;
+  auto next_line = [&](std::string_view& line) -> bool {
+    if (pos >= buf.size()) return false;
+    const size_t nl = buf.find('\n', pos);
+    const size_t end = nl == std::string_view::npos ? buf.size() : nl;
+    line = buf.substr(pos, end - pos);
+    pos = end == buf.size() ? buf.size() : end + 1;
+    return true;
+  };
+
+  std::string_view line;
+  if (!next_line(line)) {
+    add(LoadErrorCode::EmptyInput, 0, "header", "empty input");
+    return res;  // status defaults to Failed
+  }
+  {
+    Cursor head(line);
+    std::string_view magic;
+    int version = 0;
+    if (!(head >> magic >> version) || magic != "ggtrace") {
+      add(LoadErrorCode::BadMagic, 1, "header",
+          "bad header: " + std::string(line));
+      return res;
+    }
+    if (version < 1 || version > detail::kTraceVersion) {
+      add(LoadErrorCode::UnsupportedVersion, 1, "header",
+          "unsupported version " + std::to_string(version));
+      if (!salv) return res;
+      // Salvage: read it as the newest format we know and let the record
+      // parser flag whatever does not fit.
+    }
+  }
+
+  Trace trace;
+  // The string table must be rebuilt with identical ids; collect then intern
+  // in id order.
+  std::vector<std::pair<StrId, std::string>> strs;
+  int lineno = 1;
+  bool aborted = false;
+  while (!aborted && next_line(line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Cursor ls(line);
+    std::string_view kind;
+    ls >> kind;
+    // In Strict/Lenient a malformed record is fatal; in Salvage it is
+    // skipped with a diagnostic and parsing continues.
+    auto bad = [&]() {
+      add(LoadErrorCode::MalformedRecord, static_cast<u64>(lineno),
+          std::string(kind),
+          "malformed " + std::string(kind) + " record at line " +
+              std::to_string(lineno));
+      if (!salv) aborted = true;
+    };
+    if (kind == "frag") {
+      FragmentRec f;
+      int reason = 0;
+      if (!(ls >> f.task >> f.seq >> f.start >> f.end >> f.core >> reason >>
+            f.end_ref) ||
+          !read_counters(ls, f.counters) || reason < 0 || reason > 3) {
+        bad();
+        continue;
+      }
+      f.end_reason = static_cast<FragmentEnd>(reason);
+      trace.fragments.push_back(f);
+    } else if (kind == "chunk") {
+      ChunkRec c;
+      if (!(ls >> c.loop >> c.thread >> c.core >> c.seq_on_thread >>
+            c.iter_begin >> c.iter_end >> c.start >> c.end) ||
+          !read_counters(ls, c.counters)) {
+        bad();
+        continue;
+      }
+      trace.chunks.push_back(c);
+    } else if (kind == "book") {
+      BookkeepRec b;
+      int got = 0;
+      if (!(ls >> b.loop >> b.thread >> b.core >> b.seq_on_thread >> b.start >>
+            b.end >> got)) {
+        bad();
+        continue;
+      }
+      b.got_chunk = got != 0;
+      trace.bookkeeps.push_back(b);
+    } else if (kind == "task") {
+      TaskRec t;
+      std::string_view parent;
+      int inlined = 0;
+      if (!(ls >> t.uid >> parent >> t.child_index >> t.src >> t.create_time >>
+            t.create_core >> t.creation_cost >> inlined)) {
+        bad();
+        continue;
+      }
+      if (parent == "-") {
+        t.parent = kNoTask;
+      } else {
+        u64 p = 0;
+        if (!parse_parent_token(parent, p)) {
+          bad();
+          continue;
+        }
+        t.parent = p;
+      }
+      t.inlined = inlined != 0;
+      trace.tasks.push_back(t);
+    } else if (kind == "join") {
+      JoinRec j;
+      if (!(ls >> j.task >> j.seq >> j.start >> j.end >> j.core)) {
+        bad();
+        continue;
+      }
+      trace.joins.push_back(j);
+    } else if (kind == "loop") {
+      LoopRec l;
+      int sched = 0;
+      if (!(ls >> l.uid >> l.enclosing_task >> l.src >> sched >>
+            l.chunk_param >> l.iter_begin >> l.iter_end >> l.num_threads >>
+            l.starting_thread >> l.seq >> l.start >> l.end) ||
+          sched < 0 || sched > 2) {
+        bad();
+        continue;
+      }
+      l.sched = static_cast<ScheduleKind>(sched);
+      trace.loops.push_back(l);
+    } else if (kind == "dep") {
+      DependRec d;
+      if (!(ls >> d.pred >> d.succ)) {
+        bad();
+        continue;
+      }
+      trace.depends.push_back(d);
+    } else if (kind == "str") {
+      StrId id;
+      std::string_view s;
+      if (!(ls >> id >> s)) {
+        bad();
+        continue;
+      }
+      auto u = detail::unescape(s);
+      if (!u) {
+        bad();
+        continue;
+      }
+      strs.emplace_back(id, *u);
+    } else if (kind == "wstat") {
+      WorkerStatsRec s;
+      if (!(ls >> s.worker >> s.tasks_spawned >> s.tasks_executed >>
+            s.tasks_inlined >> s.steals >> s.steal_failures >>
+            s.cas_failures >> s.deque_pushes >> s.deque_pops >>
+            s.deque_resizes >> s.taskwait_helps >> s.idle_ns >>
+            s.trace_bytes)) {
+        bad();
+        continue;
+      }
+      trace.worker_stats.push_back(s);
+    } else if (kind == "meta") {
+      std::string_view program, runtime, topology;
+      TraceMeta m;
+      if (!(ls >> program >> runtime >> topology >> m.num_workers >>
+            m.num_cores >> m.ghz >> m.region_start >> m.region_end)) {
+        bad();
+        continue;
+      }
+      auto p = detail::unescape(program), r = detail::unescape(runtime),
+           t = detail::unescape(topology);
+      if (!p || !r || !t) {
+        bad();
+        continue;
+      }
+      m.profiled = trace.meta.profiled;
+      m.trace_buffer_bytes = trace.meta.trace_buffer_bytes;
+      m.clock_source = trace.meta.clock_source;
+      m.notes = std::move(trace.meta.notes);
+      m.program = *p;
+      m.runtime = *r;
+      m.topology = *t;
+      trace.meta = std::move(m);
+    } else if (kind == "metax") {
+      int profiled = 1;
+      u64 buffer_bytes = 0;
+      std::string_view clock;
+      if (!(ls >> profiled >> buffer_bytes >> clock)) {
+        bad();
+        continue;
+      }
+      auto c = detail::unescape(clock);
+      if (!c) {
+        bad();
+        continue;
+      }
+      trace.meta.profiled = profiled != 0;
+      trace.meta.trace_buffer_bytes = buffer_bytes;
+      trace.meta.clock_source = *c;
+    } else if (kind == "note") {
+      std::string_view n;
+      if (!(ls >> n)) {
+        bad();
+        continue;
+      }
+      auto u = detail::unescape(n);
+      if (!u) {
+        bad();
+        continue;
+      }
+      trace.meta.notes.push_back(*u);
+    } else {
+      add(LoadErrorCode::UnknownRecordKind, static_cast<u64>(lineno),
+          std::string(kind),
+          "unknown record kind '" + std::string(kind) + "' at line " +
+              std::to_string(lineno));
+      if (opts.mode == LoadMode::Strict) aborted = true;
+      // Lenient/Salvage: skip the line (forward compatibility).
+    }
+  }
+  if (aborted) return res;  // fatal diagnostic already recorded
+
+  if (!detail::apply_string_table(strs, salv, trace, res)) return res;
+  detail::finish_load(std::move(trace), opts, res);
+  return res;
+}
+
+namespace {
+
+// --- binary parsing --------------------------------------------------------
+
+// Bounds-checked cursor over a fully-buffered binary stream. Every read is
+// checked against the remaining bytes, so a corrupted length/count can never
+// trigger an over-read or an attempted multi-gigabyte allocation.
+struct ByteReader {
+  std::string_view buf;
+  size_t pos = 0;
+
+  size_t remaining() const { return buf.size() - pos; }
+  bool get_u64(u64& v) {
+    if (remaining() < sizeof v) return false;
+    std::memcpy(&v, buf.data() + pos, sizeof v);
+    pos += sizeof v;
+    return true;
+  }
+  bool get_u32(u32& v) {
+    if (remaining() < sizeof v) return false;
+    std::memcpy(&v, buf.data() + pos, sizeof v);
+    pos += sizeof v;
+    return true;
+  }
+  bool get_str(std::string& s) {
+    u64 n = 0;
+    if (!get_u64(n)) return false;
+    if (n > remaining()) {
+      pos -= sizeof n;
+      return false;
+    }
+    s.assign(buf.data() + pos, static_cast<size_t>(n));
+    pos += static_cast<size_t>(n);
+    return true;
+  }
+  bool get_counters(Counters& c) {
+    return get_u64(c.compute) && get_u64(c.stall) && get_u64(c.cache_misses) &&
+           get_u64(c.bytes_accessed);
+  }
+};
+
+constexpr char kBinMagic[] = "GGTB3";  // v3 adds worker stats + profiling meta
+constexpr char kBinMagicV2[] = "GGTB2";  // v2 added a dependence section
+constexpr char kBinMagicV1[] = "GGTB1";
+
+// Minimum encoded sizes per record, used to reject section counts that could
+// not possibly fit in the remaining bytes (a bit-flipped count would
+// otherwise demand a huge allocation).
+constexpr size_t kMinTaskBytes = 48;
+constexpr size_t kMinFragBytes = 76;
+constexpr size_t kMinJoinBytes = 32;
+constexpr size_t kMinLoopBytes = 76;
+constexpr size_t kMinChunkBytes = 84;
+constexpr size_t kMinBookBytes = 40;
+constexpr size_t kMinDependBytes = 16;
+constexpr size_t kMinWstatBytes = 100;
+
+// Parses the sections after the magic. Returns false on a fatal problem
+// (Strict/Lenient); in Salvage mode it always returns true and simply stops
+// at the end of the longest readable prefix, leaving what was parsed in
+// `trace`. Diagnostics are appended either way.
+bool parse_binary_body(ByteReader& r, bool v1, bool v2, bool salv,
+                       Trace& trace, std::vector<LoadDiagnostic>& diags) {
+  auto add = [&](LoadErrorCode code, u64 off, const char* ctx,
+                 std::string msg) {
+    diags.push_back(
+        LoadDiagnostic{code, off, false, ctx, std::move(msg)});
+  };
+  auto truncated = [&](u64 off, const char* ctx, const char* msg) {
+    add(LoadErrorCode::TruncatedStream, off, ctx, msg);
+    return salv;  // salvage keeps the prefix; strict/lenient fail
+  };
+  // Reads a section count and sanity-checks it against the bytes that are
+  // actually left; min_size == 0 skips the plausibility check.
+  auto get_count = [&](u64& n, size_t min_size, const char* ctx,
+                       const char* trunc_msg, bool& ok) {
+    const u64 off = r.pos;
+    if (!r.get_u64(n)) {
+      ok = truncated(off, ctx, trunc_msg);
+      return false;
+    }
+    if (min_size != 0 && n > r.remaining() / min_size) {
+      add(LoadErrorCode::LimitExceeded, off, ctx,
+          std::string("implausible ") + ctx + " count " + std::to_string(n));
+      ok = salv;
+      return false;
+    }
+    return true;
+  };
+
+  TraceMeta& m = trace.meta;
+  u32 workers = 0, cores = 0;
+  u64 ghz_u = 0, nnotes = 0;
+  if (!(r.get_str(m.program) && r.get_str(m.runtime) &&
+        r.get_str(m.topology) && r.get_u32(workers) && r.get_u32(cores) &&
+        r.get_u64(ghz_u) && r.get_u64(m.region_start) &&
+        r.get_u64(m.region_end))) {
+    return truncated(r.pos, "meta", "truncated meta");
+  }
+  m.num_workers = static_cast<int>(workers);
+  m.num_cores = static_cast<int>(cores);
+  m.ghz = static_cast<double>(ghz_u) / 1e6;
+  {
+    bool ok = true;
+    if (!get_count(nnotes, 8, "notes", "truncated notes", ok)) return ok;
+    for (u64 i = 0; i < nnotes; ++i) {
+      std::string n;
+      if (!r.get_str(n)) return truncated(r.pos, "notes", "truncated notes");
+      m.notes.push_back(std::move(n));
+    }
+  }
+  {
+    u64 nstrs = 0;
+    const u64 off = r.pos;
+    if (!r.get_u64(nstrs))
+      return truncated(off, "strings", "truncated string table");
+    if (nstrs > 0 && nstrs - 1 > r.remaining() / 8) {
+      add(LoadErrorCode::LimitExceeded, off, "strings",
+          "implausible string count " + std::to_string(nstrs));
+      return salv;
+    }
+    bool warned = false;
+    for (u64 i = 1; i < nstrs; ++i) {
+      std::string str;
+      const u64 soff = r.pos;
+      if (!r.get_str(str))
+        return truncated(soff, "strings", "truncated string table");
+      StrId got = trace.strings.intern(str);
+      if (got != i) {
+        if (!salv) {
+          add(LoadErrorCode::StringTableCorrupt, soff, "strings",
+              "string ids not dense");
+          return false;
+        }
+        if (!warned) {
+          add(LoadErrorCode::StringTableCorrupt, soff, "strings",
+              "duplicate string contents; de-duplicated with placeholders");
+          warned = true;
+        }
+        while (got != i) {
+          str += "#";
+          got = trace.strings.intern(str);
+        }
+      }
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinTaskBytes, "tasks", "truncated tasks", ok))
+      return ok;
+    trace.tasks.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      TaskRec t;
+      u32 core = 0, inl = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(t.uid) && r.get_u64(t.parent) &&
+            r.get_u32(t.child_index) && r.get_u32(t.src) &&
+            r.get_u64(t.create_time) && r.get_u32(core) &&
+            r.get_u64(t.creation_cost) && r.get_u32(inl)))
+        return truncated(off, "tasks", "truncated task record");
+      t.create_core = static_cast<u16>(core);
+      t.inlined = inl != 0;
+      trace.tasks.push_back(t);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinFragBytes, "fragments", "truncated fragments", ok))
+      return ok;
+    trace.fragments.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      FragmentRec f;
+      u32 core = 0, reason = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(f.task) && r.get_u32(f.seq) && r.get_u64(f.start) &&
+            r.get_u64(f.end) && r.get_u32(core) && r.get_u32(reason) &&
+            r.get_u64(f.end_ref) && r.get_counters(f.counters)))
+        return truncated(off, "fragments", "truncated fragment record");
+      if (reason > 3) {
+        add(LoadErrorCode::MalformedRecord, off, "fragments",
+            "bad fragment end reason");
+        if (!salv) return false;
+        continue;  // salvage: skip the record, keep parsing
+      }
+      f.core = static_cast<u16>(core);
+      f.end_reason = static_cast<FragmentEnd>(reason);
+      trace.fragments.push_back(f);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinJoinBytes, "joins", "truncated joins", ok))
+      return ok;
+    trace.joins.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      JoinRec j;
+      u32 core = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(j.task) && r.get_u32(j.seq) && r.get_u64(j.start) &&
+            r.get_u64(j.end) && r.get_u32(core)))
+        return truncated(off, "joins", "truncated join record");
+      j.core = static_cast<u16>(core);
+      trace.joins.push_back(j);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinLoopBytes, "loops", "truncated loops", ok))
+      return ok;
+    trace.loops.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      LoopRec l;
+      u32 sched = 0, threads = 0, start_thread = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(l.uid) && r.get_u64(l.enclosing_task) &&
+            r.get_u32(l.src) && r.get_u32(sched) && r.get_u64(l.chunk_param) &&
+            r.get_u64(l.iter_begin) && r.get_u64(l.iter_end) &&
+            r.get_u32(threads) && r.get_u32(start_thread) &&
+            r.get_u32(l.seq) && r.get_u64(l.start) && r.get_u64(l.end)))
+        return truncated(off, "loops", "truncated loop record");
+      if (sched > 2) {
+        add(LoadErrorCode::MalformedRecord, off, "loops", "bad loop schedule");
+        if (!salv) return false;
+        continue;
+      }
+      l.sched = static_cast<ScheduleKind>(sched);
+      l.num_threads = static_cast<u16>(threads);
+      l.starting_thread = static_cast<u16>(start_thread);
+      trace.loops.push_back(l);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinChunkBytes, "chunks", "truncated chunks", ok))
+      return ok;
+    trace.chunks.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      ChunkRec c;
+      u32 thread = 0, core = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(c.loop) && r.get_u32(thread) && r.get_u32(core) &&
+            r.get_u32(c.seq_on_thread) && r.get_u64(c.iter_begin) &&
+            r.get_u64(c.iter_end) && r.get_u64(c.start) && r.get_u64(c.end) &&
+            r.get_counters(c.counters)))
+        return truncated(off, "chunks", "truncated chunk record");
+      c.thread = static_cast<u16>(thread);
+      c.core = static_cast<u16>(core);
+      trace.chunks.push_back(c);
+    }
+  }
+  {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinBookBytes, "bookkeeps", "truncated bookkeeps", ok))
+      return ok;
+    trace.bookkeeps.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      BookkeepRec b;
+      u32 thread = 0, core = 0, got = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u64(b.loop) && r.get_u32(thread) && r.get_u32(core) &&
+            r.get_u32(b.seq_on_thread) && r.get_u64(b.start) &&
+            r.get_u64(b.end) && r.get_u32(got)))
+        return truncated(off, "bookkeeps", "truncated bookkeep record");
+      b.thread = static_cast<u16>(thread);
+      b.core = static_cast<u16>(core);
+      b.got_chunk = got != 0;
+      trace.bookkeeps.push_back(b);
+    }
+  }
+  if (!v1) {
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinDependBytes, "depends", "truncated depends", ok))
+      return ok;
+    trace.depends.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      DependRec d;
+      const u64 off = r.pos;
+      if (!(r.get_u64(d.pred) && r.get_u64(d.succ)))
+        return truncated(off, "depends", "truncated depend record");
+      trace.depends.push_back(d);
+    }
+  }
+  if (!v1 && !v2) {
+    u32 profiled = 1;
+    if (!(r.get_u32(profiled) && r.get_u64(m.trace_buffer_bytes) &&
+          r.get_str(m.clock_source)))
+      return truncated(r.pos, "trailer", "truncated profiling meta");
+    m.profiled = profiled != 0;
+    u64 n = 0;
+    bool ok = true;
+    if (!get_count(n, kMinWstatBytes, "worker stats", "truncated worker stats",
+                   ok))
+      return ok;
+    trace.worker_stats.reserve(static_cast<size_t>(n));
+    for (u64 i = 0; i < n; ++i) {
+      WorkerStatsRec s;
+      u32 worker = 0;
+      const u64 off = r.pos;
+      if (!(r.get_u32(worker) && r.get_u64(s.tasks_spawned) &&
+            r.get_u64(s.tasks_executed) && r.get_u64(s.tasks_inlined) &&
+            r.get_u64(s.steals) && r.get_u64(s.steal_failures) &&
+            r.get_u64(s.cas_failures) && r.get_u64(s.deque_pushes) &&
+            r.get_u64(s.deque_pops) && r.get_u64(s.deque_resizes) &&
+            r.get_u64(s.taskwait_helps) && r.get_u64(s.idle_ns) &&
+            r.get_u64(s.trace_bytes)))
+        return truncated(off, "worker stats", "truncated worker stats record");
+      s.worker = static_cast<u16>(worker);
+      trace.worker_stats.push_back(s);
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+LoadResult parse_trace_binary(std::string_view buf, const LoadOptions& opts) {
+  LoadResult res;
+  res.source = "<stream>";
+  const bool salv = opts.mode == LoadMode::Salvage;
+  if (buf.size() < 5) {
+    res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::BadMagic, 0, false,
+                                             "magic", "bad binary magic"});
+    return res;
+  }
+  const std::string_view m5 = buf.substr(0, 5);
+  const bool v1 = m5 == kBinMagicV1;
+  const bool v2 = m5 == kBinMagicV2;
+  if (!v1 && !v2 && m5 != kBinMagic) {
+    res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::BadMagic, 0, false,
+                                             "magic", "bad binary magic"});
+    return res;
+  }
+  ByteReader r{buf, 5};
+  Trace trace;
+  if (!parse_binary_body(r, v1, v2, salv, trace, res.diagnostics)) {
+    return res;  // fatal in Strict/Lenient; diagnostics already recorded
+  }
+  detail::finish_load(std::move(trace), opts, res);
+  return res;
+}
+
+bool read_file_contents(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return false;
+  }
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return false;
+  }
+  std::rewind(f);
+  out.resize(static_cast<size_t>(size));
+  const size_t got = size > 0 ? std::fread(out.data(), 1, out.size(), f) : 0;
+  std::fclose(f);
+  out.resize(got);  // short read: parse what we got (truncation diagnostics)
+  return true;
+}
+
+std::string slurp_stream(std::istream& is) {
+  std::string buf;
+  char block[1 << 16];
+  for (;;) {
+    is.read(block, sizeof block);
+    const std::streamsize got = is.gcount();
+    if (got > 0) buf.append(block, static_cast<size_t>(got));
+    if (got < static_cast<std::streamsize>(sizeof block)) break;
+  }
+  return buf;
+}
+
+}  // namespace gg

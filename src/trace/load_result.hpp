@@ -60,9 +60,20 @@ enum class LoadMode : u8 {
   Salvage,  ///< recover the longest valid prefix; repair the rest
 };
 
+/// Which text-parsing implementation a loader uses. Both accept the same
+/// format, produce the same trace and the same diagnostics; Legacy is the
+/// original line-by-line istream parser, kept compilable so the fast path's
+/// speedup stays measurable (bench/perf_pipeline.cpp) and differentially
+/// testable (tests/fastpath_test.cpp).
+enum class ParseEngine : u8 {
+  Fast,    ///< block-read + std::from_chars over string views (the default)
+  Legacy,  ///< getline + per-line istringstream (the seed implementation)
+};
+
 struct LoadOptions {
   LoadMode mode = LoadMode::Lenient;
   bool validate = true;  ///< run validate_trace after load (and after salvage)
+  ParseEngine engine = ParseEngine::Fast;
 };
 
 /// Outcome of one load. `trace` is present when any records were recovered,

@@ -6,15 +6,14 @@
 #include <map>
 #include <sstream>
 
+#include "trace/fast_parse.hpp"
 #include "trace/salvage.hpp"
+#include "trace/serialize_detail.hpp"
 #include "trace/validate.hpp"
 
 namespace gg {
 
-namespace {
-
-constexpr int kVersion = 3;  // v2 added dependence records; v3 adds
-                             // worker-stats records and profiling metadata
+namespace detail {
 
 // Strings may contain spaces; they are written percent-escaped so that every
 // record stays a single whitespace-separated line.
@@ -59,18 +58,6 @@ std::optional<std::string> unescape(std::string_view s) {
   return out;
 }
 
-void write_counters(std::ostream& os, const Counters& c) {
-  os << ' ' << c.compute << ' ' << c.stall << ' ' << c.cache_misses << ' '
-     << c.bytes_accessed;
-}
-
-bool read_counters(std::istringstream& is, Counters& c) {
-  return static_cast<bool>(is >> c.compute >> c.stall >> c.cache_misses >>
-                           c.bytes_accessed);
-}
-
-// Finalizes, optionally salvages, optionally validates, and fills in the
-// result status. Shared tail of the text and binary _ex loaders.
 void finish_load(Trace&& trace, const LoadOptions& opts, LoadResult& res) {
   trace.finalize();
   if (opts.mode == LoadMode::Salvage) {
@@ -115,10 +102,82 @@ void finish_load(Trace&& trace, const LoadOptions& opts, LoadResult& res) {
   res.trace = std::move(trace);
 }
 
+bool apply_string_table(std::vector<std::pair<StrId, std::string>>& strs,
+                        bool salv, Trace& trace, LoadResult& res) {
+  auto add = [&](LoadErrorCode code, std::string msg) {
+    res.diagnostics.push_back(
+        LoadDiagnostic{code, 0, true, "str", std::move(msg)});
+  };
+  std::sort(strs.begin(), strs.end());
+  bool table_ok = true;
+  for (const auto& [id, s] : strs) {
+    const StrId got = trace.strings.intern(s);
+    if (got != id) {
+      if (!salv) {
+        add(LoadErrorCode::StringTableCorrupt,
+            "string table ids not dense (expected " + std::to_string(id) +
+                ", got " + std::to_string(got) + ")");
+        return false;
+      }
+      table_ok = false;
+      break;
+    }
+  }
+  if (!table_ok) {
+    // Salvage: rebuild a dense table, padding holes and de-duplicating
+    // colliding contents with unique placeholders so every recorded id keeps
+    // its original string where possible. Dangling src ids degrade to ""
+    // (StringTable::get is total), so references never become unsafe.
+    trace.strings = StringTable{};
+    add(LoadErrorCode::StringTableCorrupt,
+        "string table ids not dense; rebuilt with placeholders");
+    std::map<StrId, std::string> by_id;
+    u64 max_id = 0;
+    for (const auto& [id, s] : strs) {
+      by_id.emplace(id, s);
+      max_id = std::max<u64>(max_id, id);
+    }
+    if (max_id > strs.size() + 1024) {
+      // Garbage ids: keep the contents, abandon the numbering.
+      for (const auto& [id, s] : by_id) trace.strings.intern(s);
+    } else {
+      for (u64 i = 1; i <= max_id; ++i) {
+        auto it = by_id.find(static_cast<StrId>(i));
+        std::string candidate = it != by_id.end()
+                                    ? it->second
+                                    : "<missing-str-" + std::to_string(i) + ">";
+        StrId got = trace.strings.intern(candidate);
+        while (got != i) {  // content collides with an earlier id
+          candidate += "#";
+          got = trace.strings.intern(candidate);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::escape;
+using detail::unescape;
+
+void write_counters(std::ostream& os, const Counters& c) {
+  os << ' ' << c.compute << ' ' << c.stall << ' ' << c.cache_misses << ' '
+     << c.bytes_accessed;
+}
+
+bool read_counters(std::istringstream& is, Counters& c) {
+  return static_cast<bool>(is >> c.compute >> c.stall >> c.cache_misses >>
+                           c.bytes_accessed);
+}
+
 }  // namespace
 
 void save_trace(const Trace& trace, std::ostream& os) {
-  os << "ggtrace " << kVersion << '\n';
+  os << "ggtrace " << detail::kTraceVersion << '\n';
   const TraceMeta& m = trace.meta;
   os << "meta " << escape(m.program) << ' ' << escape(m.runtime) << ' '
      << escape(m.topology) << ' ' << m.num_workers << ' ' << m.num_cores
@@ -183,7 +242,12 @@ void save_trace(const Trace& trace, std::ostream& os) {
   }
 }
 
-LoadResult load_trace_ex(std::istream& is, const LoadOptions& opts) {
+namespace {
+
+// The seed line-by-line stream parser, kept intact behind
+// ParseEngine::Legacy so the fast path's speedup is measured against it and
+// its behavior is differentially tested (tests/fastpath_test.cpp).
+LoadResult load_trace_text_legacy(std::istream& is, const LoadOptions& opts) {
   LoadResult res;
   res.source = "<stream>";
   const bool salv = opts.mode == LoadMode::Salvage;
@@ -207,7 +271,7 @@ LoadResult load_trace_ex(std::istream& is, const LoadOptions& opts) {
       add(LoadErrorCode::BadMagic, 1, "header", "bad header: " + line);
       return res;
     }
-    if (version < 1 || version > kVersion) {
+    if (version < 1 || version > detail::kTraceVersion) {
       add(LoadErrorCode::UnsupportedVersion, 1, "header",
           "unsupported version " + std::to_string(version));
       if (!salv) return res;
@@ -396,54 +460,19 @@ LoadResult load_trace_ex(std::istream& is, const LoadOptions& opts) {
   }
   if (aborted) return res;  // fatal diagnostic already recorded
 
-  std::sort(strs.begin(), strs.end());
-  bool table_ok = true;
-  for (const auto& [id, s] : strs) {
-    const StrId got = trace.strings.intern(s);
-    if (got != id) {
-      if (!salv) {
-        add(LoadErrorCode::StringTableCorrupt, 0, "str",
-            "string table ids not dense (expected " + std::to_string(id) +
-                ", got " + std::to_string(got) + ")");
-        return res;
-      }
-      table_ok = false;
-      break;
-    }
-  }
-  if (!table_ok) {
-    // Salvage: rebuild a dense table, padding holes and de-duplicating
-    // colliding contents with unique placeholders so every recorded id keeps
-    // its original string where possible. Dangling src ids degrade to ""
-    // (StringTable::get is total), so references never become unsafe.
-    trace.strings = StringTable{};
-    add(LoadErrorCode::StringTableCorrupt, 0, "str",
-        "string table ids not dense; rebuilt with placeholders");
-    std::map<StrId, std::string> by_id;
-    u64 max_id = 0;
-    for (const auto& [id, s] : strs) {
-      by_id.emplace(id, s);
-      max_id = std::max<u64>(max_id, id);
-    }
-    if (max_id > strs.size() + 1024) {
-      // Garbage ids: keep the contents, abandon the numbering.
-      for (const auto& [id, s] : by_id) trace.strings.intern(s);
-    } else {
-      for (u64 i = 1; i <= max_id; ++i) {
-        auto it = by_id.find(static_cast<StrId>(i));
-        std::string candidate = it != by_id.end()
-                                    ? it->second
-                                    : "<missing-str-" + std::to_string(i) + ">";
-        StrId got = trace.strings.intern(candidate);
-        while (got != i) {  // content collides with an earlier id
-          candidate += "#";
-          got = trace.strings.intern(candidate);
-        }
-      }
-    }
-  }
-  finish_load(std::move(trace), opts, res);
+  if (!detail::apply_string_table(strs, salv, trace, res)) return res;
+  detail::finish_load(std::move(trace), opts, res);
   return res;
+}
+
+}  // namespace
+
+LoadResult load_trace_ex(std::istream& is, const LoadOptions& opts) {
+  if (opts.engine == ParseEngine::Legacy) {
+    return load_trace_text_legacy(is, opts);
+  }
+  const std::string buf = slurp_stream(is);
+  return parse_trace_text(buf, opts);
 }
 
 std::optional<Trace> load_trace(std::istream& is, std::string* error) {
@@ -484,321 +513,7 @@ void put_counters(std::ostream& os, const Counters& c) {
   put_u64(os, c.bytes_accessed);
 }
 
-// Bounds-checked cursor over a fully-buffered binary stream. Every read is
-// checked against the remaining bytes, so a corrupted length/count can never
-// trigger an over-read or an attempted multi-gigabyte allocation.
-struct ByteReader {
-  const std::string& buf;
-  size_t pos = 0;
-
-  size_t remaining() const { return buf.size() - pos; }
-  bool get_u64(u64& v) {
-    if (remaining() < sizeof v) return false;
-    std::memcpy(&v, buf.data() + pos, sizeof v);
-    pos += sizeof v;
-    return true;
-  }
-  bool get_u32(u32& v) {
-    if (remaining() < sizeof v) return false;
-    std::memcpy(&v, buf.data() + pos, sizeof v);
-    pos += sizeof v;
-    return true;
-  }
-  bool get_str(std::string& s) {
-    u64 n = 0;
-    if (!get_u64(n)) return false;
-    if (n > remaining()) {
-      pos -= sizeof n;
-      return false;
-    }
-    s.assign(buf.data() + pos, static_cast<size_t>(n));
-    pos += static_cast<size_t>(n);
-    return true;
-  }
-  bool get_counters(Counters& c) {
-    return get_u64(c.compute) && get_u64(c.stall) && get_u64(c.cache_misses) &&
-           get_u64(c.bytes_accessed);
-  }
-};
-
 constexpr char kBinMagic[] = "GGTB3";  // v3 adds worker stats + profiling meta
-constexpr char kBinMagicV2[] = "GGTB2";  // v2 added a dependence section
-constexpr char kBinMagicV1[] = "GGTB1";
-
-// Minimum encoded sizes per record, used to reject section counts that could
-// not possibly fit in the remaining bytes (a bit-flipped count would
-// otherwise demand a huge allocation).
-constexpr size_t kMinTaskBytes = 48;
-constexpr size_t kMinFragBytes = 76;
-constexpr size_t kMinJoinBytes = 32;
-constexpr size_t kMinLoopBytes = 76;
-constexpr size_t kMinChunkBytes = 84;
-constexpr size_t kMinBookBytes = 40;
-constexpr size_t kMinDependBytes = 16;
-constexpr size_t kMinWstatBytes = 100;
-
-// Parses the sections after the magic. Returns false on a fatal problem
-// (Strict/Lenient); in Salvage mode it always returns true and simply stops
-// at the end of the longest readable prefix, leaving what was parsed in
-// `trace`. Diagnostics are appended either way.
-bool parse_binary_body(ByteReader& r, bool v1, bool v2, bool salv,
-                       Trace& trace, std::vector<LoadDiagnostic>& diags) {
-  auto add = [&](LoadErrorCode code, u64 off, const char* ctx,
-                 std::string msg) {
-    diags.push_back(
-        LoadDiagnostic{code, off, false, ctx, std::move(msg)});
-  };
-  auto truncated = [&](u64 off, const char* ctx, const char* msg) {
-    add(LoadErrorCode::TruncatedStream, off, ctx, msg);
-    return salv;  // salvage keeps the prefix; strict/lenient fail
-  };
-  // Reads a section count and sanity-checks it against the bytes that are
-  // actually left; min_size == 0 skips the plausibility check.
-  auto get_count = [&](u64& n, size_t min_size, const char* ctx,
-                       const char* trunc_msg, bool& ok) {
-    const u64 off = r.pos;
-    if (!r.get_u64(n)) {
-      ok = truncated(off, ctx, trunc_msg);
-      return false;
-    }
-    if (min_size != 0 && n > r.remaining() / min_size) {
-      add(LoadErrorCode::LimitExceeded, off, ctx,
-          std::string("implausible ") + ctx + " count " + std::to_string(n));
-      ok = salv;
-      return false;
-    }
-    return true;
-  };
-
-  TraceMeta& m = trace.meta;
-  u32 workers = 0, cores = 0;
-  u64 ghz_u = 0, nnotes = 0;
-  if (!(r.get_str(m.program) && r.get_str(m.runtime) &&
-        r.get_str(m.topology) && r.get_u32(workers) && r.get_u32(cores) &&
-        r.get_u64(ghz_u) && r.get_u64(m.region_start) &&
-        r.get_u64(m.region_end))) {
-    return truncated(r.pos, "meta", "truncated meta");
-  }
-  m.num_workers = static_cast<int>(workers);
-  m.num_cores = static_cast<int>(cores);
-  m.ghz = static_cast<double>(ghz_u) / 1e6;
-  {
-    bool ok = true;
-    if (!get_count(nnotes, 8, "notes", "truncated notes", ok)) return ok;
-    for (u64 i = 0; i < nnotes; ++i) {
-      std::string n;
-      if (!r.get_str(n)) return truncated(r.pos, "notes", "truncated notes");
-      m.notes.push_back(std::move(n));
-    }
-  }
-  {
-    u64 nstrs = 0;
-    const u64 off = r.pos;
-    if (!r.get_u64(nstrs))
-      return truncated(off, "strings", "truncated string table");
-    if (nstrs > 0 && nstrs - 1 > r.remaining() / 8) {
-      add(LoadErrorCode::LimitExceeded, off, "strings",
-          "implausible string count " + std::to_string(nstrs));
-      return salv;
-    }
-    bool warned = false;
-    for (u64 i = 1; i < nstrs; ++i) {
-      std::string str;
-      const u64 soff = r.pos;
-      if (!r.get_str(str))
-        return truncated(soff, "strings", "truncated string table");
-      StrId got = trace.strings.intern(str);
-      if (got != i) {
-        if (!salv) {
-          add(LoadErrorCode::StringTableCorrupt, soff, "strings",
-              "string ids not dense");
-          return false;
-        }
-        if (!warned) {
-          add(LoadErrorCode::StringTableCorrupt, soff, "strings",
-              "duplicate string contents; de-duplicated with placeholders");
-          warned = true;
-        }
-        while (got != i) {
-          str += "#";
-          got = trace.strings.intern(str);
-        }
-      }
-    }
-  }
-  {
-    u64 n = 0;
-    bool ok = true;
-    if (!get_count(n, kMinTaskBytes, "tasks", "truncated tasks", ok))
-      return ok;
-    trace.tasks.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      TaskRec t;
-      u32 core = 0, inl = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(t.uid) && r.get_u64(t.parent) &&
-            r.get_u32(t.child_index) && r.get_u32(t.src) &&
-            r.get_u64(t.create_time) && r.get_u32(core) &&
-            r.get_u64(t.creation_cost) && r.get_u32(inl)))
-        return truncated(off, "tasks", "truncated task record");
-      t.create_core = static_cast<u16>(core);
-      t.inlined = inl != 0;
-      trace.tasks.push_back(t);
-    }
-  }
-  {
-    u64 n = 0;
-    bool ok = true;
-    if (!get_count(n, kMinFragBytes, "fragments", "truncated fragments", ok))
-      return ok;
-    trace.fragments.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      FragmentRec f;
-      u32 core = 0, reason = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(f.task) && r.get_u32(f.seq) && r.get_u64(f.start) &&
-            r.get_u64(f.end) && r.get_u32(core) && r.get_u32(reason) &&
-            r.get_u64(f.end_ref) && r.get_counters(f.counters)))
-        return truncated(off, "fragments", "truncated fragment record");
-      if (reason > 3) {
-        add(LoadErrorCode::MalformedRecord, off, "fragments",
-            "bad fragment end reason");
-        if (!salv) return false;
-        continue;  // salvage: skip the record, keep parsing
-      }
-      f.core = static_cast<u16>(core);
-      f.end_reason = static_cast<FragmentEnd>(reason);
-      trace.fragments.push_back(f);
-    }
-  }
-  {
-    u64 n = 0;
-    bool ok = true;
-    if (!get_count(n, kMinJoinBytes, "joins", "truncated joins", ok))
-      return ok;
-    trace.joins.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      JoinRec j;
-      u32 core = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(j.task) && r.get_u32(j.seq) && r.get_u64(j.start) &&
-            r.get_u64(j.end) && r.get_u32(core)))
-        return truncated(off, "joins", "truncated join record");
-      j.core = static_cast<u16>(core);
-      trace.joins.push_back(j);
-    }
-  }
-  {
-    u64 n = 0;
-    bool ok = true;
-    if (!get_count(n, kMinLoopBytes, "loops", "truncated loops", ok))
-      return ok;
-    trace.loops.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      LoopRec l;
-      u32 sched = 0, threads = 0, start_thread = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(l.uid) && r.get_u64(l.enclosing_task) &&
-            r.get_u32(l.src) && r.get_u32(sched) && r.get_u64(l.chunk_param) &&
-            r.get_u64(l.iter_begin) && r.get_u64(l.iter_end) &&
-            r.get_u32(threads) && r.get_u32(start_thread) &&
-            r.get_u32(l.seq) && r.get_u64(l.start) && r.get_u64(l.end)))
-        return truncated(off, "loops", "truncated loop record");
-      if (sched > 2) {
-        add(LoadErrorCode::MalformedRecord, off, "loops", "bad loop schedule");
-        if (!salv) return false;
-        continue;
-      }
-      l.sched = static_cast<ScheduleKind>(sched);
-      l.num_threads = static_cast<u16>(threads);
-      l.starting_thread = static_cast<u16>(start_thread);
-      trace.loops.push_back(l);
-    }
-  }
-  {
-    u64 n = 0;
-    bool ok = true;
-    if (!get_count(n, kMinChunkBytes, "chunks", "truncated chunks", ok))
-      return ok;
-    trace.chunks.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      ChunkRec c;
-      u32 thread = 0, core = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(c.loop) && r.get_u32(thread) && r.get_u32(core) &&
-            r.get_u32(c.seq_on_thread) && r.get_u64(c.iter_begin) &&
-            r.get_u64(c.iter_end) && r.get_u64(c.start) && r.get_u64(c.end) &&
-            r.get_counters(c.counters)))
-        return truncated(off, "chunks", "truncated chunk record");
-      c.thread = static_cast<u16>(thread);
-      c.core = static_cast<u16>(core);
-      trace.chunks.push_back(c);
-    }
-  }
-  {
-    u64 n = 0;
-    bool ok = true;
-    if (!get_count(n, kMinBookBytes, "bookkeeps", "truncated bookkeeps", ok))
-      return ok;
-    trace.bookkeeps.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      BookkeepRec b;
-      u32 thread = 0, core = 0, got = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(b.loop) && r.get_u32(thread) && r.get_u32(core) &&
-            r.get_u32(b.seq_on_thread) && r.get_u64(b.start) &&
-            r.get_u64(b.end) && r.get_u32(got)))
-        return truncated(off, "bookkeeps", "truncated bookkeep record");
-      b.thread = static_cast<u16>(thread);
-      b.core = static_cast<u16>(core);
-      b.got_chunk = got != 0;
-      trace.bookkeeps.push_back(b);
-    }
-  }
-  if (!v1) {
-    u64 n = 0;
-    bool ok = true;
-    if (!get_count(n, kMinDependBytes, "depends", "truncated depends", ok))
-      return ok;
-    trace.depends.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      DependRec d;
-      const u64 off = r.pos;
-      if (!(r.get_u64(d.pred) && r.get_u64(d.succ)))
-        return truncated(off, "depends", "truncated depend record");
-      trace.depends.push_back(d);
-    }
-  }
-  if (!v1 && !v2) {
-    u32 profiled = 1;
-    if (!(r.get_u32(profiled) && r.get_u64(m.trace_buffer_bytes) &&
-          r.get_str(m.clock_source)))
-      return truncated(r.pos, "trailer", "truncated profiling meta");
-    m.profiled = profiled != 0;
-    u64 n = 0;
-    bool ok = true;
-    if (!get_count(n, kMinWstatBytes, "worker stats", "truncated worker stats",
-                   ok))
-      return ok;
-    trace.worker_stats.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      WorkerStatsRec s;
-      u32 worker = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u32(worker) && r.get_u64(s.tasks_spawned) &&
-            r.get_u64(s.tasks_executed) && r.get_u64(s.tasks_inlined) &&
-            r.get_u64(s.steals) && r.get_u64(s.steal_failures) &&
-            r.get_u64(s.cas_failures) && r.get_u64(s.deque_pushes) &&
-            r.get_u64(s.deque_pops) && r.get_u64(s.deque_resizes) &&
-            r.get_u64(s.taskwait_helps) && r.get_u64(s.idle_ns) &&
-            r.get_u64(s.trace_bytes)))
-        return truncated(off, "worker stats", "truncated worker stats record");
-      s.worker = static_cast<u16>(worker);
-      trace.worker_stats.push_back(s);
-    }
-  }
-  return true;
-}
 
 }  // namespace
 
@@ -915,32 +630,8 @@ void save_trace_binary(const Trace& trace, std::ostream& os) {
 }
 
 LoadResult load_trace_binary_ex(std::istream& is, const LoadOptions& opts) {
-  LoadResult res;
-  res.source = "<stream>";
-  const bool salv = opts.mode == LoadMode::Salvage;
-  const std::string buf((std::istreambuf_iterator<char>(is)),
-                        std::istreambuf_iterator<char>());
-  ByteReader r{buf};
-  if (buf.size() < 5) {
-    res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::BadMagic, 0, false,
-                                             "magic", "bad binary magic"});
-    return res;
-  }
-  const std::string_view m5(buf.data(), 5);
-  const bool v1 = m5 == kBinMagicV1;
-  const bool v2 = m5 == kBinMagicV2;
-  if (!v1 && !v2 && m5 != kBinMagic) {
-    res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::BadMagic, 0, false,
-                                             "magic", "bad binary magic"});
-    return res;
-  }
-  r.pos = 5;
-  Trace trace;
-  if (!parse_binary_body(r, v1, v2, salv, trace, res.diagnostics)) {
-    return res;  // fatal in Strict/Lenient; diagnostics already recorded
-  }
-  finish_load(std::move(trace), opts, res);
-  return res;
+  const std::string buf = slurp_stream(is);
+  return parse_trace_binary(buf, opts);
 }
 
 std::optional<Trace> load_trace_binary(std::istream& is, std::string* error) {
@@ -970,8 +661,23 @@ bool save_trace_file(const Trace& trace, const std::string& path) {
 LoadResult load_trace_file_ex(const std::string& path,
                               const LoadOptions& opts) {
   const bool binary = has_suffix(path, ".ggbin");
-  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
-  if (!is) {
+  if (opts.engine == ParseEngine::Legacy && !binary) {
+    // Seed behavior: stream the file through the line-by-line parser.
+    std::ifstream is(path);
+    if (!is) {
+      LoadResult res;
+      res.source = path;
+      res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::CannotOpen, 0,
+                                               true, "file",
+                                               "cannot open " + path});
+      return res;
+    }
+    LoadResult res = load_trace_text_legacy(is, opts);
+    res.source = path;
+    return res;
+  }
+  std::string buf;
+  if (!read_file_contents(path, buf)) {
     LoadResult res;
     res.source = path;
     res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::CannotOpen, 0,
@@ -979,8 +685,8 @@ LoadResult load_trace_file_ex(const std::string& path,
                                              "cannot open " + path});
     return res;
   }
-  LoadResult res = binary ? load_trace_binary_ex(is, opts)
-                          : load_trace_ex(is, opts);
+  LoadResult res = binary ? parse_trace_binary(buf, opts)
+                          : parse_trace_text(buf, opts);
   res.source = path;
   return res;
 }

@@ -1,0 +1,41 @@
+// Internals shared between the legacy stream loader (serialize.cpp) and the
+// buffered fast parser (fast_parse.cpp). Both engines must produce identical
+// traces and identical diagnostics, so the pieces with observable behavior —
+// escaping, the load tail (salvage/validate/status), and the string-table
+// density check + salvage rebuild — live here exactly once.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "trace/load_result.hpp"
+#include "trace/trace.hpp"
+
+namespace gg::detail {
+
+/// Current text/binary trace format version (v2 added dependence records;
+/// v3 adds worker-stats records and profiling metadata).
+inline constexpr int kTraceVersion = 3;
+
+/// Percent-escapes a string so it stays one whitespace-free token; "" is
+/// written as the sentinel "%".
+std::string escape(std::string_view s);
+
+/// Inverse of escape(); nullopt on a malformed escape sequence.
+std::optional<std::string> unescape(std::string_view s);
+
+/// Finalizes, optionally salvages, optionally validates, and fills in the
+/// result status. Shared tail of every _ex loader.
+void finish_load(Trace&& trace, const LoadOptions& opts, LoadResult& res);
+
+/// Rebuilds the trace's string table from collected (id, contents) pairs,
+/// enforcing dense ids. In Strict/Lenient a non-dense table is fatal
+/// (diagnostic appended, returns false); in Salvage the table is rebuilt with
+/// placeholders. Sorts `strs` in place.
+bool apply_string_table(std::vector<std::pair<StrId, std::string>>& strs,
+                        bool salv, Trace& trace, LoadResult& res);
+
+}  // namespace gg::detail

@@ -1,0 +1,294 @@
+#include "trace/synth.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "trace/recorder.hpp"
+
+namespace gg {
+
+Trace synth_trace(const SynthOptions& o) {
+  Xoshiro256 rng(mix64(o.seed ^ 0x99175ace5eedull));
+  TraceRecorder rec(o.workers);
+  auto w = rec.writer(0);
+
+  std::vector<StrId> srcs;
+  srcs.reserve(o.sources);
+  for (u32 i = 0; i < std::max<u32>(o.sources, 1); ++i) {
+    srcs.push_back(rec.intern_source("synth.c", static_cast<int>(10 + i),
+                                     "fn" + std::to_string(i)));
+  }
+  auto rnd_src = [&] { return srcs[rng.bounded(srcs.size())]; };
+  auto rnd_core = [&] {
+    return static_cast<u16>(rng.bounded(static_cast<u64>(o.workers)));
+  };
+
+  u64 next_task = 1;
+  u64 next_loop = 0;
+  u64 produced = 0;
+  TimeNs max_end = 0;
+  auto touch = [&](TimeNs e) { max_end = std::max(max_end, e); };
+
+  auto rnd_counters = [&](TimeNs dur) {
+    Counters c;
+    c.compute = dur * 2;  // ~cycles at the 2 GHz the meta advertises
+    c.stall = rng.bounded(dur / 4 + 1);
+    c.cache_misses = rng.bounded(dur / 64 + 1);
+    c.bytes_accessed = dur + rng.bounded(dur + 1);
+    return c;
+  };
+  auto emit_frag = [&](u64 task, u32 seq, TimeNs start, TimeNs dur, u16 core,
+                       FragmentEnd reason, u64 ref) {
+    FragmentRec f;
+    f.task = task;
+    f.seq = seq;
+    f.start = start;
+    f.end = start + dur;
+    f.core = core;
+    f.counters = rnd_counters(dur);
+    f.end_reason = reason;
+    f.end_ref = ref;
+    w.fragment(f);
+    touch(f.end);
+    return f.end;
+  };
+
+  // Generates the body of a task created at `start`; returns its end time.
+  // Nested tasks fork a small sub-batch, giving the grain table multi-level
+  // paths and the graph real fork/join structure below the root.
+  std::function<TimeNs(u64, TimeNs, int)> gen_task = [&](u64 uid, TimeNs start,
+                                                         int depth) -> TimeNs {
+    const u16 core = rnd_core();
+    TimeNs cur = start;
+    const bool nest =
+        depth < 2 && produced + 4 < o.grains && rng.uniform01() < o.nest_prob;
+    if (!nest) {
+      const TimeNs work = 200 + static_cast<TimeNs>(rng.exponential(800));
+      return emit_frag(uid, 0, cur, work, core, FragmentEnd::TaskEnd, 0);
+    }
+    const u32 kids = 2 + static_cast<u32>(rng.bounded(3));
+    std::vector<u64> kid_uids;
+    TimeNs kids_end = cur;
+    u32 seq = 0;
+    for (u32 k = 0; k < kids; ++k) {
+      const TimeNs d = 100 + rng.bounded(400);
+      const u64 kid = next_task++;
+      cur = emit_frag(uid, seq++, cur, d, core, FragmentEnd::Fork, kid);
+      TaskRec tr;
+      tr.uid = kid;
+      tr.parent = uid;
+      tr.child_index = k;
+      tr.src = rnd_src();
+      tr.create_time = cur;
+      tr.create_core = core;
+      tr.creation_cost = 50 + rng.bounded(200);
+      tr.inlined = rng.bounded(4) == 0;
+      w.task(tr);
+      ++produced;
+      kids_end = std::max(kids_end,
+                          gen_task(kid, cur + 20 + rng.bounded(100), depth + 1));
+      kid_uids.push_back(kid);
+    }
+    const TimeNs jd = 50 + rng.bounded(150);
+    cur = emit_frag(uid, seq++, cur, jd, core, FragmentEnd::Join, 0);
+    JoinRec jr;
+    jr.task = uid;
+    jr.seq = 0;
+    jr.start = cur;
+    jr.end = std::max(cur, kids_end) + 10;
+    jr.core = core;
+    w.join(jr);
+    touch(jr.end);
+    cur = jr.end;
+    if (kid_uids.size() >= 2 && rng.uniform01() < 0.3) {
+      DependRec dr;
+      dr.pred = kid_uids[0];
+      dr.succ = kid_uids[1];
+      w.depend(dr);
+    }
+    const TimeNs fd = 80 + rng.bounded(300);
+    return emit_frag(uid, seq, cur, fd, core, FragmentEnd::TaskEnd, 0);
+  };
+
+  // Root task: alternating fork/join batches and worksharing loops until the
+  // grain budget is met.
+  {
+    TaskRec root;
+    root.uid = kRootTask;
+    root.parent = kNoTask;
+    root.child_index = 0;
+    root.src = srcs[0];
+    root.create_time = 0;
+    root.create_core = 0;
+    root.creation_cost = 0;
+    root.inlined = false;
+    w.task(root);
+  }
+  TimeNs t = 1000;
+  u32 rseq = 0;       // root fragment seq
+  u32 rjoin = 0;      // root join seq
+  u32 rchild = 0;     // root child_index (dense across batches)
+  u32 rloop_seq = 0;  // loop ordinal within the root
+
+  while (produced < o.grains) {
+    if (rng.uniform01() < o.loop_fraction) {
+      const u64 L = next_loop++;
+      const u64 nchunks = 1 + rng.bounded(3ull * o.fanout);
+      const u64 iters_per = 1 + rng.bounded(16);
+      t = emit_frag(kRootTask, rseq++, t, 100 + rng.bounded(200), 0,
+                    FragmentEnd::Loop, L);
+
+      LoopRec lr;
+      lr.uid = L;
+      lr.enclosing_task = kRootTask;
+      lr.src = rnd_src();
+      lr.sched = static_cast<ScheduleKind>(rng.bounded(3));
+      lr.chunk_param = iters_per;
+      lr.iter_begin = 0;
+      lr.iter_end = nchunks * iters_per;
+      lr.num_threads = static_cast<u16>(o.workers);
+      lr.starting_thread = static_cast<u16>(rng.bounded(o.workers));
+      lr.seq = rloop_seq++;
+      lr.start = t;
+
+      const u32 T = static_cast<u32>(o.workers);
+      std::vector<TimeNs> cursor(T, t + 10);
+      std::vector<u32> nchunk(T, 0), nbook(T, 0);
+      for (u64 ci = 0; ci < nchunks; ++ci) {
+        const u32 tid = static_cast<u32>((lr.starting_thread + ci) % T);
+        BookkeepRec br;
+        br.loop = L;
+        br.thread = static_cast<u16>(tid);
+        br.core = static_cast<u16>(tid);
+        br.seq_on_thread = nbook[tid]++;
+        br.start = cursor[tid];
+        br.end = cursor[tid] + 20 + rng.bounded(60);
+        br.got_chunk = true;
+        w.bookkeep(br);
+        cursor[tid] = br.end;
+
+        // Pareto chunk cost: skewed per-chunk work, the shape the paper's
+        // loop-imbalance metrics are designed to expose.
+        const TimeNs cw = std::min<TimeNs>(
+            100 + static_cast<TimeNs>(rng.pareto(100.0, 1.5)), 500000);
+        ChunkRec cr;
+        cr.loop = L;
+        cr.thread = static_cast<u16>(tid);
+        cr.core = static_cast<u16>(tid);
+        cr.seq_on_thread = nchunk[tid]++;
+        cr.iter_begin = ci * iters_per;
+        cr.iter_end = (ci + 1) * iters_per;
+        cr.start = cursor[tid];
+        cr.end = cursor[tid] + cw;
+        cr.counters = rnd_counters(cw);
+        w.chunk(cr);
+        touch(cr.end);
+        cursor[tid] = cr.end;
+        ++produced;
+      }
+      TimeNs lend = t;
+      for (u32 tid = 0; tid < T; ++tid) {
+        if (nchunk[tid] == 0) continue;
+        BookkeepRec br;  // empty-handed final visit to the scheduler
+        br.loop = L;
+        br.thread = static_cast<u16>(tid);
+        br.core = static_cast<u16>(tid);
+        br.seq_on_thread = nbook[tid]++;
+        br.start = cursor[tid];
+        br.end = cursor[tid] + 15;
+        br.got_chunk = false;
+        w.bookkeep(br);
+        cursor[tid] = br.end;
+        lend = std::max(lend, cursor[tid]);
+      }
+      lr.end = lend + 10;
+      w.loop(lr);
+      touch(lr.end);
+      t = lr.end;
+    } else {
+      const u32 F = 1 + static_cast<u32>(rng.bounded(o.fanout));
+      std::vector<u64> kids;
+      TimeNs kids_end = t;
+      for (u32 k = 0; k < F; ++k) {
+        const TimeNs d = 80 + rng.bounded(300);
+        const u64 kid = next_task++;
+        t = emit_frag(kRootTask, rseq++, t, d, 0, FragmentEnd::Fork, kid);
+        TaskRec tr;
+        tr.uid = kid;
+        tr.parent = kRootTask;
+        tr.child_index = rchild++;
+        tr.src = rnd_src();
+        tr.create_time = t;
+        tr.create_core = 0;
+        tr.creation_cost = 50 + rng.bounded(200);
+        tr.inlined = rng.bounded(4) == 0;
+        w.task(tr);
+        ++produced;
+        kids_end =
+            std::max(kids_end, gen_task(kid, t + 20 + rng.bounded(100), 1));
+        kids.push_back(kid);
+      }
+      const u32 jseq = rjoin++;
+      t = emit_frag(kRootTask, rseq++, t, 60 + rng.bounded(120), 0,
+                    FragmentEnd::Join, jseq);
+      JoinRec jr;
+      jr.task = kRootTask;
+      jr.seq = jseq;
+      jr.start = t;
+      jr.end = std::max(t, kids_end) + 10;
+      jr.core = 0;
+      w.join(jr);
+      touch(jr.end);
+      t = jr.end;
+      if (kids.size() >= 2 && rng.uniform01() < 0.2) {
+        const size_t a = rng.bounded(kids.size() - 1);
+        DependRec dr;
+        dr.pred = kids[a];
+        dr.succ = kids[a + 1];
+        w.depend(dr);
+      }
+    }
+  }
+  emit_frag(kRootTask, rseq, t, 100, 0, FragmentEnd::TaskEnd, 0);
+
+  // Fabricated but self-consistent scheduler stats (steals <= executed,
+  // inlined <= spawned; one record per worker).
+  const u64 per_worker = produced / std::max(o.workers, 1) + 1;
+  for (int wk = 0; wk < o.workers; ++wk) {
+    WorkerStatsRec s;
+    s.worker = static_cast<u16>(wk);
+    s.tasks_spawned = per_worker + rng.bounded(per_worker);
+    s.tasks_executed = per_worker + rng.bounded(per_worker);
+    s.tasks_inlined = rng.bounded(s.tasks_spawned + 1);
+    s.steals = rng.bounded(s.tasks_executed + 1);
+    s.steal_failures = rng.bounded(per_worker);
+    s.cas_failures = rng.bounded(per_worker / 4 + 1);
+    s.deque_pushes = s.tasks_spawned;
+    s.deque_pops = s.tasks_executed;
+    s.deque_resizes = rng.bounded(8);
+    s.taskwait_helps = rng.bounded(per_worker / 2 + 1);
+    s.idle_ns = rng.bounded(max_end / 8 + 1);
+    s.trace_bytes = 0;
+    w.stats(s);
+  }
+
+  TraceMeta meta;
+  meta.program = "synth";
+  meta.runtime = "synth/gen";
+  meta.topology = "flat";
+  meta.num_workers = o.workers;
+  meta.num_cores = o.workers;
+  meta.ghz = 2.0;
+  meta.region_start = 0;
+  meta.region_end = max_end + 1000;
+  meta.profiled = true;
+  meta.clock_source = "virtual";
+  meta.notes.push_back("synth seed=" + std::to_string(o.seed) +
+                       " grains=" + std::to_string(produced));
+  return rec.finish(std::move(meta));
+}
+
+}  // namespace gg

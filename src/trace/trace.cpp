@@ -54,7 +54,62 @@ void Trace::finalize() {
   loop_index_.reserve(loops.size());
   for (size_t i = 0; i < loops.size(); ++i)
     loop_index_.emplace_back(loops[i].uid, i);
+  children_index_.clear();
+  children_index_.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) children_index_.push_back(i);
+  std::sort(children_index_.begin(), children_index_.end(),
+            [this](size_t a, size_t b) {
+              const TaskRec& ta = tasks[a];
+              const TaskRec& tb = tasks[b];
+              return ta.parent != tb.parent ? ta.parent < tb.parent
+                                            : ta.child_index < tb.child_index;
+            });
   finalized_ = true;
+}
+
+std::span<const FragmentRec> Trace::fragments_span(TaskId uid) const {
+  if (!finalized_) return {};
+  auto lo = std::lower_bound(
+      fragments.begin(), fragments.end(), uid,
+      [](const FragmentRec& f, TaskId v) { return f.task < v; });
+  auto hi = std::upper_bound(
+      lo, fragments.end(), uid,
+      [](TaskId v, const FragmentRec& f) { return v < f.task; });
+  return {fragments.data() + (lo - fragments.begin()),
+          static_cast<size_t>(hi - lo)};
+}
+
+std::span<const JoinRec> Trace::joins_span(TaskId uid) const {
+  if (!finalized_) return {};
+  auto lo = std::lower_bound(
+      joins.begin(), joins.end(), uid,
+      [](const JoinRec& j, TaskId v) { return j.task < v; });
+  auto hi = std::upper_bound(lo, joins.end(), uid,
+                             [](TaskId v, const JoinRec& j) { return v < j.task; });
+  return {joins.data() + (lo - joins.begin()), static_cast<size_t>(hi - lo)};
+}
+
+std::span<const ChunkRec> Trace::chunks_span(LoopId uid) const {
+  if (!finalized_) return {};
+  auto lo = std::lower_bound(
+      chunks.begin(), chunks.end(), uid,
+      [](const ChunkRec& c, LoopId v) { return c.loop < v; });
+  auto hi = std::upper_bound(
+      lo, chunks.end(), uid,
+      [](LoopId v, const ChunkRec& c) { return v < c.loop; });
+  return {chunks.data() + (lo - chunks.begin()), static_cast<size_t>(hi - lo)};
+}
+
+std::span<const BookkeepRec> Trace::bookkeeps_span(LoopId uid) const {
+  if (!finalized_) return {};
+  auto lo = std::lower_bound(
+      bookkeeps.begin(), bookkeeps.end(), uid,
+      [](const BookkeepRec& b, LoopId v) { return b.loop < v; });
+  auto hi = std::upper_bound(
+      lo, bookkeeps.end(), uid,
+      [](LoopId v, const BookkeepRec& b) { return v < b.loop; });
+  return {bookkeeps.data() + (lo - bookkeeps.begin()),
+          static_cast<size_t>(hi - lo)};
 }
 
 std::optional<size_t> Trace::task_index(TaskId uid) const {
@@ -119,13 +174,14 @@ std::vector<const BookkeepRec*> Trace::bookkeeps_of(LoopId uid) const {
 
 std::vector<const TaskRec*> Trace::children_of(TaskId uid) const {
   if (!finalized_) return {};
+  auto lo = std::lower_bound(
+      children_index_.begin(), children_index_.end(), uid,
+      [this](size_t i, TaskId v) { return tasks[i].parent < v; });
   std::vector<const TaskRec*> out;
-  for (const TaskRec& t : tasks) {
-    if (t.parent == uid) out.push_back(&t);
+  for (auto it = lo; it != children_index_.end() && tasks[*it].parent == uid;
+       ++it) {
+    out.push_back(&tasks[*it]);
   }
-  std::sort(out.begin(), out.end(), [](const TaskRec* a, const TaskRec* b) {
-    return a->child_index < b->child_index;
-  });
   return out;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +61,23 @@ class Trace {
   /// Index of a loop by uid after finalize(); nullopt if absent.
   std::optional<size_t> loop_index(LoopId uid) const;
 
+  // Zero-copy range accessors. After finalize() each record vector is sorted
+  // with its owner's records contiguous, so one binary search yields a view;
+  // these are what the analysis hot paths use (the *_of pointer-vector
+  // accessors below allocate per call and remain for convenience).
+
+  /// Fragments of one task in seq order; empty before finalize().
+  std::span<const FragmentRec> fragments_span(TaskId uid) const;
+
+  /// Joins of one task in seq order.
+  std::span<const JoinRec> joins_span(TaskId uid) const;
+
+  /// Chunks of one loop in (thread, seq_on_thread) order.
+  std::span<const ChunkRec> chunks_span(LoopId uid) const;
+
+  /// Book-keeping records of one loop in (thread, seq_on_thread) order.
+  std::span<const BookkeepRec> bookkeeps_span(LoopId uid) const;
+
   /// Fragments of one task in seq order (contiguous after finalize()).
   std::vector<const FragmentRec*> fragments_of(TaskId uid) const;
 
@@ -72,7 +90,8 @@ class Trace {
   /// Book-keeping records of one loop.
   std::vector<const BookkeepRec*> bookkeeps_of(LoopId uid) const;
 
-  /// Children of a task in creation order.
+  /// Children of a task in creation order. Indexed after finalize()
+  /// (O(log n + k) per call rather than a scan over all tasks).
   std::vector<const TaskRec*> children_of(TaskId uid) const;
 
   /// Dependence predecessors of a task (sorted after finalize()).
@@ -93,6 +112,8 @@ class Trace {
   bool finalized_ = false;
   std::vector<std::pair<TaskId, size_t>> task_index_;  // sorted by uid
   std::vector<std::pair<LoopId, size_t>> loop_index_;  // sorted by uid
+  std::vector<size_t> children_index_;  // task indices, sorted by
+                                        // (parent, child_index)
 };
 
 /// Interns a "file:line(func)" source identifier, the format the paper uses

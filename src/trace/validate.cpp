@@ -1,7 +1,6 @@
 #include "trace/validate.hpp"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 namespace gg {
@@ -75,8 +74,11 @@ ValidationReport validate_trace_structured(const Trace& trace) {
   if (roots != 1)
     report(S::Trace, 0, "expected exactly 1 root task, found ", roots);
 
-  // Parent existence + child_index density.
-  std::map<TaskId, std::vector<u32>> child_indices;
+  // Parent existence + child_index density. Sorted (parent, child_index)
+  // pairs group each parent's children contiguously, in the same ascending
+  // parent order the per-parent map produced.
+  std::vector<std::pair<TaskId, u32>> child_indices;
+  child_indices.reserve(trace.tasks.size());
   for (const TaskRec& t : trace.tasks) {
     if (t.uid == kRootTask) continue;
     if (!trace.task_index(t.parent)) {
@@ -84,28 +86,31 @@ ValidationReport validate_trace_structured(const Trace& trace) {
              t.parent);
       continue;
     }
-    child_indices[t.parent].push_back(t.child_index);
+    child_indices.emplace_back(t.parent, t.child_index);
   }
-  for (auto& [parent, idx] : child_indices) {
-    std::sort(idx.begin(), idx.end());
-    for (size_t i = 0; i < idx.size(); ++i) {
-      if (idx[i] != i) {
-        report(S::Task, parent, "task ", parent, " has non-dense child indices");
-        break;
-      }
+  std::sort(child_indices.begin(), child_indices.end());
+  for (size_t i = 0; i < child_indices.size();) {
+    const TaskId parent = child_indices[i].first;
+    size_t j = i;
+    bool dense = true;
+    for (; j < child_indices.size() && child_indices[j].first == parent; ++j) {
+      if (child_indices[j].second != j - i) dense = false;
     }
+    if (!dense)
+      report(S::Task, parent, "task ", parent, " has non-dense child indices");
+    i = j;
   }
 
   // Fragments per task.
   for (const TaskRec& t : trace.tasks) {
-    auto frags = trace.fragments_of(t.uid);
+    const auto frags = trace.fragments_span(t.uid);
     if (frags.empty()) {
       report(S::Task, t.uid, "task ", t.uid, " has no fragments");
       continue;
     }
-    auto joins = trace.joins_of(t.uid);
+    const auto joins = trace.joins_span(t.uid);
     for (size_t i = 0; i < frags.size(); ++i) {
-      const FragmentRec& f = *frags[i];
+      const FragmentRec& f = frags[i];
       if (f.seq != i) {
         report(S::Fragment, t.uid, "task ", t.uid, " fragment seq gap at ", i);
         break;
@@ -113,7 +118,7 @@ ValidationReport validate_trace_structured(const Trace& trace) {
       if (f.end < f.start)
         report(S::Fragment, t.uid, "task ", t.uid, " fragment ", i,
                " ends before start");
-      if (i + 1 < frags.size() && frags[i + 1]->start < f.end)
+      if (i + 1 < frags.size() && frags[i + 1].start < f.end)
         report(S::Fragment, t.uid, "task ", t.uid, " fragments ", i, " and ",
                i + 1, " overlap");
       const bool last = (i + 1 == frags.size());
@@ -142,7 +147,7 @@ ValidationReport validate_trace_structured(const Trace& trace) {
       if (f.end_reason == FragmentEnd::Join) {
         const bool found = std::any_of(
             joins.begin(), joins.end(),
-            [&](const JoinRec* j) { return j->seq == f.end_ref; });
+            [&](const JoinRec& j) { return j.seq == f.end_ref; });
         if (!found)
           report(S::Fragment, t.uid, "task ", t.uid, " fragment ", i,
                  " references missing join ", f.end_ref);
@@ -157,18 +162,19 @@ ValidationReport validate_trace_structured(const Trace& trace) {
     if (!trace.task_index(loop.enclosing_task))
       report(S::Loop, loop.uid, "loop ", loop.uid, " references missing task ",
              loop.enclosing_task);
-    auto chunks = trace.chunks_of(loop.uid);
+    const auto chunks = trace.chunks_span(loop.uid);
     std::vector<std::pair<u64, u64>> ranges;
-    for (const ChunkRec* c : chunks) {
-      if (c->iter_begin < loop.iter_begin || c->iter_end > loop.iter_end)
+    ranges.reserve(chunks.size());
+    for (const ChunkRec& c : chunks) {
+      if (c.iter_begin < loop.iter_begin || c.iter_end > loop.iter_end)
         report(S::Chunk, loop.uid, "loop ", loop.uid,
                " chunk outside iteration range");
-      if (c->iter_end <= c->iter_begin)
+      if (c.iter_end <= c.iter_begin)
         report(S::Chunk, loop.uid, "loop ", loop.uid, " has an empty chunk");
-      if (c->thread >= loop.num_threads)
+      if (c.thread >= loop.num_threads)
         report(S::Chunk, loop.uid, "loop ", loop.uid, " chunk on thread ",
-               c->thread, " >= team size ", loop.num_threads);
-      ranges.emplace_back(c->iter_begin, c->iter_end);
+               c.thread, " >= team size ", loop.num_threads);
+      ranges.emplace_back(c.iter_begin, c.iter_end);
     }
     std::sort(ranges.begin(), ranges.end());
     u64 cursor = loop.iter_begin;
@@ -184,10 +190,10 @@ ValidationReport validate_trace_structured(const Trace& trace) {
     if (!covered && loop.iter_end > loop.iter_begin)
       report(S::Loop, loop.uid, "loop ", loop.uid,
              " chunks do not partition the iteration range");
-    for (const BookkeepRec* b : trace.bookkeeps_of(loop.uid)) {
-      if (b->thread >= loop.num_threads)
+    for (const BookkeepRec& b : trace.bookkeeps_span(loop.uid)) {
+      if (b.thread >= loop.num_threads)
         report(S::Bookkeep, loop.uid, "loop ", loop.uid, " bookkeep on thread ",
-               b->thread, " >= team size ", loop.num_threads);
+               b.thread, " >= team size ", loop.num_threads);
     }
   }
 

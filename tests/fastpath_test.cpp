@@ -1,0 +1,117 @@
+// Fast-path equivalence suite: the buffered parser (ParseEngine::Fast) and
+// the parallel metric passes must be drop-in replacements — every analysis
+// output (report, GraphML, CSV, JSON summary) byte-identical to the legacy
+// istream parser with serial metrics, on the committed golden corpus, on a
+// sweep of generator-seeded traces, and across --threads settings.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "analysis/report.hpp"
+#include "export/grain_csv.hpp"
+#include "export/graphml.hpp"
+#include "export/json_summary.hpp"
+#include "trace/serialize.hpp"
+#include "trace/synth.hpp"
+#include "trace/validate.hpp"
+
+#ifndef GG_GOLDEN_DIR
+#error "GG_GOLDEN_DIR must point at the committed corpus"
+#endif
+
+namespace gg {
+namespace {
+
+/// Every deterministic analysis output of one trace as a single byte
+/// string. Any engine- or thread-count-dependent behavior shows up as a
+/// byte diff here.
+std::string analysis_bytes(const Trace& trace, int threads) {
+  AnalysisOptions opts;
+  opts.metrics.threads = threads;
+  const Analysis a = analyze(trace, Topology::generic4(), opts);
+  std::ostringstream os;
+  os << render_report(trace, a);
+  write_graphml(os, a.graph, trace, &a.grains, &a.metrics, GraphMlOptions{});
+  write_grain_csv(os, trace, a.grains, a.metrics);
+  write_json_summary(os, trace, a);
+  return os.str();
+}
+
+Trace load_with(const std::string& path, ParseEngine engine) {
+  LoadOptions lo;
+  lo.engine = engine;
+  lo.mode = LoadMode::Strict;
+  LoadResult lr = load_trace_file_ex(path, lo);
+  EXPECT_TRUE(lr.usable()) << path << ": " << lr.describe();
+  return lr.trace.value();
+}
+
+class GoldenFastPathTest : public ::testing::TestWithParam<const char*> {};
+
+// Both serialization formats, both parse engines, serial and parallel
+// metrics: all four paths must agree byte-for-byte on the full output.
+TEST_P(GoldenFastPathTest, EnginesAgreeOnEveryOutput) {
+  const std::string base = std::string(GG_GOLDEN_DIR) + "/" + GetParam();
+  const Trace legacy_text = load_with(base + ".ggtrace", ParseEngine::Legacy);
+  const Trace fast_text = load_with(base + ".ggtrace", ParseEngine::Fast);
+  const Trace fast_bin = load_with(base + ".ggbin", ParseEngine::Fast);
+
+  const std::string expected = analysis_bytes(legacy_text, /*threads=*/1);
+  EXPECT_EQ(expected, analysis_bytes(fast_text, /*threads=*/1));
+  EXPECT_EQ(expected, analysis_bytes(fast_text, /*threads=*/0));
+  EXPECT_EQ(expected, analysis_bytes(fast_bin, /*threads=*/0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenFastPathTest,
+                         ::testing::Values("tasks_mir4", "loops_gcc2",
+                                           "exact_zero1"));
+
+// 50 generator-seeded traces round-tripped through the text format and
+// loaded by both engines; the full analysis output must match.
+TEST(FastPathSweepTest, FiftySeededTracesAgree) {
+  for (u64 seed = 1; seed <= 50; ++seed) {
+    SynthOptions sopts;
+    sopts.seed = seed;
+    sopts.grains = 300 + (seed % 7) * 100;
+    sopts.workers = 2 + static_cast<int>(seed % 7);
+    sopts.loop_fraction = (seed % 3) * 0.3;
+    const Trace trace = synth_trace(sopts);
+    ASSERT_TRUE(validate_trace_structured(trace).violations.empty())
+        << "seed " << seed;
+    std::ostringstream text;
+    save_trace(trace, text);
+
+    LoadOptions fast, legacy;
+    fast.engine = ParseEngine::Fast;
+    legacy.engine = ParseEngine::Legacy;
+    fast.mode = legacy.mode = LoadMode::Strict;
+    std::istringstream fis(text.str()), lis(text.str());
+    LoadResult fr = load_trace_ex(fis, fast);
+    LoadResult lr = load_trace_ex(lis, legacy);
+    ASSERT_TRUE(fr.usable()) << "seed " << seed << ": " << fr.describe();
+    ASSERT_TRUE(lr.usable()) << "seed " << seed << ": " << lr.describe();
+    ASSERT_EQ(analysis_bytes(*lr.trace, /*threads=*/1),
+              analysis_bytes(*fr.trace, /*threads=*/0))
+        << "seed " << seed;
+  }
+}
+
+// The parallel metric passes must be bit-deterministic: any thread count
+// (serial, small, large, auto) yields identical bytes.
+TEST(FastPathThreadsTest, ThreadCountNeverChangesOutput) {
+  SynthOptions sopts;
+  sopts.seed = 99;
+  sopts.grains = 5000;
+  sopts.workers = 8;
+  const Trace trace = synth_trace(sopts);
+  const std::string serial = analysis_bytes(trace, /*threads=*/1);
+  EXPECT_EQ(serial, analysis_bytes(trace, /*threads=*/0));
+  EXPECT_EQ(serial, analysis_bytes(trace, /*threads=*/4));
+  EXPECT_EQ(serial, analysis_bytes(trace, /*threads=*/8));
+  // And across repeated runs at the same setting.
+  EXPECT_EQ(analysis_bytes(trace, 0), analysis_bytes(trace, 0));
+}
+
+}  // namespace
+}  // namespace gg

@@ -25,6 +25,12 @@
 //     --strict               fail on the first ingestion problem (CI gating)
 //     --salvage              repair a damaged trace and analyze what
 //                            survives; prints a degradation report
+//     --timing               print input size and per-stage wall times
+//                            (load/graph/grains/metrics/problems) to stderr
+//     --threads <N>          metric-computation threads (0 = auto; results
+//                            are bit-identical for every setting)
+//     --legacy-parse         use the original istream-based text parser
+//                            instead of the buffered fast path
 //
 //   gganalyze --selftest [programs] [schedules]
 //     Runs the built-in differential oracle (src/check): generated programs
@@ -35,10 +41,13 @@
 // Exit codes: 0 clean; 1 load/validation failure; 2 usage error; 3 analysis
 // ran on a salvaged (degraded) trace; 4 --salvage given but nothing usable
 // could be recovered.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "analysis/compare.hpp"
@@ -56,6 +65,7 @@
 #include "graph/reductions.hpp"
 #include "graph/summarize.hpp"
 #include "trace/serialize.hpp"
+#include "trace/synth.hpp"
 #include "trace/validate.hpp"
 
 namespace {
@@ -69,10 +79,17 @@ int usage(const char* argv0) {
                "[--dot f] [--csv f] [--json f] [--html f] [--chrome f] "
                "[--reduced] [--summarize N] [--compare t] [--topology "
                "opteron48|generic4|generic16] [--timeline] "
-               "[--strict|--salvage]\n"
+               "[--strict|--salvage] [--timing] [--threads N] "
+               "[--legacy-parse]\n"
                "       %s --selftest [programs] [schedules]\n",
                argv0, argv0);
   return 2;
+}
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 std::optional<Problem> parse_view(const std::string& s) {
@@ -89,6 +106,72 @@ std::optional<Topology> parse_topology(const std::string& name) {
   if (name == "generic16") return Topology::generic16();
   if (name == "generic4") return Topology::generic4();
   return std::nullopt;
+}
+
+/// Renders every deterministic output of one analysis into a single byte
+/// string: report, GraphML, CSV, JSON. Used to compare engines/settings.
+std::string analysis_bytes(const Trace& trace, int threads) {
+  AnalysisOptions opts;
+  opts.metrics.threads = threads;
+  const Analysis a = analyze(trace, Topology::generic4(), opts);
+  std::ostringstream out;
+  out << render_report(trace, a);
+  write_graphml(out, a.graph, trace, &a.grains, &a.metrics, GraphMlOptions{});
+  write_grain_csv(out, trace, a.grains, a.metrics);
+  write_json_summary(out, trace, a);
+  return out.str();
+}
+
+/// Fast/legacy parse-engine equivalence: synthetic traces are serialized to
+/// both formats, re-loaded through both engines, and fully analyzed with
+/// serial and parallel metric settings; every output must be byte-identical.
+int run_engine_equivalence(u64 base_seed) {
+  int failures = 0;
+  for (int round = 0; round < 3; ++round) {
+    SynthOptions sopts;
+    sopts.seed = base_seed + static_cast<u64>(round);
+    sopts.grains = 2000 + static_cast<u64>(round) * 500;
+    const Trace trace = synth_trace(sopts);
+    std::ostringstream text, bin;
+    save_trace(trace, text);
+    save_trace_binary(trace, bin);
+    const std::string expected = analysis_bytes(trace, /*threads=*/1);
+
+    struct Case {
+      const char* name;
+      ParseEngine engine;
+      bool binary;
+      int threads;
+    };
+    const Case cases[] = {
+        {"fast/text/parallel", ParseEngine::Fast, false, 0},
+        {"legacy/text/serial", ParseEngine::Legacy, false, 1},
+        {"fast/binary/parallel", ParseEngine::Fast, true, 0},
+        {"fast/text/4-threads", ParseEngine::Fast, false, 4},
+    };
+    for (const Case& c : cases) {
+      LoadOptions lo;
+      lo.engine = c.engine;
+      std::istringstream is(c.binary ? bin.str() : text.str());
+      LoadResult lr =
+          c.binary ? load_trace_binary_ex(is, lo) : load_trace_ex(is, lo);
+      if (!lr.usable()) {
+        std::fprintf(stderr, "[selftest] equivalence %s seed %llu: load "
+                     "failed: %s", c.name,
+                     static_cast<unsigned long long>(sopts.seed),
+                     lr.describe().c_str());
+        ++failures;
+        continue;
+      }
+      if (analysis_bytes(*lr.trace, c.threads) != expected) {
+        std::fprintf(stderr, "[selftest] equivalence %s seed %llu: output "
+                     "differs from reference\n", c.name,
+                     static_cast<unsigned long long>(sopts.seed));
+        ++failures;
+      }
+    }
+  }
+  return failures;
 }
 
 /// Self-check mode: the differential oracle plus a queue-harness sweep, all
@@ -129,13 +212,18 @@ int run_selftest(int programs, int schedules) {
     collect(gg::check::check_central_queue(dopts));
   }
 
+  std::fprintf(stderr, "[selftest] parse-engine equivalence sweep\n");
+  const int equiv_failures = run_engine_equivalence(base_seed);
+
   std::fprintf(stderr, "%s\n", res.summary().c_str());
   std::fprintf(stderr, "[selftest] queue harness: %zu violation(s) in %d "
                "run(s)\n", queue_violations.size(), queue_runs);
   for (size_t i = 0; i < queue_violations.size() && i < 10; ++i) {
     std::fprintf(stderr, "  %s\n", queue_violations[i].c_str());
   }
-  const bool ok = res.ok() && queue_violations.empty();
+  std::fprintf(stderr, "[selftest] engine equivalence: %d failure(s)\n",
+               equiv_failures);
+  const bool ok = res.ok() && queue_violations.empty() && equiv_failures == 0;
   std::fprintf(stderr, "[selftest] %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
@@ -157,6 +245,8 @@ int main(int argc, char** argv) {
   std::optional<Problem> view;
   bool reduced = false, timeline = false;
   bool strict = false, salvage = false;
+  bool timing = false, legacy_parse = false;
+  int threads = 0;
   size_t summarize_budget = 0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -219,10 +309,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       summarize_budget = static_cast<size_t>(parsed);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      threads = std::atoi(v);
+      if (threads < 0) {
+        std::fprintf(stderr, "--threads expects a non-negative integer\n");
+        return 2;
+      }
     } else if (arg == "--reduced") {
       reduced = true;
     } else if (arg == "--timeline") {
       timeline = true;
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--legacy-parse") {
+      legacy_parse = true;
     } else if (arg == "--strict") {
       strict = true;
     } else if (arg == "--salvage") {
@@ -239,7 +341,10 @@ int main(int argc, char** argv) {
   LoadOptions lopts;
   lopts.mode = salvage ? LoadMode::Salvage
                        : (strict ? LoadMode::Strict : LoadMode::Lenient);
+  lopts.engine = legacy_parse ? ParseEngine::Legacy : ParseEngine::Fast;
+  const i64 load_start = now_ns();
   LoadResult lr = load_trace_file_ex(trace_path, lopts);
+  const i64 load_ns = now_ns() - load_start;
   if (!lr.usable()) {
     std::fprintf(stderr, "error: %s", lr.describe().c_str());
     return salvage ? 4 : 1;
@@ -267,6 +372,7 @@ int main(int argc, char** argv) {
   }
 
   AnalysisOptions opts;
+  opts.metrics.threads = threads;
   GrainTable baseline;
   if (!baseline_path.empty()) {
     auto base = load_trace_file(baseline_path, &error);
@@ -277,7 +383,28 @@ int main(int argc, char** argv) {
     baseline = GrainTable::build(*base);
     opts.baseline = &baseline;
   }
-  const Analysis a = analyze(*trace, topo, opts);
+  AnalysisTimings timings;
+  const Analysis a = analyze(*trace, topo, opts, &timings);
+  if (timing) {
+    std::error_code ec;
+    const auto input_bytes = std::filesystem::file_size(trace_path, ec);
+    std::fprintf(stderr,
+                 "[timing] input %llu bytes (%s engine)\n"
+                 "[timing] load     %10.3f ms\n"
+                 "[timing] graph    %10.3f ms\n"
+                 "[timing] grains   %10.3f ms\n"
+                 "[timing] metrics  %10.3f ms (%d thread(s) requested)\n"
+                 "[timing] problems %10.3f ms\n"
+                 "[timing] total    %10.3f ms\n",
+                 ec ? 0ULL : static_cast<unsigned long long>(input_bytes),
+                 legacy_parse ? "legacy" : "fast",
+                 static_cast<double>(load_ns) / 1e6,
+                 static_cast<double>(timings.graph_ns) / 1e6,
+                 static_cast<double>(timings.grains_ns) / 1e6,
+                 static_cast<double>(timings.metrics_ns) / 1e6, threads,
+                 static_cast<double>(timings.problems_ns) / 1e6,
+                 static_cast<double>(load_ns + timings.total_ns()) / 1e6);
+  }
   std::printf("%s", render_report(*trace, a).c_str());
   std::printf("%s", render_recommendations(recommend(*trace, a)).c_str());
 
