@@ -50,6 +50,13 @@ std::string render_report(const Trace& trace, const Analysis& a) {
   os << "=== grain graph report: " << trace.meta.program << " ===\n";
   os << "runtime " << trace.meta.runtime << ", " << trace.meta.num_workers
      << " workers on " << trace.meta.topology << "\n";
+  if (trace.meta.recovered()) {
+    os << "PARTIAL TRACE: " << trace.meta.recovery_note();
+    if (!trace.meta.crash_note().empty()) {
+      os << "; " << trace.meta.crash_note();
+    }
+    os << " -- totals below are lower bounds\n";
+  }
   os << "makespan " << strings::human_time(trace.makespan()) << ", grains "
      << a.grains.size() << " (" << trace.tasks.size() - 1 << " tasks, "
      << trace.chunks.size() << " chunks), graph nodes "
@@ -93,6 +100,9 @@ std::string render_report(const Trace& trace, const Analysis& a) {
   }
   os << sources.to_text();
 
+  if (!trace.meta.supervisor_note().empty()) {
+    os << trace.meta.supervisor_note() << "\n";
+  }
   if (!trace.worker_stats.empty()) {
     os << "profiling " << (trace.meta.profiled ? "on" : "off")
        << ", clock source "

@@ -1,5 +1,7 @@
 #include "check/genprog.hpp"
 
+#include <thread>
+
 #include "common/check.hpp"
 #include "common/prng.hpp"
 
@@ -40,7 +42,8 @@ class Generator {
       const int child = new_task(/*depth=*/1);
       GenAction& back = spec_.tasks[0].actions.back();
       back.child = child;
-      back.src_func = "t" + std::to_string(child);
+      back.src_func = std::to_string(child);
+      back.src_func.insert(back.src_func.begin(), 't');
     }
     return std::move(spec_);
   }
@@ -84,7 +87,8 @@ class Generator {
         // capture order all engines elaborate in.
         actions.push_back(a);
         actions.back().child = new_task(depth + 1);
-        actions.back().src_func = "t" + std::to_string(actions.back().child);
+        actions.back().src_func = std::to_string(actions.back().child);
+        actions.back().src_func.insert(actions.back().src_func.begin(), 't');
         unjoined_spawn = true;
         continue;
       } else if (roll < 75) {
@@ -105,7 +109,8 @@ class Generator {
         a.iter_base = 30 + pick(600);
         a.iter_step = pick(90);
         a.src_line = next_line_++;
-        a.src_func = "loop" + std::to_string(a.src_line);
+        a.src_func = "loop";
+        a.src_func += std::to_string(a.src_line);
       } else if (opts_.with_taskloop && can_spawn && pick(4) == 0) {
         a.kind = GenAction::Kind::Taskloop;
         a.lo = 0;
@@ -114,7 +119,8 @@ class Generator {
         a.iter_base = 40 + pick(400);
         a.iter_step = pick(50);
         a.src_line = next_line_++;
-        a.src_func = "tl" + std::to_string(a.src_line);
+        a.src_func = "tl";
+        a.src_func += std::to_string(a.src_line);
         // taskloop spawns ~hi/grainsize leaves plus interior splitters;
         // charge a conservative estimate against the task budget.
         spawned_ += static_cast<int>((a.hi - a.lo) / a.grainsize + 1);
@@ -187,6 +193,25 @@ void run_task(const ProgramSpec& spec, int index, front::Ctx& ctx) {
                      });
         break;
       }
+      case GenAction::Kind::WaitToken: {
+        TokenBoard* board = spec.tokens.get();
+        if (board == nullptr || a.token < 0) break;
+        auto& slot = board->tokens[static_cast<size_t>(a.token)];
+        // Spin (not block): models user code wedged in a busy-wait, which
+        // is the hang the supervisor's heartbeat sampling must attribute.
+        while (slot.load(std::memory_order_acquire) == 0 &&
+               !board->released.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        break;
+      }
+      case GenAction::Kind::SignalToken: {
+        TokenBoard* board = spec.tokens.get();
+        if (board == nullptr || a.token < 0) break;
+        board->tokens[static_cast<size_t>(a.token)].store(
+            1, std::memory_order_release);
+        break;
+      }
     }
   }
 }
@@ -198,8 +223,62 @@ ProgramSpec generate_program(u64 seed, const GenOptions& opts) {
   return gen.generate();
 }
 
+ProgramSpec generate_hang_program(u64 seed) {
+  // Benign prefix: a handful of ordinary tasks so the stalled run still has
+  // completed grains (and a realistic spool) before the deadlock bites.
+  GenOptions opts;
+  opts.max_tasks = 6;
+  opts.max_depth = 2;
+  opts.max_actions = 4;
+  opts.max_loops = 0;
+  opts.with_deps = false;
+  opts.with_taskloop = false;
+  ProgramSpec spec = generate_program(seed ^ 0x68616e67ull, opts);
+  spec.seed = seed;
+  spec.tokens = std::make_shared<TokenBoard>();
+
+  // Two deadlocking tasks closing a token cycle: each waits for the token
+  // the other signals only AFTER its own wait — neither ever advances.
+  Xoshiro256 rng(mix64(seed ^ 0x746f6b656eull));
+  const int t0 = static_cast<int>(rng.bounded(4));
+  const int t1 = 4 + static_cast<int>(rng.bounded(4));
+  auto deadlock_task = [&](int wait_tok, int signal_tok) {
+    GenTask task;
+    GenAction compute;
+    compute.kind = GenAction::Kind::Compute;
+    compute.cycles = 50 + rng.bounded(500);
+    task.actions.push_back(compute);
+    GenAction wait;
+    wait.kind = GenAction::Kind::WaitToken;
+    wait.token = wait_tok;
+    task.actions.push_back(wait);
+    GenAction signal;
+    signal.kind = GenAction::Kind::SignalToken;
+    signal.token = signal_tok;
+    task.actions.push_back(signal);
+    spec.tasks.push_back(std::move(task));
+    return static_cast<int>(spec.tasks.size() - 1);
+  };
+  const int task_a = deadlock_task(t0, t1);
+  const int task_b = deadlock_task(t1, t0);
+  for (int child : {task_a, task_b}) {
+    GenAction spawn;
+    spawn.kind = GenAction::Kind::Spawn;
+    spawn.child = child;
+    spawn.src_line = 900 + child;
+    spawn.src_func = "hang";
+    spawn.src_func += std::to_string(child);
+    spec.tasks[0].actions.push_back(std::move(spawn));
+  }
+  GenAction wait;
+  wait.kind = GenAction::Kind::Taskwait;
+  spec.tasks[0].actions.push_back(std::move(wait));
+  return spec;
+}
+
 void run_spec_body(const ProgramSpec& spec, front::Ctx& ctx) {
   GG_CHECK(!spec.tasks.empty());
+  if (spec.tokens) spec.tokens->reset();
   run_task(spec, 0, ctx);
 }
 

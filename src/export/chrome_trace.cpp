@@ -81,6 +81,28 @@ void write_chrome_trace(std::ostream& os, const Trace& trace) {
                 << w << "\"}}";
   }
 
+  // Recovered (partial) traces: label the process and drop a global
+  // instant marker at the crash boundary — the last instant anything was
+  // recorded. Everything to its right was lost with the process.
+  if (trace.meta.recovered()) {
+    sink.next() << "{\"ph\":\"M\",\"pid\":1,\"name\":\"process_labels\","
+                   "\"args\":{\"labels\":\"recovered (partial trace)\"}}";
+    BufWriter& b = sink.next();
+    b << "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"s\":\"g\","
+         "\"name\":\"crash boundary\",\"cat\":\"crash\",\"ts\":";
+    us(b, trace.meta.region_end);
+    b << ",\"args\":{\"recovery\":\""
+      << json_escape(trace.meta.recovery_note()) << "\"";
+    if (!trace.meta.crash_note().empty()) {
+      b << ",\"crash\":\"" << json_escape(trace.meta.crash_note()) << "\"";
+    }
+    if (!trace.meta.supervisor_note().empty()) {
+      b << ",\"supervisor\":\""
+        << json_escape(trace.meta.supervisor_note()) << "\"";
+    }
+    b << "}}";
+  }
+
   // Task fragments: one complete slice each, on the executing worker's
   // track, named by the task's source location.
   for (const FragmentRec& f : trace.fragments) {

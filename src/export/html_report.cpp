@@ -65,6 +65,15 @@ void write_html_report(std::ostream& os, const Trace& trace,
      << strings::human_time(a.metrics.critical_path_time)
      << ", average parallelism "
      << strings::trim_double(a.metrics.avg_parallelism, 1) << "</p>";
+  if (trace.meta.recovered()) {
+    os << "<p class='bad' style='padding:4px 8px'><b>partial trace</b>: "
+       << esc(trace.meta.recovery_note());
+    if (!trace.meta.crash_note().empty()) {
+      os << " &mdash; " << esc(trace.meta.crash_note());
+    }
+    os << ". Grains past the crash boundary were never recorded; every "
+       << "total below is a lower bound.</p>";
+  }
 
   os << "<h2>Instantaneous parallelism</h2>";
   emit_parallelism_svg(os, a.metrics, trace.meta.num_workers);
@@ -125,6 +134,12 @@ void write_html_report(std::ostream& os, const Trace& trace,
     os << "</table>";
   }
   os << "<h2>Scheduler health</h2>";
+  if (!trace.meta.supervisor_note().empty()) {
+    os << "<p class='bad'>" << esc(trace.meta.supervisor_note()) << "</p>";
+  }
+  if (!trace.meta.crash_note().empty()) {
+    os << "<p class='bad'>" << esc(trace.meta.crash_note()) << "</p>";
+  }
   os << "<p>profiling " << (trace.meta.profiled ? "on" : "off")
      << ", clock source <b>"
      << esc(trace.meta.clock_source.empty() ? "unknown"

@@ -50,6 +50,16 @@ void write_json_summary(std::ostream& os, const Trace& trace,
   buf << "  \"runtime\": \"" << json_escape(trace.meta.runtime) << "\",\n";
   buf << "  \"topology\": \"" << json_escape(trace.meta.topology) << "\",\n";
   buf << "  \"workers\": " << trace.meta.num_workers << ",\n";
+  buf << "  \"recovered\": " << (trace.meta.recovered() ? "true" : "false")
+      << ",\n";
+  if (trace.meta.recovered()) {
+    buf << "  \"recovery_note\": \""
+        << json_escape(trace.meta.recovery_note()) << "\",\n";
+  }
+  if (!trace.meta.crash_note().empty()) {
+    buf << "  \"crash_note\": \"" << json_escape(trace.meta.crash_note())
+        << "\",\n";
+  }
   buf << "  \"makespan_ns\": " << trace.makespan() << ",\n";
   buf << "  \"grains\": " << a.grains.size() << ",\n";
   buf << "  \"tasks\": " << (trace.tasks.empty() ? 0 : trace.tasks.size() - 1)
@@ -71,6 +81,10 @@ void write_json_summary(std::ostream& os, const Trace& trace,
   buf << "  \"scheduler_health\": {\n";
   buf << "    \"profiled\": " << (trace.meta.profiled ? "true" : "false")
       << ",\n";
+  if (!trace.meta.supervisor_note().empty()) {
+    buf << "    \"supervisor\": \""
+        << json_escape(trace.meta.supervisor_note()) << "\",\n";
+  }
   buf << "    \"clock_source\": \"" << json_escape(trace.meta.clock_source)
       << "\",\n";
   buf << "    \"trace_buffer_bytes\": " << trace.meta.trace_buffer_bytes

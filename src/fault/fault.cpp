@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/prng.hpp"
+#include "trace/spool.hpp"
 
 namespace gg::fault {
 
@@ -17,6 +18,7 @@ enum : u64 {
   kDupSalt = 0xD0B1,
   kSkewSalt = 0xC10C,
   kShuffleSalt = 0x5F0F,
+  kSpoolSalt = 0x5B001,
 };
 
 bool coin(Xoshiro256& rng, double p) {
@@ -78,6 +80,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::ClockSkew: return "clock-skew";
     case FaultKind::BufferOverflow: return "buffer-overflow";
     case FaultKind::WorkerDeath: return "worker-death";
+    case FaultKind::SpoolEpochTruncate: return "spool-epoch-truncate";
+    case FaultKind::SpoolTornFrame: return "spool-torn-frame";
+    case FaultKind::SpoolChecksumFlip: return "spool-checksum-flip";
   }
   return "?";
 }
@@ -256,6 +261,43 @@ std::string shuffle_lines(const std::string& text, u64 seed) {
   std::string out = header + "\n";
   for (const std::string& l : lines) out += l + "\n";
   return out;
+}
+
+std::string truncate_spool_at_frame(std::string bytes, size_t keep_frames) {
+  const std::vector<spool::FrameSpan> frames = spool::scan_frames(bytes);
+  if (keep_frames >= frames.size()) return bytes;
+  const size_t cut = keep_frames == 0
+                         ? frames.front().offset
+                         : frames[keep_frames - 1].offset +
+                               frames[keep_frames - 1].size;
+  bytes.resize(cut);
+  return bytes;
+}
+
+std::string tear_spool_frame(std::string bytes, size_t frame_index,
+                             size_t keep_payload) {
+  const std::vector<spool::FrameSpan> frames = spool::scan_frames(bytes);
+  if (frame_index >= frames.size()) return bytes;
+  const spool::FrameSpan& f = frames[frame_index];
+  const size_t payload = f.size - spool::kFrameHeaderBytes;
+  const size_t cut =
+      f.offset + spool::kFrameHeaderBytes + std::min(keep_payload, payload);
+  if (cut < bytes.size()) bytes.resize(cut);
+  return bytes;
+}
+
+std::string flip_spool_frame_checksum(std::string bytes, size_t frame_index,
+                                      u64 seed) {
+  const std::vector<spool::FrameSpan> frames = spool::scan_frames(bytes);
+  if (frame_index >= frames.size()) return bytes;
+  const spool::FrameSpan& f = frames[frame_index];
+  const size_t payload = f.size - spool::kFrameHeaderBytes;
+  if (payload == 0) return bytes;
+  Xoshiro256 rng(mix64(seed ^ kSpoolSalt));
+  const size_t offset =
+      f.offset + spool::kFrameHeaderBytes + rng.bounded(payload);
+  const int bit = static_cast<int>(rng.bounded(8));
+  return flip_bit(std::move(bytes), offset, bit);
 }
 
 }  // namespace gg::fault

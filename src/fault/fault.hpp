@@ -38,6 +38,9 @@ enum class FaultKind : u8 {
   ClockSkew,        ///< per-worker clock offset (unsynchronized TSCs)
   BufferOverflow,   ///< recorder ring filled; later records lost
   WorkerDeath,      ///< worker crashed mid-task; its tail records lost
+  SpoolEpochTruncate,  ///< spool cut at a frame boundary (lost epochs)
+  SpoolTornFrame,      ///< spool's final frame half-written (torn write)
+  SpoolChecksumFlip,   ///< one spool frame's checksum no longer matches
 };
 
 const char* to_string(FaultKind kind);
@@ -107,5 +110,31 @@ std::string flip_bit(std::string bytes, size_t offset, int bit);
 /// the "ggtrace N" header first — models unordered flushes of per-worker
 /// buffers. A correct text loader accepts any record order.
 std::string shuffle_lines(const std::string& text, u64 seed);
+
+// --- spool-level corruptions (crash-spool frame streams) --------------------
+//
+// These aim damage at the epoch-frame structure of a .ggspool stream
+// (trace/spool.hpp) rather than at raw byte offsets, modelling the three
+// ways a spool actually gets hurt in the field: the file ends early at a
+// frame boundary (epochs that never hit the disk), the final frame is torn
+// mid-write (the crash landed inside write(2)), and a frame's payload rots
+// so its checksum no longer matches. All are deterministic; recovery must
+// keep every intact frame before the damage.
+
+/// Cuts the spool so that only the first `keep_frames` frames remain
+/// (header preserved). No-op when the stream has fewer frames.
+std::string truncate_spool_at_frame(std::string bytes, size_t keep_frames);
+
+/// Tears frame `frame_index`: its header plus `keep_payload` payload bytes
+/// are kept, the rest of the stream is cut — models a crash mid-write.
+/// No-op when the frame does not exist.
+std::string tear_spool_frame(std::string bytes, size_t frame_index,
+                             size_t keep_payload);
+
+/// Flips one payload bit of frame `frame_index` (seeded position) without
+/// touching its length fields: the frame still parses but fails checksum
+/// verification, so recovery must skip exactly that frame.
+std::string flip_spool_frame_checksum(std::string bytes, size_t frame_index,
+                                      u64 seed);
 
 }  // namespace gg::fault

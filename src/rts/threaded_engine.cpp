@@ -1,6 +1,8 @@
 #include "rts/threaded_engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <optional>
 
@@ -110,6 +112,14 @@ struct ThreadedEngine::Worker {
   LoopId finished_loop = 0;   // last loop this worker fully drained
   SchedCounters cnt;          // padded: no false sharing with neighbors
 
+  // Supervision fields: written by the owning worker (relaxed stores on the
+  // idle/transition paths only), sampled by the watchdog. The heartbeat
+  // ticks in the scheduling loops, so a worker wedged inside user code
+  // shows state==Exec with a frozen heartbeat in the stall dump.
+  std::atomic<u64> heartbeat{0};
+  std::atomic<u8> state{static_cast<u8>(WorkerState::Idle)};
+  std::atomic<TaskId> current_task{kNoTask};
+
   Worker(int id_, TraceRecorder::Writer w, u64 seed)
       : id(id_), writer(w), rng(seed) {}
 };
@@ -201,11 +211,18 @@ class ThreadedEngine::CtxImpl final : public Ctx {
     // DURING registration cannot release (and race with) a half-registered
     // child; the guard is dropped at the end of this function.
     u32 live_regs = 0;
+    std::vector<TaskId> live_pred_uids;
     if (deps != nullptr && !deps->empty()) {
       child->pred_count.store(1, std::memory_order_relaxed);
-      live_regs = resolve_dependences(*deps, child);
+      live_regs = resolve_dependences(
+          *deps, child, eng.supervising_ ? &live_pred_uids : nullptr);
     }
     const bool has_live_preds = live_regs > 0;
+    // While the creation guard is still held the child cannot be enqueued,
+    // so registering it as blocked here cannot race with its release.
+    if (eng.supervising_ && has_live_preds) {
+      eng.register_blocked(child->uid, std::move(live_pred_uids));
+    }
 
     // Runtime internal cutoffs: execute inline instead of deferring. A task
     // with unsatisfied dependences can never run inline.
@@ -272,6 +289,7 @@ class ThreadedEngine::CtxImpl final : public Ctx {
       // run and be freed at any moment — the dependence map's retain keeps
       // the pointer valid, but no further mutation of *child is allowed.
       if (child->pred_count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (eng.supervising_) eng.unregister_blocked(child_uid);
         eng.push_task(child, *w_);
       }
     }
@@ -281,8 +299,10 @@ class ThreadedEngine::CtxImpl final : public Ctx {
   /// Computes the child's predecessors per OpenMP rules: `in` waits on the
   /// handle's last writer; `out` waits on the last writer and every reader
   /// since, then becomes the new last writer. Returns the number of LIVE
-  /// predecessors registered (each will decrement the child's pred_count).
-  u32 resolve_dependences(const front::Depends& deps, Task* child) {
+  /// predecessors registered (each will decrement the child's pred_count);
+  /// their uids are appended to `live_preds` when non-null (supervision).
+  u32 resolve_dependences(const front::Depends& deps, Task* child,
+                          std::vector<TaskId>* live_preds) {
     if (!dep_map_) dep_map_ = std::make_unique<DepMap>();
     ThreadedEngine& eng = *eng_;
     std::vector<Task*> preds;
@@ -317,6 +337,7 @@ class ThreadedEngine::CtxImpl final : public Ctx {
         p->dep_successors.push_back(child);
         child->pred_count.fetch_add(1, std::memory_order_relaxed);
         ++live_regs;
+        if (live_preds != nullptr) live_preds->push_back(p->uid);
       }
     }
     // Update the map; it holds a ref on every task it references.
@@ -516,6 +537,13 @@ ThreadedEngine::Task* ThreadedEngine::get_task(Worker& w) {
 void ThreadedEngine::exec_task(Task* task, Worker& w) {
   preempt_point(PreemptPoint::TaskExec);
   if (opts_.profile) ++w.cnt.tasks_executed;
+  u8 prev_state = static_cast<u8>(WorkerState::Idle);
+  TaskId prev_task = kNoTask;
+  if (supervising_) {
+    prev_state = w.state.exchange(static_cast<u8>(WorkerState::Exec),
+                                  std::memory_order_relaxed);
+    prev_task = w.current_task.exchange(task->uid, std::memory_order_relaxed);
+  }
   CtxImpl ctx(this, &w, task);
   ctx.frag_start_ = now();
   task->body(ctx);
@@ -533,9 +561,15 @@ void ThreadedEngine::exec_task(Task* task, Worker& w) {
     }
     for (Task* s : succs) {
       if (s->pred_count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        if (supervising_) unregister_blocked(s->uid);
         push_task(s, w);
       }
     }
+  }
+  if (supervising_) {
+    progress_.fetch_add(1, std::memory_order_relaxed);
+    w.state.store(prev_state, std::memory_order_relaxed);
+    w.current_task.store(prev_task, std::memory_order_relaxed);
   }
 
   Task* parent = task->parent;
@@ -549,11 +583,18 @@ void ThreadedEngine::exec_task(Task* task, Worker& w) {
 
 void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
   const bool prof = opts_.profile;
+  u8 prev_state = static_cast<u8>(WorkerState::Idle);
+  if (supervising_) {
+    prev_state = w.state.exchange(static_cast<u8>(WorkerState::Taskwait),
+                                  std::memory_order_relaxed);
+  }
   while (counter.load(std::memory_order_acquire) != 0) {
     if (Task* t = get_task(w)) {
       if (prof) ++w.cnt.taskwait_helps;
       exec_task(t, w);
     } else if (prof) {
+      if (supervising_) w.heartbeat.fetch_add(1, std::memory_order_relaxed);
+      w.writer.poll_flush();
       const TimeNs i0 = now();
       preempt_point(PreemptPoint::Idle);
       std::this_thread::yield();
@@ -563,6 +604,7 @@ void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
       std::this_thread::yield();
     }
   }
+  if (supervising_) w.state.store(prev_state, std::memory_order_relaxed);
 }
 
 void ThreadedEngine::worker_main(int id) {
@@ -579,6 +621,8 @@ void ThreadedEngine::worker_main(int id) {
       participate_in_loop(loop, w);
       continue;
     }
+    if (supervising_) w.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    w.writer.poll_flush();
     if (opts_.profile) {
       const TimeNs i0 = now();
       preempt_point(PreemptPoint::Idle);
@@ -647,6 +691,7 @@ void ThreadedEngine::participate_in_loop(const std::shared_ptr<LoopState>& L,
     }
     L->iters_done.fetch_add(range->second - range->first,
                             std::memory_order_acq_rel);
+    if (supervising_) progress_.fetch_add(1, std::memory_order_relaxed);
   }
   w.finished_loop = L->uid;
   L->active.fetch_sub(1, std::memory_order_acq_rel);
@@ -699,11 +744,18 @@ void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
     store_loop(L);
     participate_in_loop(L, w);
     // Wait for every participant to drain; help with stray tasks meanwhile.
+    u8 prev_state = static_cast<u8>(WorkerState::Idle);
+    if (supervising_) {
+      prev_state = w.state.exchange(static_cast<u8>(WorkerState::LoopWait),
+                                    std::memory_order_relaxed);
+    }
     while (!(L->iters_done.load(std::memory_order_acquire) == L->total &&
              L->active.load(std::memory_order_acquire) == 0)) {
       if (Task* t = get_task(w)) {
         exec_task(t, w);
       } else if (profiling()) {
+        if (supervising_) w.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        w.writer.poll_flush();
         const TimeNs i0 = now();
         preempt_point(PreemptPoint::Idle);
         std::this_thread::yield();
@@ -713,6 +765,7 @@ void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
         std::this_thread::yield();
       }
     }
+    if (supervising_) w.state.store(prev_state, std::memory_order_relaxed);
     L->done.store(true, std::memory_order_release);
     store_loop(nullptr);
   }
@@ -737,6 +790,118 @@ void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
   ctx.frag_start_ = now();
 }
 
+// ---------------------------------------------------------------------------
+// Supervision
+
+void ThreadedEngine::register_blocked(TaskId uid, std::vector<TaskId> preds) {
+  std::lock_guard lock(blocked_mutex_);
+  blocked_tasks_[uid] = std::move(preds);
+}
+
+void ThreadedEngine::unregister_blocked(TaskId uid) {
+  std::lock_guard lock(blocked_mutex_);
+  blocked_tasks_.erase(uid);
+}
+
+SupervisorReport ThreadedEngine::build_supervisor_report(
+    TimeNs stalled_ns, const std::vector<u64>& window_beats) {
+  SupervisorReport rep;
+  rep.stalled_for_ns = stalled_ns;
+  rep.progress = progress_.load(std::memory_order_relaxed);
+  rep.live_tasks = live_tasks_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    WorkerSnapshot s;
+    s.worker = w.id;
+    s.state = static_cast<WorkerState>(w.state.load(std::memory_order_relaxed));
+    s.heartbeat = w.heartbeat.load(std::memory_order_relaxed);
+    s.heartbeat_stuck = i < window_beats.size() && s.heartbeat == window_beats[i];
+    s.current_task = w.current_task.load(std::memory_order_relaxed);
+    s.queue_depth = opts_.scheduler == SchedulerKind::WorkStealing
+                        ? w.deque.size_estimate()
+                        : central_queue_.size_estimate();
+    rep.workers.push_back(s);
+  }
+  {
+    std::lock_guard lock(blocked_mutex_);
+    for (const auto& [uid, preds] : blocked_tasks_) {
+      rep.blocked.push_back(BlockedTask{uid, preds});
+    }
+  }
+  rep.detect_dependence_cycle();
+  return rep;
+}
+
+void ThreadedEngine::watchdog_main() {
+  using clock = std::chrono::steady_clock;
+  const auto poll = std::chrono::nanoseconds(
+      std::max<u64>(opts_.supervisor.poll_interval_ns, 1'000'000));
+  auto window_start = clock::now();
+  u64 last_progress = progress_.load(std::memory_order_relaxed);
+  std::vector<u64> window_beats(workers_.size(), 0);
+  auto snapshot_beats = [&] {
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      window_beats[i] = workers_[i]->heartbeat.load(std::memory_order_relaxed);
+    }
+  };
+  snapshot_beats();
+  auto rearm = [&] {
+    window_start = clock::now();
+    last_progress = progress_.load(std::memory_order_relaxed);
+    snapshot_beats();
+  };
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    if (watchdog_stop_.load(std::memory_order_acquire)) break;
+    if (root_done_.load(std::memory_order_acquire)) {
+      rearm();  // region over; only shutdown latency remains
+      continue;
+    }
+    const u64 prog = progress_.load(std::memory_order_relaxed);
+    if (prog != last_progress) {
+      rearm();
+      continue;
+    }
+    const u64 elapsed_ns = static_cast<u64>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             window_start)
+            .count());
+    if (elapsed_ns < opts_.supervisor.stall_timeout_ns) continue;
+
+    // Stall: no grain completed for a full deadline while the region is
+    // still running. (A single legitimate computation longer than the
+    // deadline is indistinguishable from a hang — the knob is the contract.)
+    SupervisorReport rep = build_supervisor_report(elapsed_ns, window_beats);
+    const std::string text = rep.render();
+    {
+      // Collapse to one provenance note ("supervisor ..."), newline -> "; ".
+      std::string line = text;
+      while (!line.empty() && line.back() == '\n') line.pop_back();
+      for (char& c : line) {
+        if (c == '\n') c = ';';
+      }
+      std::lock_guard lock(supervisor_note_mutex_);
+      supervisor_notes_.push_back("supervisor " + line);
+    }
+    if (opts_.supervisor.dump_on_stall) {
+      if (spool_sink_) spool_sink_->append_dump(text);
+      std::fputs(text.c_str(), stderr);
+    }
+    if (opts_.supervisor.on_stall) {
+      opts_.supervisor.on_stall(rep);  // may unblock the program
+      rearm();
+      continue;
+    }
+    if (opts_.supervisor.abort_on_stall) {
+      // Graceful abort-with-flush: make everything already sealed durable
+      // and stamp the crash footer with the stall reason, then die loudly.
+      if (spool_sink_) spool_sink_->emergency_flush(0, "supervisor stall");
+      std::abort();
+    }
+    rearm();  // note-only mode: keep watching
+  }
+}
+
 Trace ThreadedEngine::run(const std::string& program_name,
                           const TaskFn& root) {
   recorder_ = std::make_unique<TraceRecorder>(opts_.num_workers);
@@ -744,7 +909,61 @@ Trace ThreadedEngine::run(const std::string& program_name,
   next_loop_id_.store(1);
   live_tasks_.store(0);
   shutdown_.store(false);
+  root_done_.store(false);
   store_loop(nullptr);
+  progress_.store(0);
+  watchdog_stop_.store(false);
+  supervising_ = opts_.supervisor.enabled;
+  {
+    std::lock_guard lock(supervisor_note_mutex_);
+    supervisor_notes_.clear();
+  }
+  {
+    std::lock_guard lock(blocked_mutex_);
+    blocked_tasks_.clear();
+  }
+
+  // Everything the final meta carries except the (unknown) region end; the
+  // spool header's 'M' frame uses the same fields so a crashed run still
+  // recovers with full identification.
+  auto make_meta = [&](TimeNs region_end) {
+    TraceMeta meta;
+    meta.program = program_name;
+    meta.runtime = std::string("threaded/") +
+                   (opts_.scheduler == SchedulerKind::WorkStealing
+                        ? "ws"
+                        : "central");
+    meta.topology = "host";
+    meta.num_workers = opts_.num_workers;
+    meta.num_cores = opts_.num_workers;
+    meta.ghz = 1.0;  // cycles are nanoseconds in threaded executions
+    meta.region_start = 0;
+    meta.region_end = region_end;
+    meta.notes = region_notes_;
+    {
+      std::lock_guard lock(supervisor_note_mutex_);
+      for (const std::string& n : supervisor_notes_) meta.notes.push_back(n);
+    }
+    meta.profiled = opts_.profile;
+#if defined(__x86_64__) || defined(__i386__)
+    meta.clock_source = "tsc";
+#else
+    meta.clock_source = "steady_clock";
+#endif
+    return meta;
+  };
+
+  spool_sink_.reset();
+  if (opts_.profile && opts_.spool.enabled()) {
+    std::string spool_err;
+    spool_sink_ = spool::SpoolSink::open(opts_.spool, make_meta(0),
+                                         opts_.num_workers, &spool_err);
+    if (spool_sink_) {
+      recorder_->attach_spool(spool_sink_.get(), opts_.spool.epoch_bytes);
+    } else {
+      region_notes_.push_back("spool disabled: " + spool_err);
+    }
+  }
 
   workers_.clear();
   for (int i = 0; i < opts_.num_workers; ++i) {
@@ -765,6 +984,9 @@ Trace ThreadedEngine::run(const std::string& program_name,
     Worker* w = workers_[static_cast<size_t>(i)].get();
     w->thread = std::thread([this, i] { worker_main(i); });
   }
+  // The watchdog never takes the schedule-controller token: it only samples
+  // atomics and fires on wall-clock deadlines.
+  if (supervising_) watchdog_ = std::thread([this] { watchdog_main(); });
 
   Task* root_task = make_task(root, nullptr,
                               recorder_->intern("<root>"), 0, 0, false);
@@ -781,6 +1003,11 @@ Trace ThreadedEngine::run(const std::string& program_name,
   // Execute the root body as the implicit task of the parallel region, with
   // an implicit barrier (drain of all outstanding tasks) at the end.
   CtxImpl ctx(this, &w0, root_task);
+  if (supervising_) {
+    w0.state.store(static_cast<u8>(WorkerState::Exec),
+                   std::memory_order_relaxed);
+    w0.current_task.store(kRootTask, std::memory_order_relaxed);
+  }
   ctx.frag_start_ = now();
   root_task->body(ctx);
   const TimeNs body_end = now();
@@ -791,10 +1018,16 @@ Trace ThreadedEngine::run(const std::string& program_name,
   if (need_implicit_join) {
     const u32 jseq = ctx.next_join_seq_++;
     if (profiling()) ctx.end_fragment(body_end, FragmentEnd::Join, jseq);
+    if (supervising_) {
+      w0.state.store(static_cast<u8>(WorkerState::Taskwait),
+                     std::memory_order_relaxed);
+    }
     while (live_tasks_.load(std::memory_order_acquire) != 0) {
       if (Task* t = get_task(w0)) {
         exec_task(t, w0);
       } else if (profiling()) {
+        if (supervising_) w0.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        w0.writer.poll_flush();
         const TimeNs i0 = now();
         preempt_point(PreemptPoint::Idle);
         std::this_thread::yield();
@@ -803,6 +1036,10 @@ Trace ThreadedEngine::run(const std::string& program_name,
         preempt_point(PreemptPoint::Idle);
         std::this_thread::yield();
       }
+    }
+    if (supervising_) {
+      w0.state.store(static_cast<u8>(WorkerState::Idle),
+                     std::memory_order_relaxed);
     }
     const TimeNs barrier_end = now();
     if (profiling()) {
@@ -818,6 +1055,7 @@ Trace ThreadedEngine::run(const std::string& program_name,
   }
   const TimeNs region_end = now();
   if (profiling()) ctx.end_fragment(region_end, FragmentEnd::TaskEnd, 0);
+  root_done_.store(true, std::memory_order_release);
 
   // The shutdown store happens while this thread still holds the schedule
   // token (if a controller is installed), and the token is handed over
@@ -828,6 +1066,10 @@ Trace ThreadedEngine::run(const std::string& program_name,
   preempt_thread_stop();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
+  }
+  if (watchdog_.joinable()) {
+    watchdog_stop_.store(true, std::memory_order_release);
+    watchdog_.join();
   }
   release_task(root_task);
   root_task_for_loops_ = nullptr;
@@ -851,30 +1093,12 @@ Trace ThreadedEngine::run(const std::string& program_name,
       s.deque_resizes = w->deque.resize_count();
       s.taskwait_helps = w->cnt.taskwait_helps;
       s.idle_ns = w->cnt.idle_ns;
-      s.trace_bytes = w->writer.footprint_bytes();
+      s.trace_bytes = w->writer.recorded_bytes();
       w->writer.stats(s);
     }
   }
 
-  TraceMeta meta;
-  meta.program = program_name;
-  meta.runtime = std::string("threaded/") +
-                 (opts_.scheduler == SchedulerKind::WorkStealing
-                      ? "ws"
-                      : "central");
-  meta.topology = "host";
-  meta.num_workers = opts_.num_workers;
-  meta.num_cores = opts_.num_workers;
-  meta.ghz = 1.0;  // cycles are nanoseconds in threaded executions
-  meta.region_start = 0;
-  meta.region_end = region_end;
-  meta.notes = region_notes_;
-  meta.profiled = opts_.profile;
-#if defined(__x86_64__) || defined(__i386__)
-  meta.clock_source = "tsc";
-#else
-  meta.clock_source = "steady_clock";
-#endif
+  TraceMeta meta = make_meta(region_end);
   if (!opts_.profile) {
     // Produce an empty (but well-formed) trace carrying only the makespan —
     // used by the profiling-overhead experiment.
@@ -883,7 +1107,30 @@ Trace ThreadedEngine::run(const std::string& program_name,
     recorder_.reset();
     return t;
   }
-  Trace trace = recorder_->finish(meta);
+  Trace trace;
+  if (recorder_->spool() != nullptr) {
+    // Spooled run: seal the tails, write the clean footer, then reconstruct
+    // the trace from the spool file — the exact pipeline a crashed run's
+    // recovery uses, so it is exercised on every clean shutdown too.
+    recorder_->finish_to_spool(meta);
+    std::string rec_err;
+    spool::RecoverResult rr =
+        spool::recover_spool_file(opts_.spool.path, &rec_err);
+    spool_sink_.reset();
+    if (rr.usable) {
+      trace = std::move(rr.trace);
+    } else {
+      // The spool file went bad under us (disk trouble): return an empty
+      // but well-formed trace that says why instead of dying here.
+      trace.meta = meta;
+      trace.meta.notes.push_back("spool recovery failed: " +
+                                 (rec_err.empty() ? rr.report.summary()
+                                                  : rec_err));
+      trace.finalize();
+    }
+  } else {
+    trace = recorder_->finish(meta);
+  }
   recorder_.reset();
   if (opts_.fault_plan) {
     const fault::InjectionReport rep = fault::inject(trace, *opts_.fault_plan);

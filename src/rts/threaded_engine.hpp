@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <mutex>
 #include <memory>
 #include <optional>
@@ -30,7 +31,9 @@
 #include "front/front.hpp"
 #include "rts/central_queue.hpp"
 #include "rts/chase_lev_deque.hpp"
+#include "rts/supervisor.hpp"
 #include "trace/recorder.hpp"
+#include "trace/spool.hpp"
 
 namespace gg::rts {
 
@@ -51,6 +54,16 @@ struct Options {
   /// are applied deterministically to the trace this engine produces (the
   /// damage is noted in the trace's provenance notes). Testing only.
   std::optional<fault::FaultPlan> fault_plan;
+  /// Crash-safe spooling: when spool.path is set (and profiling is on),
+  /// workers stream sealed epoch frames to that file as they record, and
+  /// the final trace is reconstructed from the spool — one code path for
+  /// clean and crashed runs. Empty path (the default) keeps the original
+  /// in-memory recorder behavior bit-for-bit.
+  spool::SpoolOptions spool;
+  /// Runtime supervision: a watchdog thread that detects no-progress stalls
+  /// (hangs, deadlocked spins) and emits a structured diagnostic before
+  /// aborting-with-flush. Off by default; see rts/supervisor.hpp.
+  SupervisorOptions supervisor;
 };
 
 class ThreadedEngine final : public front::Engine {
@@ -96,6 +109,13 @@ class ThreadedEngine final : public front::Engine {
                         CtxImpl& ctx);
   void participate_in_loop(const std::shared_ptr<LoopState>& loop, Worker& w);
 
+  // Supervision (active only when opts_.supervisor.enabled).
+  void watchdog_main();
+  SupervisorReport build_supervisor_report(TimeNs stalled_ns,
+                                           const std::vector<u64>& window_beats);
+  void register_blocked(TaskId uid, std::vector<TaskId> preds);
+  void unregister_blocked(TaskId uid);
+
   Options opts_;
   std::vector<std::unique_ptr<Worker>> workers_;
   CentralQueue<Task*> central_queue_;
@@ -121,6 +141,19 @@ class ThreadedEngine final : public front::Engine {
   }
   std::atomic<bool> shutdown_{false};
   std::atomic<bool> root_done_{false};
+
+  // Crash-safe spooling + supervision state (null/idle when disabled).
+  std::unique_ptr<spool::SpoolSink> spool_sink_;
+  bool supervising_ = false;  // snapshot of opts_.supervisor.enabled per run
+  std::atomic<u64> progress_{0};  // grains completed (tasks + chunks)
+  std::thread watchdog_;
+  std::atomic<bool> watchdog_stop_{false};
+  // Dependence-blocked tasks (uid -> live predecessor uids), maintained only
+  // while supervising so stall dumps can show wait-for chains/cycles.
+  mutable std::mutex blocked_mutex_;
+  std::map<TaskId, std::vector<TaskId>> blocked_tasks_;
+  std::mutex supervisor_note_mutex_;
+  std::vector<std::string> supervisor_notes_;
 
   std::chrono::steady_clock::time_point region_start_{};
   u64 tsc_base_ = 0;  // TSC value at region start (x86 fast timestamps)

@@ -886,6 +886,37 @@ Trace Simulator::run() {
 Trace simulate(const Program& prog, const SimOptions& opts) {
   Simulator sim(prog, opts);
   Trace trace = sim.run();
+  // Modeled supervision: the scan must precede the spool round-trip so a
+  // detected stall's provenance note survives in the spooled footer.
+  if (opts.supervisor.enabled) {
+    rts::SupervisorReport rep;
+    if (rts::supervisor_scan_trace(trace, opts.supervisor, &rep)) {
+      std::string line = rep.render();
+      while (!line.empty() && line.back() == '\n') line.pop_back();
+      for (char& c : line) {
+        if (c == '\n') c = ';';
+      }
+      trace.meta.notes.push_back("supervisor " + line);
+    }
+  }
+  // Modeled crash-safe spooling: write the finished trace through the real
+  // sink and reconstruct it with the real recovery pass, so the simulator
+  // exercises the same frame format and recovery invariants as the
+  // threaded runtime — deterministically.
+  if (opts.spool.enabled()) {
+    std::string err;
+    if (spool::spool_trace(trace, opts.spool, &err)) {
+      spool::RecoverResult rr = spool::recover_spool_file(opts.spool.path);
+      if (rr.usable) {
+        trace = std::move(rr.trace);
+      } else {
+        trace.meta.notes.push_back("spool recovery failed: " +
+                                   rr.report.summary());
+      }
+    } else {
+      trace.meta.notes.push_back("spool disabled: " + err);
+    }
+  }
   if (opts.fault_plan) {
     const fault::InjectionReport rep = fault::inject(trace, *opts.fault_plan);
     trace.meta.notes.push_back(

@@ -1,0 +1,1263 @@
+#include "trace/spool.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <fstream>
+
+namespace gg::spool {
+
+namespace {
+
+// --- little-endian primitives ----------------------------------------------
+
+void put_u8(std::string& out, u8 v) { out.push_back(static_cast<char>(v)); }
+
+void put_u16(std::string& out, u16 v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, u32 v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::string& out, u64 v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_str(std::string& out, std::string_view s) {
+  put_u32(out, static_cast<u32>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked little-endian reader; any overrun latches !ok and makes
+/// every further read return 0 (the caller checks once at the end).
+struct Reader {
+  const char* p;
+  size_t n;
+  size_t pos = 0;
+  bool ok = true;
+
+  explicit Reader(std::string_view s) : p(s.data()), n(s.size()) {}
+
+  bool need(size_t k) {
+    if (!ok || n - pos < k) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  u8 get_u8() {
+    if (!need(1)) return 0;
+    return static_cast<u8>(p[pos++]);
+  }
+  u16 get_u16() {
+    if (!need(2)) return 0;
+    u16 v = 0;
+    for (int i = 0; i < 2; ++i)
+      v |= static_cast<u16>(static_cast<u8>(p[pos + static_cast<size_t>(i)]))
+           << (8 * i);
+    pos += 2;
+    return v;
+  }
+  u32 get_u32() {
+    if (!need(4)) return 0;
+    u32 v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<u32>(static_cast<u8>(p[pos + static_cast<size_t>(i)]))
+           << (8 * i);
+    pos += 4;
+    return v;
+  }
+  u64 get_u64() {
+    if (!need(8)) return 0;
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<u64>(static_cast<u8>(p[pos + static_cast<size_t>(i)]))
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+  std::string get_str() {
+    const u32 len = get_u32();
+    if (!need(len)) return {};
+    std::string s(p + pos, len);
+    pos += len;
+    return s;
+  }
+};
+
+u32 read_le32(const char* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<u32>(static_cast<u8>(p[i])) << (8 * i);
+  return v;
+}
+
+u64 read_le64(const char* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<u64>(static_cast<u8>(p[i])) << (8 * i);
+  return v;
+}
+
+void write_le32(char* p, u32 v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void write_le64(char* p, u64 v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+// --- record payload encoding/decoding --------------------------------------
+
+void put_counters(std::string& out, const Counters& c) {
+  put_u64(out, c.compute);
+  put_u64(out, c.stall);
+  put_u64(out, c.cache_misses);
+  put_u64(out, c.bytes_accessed);
+}
+
+Counters get_counters(Reader& r) {
+  Counters c;
+  c.compute = r.get_u64();
+  c.stall = r.get_u64();
+  c.cache_misses = r.get_u64();
+  c.bytes_accessed = r.get_u64();
+  return c;
+}
+
+void put_task(std::string& out, const TaskRec& t) {
+  put_u64(out, t.uid);
+  put_u64(out, t.parent);
+  put_u32(out, t.child_index);
+  put_u32(out, t.src);
+  put_u64(out, t.create_time);
+  put_u16(out, t.create_core);
+  put_u64(out, t.creation_cost);
+  put_u8(out, t.inlined ? 1 : 0);
+}
+
+TaskRec get_task(Reader& r) {
+  TaskRec t;
+  t.uid = r.get_u64();
+  t.parent = r.get_u64();
+  t.child_index = r.get_u32();
+  t.src = r.get_u32();
+  t.create_time = r.get_u64();
+  t.create_core = r.get_u16();
+  t.creation_cost = r.get_u64();
+  t.inlined = r.get_u8() != 0;
+  return t;
+}
+
+void put_fragment(std::string& out, const FragmentRec& f) {
+  put_u64(out, f.task);
+  put_u32(out, f.seq);
+  put_u64(out, f.start);
+  put_u64(out, f.end);
+  put_u16(out, f.core);
+  put_counters(out, f.counters);
+  put_u8(out, static_cast<u8>(f.end_reason));
+  put_u64(out, f.end_ref);
+}
+
+FragmentRec get_fragment(Reader& r) {
+  FragmentRec f;
+  f.task = r.get_u64();
+  f.seq = r.get_u32();
+  f.start = r.get_u64();
+  f.end = r.get_u64();
+  f.core = r.get_u16();
+  f.counters = get_counters(r);
+  f.end_reason = static_cast<FragmentEnd>(r.get_u8() & 0x3);
+  f.end_ref = r.get_u64();
+  return f;
+}
+
+void put_join(std::string& out, const JoinRec& j) {
+  put_u64(out, j.task);
+  put_u32(out, j.seq);
+  put_u64(out, j.start);
+  put_u64(out, j.end);
+  put_u16(out, j.core);
+}
+
+JoinRec get_join(Reader& r) {
+  JoinRec j;
+  j.task = r.get_u64();
+  j.seq = r.get_u32();
+  j.start = r.get_u64();
+  j.end = r.get_u64();
+  j.core = r.get_u16();
+  return j;
+}
+
+void put_loop(std::string& out, const LoopRec& l) {
+  put_u64(out, l.uid);
+  put_u64(out, l.enclosing_task);
+  put_u32(out, l.src);
+  put_u8(out, static_cast<u8>(l.sched));
+  put_u64(out, l.chunk_param);
+  put_u64(out, l.iter_begin);
+  put_u64(out, l.iter_end);
+  put_u16(out, l.num_threads);
+  put_u16(out, l.starting_thread);
+  put_u32(out, l.seq);
+  put_u64(out, l.start);
+  put_u64(out, l.end);
+}
+
+LoopRec get_loop(Reader& r) {
+  LoopRec l;
+  l.uid = r.get_u64();
+  l.enclosing_task = r.get_u64();
+  l.src = r.get_u32();
+  l.sched = static_cast<ScheduleKind>(r.get_u8() % 3);
+  l.chunk_param = r.get_u64();
+  l.iter_begin = r.get_u64();
+  l.iter_end = r.get_u64();
+  l.num_threads = r.get_u16();
+  l.starting_thread = r.get_u16();
+  l.seq = r.get_u32();
+  l.start = r.get_u64();
+  l.end = r.get_u64();
+  return l;
+}
+
+void put_chunk(std::string& out, const ChunkRec& c) {
+  put_u64(out, c.loop);
+  put_u16(out, c.thread);
+  put_u16(out, c.core);
+  put_u32(out, c.seq_on_thread);
+  put_u64(out, c.iter_begin);
+  put_u64(out, c.iter_end);
+  put_u64(out, c.start);
+  put_u64(out, c.end);
+  put_counters(out, c.counters);
+}
+
+ChunkRec get_chunk(Reader& r) {
+  ChunkRec c;
+  c.loop = r.get_u64();
+  c.thread = r.get_u16();
+  c.core = r.get_u16();
+  c.seq_on_thread = r.get_u32();
+  c.iter_begin = r.get_u64();
+  c.iter_end = r.get_u64();
+  c.start = r.get_u64();
+  c.end = r.get_u64();
+  c.counters = get_counters(r);
+  return c;
+}
+
+void put_bookkeep(std::string& out, const BookkeepRec& b) {
+  put_u64(out, b.loop);
+  put_u16(out, b.thread);
+  put_u16(out, b.core);
+  put_u32(out, b.seq_on_thread);
+  put_u64(out, b.start);
+  put_u64(out, b.end);
+  put_u8(out, b.got_chunk ? 1 : 0);
+}
+
+BookkeepRec get_bookkeep(Reader& r) {
+  BookkeepRec b;
+  b.loop = r.get_u64();
+  b.thread = r.get_u16();
+  b.core = r.get_u16();
+  b.seq_on_thread = r.get_u32();
+  b.start = r.get_u64();
+  b.end = r.get_u64();
+  b.got_chunk = r.get_u8() != 0;
+  return b;
+}
+
+void put_depend(std::string& out, const DependRec& d) {
+  put_u64(out, d.pred);
+  put_u64(out, d.succ);
+}
+
+DependRec get_depend(Reader& r) {
+  DependRec d;
+  d.pred = r.get_u64();
+  d.succ = r.get_u64();
+  return d;
+}
+
+void put_wstat(std::string& out, const WorkerStatsRec& s) {
+  put_u16(out, s.worker);
+  put_u64(out, s.tasks_spawned);
+  put_u64(out, s.tasks_executed);
+  put_u64(out, s.tasks_inlined);
+  put_u64(out, s.steals);
+  put_u64(out, s.steal_failures);
+  put_u64(out, s.cas_failures);
+  put_u64(out, s.deque_pushes);
+  put_u64(out, s.deque_pops);
+  put_u64(out, s.deque_resizes);
+  put_u64(out, s.taskwait_helps);
+  put_u64(out, s.idle_ns);
+  put_u64(out, s.trace_bytes);
+}
+
+WorkerStatsRec get_wstat(Reader& r) {
+  WorkerStatsRec s;
+  s.worker = r.get_u16();
+  s.tasks_spawned = r.get_u64();
+  s.tasks_executed = r.get_u64();
+  s.tasks_inlined = r.get_u64();
+  s.steals = r.get_u64();
+  s.steal_failures = r.get_u64();
+  s.cas_failures = r.get_u64();
+  s.deque_pushes = r.get_u64();
+  s.deque_pops = r.get_u64();
+  s.deque_resizes = r.get_u64();
+  s.taskwait_helps = r.get_u64();
+  s.idle_ns = r.get_u64();
+  s.trace_bytes = r.get_u64();
+  return s;
+}
+
+bool decode_epoch_payload(std::string_view payload, RecordBuffer* out) {
+  Reader r(payload);
+  u32 counts[8];
+  for (u32& c : counts) c = r.get_u32();
+  if (!r.ok) return false;
+  // Record counts can never exceed payload bytes (every record encodes to
+  // more than one byte); reject absurd headers before reserving memory.
+  for (u32 c : counts) {
+    if (c > payload.size()) return false;
+  }
+  out->tasks.reserve(counts[0]);
+  for (u32 i = 0; i < counts[0] && r.ok; ++i) out->tasks.push_back(get_task(r));
+  out->fragments.reserve(counts[1]);
+  for (u32 i = 0; i < counts[1] && r.ok; ++i)
+    out->fragments.push_back(get_fragment(r));
+  out->joins.reserve(counts[2]);
+  for (u32 i = 0; i < counts[2] && r.ok; ++i) out->joins.push_back(get_join(r));
+  out->loops.reserve(counts[3]);
+  for (u32 i = 0; i < counts[3] && r.ok; ++i) out->loops.push_back(get_loop(r));
+  out->chunks.reserve(counts[4]);
+  for (u32 i = 0; i < counts[4] && r.ok; ++i)
+    out->chunks.push_back(get_chunk(r));
+  out->bookkeeps.reserve(counts[5]);
+  for (u32 i = 0; i < counts[5] && r.ok; ++i)
+    out->bookkeeps.push_back(get_bookkeep(r));
+  out->depends.reserve(counts[6]);
+  for (u32 i = 0; i < counts[6] && r.ok; ++i)
+    out->depends.push_back(get_depend(r));
+  out->worker_stats.reserve(counts[7]);
+  for (u32 i = 0; i < counts[7] && r.ok; ++i)
+    out->worker_stats.push_back(get_wstat(r));
+  return r.ok && r.pos == payload.size();
+}
+
+bool decode_meta_payload(std::string_view payload, TraceMeta* out) {
+  Reader r(payload);
+  TraceMeta m;
+  m.program = r.get_str();
+  m.runtime = r.get_str();
+  m.topology = r.get_str();
+  m.num_workers = static_cast<int>(r.get_u32());
+  m.num_cores = static_cast<int>(r.get_u32());
+  const u64 ghz_bits = r.get_u64();
+  std::memcpy(&m.ghz, &ghz_bits, sizeof m.ghz);
+  m.region_start = r.get_u64();
+  m.region_end = r.get_u64();
+  m.profiled = r.get_u8() != 0;
+  m.trace_buffer_bytes = r.get_u64();
+  m.clock_source = r.get_str();
+  const u32 n_notes = r.get_u32();
+  if (n_notes > payload.size()) return false;
+  for (u32 i = 0; i < n_notes && r.ok; ++i) m.notes.push_back(r.get_str());
+  if (!r.ok || r.pos != payload.size()) return false;
+  *out = std::move(m);
+  return true;
+}
+
+/// Checksum over (type, worker, seq, payload) — the header's self-describing
+/// fields plus the data they frame.
+u64 frame_checksum(FrameType type, u32 worker, u32 seq, const void* payload,
+                   size_t len) noexcept {
+  char prefix[9];
+  prefix[0] = static_cast<char>(type);
+  write_le32(prefix + 1, worker);
+  write_le32(prefix + 5, seq);
+  const u64 h = fnv1a(prefix, sizeof prefix);
+  return fnv1a(payload, len, h);
+}
+
+/// Squashes a multi-line diagnostic into one provenance note ("; "-joined):
+/// notes must stay single-line for the text trace format.
+std::string collapse_lines(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_sep = false;
+  for (char c : text) {
+    if (c == '\n') {
+      pending_sep = true;
+      continue;
+    }
+    if (pending_sep && !out.empty()) out += "; ";
+    pending_sep = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+const char* signal_name(int sig) noexcept {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGTERM: return "SIGTERM";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    default: return "signal";
+  }
+}
+
+// --- crash-handler registry (process-global, async-signal-safe) -------------
+
+constexpr int kHandledSignals[] = {SIGSEGV, SIGABRT, SIGTERM};
+constexpr size_t kMaxSinks = 8;
+
+std::atomic<SpoolSink*> g_sinks[kMaxSinks];
+struct sigaction g_old_actions[3];
+std::terminate_handler g_old_terminate = nullptr;
+std::mutex g_handler_mutex;
+int g_registered_sinks = 0;
+
+int signal_slot(int sig) {
+  for (size_t i = 0; i < 3; ++i) {
+    if (kHandledSignals[i] == sig) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+extern "C" void gg_spool_signal_handler(int sig) {
+  for (auto& slot : g_sinks) {
+    if (SpoolSink* s = slot.load(std::memory_order_acquire))
+      s->emergency_flush(sig, nullptr);
+  }
+  // Restore the previous disposition and re-raise so the process dies with
+  // the original signal (core dumps, wait statuses and ASan reports intact).
+  const int idx = signal_slot(sig);
+  if (idx >= 0) ::sigaction(sig, &g_old_actions[idx], nullptr);
+  ::raise(sig);
+}
+
+[[noreturn]] void gg_spool_terminate_handler() {
+  for (auto& slot : g_sinks) {
+    if (SpoolSink* s = slot.load(std::memory_order_acquire))
+      s->emergency_flush(0, "terminate");
+  }
+  if (g_old_terminate != nullptr) g_old_terminate();
+  std::abort();
+}
+
+void register_sink(SpoolSink* sink) {
+  std::lock_guard lock(g_handler_mutex);
+  for (auto& slot : g_sinks) {
+    SpoolSink* expected = nullptr;
+    if (slot.compare_exchange_strong(expected, sink)) break;
+  }
+  if (g_registered_sinks++ == 0) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = gg_spool_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    for (int sig : kHandledSignals)
+      ::sigaction(sig, &sa, &g_old_actions[signal_slot(sig)]);
+    g_old_terminate = std::set_terminate(gg_spool_terminate_handler);
+  }
+}
+
+void unregister_sink(SpoolSink* sink) {
+  std::lock_guard lock(g_handler_mutex);
+  for (auto& slot : g_sinks) {
+    SpoolSink* expected = sink;
+    slot.compare_exchange_strong(expected, nullptr);
+  }
+  if (--g_registered_sinks == 0) {
+    for (int sig : kHandledSignals)
+      ::sigaction(sig, &g_old_actions[signal_slot(sig)], nullptr);
+    std::set_terminate(g_old_terminate);
+    g_old_terminate = nullptr;
+  }
+}
+
+}  // namespace
+
+// --- public pure helpers ----------------------------------------------------
+
+u64 fnv1a(const void* data, size_t len, u64 seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  u64 h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void RecordBuffer::clear() {
+  tasks.clear();
+  fragments.clear();
+  joins.clear();
+  loops.clear();
+  chunks.clear();
+  bookkeeps.clear();
+  depends.clear();
+  worker_stats.clear();
+}
+
+u64 RecordBuffer::payload_bytes() const {
+  auto bytes = [](const auto& v) {
+    return static_cast<u64>(v.size() * sizeof(v[0]));
+  };
+  return bytes(tasks) + bytes(fragments) + bytes(joins) + bytes(loops) +
+         bytes(chunks) + bytes(bookkeeps) + bytes(depends) +
+         bytes(worker_stats);
+}
+
+std::string encode_frame(FrameType type, u32 worker, u32 seq,
+                         std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof kFrameMagic);
+  put_u8(out, static_cast<u8>(type));
+  put_u32(out, worker);
+  put_u32(out, seq);
+  put_u64(out, payload.size());
+  put_u64(out, frame_checksum(type, worker, seq, payload.data(),
+                              payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string encode_meta_payload(const TraceMeta& meta) {
+  std::string out;
+  put_str(out, meta.program);
+  put_str(out, meta.runtime);
+  put_str(out, meta.topology);
+  put_u32(out, static_cast<u32>(meta.num_workers));
+  put_u32(out, static_cast<u32>(meta.num_cores));
+  u64 ghz_bits = 0;
+  std::memcpy(&ghz_bits, &meta.ghz, sizeof ghz_bits);
+  put_u64(out, ghz_bits);
+  put_u64(out, meta.region_start);
+  put_u64(out, meta.region_end);
+  put_u8(out, meta.profiled ? 1 : 0);
+  put_u64(out, meta.trace_buffer_bytes);
+  put_str(out, meta.clock_source);
+  put_u32(out, static_cast<u32>(meta.notes.size()));
+  for (const std::string& n : meta.notes) put_str(out, n);
+  return out;
+}
+
+std::string encode_strings_payload(u32 first_id,
+                                   const std::vector<std::string>& strings) {
+  std::string out;
+  put_u32(out, first_id);
+  put_u32(out, static_cast<u32>(strings.size()));
+  for (const std::string& s : strings) put_str(out, s);
+  return out;
+}
+
+std::string encode_epoch_payload(const RecordBuffer& buf) {
+  std::string out;
+  put_u32(out, static_cast<u32>(buf.tasks.size()));
+  put_u32(out, static_cast<u32>(buf.fragments.size()));
+  put_u32(out, static_cast<u32>(buf.joins.size()));
+  put_u32(out, static_cast<u32>(buf.loops.size()));
+  put_u32(out, static_cast<u32>(buf.chunks.size()));
+  put_u32(out, static_cast<u32>(buf.bookkeeps.size()));
+  put_u32(out, static_cast<u32>(buf.depends.size()));
+  put_u32(out, static_cast<u32>(buf.worker_stats.size()));
+  for (const auto& r : buf.tasks) put_task(out, r);
+  for (const auto& r : buf.fragments) put_fragment(out, r);
+  for (const auto& r : buf.joins) put_join(out, r);
+  for (const auto& r : buf.loops) put_loop(out, r);
+  for (const auto& r : buf.chunks) put_chunk(out, r);
+  for (const auto& r : buf.bookkeeps) put_bookkeep(out, r);
+  for (const auto& r : buf.depends) put_depend(out, r);
+  for (const auto& r : buf.worker_stats) put_wstat(out, r);
+  return out;
+}
+
+// --- SpoolSink --------------------------------------------------------------
+
+std::unique_ptr<SpoolSink> SpoolSink::open(const SpoolOptions& opts,
+                                           const TraceMeta& initial_meta,
+                                           int num_workers,
+                                           std::string* error) {
+  auto sink = std::unique_ptr<SpoolSink>(new SpoolSink());
+  sink->opts_ = opts;
+  sink->path_ = opts.path;
+  sink->num_workers_ = num_workers;
+  sink->fd_ = ::open(opts.path.c_str(),
+                     O_CREAT | O_TRUNC | O_WRONLY | O_APPEND | O_CLOEXEC,
+                     0644);
+  if (sink->fd_ < 0) {
+    if (error != nullptr)
+      *error = "cannot open spool file " + opts.path + ": " +
+               std::strerror(errno);
+    return nullptr;
+  }
+  sink->epoch_seq_ =
+      std::vector<std::atomic<u32>>(static_cast<size_t>(num_workers));
+  sink->flush_due_ =
+      std::vector<std::atomic<bool>>(static_cast<size_t>(num_workers));
+  sink->ring_ = std::vector<Slot>(kRingSlots);
+
+  // Preassemble the crash-footer frame; the signal handler only patches the
+  // payload and checksum fields in place.
+  {
+    char* f = sink->crash_frame_;
+    std::memcpy(f, kFrameMagic, sizeof kFrameMagic);
+    f[4] = static_cast<char>(FrameType::CrashFooter);
+    write_le32(f + 5, 0);                           // worker
+    write_le32(f + 9, 0);                           // seq
+    write_le64(f + 13, kCrashPayloadBytes);         // payload_len
+    write_le64(f + 21, 0);                          // checksum (patched)
+  }
+
+  std::string header(kSpoolMagic);
+  put_u32(header, static_cast<u32>(num_workers));
+  sink->write_all(header.data(), header.size());
+  {
+    std::lock_guard lock(sink->file_mutex_);
+    sink->write_frame_locked(FrameType::Meta, 0, 0,
+                             encode_meta_payload(initial_meta));
+  }
+  if (opts.crash_handlers) {
+    register_sink(sink.get());
+    sink->handlers_registered_ = true;
+  }
+  if (opts.flush_interval_ns > 0 || !opts.durable_epochs) {
+    sink->flusher_ = std::thread([s = sink.get()] { s->flusher_main(); });
+  }
+  return sink;
+}
+
+SpoolSink::~SpoolSink() {
+  if (!closed_.load(std::memory_order_acquire)) close_unclean();
+}
+
+void SpoolSink::write_all(const char* data, size_t len) noexcept {
+  while (len > 0) {
+    const ssize_t n = ::write(fd_, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // disk full / closed fd: nothing actionable mid-run
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+void SpoolSink::enqueue_or_write(std::string frame_bytes) {
+  if (opts_.durable_epochs) {
+    write_all(frame_bytes.data(), frame_bytes.size());
+    return;
+  }
+  // Producers are serialized by file_mutex_, so the ring is single-producer;
+  // wait (bounded ring, bounded memory) for the flusher to free a slot.
+  const u64 idx = ring_head_.load(std::memory_order_relaxed);
+  Slot& slot = ring_[idx % kRingSlots];
+  while (slot.state.load(std::memory_order_acquire) != 0) {
+    if (crashed_.load(std::memory_order_acquire)) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  slot.data = new std::string(std::move(frame_bytes));
+  slot.state.store(1, std::memory_order_release);
+  ring_head_.store(idx + 1, std::memory_order_release);
+}
+
+void SpoolSink::write_frame_locked(FrameType type, u32 worker, u32 seq,
+                                   std::string_view payload) {
+  enqueue_or_write(encode_frame(type, worker, seq, payload));
+}
+
+void SpoolSink::seal_epoch(u32 worker, RecordBuffer& buf,
+                           const StringsDeltaFn& delta) {
+  if (closed_.load(std::memory_order_acquire) ||
+      crashed_.load(std::memory_order_acquire)) {
+    buf.clear();
+    return;
+  }
+  flush_due_[worker].store(false, std::memory_order_relaxed);
+  if (buf.empty()) return;
+  const std::string payload = encode_epoch_payload(buf);
+  payload_bytes_.fetch_add(buf.payload_bytes(), std::memory_order_relaxed);
+  buf.clear();
+  std::lock_guard lock(file_mutex_);
+  if (delta) {
+    std::vector<std::string> fresh;
+    delta(strings_flushed_, &fresh);
+    if (!fresh.empty()) {
+      write_frame_locked(FrameType::Strings, 0, 0,
+                         encode_strings_payload(strings_flushed_, fresh));
+      strings_flushed_ += static_cast<u32>(fresh.size());
+    }
+  }
+  const u32 seq = epoch_seq_[worker].fetch_add(1, std::memory_order_relaxed);
+  write_frame_locked(FrameType::Epoch, worker, seq, payload);
+}
+
+void SpoolSink::flush_strings(const StringsDeltaFn& delta) {
+  if (!delta || closed_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(file_mutex_);
+  std::vector<std::string> fresh;
+  delta(strings_flushed_, &fresh);
+  if (fresh.empty()) return;
+  write_frame_locked(FrameType::Strings, 0, 0,
+                     encode_strings_payload(strings_flushed_, fresh));
+  strings_flushed_ += static_cast<u32>(fresh.size());
+}
+
+void SpoolSink::append_dump(const std::string& text) {
+  if (closed_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(file_mutex_);
+  write_frame_locked(FrameType::Dump, 0, 0, text);
+}
+
+void SpoolSink::flusher_main() {
+  auto last_request = std::chrono::steady_clock::now();
+  auto drain = [this] {
+    const u64 head = ring_head_.load(std::memory_order_acquire);
+    while (ring_tail_ < head) {
+      Slot& slot = ring_[ring_tail_ % kRingSlots];
+      const int st = slot.state.load(std::memory_order_acquire);
+      if (st == 0) break;  // producer mid-fill; come back next tick
+      if (st == 1) {
+        int expected = 1;
+        if (slot.state.compare_exchange_strong(expected, 2)) {
+          write_all(slot.data->data(), slot.data->size());
+        }
+      }
+      delete slot.data;
+      slot.data = nullptr;
+      slot.state.store(0, std::memory_order_release);
+      ++ring_tail_;
+    }
+  };
+  while (!flusher_stop_.load(std::memory_order_acquire)) {
+    drain();
+    if (opts_.flush_interval_ns > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      const u64 since = static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                               last_request)
+              .count());
+      if (since >= opts_.flush_interval_ns) {
+        for (auto& due : flush_due_)
+          due.store(true, std::memory_order_relaxed);
+        last_request = now;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  drain();
+}
+
+void SpoolSink::stop_flusher() {
+  if (!flusher_.joinable()) return;
+  flusher_stop_.store(true, std::memory_order_release);
+  flusher_.join();
+}
+
+void SpoolSink::finish(const TraceMeta& final_meta) {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  {
+    std::lock_guard lock(file_mutex_);
+    write_frame_locked(FrameType::CleanFooter, 0, 0,
+                       encode_meta_payload(final_meta));
+  }
+  stop_flusher();
+  if (handlers_registered_) {
+    unregister_sink(this);
+    handlers_registered_ = false;
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void SpoolSink::close_unclean() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  stop_flusher();
+  if (handlers_registered_) {
+    unregister_sink(this);
+    handlers_registered_ = false;
+  }
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void SpoolSink::emergency_flush(int sig, const char* reason) noexcept {
+  if (crashed_.exchange(true, std::memory_order_acq_rel)) return;
+  if (fd_ < 0) return;
+  // Drain already-framed bytes still queued for the background flusher. The
+  // state CAS makes this safe against a concurrently-running flusher: a
+  // blob is only freed after it leaves the Ready state, and this path never
+  // frees. A slot the flusher is mid-writing is skipped (at worst the file
+  // gains one torn frame, which recovery tolerates).
+  const u64 head = ring_head_.load(std::memory_order_acquire);
+  for (u64 i = ring_tail_; i < head; ++i) {
+    Slot& slot = ring_[i % kRingSlots];
+    int expected = 1;
+    if (slot.state.compare_exchange_strong(expected, 2)) {
+      write_all(slot.data->data(), slot.data->size());
+    }
+  }
+  // Patch the preassembled crash footer: payload = u32 signal, then a
+  // null-padded reason string. Manual formatting only — no allocation, no
+  // stdio in signal context.
+  char* payload = crash_frame_ + kFrameHeaderBytes;
+  for (size_t i = 0; i < kCrashPayloadBytes; ++i) payload[i] = 0;
+  write_le32(payload, static_cast<u32>(sig));
+  char* text = payload + 4;
+  const size_t text_cap = kCrashPayloadBytes - 4 - 1;
+  size_t pos = 0;
+  auto append = [&](const char* s) {
+    for (size_t i = 0; s[i] != 0 && pos < text_cap; ++i) text[pos++] = s[i];
+  };
+  if (reason != nullptr) {
+    append(reason);
+  } else {
+    append("signal=");
+    char digits[12];
+    int nd = 0;
+    int v = sig;
+    if (v == 0) digits[nd++] = '0';
+    while (v > 0 && nd < 11) {
+      digits[nd++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    }
+    while (nd > 0 && pos < text_cap) text[pos++] = digits[--nd];
+    append(" ");
+    append(signal_name(sig));
+  }
+  write_le64(crash_frame_ + 21,
+             frame_checksum(FrameType::CrashFooter, 0, 0, payload,
+                            kCrashPayloadBytes));
+  write_all(crash_frame_, sizeof crash_frame_);
+}
+
+// --- recovery ---------------------------------------------------------------
+
+std::string RecoverReport::summary() const {
+  std::string s = "frames=" + std::to_string(frames_kept) + "/" +
+                  std::to_string(frames_total);
+  s += clean_footer ? " footer=clean" : " footer=missing";
+  if (frames_corrupt > 0) s += " corrupt=" + std::to_string(frames_corrupt);
+  if (frames_out_of_order > 0)
+    s += " out_of_order=" + std::to_string(frames_out_of_order);
+  if (torn_tail) s += " torn-tail";
+  s += " epochs=";
+  for (size_t i = 0; i < epochs_per_worker.size(); ++i) {
+    if (i > 0) s += ",";
+    s += std::to_string(epochs_per_worker[i]);
+  }
+  return s;
+}
+
+bool looks_like_spool(std::string_view bytes) {
+  return bytes.size() >= kSpoolMagic.size() &&
+         bytes.substr(0, kSpoolMagic.size()) == kSpoolMagic;
+}
+
+bool spool_file_magic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[9];
+  in.read(magic, sizeof magic);
+  return in.gcount() == static_cast<std::streamsize>(sizeof magic) &&
+         looks_like_spool(std::string_view(magic, sizeof magic));
+}
+
+RecoverResult recover_spool_bytes(std::string_view bytes) {
+  RecoverResult res;
+  RecoverReport& rep = res.report;
+  Trace& t = res.trace;
+
+  if (!looks_like_spool(bytes)) {
+    rep.diagnostics.push_back("not a spool stream (bad magic)");
+    return res;
+  }
+  size_t pos = kSpoolMagic.size();
+  if (bytes.size() < pos + 4) {
+    rep.diagnostics.push_back("torn spool header");
+    return res;
+  }
+  const u32 num_workers = read_le32(bytes.data() + pos);
+  pos += 4;
+  if (num_workers == 0 || num_workers > 4096) {
+    rep.diagnostics.push_back("implausible worker count " +
+                              std::to_string(num_workers));
+    return res;
+  }
+  rep.epochs_per_worker.assign(num_workers, 0);
+  std::vector<u32> next_seq(num_workers, 0);
+  bool have_meta = false;
+
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < kFrameHeaderBytes) {
+      rep.torn_tail = true;
+      rep.diagnostics.push_back("torn frame header at offset " +
+                                std::to_string(pos));
+      break;
+    }
+    const char* h = bytes.data() + pos;
+    if (std::memcmp(h, kFrameMagic, sizeof kFrameMagic) != 0) {
+      rep.torn_tail = true;
+      rep.diagnostics.push_back("garbled frame magic at offset " +
+                                std::to_string(pos));
+      break;
+    }
+    const auto type = static_cast<FrameType>(static_cast<u8>(h[4]));
+    const u32 worker = read_le32(h + 5);
+    const u32 seq = read_le32(h + 9);
+    const u64 payload_len = read_le64(h + 13);
+    const u64 checksum = read_le64(h + 21);
+    ++rep.frames_total;
+    if (payload_len > (1ull << 30) ||
+        payload_len > bytes.size() - pos - kFrameHeaderBytes) {
+      rep.torn_tail = true;
+      rep.diagnostics.push_back("frame at offset " + std::to_string(pos) +
+                                " overruns the file (len=" +
+                                std::to_string(payload_len) + ")");
+      break;
+    }
+    const std::string_view payload(h + kFrameHeaderBytes,
+                                   static_cast<size_t>(payload_len));
+    const size_t frame_end = pos + kFrameHeaderBytes +
+                             static_cast<size_t>(payload_len);
+    if (frame_checksum(type, worker, seq, payload.data(), payload.size()) !=
+        checksum) {
+      ++rep.frames_corrupt;
+      rep.diagnostics.push_back("checksum mismatch in frame at offset " +
+                                std::to_string(pos) + ", skipped");
+      pos = frame_end;
+      continue;
+    }
+    switch (type) {
+      case FrameType::Meta:
+      case FrameType::CleanFooter: {
+        TraceMeta m;
+        if (!decode_meta_payload(payload, &m)) {
+          ++rep.frames_corrupt;
+          rep.diagnostics.push_back("undecodable meta frame at offset " +
+                                    std::to_string(pos));
+          break;
+        }
+        t.meta = std::move(m);
+        have_meta = true;
+        if (type == FrameType::CleanFooter) rep.clean_footer = true;
+        ++rep.frames_kept;
+        break;
+      }
+      case FrameType::Strings: {
+        Reader r(payload);
+        const u32 first_id = r.get_u32();
+        const u32 count = r.get_u32();
+        if (!r.ok || first_id != t.strings.size()) {
+          ++rep.frames_out_of_order;
+          rep.diagnostics.push_back("string delta at offset " +
+                                    std::to_string(pos) +
+                                    " does not extend the table, skipped");
+          break;
+        }
+        bool ok = true;
+        for (u32 i = 0; i < count; ++i) {
+          const std::string s = r.get_str();
+          if (!r.ok) {
+            ok = false;
+            break;
+          }
+          t.strings.intern(s);
+        }
+        if (!ok) {
+          ++rep.frames_corrupt;
+          rep.diagnostics.push_back("undecodable string delta at offset " +
+                                    std::to_string(pos));
+          break;
+        }
+        ++rep.frames_kept;
+        break;
+      }
+      case FrameType::Epoch: {
+        if (worker >= num_workers) {
+          ++rep.frames_corrupt;
+          rep.diagnostics.push_back("epoch for unknown worker " +
+                                    std::to_string(worker) + ", skipped");
+          break;
+        }
+        if (seq != next_seq[worker]) {
+          ++rep.frames_out_of_order;
+          rep.diagnostics.push_back(
+              "worker " + std::to_string(worker) + " epoch seq " +
+              std::to_string(seq) + " breaks the contiguous prefix (want " +
+              std::to_string(next_seq[worker]) + "), skipped");
+          break;
+        }
+        RecordBuffer buf;
+        if (!decode_epoch_payload(payload, &buf)) {
+          ++rep.frames_corrupt;
+          rep.diagnostics.push_back("undecodable epoch at offset " +
+                                    std::to_string(pos));
+          break;
+        }
+        auto move_into = [](auto& dst, auto& src) {
+          dst.insert(dst.end(), src.begin(), src.end());
+        };
+        move_into(t.tasks, buf.tasks);
+        move_into(t.fragments, buf.fragments);
+        move_into(t.joins, buf.joins);
+        move_into(t.loops, buf.loops);
+        move_into(t.chunks, buf.chunks);
+        move_into(t.bookkeeps, buf.bookkeeps);
+        move_into(t.depends, buf.depends);
+        move_into(t.worker_stats, buf.worker_stats);
+        ++next_seq[worker];
+        ++rep.epochs_per_worker[worker];
+        ++rep.frames_kept;
+        break;
+      }
+      case FrameType::Dump: {
+        if (!rep.supervisor_dump.empty()) rep.supervisor_dump += "\n";
+        rep.supervisor_dump.append(payload);
+        ++rep.frames_kept;
+        break;
+      }
+      case FrameType::CrashFooter: {
+        Reader r(payload);
+        const u32 sig = r.get_u32();
+        std::string reason;
+        while (r.ok && r.pos < payload.size()) {
+          const char c = static_cast<char>(r.get_u8());
+          if (c == 0) break;
+          reason.push_back(c);
+        }
+        rep.crash_reason = !reason.empty()
+                               ? reason
+                               : "signal=" + std::to_string(sig);
+        ++rep.frames_kept;
+        break;
+      }
+      default:
+        ++rep.frames_corrupt;
+        rep.diagnostics.push_back("unknown frame type at offset " +
+                                  std::to_string(pos) + ", skipped");
+        break;
+    }
+    pos = frame_end;
+  }
+
+  const bool any_records =
+      !t.tasks.empty() || !t.fragments.empty() || !t.chunks.empty() ||
+      !t.loops.empty() || !t.joins.empty();
+  if (!have_meta && !any_records) {
+    rep.diagnostics.push_back("no recoverable frames");
+    return res;
+  }
+  if (!have_meta) {
+    t.meta.program = "<recovered>";
+    t.meta.runtime = "recovered";
+    t.meta.num_workers = static_cast<int>(num_workers);
+    t.meta.num_cores = static_cast<int>(num_workers);
+    rep.diagnostics.push_back("meta frame missing; synthesized defaults");
+  }
+  if (!rep.clean_footer) {
+    // The footer carries the final region bounds; without it, extend the
+    // region to cover everything that was recovered.
+    TimeNs max_end = t.meta.region_end;
+    for (const auto& f : t.fragments) max_end = std::max(max_end, f.end);
+    for (const auto& j : t.joins) max_end = std::max(max_end, j.end);
+    for (const auto& c : t.chunks) max_end = std::max(max_end, c.end);
+    for (const auto& b : t.bookkeeps) max_end = std::max(max_end, b.end);
+    for (const auto& l : t.loops) max_end = std::max(max_end, l.end);
+    t.meta.region_end = max_end;
+  }
+  const bool damaged = rep.partial() || rep.frames_corrupt > 0 ||
+                       rep.frames_out_of_order > 0 || rep.torn_tail;
+  if (damaged) {
+    t.meta.notes.push_back("recovered " + rep.summary());
+    if (!rep.crash_reason.empty())
+      t.meta.notes.push_back("crash " + rep.crash_reason);
+  }
+  if (!rep.supervisor_dump.empty())
+    t.meta.notes.push_back("supervisor " + collapse_lines(rep.supervisor_dump));
+  t.finalize();
+  res.usable = true;
+  return res;
+}
+
+RecoverResult recover_spool_file(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    RecoverResult res;
+    res.report.diagnostics.push_back("cannot open " + path);
+    return res;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return recover_spool_bytes(bytes);
+}
+
+// --- whole-trace spooling ---------------------------------------------------
+
+namespace {
+
+/// Splits one worker's records into epoch-sized batches (in-memory payload
+/// bytes, matching the recorder's seal threshold).
+std::vector<RecordBuffer> slice_buffer(RecordBuffer& b, u64 epoch_bytes) {
+  std::vector<RecordBuffer> slices;
+  slices.emplace_back();
+  u64 bytes = 0;
+  auto drain = [&](auto member) {
+    auto& src = b.*member;
+    for (auto& rec : src) {
+      if (bytes >= epoch_bytes && !slices.back().empty()) {
+        slices.emplace_back();
+        bytes = 0;
+      }
+      (slices.back().*member).push_back(rec);
+      bytes += sizeof rec;
+    }
+    src.clear();
+  };
+  drain(&RecordBuffer::tasks);
+  drain(&RecordBuffer::fragments);
+  drain(&RecordBuffer::joins);
+  drain(&RecordBuffer::loops);
+  drain(&RecordBuffer::chunks);
+  drain(&RecordBuffer::bookkeeps);
+  drain(&RecordBuffer::depends);
+  drain(&RecordBuffer::worker_stats);
+  if (slices.back().empty()) slices.pop_back();
+  return slices;
+}
+
+/// Partitions a finalized trace's records by the worker that would have
+/// recorded them (core/thread fields; depends land on worker 0, as they are
+/// recorded by the spawning context).
+std::vector<RecordBuffer> partition_by_worker(const Trace& trace, u32 nw) {
+  std::vector<RecordBuffer> per(nw);
+  auto wk = [nw](u64 w) { return static_cast<size_t>(std::min<u64>(w, nw - 1)); };
+  for (const auto& r : trace.tasks) per[wk(r.create_core)].tasks.push_back(r);
+  for (const auto& r : trace.fragments)
+    per[wk(r.core)].fragments.push_back(r);
+  for (const auto& r : trace.joins) per[wk(r.core)].joins.push_back(r);
+  for (const auto& r : trace.loops)
+    per[wk(r.starting_thread)].loops.push_back(r);
+  for (const auto& r : trace.chunks) per[wk(r.thread)].chunks.push_back(r);
+  for (const auto& r : trace.bookkeeps)
+    per[wk(r.thread)].bookkeeps.push_back(r);
+  for (const auto& r : trace.depends) per[0].depends.push_back(r);
+  for (const auto& r : trace.worker_stats)
+    per[wk(r.worker)].worker_stats.push_back(r);
+  return per;
+}
+
+}  // namespace
+
+bool spool_trace(const Trace& trace, const SpoolOptions& opts,
+                 std::string* error) {
+  const u32 nw = static_cast<u32>(std::max(1, trace.meta.num_workers));
+  auto sink = SpoolSink::open(opts, trace.meta, static_cast<int>(nw), error);
+  if (!sink) return false;
+  const auto delta = [&trace](u32 from, std::vector<std::string>* out) {
+    for (u32 i = from; i < trace.strings.size(); ++i)
+      out->push_back(std::string(trace.strings.get(i)));
+  };
+  sink->flush_strings(delta);
+  std::vector<RecordBuffer> per = partition_by_worker(trace, nw);
+  std::vector<std::vector<RecordBuffer>> sliced(nw);
+  size_t max_slices = 0;
+  for (u32 w = 0; w < nw; ++w) {
+    sliced[w] = slice_buffer(per[w], opts.epoch_bytes);
+    max_slices = std::max(max_slices, sliced[w].size());
+  }
+  // Interleave workers the way a live run would: one epoch per worker per
+  // round, so recovery sees realistically mixed frame order.
+  for (size_t s = 0; s < max_slices; ++s) {
+    for (u32 w = 0; w < nw; ++w) {
+      if (s < sliced[w].size()) sink->seal_epoch(w, sliced[w][s], delta);
+    }
+  }
+  sink->finish(trace.meta);
+  return true;
+}
+
+std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes) {
+  const u32 nw = static_cast<u32>(std::max(1, trace.meta.num_workers));
+  std::string out(kSpoolMagic);
+  put_u32(out, nw);
+  out += encode_frame(FrameType::Meta, 0, 0,
+                      encode_meta_payload(trace.meta));
+  if (trace.strings.size() > 1) {
+    std::vector<std::string> all;
+    for (u32 i = 1; i < trace.strings.size(); ++i)
+      all.push_back(std::string(trace.strings.get(i)));
+    out += encode_frame(FrameType::Strings, 0, 0,
+                        encode_strings_payload(1, all));
+  }
+  std::vector<RecordBuffer> per = partition_by_worker(trace, nw);
+  std::vector<std::vector<RecordBuffer>> sliced(nw);
+  std::vector<u32> seq(nw, 0);
+  size_t max_slices = 0;
+  for (u32 w = 0; w < nw; ++w) {
+    sliced[w] = slice_buffer(per[w], epoch_bytes);
+    max_slices = std::max(max_slices, sliced[w].size());
+  }
+  for (size_t s = 0; s < max_slices; ++s) {
+    for (u32 w = 0; w < nw; ++w) {
+      if (s < sliced[w].size()) {
+        out += encode_frame(FrameType::Epoch, w, seq[w]++,
+                            encode_epoch_payload(sliced[w][s]));
+      }
+    }
+  }
+  out += encode_frame(FrameType::CleanFooter, 0, 0,
+                      encode_meta_payload(trace.meta));
+  return out;
+}
+
+std::vector<FrameSpan> scan_frames(std::string_view bytes) {
+  std::vector<FrameSpan> spans;
+  if (!looks_like_spool(bytes)) return spans;
+  size_t pos = kSpoolMagic.size() + 4;
+  while (pos + kFrameHeaderBytes <= bytes.size()) {
+    const char* h = bytes.data() + pos;
+    if (std::memcmp(h, kFrameMagic, sizeof kFrameMagic) != 0) break;
+    const u64 payload_len = read_le64(h + 13);
+    if (payload_len > (1ull << 30) ||
+        payload_len > bytes.size() - pos - kFrameHeaderBytes) {
+      break;
+    }
+    FrameSpan span;
+    span.offset = pos;
+    span.size = kFrameHeaderBytes + static_cast<size_t>(payload_len);
+    span.type = static_cast<FrameType>(static_cast<u8>(h[4]));
+    span.worker = read_le32(h + 5);
+    span.seq = read_le32(h + 9);
+    spans.push_back(span);
+    pos += span.size;
+  }
+  return spans;
+}
+
+}  // namespace gg::spool

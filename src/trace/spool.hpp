@@ -1,0 +1,306 @@
+// Crash-safe trace spooling: epoch frames, the spool sink, and recovery.
+//
+// The in-memory TraceRecorder is all-or-nothing: a crashed, killed or hung
+// run loses every record — exactly the runs an analyst most needs to see.
+// The spool closes that gap. Workers still append to private buffers (the
+// hot path stays unsynchronized, the paper's <2.5% overhead budget holds);
+// periodically each buffer is *sealed* into a length-prefixed, checksummed
+// epoch frame and appended to a per-run spool file. By default sealed
+// frames are written through immediately ("durable epochs"), so a SIGKILL
+// loses at most the one epoch per worker that was still accumulating;
+// SIGSEGV/SIGABRT/SIGTERM and std::terminate additionally get an
+// async-signal-safe emergency flush that appends any already-framed bytes
+// plus a crash-provenance footer before the process dies.
+//
+// File layout ("GGSPOOL1" format):
+//   header:  "GGSPOOL1\n" + u32 num_workers        (all integers LE)
+//   frames:  u32 "GGSF" | u8 type | u32 worker | u32 seq |
+//            u64 payload_len | u64 checksum | payload
+// Frame types:
+//   'M' meta          initial TraceMeta snapshot (program, team, clocks)
+//   'S' string delta  newly-interned strings [first_id, first_id+count)
+//   'E' epoch         one sealed per-worker record batch, seq-numbered
+//   'D' dump          supervisor diagnostic text (hang/stall report)
+//   'C' crash footer  crash provenance (signal / terminate / abort)
+//   'F' clean footer  final TraceMeta; only a clean shutdown writes it
+// The checksum is FNV-1a 64 over (type, worker, seq, payload) — cheap,
+// async-signal-safe, and strong enough to reject torn or bit-flipped
+// frames with the corpus's adversarial inputs.
+//
+// Recovery (recover_spool_*) replays the longest valid prefix: frames with
+// bad checksums are skipped, a torn tail stops the scan, per-worker epoch
+// sequence numbers must grow contiguously from 0. A missing 'F' footer
+// marks the trace as recovered/partial and stamps crash provenance into
+// TraceMeta::notes, which reports surface (TraceMeta::recovered()).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace gg::spool {
+
+// --- format constants -------------------------------------------------------
+
+inline constexpr std::string_view kSpoolMagic = "GGSPOOL1\n";
+inline constexpr char kFrameMagic[4] = {'G', 'G', 'S', 'F'};
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 4 + 8 + 8;
+
+enum class FrameType : u8 {
+  Meta = 'M',
+  Strings = 'S',
+  Epoch = 'E',
+  Dump = 'D',
+  CrashFooter = 'C',
+  CleanFooter = 'F',
+};
+
+/// FNV-1a 64: the frame checksum. Loop-only, noexcept, async-signal-safe.
+u64 fnv1a(const void* data, size_t len, u64 seed = 0xcbf29ce484222325ull) noexcept;
+
+// --- options ----------------------------------------------------------------
+
+struct SpoolOptions {
+  /// Spool file path; empty disables spooling entirely (the default — the
+  /// disabled path is byte-identical to the plain in-memory recorder).
+  std::string path;
+  /// Seal a worker's buffer into an epoch frame once it holds this many
+  /// payload bytes (the at-most-one-epoch-per-worker loss bound).
+  u64 epoch_bytes = 64 * 1024;
+  /// Write sealed frames through to the file at seal time (default). When
+  /// false, sealed frames queue in a bounded ring drained by the background
+  /// flusher; the emergency flush drains whatever is still queued.
+  bool durable_epochs = true;
+  /// Background flusher period: requests a time-based seal from every
+  /// worker so long idle phases cannot keep records buffered indefinitely.
+  /// 0 disables the flusher thread.
+  TimeNs flush_interval_ns = 50'000'000;
+  /// Install SIGSEGV/SIGABRT/SIGTERM + std::terminate emergency-flush
+  /// handlers for the lifetime of the sink.
+  bool crash_handlers = true;
+
+  bool enabled() const { return !path.empty(); }
+};
+
+// --- the record batch a seal captures --------------------------------------
+
+/// One worker's private record buffer — what TraceRecorder::Writer appends
+/// to and what a seal drains into an epoch frame. Public so the spool can
+/// serialize it and tests can build batches directly.
+struct RecordBuffer {
+  std::vector<TaskRec> tasks;
+  std::vector<FragmentRec> fragments;
+  std::vector<JoinRec> joins;
+  std::vector<LoopRec> loops;
+  std::vector<ChunkRec> chunks;
+  std::vector<BookkeepRec> bookkeeps;
+  std::vector<DependRec> depends;
+  std::vector<WorkerStatsRec> worker_stats;
+
+  bool empty() const {
+    return tasks.empty() && fragments.empty() && joins.empty() &&
+           loops.empty() && chunks.empty() && bookkeeps.empty() &&
+           depends.empty() && worker_stats.empty();
+  }
+  void clear();
+  /// In-memory payload footprint (sizeof-based, the recorder's
+  /// self-measurement unit).
+  u64 payload_bytes() const;
+};
+
+// --- pure frame encoding (shared by the sink, spool_trace, and tests) ------
+
+std::string encode_frame(FrameType type, u32 worker, u32 seq,
+                         std::string_view payload);
+std::string encode_meta_payload(const TraceMeta& meta);
+std::string encode_strings_payload(u32 first_id,
+                                   const std::vector<std::string>& strings);
+std::string encode_epoch_payload(const RecordBuffer& buf);
+
+// --- the sink ---------------------------------------------------------------
+
+/// Copies newly-interned strings [from, table size) into *out, under
+/// whatever lock protects the table. Supplied by the recorder so the sink
+/// never touches recorder internals.
+using StringsDeltaFn = std::function<void(u32 from, std::vector<std::string>* out)>;
+
+/// Appends frames to one spool file. seal_epoch() may be called from any
+/// worker concurrently; frames are written whole (one write(2) each on an
+/// O_APPEND fd), so a crash can tear at most the final frame.
+class SpoolSink {
+ public:
+  ~SpoolSink();
+
+  SpoolSink(const SpoolSink&) = delete;
+  SpoolSink& operator=(const SpoolSink&) = delete;
+
+  /// Opens (truncates) the spool file and writes the header + 'M' frame.
+  /// Returns nullptr with *error set on I/O failure.
+  static std::unique_ptr<SpoolSink> open(const SpoolOptions& opts,
+                                         const TraceMeta& initial_meta,
+                                         int num_workers, std::string* error);
+
+  /// Seals one worker's buffer: flushes the pending string delta (an 'S'
+  /// frame) followed by an 'E' frame carrying the batch, then clears the
+  /// buffer. The two frames are emitted adjacently so every StrId an epoch
+  /// references is durable before the epoch itself.
+  void seal_epoch(u32 worker, RecordBuffer& buf, const StringsDeltaFn& delta);
+
+  /// Flushes any not-yet-spooled string-table tail (used at finish when the
+  /// final buffers were already empty).
+  void flush_strings(const StringsDeltaFn& delta);
+
+  /// Appends a supervisor diagnostic dump ('D' frame).
+  void append_dump(const std::string& text);
+
+  /// Writes the clean-shutdown footer ('F' frame with the final meta) and
+  /// closes the file. Recovery treats its absence as a crashed run.
+  void finish(const TraceMeta& final_meta);
+
+  /// Closes without a footer (test hook modelling an unclean shutdown).
+  void close_unclean();
+
+  /// True when the background flusher asked this worker to seal (time-based
+  /// flush); cleared by the next seal_epoch.
+  bool flush_due(u32 worker) const {
+    return flush_due_[worker].load(std::memory_order_relaxed);
+  }
+
+  /// Total epoch payload bytes sealed so far — the spooled equivalent of
+  /// the recorder's buffer-footprint self-measurement.
+  u64 payload_bytes() const {
+    return payload_bytes_.load(std::memory_order_relaxed);
+  }
+  u64 epochs_sealed(u32 worker) const {
+    return epoch_seq_[worker].load(std::memory_order_relaxed);
+  }
+
+  const std::string& path() const { return path_; }
+
+  /// Async-signal-safe: drains queued frames with write(2) and appends a
+  /// 'C' crash footer naming the reason. Idempotent (first caller wins).
+  /// Called from the signal/terminate handlers; public so the supervisor's
+  /// abort path can flush explicitly before raising.
+  void emergency_flush(int sig, const char* reason) noexcept;
+
+ private:
+  SpoolSink() = default;
+
+  void write_frame_locked(FrameType type, u32 worker, u32 seq,
+                          std::string_view payload);
+  void enqueue_or_write(std::string frame_bytes);
+  void write_all(const char* data, size_t len) noexcept;
+  void flusher_main();
+  void stop_flusher();
+
+  // Bounded queue of framed-but-unwritten byte blobs (durable_epochs=false
+  // mode). Producers claim slots with head_; the flusher (and the
+  // emergency flush) consume Ready slots in order. Slot states make the
+  // signal handler safe: a blob is freed only after leaving Ready, and the
+  // handler never frees.
+  struct Slot {
+    std::atomic<int> state{0};  // 0 empty, 1 ready, 2 consumed
+    std::string* data = nullptr;
+  };
+  static constexpr size_t kRingSlots = 256;
+
+  std::string path_;
+  SpoolOptions opts_;
+  int fd_ = -1;
+  int num_workers_ = 0;
+  std::mutex file_mutex_;  // serializes frame emission order
+  u32 strings_flushed_ = 1;  // id 0 (the empty string) is implicit
+  std::vector<std::atomic<u32>> epoch_seq_;
+  std::vector<std::atomic<bool>> flush_due_;
+  std::atomic<u64> payload_bytes_{0};
+
+  std::vector<Slot> ring_;
+  std::atomic<u64> ring_head_{0};
+  u64 ring_tail_ = 0;  // flusher-owned
+  std::thread flusher_;
+  std::atomic<bool> flusher_stop_{false};
+
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> crashed_{false};
+  bool handlers_registered_ = false;
+  // Preassembled crash-footer frame; the handler only patches the reason
+  // and checksum (no allocation in signal context).
+  static constexpr size_t kCrashPayloadBytes = 64;
+  char crash_frame_[kFrameHeaderBytes + kCrashPayloadBytes] = {};
+};
+
+// --- recovery ---------------------------------------------------------------
+
+struct RecoverReport {
+  u64 frames_total = 0;       ///< frames whose header was readable
+  u64 frames_kept = 0;        ///< frames applied to the trace
+  u64 frames_corrupt = 0;     ///< checksum/decode failures, skipped
+  u64 frames_out_of_order = 0;///< epoch seq gaps, skipped
+  bool torn_tail = false;     ///< file ends mid-frame (in-flight write)
+  bool clean_footer = false;  ///< 'F' frame present: a clean shutdown
+  std::string crash_reason;   ///< from the 'C' footer, "" if none
+  std::string supervisor_dump;///< concatenated 'D' frames, "" if none
+  std::vector<u64> epochs_per_worker;
+  std::vector<std::string> diagnostics;  ///< human-readable skip reasons
+
+  bool partial() const { return !clean_footer; }
+  std::string summary() const;
+};
+
+struct RecoverResult {
+  bool usable = false;  ///< a finalized (possibly partial) trace came back
+  Trace trace;
+  RecoverReport report;
+};
+
+/// Reconstructs a Trace from the longest valid prefix of spool frames.
+/// Never throws on malformed input; !usable means nothing recoverable. A
+/// partial recovery stamps provenance notes ("recovered ...", "crash ...",
+/// "supervisor ...") that TraceMeta's provenance accessors expose. The
+/// caller is expected to run the salvage pass afterwards — recovered
+/// traces usually miss TaskEnds/joins for in-flight work.
+RecoverResult recover_spool_bytes(std::string_view bytes);
+RecoverResult recover_spool_file(const std::string& path,
+                                 std::string* error = nullptr);
+
+/// True if `bytes`/the file starts with the spool magic (cheap sniffing
+/// for tools that accept .ggtrace/.ggbin/.ggspool alike).
+bool looks_like_spool(std::string_view bytes);
+bool spool_file_magic(const std::string& path);
+
+// --- whole-trace spooling (modeled path: sim + deterministic tests) --------
+
+/// Writes an existing trace through the real sink — records partitioned
+/// per worker and sealed in interleaved epochs — so the simulator and the
+/// fault corpus exercise the same frame/recover code paths as the threaded
+/// runtime. Returns false on I/O failure.
+bool spool_trace(const Trace& trace, const SpoolOptions& opts,
+                 std::string* error = nullptr);
+
+/// Pure in-memory variant of spool_trace for corpus construction: same
+/// frame stream, no filesystem.
+std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes);
+
+// --- frame scanning (fault injection + diagnostics) -------------------------
+
+struct FrameSpan {
+  size_t offset = 0;        ///< frame start (header) within the stream
+  size_t size = 0;          ///< header + payload
+  FrameType type = FrameType::Epoch;
+  u32 worker = 0;
+  u32 seq = 0;
+};
+
+/// Walks frame headers without verifying checksums; stops at the first
+/// torn/garbled header. The fault layer uses this to aim corruption at
+/// specific frames.
+std::vector<FrameSpan> scan_frames(std::string_view bytes);
+
+}  // namespace gg::spool

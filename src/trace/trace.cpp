@@ -213,6 +213,39 @@ size_t Trace::grain_count() const {
   return n;
 }
 
+namespace {
+
+/// First note starting with `prefix` followed by a space, with the prefix
+/// stripped; "" if absent.
+std::string note_with_prefix(const std::vector<std::string>& notes,
+                             std::string_view prefix) {
+  for (const std::string& n : notes) {
+    if (n.size() > prefix.size() && n.compare(0, prefix.size(), prefix) == 0 &&
+        n[prefix.size()] == ' ') {
+      return n.substr(prefix.size() + 1);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool TraceMeta::recovered() const {
+  return !note_with_prefix(notes, "recovered").empty();
+}
+
+std::string TraceMeta::recovery_note() const {
+  return note_with_prefix(notes, "recovered");
+}
+
+std::string TraceMeta::crash_note() const {
+  return note_with_prefix(notes, "crash");
+}
+
+std::string TraceMeta::supervisor_note() const {
+  return note_with_prefix(notes, "supervisor");
+}
+
 StrId intern_src(StringTable& strings, std::string_view file, int line,
                  std::string_view func) {
   std::string s;

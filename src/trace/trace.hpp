@@ -30,6 +30,25 @@ struct TraceMeta {
   bool profiled = true;           ///< per-grain profiling was enabled
   u64 trace_buffer_bytes = 0;     ///< recorder buffer footprint at finish
   std::string clock_source;       ///< "tsc", "steady_clock", or "virtual"
+
+  // Crash provenance. Spool recovery (trace/spool.hpp) stamps well-known
+  // note prefixes instead of bumping the trace format: "recovered ..." for
+  // a partial reconstruction, "crash ..." naming the signal/reason, and
+  // "supervisor ..." carrying the stall diagnostic. These accessors are how
+  // reports and exporters detect and render partial runs.
+
+  /// True when this trace was reconstructed from a spool of a run that did
+  /// not shut down cleanly (some records may be missing).
+  bool recovered() const;
+
+  /// The "recovered ..." note (frame/epoch accounting), or "" if clean.
+  std::string recovery_note() const;
+
+  /// The crash reason ("signal=11 SIGSEGV", "terminate", ...), or "".
+  std::string crash_note() const;
+
+  /// The supervisor's stall diagnostic (single line, "; "-joined), or "".
+  std::string supervisor_note() const;
 };
 
 class Trace {

@@ -10,7 +10,9 @@
 
 #include "fault/fault.hpp"
 #include "trace/recorder.hpp"
+#include "trace/salvage.hpp"
 #include "trace/serialize.hpp"
+#include "trace/spool.hpp"
 #include "trace/validate.hpp"
 
 namespace gg {
@@ -267,6 +269,126 @@ TEST(CorruptCorpusTest, EmptyAndGarbageInputsFailCleanly) {
         std::string("GGTB9everything-else"), std::string(1000, '\0')}) {
     check_invariants(bytes, /*binary=*/false);
     check_invariants(bytes, /*binary=*/true);
+  }
+}
+
+// --- spool corpus: frame-level damage on .ggspool streams -------------------
+//
+// Same philosophy as the stream corpus above, aimed at the crash-spool
+// format: truncate at every frame boundary and every byte, tear every
+// frame mid-write, rot every frame's payload. Recovery must terminate,
+// keep every intact frame before the damage, and anything usable must be
+// structurally valid after the prescribed salvage pass.
+
+std::string spool_bytes() {
+  // Tiny epochs so the corpus trace spreads over many 'E' frames.
+  return spool::spool_trace_bytes(make_corpus_trace(), /*epoch_bytes=*/128);
+}
+
+void check_spool_invariants(const std::string& bytes) {
+  spool::RecoverResult rr = spool::recover_spool_bytes(bytes);
+  if (!rr.usable) return;  // nothing recoverable is a legal outcome
+  if (rr.report.partial() || rr.report.frames_corrupt > 0 ||
+      rr.report.torn_tail || rr.report.frames_out_of_order > 0) {
+    salvage_trace(rr.trace);
+  }
+  EXPECT_TRUE(validate_trace(rr.trace).empty())
+      << "usable recovery failed validation: " << rr.report.summary();
+}
+
+TEST(SpoolCorpusTest, PristineSpoolRoundTrips) {
+  const Trace original = make_corpus_trace();
+  const spool::RecoverResult rr = spool::recover_spool_bytes(spool_bytes());
+  ASSERT_TRUE(rr.usable) << rr.report.summary();
+  EXPECT_TRUE(rr.report.clean_footer);
+  EXPECT_FALSE(rr.report.partial());
+  EXPECT_EQ(rr.report.frames_corrupt, 0u);
+  EXPECT_EQ(rr.trace.tasks.size(), original.tasks.size());
+  EXPECT_EQ(rr.trace.fragments.size(), original.fragments.size());
+  EXPECT_EQ(rr.trace.chunks.size(), original.chunks.size());
+  EXPECT_EQ(rr.trace.depends.size(), original.depends.size());
+  EXPECT_TRUE(validate_trace(rr.trace).empty());
+}
+
+TEST(SpoolCorpusTest, TruncatedAtEveryFrameBoundary) {
+  const std::string bytes = spool_bytes();
+  const auto frames = spool::scan_frames(bytes);
+  ASSERT_GT(frames.size(), 3u);  // meta, strings, epochs..., footer
+  for (size_t keep = 0; keep <= frames.size(); ++keep) {
+    const std::string cut = fault::truncate_spool_at_frame(bytes, keep);
+    check_spool_invariants(cut);
+    const spool::RecoverResult rr = spool::recover_spool_bytes(cut);
+    if (keep == frames.size()) {
+      EXPECT_TRUE(rr.report.clean_footer);
+    } else {
+      // Losing the footer (or more) must read as a partial recovery, and
+      // every frame before the cut must survive.
+      EXPECT_FALSE(rr.report.clean_footer) << "cut at frame " << keep;
+      EXPECT_EQ(rr.report.frames_total, keep);
+    }
+  }
+}
+
+TEST(SpoolCorpusTest, TruncatedAtEveryByte) {
+  const std::string bytes = spool_bytes();
+  for (size_t keep = 0; keep <= bytes.size(); ++keep) {
+    check_spool_invariants(fault::truncate_stream(bytes, keep));
+  }
+}
+
+TEST(SpoolCorpusTest, BitFlipAtEveryByte) {
+  const std::string bytes = spool_bytes();
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    check_spool_invariants(
+        fault::flip_bit(bytes, i, static_cast<int>((i * 5) % 8)));
+  }
+}
+
+TEST(SpoolCorpusTest, TornFrameAtEveryFrame) {
+  const std::string bytes = spool_bytes();
+  const auto frames = spool::scan_frames(bytes);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    for (const size_t keep_payload : {size_t{0}, size_t{3}}) {
+      const std::string torn =
+          fault::tear_spool_frame(bytes, i, keep_payload);
+      check_spool_invariants(torn);
+      const spool::RecoverResult rr = spool::recover_spool_bytes(torn);
+      // The torn frame's header is intact (the tear lands in its payload),
+      // so it is counted but never applied, and the tail reads as torn.
+      EXPECT_EQ(rr.report.frames_total, i + 1) << "torn frame " << i;
+      EXPECT_LE(rr.report.frames_kept, i) << "torn frame " << i;
+      EXPECT_TRUE(rr.report.torn_tail) << "torn frame " << i;
+      EXPECT_FALSE(rr.report.clean_footer);
+    }
+  }
+}
+
+TEST(SpoolCorpusTest, ChecksumRotSkipsTheRottedFrame) {
+  const std::string bytes = spool_bytes();
+  const auto frames = spool::scan_frames(bytes);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const std::string rotted =
+        fault::flip_spool_frame_checksum(bytes, i, /*seed=*/i + 1);
+    check_spool_invariants(rotted);
+    const spool::RecoverResult rr = spool::recover_spool_bytes(rotted);
+    EXPECT_GE(rr.report.frames_corrupt, 1u) << "frame " << i;
+    // Every frame still parses (lengths untouched), so the scan reaches
+    // the end of the stream.
+    EXPECT_EQ(rr.report.frames_total, frames.size());
+    EXPECT_FALSE(rr.report.torn_tail);
+  }
+}
+
+TEST(SpoolCorpusTest, EmptyAndGarbageSpoolsFailCleanly) {
+  for (const std::string& bytes :
+       {std::string(), std::string("garbage"), std::string("GGSPOOL1\n"),
+        std::string("GGSPOOL1\n\x02\x00\x00\x00", 13),
+        std::string(1000, '\0')}) {
+    const spool::RecoverResult rr = spool::recover_spool_bytes(bytes);
+    check_spool_invariants(bytes);
+    if (!rr.usable) {
+      EXPECT_FALSE(rr.report.clean_footer);
+    }
   }
 }
 

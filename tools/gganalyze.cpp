@@ -25,6 +25,13 @@
 //     --strict               fail on the first ingestion problem (CI gating)
 //     --salvage              repair a damaged trace and analyze what
 //                            survives; prints a degradation report
+//     --recover              treat the input as a crash spool (.ggspool):
+//                            reconstruct the longest valid prefix of epoch
+//                            frames, salvage it, and analyze what survives.
+//                            Crash provenance (signal, supervisor stall
+//                            diagnostic) is reported and kept in the trace
+//                            notes. Inputs named *.ggspool or starting with
+//                            the spool magic take this path automatically.
 //     --timing               print input size and per-stage wall times
 //                            (load/graph/grains/metrics/problems) to stderr
 //     --threads <N>          metric-computation threads (0 = auto; results
@@ -36,12 +43,20 @@
 //     Runs the built-in differential oracle (src/check): generated programs
 //     elaborated by the threaded runtime under deterministic schedule
 //     exploration, the simulator, and the serial reference, with all grain
-//     graphs and metrics cross-checked. GG_TEST_SEED sets the base seed.
+//     graphs and metrics cross-checked, plus a crash-recovery smoke check
+//     (a forked child records with spooling and is SIGKILLed mid-run; the
+//     recovered spool must salvage into an analyzable trace).
+//     GG_TEST_SEED sets the base seed.
 //
 // Exit codes: 0 clean; 1 load/validation failure; 2 usage error; 3 analysis
-// ran on a salvaged (degraded) trace; 4 --salvage given but nothing usable
-// could be recovered.
+// ran on a salvaged/recovered (degraded) trace; 4 --salvage/--recover given
+// but nothing usable could be recovered.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,7 +79,11 @@
 #include "export/json_summary.hpp"
 #include "graph/reductions.hpp"
 #include "graph/summarize.hpp"
+#include "front/front.hpp"
+#include "rts/threaded_engine.hpp"
+#include "trace/salvage.hpp"
 #include "trace/serialize.hpp"
+#include "trace/spool.hpp"
 #include "trace/synth.hpp"
 #include "trace/validate.hpp"
 
@@ -74,14 +93,21 @@ using namespace gg;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <trace.(ggtrace|ggbin)> [--baseline t] [--view "
-               "benefit|inflation|memutil|parallelism|scatter] [--graphml f] "
-               "[--dot f] [--csv f] [--json f] [--html f] [--chrome f] "
-               "[--reduced] [--summarize N] [--compare t] [--topology "
-               "opteron48|generic4|generic16] [--timeline] "
-               "[--strict|--salvage] [--timing] [--threads N] "
+               "usage: %s <trace.(ggtrace|ggbin|ggspool)> [--baseline t] "
+               "[--view benefit|inflation|memutil|parallelism|scatter] "
+               "[--graphml f] [--dot f] [--csv f] [--json f] [--html f] "
+               "[--chrome f] [--reduced] [--summarize N] [--compare t] "
+               "[--topology opteron48|generic4|generic16] [--timeline] "
+               "[--strict|--salvage|--recover] [--timing] [--threads N] "
                "[--legacy-parse]\n"
-               "       %s --selftest [programs] [schedules]\n",
+               "       %s --selftest [programs] [schedules]\n"
+               "  --recover  treat the input as a crash spool (.ggspool is\n"
+               "             auto-detected): replay the longest valid frame\n"
+               "             prefix, salvage, and analyze what survived.\n"
+               "             Crash provenance and supervisor stall\n"
+               "             diagnostics from the spool print to stderr and\n"
+               "             land in the report's scheduler-health section.\n"
+               "             Exit 3 = partial (degraded), 4 = unrecoverable.\n",
                argv0, argv0);
   return 2;
 }
@@ -174,6 +200,92 @@ int run_engine_equivalence(u64 base_seed) {
   return failures;
 }
 
+/// Crash-recovery smoke check: fork a child that records a real threaded
+/// run with spooling enabled and SIGKILLs itself mid-region; the parent
+/// must recover the spool, salvage the partial trace, and analyze it.
+/// Returns the number of failures (0 or 1).
+int run_crash_recovery_smoke(u64 seed) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::temp_directory_path() /
+       ("gganalyze-selftest-" + std::to_string(::getpid()) + ".ggspool"))
+          .string();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "[selftest] crash recovery: fork failed\n");
+    return 1;
+  }
+  if (pid == 0) {
+    // Child: record with small durable epochs so plenty of frames reach the
+    // disk before the kill, then die mid-region without any cleanup.
+    rts::Options o;
+    o.num_workers = 2;
+    o.spool.path = path;
+    o.spool.epoch_bytes = 2 * 1024;
+    o.spool.crash_handlers = false;  // a SIGKILL is not catchable anyway
+    rts::ThreadedEngine eng(o);
+    const u64 kill_at = 60 + (seed % 40);
+    eng.run("selftest-crash", [&](front::Ctx& ctx) {
+      std::atomic<u64> finished{0};
+      for (int i = 0; i < 400; ++i) {
+        ctx.spawn(front::SrcLoc{"selftest.c", 10, "crash_task"},
+                  [&finished, kill_at](front::Ctx& c) {
+                    c.compute(500);
+                    if (finished.fetch_add(1) + 1 == kill_at) {
+                      ::kill(::getpid(), SIGKILL);
+                    }
+                  });
+      }
+      ctx.taskwait();
+    });
+    _exit(0);  // only reached if the kill never fired
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  int failures = 0;
+  if (!(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)) {
+    std::fprintf(stderr,
+                 "[selftest] crash recovery: child did not die by SIGKILL "
+                 "(status %d)\n", status);
+    ++failures;
+  }
+  std::string err;
+  spool::RecoverResult rr = spool::recover_spool_file(path, &err);
+  if (!rr.usable) {
+    std::fprintf(stderr, "[selftest] crash recovery: recover failed: %s\n",
+                 err.empty() ? rr.report.summary().c_str() : err.c_str());
+    std::error_code ec;
+    fs::remove(path, ec);
+    return failures + 1;
+  }
+  if (rr.report.clean_footer) {
+    std::fprintf(stderr,
+                 "[selftest] crash recovery: spool unexpectedly clean "
+                 "(child survived to finish?)\n");
+    ++failures;
+  }
+  salvage_trace(rr.trace);
+  const std::vector<std::string> violations = validate_trace(rr.trace);
+  if (!violations.empty()) {
+    std::fprintf(stderr,
+                 "[selftest] crash recovery: salvaged trace invalid: %s\n",
+                 violations.front().c_str());
+    ++failures;
+  } else {
+    // The full analysis must run without tripping over the partial trace.
+    analysis_bytes(rr.trace, /*threads=*/1);
+  }
+  std::fprintf(stderr,
+               "[selftest] crash recovery: %s (%llu frames kept, "
+               "%zu tasks salvaged)\n",
+               failures == 0 ? "ok" : "FAILED",
+               static_cast<unsigned long long>(rr.report.frames_kept),
+               rr.trace.tasks.size());
+  std::error_code ec;
+  fs::remove(path, ec);
+  return failures;
+}
+
 /// Self-check mode: the differential oracle plus a queue-harness sweep, all
 /// in-process. Used by CI as a one-command health probe of the entire
 /// profiling pipeline (runtimes -> trace -> graph -> metrics).
@@ -215,6 +327,9 @@ int run_selftest(int programs, int schedules) {
   std::fprintf(stderr, "[selftest] parse-engine equivalence sweep\n");
   const int equiv_failures = run_engine_equivalence(base_seed);
 
+  std::fprintf(stderr, "[selftest] crash recovery round-trip\n");
+  const int crash_failures = run_crash_recovery_smoke(base_seed);
+
   std::fprintf(stderr, "%s\n", res.summary().c_str());
   std::fprintf(stderr, "[selftest] queue harness: %zu violation(s) in %d "
                "run(s)\n", queue_violations.size(), queue_runs);
@@ -223,7 +338,10 @@ int run_selftest(int programs, int schedules) {
   }
   std::fprintf(stderr, "[selftest] engine equivalence: %d failure(s)\n",
                equiv_failures);
-  const bool ok = res.ok() && queue_violations.empty() && equiv_failures == 0;
+  std::fprintf(stderr, "[selftest] crash recovery: %d failure(s)\n",
+               crash_failures);
+  const bool ok = res.ok() && queue_violations.empty() &&
+                  equiv_failures == 0 && crash_failures == 0;
   std::fprintf(stderr, "[selftest] %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }
@@ -244,7 +362,7 @@ int main(int argc, char** argv) {
   std::string topology_name;
   std::optional<Problem> view;
   bool reduced = false, timeline = false;
-  bool strict = false, salvage = false;
+  bool strict = false, salvage = false, recover = false;
   bool timing = false, legacy_parse = false;
   int threads = 0;
   size_t summarize_budget = 0;
@@ -329,6 +447,8 @@ int main(int argc, char** argv) {
       strict = true;
     } else if (arg == "--salvage") {
       salvage = true;
+    } else if (arg == "--recover") {
+      recover = true;
     } else {
       return usage(argv[0]);
     }
@@ -337,21 +457,73 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--strict and --salvage are mutually exclusive\n");
     return 2;
   }
-
-  LoadOptions lopts;
-  lopts.mode = salvage ? LoadMode::Salvage
-                       : (strict ? LoadMode::Strict : LoadMode::Lenient);
-  lopts.engine = legacy_parse ? ParseEngine::Legacy : ParseEngine::Fast;
-  const i64 load_start = now_ns();
-  LoadResult lr = load_trace_file_ex(trace_path, lopts);
-  const i64 load_ns = now_ns() - load_start;
-  if (!lr.usable()) {
-    std::fprintf(stderr, "error: %s", lr.describe().c_str());
-    return salvage ? 4 : 1;
+  if (strict && recover) {
+    std::fprintf(stderr, "--strict and --recover are mutually exclusive\n");
+    return 2;
   }
-  if (lr.status == LoadStatus::Salvaged) {
-    // Degradation report: what was lost/repaired before analysis.
-    std::fprintf(stderr, "%s", lr.describe().c_str());
+
+  // Crash spools take their own ingestion path: frame-level recovery, then
+  // the regular salvage pass over whatever the spool preserved.
+  const bool spool_input =
+      recover ||
+      (trace_path.size() > 8 &&
+       trace_path.compare(trace_path.size() - 8, 8, ".ggspool") == 0) ||
+      spool::spool_file_magic(trace_path);
+
+  LoadResult lr;
+  i64 load_ns = 0;
+  if (spool_input) {
+    const i64 load_start = now_ns();
+    std::string rec_err;
+    spool::RecoverResult rr = spool::recover_spool_file(trace_path, &rec_err);
+    load_ns = now_ns() - load_start;
+    if (!rr.usable) {
+      std::fprintf(stderr, "error: spool recovery failed: %s\n",
+                   rec_err.empty() ? rr.report.summary().c_str()
+                                   : rec_err.c_str());
+      return 4;
+    }
+    std::fprintf(stderr, "%s\n", rr.report.summary().c_str());
+    if (!rr.report.crash_reason.empty()) {
+      std::fprintf(stderr, "crash provenance: %s\n",
+                   rr.report.crash_reason.c_str());
+    }
+    if (!rr.report.supervisor_dump.empty()) {
+      std::fprintf(stderr, "supervisor diagnostic:\n%s",
+                   rr.report.supervisor_dump.c_str());
+    }
+    bool degraded = rr.report.partial() || rr.report.frames_corrupt > 0 ||
+                    rr.report.frames_out_of_order > 0 || rr.report.torn_tail;
+    if (degraded) {
+      // Recovered traces usually miss closing records for in-flight work;
+      // the salvage pass synthesizes them and quarantines the rest.
+      const SalvageReport srep = salvage_trace(rr.trace);
+      if (srep.any()) std::fprintf(stderr, "%s\n", srep.summary().c_str());
+    }
+    const std::vector<std::string> violations = validate_trace(rr.trace);
+    if (!violations.empty()) {
+      std::fprintf(stderr, "error: recovered trace unsalvageable: %s\n",
+                   violations.front().c_str());
+      return 4;
+    }
+    lr.status = degraded ? LoadStatus::Salvaged : LoadStatus::Ok;
+    lr.trace = std::move(rr.trace);
+  } else {
+    LoadOptions lopts;
+    lopts.mode = salvage ? LoadMode::Salvage
+                         : (strict ? LoadMode::Strict : LoadMode::Lenient);
+    lopts.engine = legacy_parse ? ParseEngine::Legacy : ParseEngine::Fast;
+    const i64 load_start = now_ns();
+    lr = load_trace_file_ex(trace_path, lopts);
+    load_ns = now_ns() - load_start;
+    if (!lr.usable()) {
+      std::fprintf(stderr, "error: %s", lr.describe().c_str());
+      return salvage ? 4 : 1;
+    }
+    if (lr.status == LoadStatus::Salvaged) {
+      // Degradation report: what was lost/repaired before analysis.
+      std::fprintf(stderr, "%s", lr.describe().c_str());
+    }
   }
   std::optional<Trace>& trace = lr.trace;
   std::string error;
