@@ -5,6 +5,7 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "obs/telemetry.hpp"
 #include "topology/topology.hpp"
 
 namespace gg {
@@ -23,24 +24,47 @@ Analysis analyze(const Trace& trace, const Topology& topo,
                  const AnalysisOptions& opts, AnalysisTimings* timings) {
   Analysis a;
   i64 t0 = now_ns();
-  a.graph = GrainGraph::build(trace);
+  {
+    obs::PhaseSpan span("analysis.graph");
+    a.graph = GrainGraph::build(trace);
+  }
   const i64 t1 = now_ns();
-  a.grains = GrainTable::build(trace);
+  {
+    obs::PhaseSpan span("analysis.grains");
+    a.grains = GrainTable::build(trace);
+  }
   const i64 t2 = now_ns();
-  a.metrics = compute_metrics(trace, a.graph, a.grains, topo, opts.metrics,
-                              opts.baseline);
+  {
+    obs::PhaseSpan span("analysis.metrics");
+    a.metrics = compute_metrics(trace, a.graph, a.grains, topo, opts.metrics,
+                                opts.baseline);
+  }
   const i64 t3 = now_ns();
-  a.thresholds = opts.thresholds.value_or(
-      ProblemThresholds::defaults(trace.meta.num_workers, topo));
-  a.problems = evaluate_all(a.grains, a.metrics, a.thresholds);
-  a.sources = source_profile(trace, a.grains, a.metrics, a.thresholds,
-                             SourceSort::ByCount);
+  {
+    obs::PhaseSpan span("analysis.problems");
+    a.thresholds = opts.thresholds.value_or(
+        ProblemThresholds::defaults(trace.meta.num_workers, topo));
+    a.problems = evaluate_all(a.grains, a.metrics, a.thresholds);
+    a.sources = source_profile(trace, a.grains, a.metrics, a.thresholds,
+                               SourceSort::ByCount);
+  }
   const i64 t4 = now_ns();
   if (timings != nullptr) {
     timings->graph_ns = t1 - t0;
     timings->grains_ns = t2 - t1;
     timings->metrics_ns = t3 - t2;
     timings->problems_ns = t4 - t3;
+    timings->metric_passes = a.metrics.pass_timings;
+  }
+  if (obs::Registry* reg = obs::current_registry()) {
+    reg->counter("analyze.runs")->add();
+    reg->gauge("analyze.grains")->set(static_cast<double>(a.grains.size()));
+    const i64 total = t4 - t0;
+    if (total > 0) {
+      reg->gauge("analyze.grains_per_sec")
+          ->set(static_cast<double>(a.grains.size()) * 1e9 /
+                static_cast<double>(total));
+    }
   }
   return a;
 }
@@ -110,6 +134,14 @@ std::string render_report(const Trace& trace, const Analysis& a) {
                                            : trace.meta.clock_source)
        << ", recorder buffers " << trace.meta.trace_buffer_bytes
        << " bytes\n";
+    if (!trace.meta.recorder_note().empty()) {
+      os << "recorder " << trace.meta.recorder_note();
+      if (const auto pct = trace.meta.recorder_overhead_pct();
+          pct.has_value() && *pct > 2.5) {
+        os << "  ** EXCEEDS the paper's 2.5% overhead budget **";
+      }
+      os << "\n";
+    }
     Table sched("scheduler health (per worker)");
     sched.set_header({"worker", "spawned", "executed", "inlined", "steals",
                       "steal fails", "CAS fails", "pushes", "pops", "resizes",

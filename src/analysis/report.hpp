@@ -7,6 +7,8 @@
 #include <array>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/problems.hpp"
 #include "analysis/source_profile.hpp"
@@ -41,9 +43,20 @@ struct AnalysisTimings {
   i64 grains_ns = 0;
   i64 metrics_ns = 0;
   i64 problems_ns = 0;  ///< thresholds + problem views + source profile
+  /// Per-pass breakdown of the metrics stage (copied from MetricsResult).
+  MetricPassTimings metric_passes;
   i64 total_ns() const {
     return graph_ns + grains_ns + metrics_ns + problems_ns;
   }
+};
+
+/// Wall times of one whole tool invocation: trace load, analysis stages,
+/// and each export that ran (name, ns) in execution order. This is the
+/// machine-readable counterpart of `gganalyze --timing`.
+struct PipelineTimings {
+  i64 load_ns = 0;
+  AnalysisTimings analysis;
+  std::vector<std::pair<std::string, i64>> exports;
 };
 
 /// Runs the full pipeline on a finalized trace. When `timings` is non-null

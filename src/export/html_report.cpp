@@ -146,6 +146,14 @@ void write_html_report(std::ostream& os, const Trace& trace,
                                             : trace.meta.clock_source)
      << "</b>, recorder buffers " << trace.meta.trace_buffer_bytes
      << " bytes</p>";
+  if (!trace.meta.recorder_note().empty()) {
+    const auto pct = trace.meta.recorder_overhead_pct();
+    const bool busted = pct.has_value() && *pct > 2.5;
+    os << "<p" << (busted ? " class='bad'" : "") << ">recorder "
+       << esc(trace.meta.recorder_note())
+       << (busted ? " &mdash; exceeds the paper's 2.5% overhead budget" : "")
+       << "</p>";
+  }
   if (trace.worker_stats.empty()) {
     os << "<p>(no per-worker scheduler stats in this trace)</p>";
   } else {

@@ -43,7 +43,7 @@ std::string num(double v) {
 }  // namespace
 
 void write_json_summary(std::ostream& os, const Trace& trace,
-                        const Analysis& a) {
+                        const Analysis& a, const PipelineTimings* timings) {
   BufWriter buf(1 << 16);
   buf << "{\n";
   buf << "  \"program\": \"" << json_escape(trace.meta.program) << "\",\n";
@@ -89,6 +89,15 @@ void write_json_summary(std::ostream& os, const Trace& trace,
       << "\",\n";
   buf << "    \"trace_buffer_bytes\": " << trace.meta.trace_buffer_bytes
       << ",\n";
+  if (!trace.meta.recorder_note().empty()) {
+    buf << "    \"recorder\": \"" << json_escape(trace.meta.recorder_note())
+        << "\",\n";
+    if (const auto pct = trace.meta.recorder_overhead_pct()) {
+      buf << "    \"recorder_overhead_pct\": " << num(*pct) << ",\n";
+      buf << "    \"recorder_overhead_budget_exceeded\": "
+          << (*pct > 2.5 ? "true" : "false") << ",\n";
+    }
+  }
   buf << "    \"workers\": [\n";
   for (size_t i = 0; i < trace.worker_stats.size(); ++i) {
     const WorkerStatsRec& s = trace.worker_stats[i];
@@ -129,16 +138,41 @@ void write_json_summary(std::ostream& os, const Trace& trace,
         << ", \"poor_mem_percent\": " << num(r.poor_mem_util_percent) << "}"
         << (i + 1 < a.sources.size() ? "," : "") << "\n";
   }
-  buf << "  ]\n";
-  buf << "}\n";
+  buf << "  ]";
+  if (timings != nullptr) {
+    const AnalysisTimings& t = timings->analysis;
+    buf << ",\n  \"timings\": {\n";
+    buf << "    \"load_ns\": " << timings->load_ns << ",\n";
+    buf << "    \"analysis\": {\"graph_ns\": " << t.graph_ns
+        << ", \"grains_ns\": " << t.grains_ns
+        << ", \"metrics_ns\": " << t.metrics_ns
+        << ", \"problems_ns\": " << t.problems_ns
+        << ", \"total_ns\": " << t.total_ns() << "},\n";
+    const MetricPassTimings& p = t.metric_passes;
+    buf << "    \"metric_passes\": {\"benefit_ns\": " << p.benefit_ns
+        << ", \"load_balance_ns\": " << p.load_balance_ns
+        << ", \"parallelism_ns\": " << p.parallelism_ns
+        << ", \"scatter_ns\": " << p.scatter_ns
+        << ", \"critical_path_ns\": " << p.critical_path_ns << "},\n";
+    buf << "    \"exports\": [";
+    for (size_t i = 0; i < timings->exports.size(); ++i) {
+      if (i > 0) buf << ", ";
+      buf << "{\"name\": \"" << json_escape(timings->exports[i].first)
+          << "\", \"wall_ns\": " << timings->exports[i].second << "}";
+    }
+    buf << "]\n";
+    buf << "  }";
+  }
+  buf << "\n}\n";
   buf.write_to(os);
 }
 
 bool write_json_summary_file(const std::string& path, const Trace& trace,
-                             const Analysis& analysis) {
+                             const Analysis& analysis,
+                             const PipelineTimings* timings) {
   std::ofstream os(path);
   if (!os) return false;
-  write_json_summary(os, trace, analysis);
+  write_json_summary(os, trace, analysis, timings);
   return static_cast<bool>(os);
 }
 

@@ -11,11 +11,17 @@
 
 namespace gg {
 
+/// When `timings` is non-null a "timings" object is appended: trace-load
+/// wall time, per-stage analysis breakdown (including per-metric-pass
+/// times), and each export that ran before this one. The default (null)
+/// emits byte-identical output to prior versions.
 void write_json_summary(std::ostream& os, const Trace& trace,
-                        const Analysis& analysis);
+                        const Analysis& analysis,
+                        const PipelineTimings* timings = nullptr);
 
 bool write_json_summary_file(const std::string& path, const Trace& trace,
-                             const Analysis& analysis);
+                             const Analysis& analysis,
+                             const PipelineTimings* timings = nullptr);
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 std::string json_escape(std::string_view s);

@@ -1,6 +1,7 @@
 #include "fault/fault.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <tuple>
 
@@ -296,6 +297,45 @@ std::string flip_spool_frame_checksum(std::string bytes, size_t frame_index,
   Xoshiro256 rng(mix64(seed ^ kSpoolSalt));
   const size_t offset =
       f.offset + spool::kFrameHeaderBytes + rng.bounded(payload);
+  const int bit = static_cast<int>(rng.bounded(8));
+  return flip_bit(std::move(bytes), offset, bit);
+}
+
+namespace {
+
+/// The `index`-th frame of type 'T', or nullopt.
+std::optional<spool::FrameSpan> nth_telemetry_frame(std::string_view bytes,
+                                                    size_t index) {
+  size_t seen = 0;
+  for (const spool::FrameSpan& f : spool::scan_frames(bytes)) {
+    if (f.type != spool::FrameType::Telemetry) continue;
+    if (seen == index) return f;
+    ++seen;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string truncate_spool_telemetry(std::string bytes, size_t index,
+                                     size_t keep_payload) {
+  const auto f = nth_telemetry_frame(bytes, index);
+  if (!f.has_value()) return bytes;
+  const size_t payload = f->size - spool::kFrameHeaderBytes;
+  const size_t cut =
+      f->offset + spool::kFrameHeaderBytes + std::min(keep_payload, payload);
+  if (cut < bytes.size()) bytes.resize(cut);
+  return bytes;
+}
+
+std::string flip_spool_telemetry(std::string bytes, size_t index, u64 seed) {
+  const auto f = nth_telemetry_frame(bytes, index);
+  if (!f.has_value()) return bytes;
+  const size_t payload = f->size - spool::kFrameHeaderBytes;
+  if (payload == 0) return bytes;
+  Xoshiro256 rng(mix64(seed ^ kSpoolSalt));
+  const size_t offset =
+      f->offset + spool::kFrameHeaderBytes + rng.bounded(payload);
   const int bit = static_cast<int>(rng.bounded(8));
   return flip_bit(std::move(bytes), offset, bit);
 }

@@ -137,4 +137,17 @@ std::string tear_spool_frame(std::string bytes, size_t frame_index,
 std::string flip_spool_frame_checksum(std::string bytes, size_t frame_index,
                                       u64 seed);
 
+/// Cuts the stream right after `keep_payload` bytes of the `index`-th
+/// telemetry ('T') frame's payload — a crash mid-telemetry-write. Frames
+/// of other types do not count toward `index`. No-op when there is no such
+/// frame. Recovery must degrade to "telemetry unavailable" (or to the
+/// previous 'T' snapshot) without losing any record frame written before.
+std::string truncate_spool_telemetry(std::string bytes, size_t index,
+                                     size_t keep_payload);
+
+/// Flips one payload bit of the `index`-th telemetry frame (seeded
+/// position). The damage must surface as telemetry_corrupt — never as a
+/// damaged trace.
+std::string flip_spool_telemetry(std::string bytes, size_t index, u64 seed);
+
 }  // namespace gg::fault

@@ -1,6 +1,7 @@
 #include "metrics/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <tuple>
 
@@ -8,10 +9,17 @@
 #include "common/par_for.hpp"
 #include "common/stats.hpp"
 #include "graph/thread_groups.hpp"
+#include "obs/telemetry.hpp"
 
 namespace gg {
 
 namespace {
+
+i64 pass_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Visits the execution intervals of one grain: fragment intervals for
 /// tasks (a zero-copy span lookup), the chunk interval for chunks.
@@ -127,24 +135,32 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
   // ---- parallel benefit, mem util, work deviation -------------------------
   // Pure per-grain computation into per-index slots: any partition of the
   // index range produces the same bytes.
-  par_for_each_index(table.size(), threads, [&](size_t i) {
-    const Grain& g = table[i];
-    GrainMetrics& m = res.per_grain[i];
-    const TimeNs cost = g.creation_cost + g.sync_cost;
-    m.parallel_benefit = cost == 0
-                             ? std::numeric_limits<double>::infinity()
-                             : static_cast<double>(g.exec_time) /
-                                   static_cast<double>(cost);
-    m.mem_util = g.counters.stall == 0
-                     ? std::numeric_limits<double>::infinity()
-                     : static_cast<double>(g.counters.compute) /
-                           static_cast<double>(g.counters.stall);
-    if (baseline != nullptr) m.work_deviation = work_deviation(g, *baseline);
-  });
+  i64 pass_t0 = pass_now_ns();
+  {
+    obs::PhaseSpan span("metrics.benefit");
+    par_for_each_index(table.size(), threads, [&](size_t i) {
+      const Grain& g = table[i];
+      GrainMetrics& m = res.per_grain[i];
+      const TimeNs cost = g.creation_cost + g.sync_cost;
+      m.parallel_benefit = cost == 0
+                               ? std::numeric_limits<double>::infinity()
+                               : static_cast<double>(g.exec_time) /
+                                     static_cast<double>(cost);
+      m.mem_util = g.counters.stall == 0
+                       ? std::numeric_limits<double>::infinity()
+                       : static_cast<double>(g.counters.compute) /
+                             static_cast<double>(g.counters.stall);
+      if (baseline != nullptr) m.work_deviation = work_deviation(g, *baseline);
+    });
+  }
+  i64 pass_t1 = pass_now_ns();
+  res.pass_timings.benefit_ns = pass_t1 - pass_t0;
 
   // ---- load balance ---------------------------------------------------------
-  res.region_load_balance = region_load_balance(grains, trace.meta.num_cores);
   {
+    obs::PhaseSpan span("metrics.load_balance");
+    res.region_load_balance =
+        region_load_balance(grains, trace.meta.num_cores);
     std::vector<double> lb(trace.loops.size());
     par_for_each_index(trace.loops.size(), threads, [&](size_t i) {
       lb[i] = loop_load_balance(trace, trace.loops[i]);
@@ -152,8 +168,11 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
     for (size_t i = 0; i < trace.loops.size(); ++i)
       res.loop_load_balance[trace.loops[i].uid] = lb[i];
   }
+  i64 pass_t2 = pass_now_ns();
+  res.pass_timings.load_balance_ns = pass_t2 - pass_t1;
 
   // ---- instantaneous parallelism --------------------------------------------
+  obs::PhaseSpan par_span("metrics.parallelism");
   const TimeNs interval = choose_interval(trace, grains, opts);
   res.interval_used = interval;
   const TimeNs makespan = std::max<TimeNs>(1, trace.makespan());
@@ -218,8 +237,12 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
     res.per_grain[i].inst_parallelism_optimistic = static_cast<int>(min_o);
     res.per_grain[i].inst_parallelism = static_cast<int>(min_c);
   });
+  par_span.end();
+  i64 pass_t3 = pass_now_ns();
+  res.pass_timings.parallelism_ns = pass_t3 - pass_t2;
 
   // ---- scatter ----------------------------------------------------------------
+  obs::PhaseSpan scatter_span("metrics.scatter");
   // Sibling groups: task grains share a parent; chunks share a loop. Sorting
   // (kind, owner, row) triples makes each group a contiguous range with
   // members in ascending row order — exactly the order the previous
@@ -275,8 +298,12 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
     for (size_t k = 0; k < count; ++k)
       res.per_grain[member(k)].scatter = med;
   });
+  scatter_span.end();
+  i64 pass_t4 = pass_now_ns();
+  res.pass_timings.scatter_ns = pass_t4 - pass_t3;
 
   // ---- critical path + work/span --------------------------------------------
+  obs::PhaseSpan cp_span("metrics.critical_path");
   const CriticalPath cp = critical_path(graph);
   res.critical_path_time = cp.length;
   for (const Grain& g : table) res.total_work += g.exec_time;
@@ -290,6 +317,8 @@ MetricsResult compute_metrics(const Trace& trace, const GrainGraph& graph,
     if (const auto row = lookup.row_of(graph.nodes()[v]))
       res.per_grain[*row].on_critical_path = true;
   }
+  cp_span.end();
+  res.pass_timings.critical_path_ns = pass_now_ns() - pass_t4;
   return res;
 }
 

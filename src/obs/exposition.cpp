@@ -1,0 +1,266 @@
+#include "obs/exposition.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace gg::obs {
+
+namespace {
+
+// Little-endian put/get, self-contained (the spool's helpers are
+// file-local to spool.cpp on purpose — the two modules share no code).
+void put_u8(std::string* out, u8 v) { out->push_back(static_cast<char>(v)); }
+void put_u16(std::string* out, u16 v) {
+  for (int i = 0; i < 2; ++i) put_u8(out, static_cast<u8>(v >> (8 * i)));
+}
+void put_u32(std::string* out, u32 v) {
+  for (int i = 0; i < 4; ++i) put_u8(out, static_cast<u8>(v >> (8 * i)));
+}
+void put_u64(std::string* out, u64 v) {
+  for (int i = 0; i < 8; ++i) put_u8(out, static_cast<u8>(v >> (8 * i)));
+}
+void put_name(std::string* out, const std::string& s) {
+  const u16 n = static_cast<u16>(s.size() > 0xffff ? 0xffff : s.size());
+  put_u16(out, n);
+  out->append(s.data(), n);
+}
+
+struct Reader {
+  const char* p;
+  const char* end;
+  bool ok = true;
+
+  bool need(size_t n) {
+    if (!ok || static_cast<size_t>(end - p) < n) ok = false;
+    return ok;
+  }
+  u8 get_u8() {
+    if (!need(1)) return 0;
+    return static_cast<u8>(*p++);
+  }
+  u16 get_u16() {
+    u16 v = 0;
+    if (!need(2)) return 0;
+    for (int i = 0; i < 2; ++i) v |= static_cast<u16>(static_cast<u8>(*p++)) << (8 * i);
+    return v;
+  }
+  u32 get_u32() {
+    u32 v = 0;
+    if (!need(4)) return 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<u32>(static_cast<u8>(*p++)) << (8 * i);
+    return v;
+  }
+  u64 get_u64() {
+    u64 v = 0;
+    if (!need(8)) return 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(static_cast<u8>(*p++)) << (8 * i);
+    return v;
+  }
+  std::string get_name() {
+    const u16 n = get_u16();
+    if (!need(n)) return {};
+    std::string s(p, n);
+    p += n;
+    return s;
+  }
+};
+
+std::string prom_name(const std::string& name) {
+  std::string out = "gg_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+void json_str(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\' << c;
+    else if (static_cast<unsigned char>(c) < 0x20) os << "\\u0020";
+    else os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void render_prometheus(std::ostream& os, const MetricsSnapshot& snap) {
+  for (const auto& [name, v] : snap.counters) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " counter\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << fmt_double(v) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prom_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    u64 cum = 0;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;
+      cum += h.counts[b];
+      os << n << "_bucket{le=\"" << HistogramSnapshot::bucket_upper(b)
+         << "\"} " << cum << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << n << "_sum " << h.sum << "\n";
+    os << n << "_count " << h.count << "\n";
+  }
+}
+
+std::string render_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  render_prometheus(os, snap);
+  return os.str();
+}
+
+void render_json(std::ostream& os, const MetricsSnapshot& snap) {
+  os << "{\"ts_ns\":" << snap.ts_ns << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) os << ",";
+    first = false;
+    json_str(os, name);
+    os << ":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) os << ",";
+    first = false;
+    json_str(os, name);
+    os << ":" << fmt_double(v);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) os << ",";
+    first = false;
+    json_str(os, name);
+    os << ":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"min\":" << h.min << ",\"max\":" << h.max << ",\"buckets\":[";
+    bool bfirst = true;
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;
+      if (!bfirst) os << ",";
+      bfirst = false;
+      os << "[" << HistogramSnapshot::bucket_upper(b) << ","
+         << h.counts[b] << "]";
+    }
+    os << "]}";
+  }
+  os << "}}\n";
+}
+
+std::string render_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  render_json(os, snap);
+  return os.str();
+}
+
+void render_text(std::ostream& os, const MetricsSnapshot& snap) {
+  for (const auto& [name, v] : snap.counters)
+    os << "  " << std::left << std::setw(40) << name << " " << v << "\n";
+  for (const auto& [name, v] : snap.gauges)
+    os << "  " << std::left << std::setw(40) << name << " " << fmt_double(v)
+       << "\n";
+  for (const auto& [name, h] : snap.histograms) {
+    os << "  " << std::left << std::setw(40) << name << " count=" << h.count
+       << " sum=" << h.sum;
+    if (h.count > 0) {
+      os << " min=" << h.min << " max=" << h.max
+         << " avg=" << (h.sum / h.count);
+    }
+    os << "\n";
+  }
+}
+
+std::string encode_telemetry_payload(const MetricsSnapshot& snap) {
+  std::string out;
+  put_u8(&out, 1);  // payload version
+  put_u64(&out, snap.ts_ns);
+  put_u32(&out, static_cast<u32>(snap.counters.size()));
+  for (const auto& [name, v] : snap.counters) {
+    put_name(&out, name);
+    put_u64(&out, v);
+  }
+  put_u32(&out, static_cast<u32>(snap.gauges.size()));
+  for (const auto& [name, v] : snap.gauges) {
+    put_name(&out, name);
+    u64 bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(&out, bits);
+  }
+  put_u32(&out, static_cast<u32>(snap.histograms.size()));
+  for (const auto& [name, h] : snap.histograms) {
+    put_name(&out, name);
+    put_u64(&out, h.count);
+    put_u64(&out, h.sum);
+    put_u64(&out, h.min);
+    put_u64(&out, h.max);
+    u32 nonzero = 0;
+    for (u64 c : h.counts)
+      if (c != 0) ++nonzero;
+    put_u32(&out, nonzero);
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;
+      put_u8(&out, static_cast<u8>(b));
+      put_u64(&out, h.counts[b]);
+    }
+  }
+  return out;
+}
+
+bool decode_telemetry_payload(std::string_view payload, MetricsSnapshot* out) {
+  Reader r{payload.data(), payload.data() + payload.size()};
+  MetricsSnapshot snap;
+  if (r.get_u8() != 1) return false;
+  snap.ts_ns = r.get_u64();
+  const u32 nc = r.get_u32();
+  for (u32 i = 0; i < nc && r.ok; ++i) {
+    std::string name = r.get_name();
+    const u64 v = r.get_u64();
+    if (r.ok) snap.counters[std::move(name)] = v;
+  }
+  const u32 ng = r.get_u32();
+  for (u32 i = 0; i < ng && r.ok; ++i) {
+    std::string name = r.get_name();
+    const u64 bits = r.get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    if (r.ok) snap.gauges[std::move(name)] = v;
+  }
+  const u32 nh = r.get_u32();
+  for (u32 i = 0; i < nh && r.ok; ++i) {
+    std::string name = r.get_name();
+    HistogramSnapshot h;
+    h.count = r.get_u64();
+    h.sum = r.get_u64();
+    h.min = r.get_u64();
+    h.max = r.get_u64();
+    const u32 nb = r.get_u32();
+    for (u32 b = 0; b < nb && r.ok; ++b) {
+      const u8 idx = r.get_u8();
+      const u64 cnt = r.get_u64();
+      if (r.ok && idx < h.counts.size()) h.counts[idx] = cnt;
+    }
+    if (r.ok) snap.histograms[std::move(name)] = h;
+  }
+  if (!r.ok) return false;
+  *out = std::move(snap);
+  return true;
+}
+
+}  // namespace gg::obs

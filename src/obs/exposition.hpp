@@ -1,0 +1,41 @@
+// Snapshot publishers: Prometheus text exposition, JSON, human text, and
+// the compact binary payload carried by GGSPOOL1 'T' (telemetry) frames.
+//
+// The payload codec lives here — not in trace/spool — so the spool stays a
+// dumb byte carrier: 'T' frames are opaque to it, and a reader without
+// this module simply skips them. decode never throws; a false return means
+// "telemetry unavailable", never a recovery failure.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace gg::obs {
+
+/// Prometheus text exposition format (v0.0.4): counters as `gg_<name>`
+/// TYPE counter, gauges as TYPE gauge, histograms as cumulative
+/// `_bucket{le=...}` series plus `_sum`/`_count`. Metric names have
+/// '.'/'-' mapped to '_'; deterministic (name-sorted input).
+void render_prometheus(std::ostream& os, const MetricsSnapshot& snap);
+std::string render_prometheus(const MetricsSnapshot& snap);
+
+/// One JSON object: {"ts_ns":..,"counters":{..},"gauges":{..},
+/// "histograms":{name:{count,sum,min,max,buckets:[[le,count],..]}}}.
+void render_json(std::ostream& os, const MetricsSnapshot& snap);
+std::string render_json(const MetricsSnapshot& snap);
+
+/// Aligned human-readable dump (ggstat's one-shot mode).
+void render_text(std::ostream& os, const MetricsSnapshot& snap);
+
+/// Binary 'T'-frame payload (version 1, little-endian). Empty snapshot
+/// still encodes (a heartbeat with no metrics yet).
+std::string encode_telemetry_payload(const MetricsSnapshot& snap);
+
+/// Strict decode; returns false (and leaves *out untouched) on any
+/// truncation, bad version or malformed field.
+bool decode_telemetry_payload(std::string_view payload, MetricsSnapshot* out);
+
+}  // namespace gg::obs

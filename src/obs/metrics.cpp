@@ -1,0 +1,121 @@
+#include "obs/metrics.hpp"
+
+#include <cstdlib>
+
+namespace gg::obs {
+
+int thread_index() {
+  static std::atomic<int> next{0};
+  thread_local int idx = next.fetch_add(1, std::memory_order_relaxed);
+  return idx;
+}
+
+// --- Histogram --------------------------------------------------------------
+
+size_t Histogram::bucket_of(u64 v) {
+  // bit_width(v): 0 for 0, otherwise index of the highest set bit + 1.
+  size_t w = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++w;
+  }
+  return w;  // 0..64; bucket 64 is impossible (w==64 needs the top bit, ok)
+}
+
+u64 HistogramSnapshot::bucket_upper(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~u64{0};
+  return (u64{1} << i) - 1;
+}
+
+void Histogram::observe(u64 v) {
+  Shard& s = shards_[static_cast<size_t>(thread_index()) & (kShards - 1)];
+  const size_t b = bucket_of(v) & 63;  // bit_width 64 folds into bucket 63
+  s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  u64 cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::snapshot_values() const {
+  HistogramSnapshot out;
+  // Fixed shard order: the merged totals are independent of which threads
+  // observed which values (integer addition commutes).
+  for (const Shard& s : shards_) {
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < out.counts.size(); ++b)
+      out.counts[b] += s.buckets[b].load(std::memory_order_relaxed);
+  }
+  if (out.count > 0) {
+    out.min = min_.load(std::memory_order_relaxed);
+    out.max = max_.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  counter_store_.emplace_back();
+  Counter* c = &counter_store_.back();
+  counters_.emplace(std::string(name), c);
+  return c;
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  gauge_store_.emplace_back();
+  Gauge* g = &gauge_store_.back();
+  gauges_.emplace(std::string(name), g);
+  return g;
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  histogram_store_.emplace_back();
+  Histogram* h = &histogram_store_.back();
+  histograms_.emplace(std::string(name), h);
+  return h;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_)
+    out.histograms[name] = h->snapshot_values();
+  return out;
+}
+
+Registry& process_registry() {
+  static Registry reg;
+  return reg;
+}
+
+bool env_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("GG_TELEMETRY");
+    if (v == nullptr) return false;
+    const std::string_view s{v};
+    return s == "1" || s == "true" || s == "on";
+  }();
+  return enabled;
+}
+
+}  // namespace gg::obs

@@ -1,0 +1,165 @@
+// Self-telemetry metrics: a lock-free registry of counters, gauges and
+// log-bucketed histograms the tool uses to observe *itself*.
+//
+// The paper's profiler discipline (MIR keeps instrumentation under 2.5%)
+// only holds if the tool can measure its own cost, and the planned
+// `ggserved` streaming service (ROADMAP item 1) needs health exposition.
+// Design constraints, in order:
+//   1. The disabled path must be bit-identical to not having the subsystem
+//      at all — call sites hold a raw `Registry*` that defaults to null and
+//      guard every update with one branch.
+//   2. Updates are wait-free: counters and histograms shard across a small
+//      fixed set of cache-line-padded relaxed atomics indexed by a
+//      per-thread slot, so concurrent workers never contend on a line.
+//   3. Reads are deterministic: value() / snapshot() sum shards in fixed
+//      index order, so the merged totals are identical regardless of which
+//      threads did the incrementing (histogram merge determinism is a test).
+//   4. Multi-instance safe: all mutable state lives in the Registry
+//      instance; nothing global except the optional process-wide default.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gg::obs {
+
+/// Stable small index for the calling thread (assigned on first use,
+/// round-robin). Used to pick a metric shard and to attribute spans.
+int thread_index();
+
+inline constexpr size_t kShards = 16;
+
+/// Monotonically increasing counter. add() is a relaxed fetch_add on the
+/// calling thread's shard; value() merges shards in fixed order.
+class Counter {
+ public:
+  void add(u64 delta = 1) {
+    shards_[static_cast<size_t>(thread_index()) & (kShards - 1)].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  u64 value() const {
+    u64 sum = 0;
+    for (const Shard& s : shards_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<u64> v{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-writer-wins double value (stored as IEEE-754 bits in one atomic).
+class Gauge {
+ public:
+  void set(double v) {
+    u64 bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double value() const {
+    const u64 bits = bits_.load(std::memory_order_relaxed);
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+ private:
+  std::atomic<u64> bits_{0};
+};
+
+/// Point-in-time histogram contents, merged deterministically.
+struct HistogramSnapshot {
+  u64 count = 0;
+  u64 sum = 0;
+  u64 min = 0;  ///< meaningful only when count > 0
+  u64 max = 0;
+  /// counts[i] holds observations v with bit_width(v) == i, i.e. bucket 0
+  /// is exactly {0} and bucket i covers [2^(i-1), 2^i - 1].
+  std::array<u64, 64> counts{};
+
+  /// Inclusive upper bound of bucket i (u64 max for the last bucket).
+  static u64 bucket_upper(size_t i);
+};
+
+/// Log2-bucketed histogram for latencies / sizes. observe() touches only
+/// the calling thread's shard (plus two relaxed CAS loops for min/max,
+/// which are order-independent and therefore still deterministic to merge).
+class Histogram {
+ public:
+  void observe(u64 v);
+  HistogramSnapshot snapshot_values() const;
+
+ private:
+  static size_t bucket_of(u64 v);
+
+  struct alignas(64) Shard {
+    std::atomic<u64> count{0};
+    std::atomic<u64> sum{0};
+    std::array<std::atomic<u64>, 64> buckets{};
+  };
+  std::array<Shard, kShards> shards_;
+  std::atomic<u64> min_{~u64{0}};
+  std::atomic<u64> max_{0};
+};
+
+// --- snapshots --------------------------------------------------------------
+
+struct MetricsSnapshot {
+  /// Nanosecond timestamp the snapshot was taken (steady clock), 0 if the
+  /// producer did not stamp one.
+  u64 ts_ns = 0;
+  /// Name-sorted (std::map) so every exposition format is deterministic.
+  std::map<std::string, u64> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// Named-metric registry. Lookup takes a mutex (call sites cache the
+/// returned pointer, exactly like string interning in the recorder);
+/// updates through the returned handles are lock-free. Handles stay valid
+/// for the registry's lifetime (std::deque storage).
+class Registry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Deterministic point-in-time capture of every metric, name-sorted.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter*, std::less<>> counters_;
+  std::map<std::string, Gauge*, std::less<>> gauges_;
+  std::map<std::string, Histogram*, std::less<>> histograms_;
+  std::deque<Counter> counter_store_;
+  std::deque<Gauge> gauge_store_;
+  std::deque<Histogram> histogram_store_;
+};
+
+/// The process-wide default registry (used when GG_TELEMETRY=1 enables
+/// telemetry without explicit wiring). Distinct Registry instances remain
+/// fully independent — this is a convenience instance, not a singleton
+/// requirement.
+Registry& process_registry();
+
+/// True when the GG_TELEMETRY environment variable requests telemetry
+/// ("1"/"true"/"on"; cached on first call).
+bool env_enabled();
+
+}  // namespace gg::obs

@@ -1,0 +1,13 @@
+#include "obs/telemetry.hpp"
+
+namespace gg::obs {
+
+namespace {
+std::atomic<Telemetry*> g_current{nullptr};
+}  // namespace
+
+void install(Telemetry* t) { g_current.store(t, std::memory_order_release); }
+
+Telemetry* current() { return g_current.load(std::memory_order_acquire); }
+
+}  // namespace gg::obs

@@ -1,0 +1,71 @@
+// Process-level telemetry context: one Registry + one SpanTracer installed
+// behind a single atomic pointer.
+//
+// The analysis pipeline (analyze(), compute_metrics(), the exporters) is
+// library code that any tool may call; threading a Registry* through every
+// signature would churn APIs that tests byte-compare. Instead the pipeline
+// asks `current()` — one relaxed atomic load per *phase* (never per
+// record). When nothing is installed (the compiled-in-but-off default)
+// every probe returns null and the code path is bit-identical to a build
+// without telemetry.
+//
+// The engines (rts::Options, SimOptions) take an explicit `Registry*`
+// instead — they are multi-instance (future ggserved runs one per client)
+// and must not share the process context.
+#pragma once
+
+#include <atomic>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace gg::obs {
+
+struct Telemetry {
+  Registry registry;
+  SpanTracer tracer;
+};
+
+/// Installs `t` as the process-wide current context (null to uninstall).
+/// The caller keeps ownership; uninstall before destroying it.
+void install(Telemetry* t);
+Telemetry* current();
+
+inline Registry* current_registry() {
+  Telemetry* t = current();
+  return t != nullptr ? &t->registry : nullptr;
+}
+inline SpanTracer* current_tracer() {
+  Telemetry* t = current();
+  return t != nullptr ? &t->tracer : nullptr;
+}
+
+/// RAII phase span against the current context. When no context is
+/// installed the constructor is one atomic load and the destructor one
+/// branch — the disabled path does not read the clock.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name)
+      : tracer_(current_tracer()), name_(name) {
+    if (tracer_ != nullptr) start_ns_ = mono_ns();
+  }
+  ~PhaseSpan() { end(); }
+
+  /// Ends the span early (idempotent); useful when a phase boundary falls
+  /// mid-scope and re-indenting the whole pass into a block would obscure it.
+  void end() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, thread_index(), start_ns_, mono_ns());
+      tracer_ = nullptr;
+    }
+  }
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_;
+  const char* name_;
+  u64 start_ns_ = 0;
+};
+
+}  // namespace gg::obs

@@ -8,6 +8,8 @@
 
 #include "common/check.hpp"
 #include "common/prng.hpp"
+#include "obs/exposition.hpp"
+#include "obs/span.hpp"
 #include "rts/preempt.hpp"
 
 namespace gg::rts {
@@ -122,6 +124,36 @@ struct ThreadedEngine::Worker {
 
   Worker(int id_, TraceRecorder::Writer w, u64 seed)
       : id(id_), writer(w), rng(seed) {}
+};
+
+/// Cached metric handles for the engine's self-telemetry. Registry lookups
+/// take a mutex, so the hot paths hold raw pointers resolved once per run;
+/// a null telem_ (telemetry disabled, the default) costs each site exactly
+/// one untaken branch.
+struct ThreadedEngine::EngineTelemetry {
+  obs::Registry* reg;
+  obs::Counter* tasks_spawned;
+  obs::Counter* tasks_executed;
+  obs::Counter* tasks_inlined;
+  obs::Counter* steals;
+  obs::Counter* steal_failures;
+  obs::Histogram* task_latency_ns;
+  obs::Histogram* chunk_latency_ns;
+  obs::Histogram* queue_depth;
+  // Sampler-thread state for the progress-stall gauge (flusher-owned).
+  u64 last_progress = 0;
+  u64 last_change_mono_ns = 0;
+
+  explicit EngineTelemetry(obs::Registry* r)
+      : reg(r),
+        tasks_spawned(r->counter("engine.tasks_spawned")),
+        tasks_executed(r->counter("engine.tasks_executed")),
+        tasks_inlined(r->counter("engine.tasks_inlined")),
+        steals(r->counter("engine.steals")),
+        steal_failures(r->counter("engine.steal_failures")),
+        task_latency_ns(r->histogram("engine.task_latency_ns")),
+        chunk_latency_ns(r->histogram("engine.chunk_latency_ns")),
+        queue_depth(r->histogram("engine.queue_depth")) {}
 };
 
 struct ThreadedEngine::LoopState {
@@ -264,6 +296,10 @@ class ThreadedEngine::CtxImpl final : public Ctx {
     if (eng.profiling()) {
       ++w_->cnt.tasks_spawned;
       if (inline_child) ++w_->cnt.tasks_inlined;
+      if (auto* tm = eng.telem_.get()) {
+        tm->tasks_spawned->add();
+        if (inline_child) tm->tasks_inlined->add();
+      }
       end_fragment(fork_time, FragmentEnd::Fork, child_uid);
       TaskRec rec;
       rec.uid = child_uid;
@@ -494,6 +530,8 @@ void ThreadedEngine::push_task(Task* task, Worker& w) {
   if (opts_.profile) ++w.cnt.deque_pushes;
   if (opts_.scheduler == SchedulerKind::WorkStealing) {
     w.deque.push(task);
+    if (telem_ != nullptr)
+      telem_->queue_depth->observe(w.deque.size_estimate());
   } else {
     central_queue_.push(task);
   }
@@ -524,12 +562,14 @@ ThreadedEngine::Task* ThreadedEngine::get_task(Worker& w) {
     if (auto t = workers_[static_cast<size_t>(victim)]->deque.steal(
             prof ? &lost : nullptr)) {
       if (prof) ++w.cnt.steals;
+      if (telem_ != nullptr) telem_->steals->add();
       return *t;
     }
     if (prof) {
       ++w.cnt.steal_failures;
       if (lost) ++w.cnt.cas_failures;
     }
+    if (telem_ != nullptr) telem_->steal_failures->add();
   }
   return nullptr;
 }
@@ -539,16 +579,22 @@ void ThreadedEngine::exec_task(Task* task, Worker& w) {
   if (opts_.profile) ++w.cnt.tasks_executed;
   u8 prev_state = static_cast<u8>(WorkerState::Idle);
   TaskId prev_task = kNoTask;
-  if (supervising_) {
+  if (track_worker_health()) {
     prev_state = w.state.exchange(static_cast<u8>(WorkerState::Exec),
                                   std::memory_order_relaxed);
     prev_task = w.current_task.exchange(task->uid, std::memory_order_relaxed);
   }
   CtxImpl ctx(this, &w, task);
   ctx.frag_start_ = now();
+  const TimeNs exec_start = ctx.frag_start_;
   task->body(ctx);
   const TimeNs t1 = now();
   if (profiling()) ctx.end_fragment(t1, FragmentEnd::TaskEnd, 0);
+  if (telem_ != nullptr) {
+    telem_->tasks_executed->add();
+    telem_->task_latency_ns->observe(
+        t1 > exec_start ? static_cast<u64>(t1 - exec_start) : 0);
+  }
 
   // Release dependence successors: the last finishing predecessor enqueues
   // the waiting task on its own worker's queue.
@@ -566,8 +612,9 @@ void ThreadedEngine::exec_task(Task* task, Worker& w) {
       }
     }
   }
-  if (supervising_) {
+  if (supervising_ || telem_ != nullptr)
     progress_.fetch_add(1, std::memory_order_relaxed);
+  if (track_worker_health()) {
     w.state.store(prev_state, std::memory_order_relaxed);
     w.current_task.store(prev_task, std::memory_order_relaxed);
   }
@@ -584,7 +631,7 @@ void ThreadedEngine::exec_task(Task* task, Worker& w) {
 void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
   const bool prof = opts_.profile;
   u8 prev_state = static_cast<u8>(WorkerState::Idle);
-  if (supervising_) {
+  if (track_worker_health()) {
     prev_state = w.state.exchange(static_cast<u8>(WorkerState::Taskwait),
                                   std::memory_order_relaxed);
   }
@@ -593,7 +640,8 @@ void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
       if (prof) ++w.cnt.taskwait_helps;
       exec_task(t, w);
     } else if (prof) {
-      if (supervising_) w.heartbeat.fetch_add(1, std::memory_order_relaxed);
+      if (track_worker_health())
+        w.heartbeat.fetch_add(1, std::memory_order_relaxed);
       w.writer.poll_flush();
       const TimeNs i0 = now();
       preempt_point(PreemptPoint::Idle);
@@ -604,7 +652,8 @@ void ThreadedEngine::help_until(Worker& w, const std::atomic<u32>& counter) {
       std::this_thread::yield();
     }
   }
-  if (supervising_) w.state.store(prev_state, std::memory_order_relaxed);
+  if (track_worker_health())
+    w.state.store(prev_state, std::memory_order_relaxed);
 }
 
 void ThreadedEngine::worker_main(int id) {
@@ -621,7 +670,8 @@ void ThreadedEngine::worker_main(int id) {
       participate_in_loop(loop, w);
       continue;
     }
-    if (supervising_) w.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    if (track_worker_health())
+        w.heartbeat.fetch_add(1, std::memory_order_relaxed);
     w.writer.poll_flush();
     if (opts_.profile) {
       const TimeNs i0 = now();
@@ -689,9 +739,13 @@ void ThreadedEngine::participate_in_loop(const std::shared_ptr<LoopState>& L,
       c.counters.compute = c1 - c0;
       w.writer.chunk(c);
     }
+    if (telem_ != nullptr)
+      telem_->chunk_latency_ns->observe(
+          c1 > c0 ? static_cast<u64>(c1 - c0) : 0);
     L->iters_done.fetch_add(range->second - range->first,
                             std::memory_order_acq_rel);
-    if (supervising_) progress_.fetch_add(1, std::memory_order_relaxed);
+    if (supervising_ || telem_ != nullptr)
+      progress_.fetch_add(1, std::memory_order_relaxed);
   }
   w.finished_loop = L->uid;
   L->active.fetch_sub(1, std::memory_order_acq_rel);
@@ -745,7 +799,7 @@ void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
     participate_in_loop(L, w);
     // Wait for every participant to drain; help with stray tasks meanwhile.
     u8 prev_state = static_cast<u8>(WorkerState::Idle);
-    if (supervising_) {
+    if (track_worker_health()) {
       prev_state = w.state.exchange(static_cast<u8>(WorkerState::LoopWait),
                                     std::memory_order_relaxed);
     }
@@ -754,7 +808,8 @@ void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
       if (Task* t = get_task(w)) {
         exec_task(t, w);
       } else if (profiling()) {
-        if (supervising_) w.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        if (track_worker_health())
+        w.heartbeat.fetch_add(1, std::memory_order_relaxed);
         w.writer.poll_flush();
         const TimeNs i0 = now();
         preempt_point(PreemptPoint::Idle);
@@ -765,7 +820,8 @@ void ThreadedEngine::run_parallel_for(Worker& w, Task* root_task,
         std::this_thread::yield();
       }
     }
-    if (supervising_) w.state.store(prev_state, std::memory_order_relaxed);
+    if (track_worker_health())
+      w.state.store(prev_state, std::memory_order_relaxed);
     L->done.store(true, std::memory_order_release);
     store_loop(nullptr);
   }
@@ -905,6 +961,17 @@ void ThreadedEngine::watchdog_main() {
 Trace ThreadedEngine::run(const std::string& program_name,
                           const TaskFn& root) {
   recorder_ = std::make_unique<TraceRecorder>(opts_.num_workers);
+  // Telemetry context for this run: an explicit registry wins; GG_TELEMETRY
+  // falls back to the process-wide one. Disabled (both null) leaves telem_
+  // null and every instrumentation site bit-identical to the seed path.
+  telemetry_ready_.store(false, std::memory_order_release);
+  telem_.reset();
+  {
+    obs::Registry* reg = opts_.telemetry;
+    if (reg == nullptr && obs::env_enabled()) reg = &obs::process_registry();
+    if (reg != nullptr && opts_.profile)
+      telem_ = std::make_unique<EngineTelemetry>(reg);
+  }
   next_task_id_.store(1);
   next_loop_id_.store(1);
   live_tasks_.store(0);
@@ -955,8 +1022,20 @@ Trace ThreadedEngine::run(const std::string& program_name,
 
   spool_sink_.reset();
   if (opts_.profile && opts_.spool.enabled()) {
+    spool::SpoolOptions sopts = opts_.spool;
+    if (telem_ != nullptr) {
+      // Live monitoring: the sink samples this engine's atomics on a timer
+      // and appends 'T' frames a `ggstat --follow` can tail. The callback
+      // is gated by telemetry_ready_ — the sink opens before the workers
+      // exist.
+      sopts.telemetry = telem_->reg;
+      if (sopts.telemetry_interval_ns == 0)
+        sopts.telemetry_interval_ns = 10'000'000;
+      if (!sopts.telemetry_source)
+        sopts.telemetry_source = [this] { return telemetry_payload(); };
+    }
     std::string spool_err;
-    spool_sink_ = spool::SpoolSink::open(opts_.spool, make_meta(0),
+    spool_sink_ = spool::SpoolSink::open(sopts, make_meta(0),
                                          opts_.num_workers, &spool_err);
     if (spool_sink_) {
       recorder_->attach_spool(spool_sink_.get(), opts_.spool.epoch_bytes);
@@ -976,6 +1055,11 @@ Trace ThreadedEngine::run(const std::string& program_name,
   tsc_ns_per_tick();  // calibrate before the region starts
   tsc_base_ = tsc_now();
 #endif
+  if (telem_ != nullptr) {
+    telem_->last_progress = 0;
+    telem_->last_change_mono_ns = obs::mono_ns();
+    telemetry_ready_.store(true, std::memory_order_release);
+  }
   // Register with a schedule controller (if installed) BEFORE the worker
   // threads exist: worker 0 is the first registrant, so it takes the token
   // deterministically and the whole region is explored serialized.
@@ -1003,7 +1087,7 @@ Trace ThreadedEngine::run(const std::string& program_name,
   // Execute the root body as the implicit task of the parallel region, with
   // an implicit barrier (drain of all outstanding tasks) at the end.
   CtxImpl ctx(this, &w0, root_task);
-  if (supervising_) {
+  if (track_worker_health()) {
     w0.state.store(static_cast<u8>(WorkerState::Exec),
                    std::memory_order_relaxed);
     w0.current_task.store(kRootTask, std::memory_order_relaxed);
@@ -1018,7 +1102,7 @@ Trace ThreadedEngine::run(const std::string& program_name,
   if (need_implicit_join) {
     const u32 jseq = ctx.next_join_seq_++;
     if (profiling()) ctx.end_fragment(body_end, FragmentEnd::Join, jseq);
-    if (supervising_) {
+    if (track_worker_health()) {
       w0.state.store(static_cast<u8>(WorkerState::Taskwait),
                      std::memory_order_relaxed);
     }
@@ -1026,7 +1110,8 @@ Trace ThreadedEngine::run(const std::string& program_name,
       if (Task* t = get_task(w0)) {
         exec_task(t, w0);
       } else if (profiling()) {
-        if (supervising_) w0.heartbeat.fetch_add(1, std::memory_order_relaxed);
+        if (track_worker_health())
+          w0.heartbeat.fetch_add(1, std::memory_order_relaxed);
         w0.writer.poll_flush();
         const TimeNs i0 = now();
         preempt_point(PreemptPoint::Idle);
@@ -1037,7 +1122,7 @@ Trace ThreadedEngine::run(const std::string& program_name,
         std::this_thread::yield();
       }
     }
-    if (supervising_) {
+    if (track_worker_health()) {
       w0.state.store(static_cast<u8>(WorkerState::Idle),
                      std::memory_order_relaxed);
     }
@@ -1099,6 +1184,37 @@ Trace ThreadedEngine::run(const std::string& program_name,
   }
 
   TraceMeta meta = make_meta(region_end);
+  if (telem_ != nullptr && opts_.profile) {
+    // Self-measured recorder overhead: time the per-grain instrumentation
+    // primitive (two clock reads plus one buffer append), scale by the
+    // grains recorded, compare to region wall time. Stamped as a provenance
+    // note so reports can flag runs that bust the paper's 2.5% budget.
+    std::vector<FragmentRec> scratch;
+    scratch.reserve(512);
+    const TimeNs c0 = now();
+    for (int i = 0; i < 512; ++i) {
+      FragmentRec f;
+      f.start = now();
+      f.end = now();
+      scratch.push_back(f);
+    }
+    const TimeNs c1 = now();
+    const double per_grain = static_cast<double>(c1 - c0) / 512.0;
+    const u64 grains = progress_.load(std::memory_order_relaxed);
+    const double pct =
+        region_end > 0
+            ? 100.0 * per_grain * static_cast<double>(grains) /
+                  static_cast<double>(region_end)
+            : 0.0;
+    char note[128];
+    std::snprintf(note, sizeof note,
+                  "recorder overhead_pct=%.3f grains=%llu est_ns_per_grain=%.0f",
+                  pct, static_cast<unsigned long long>(grains), per_grain);
+    meta.notes.push_back(note);
+    telem_->reg->gauge("engine.recorder_overhead_pct")->set(pct);
+    telem_->reg->gauge("engine.progress")
+        ->set(static_cast<double>(grains));
+  }
   if (!opts_.profile) {
     // Produce an empty (but well-formed) trace carrying only the makespan —
     // used by the profiling-overhead experiment.
@@ -1139,6 +1255,51 @@ Trace ThreadedEngine::run(const std::string& program_name,
         " " + rep.summary());
   }
   return trace;
+}
+
+std::string ThreadedEngine::telemetry_payload() {
+  // Called from the spool's flusher thread. Reads only atomics that exist
+  // for supervision/accounting already (heartbeats, worker state, progress,
+  // queue bounds), so the sampler never races worker-private state. The
+  // ready gate covers the window where the sink is open but the workers
+  // are not yet constructed (and the next run's reset).
+  if (telem_ == nullptr || !telemetry_ready_.load(std::memory_order_acquire))
+    return {};
+  obs::Registry& reg = *telem_->reg;
+  const u64 tnow = obs::mono_ns();
+  const u64 prog = progress_.load(std::memory_order_relaxed);
+  reg.gauge("engine.progress")->set(static_cast<double>(prog));
+  reg.gauge("engine.live_tasks")
+      ->set(static_cast<double>(live_tasks_.load(std::memory_order_relaxed)));
+  if (prog != telem_->last_progress) {
+    telem_->last_progress = prog;
+    telem_->last_change_mono_ns = tnow;
+  }
+  // Heartbeat lag: how long since any grain completed — the supervisor's
+  // stall signal, exported continuously.
+  reg.gauge("engine.progress_stall_ns")
+      ->set(static_cast<double>(tnow - telem_->last_change_mono_ns));
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    const Worker& w = *workers_[i];
+    const std::string prefix = "engine.worker." + std::to_string(i);
+    reg.gauge(prefix + ".heartbeat")
+        ->set(static_cast<double>(w.heartbeat.load(std::memory_order_relaxed)));
+    reg.gauge(prefix + ".state")
+        ->set(static_cast<double>(w.state.load(std::memory_order_relaxed)));
+    reg.gauge(prefix + ".queue_depth")
+        ->set(static_cast<double>(w.deque.size_estimate()));
+  }
+  if (spool_sink_ != nullptr) {
+    reg.gauge("spool.payload_bytes")
+        ->set(static_cast<double>(spool_sink_->payload_bytes()));
+    u64 epochs = 0;
+    for (int w = 0; w < opts_.num_workers; ++w)
+      epochs += spool_sink_->epochs_sealed(static_cast<u32>(w));
+    reg.gauge("spool.epochs_sealed")->set(static_cast<double>(epochs));
+  }
+  obs::MetricsSnapshot snap = reg.snapshot();
+  snap.ts_ns = tnow;
+  return obs::encode_telemetry_payload(snap);
 }
 
 }  // namespace gg::rts

@@ -29,6 +29,7 @@
 
 #include "fault/fault.hpp"
 #include "front/front.hpp"
+#include "obs/metrics.hpp"
 #include "rts/central_queue.hpp"
 #include "rts/chase_lev_deque.hpp"
 #include "rts/supervisor.hpp"
@@ -64,6 +65,15 @@ struct Options {
   /// (hangs, deadlocked spins) and emits a structured diagnostic before
   /// aborting-with-flush. Off by default; see rts/supervisor.hpp.
   SupervisorOptions supervisor;
+  /// Self-telemetry: when set (or when GG_TELEMETRY=1 falls back to
+  /// obs::process_registry()), the engine publishes scheduler counters,
+  /// task-latency/queue-depth histograms and per-worker health gauges into
+  /// this registry, and — when spooling — streams periodic 'T' frames so
+  /// the run can be monitored live with `ggstat --follow`. Null with no
+  /// env override keeps every hot path bit-identical to the seed (one
+  /// untaken branch per site). Explicit per-engine registries keep future
+  /// multi-instance services (ggserved) isolated.
+  obs::Registry* telemetry = nullptr;
 };
 
 class ThreadedEngine final : public front::Engine {
@@ -88,6 +98,7 @@ class ThreadedEngine final : public front::Engine {
   struct Worker;
   struct LoopState;
   struct DepMap;
+  struct EngineTelemetry;
   class CtxImpl;
   friend class CtxImpl;
 
@@ -154,6 +165,19 @@ class ThreadedEngine final : public front::Engine {
   std::map<TaskId, std::vector<TaskId>> blocked_tasks_;
   std::mutex supervisor_note_mutex_;
   std::vector<std::string> supervisor_notes_;
+
+  // Self-telemetry (null when disabled). telem_ caches metric handles for
+  // the hot paths; telemetry_ready_ gates the spool's sampling callback,
+  // which can fire from the flusher thread before workers exist.
+  std::unique_ptr<EngineTelemetry> telem_;
+  std::atomic<bool> telemetry_ready_{false};
+  std::string telemetry_payload();  // live snapshot for 'T' frames
+  // Per-worker heartbeat/state upkeep feeds both the watchdog and the
+  // telemetry sampler; all stores are relaxed atomics, so enabling either
+  // consumer costs the same and disabling both is branch-only.
+  bool track_worker_health() const {
+    return supervising_ || telem_ != nullptr;
+  }
 
   std::chrono::steady_clock::time_point region_start_{};
   u64 tsc_base_ = 0;  // TSC value at region start (x86 fast timestamps)

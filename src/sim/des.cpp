@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/prng.hpp"
+#include "obs/exposition.hpp"
 #include "trace/recorder.hpp"
 
 namespace gg::sim {
@@ -886,6 +887,38 @@ Trace Simulator::run() {
 Trace simulate(const Program& prog, const SimOptions& opts) {
   Simulator sim(prog, opts);
   Trace trace = sim.run();
+  // Modeled self-telemetry: publish the threaded engine's `engine.*` schema
+  // from the simulated trace — deterministically, after the event loop, so
+  // the simulation itself stays byte-identical whether or not a registry is
+  // attached.
+  obs::Registry* telemetry = opts.telemetry;
+  if (telemetry == nullptr && obs::env_enabled())
+    telemetry = &obs::process_registry();
+  if (telemetry != nullptr) {
+    u64 spawned = 0, executed = 0, inlined = 0, steals = 0, steal_fails = 0;
+    for (const WorkerStatsRec& s : trace.worker_stats) {
+      spawned += s.tasks_spawned;
+      executed += s.tasks_executed;
+      inlined += s.tasks_inlined;
+      steals += s.steals;
+      steal_fails += s.steal_failures;
+    }
+    telemetry->counter("engine.tasks_spawned")->add(spawned);
+    telemetry->counter("engine.tasks_executed")->add(executed);
+    telemetry->counter("engine.tasks_inlined")->add(inlined);
+    telemetry->counter("engine.steals")->add(steals);
+    telemetry->counter("engine.steal_failures")->add(steal_fails);
+    obs::Histogram* task_lat = telemetry->histogram("engine.task_latency_ns");
+    for (const FragmentRec& f : trace.fragments)
+      task_lat->observe(f.end > f.start ? f.end - f.start : 0);
+    obs::Histogram* chunk_lat =
+        telemetry->histogram("engine.chunk_latency_ns");
+    for (const ChunkRec& c : trace.chunks)
+      chunk_lat->observe(c.end > c.start ? c.end - c.start : 0);
+    telemetry->gauge("engine.progress")
+        ->set(static_cast<double>(trace.grain_count()));
+    telemetry->gauge("engine.live_tasks")->set(0.0);
+  }
   // Modeled supervision: the scan must precede the spool round-trip so a
   // detected stall's provenance note survives in the spooled footer.
   if (opts.supervisor.enabled) {
@@ -904,8 +937,20 @@ Trace simulate(const Program& prog, const SimOptions& opts) {
   // exercises the same frame format and recovery invariants as the
   // threaded runtime — deterministically.
   if (opts.spool.enabled()) {
+    spool::SpoolOptions sopts = opts.spool;
+    if (telemetry != nullptr) {
+      // Deterministic modeled 'T' frames: one snapshot per seal round (the
+      // registry is already fully populated, so every frame is identical —
+      // what matters is that the frame/recover/ggstat path is exercised).
+      sopts.telemetry = telemetry;
+      if (!sopts.telemetry_source) {
+        sopts.telemetry_source = [telemetry] {
+          return obs::encode_telemetry_payload(telemetry->snapshot());
+        };
+      }
+    }
     std::string err;
-    if (spool::spool_trace(trace, opts.spool, &err)) {
+    if (spool::spool_trace(trace, sopts, &err)) {
       spool::RecoverResult rr = spool::recover_spool_file(opts.spool.path);
       if (rr.usable) {
         trace = std::move(rr.trace);

@@ -27,6 +27,7 @@
 #include "sim/memory_model.hpp"
 #include "sim/policy.hpp"
 #include "sim/program.hpp"
+#include "obs/metrics.hpp"
 #include "topology/topology.hpp"
 #include "trace/spool.hpp"
 #include "trace/trace.hpp"
@@ -52,6 +53,12 @@ struct SimOptions {
   /// a hit stamps a "supervisor ..." provenance note. A healthy simulation
   /// never trips this.
   rts::SupervisorOptions supervisor;
+  /// Modeled self-telemetry: when set (or GG_TELEMETRY=1 falls back to the
+  /// process registry), the simulator publishes the same `engine.*` metric
+  /// schema the threaded runtime emits — modeled counterparts, so analyses
+  /// built on one engine's telemetry read the other's unchanged. With
+  /// spooling, deterministic 'T' frames are interleaved into the spool.
+  obs::Registry* telemetry = nullptr;
 };
 
 /// Simulates `prog` and returns the finalized trace.

@@ -11,6 +11,9 @@
 #include <exception>
 #include <fstream>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace gg::spool {
 
 namespace {
@@ -362,7 +365,13 @@ bool decode_epoch_payload(std::string_view payload, RecordBuffer* out) {
   return r.ok && r.pos == payload.size();
 }
 
-bool decode_meta_payload(std::string_view payload, TraceMeta* out) {
+// Defined below the anonymous namespace (public: spool.hpp declares it for
+// spool-aware tools); forward-declared here for the decoders that use it.
+}  // namespace
+bool decode_meta_payload(std::string_view payload, TraceMeta* out);
+namespace {
+
+bool decode_meta_payload_impl(std::string_view payload, TraceMeta* out) {
   Reader r(payload);
   TraceMeta m;
   m.program = r.get_str();
@@ -385,8 +394,11 @@ bool decode_meta_payload(std::string_view payload, TraceMeta* out) {
   return true;
 }
 
+}  // namespace
+
 /// Checksum over (type, worker, seq, payload) — the header's self-describing
-/// fields plus the data they frame.
+/// fields plus the data they frame. Public (spool.hpp): spool-aware tools
+/// (ggstat) verify individual frames without a full recovery pass.
 u64 frame_checksum(FrameType type, u32 worker, u32 seq, const void* payload,
                    size_t len) noexcept {
   char prefix[9];
@@ -396,6 +408,8 @@ u64 frame_checksum(FrameType type, u32 worker, u32 seq, const void* payload,
   const u64 h = fnv1a(prefix, sizeof prefix);
   return fnv1a(payload, len, h);
 }
+
+namespace {
 
 /// Squashes a multi-line diagnostic into one provenance note ("; "-joined):
 /// notes must stay single-line for the text trace format.
@@ -500,6 +514,10 @@ void unregister_sink(SpoolSink* sink) {
 }  // namespace
 
 // --- public pure helpers ----------------------------------------------------
+
+bool decode_meta_payload(std::string_view payload, TraceMeta* out) {
+  return decode_meta_payload_impl(payload, out);
+}
 
 u64 fnv1a(const void* data, size_t len, u64 seed) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -641,11 +659,19 @@ std::unique_ptr<SpoolSink> SpoolSink::open(const SpoolOptions& opts,
     sink->write_frame_locked(FrameType::Meta, 0, 0,
                              encode_meta_payload(initial_meta));
   }
+  if (opts.telemetry != nullptr) {
+    sink->m_frames_ = opts.telemetry->counter("spool.frames_written");
+    sink->m_bytes_ = opts.telemetry->counter("spool.bytes_written");
+    sink->m_records_ = opts.telemetry->counter("spool.records_sealed");
+    sink->m_emergency_ = opts.telemetry->counter("spool.emergency_flushes");
+    sink->m_flush_ns_ = opts.telemetry->histogram("spool.flush_ns");
+  }
   if (opts.crash_handlers) {
     register_sink(sink.get());
     sink->handlers_registered_ = true;
   }
-  if (opts.flush_interval_ns > 0 || !opts.durable_epochs) {
+  if (opts.flush_interval_ns > 0 || !opts.durable_epochs ||
+      (opts.telemetry_interval_ns > 0 && opts.telemetry_source)) {
     sink->flusher_ = std::thread([s = sink.get()] { s->flusher_main(); });
   }
   return sink;
@@ -668,7 +694,17 @@ void SpoolSink::write_all(const char* data, size_t len) noexcept {
 }
 
 void SpoolSink::enqueue_or_write(std::string frame_bytes) {
+  if (m_frames_ != nullptr) {
+    m_frames_->add();
+    m_bytes_->add(frame_bytes.size());
+  }
   if (opts_.durable_epochs) {
+    if (m_flush_ns_ != nullptr) {
+      const u64 t0 = obs::mono_ns();
+      write_all(frame_bytes.data(), frame_bytes.size());
+      m_flush_ns_->observe(obs::mono_ns() - t0);
+      return;
+    }
     write_all(frame_bytes.data(), frame_bytes.size());
     return;
   }
@@ -701,6 +737,12 @@ void SpoolSink::seal_epoch(u32 worker, RecordBuffer& buf,
   if (buf.empty()) return;
   const std::string payload = encode_epoch_payload(buf);
   payload_bytes_.fetch_add(buf.payload_bytes(), std::memory_order_relaxed);
+  if (m_records_ != nullptr) {
+    m_records_->add(buf.tasks.size() + buf.fragments.size() +
+                    buf.joins.size() + buf.loops.size() + buf.chunks.size() +
+                    buf.bookkeeps.size() + buf.depends.size() +
+                    buf.worker_stats.size());
+  }
   buf.clear();
   std::lock_guard lock(file_mutex_);
   if (delta) {
@@ -733,8 +775,16 @@ void SpoolSink::append_dump(const std::string& text) {
   write_frame_locked(FrameType::Dump, 0, 0, text);
 }
 
+void SpoolSink::append_telemetry(std::string_view payload) {
+  if (payload.empty()) return;
+  if (closed_.load(std::memory_order_acquire)) return;
+  std::lock_guard lock(file_mutex_);
+  write_frame_locked(FrameType::Telemetry, 0, telemetry_seq_++, payload);
+}
+
 void SpoolSink::flusher_main() {
   auto last_request = std::chrono::steady_clock::now();
+  auto last_telemetry = last_request;
   auto drain = [this] {
     const u64 head = ring_head_.load(std::memory_order_acquire);
     while (ring_tail_ < head) {
@@ -767,6 +817,17 @@ void SpoolSink::flusher_main() {
         last_request = now;
       }
     }
+    if (opts_.telemetry_interval_ns > 0 && opts_.telemetry_source) {
+      const auto now = std::chrono::steady_clock::now();
+      const u64 since = static_cast<u64>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              now - last_telemetry)
+              .count());
+      if (since >= static_cast<u64>(opts_.telemetry_interval_ns)) {
+        append_telemetry(opts_.telemetry_source());
+        last_telemetry = now;
+      }
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   drain();
@@ -779,6 +840,9 @@ void SpoolSink::stop_flusher() {
 }
 
 void SpoolSink::finish(const TraceMeta& final_meta) {
+  // Final telemetry snapshot ahead of the footer, so a finished spool's
+  // last 'T' frame reflects the completed run (ggstat's one-shot view).
+  if (opts_.telemetry_source) append_telemetry(opts_.telemetry_source());
   if (closed_.exchange(true, std::memory_order_acq_rel)) return;
   {
     std::lock_guard lock(file_mutex_);
@@ -808,6 +872,8 @@ void SpoolSink::close_unclean() {
 void SpoolSink::emergency_flush(int sig, const char* reason) noexcept {
   if (crashed_.exchange(true, std::memory_order_acq_rel)) return;
   if (fd_ < 0) return;
+  // Counter::add is a lock-free fetch_add: async-signal-safe.
+  if (m_emergency_ != nullptr) m_emergency_->add();
   // Drain already-framed bytes still queued for the background flusher. The
   // state CAS makes this safe against a concurrently-running flusher: a
   // blob is only freed after it leaves the Ready state, and this path never
@@ -864,6 +930,8 @@ std::string RecoverReport::summary() const {
   if (frames_corrupt > 0) s += " corrupt=" + std::to_string(frames_corrupt);
   if (frames_out_of_order > 0)
     s += " out_of_order=" + std::to_string(frames_out_of_order);
+  if (telemetry_corrupt > 0)
+    s += " telemetry_corrupt=" + std::to_string(telemetry_corrupt);
   if (torn_tail) s += " torn-tail";
   s += " epochs=";
   for (size_t i = 0; i < epochs_per_worker.size(); ++i) {
@@ -946,9 +1014,18 @@ RecoverResult recover_spool_bytes(std::string_view bytes) {
                              static_cast<size_t>(payload_len);
     if (frame_checksum(type, worker, seq, payload.data(), payload.size()) !=
         checksum) {
-      ++rep.frames_corrupt;
-      rep.diagnostics.push_back("checksum mismatch in frame at offset " +
-                                std::to_string(pos) + ", skipped");
+      if (type == FrameType::Telemetry) {
+        // Telemetry is advisory: a corrupt snapshot degrades to "telemetry
+        // unavailable" without damaging the recovered trace.
+        ++rep.telemetry_corrupt;
+        rep.diagnostics.push_back("corrupt telemetry frame at offset " +
+                                  std::to_string(pos) +
+                                  ", telemetry degraded");
+      } else {
+        ++rep.frames_corrupt;
+        rep.diagnostics.push_back("checksum mismatch in frame at offset " +
+                                  std::to_string(pos) + ", skipped");
+      }
       pos = frame_end;
       continue;
     }
@@ -1053,6 +1130,14 @@ RecoverResult recover_spool_bytes(std::string_view bytes) {
         rep.crash_reason = !reason.empty()
                                ? reason
                                : "signal=" + std::to_string(sig);
+        ++rep.frames_kept;
+        break;
+      }
+      case FrameType::Telemetry: {
+        // Keep the last valid snapshot: a crashed run's final 'T' frame is
+        // its last known health state (ggstat reports it post-mortem).
+        rep.telemetry.assign(payload);
+        ++rep.telemetry_frames;
         ++rep.frames_kept;
         break;
       }
@@ -1197,12 +1282,16 @@ bool spool_trace(const Trace& trace, const SpoolOptions& opts,
     for (u32 w = 0; w < nw; ++w) {
       if (s < sliced[w].size()) sink->seal_epoch(w, sliced[w][s], delta);
     }
+    // Modeled telemetry: one snapshot per seal round, at a deterministic
+    // point in the frame stream (the threaded sink emits on a timer).
+    if (opts.telemetry_source) sink->append_telemetry(opts.telemetry_source());
   }
   sink->finish(trace.meta);
   return true;
 }
 
-std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes) {
+std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes,
+                              const std::vector<std::string>& telemetry) {
   const u32 nw = static_cast<u32>(std::max(1, trace.meta.num_workers));
   std::string out(kSpoolMagic);
   put_u32(out, nw);
@@ -1223,6 +1312,7 @@ std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes) {
     sliced[w] = slice_buffer(per[w], epoch_bytes);
     max_slices = std::max(max_slices, sliced[w].size());
   }
+  u32 tseq = 0;
   for (size_t s = 0; s < max_slices; ++s) {
     for (u32 w = 0; w < nw; ++w) {
       if (s < sliced[w].size()) {
@@ -1230,7 +1320,13 @@ std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes) {
                             encode_epoch_payload(sliced[w][s]));
       }
     }
+    if (tseq < telemetry.size()) {
+      out += encode_frame(FrameType::Telemetry, 0, tseq, telemetry[tseq]);
+      ++tseq;
+    }
   }
+  for (; tseq < telemetry.size(); ++tseq)
+    out += encode_frame(FrameType::Telemetry, 0, tseq, telemetry[tseq]);
   out += encode_frame(FrameType::CleanFooter, 0, 0,
                       encode_meta_payload(trace.meta));
   return out;

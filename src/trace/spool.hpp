@@ -23,6 +23,10 @@
 //   'D' dump          supervisor diagnostic text (hang/stall report)
 //   'C' crash footer  crash provenance (signal / terminate / abort)
 //   'F' clean footer  final TraceMeta; only a clean shutdown writes it
+//   'T' telemetry     periodic self-telemetry snapshot (opaque payload,
+//                     encoded by obs/exposition; see docs/FORMATS.md).
+//                     Advisory only: a corrupt 'T' frame degrades to
+//                     "telemetry unavailable", never to a damaged trace.
 // The checksum is FNV-1a 64 over (type, worker, seq, payload) — cheap,
 // async-signal-safe, and strong enough to reject torn or bit-flipped
 // frames with the corpus's adversarial inputs.
@@ -45,6 +49,12 @@
 
 #include "trace/trace.hpp"
 
+namespace gg::obs {
+class Registry;
+class Counter;
+class Histogram;
+}  // namespace gg::obs
+
 namespace gg::spool {
 
 // --- format constants -------------------------------------------------------
@@ -60,6 +70,7 @@ enum class FrameType : u8 {
   Dump = 'D',
   CrashFooter = 'C',
   CleanFooter = 'F',
+  Telemetry = 'T',
 };
 
 /// FNV-1a 64: the frame checksum. Loop-only, noexcept, async-signal-safe.
@@ -85,6 +96,19 @@ struct SpoolOptions {
   /// Install SIGSEGV/SIGABRT/SIGTERM + std::terminate emergency-flush
   /// handlers for the lifetime of the sink.
   bool crash_handlers = true;
+  /// Self-telemetry: when `telemetry_source` is set it is called from the
+  /// background flusher every `telemetry_interval_ns` and its (opaque)
+  /// payload is appended as a 'T' frame, so a live run can be monitored by
+  /// tailing the spool (`ggstat --follow`). An empty payload skips the
+  /// frame. 0/null (the default) emits nothing and the spool stream is
+  /// byte-identical to a build without telemetry.
+  TimeNs telemetry_interval_ns = 0;
+  std::function<std::string()> telemetry_source;
+  /// When set, the sink publishes its own counters/histograms
+  /// (spool.frames_written, spool.bytes_written, spool.records_sealed,
+  /// spool.emergency_flushes, spool.flush_ns) into this registry. Null (the
+  /// default) keeps the sink free of any telemetry branch cost.
+  obs::Registry* telemetry = nullptr;
 
   bool enabled() const { return !path.empty(); }
 };
@@ -160,6 +184,11 @@ class SpoolSink {
   /// Appends a supervisor diagnostic dump ('D' frame).
   void append_dump(const std::string& text);
 
+  /// Appends a self-telemetry snapshot ('T' frame, opaque payload). Called
+  /// by the background flusher on the telemetry interval; public so the
+  /// modeled path (spool_trace) and tests can emit snapshots directly.
+  void append_telemetry(std::string_view payload);
+
   /// Writes the clean-shutdown footer ('F' frame with the final meta) and
   /// closes the file. Recovery treats its absence as a crashed run.
   void finish(const TraceMeta& final_meta);
@@ -217,6 +246,15 @@ class SpoolSink {
   int num_workers_ = 0;
   std::mutex file_mutex_;  // serializes frame emission order
   u32 strings_flushed_ = 1;  // id 0 (the empty string) is implicit
+  u32 telemetry_seq_ = 0;  // guarded by file_mutex_
+
+  // Self-metrics (null when SpoolOptions::telemetry is unset). Counter
+  // updates are lock-free atomics, safe even from the emergency flush.
+  obs::Counter* m_frames_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_records_ = nullptr;
+  obs::Counter* m_emergency_ = nullptr;
+  obs::Histogram* m_flush_ns_ = nullptr;
   std::vector<std::atomic<u32>> epoch_seq_;
   std::vector<std::atomic<bool>> flush_due_;
   std::atomic<u64> payload_bytes_{0};
@@ -247,6 +285,12 @@ struct RecoverReport {
   bool clean_footer = false;  ///< 'F' frame present: a clean shutdown
   std::string crash_reason;   ///< from the 'C' footer, "" if none
   std::string supervisor_dump;///< concatenated 'D' frames, "" if none
+  std::string telemetry;      ///< last valid 'T' payload, "" if none
+  u64 telemetry_frames = 0;   ///< valid 'T' frames seen
+  /// Corrupt 'T' frames. Deliberately NOT part of frames_corrupt: telemetry
+  /// is advisory, so its corruption degrades to "telemetry unavailable"
+  /// without marking the trace itself damaged.
+  u64 telemetry_corrupt = 0;
   std::vector<u64> epochs_per_worker;
   std::vector<std::string> diagnostics;  ///< human-readable skip reasons
 
@@ -285,8 +329,15 @@ bool spool_trace(const Trace& trace, const SpoolOptions& opts,
                  std::string* error = nullptr);
 
 /// Pure in-memory variant of spool_trace for corpus construction: same
-/// frame stream, no filesystem.
-std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes);
+/// frame stream, no filesystem. Each entry of `telemetry` is appended as a
+/// 'T' frame after successive seal rounds (leftovers before the footer).
+std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes,
+                              const std::vector<std::string>& telemetry = {});
+
+/// Decodes an 'M'/'F' frame payload into *meta (strict; false on any
+/// malformed field). Public so spool-aware tools (ggstat) can identify a
+/// run without replaying its records.
+bool decode_meta_payload(std::string_view payload, TraceMeta* meta);
 
 // --- frame scanning (fault injection + diagnostics) -------------------------
 
@@ -302,5 +353,10 @@ struct FrameSpan {
 /// torn/garbled header. The fault layer uses this to aim corruption at
 /// specific frames.
 std::vector<FrameSpan> scan_frames(std::string_view bytes);
+
+/// The frame checksum (FNV-1a over type, worker, seq, payload). Public so
+/// spool-aware tools (ggstat) can verify an individual frame in place.
+u64 frame_checksum(FrameType type, u32 worker, u32 seq, const void* payload,
+                   size_t len) noexcept;
 
 }  // namespace gg::spool

@@ -246,6 +246,22 @@ std::string TraceMeta::supervisor_note() const {
   return note_with_prefix(notes, "supervisor");
 }
 
+std::string TraceMeta::recorder_note() const {
+  return note_with_prefix(notes, "recorder");
+}
+
+std::optional<double> TraceMeta::recorder_overhead_pct() const {
+  const std::string note = recorder_note();
+  const std::string key = "overhead_pct=";
+  const size_t at = note.find(key);
+  if (at == std::string::npos) return std::nullopt;
+  try {
+    return std::stod(note.substr(at + key.size()));
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
 StrId intern_src(StringTable& strings, std::string_view file, int line,
                  std::string_view func) {
   std::string s;

@@ -49,6 +49,15 @@ struct TraceMeta {
 
   /// The supervisor's stall diagnostic (single line, "; "-joined), or "".
   std::string supervisor_note() const;
+
+  /// The recorder's self-measured overhead note ("overhead_pct=0.42
+  /// events=N est_ns_per_event=25"), stamped by the threaded engine when
+  /// telemetry is enabled, or "" when the run did not self-measure.
+  std::string recorder_note() const;
+
+  /// Parsed overhead percentage from recorder_note(), if present. Reports
+  /// compare it against the paper's 2.5% instrumentation budget.
+  std::optional<double> recorder_overhead_pct() const;
 };
 
 class Trace {

@@ -379,6 +379,62 @@ TEST(SpoolCorpusTest, ChecksumRotSkipsTheRottedFrame) {
   }
 }
 
+TEST(SpoolCorpusTest, TelemetryDamageDegradesWithoutHurtingRecords) {
+  // Telemetry ('T') frames are advisory: every way of damaging one must
+  // degrade to "telemetry unavailable" (or the previous snapshot) and must
+  // never surface as a damaged trace.
+  const std::vector<std::string> payloads = {"snap-a", "snap-b", "snap-c"};
+  const std::string bytes = spool::spool_trace_bytes(
+      make_corpus_trace(), /*epoch_bytes=*/128, payloads);
+  const auto records_of = [](const Trace& t) {
+    std::ostringstream os;
+    save_trace(t, os);
+    return os.str();
+  };
+  const spool::RecoverResult clean = spool::recover_spool_bytes(bytes);
+  ASSERT_TRUE(clean.usable) << clean.report.summary();
+  ASSERT_EQ(clean.report.telemetry_frames, payloads.size());
+  EXPECT_EQ(clean.report.telemetry, payloads.back());
+  const std::string clean_records = records_of(clean.trace);
+
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    // Payload rot: exactly one 'T' frame fails its checksum. The records
+    // and the footer survive untouched and the damage is counted in
+    // telemetry_corrupt, never in frames_corrupt.
+    const std::string rotted =
+        fault::flip_spool_telemetry(bytes, i, /*seed=*/i + 1);
+    ASSERT_NE(rotted, bytes) << "T frame " << i << " not found";
+    check_spool_invariants(rotted);
+    const spool::RecoverResult rr = spool::recover_spool_bytes(rotted);
+    ASSERT_TRUE(rr.usable) << "rotted T frame " << i;
+    EXPECT_EQ(rr.report.telemetry_corrupt, 1u) << "T frame " << i;
+    EXPECT_EQ(rr.report.telemetry_frames, payloads.size() - 1);
+    EXPECT_EQ(rr.report.frames_corrupt, 0u) << "T frame " << i;
+    EXPECT_TRUE(rr.report.clean_footer) << "T frame " << i;
+    EXPECT_FALSE(rr.report.partial()) << "T frame " << i;
+    EXPECT_EQ(records_of(rr.trace), clean_records) << "T frame " << i;
+    // The last *intact* snapshot is served, or none when the newest rotted.
+    EXPECT_EQ(rr.report.telemetry,
+              i + 1 == payloads.size() ? payloads[i - 1] : payloads.back());
+  }
+
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    // Crash mid-telemetry-write: the stream ends inside the 'T' frame's
+    // payload. Everything spooled before it must survive; telemetry
+    // degrades to the previous snapshot (or to "unavailable").
+    const std::string torn =
+        fault::truncate_spool_telemetry(bytes, i, /*keep_payload=*/2);
+    ASSERT_LT(torn.size(), bytes.size()) << "T frame " << i << " not found";
+    check_spool_invariants(torn);
+    const spool::RecoverResult rr = spool::recover_spool_bytes(torn);
+    ASSERT_TRUE(rr.usable) << "torn T frame " << i;
+    EXPECT_TRUE(rr.report.torn_tail) << "torn T frame " << i;
+    EXPECT_FALSE(rr.report.clean_footer);
+    EXPECT_EQ(rr.report.telemetry_frames, i);
+    EXPECT_EQ(rr.report.telemetry, i == 0 ? "" : payloads[i - 1]);
+  }
+}
+
 TEST(SpoolCorpusTest, EmptyAndGarbageSpoolsFailCleanly) {
   for (const std::string& bytes :
        {std::string(), std::string("garbage"), std::string("GGSPOOL1\n"),

@@ -33,7 +33,17 @@
 //                            notes. Inputs named *.ggspool or starting with
 //                            the spool magic take this path automatically.
 //     --timing               print input size and per-stage wall times
-//                            (load/graph/grains/metrics/problems) to stderr
+//                            (load/graph/grains/metrics/problems/exports,
+//                            with a per-metric-pass breakdown) to stderr;
+//                            --json summaries gain a machine-readable
+//                            "timings" object
+//     --telemetry[=prom|json|chrome]
+//                            self-telemetry of this invocation: install a
+//                            process metrics registry + span tracer, then
+//                            dump it on exit — Prometheus text (default) or
+//                            JSON to stderr, chrome writes span timeline to
+//                            gganalyze.telemetry.json. GG_TELEMETRY=1 in
+//                            the environment implies --telemetry=prom.
 //     --threads <N>          metric-computation threads (0 = auto; results
 //                            are bit-identical for every setting)
 //     --legacy-parse         use the original istream-based text parser
@@ -61,6 +71,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -80,6 +91,8 @@
 #include "graph/reductions.hpp"
 #include "graph/summarize.hpp"
 #include "front/front.hpp"
+#include "obs/exposition.hpp"
+#include "obs/telemetry.hpp"
 #include "rts/threaded_engine.hpp"
 #include "trace/salvage.hpp"
 #include "trace/serialize.hpp"
@@ -99,7 +112,7 @@ int usage(const char* argv0) {
                "[--chrome f] [--reduced] [--summarize N] [--compare t] "
                "[--topology opteron48|generic4|generic16] [--timeline] "
                "[--strict|--salvage|--recover] [--timing] [--threads N] "
-               "[--legacy-parse]\n"
+               "[--legacy-parse] [--telemetry[=prom|json|chrome]]\n"
                "       %s --selftest [programs] [schedules]\n"
                "  --recover  treat the input as a crash spool (.ggspool is\n"
                "             auto-detected): replay the longest valid frame\n"
@@ -364,6 +377,8 @@ int main(int argc, char** argv) {
   bool reduced = false, timeline = false;
   bool strict = false, salvage = false, recover = false;
   bool timing = false, legacy_parse = false;
+  std::string telemetry_mode;  // "", "prom", "json", or "chrome"
+  if (obs::env_enabled()) telemetry_mode = "prom";
   int threads = 0;
   size_t summarize_budget = 0;
   for (int i = 2; i < argc; ++i) {
@@ -441,6 +456,15 @@ int main(int argc, char** argv) {
       timeline = true;
     } else if (arg == "--timing") {
       timing = true;
+    } else if (arg == "--telemetry" || arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_mode = arg == "--telemetry" ? "prom" : arg.substr(12);
+      if (telemetry_mode != "prom" && telemetry_mode != "json" &&
+          telemetry_mode != "chrome") {
+        std::fprintf(stderr,
+                     "--telemetry expects prom, json, or chrome (got '%s')\n",
+                     telemetry_mode.c_str());
+        return 2;
+      }
     } else if (arg == "--legacy-parse") {
       legacy_parse = true;
     } else if (arg == "--strict") {
@@ -462,6 +486,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Self-telemetry of this invocation. Installed before the load so every
+  // phase span lands in the tracer; static storage outlives all phases.
+  static obs::Telemetry self_telemetry;
+  if (!telemetry_mode.empty()) obs::install(&self_telemetry);
+
   // Crash spools take their own ingestion path: frame-level recovery, then
   // the regular salvage pass over whatever the spool preserved.
   const bool spool_input =
@@ -472,11 +501,13 @@ int main(int argc, char** argv) {
 
   LoadResult lr;
   i64 load_ns = 0;
+  obs::PhaseSpan load_span("gganalyze.load");
   if (spool_input) {
     const i64 load_start = now_ns();
     std::string rec_err;
     spool::RecoverResult rr = spool::recover_spool_file(trace_path, &rec_err);
     load_ns = now_ns() - load_start;
+    load_span.end();
     if (!rr.usable) {
       std::fprintf(stderr, "error: spool recovery failed: %s\n",
                    rec_err.empty() ? rr.report.summary().c_str()
@@ -516,6 +547,7 @@ int main(int argc, char** argv) {
     const i64 load_start = now_ns();
     lr = load_trace_file_ex(trace_path, lopts);
     load_ns = now_ns() - load_start;
+    load_span.end();
     if (!lr.usable()) {
       std::fprintf(stderr, "error: %s", lr.describe().c_str());
       return salvage ? 4 : 1;
@@ -557,26 +589,18 @@ int main(int argc, char** argv) {
   }
   AnalysisTimings timings;
   const Analysis a = analyze(*trace, topo, opts, &timings);
-  if (timing) {
-    std::error_code ec;
-    const auto input_bytes = std::filesystem::file_size(trace_path, ec);
-    std::fprintf(stderr,
-                 "[timing] input %llu bytes (%s engine)\n"
-                 "[timing] load     %10.3f ms\n"
-                 "[timing] graph    %10.3f ms\n"
-                 "[timing] grains   %10.3f ms\n"
-                 "[timing] metrics  %10.3f ms (%d thread(s) requested)\n"
-                 "[timing] problems %10.3f ms\n"
-                 "[timing] total    %10.3f ms\n",
-                 ec ? 0ULL : static_cast<unsigned long long>(input_bytes),
-                 legacy_parse ? "legacy" : "fast",
-                 static_cast<double>(load_ns) / 1e6,
-                 static_cast<double>(timings.graph_ns) / 1e6,
-                 static_cast<double>(timings.grains_ns) / 1e6,
-                 static_cast<double>(timings.metrics_ns) / 1e6, threads,
-                 static_cast<double>(timings.problems_ns) / 1e6,
-                 static_cast<double>(load_ns + timings.total_ns()) / 1e6);
-  }
+  PipelineTimings ptimings;
+  ptimings.load_ns = load_ns;
+  ptimings.analysis = timings;
+  // Times one export stage: phase span + wall time, both named. The JSON
+  // summary runs last so its "timings" object can include every other
+  // export that ran.
+  auto timed_export = [&](const char* name, auto&& fn) {
+    obs::PhaseSpan span(name);
+    const i64 t0 = now_ns();
+    fn();
+    ptimings.exports.emplace_back(name, now_ns() - t0);
+  };
   std::printf("%s", render_report(*trace, a).c_str());
   std::printf("%s", render_recommendations(recommend(*trace, a)).c_str());
 
@@ -603,49 +627,130 @@ int main(int argc, char** argv) {
   }
 
   if (!graphml_path.empty()) {
-    GraphMlOptions gopts;
-    gopts.view = view;
-    bool ok;
-    if (summarize_budget > 0) {
-      const SummarizeResult s = summarize_graph(a.graph, summarize_budget);
-      std::printf("summarized to %zu nodes (cut depth %zu)\n",
-                  s.graph.node_count(), s.cut_depth);
-      ok = write_graphml_file(graphml_path, s.graph, *trace, nullptr, nullptr,
-                              gopts);
-    } else if (reduced) {
-      const GrainGraph r = reduce_graph(a.graph, ReductionOptions{});
-      ok = write_graphml_file(graphml_path, r, *trace, nullptr, nullptr, gopts);
-    } else {
-      ok = write_graphml_file(graphml_path, a.graph, *trace, &a.grains,
-                              &a.metrics, gopts);
-    }
-    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
-                graphml_path.c_str());
+    timed_export("export.graphml", [&] {
+      GraphMlOptions gopts;
+      gopts.view = view;
+      bool ok;
+      if (summarize_budget > 0) {
+        const SummarizeResult s = summarize_graph(a.graph, summarize_budget);
+        std::printf("summarized to %zu nodes (cut depth %zu)\n",
+                    s.graph.node_count(), s.cut_depth);
+        ok = write_graphml_file(graphml_path, s.graph, *trace, nullptr,
+                                nullptr, gopts);
+      } else if (reduced) {
+        const GrainGraph r = reduce_graph(a.graph, ReductionOptions{});
+        ok = write_graphml_file(graphml_path, r, *trace, nullptr, nullptr,
+                                gopts);
+      } else {
+        ok = write_graphml_file(graphml_path, a.graph, *trace, &a.grains,
+                                &a.metrics, gopts);
+      }
+      std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                  graphml_path.c_str());
+    });
   }
   if (!dot_path.empty()) {
-    const bool ok =
-        reduced
-            ? write_dot_file(dot_path, reduce_graph(a.graph, ReductionOptions{}),
-                             *trace)
-            : write_dot_file(dot_path, a.graph, *trace);
-    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", dot_path.c_str());
+    timed_export("export.dot", [&] {
+      const bool ok =
+          reduced ? write_dot_file(dot_path,
+                                   reduce_graph(a.graph, ReductionOptions{}),
+                                   *trace)
+                  : write_dot_file(dot_path, a.graph, *trace);
+      std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                  dot_path.c_str());
+    });
   }
   if (!csv_path.empty()) {
-    const bool ok = write_grain_csv_file(csv_path, *trace, a.grains, a.metrics);
-    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", csv_path.c_str());
-  }
-  if (!json_path.empty()) {
-    const bool ok = write_json_summary_file(json_path, *trace, a);
-    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", json_path.c_str());
+    timed_export("export.csv", [&] {
+      const bool ok =
+          write_grain_csv_file(csv_path, *trace, a.grains, a.metrics);
+      std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                  csv_path.c_str());
+    });
   }
   if (!html_path.empty()) {
-    const bool ok = write_html_report_file(html_path, *trace, a);
-    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", html_path.c_str());
+    timed_export("export.html", [&] {
+      const bool ok = write_html_report_file(html_path, *trace, a);
+      std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                  html_path.c_str());
+    });
   }
   if (!chrome_path.empty()) {
-    const bool ok = write_chrome_trace_file(chrome_path, *trace);
-    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
-                chrome_path.c_str());
+    timed_export("export.chrome", [&] {
+      const bool ok = write_chrome_trace_file(chrome_path, *trace);
+      std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                  chrome_path.c_str());
+    });
+  }
+  // JSON runs last: with --timing its summary embeds the wall time of every
+  // export above (its own slot is appended after it finishes).
+  if (!json_path.empty()) {
+    timed_export("export.json", [&] {
+      const bool ok = write_json_summary_file(json_path, *trace, a,
+                                              timing ? &ptimings : nullptr);
+      std::printf("%s %s\n", ok ? "wrote" : "FAILED to write",
+                  json_path.c_str());
+    });
+  }
+
+  if (timing) {
+    std::error_code ec;
+    const auto input_bytes = std::filesystem::file_size(trace_path, ec);
+    std::fprintf(stderr,
+                 "[timing] input %llu bytes (%s engine)\n"
+                 "[timing] load     %10.3f ms\n"
+                 "[timing] graph    %10.3f ms\n"
+                 "[timing] grains   %10.3f ms\n"
+                 "[timing] metrics  %10.3f ms (%d thread(s) requested)\n",
+                 ec ? 0ULL : static_cast<unsigned long long>(input_bytes),
+                 legacy_parse ? "legacy" : "fast",
+                 static_cast<double>(load_ns) / 1e6,
+                 static_cast<double>(timings.graph_ns) / 1e6,
+                 static_cast<double>(timings.grains_ns) / 1e6,
+                 static_cast<double>(timings.metrics_ns) / 1e6, threads);
+    const MetricPassTimings& mp = timings.metric_passes;
+    std::fprintf(stderr,
+                 "[timing]   benefit       %10.3f ms\n"
+                 "[timing]   load_balance  %10.3f ms\n"
+                 "[timing]   parallelism   %10.3f ms\n"
+                 "[timing]   scatter       %10.3f ms\n"
+                 "[timing]   critical_path %10.3f ms\n",
+                 static_cast<double>(mp.benefit_ns) / 1e6,
+                 static_cast<double>(mp.load_balance_ns) / 1e6,
+                 static_cast<double>(mp.parallelism_ns) / 1e6,
+                 static_cast<double>(mp.scatter_ns) / 1e6,
+                 static_cast<double>(mp.critical_path_ns) / 1e6);
+    std::fprintf(stderr, "[timing] problems %10.3f ms\n",
+                 static_cast<double>(timings.problems_ns) / 1e6);
+    i64 export_ns = 0;
+    for (const auto& [name, ns] : ptimings.exports) {
+      std::fprintf(stderr, "[timing] %-8s %10.3f ms (%s)\n", "export",
+                   static_cast<double>(ns) / 1e6, name.c_str());
+      export_ns += ns;
+    }
+    std::fprintf(stderr, "[timing] total    %10.3f ms\n",
+                 static_cast<double>(load_ns + timings.total_ns() +
+                                     export_ns) / 1e6);
+  }
+
+  if (!telemetry_mode.empty()) {
+    obs::MetricsSnapshot snap = self_telemetry.registry.snapshot();
+    snap.ts_ns = static_cast<u64>(now_ns());
+    if (telemetry_mode == "prom") {
+      std::fputs(obs::render_prometheus(snap).c_str(), stderr);
+    } else if (telemetry_mode == "json") {
+      std::fputs(obs::render_json(snap).c_str(), stderr);
+    } else {  // chrome
+      const char* span_path = "gganalyze.telemetry.json";
+      std::ofstream os(span_path);
+      if (os) {
+        obs::write_chrome_spans(os, self_telemetry.tracer.spans());
+        std::fprintf(stderr, "telemetry spans written to %s\n", span_path);
+      } else {
+        std::fprintf(stderr, "FAILED to write %s\n", span_path);
+      }
+    }
+    obs::install(nullptr);
   }
   return lr.status == LoadStatus::Salvaged ? 3 : 0;
 }
