@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <fstream>
 #include <algorithm>
 #include <optional>
 #include <sstream>
@@ -84,6 +85,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::SpoolEpochTruncate: return "spool-epoch-truncate";
     case FaultKind::SpoolTornFrame: return "spool-torn-frame";
     case FaultKind::SpoolChecksumFlip: return "spool-checksum-flip";
+    case FaultKind::SpoolSlowWriter: return "spool-slow-writer";
+    case FaultKind::SpoolMidStreamGarble: return "spool-mid-stream-garble";
+    case FaultKind::SpoolFooterLoss: return "spool-footer-loss";
   }
   return "?";
 }
@@ -338,6 +342,92 @@ std::string flip_spool_telemetry(std::string bytes, size_t index, u64 seed) {
       f->offset + spool::kFrameHeaderBytes + rng.bounded(payload);
   const int bit = static_cast<int>(rng.bounded(8));
   return flip_bit(std::move(bytes), offset, bit);
+}
+
+// --- live-tail injection ----------------------------------------------------
+
+namespace {
+
+constexpr u64 kLiveSalt = 0x11F3;
+
+/// A noise byte that can never start a "GGSF" magic, so injected garbage
+/// stays garbage no matter how the resync scanner lands on it.
+u8 noise_byte(Xoshiro256& rng) {
+  const u8 b = static_cast<u8>(rng.bounded(256));
+  return b == 'G' ? 0xA5 : b;
+}
+
+std::string transform_for_plan(std::string bytes,
+                               const LiveWriterPlan& plan) {
+  Xoshiro256 rng(mix64(plan.seed ^ kLiveSalt));
+  if (plan.garble_frame != SIZE_MAX) {
+    const std::vector<spool::FrameSpan> frames = spool::scan_frames(bytes);
+    if (plan.garble_frame < frames.size()) {
+      const size_t off = frames[plan.garble_frame].offset;
+      for (size_t i = 0; i < 4 && off + i < bytes.size(); ++i) {
+        bytes[off + i] = static_cast<char>(noise_byte(rng));
+      }
+    }
+  }
+  switch (plan.ending) {
+    case LiveWriterPlan::Ending::Clean:
+      break;
+    case LiveWriterPlan::Ending::FooterlessCrash: {
+      const std::vector<spool::FrameSpan> frames = spool::scan_frames(bytes);
+      if (!frames.empty() &&
+          (frames.back().type == spool::FrameType::CleanFooter ||
+           frames.back().type == spool::FrameType::CrashFooter)) {
+        bytes.resize(frames.back().offset);
+      }
+      break;
+    }
+    case LiveWriterPlan::Ending::TornFrame: {
+      const std::vector<spool::FrameSpan> frames = spool::scan_frames(bytes);
+      if (!frames.empty()) {
+        bytes = tear_spool_frame(std::move(bytes), frames.size() - 1,
+                                 plan.torn_payload_bytes);
+      }
+      break;
+    }
+    case LiveWriterPlan::Ending::Garbage: {
+      for (size_t i = 0; i < plan.garbage_bytes; ++i) {
+        bytes.push_back(static_cast<char>(noise_byte(rng)));
+      }
+      break;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+LiveSpoolWriter::LiveSpoolWriter(std::string path, std::string spool_bytes,
+                                 const LiveWriterPlan& plan)
+    : path_(std::move(path)),
+      bytes_(transform_for_plan(std::move(spool_bytes), plan)),
+      rng_state_(mix64(plan.seed ^ kLiveSalt) ^ 0x51ED),
+      plan_(plan) {}
+
+size_t LiveSpoolWriter::step() {
+  if (done()) return 0;
+  const size_t lo = std::max<size_t>(plan_.chunk_min, 1);
+  const size_t hi = std::max(plan_.chunk_max, lo);
+  rng_state_ += 0x9e3779b97f4a7c15ull;
+  const size_t span = lo + static_cast<size_t>(mix64(rng_state_) %
+                                               (hi - lo + 1));
+  const size_t n = std::min(span, bytes_.size() - pos_);
+  std::ofstream os(path_, std::ios::binary | std::ios::app);
+  os.write(bytes_.data() + pos_, static_cast<std::streamsize>(n));
+  os.flush();
+  if (!os) return 0;
+  pos_ += n;
+  return n;
+}
+
+void LiveSpoolWriter::finish() {
+  while (!done()) {
+    if (step() == 0) break;
+  }
 }
 
 }  // namespace gg::fault

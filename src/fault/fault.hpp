@@ -20,6 +20,7 @@
 // bit-identical damage, so a failing corpus case is a reproducible test.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,9 @@ enum class FaultKind : u8 {
   SpoolEpochTruncate,  ///< spool cut at a frame boundary (lost epochs)
   SpoolTornFrame,      ///< spool's final frame half-written (torn write)
   SpoolChecksumFlip,   ///< one spool frame's checksum no longer matches
+  SpoolSlowWriter,     ///< live writer appending in tiny unaligned slices
+  SpoolMidStreamGarble,  ///< garbled span mid-stream, valid frames after
+  SpoolFooterLoss,       ///< writer died after its last epoch, no footer
 };
 
 const char* to_string(FaultKind kind);
@@ -149,5 +153,71 @@ std::string truncate_spool_telemetry(std::string bytes, size_t index,
 /// position). The damage must surface as telemetry_corrupt — never as a
 /// damaged trace.
 std::string flip_spool_telemetry(std::string bytes, size_t index, u64 seed);
+
+// --- live-tail injection (serving layer) ------------------------------------
+//
+// The batch corruptions above damage a *finished* file; a streaming
+// ingester (src/serve/) additionally has to survive damage that unfolds
+// over time: a slow writer whose write(2) boundaries land mid-frame, a
+// tail that stays torn because the writer died inside a write, garbage in
+// the middle of an otherwise healthy stream, and a worker SIGKILLed after
+// its last epoch but before the footer. LiveSpoolWriter replays a
+// finished spool byte stream through exactly those shapes, one
+// deterministic slice per step(), so tailer tests interleave writer
+// progress with poll() calls under a fake clock.
+
+struct LiveWriterPlan {
+  u64 seed = 1;  ///< drives the write-slice schedule and garbage bytes
+
+  /// Every step() appends one slice of [chunk_min, chunk_max] bytes —
+  /// deliberately unaligned with frame boundaries (SpoolSlowWriter).
+  size_t chunk_min = 1;
+  size_t chunk_max = 4096;
+
+  enum class Ending : u8 {
+    Clean,           ///< whole stream lands, footer included
+    FooterlessCrash, ///< SIGKILL after the last epoch: footer never written
+    TornFrame,       ///< crash inside write(2): final frame's header plus
+                     ///< torn_payload_bytes land, the rest never does
+    Garbage,         ///< tail rot: garbage_bytes of noise after the last
+                     ///< intact frame (which is checksum-valid)
+  };
+  Ending ending = Ending::Clean;
+  size_t torn_payload_bytes = 5;  ///< for TornFrame
+  size_t garbage_bytes = 64;      ///< for Garbage
+
+  /// When < SIZE_MAX: frame `garble_frame`'s magic is overwritten with
+  /// noise (length preserved), so a tailer sees a garbled span followed by
+  /// checksum-valid frames — the resync-past-the-deadline scenario
+  /// (SpoolMidStreamGarble). Batch recovery over the same final file stops
+  /// at the garble; the tailer is allowed to do better (lose one frame).
+  size_t garble_frame = SIZE_MAX;
+};
+
+/// Appends a transformed spool stream to `path`, one deterministic slice
+/// per step(). The transformation (ending + garble) happens up front, so
+/// total_bytes() is the final file size from the start.
+class LiveSpoolWriter {
+ public:
+  LiveSpoolWriter(std::string path, std::string spool_bytes,
+                  const LiveWriterPlan& plan = {});
+
+  /// Appends the next slice; returns bytes written, 0 once done.
+  size_t step();
+  /// step() until done (the batch-equivalent final file).
+  void finish();
+
+  bool done() const { return pos_ >= bytes_.size(); }
+  size_t total_bytes() const { return bytes_.size(); }
+  size_t written_bytes() const { return pos_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string bytes_;  ///< post-transformation stream
+  size_t pos_ = 0;
+  u64 rng_state_;
+  LiveWriterPlan plan_;
+};
 
 }  // namespace gg::fault

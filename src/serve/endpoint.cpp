@@ -1,0 +1,151 @@
+#include "serve/endpoint.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gg::serve {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 64 * 1024;
+
+bool fill_addr(const std::string& path, sockaddr_un* addr,
+               std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return false;
+  }
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+void write_all_fd(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+/// Reads until '\n' or EOF (bounded); the request is the first line.
+std::string read_request(int fd) {
+  std::string req;
+  char buf[4096];
+  while (req.size() < kMaxRequestBytes) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    req.append(buf, static_cast<size_t>(n));
+    if (req.find('\n') != std::string::npos) break;
+  }
+  const size_t nl = req.find('\n');
+  if (nl != std::string::npos) req.resize(nl);
+  if (!req.empty() && req.back() == '\r') req.pop_back();
+  return req;
+}
+
+}  // namespace
+
+Endpoint::Endpoint(std::string socket_path, Handler handler)
+    : path_(std::move(socket_path)), handler_(std::move(handler)) {}
+
+Endpoint::~Endpoint() { stop(); }
+
+bool Endpoint::start(std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(path_, &addr, error)) return false;
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  ::unlink(path_.c_str());  // a stale socket from a dead daemon
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr)
+      *error = "cannot bind " + path_ + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Endpoint::stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(path_.c_str());
+}
+
+void Endpoint::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::string request = read_request(fd);
+    const std::string response = handler_ ? handler_(request) : std::string();
+    write_all_fd(fd, response.data(), response.size());
+    ::shutdown(fd, SHUT_WR);
+    ::close(fd);
+  }
+}
+
+bool endpoint_request(const std::string& socket_path,
+                      const std::string& request, std::string* response,
+                      std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(socket_path, &addr, error)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (error != nullptr)
+      *error = "cannot connect to " + socket_path + ": " +
+               std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  std::string line = request;
+  if (line.empty() || line.back() != '\n') line.push_back('\n');
+  write_all_fd(fd, line.data(), line.size());
+  ::shutdown(fd, SHUT_WR);
+  response->clear();
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    response->append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace gg::serve

@@ -1,0 +1,50 @@
+// AF_UNIX line-protocol endpoint for ggserved.
+//
+// Transport only: one request line per connection, the handler's response
+// bytes written back, connection closed. The protocol lives in
+// Server::query(); ggstat --connect is the matching client. Deliberately
+// minimal — the resilience story of this PR is in the ingestion path, not
+// the wire format.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace gg::serve {
+
+class Endpoint {
+ public:
+  using Handler = std::function<std::string(const std::string&)>;
+
+  Endpoint(std::string socket_path, Handler handler);
+  ~Endpoint();
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Binds + listens + starts the accept thread. False with *error set on
+  /// failure (stale sockets at the path are unlinked first).
+  bool start(std::string* error);
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void accept_loop();
+
+  std::string path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+/// Client half (ggstat --connect): sends one request line, returns the
+/// whole response. False with *error set on connect/IO failure.
+bool endpoint_request(const std::string& socket_path,
+                      const std::string& request, std::string* response,
+                      std::string* error);
+
+}  // namespace gg::serve

@@ -1,0 +1,414 @@
+#include "serve/server.hpp"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "serve/endpoint.hpp"
+
+namespace gg::serve {
+
+namespace {
+
+bool has_spool_suffix(const std::string& name) {
+  static constexpr const char kSuffix[] = ".ggspool";
+  static constexpr size_t kSuffixLen = sizeof kSuffix - 1;
+  return name.size() > kSuffixLen &&
+         name.compare(name.size() - kSuffixLen, kSuffixLen, kSuffix) == 0;
+}
+
+std::string first_word(const std::string& line, std::string* rest) {
+  size_t sp = line.find(' ');
+  if (sp == std::string::npos) {
+    rest->clear();
+    return line;
+  }
+  std::string word = line.substr(0, sp);
+  while (sp < line.size() && line[sp] == ' ') ++sp;
+  *rest = line.substr(sp);
+  while (!rest->empty() && rest->back() == ' ') rest->pop_back();
+  return word;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& opts)
+    : opts_(opts), admission_(opts.admission, opts.telemetry) {
+  if (opts_.telemetry != nullptr) {
+    m_ticks_ = opts_.telemetry->counter("serve.ticks");
+    m_frames_ = opts_.telemetry->counter("serve.frames_applied");
+    m_attached_ = opts_.telemetry->counter("serve.sessions_attached");
+    m_stalls_ = opts_.telemetry->counter("serve.watchdog_stalls");
+  }
+}
+
+Server::~Server() {
+  stop();
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+  if (endpoint_) endpoint_->stop();
+}
+
+u64 Server::now_ns() const {
+  return opts_.clock ? opts_.clock() : obs::mono_ns();
+}
+
+bool Server::attach(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.count(path) != 0) return false;
+  sessions_.emplace(path, std::make_unique<Session>(next_id_++, path,
+                                                    opts_.session));
+  ever_attached_ = true;
+  if (m_attached_ != nullptr) m_attached_->add();
+  return true;
+}
+
+void Server::scan_dir_locked(u64 now) {
+  if (opts_.dir.empty() || now < next_scan_ns_) return;
+  next_scan_ns_ = now + opts_.scan_interval_ns;
+  DIR* dir = ::opendir(opts_.dir.c_str());
+  if (dir == nullptr) return;
+  while (dirent* ent = ::readdir(dir)) {
+    const std::string name = ent->d_name;
+    if (!has_spool_suffix(name)) continue;
+    const std::string path = opts_.dir + "/" + name;
+    if (sessions_.count(path) != 0) continue;
+    sessions_.emplace(path, std::make_unique<Session>(next_id_++, path,
+                                                      opts_.session));
+    ever_attached_ = true;
+    if (m_attached_ != nullptr) m_attached_->add();
+  }
+  ::closedir(dir);
+}
+
+void Server::tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 now = now_ns();
+  scan_dir_locked(now);
+
+  size_t frames = 0;
+  u64 resident = 0;
+  for (auto& [path, session] : sessions_) {
+    frames += session->tick(now);
+    resident += session->resident_bytes();
+  }
+  admission_.update(resident, sessions_.size());
+  apply_backpressure_locked(now);
+  evict_sweep_locked(now);
+
+  heartbeat_.fetch_add(1, std::memory_order_release);
+  if (m_ticks_ != nullptr) m_ticks_->add();
+  if (m_frames_ != nullptr && frames > 0)
+    m_frames_->add(static_cast<u64>(frames));
+}
+
+void Server::apply_backpressure_locked(u64 now) {
+  if (!admission_.should_pause_tailers()) {
+    // Pressure relieved: resume everything we paused.
+    for (auto& [path, session] : sessions_) {
+      if (session->paused() && !session->finalized()) {
+        session->resume(now);
+        admission_.note_resumed();
+      }
+    }
+    return;
+  }
+  // Pause live sessions lowest-priority first (ties: biggest footprint
+  // first), but always keep at least one tailer live so ingestion as a
+  // whole cannot deadlock against the budget.
+  std::vector<Session*> live;
+  for (auto& [path, session] : sessions_) {
+    if (!session->finalized() && !session->paused())
+      live.push_back(session.get());
+  }
+  if (live.size() <= 1) return;
+  std::sort(live.begin(), live.end(), [](const Session* a, const Session* b) {
+    if (a->priority() != b->priority()) return a->priority() < b->priority();
+    return a->resident_bytes() > b->resident_bytes();
+  });
+  for (size_t i = 0; i + 1 < live.size(); ++i) {
+    live[i]->pause(now);
+    admission_.note_paused();
+  }
+}
+
+void Server::evict_sweep_locked(u64 now) {
+  // Pass 1: finalized sessions nobody queried for evict_after_ns.
+  std::vector<std::string> expired;
+  for (auto& [path, session] : sessions_) {
+    if (!session->finalized()) continue;
+    const u64 idle_since =
+        std::max(session->last_activity_ns(), session->last_query_ns());
+    if (now - idle_since >= opts_.session.evict_after_ns)
+      expired.push_back(path);
+  }
+  for (const auto& path : expired) evict_locked(path);
+
+  // Pass 2: still over budget → evict finalized sessions LRU until under.
+  while (admission_.over_budget()) {
+    Session* victim = nullptr;
+    for (auto& [path, session] : sessions_) {
+      if (!session->finalized()) continue;
+      if (victim == nullptr ||
+          std::max(session->last_activity_ns(), session->last_query_ns()) <
+              std::max(victim->last_activity_ns(), victim->last_query_ns()))
+        victim = session.get();
+    }
+    if (victim == nullptr) break;  // nothing evictable; tailers pause instead
+    evict_locked(victim->path());
+  }
+}
+
+void Server::evict_locked(const std::string& path) {
+  auto it = sessions_.find(path);
+  if (it == sessions_.end()) return;
+  u64 resident = admission_.resident_bytes();
+  const u64 freed = it->second->resident_bytes();
+  sessions_.erase(it);
+  admission_.note_evicted();
+  admission_.update(resident > freed ? resident - freed : 0,
+                    sessions_.size());
+}
+
+Session* Server::find_locked(const std::string& key) {
+  auto it = sessions_.find(key);
+  if (it != sessions_.end()) return it->second.get();
+  // Fall back to the numeric session id, then to a unique basename match —
+  // SESSIONS prints absolute paths, but a human queries "w1.ggspool".
+  for (auto& [path, session] : sessions_) {
+    if (std::to_string(session->id()) == key) return session.get();
+  }
+  Session* by_name = nullptr;
+  for (auto& [path, session] : sessions_) {
+    const size_t slash = path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    if (base == key) {
+      if (by_name != nullptr) return nullptr;  // ambiguous: require the path
+      by_name = session.get();
+    }
+  }
+  return by_name;
+}
+
+std::string Server::status_locked() const {
+  std::ostringstream os;
+  os << "ggserved sessions=" << sessions_.size()
+     << " resident=" << admission_.resident_bytes() << "/"
+     << admission_.budget_bytes()
+     << " level=" << degrade_level_name(admission_.level())
+     << " ticks=" << heartbeat_.load(std::memory_order_relaxed)
+     << " shed=" << admission_.queries_shed()
+     << " paused=" << admission_.tailers_paused()
+     << " evicted=" << admission_.sessions_evicted()
+     << " stalls=" << watchdog_stalls_.load(std::memory_order_relaxed)
+     << "\n";
+  return os.str();
+}
+
+std::string Server::query(const std::string& request) {
+  std::string rest;
+  const std::string cmd = first_word(request, &rest);
+  const u64 now = now_ns();
+
+  if (cmd == "PING") return "PONG\n";
+  if (cmd == "SHUTDOWN") {
+    stop();
+    return "OK shutting down\n";
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cmd == "STATUS") return status_locked();
+  if (cmd == "SESSIONS") {
+    std::string out;
+    for (const auto& [path, session] : sessions_)
+      out += session->status_line() + "\n";
+    if (out.empty()) out = "no sessions\n";
+    return out;
+  }
+  if (cmd == "SUMMARY") {
+    Session* s = find_locked(rest);
+    if (s == nullptr) return "ERR no such session: " + rest + "\n";
+    s->touch_query(now);
+    const spool::RecoverReport* rep = s->report();
+    if (rep == nullptr) return "no data yet\n";
+    return rep->summary() + "\n";
+  }
+  if (cmd == "REPORT") {
+    Session* s = find_locked(rest);
+    if (s == nullptr) return "ERR no such session: " + rest + "\n";
+    s->touch_query(now);
+    if (!admission_.admit_heavy_query()) {
+      return "SHED report refused under memory pressure (level=" +
+             std::string(degrade_level_name(admission_.level())) +
+             ", resident=" + std::to_string(admission_.resident_bytes()) +
+             "/" + std::to_string(admission_.budget_bytes()) +
+             "); retry later or use SUMMARY\n";
+    }
+    std::string text = s->report_text();
+    if (text.empty()) return "ERR session not usable\n";
+    return text;
+  }
+  if (cmd == "TELEMETRY") {
+    if (opts_.telemetry == nullptr) return "no telemetry\n";
+    const obs::MetricsSnapshot snap = opts_.telemetry->snapshot();
+    if (rest == "PROM") return obs::render_prometheus(snap);
+    if (rest == "JSON") return obs::render_json(snap);
+    std::ostringstream os;
+    obs::render_text(os, snap);
+    return os.str();
+  }
+  if (cmd == "ATTACH") {
+    if (rest.empty()) return "ERR ATTACH <path>\n";
+    if (sessions_.count(rest) != 0) return "OK already attached\n";
+    sessions_.emplace(rest, std::make_unique<Session>(next_id_++, rest,
+                                                      opts_.session));
+    ever_attached_ = true;
+    if (m_attached_ != nullptr) m_attached_->add();
+    return "OK attached " + rest + "\n";
+  }
+  if (cmd == "EVICT") {
+    Session* s = find_locked(rest);
+    if (s == nullptr) return "ERR no such session: " + rest + "\n";
+    const std::string path = s->path();
+    s->finalize(now);
+    evict_locked(path);
+    return "OK evicted " + path + "\n";
+  }
+  return "ERR unknown command: " + cmd + "\n";
+}
+
+size_t Server::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+u64 Server::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  u64 total = 0;
+  for (const auto& [path, session] : sessions_)
+    total += session->resident_bytes();
+  return total;
+}
+
+bool Server::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ever_attached_) return false;
+  for (const auto& [path, session] : sessions_) {
+    if (!session->finalized()) return false;
+  }
+  return true;
+}
+
+void Server::for_each_session(
+    const std::function<void(const Session&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, session] : sessions_) fn(*session);
+}
+
+std::string Server::diagnosis() const {
+  // try_lock: the watchdog calls this precisely when the ingest loop may
+  // be wedged holding mu_ — a diagnosis that deadlocks is no diagnosis.
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  std::ostringstream os;
+  os << "=== ggserved stall diagnosis ===\n";
+  os << "heartbeat=" << heartbeat_.load(std::memory_order_relaxed)
+     << " stalls=" << watchdog_stalls_.load(std::memory_order_relaxed)
+     << " stopping=" << (stopping() ? 1 : 0) << "\n";
+  if (!lock.owns_lock()) {
+    os << "session table locked (ingest loop holds the mutex); "
+          "per-session state unavailable\n";
+    return os.str();
+  }
+  os << "sessions=" << sessions_.size()
+     << " resident=" << admission_.resident_bytes() << "/"
+     << admission_.budget_bytes()
+     << " level=" << degrade_level_name(admission_.level()) << "\n";
+  for (const auto& [path, session] : sessions_)
+    os << "  " << session->status_line() << "\n";
+  return os.str();
+}
+
+void Server::watchdog_main() {
+  // The watchdog observes real time regardless of an injected test clock:
+  // a wedged ingest loop cannot advance a fake clock, and the whole point
+  // is catching the loop when it stops making progress.
+  u64 last_beat = heartbeat_.load(std::memory_order_acquire);
+  u64 last_change_ns = obs::mono_ns();
+  bool stalled = false;
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(opts_.watchdog_poll_ns));
+    const u64 beat = heartbeat_.load(std::memory_order_acquire);
+    const u64 now = obs::mono_ns();
+    if (beat != last_beat) {
+      last_beat = beat;
+      last_change_ns = now;
+      stalled = false;
+      continue;
+    }
+    if (stalled || now - last_change_ns < opts_.watchdog_stall_ns) continue;
+    stalled = true;  // rearm only after the next heartbeat
+    watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+    if (m_stalls_ != nullptr) m_stalls_->add();
+    const std::string report = diagnosis();
+    std::fwrite(report.data(), 1, report.size(), stderr);
+    std::fflush(stderr);
+    if (opts_.on_stall) opts_.on_stall(report);
+  }
+}
+
+void Server::finalize_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const u64 now = now_ns();
+  u64 resident = 0;
+  for (auto& [path, session] : sessions_) {
+    session->finalize(now);
+    resident += session->resident_bytes();
+  }
+  admission_.update(resident, sessions_.size());
+}
+
+int Server::run() {
+  watchdog_stop_.store(false, std::memory_order_release);
+  watchdog_ = std::thread([this] { watchdog_main(); });
+
+  if (!opts_.socket_path.empty()) {
+    endpoint_ = std::make_unique<Endpoint>(
+        opts_.socket_path,
+        [this](const std::string& req) { return query(req); });
+    std::string err;
+    if (!endpoint_->start(&err)) {
+      std::fprintf(stderr, "ggserved: endpoint failed: %s\n", err.c_str());
+      endpoint_.reset();
+      watchdog_stop_.store(true, std::memory_order_release);
+      watchdog_.join();
+      return 1;
+    }
+  }
+
+  while (!stopping()) {
+    tick();
+    if (opts_.exit_when_idle && idle()) break;
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(opts_.tick_sleep_ns));
+  }
+
+  finalize_all();
+  if (endpoint_) {
+    endpoint_->stop();
+    endpoint_.reset();
+  }
+  watchdog_stop_.store(true, std::memory_order_release);
+  watchdog_.join();
+  return 0;
+}
+
+}  // namespace gg::serve

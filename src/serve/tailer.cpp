@@ -1,0 +1,323 @@
+#include "serve/tailer.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace gg::serve {
+
+namespace {
+
+u32 le32_at(const char* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<u32>(static_cast<u8>(p[i])) << (8 * i);
+  return v;
+}
+
+u64 le64_at(const char* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<u64>(static_cast<u8>(p[i])) << (8 * i);
+  return v;
+}
+
+constexpr u64 kMaxPayload = 1ull << 30;
+constexpr size_t kSpoolHeaderBytes = 9 + 4;  // magic + num_workers
+
+}  // namespace
+
+const char* tail_state_name(TailState s) {
+  switch (s) {
+    case TailState::Opening: return "opening";
+    case TailState::Header: return "header";
+    case TailState::Streaming: return "streaming";
+    case TailState::Waiting: return "waiting";
+    case TailState::Sealed: return "sealed";
+    case TailState::Crashed: return "crashed";
+    case TailState::Failed: return "failed";
+  }
+  return "?";
+}
+
+SpoolTailer::SpoolTailer(std::string path, TailerOptions opts)
+    : path_(std::move(path)), opts_(opts) {}
+
+SpoolTailer::~SpoolTailer() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+u64 SpoolTailer::resident_bytes() const {
+  return pending_.size() + (inc_ ? inc_->resident_bytes() : 0);
+}
+
+bool SpoolTailer::ensure_open() {
+  if (fd_ >= 0) return true;
+  fd_ = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  return fd_ >= 0;
+}
+
+void SpoolTailer::set_stuck(Stuck kind, u64 offset, u64 len, u64 now_ns) {
+  if (stuck_ != kind || stuck_off_ != offset) {
+    // A *new* stuck condition restarts the torn-tail deadline; the same
+    // frame still stuck keeps its original clock so it cannot dodge the
+    // deadline by being re-observed.
+    stuck_since_ns_ = now_ns;
+  }
+  stuck_ = kind;
+  stuck_off_ = offset;
+  stuck_len_ = len;
+}
+
+size_t SpoolTailer::drain(u64 now_ns) {
+  size_t cur = 0;
+  size_t applied = 0;
+  if (!header_done_) {
+    if (pending_.size() < kSpoolHeaderBytes) {
+      state_ = TailState::Header;
+      return 0;
+    }
+    if (!spool::looks_like_spool(pending_)) {
+      state_ = TailState::Failed;
+      fail_reason_ = "not a spool stream (bad magic)";
+      return 0;
+    }
+    const u32 nw = le32_at(pending_.data() + spool::kSpoolMagic.size());
+    if (nw == 0 || nw > 4096) {
+      state_ = TailState::Failed;
+      fail_reason_ = "implausible worker count " + std::to_string(nw);
+      return 0;
+    }
+    inc_ = std::make_unique<spool::IncrementalTrace>(nw);
+    cur = kSpoolHeaderBytes;
+    header_done_ = true;
+    state_ = TailState::Streaming;
+  }
+  bool stuck_now = false;
+  while (cur < pending_.size()) {
+    const size_t rem = pending_.size() - cur;
+    if (rem < spool::kFrameHeaderBytes) {
+      set_stuck(Stuck::TornHeader, base_ + cur, 0, now_ns);
+      stuck_now = true;
+      break;
+    }
+    const char* h = pending_.data() + cur;
+    if (std::memcmp(h, spool::kFrameMagic, sizeof spool::kFrameMagic) != 0) {
+      set_stuck(Stuck::Garbled, base_ + cur, 0, now_ns);
+      stuck_now = true;
+      break;
+    }
+    const auto type = static_cast<spool::FrameType>(static_cast<u8>(h[4]));
+    const u32 worker = le32_at(h + 5);
+    const u32 seq = le32_at(h + 9);
+    const u64 payload_len = le64_at(h + 13);
+    const u64 checksum = le64_at(h + 21);
+    if (payload_len > kMaxPayload) {
+      set_stuck(Stuck::Overrun, base_ + cur, payload_len, now_ns);
+      stuck_now = true;
+      break;
+    }
+    if (rem - spool::kFrameHeaderBytes < payload_len) {
+      set_stuck(Stuck::TornPayload, base_ + cur, payload_len, now_ns);
+      stuck_now = true;
+      break;
+    }
+    const std::string_view payload(h + spool::kFrameHeaderBytes,
+                                   static_cast<size_t>(payload_len));
+    const spool::FrameOutcome outcome =
+        inc_->apply_frame(type, worker, seq, payload, checksum, base_ + cur);
+    cur += spool::kFrameHeaderBytes + static_cast<size_t>(payload_len);
+    ++applied;
+    ++stats_.frames_applied;
+    if (outcome == spool::FrameOutcome::Footer) {
+      state_ = TailState::Sealed;
+      break;
+    }
+    if (outcome == spool::FrameOutcome::CrashFooter) {
+      state_ = TailState::Crashed;
+      break;
+    }
+  }
+  // Any pass that ends without re-observing a stuck span means the writer
+  // completed the frame we were waiting on (or we sealed past it) — a stale
+  // stuck_ left behind here would surface at finalize() as a phantom
+  // torn-tail note on a clean stream.
+  if (!stuck_now) stuck_ = Stuck::None;
+  if (cur > 0) {
+    pending_.erase(0, cur);
+    base_ += cur;
+    stats_.bytes_consumed = base_;
+  }
+  return applied;
+}
+
+bool SpoolTailer::try_resync() {
+  // Only abandon the stuck span for a later frame that is *provably* good:
+  // full header present, plausible length, payload complete, checksum
+  // valid. Anything weaker could resync into the middle of an in-flight
+  // write and lose more than the one bad frame.
+  if (stuck_off_ < base_) return false;
+  const size_t start = static_cast<size_t>(stuck_off_ - base_) + 1;
+  for (size_t i = start;
+       i + spool::kFrameHeaderBytes <= pending_.size(); ++i) {
+    const char* h = pending_.data() + i;
+    if (std::memcmp(h, spool::kFrameMagic, sizeof spool::kFrameMagic) != 0)
+      continue;
+    const auto type = static_cast<spool::FrameType>(static_cast<u8>(h[4]));
+    const u32 worker = le32_at(h + 5);
+    const u32 seq = le32_at(h + 9);
+    const u64 payload_len = le64_at(h + 13);
+    if (payload_len > kMaxPayload) continue;
+    if (pending_.size() - i - spool::kFrameHeaderBytes < payload_len)
+      continue;
+    const char* payload = h + spool::kFrameHeaderBytes;
+    if (spool::frame_checksum(type, worker, seq, payload,
+                              static_cast<size_t>(payload_len)) !=
+        le64_at(h + 21)) {
+      continue;
+    }
+    inc_->note_abandoned(stuck_off_, base_ + i);
+    ++stats_.resyncs;
+    pending_.erase(0, i);
+    base_ += i;
+    stats_.bytes_consumed = base_;
+    stuck_ = Stuck::None;
+    return true;
+  }
+  return false;
+}
+
+void SpoolTailer::schedule_retry(u64 now_ns, bool made_progress) {
+  if (made_progress) {
+    backoff_ns_ = opts_.retry_initial_ns;
+  } else {
+    backoff_ns_ = std::min(
+        std::max(backoff_ns_ * 2, opts_.retry_initial_ns), opts_.retry_max_ns);
+  }
+  next_poll_ns_ = now_ns + backoff_ns_;
+}
+
+size_t SpoolTailer::poll(u64 now_ns) {
+  if (finalized_ || state_ == TailState::Sealed ||
+      state_ == TailState::Crashed || state_ == TailState::Failed) {
+    return 0;
+  }
+  if (now_ns < next_poll_ns_) {
+    ++stats_.idle_polls;
+    return 0;
+  }
+  if (!ensure_open()) {
+    // Not created yet (the writer may still be starting up): retry with
+    // the same backoff the torn tail uses.
+    schedule_retry(now_ns, false);
+    return 0;
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    schedule_retry(now_ns, false);
+    return 0;
+  }
+  const u64 size = static_cast<u64>(st.st_size);
+  if (size < base_ + pending_.size()) {
+    // The file shrank under the tail: it was truncated or replaced. The
+    // already-applied prefix stays; nothing after it can be trusted.
+    state_ = TailState::Failed;
+    fail_reason_ = "spool truncated under the tail (size " +
+                   std::to_string(size) + " < consumed " +
+                   std::to_string(base_ + pending_.size()) + ")";
+    return 0;
+  }
+  file_size_ = size;
+  u64 read_from = base_ + pending_.size();
+  u64 budget = opts_.max_read_bytes;
+  bool grew = false;
+  char buf[64 * 1024];
+  while (read_from < size && budget > 0) {
+    const size_t want = static_cast<size_t>(
+        std::min<u64>({sizeof buf, size - read_from, budget}));
+    const ssize_t n =
+        ::pread(fd_, buf, want, static_cast<off_t>(read_from));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    pending_.append(buf, static_cast<size_t>(n));
+    read_from += static_cast<u64>(n);
+    budget -= static_cast<u64>(n);
+    grew = true;
+  }
+  if (grew) ++stats_.reads;
+
+  size_t applied = drain(now_ns);
+  if (state_ == TailState::Sealed || state_ == TailState::Crashed ||
+      state_ == TailState::Failed) {
+    return applied;
+  }
+  if (stuck_ != Stuck::None &&
+      now_ns - stuck_since_ns_ >= opts_.torn_deadline_ns) {
+    if (try_resync()) {
+      applied += drain(now_ns);
+      if (state_ == TailState::Sealed || state_ == TailState::Crashed)
+        return applied;
+    }
+  }
+  if (stuck_ != Stuck::None) {
+    state_ = TailState::Waiting;
+  } else if (header_done_) {
+    state_ = TailState::Streaming;
+  }
+  schedule_retry(now_ns, grew || applied > 0);
+  return applied;
+}
+
+bool SpoolTailer::finalize() {
+  if (finalized_) return usable_;
+  finalized_ = true;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!header_done_) {
+    if (fail_reason_.empty()) {
+      if (pending_.empty()) {
+        fail_reason_ = "spool never appeared";
+      } else if (!spool::looks_like_spool(pending_)) {
+        fail_reason_ = "not a spool stream (bad magic)";
+      } else {
+        fail_reason_ = "torn spool header";
+      }
+    }
+    state_ = TailState::Failed;
+    usable_ = false;
+    return false;
+  }
+  // Map the unresolved tail to exactly what batch recovery would say about
+  // the same final bytes (wording and counters are pinned by tests).
+  switch (stuck_) {
+    case Stuck::None:
+      break;
+    case Stuck::TornHeader:
+      inc_->note_torn_header(stuck_off_);
+      break;
+    case Stuck::Garbled:
+      inc_->note_garbled_magic(stuck_off_);
+      break;
+    case Stuck::Overrun:
+    case Stuck::TornPayload:
+      inc_->note_overrun(stuck_off_, stuck_len_);
+      break;
+  }
+  usable_ = inc_->finish();
+  if (!usable_ && state_ != TailState::Failed) {
+    state_ = TailState::Failed;
+    if (fail_reason_.empty()) fail_reason_ = "no recoverable frames";
+  }
+  return usable_;
+}
+
+}  // namespace gg::serve

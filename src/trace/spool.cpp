@@ -13,6 +13,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "trace/incremental.hpp"
 
 namespace gg::spool {
 
@@ -331,16 +332,30 @@ WorkerStatsRec get_wstat(Reader& r) {
   return s;
 }
 
-bool decode_epoch_payload(std::string_view payload, RecordBuffer* out) {
+// Defined below the anonymous namespace (public: spool.hpp declares it for
+// incremental ingestion); forward-declared here for in-file users.
+}  // namespace
+bool decode_epoch_payload(std::string_view payload, RecordBuffer* out);
+namespace {
+
+/// Minimum encoded byte size of each record kind, in count-header order
+/// (tasks, fragments, joins, loops, chunks, bookkeeps, depends, wstats).
+/// Every field is fixed-width, so these are exact sizes; they bound how
+/// many records a payload can possibly hold.
+constexpr u64 kMinRecordBytes[8] = {43, 71, 30, 69, 80, 33, 16, 98};
+
+bool decode_epoch_payload_impl(std::string_view payload, RecordBuffer* out) {
   Reader r(payload);
   u32 counts[8];
   for (u32& c : counts) c = r.get_u32();
   if (!r.ok) return false;
-  // Record counts can never exceed payload bytes (every record encodes to
-  // more than one byte); reject absurd headers before reserving memory.
-  for (u32 c : counts) {
-    if (c > payload.size()) return false;
-  }
+  // Validate the declared counts against the bytes actually present before
+  // any allocation is sized from them: a corrupt count field must fail
+  // here, not in a multi-GB reserve(). u64 arithmetic — 8 u32 counts times
+  // ~100-byte records cannot overflow.
+  u64 declared = 0;
+  for (size_t i = 0; i < 8; ++i) declared += counts[i] * kMinRecordBytes[i];
+  if (declared > payload.size() - r.pos) return false;
   out->tasks.reserve(counts[0]);
   for (u32 i = 0; i < counts[0] && r.ok; ++i) out->tasks.push_back(get_task(r));
   out->fragments.reserve(counts[1]);
@@ -410,24 +425,6 @@ u64 frame_checksum(FrameType type, u32 worker, u32 seq, const void* payload,
 }
 
 namespace {
-
-/// Squashes a multi-line diagnostic into one provenance note ("; "-joined):
-/// notes must stay single-line for the text trace format.
-std::string collapse_lines(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  bool pending_sep = false;
-  for (char c : text) {
-    if (c == '\n') {
-      pending_sep = true;
-      continue;
-    }
-    if (pending_sep && !out.empty()) out += "; ";
-    pending_sep = false;
-    out.push_back(c);
-  }
-  return out;
-}
 
 const char* signal_name(int sig) noexcept {
   switch (sig) {
@@ -517,6 +514,10 @@ void unregister_sink(SpoolSink* sink) {
 
 bool decode_meta_payload(std::string_view payload, TraceMeta* out) {
   return decode_meta_payload_impl(payload, out);
+}
+
+bool decode_epoch_payload(std::string_view payload, RecordBuffer* out) {
+  return decode_epoch_payload_impl(payload, out);
 }
 
 u64 fnv1a(const void* data, size_t len, u64 seed) noexcept {
@@ -930,6 +931,7 @@ std::string RecoverReport::summary() const {
   if (frames_corrupt > 0) s += " corrupt=" + std::to_string(frames_corrupt);
   if (frames_out_of_order > 0)
     s += " out_of_order=" + std::to_string(frames_out_of_order);
+  if (epoch_gaps > 0) s += " epoch_gaps=" + std::to_string(epoch_gaps);
   if (telemetry_corrupt > 0)
     s += " telemetry_corrupt=" + std::to_string(telemetry_corrupt);
   if (torn_tail) s += " torn-tail";
@@ -957,41 +959,35 @@ bool spool_file_magic(const std::string& path) {
 
 RecoverResult recover_spool_bytes(std::string_view bytes) {
   RecoverResult res;
-  RecoverReport& rep = res.report;
-  Trace& t = res.trace;
 
   if (!looks_like_spool(bytes)) {
-    rep.diagnostics.push_back("not a spool stream (bad magic)");
+    res.report.diagnostics.push_back("not a spool stream (bad magic)");
     return res;
   }
   size_t pos = kSpoolMagic.size();
   if (bytes.size() < pos + 4) {
-    rep.diagnostics.push_back("torn spool header");
+    res.report.diagnostics.push_back("torn spool header");
     return res;
   }
   const u32 num_workers = read_le32(bytes.data() + pos);
   pos += 4;
   if (num_workers == 0 || num_workers > 4096) {
-    rep.diagnostics.push_back("implausible worker count " +
-                              std::to_string(num_workers));
+    res.report.diagnostics.push_back("implausible worker count " +
+                                     std::to_string(num_workers));
     return res;
   }
-  rep.epochs_per_worker.assign(num_workers, 0);
-  std::vector<u32> next_seq(num_workers, 0);
-  bool have_meta = false;
 
+  // The per-frame keep/skip/degrade decisions live in IncrementalTrace so
+  // the live tailer (src/serve/) shares them; this loop only walks headers.
+  IncrementalTrace inc(num_workers);
   while (pos < bytes.size()) {
     if (bytes.size() - pos < kFrameHeaderBytes) {
-      rep.torn_tail = true;
-      rep.diagnostics.push_back("torn frame header at offset " +
-                                std::to_string(pos));
+      inc.note_torn_header(pos);
       break;
     }
     const char* h = bytes.data() + pos;
     if (std::memcmp(h, kFrameMagic, sizeof kFrameMagic) != 0) {
-      rep.torn_tail = true;
-      rep.diagnostics.push_back("garbled frame magic at offset " +
-                                std::to_string(pos));
+      inc.note_garbled_magic(pos);
       break;
     }
     const auto type = static_cast<FrameType>(static_cast<u8>(h[4]));
@@ -999,193 +995,20 @@ RecoverResult recover_spool_bytes(std::string_view bytes) {
     const u32 seq = read_le32(h + 9);
     const u64 payload_len = read_le64(h + 13);
     const u64 checksum = read_le64(h + 21);
-    ++rep.frames_total;
     if (payload_len > (1ull << 30) ||
         payload_len > bytes.size() - pos - kFrameHeaderBytes) {
-      rep.torn_tail = true;
-      rep.diagnostics.push_back("frame at offset " + std::to_string(pos) +
-                                " overruns the file (len=" +
-                                std::to_string(payload_len) + ")");
+      inc.note_overrun(pos, payload_len);
       break;
     }
     const std::string_view payload(h + kFrameHeaderBytes,
                                    static_cast<size_t>(payload_len));
-    const size_t frame_end = pos + kFrameHeaderBytes +
-                             static_cast<size_t>(payload_len);
-    if (frame_checksum(type, worker, seq, payload.data(), payload.size()) !=
-        checksum) {
-      if (type == FrameType::Telemetry) {
-        // Telemetry is advisory: a corrupt snapshot degrades to "telemetry
-        // unavailable" without damaging the recovered trace.
-        ++rep.telemetry_corrupt;
-        rep.diagnostics.push_back("corrupt telemetry frame at offset " +
-                                  std::to_string(pos) +
-                                  ", telemetry degraded");
-      } else {
-        ++rep.frames_corrupt;
-        rep.diagnostics.push_back("checksum mismatch in frame at offset " +
-                                  std::to_string(pos) + ", skipped");
-      }
-      pos = frame_end;
-      continue;
-    }
-    switch (type) {
-      case FrameType::Meta:
-      case FrameType::CleanFooter: {
-        TraceMeta m;
-        if (!decode_meta_payload(payload, &m)) {
-          ++rep.frames_corrupt;
-          rep.diagnostics.push_back("undecodable meta frame at offset " +
-                                    std::to_string(pos));
-          break;
-        }
-        t.meta = std::move(m);
-        have_meta = true;
-        if (type == FrameType::CleanFooter) rep.clean_footer = true;
-        ++rep.frames_kept;
-        break;
-      }
-      case FrameType::Strings: {
-        Reader r(payload);
-        const u32 first_id = r.get_u32();
-        const u32 count = r.get_u32();
-        if (!r.ok || first_id != t.strings.size()) {
-          ++rep.frames_out_of_order;
-          rep.diagnostics.push_back("string delta at offset " +
-                                    std::to_string(pos) +
-                                    " does not extend the table, skipped");
-          break;
-        }
-        bool ok = true;
-        for (u32 i = 0; i < count; ++i) {
-          const std::string s = r.get_str();
-          if (!r.ok) {
-            ok = false;
-            break;
-          }
-          t.strings.intern(s);
-        }
-        if (!ok) {
-          ++rep.frames_corrupt;
-          rep.diagnostics.push_back("undecodable string delta at offset " +
-                                    std::to_string(pos));
-          break;
-        }
-        ++rep.frames_kept;
-        break;
-      }
-      case FrameType::Epoch: {
-        if (worker >= num_workers) {
-          ++rep.frames_corrupt;
-          rep.diagnostics.push_back("epoch for unknown worker " +
-                                    std::to_string(worker) + ", skipped");
-          break;
-        }
-        if (seq != next_seq[worker]) {
-          ++rep.frames_out_of_order;
-          rep.diagnostics.push_back(
-              "worker " + std::to_string(worker) + " epoch seq " +
-              std::to_string(seq) + " breaks the contiguous prefix (want " +
-              std::to_string(next_seq[worker]) + "), skipped");
-          break;
-        }
-        RecordBuffer buf;
-        if (!decode_epoch_payload(payload, &buf)) {
-          ++rep.frames_corrupt;
-          rep.diagnostics.push_back("undecodable epoch at offset " +
-                                    std::to_string(pos));
-          break;
-        }
-        auto move_into = [](auto& dst, auto& src) {
-          dst.insert(dst.end(), src.begin(), src.end());
-        };
-        move_into(t.tasks, buf.tasks);
-        move_into(t.fragments, buf.fragments);
-        move_into(t.joins, buf.joins);
-        move_into(t.loops, buf.loops);
-        move_into(t.chunks, buf.chunks);
-        move_into(t.bookkeeps, buf.bookkeeps);
-        move_into(t.depends, buf.depends);
-        move_into(t.worker_stats, buf.worker_stats);
-        ++next_seq[worker];
-        ++rep.epochs_per_worker[worker];
-        ++rep.frames_kept;
-        break;
-      }
-      case FrameType::Dump: {
-        if (!rep.supervisor_dump.empty()) rep.supervisor_dump += "\n";
-        rep.supervisor_dump.append(payload);
-        ++rep.frames_kept;
-        break;
-      }
-      case FrameType::CrashFooter: {
-        Reader r(payload);
-        const u32 sig = r.get_u32();
-        std::string reason;
-        while (r.ok && r.pos < payload.size()) {
-          const char c = static_cast<char>(r.get_u8());
-          if (c == 0) break;
-          reason.push_back(c);
-        }
-        rep.crash_reason = !reason.empty()
-                               ? reason
-                               : "signal=" + std::to_string(sig);
-        ++rep.frames_kept;
-        break;
-      }
-      case FrameType::Telemetry: {
-        // Keep the last valid snapshot: a crashed run's final 'T' frame is
-        // its last known health state (ggstat reports it post-mortem).
-        rep.telemetry.assign(payload);
-        ++rep.telemetry_frames;
-        ++rep.frames_kept;
-        break;
-      }
-      default:
-        ++rep.frames_corrupt;
-        rep.diagnostics.push_back("unknown frame type at offset " +
-                                  std::to_string(pos) + ", skipped");
-        break;
-    }
-    pos = frame_end;
+    inc.apply_frame(type, worker, seq, payload, checksum, pos);
+    pos += kFrameHeaderBytes + static_cast<size_t>(payload_len);
   }
 
-  const bool any_records =
-      !t.tasks.empty() || !t.fragments.empty() || !t.chunks.empty() ||
-      !t.loops.empty() || !t.joins.empty();
-  if (!have_meta && !any_records) {
-    rep.diagnostics.push_back("no recoverable frames");
-    return res;
-  }
-  if (!have_meta) {
-    t.meta.program = "<recovered>";
-    t.meta.runtime = "recovered";
-    t.meta.num_workers = static_cast<int>(num_workers);
-    t.meta.num_cores = static_cast<int>(num_workers);
-    rep.diagnostics.push_back("meta frame missing; synthesized defaults");
-  }
-  if (!rep.clean_footer) {
-    // The footer carries the final region bounds; without it, extend the
-    // region to cover everything that was recovered.
-    TimeNs max_end = t.meta.region_end;
-    for (const auto& f : t.fragments) max_end = std::max(max_end, f.end);
-    for (const auto& j : t.joins) max_end = std::max(max_end, j.end);
-    for (const auto& c : t.chunks) max_end = std::max(max_end, c.end);
-    for (const auto& b : t.bookkeeps) max_end = std::max(max_end, b.end);
-    for (const auto& l : t.loops) max_end = std::max(max_end, l.end);
-    t.meta.region_end = max_end;
-  }
-  const bool damaged = rep.partial() || rep.frames_corrupt > 0 ||
-                       rep.frames_out_of_order > 0 || rep.torn_tail;
-  if (damaged) {
-    t.meta.notes.push_back("recovered " + rep.summary());
-    if (!rep.crash_reason.empty())
-      t.meta.notes.push_back("crash " + rep.crash_reason);
-  }
-  if (!rep.supervisor_dump.empty())
-    t.meta.notes.push_back("supervisor " + collapse_lines(rep.supervisor_dump));
-  t.finalize();
-  res.usable = true;
+  res.usable = inc.finish();
+  res.report = std::move(inc.report());
+  res.trace = std::move(inc.trace());
   return res;
 }
 

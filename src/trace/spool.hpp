@@ -33,9 +33,15 @@
 //
 // Recovery (recover_spool_*) replays the longest valid prefix: frames with
 // bad checksums are skipped, a torn tail stops the scan, per-worker epoch
-// sequence numbers must grow contiguously from 0. A missing 'F' footer
-// marks the trace as recovered/partial and stamps crash provenance into
+// sequence numbers must grow monotonically from 0 (a forward gap — epochs
+// lost to a skipped frame — is tolerated and counted, so one bad frame
+// loses one epoch, not the rest of the worker's stream; a backward or
+// duplicate seq is skipped as out-of-order). A missing 'F' footer marks the
+// trace as recovered/partial and stamps crash provenance into
 // TraceMeta::notes, which reports surface (TraceMeta::recovered()).
+// The per-frame decisions live in trace/incremental.hpp (IncrementalTrace),
+// which the batch path here and the live tailer (src/serve/) both drive —
+// streaming ingestion and post-mortem recovery agree by construction.
 #pragma once
 
 #include <atomic>
@@ -280,7 +286,12 @@ struct RecoverReport {
   u64 frames_total = 0;       ///< frames whose header was readable
   u64 frames_kept = 0;        ///< frames applied to the trace
   u64 frames_corrupt = 0;     ///< checksum/decode failures, skipped
-  u64 frames_out_of_order = 0;///< epoch seq gaps, skipped
+  u64 frames_out_of_order = 0;///< backward/duplicate epoch seq, skipped
+  /// Epochs lost to forward seq jumps: when an epoch frame is skipped as
+  /// corrupt, the worker's next valid epoch arrives with seq > expected and
+  /// is applied anyway, so one bad frame costs one epoch, not the rest of
+  /// the worker's stream. This counts the epochs the jumps skipped over.
+  u64 epoch_gaps = 0;
   bool torn_tail = false;     ///< file ends mid-frame (in-flight write)
   bool clean_footer = false;  ///< 'F' frame present: a clean shutdown
   std::string crash_reason;   ///< from the 'C' footer, "" if none
@@ -338,6 +349,13 @@ std::string spool_trace_bytes(const Trace& trace, u64 epoch_bytes,
 /// malformed field). Public so spool-aware tools (ggstat) can identify a
 /// run without replaying its records.
 bool decode_meta_payload(std::string_view payload, TraceMeta* meta);
+
+/// Decodes an 'E' frame payload into *out (strict; false on any malformed
+/// field, including record counts whose minimum encoded size cannot fit in
+/// the payload — a corrupt count field must be rejected *before* any
+/// allocation sized from it). Public so incremental ingestion
+/// (trace/incremental.hpp) applies exactly the batch decoder.
+bool decode_epoch_payload(std::string_view payload, RecordBuffer* out);
 
 // --- frame scanning (fault injection + diagnostics) -------------------------
 

@@ -289,7 +289,8 @@ void check_spool_invariants(const std::string& bytes) {
   spool::RecoverResult rr = spool::recover_spool_bytes(bytes);
   if (!rr.usable) return;  // nothing recoverable is a legal outcome
   if (rr.report.partial() || rr.report.frames_corrupt > 0 ||
-      rr.report.torn_tail || rr.report.frames_out_of_order > 0) {
+      rr.report.torn_tail || rr.report.frames_out_of_order > 0 ||
+      rr.report.epoch_gaps > 0) {
     salvage_trace(rr.trace);
   }
   EXPECT_TRUE(validate_trace(rr.trace).empty())
@@ -433,6 +434,72 @@ TEST(SpoolCorpusTest, TelemetryDamageDegradesWithoutHurtingRecords) {
     EXPECT_EQ(rr.report.telemetry_frames, i);
     EXPECT_EQ(rr.report.telemetry, i == 0 ? "" : payloads[i - 1]);
   }
+}
+
+TEST(SpoolCorpusTest, CraftedCountsRejectedBeforeAllocation) {
+  // A checksum-valid epoch frame whose payload *declares* 2^30 fragment
+  // records (minimum encoded size 71 bytes each — dozens of GiB) in a
+  // 32-byte payload. The decoder must reject the counts against the bytes
+  // actually present before sizing any allocation from them; under ASan
+  // a missing bound turns this into an allocation-failure crash.
+  std::string payload;
+  const auto put_u32 = [&payload](u32 v) {
+    for (int i = 0; i < 4; ++i) payload.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  const u32 counts[8] = {0, 0x40000000u, 0, 0, 0, 0, 0, 0};
+  for (const u32 c : counts) put_u32(c);
+  ASSERT_EQ(payload.size(), 32u);
+
+  spool::RecordBuffer buf;
+  EXPECT_FALSE(spool::decode_epoch_payload(payload, &buf));
+  EXPECT_TRUE(buf.fragments.empty());
+
+  // The same payload riding a well-formed, checksum-valid frame inside an
+  // otherwise pristine spool: recovery must skip exactly that frame (with
+  // a diagnostic), keep every real record, and stay usable.
+  std::string frame(spool::kFrameMagic, sizeof spool::kFrameMagic);
+  frame.push_back(static_cast<char>(spool::FrameType::Epoch));
+  const auto app_u32 = [&frame](u32 v) {
+    for (int i = 0; i < 4; ++i) frame.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  const auto app_u64 = [&frame](u64 v) {
+    for (int i = 0; i < 8; ++i) frame.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  app_u32(0);     // worker
+  app_u32(1000);  // seq, past any real epoch so the prefix check passes
+  app_u64(payload.size());
+  app_u64(spool::frame_checksum(spool::FrameType::Epoch, 0, 1000,
+                                payload.data(), payload.size()));
+  frame += payload;
+  ASSERT_EQ(frame.size(), spool::kFrameHeaderBytes + payload.size());
+
+  std::string bytes = spool_bytes();
+  const auto frames = spool::scan_frames(bytes);
+  ASSERT_FALSE(frames.empty());
+  ASSERT_EQ(frames.back().type, spool::FrameType::CleanFooter);
+  bytes.insert(frames.back().offset, frame);
+
+  const spool::RecoverResult clean = spool::recover_spool_bytes(spool_bytes());
+  const spool::RecoverResult rr = spool::recover_spool_bytes(bytes);
+  ASSERT_TRUE(rr.usable) << rr.report.summary();
+  EXPECT_GE(rr.report.frames_corrupt, 1u);
+  EXPECT_TRUE(rr.report.clean_footer);
+  bool noted = false;
+  for (const std::string& d : rr.report.diagnostics) {
+    if (d.find("undecodable epoch at offset") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted) << rr.report.summary();
+  // Identical records; the damaged recovery additionally carries the
+  // "recovered ..." provenance note, which is the point of the exercise.
+  const auto records_of = [](Trace t) {
+    t.meta.notes.clear();
+    std::ostringstream os;
+    save_trace(t, os);
+    return os.str();
+  };
+  EXPECT_EQ(records_of(rr.trace), records_of(clean.trace));
+  EXPECT_FALSE(rr.trace.meta.notes.empty());
+  check_spool_invariants(bytes);
 }
 
 TEST(SpoolCorpusTest, EmptyAndGarbageSpoolsFailCleanly) {

@@ -524,7 +524,8 @@ int main(int argc, char** argv) {
                    rr.report.supervisor_dump.c_str());
     }
     bool degraded = rr.report.partial() || rr.report.frames_corrupt > 0 ||
-                    rr.report.frames_out_of_order > 0 || rr.report.torn_tail;
+                    rr.report.frames_out_of_order > 0 ||
+                    rr.report.epoch_gaps > 0 || rr.report.torn_tail;
     if (degraded) {
       // Recovered traces usually miss closing records for in-flight work;
       // the salvage pass synthesizes them and quarantines the rest.

@@ -11,14 +11,28 @@
 //     --follow         poll the file and print a progress line whenever a
 //                      new telemetry frame lands; exits when the footer
 //                      ('F' clean or 'C' crash) appears
-//     --interval <ms>  polling interval for --follow (default 100)
+//     --interval <ms>      base polling interval for --follow (default 100)
+//     --max-interval <ms>  backoff ceiling for --follow when the file is
+//                          not growing (default 2000)
 //     --json           one-shot mode: emit the last snapshot as JSON
 //                      instead of the aligned text dump
+//   ggstat --connect <socket> [REQUEST ...]
+//     sends one query line to a running ggserved (default STATUS) and
+//     prints the response; e.g. `ggstat --connect /tmp/gg.sock SESSIONS`.
+//
+// --follow stats the file before touching it: an unchanged size means no
+// read, no re-scan, and an exponentially backed-off sleep (interval
+// doubling up to --max-interval, reset the moment the file grows), so
+// following an idle spool costs ~0 CPU instead of a full re-parse per
+// tick.
 //
 // Exit codes: 0 footer seen (clean or crash) or one-shot success; 1 the
 // file is not a spool / unreadable; 2 usage error. A spool with no valid
 // telemetry frames reports "telemetry unavailable" and still exits 0 —
 // telemetry is advisory by design.
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -34,6 +48,7 @@
 
 #include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
+#include "serve/endpoint.hpp"
 #include "trace/spool.hpp"
 #include "trace/trace.hpp"
 
@@ -43,11 +58,15 @@ using namespace gg;
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <run.ggspool> [--follow] [--interval ms] [--json]\n"
+               "usage: %s <run.ggspool> [--follow] [--interval ms]\n"
+               "       [--max-interval ms] [--json]\n"
+               "   or: %s --connect <socket> [REQUEST ...]\n"
                "  tails the spool's telemetry ('T') frames: run identity,\n"
                "  progress, epoch rate, per-worker health. --follow exits\n"
-               "  when the run writes its footer (clean or crash).\n",
-               argv0);
+               "  when the run writes its footer (clean or crash).\n"
+               "  --connect queries a running ggserved instead (default\n"
+               "  request: STATUS).\n",
+               argv0, argv0);
   return 2;
 }
 
@@ -225,12 +244,26 @@ int one_shot(const std::string& path, bool json) {
   return 0;
 }
 
-int follow(const std::string& path, int interval_ms) {
+int follow(const std::string& path, int interval_ms, int max_interval_ms) {
   u64 last_epochs = 0;
   u64 last_ts_ns = 0;
   u64 printed_frames = 0;
   bool printed_identity = false;
+  // Backoff state: sleep doubles from the base interval up to the ceiling
+  // while the file does not grow, and snaps back the moment it does. -1
+  // means "size unknown" (first pass / file absent), which always reads.
+  long long last_size = -1;
+  int sleep_ms = interval_ms;
   for (;;) {
+    struct stat st;
+    const bool statted = ::stat(path.c_str(), &st) == 0;
+    if (statted && static_cast<long long>(st.st_size) == last_size) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      sleep_ms = std::min(sleep_ms * 2, max_interval_ms);
+      continue;  // unchanged: no read, no re-scan
+    }
+    if (statted) last_size = static_cast<long long>(st.st_size);
+    sleep_ms = interval_ms;
     bool ok = false;
     const std::string bytes = read_file(path, &ok);
     if (ok) {
@@ -291,11 +324,34 @@ int follow(const std::string& path, int interval_ms) {
 
 }  // namespace
 
+int connect_mode(const std::string& socket_path,
+                 const std::string& request) {
+  std::string response, error;
+  if (!gg::serve::endpoint_request(socket_path, request, &response, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fwrite(response.data(), 1, response.size(), stdout);
+  if (!response.empty() && response.back() != '\n') std::printf("\n");
+  return response.rfind("ERR", 0) == 0 ? 1 : 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
+  if (std::string(argv[1]) == "--connect") {
+    if (argc < 3) return usage(argv[0]);
+    std::string request;
+    for (int i = 3; i < argc; ++i) {
+      if (!request.empty()) request += ' ';
+      request += argv[i];
+    }
+    if (request.empty()) request = "STATUS";
+    return connect_mode(argv[2], request);
+  }
   const std::string path = argv[1];
   bool follow_mode = false, json = false;
   int interval_ms = 100;
+  int max_interval_ms = 2000;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--follow") {
@@ -305,6 +361,13 @@ int main(int argc, char** argv) {
       interval_ms = std::atoi(argv[++i]);
       if (interval_ms <= 0) {
         std::fprintf(stderr, "--interval expects a positive ms count\n");
+        return 2;
+      }
+    } else if (arg == "--max-interval") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      max_interval_ms = std::atoi(argv[++i]);
+      if (max_interval_ms <= 0) {
+        std::fprintf(stderr, "--max-interval expects a positive ms count\n");
         return 2;
       }
     } else if (arg == "--json") {
@@ -317,5 +380,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--follow and --json are mutually exclusive\n");
     return 2;
   }
-  return follow_mode ? follow(path, interval_ms) : one_shot(path, json);
+  max_interval_ms = std::max(max_interval_ms, interval_ms);
+  return follow_mode ? follow(path, interval_ms, max_interval_ms)
+                     : one_shot(path, json);
 }

@@ -2,16 +2,32 @@
 //
 //   ggtrace-gen --grains 1000000 --out big.ggtrace
 //   ggtrace-gen --grains 100000 --seed 7 --workers 16 --out big.ggbin
+//   ggtrace-gen --grains 5000 --out run.ggspool --live --throttle-ms 5
 //
-// The output format is chosen by extension (.ggtrace text, .ggbin binary;
-// anything else defaults to text). The generated trace is checked with
-// validate_trace_structured before writing; identical options always yield
-// a byte-identical file.
+// The output format is chosen by extension (.ggtrace text, .ggbin binary,
+// .ggspool epoch-frame stream; anything else defaults to text). The
+// generated trace is checked with validate_trace_structured before writing;
+// identical options always yield a byte-identical file.
+//
+// Spool output doubles as the serve-layer soak writer: --live appends the
+// stream in small seeded slices (deliberately unaligned with frame
+// boundaries) with an optional --throttle-ms sleep between writes, so a
+// concurrent ggserved tail sees exactly the torn-prefix reads a real
+// engine produces. --ending picks how the stream ends: clean (footer),
+// nofooter (SIGKILL after the last epoch), torn (crash inside write(2)),
+// garbage (tail rot after the last valid frame). Killing a throttled live
+// writer mid-run is the intended way to fake a crashing engine.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <thread>
 
+#include "fault/fault.hpp"
 #include "trace/serialize.hpp"
+#include "trace/spool.hpp"
 #include "trace/synth.hpp"
 #include "trace/validate.hpp"
 
@@ -19,7 +35,7 @@ namespace {
 
 void usage(const char* prog) {
   std::fprintf(stderr,
-               "usage: %s [options] --out <path.(ggtrace|ggbin)>\n"
+               "usage: %s [options] --out <path.(ggtrace|ggbin|ggspool)>\n"
                "  --grains N         target grain count (default 1000)\n"
                "  --seed N           RNG seed (default 1)\n"
                "  --workers N        team size (default 8)\n"
@@ -28,8 +44,32 @@ void usage(const char* prog) {
                "(default 0.25)\n"
                "  --nest-prob F      probability a child forks a sub-batch "
                "(default 0.25)\n"
-               "  --sources N        distinct source locations (default 32)\n",
+               "  --sources N        distinct source locations (default 32)\n"
+               "spool output (--out *.ggspool):\n"
+               "  --epoch-bytes N    epoch seal threshold (default 2048)\n"
+               "  --live             append in small seeded slices instead of\n"
+               "                     one write (tail-reader soak mode)\n"
+               "  --throttle-ms N    sleep between live slices (default 0)\n"
+               "  --chunk N          max live slice size (default 4096)\n"
+               "  --ending K         clean|nofooter|torn|garbage (default "
+               "clean)\n",
                prog);
+}
+
+bool parse_ending(const std::string& name,
+                  gg::fault::LiveWriterPlan::Ending* out) {
+  using Ending = gg::fault::LiveWriterPlan::Ending;
+  if (name == "clean") *out = Ending::Clean;
+  else if (name == "nofooter") *out = Ending::FooterlessCrash;
+  else if (name == "torn") *out = Ending::TornFrame;
+  else if (name == "garbage") *out = Ending::Garbage;
+  else return false;
+  return true;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
 }
 
 }  // namespace
@@ -38,6 +78,10 @@ int main(int argc, char** argv) {
   using namespace gg;
   SynthOptions opts;
   std::string out;
+  u64 epoch_bytes = 2048;
+  bool live = false;
+  int throttle_ms = 0;
+  fault::LiveWriterPlan plan;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -63,6 +107,20 @@ int main(int argc, char** argv) {
       opts.sources = static_cast<u32>(std::strtoul(value(), nullptr, 10));
     } else if (arg == "--out") {
       out = value();
+    } else if (arg == "--epoch-bytes") {
+      epoch_bytes = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--live") {
+      live = true;
+    } else if (arg == "--throttle-ms") {
+      throttle_ms = std::atoi(value());
+    } else if (arg == "--chunk") {
+      plan.chunk_max = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--ending") {
+      if (!parse_ending(value(), &plan.ending)) {
+        std::fprintf(stderr,
+                     "error: --ending expects clean|nofooter|torn|garbage\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -91,6 +149,43 @@ int main(int argc, char** argv) {
                    rep.violations[i].message.c_str());
     }
     return 1;
+  }
+  if (ends_with(out, ".ggspool")) {
+    if (epoch_bytes == 0 || plan.chunk_max == 0 || throttle_ms < 0) {
+      std::fprintf(stderr,
+                   "error: --epoch-bytes/--chunk must be >= 1, "
+                   "--throttle-ms >= 0\n");
+      return 2;
+    }
+    plan.seed = opts.seed;
+    if (!live) {
+      // One-shot: a single maximal slice, but still through the same
+      // ending transformation as the live path.
+      plan.chunk_min = plan.chunk_max = ~size_t{0} >> 1;
+    }
+    std::string bytes = spool::spool_trace_bytes(trace, epoch_bytes);
+    {  // start from an empty file; the writer appends
+      std::ofstream trunc(out, std::ios::binary | std::ios::trunc);
+      if (!trunc) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+      }
+    }
+    fault::LiveSpoolWriter writer(out, std::move(bytes), plan);
+    while (!writer.done()) {
+      if (writer.step() == 0) {
+        std::fprintf(stderr, "error: short write to %s\n", out.c_str());
+        return 1;
+      }
+      if (throttle_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(throttle_ms));
+      }
+    }
+    std::printf("%s: %zu bytes spooled (%zu grains, %d workers, seed %llu)\n",
+                out.c_str(), writer.total_bytes(), trace.grain_count(),
+                trace.meta.num_workers,
+                static_cast<unsigned long long>(opts.seed));
+    return 0;
   }
   if (!save_trace_file(trace, out)) {
     std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
