@@ -1,0 +1,291 @@
+// perf_deque — producer/consumer contention benchmark over the pluggable
+// work-queue backends (rts/work_queue.hpp), in the style of the scal
+// benchmarking framework: one owner thread pushes and pops while thief
+// threads steal, across backends x thread counts x grain sizes, where the
+// grain size is spin-work per consumed item (grain 0 is pure queue-protocol
+// contention; larger grains approximate real task bodies and show the
+// contention cost amortizing away).
+//
+//   perf_deque [--items N] [--reps R] [--quick] [--out file.json]
+//
+// Every timed run is also an accounting run: each pushed value must come
+// back exactly once (the free-running cousin of the check_deque harness),
+// and the bench additionally replays one generated program on the threaded
+// engine under a fixed controller schedule once per backend, requiring the
+// canonical structural signature to match the serial reference — the same
+// cross-backend equivalence backend_equiv_test proves, gated here so a
+// BENCH_deque.json can never come from runs that disagreed on structure.
+// Exit 1 when either gate fails. Results go to BENCH_deque.json: median
+// throughput (items/ms) per {backend, threads, grain}.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/genprog.hpp"
+#include "check/schedule.hpp"
+#include "check/serial_ref.hpp"
+#include "check/signature.hpp"
+#include "rts/threaded_engine.hpp"
+#include "rts/work_queue.hpp"
+#include "support/bench_support.hpp"
+#include "topology/topology.hpp"
+
+namespace {
+
+using namespace gg;
+
+i64 now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Spin-work standing in for a task body of `grain` iterations.
+void burn(u64 grain) {
+  volatile u64 sink = 0;
+  for (u64 i = 0; i < grain; ++i) sink = sink + i;
+}
+
+struct RunOutcome {
+  bool clean = false;  ///< every value delivered exactly once
+  i64 wall_ns = 0;
+};
+
+/// One free-running contention run: the owner pushes `items` values
+/// (popping every third), `threads - 1` thieves steal, everyone burns
+/// `grain` per consumed item. Returns wall time and the accounting verdict.
+RunOutcome contention_run(rts::QueueBackend backend, int threads, u64 items,
+                          u64 grain) {
+  rts::WorkQueueConfig cfg;
+  auto queue = rts::make_work_queue<u64>(backend, cfg);
+  const int thieves = threads - 1;
+  std::atomic<bool> go{false};
+  std::atomic<bool> done_pushing{false};
+  std::vector<std::vector<u64>> got(static_cast<size_t>(threads));
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(thieves));
+  for (int t = 1; t <= thieves; ++t) {
+    pool.emplace_back([&, t] {
+      auto& mine = got[static_cast<size_t>(t)];
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (true) {
+        if (auto v = queue->steal()) {
+          mine.push_back(*v);
+          burn(grain);
+          continue;
+        }
+        if (done_pushing.load(std::memory_order_acquire) &&
+            queue->size_estimate() == 0) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+
+  const i64 t0 = now_ns();
+  go.store(true, std::memory_order_release);
+  auto& mine = got[0];
+  for (u64 v = 1; v <= items; ++v) {
+    queue->push(v);
+    if (v % 3 == 0) {
+      if (auto x = queue->pop()) {
+        mine.push_back(*x);
+        burn(grain);
+      }
+    }
+  }
+  while (auto x = queue->pop()) {
+    mine.push_back(*x);
+    burn(grain);
+  }
+  done_pushing.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  while (auto x = queue->pop()) mine.push_back(*x);
+
+  RunOutcome out;
+  out.wall_ns = now_ns() - t0;
+  std::vector<u64> all;
+  all.reserve(items);
+  for (const auto& g : got) all.insert(all.end(), g.begin(), g.end());
+  std::sort(all.begin(), all.end());
+  out.clean = all.size() == items;
+  for (u64 v = 1; out.clean && v <= items; ++v) {
+    out.clean = all[static_cast<size_t>(v - 1)] == v;
+  }
+  return out;
+}
+
+i64 median(std::vector<i64> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+/// Cross-backend analysis-equivalence gate: one generated program, one
+/// fixed controller schedule, every backend; all canonical structural
+/// signatures must equal the serial reference's.
+bool backends_agree_on_structure() {
+  const check::ProgramSpec spec = check::generate_program(/*seed=*/8);
+  constexpr int kWorkers = 3;
+
+  check::SerialRefOptions sropts;
+  sropts.topology = Topology::opteron48();
+  sropts.team_size = kWorkers;
+  check::SerialRefEngine ref_eng(sropts);
+  const std::string ref = check::canonical_signature(run_spec(spec, ref_eng));
+
+  bool ok = true;
+  for (const rts::QueueBackend b : rts::kAllQueueBackends) {
+    check::ScheduleOptions sopts;
+    sopts.strategy = check::Strategy::RandomWalk;
+    sopts.seed = 0xbe11c4ull;
+    sopts.num_threads = kWorkers;
+    check::ScheduleController ctrl(sopts);
+    rts::Options ropts;
+    ropts.num_workers = kWorkers;
+    ropts.queue_backend = b;
+    ctrl.install();
+    Trace trace;
+    {
+      rts::ThreadedEngine eng(ropts);
+      trace = run_spec(spec, eng);
+    }
+    ctrl.uninstall();
+    const std::string sig = check::canonical_signature(trace);
+    if (sig != ref) {
+      std::fprintf(stderr,
+                   "error: backend %s diverged from the serial reference "
+                   "on the replayed schedule: %s\n",
+                   rts::to_string(b),
+                   check::first_signature_diff(ref, sig).c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u64 items = 200000;
+  int reps = 5;
+  std::string out_json = "BENCH_deque.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--items") {
+      items = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--reps") {
+      reps = std::atoi(value());
+    } else if (arg == "--quick") {
+      items = 20000;
+      reps = 3;
+    } else if (arg == "--out") {
+      out_json = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--items N] [--reps R] [--quick] "
+                   "[--out file.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  bench::print_header(
+      "work-queue backend contention (owner push/pop vs thief steals)",
+      "n/a (scheduler-substrate microbenchmark; backends validated by the "
+      "oracle)");
+
+  constexpr int kThreadCounts[] = {1, 2, 4};
+  constexpr u64 kGrains[] = {0, 64, 512};
+
+  bool accounting_ok = true;
+  struct Row {
+    rts::QueueBackend backend;
+    int threads;
+    u64 grain;
+    i64 wall_ns;
+    double items_per_ms;
+  };
+  std::vector<Row> rows;
+
+  for (const rts::QueueBackend backend : rts::kAllQueueBackends) {
+    for (const int threads : kThreadCounts) {
+      for (const u64 grain : kGrains) {
+        std::vector<i64> walls;
+        for (int r = 0; r < reps; ++r) {
+          const RunOutcome o = contention_run(backend, threads, items, grain);
+          if (!o.clean) {
+            std::fprintf(stderr,
+                         "error: %s threads=%d grain=%llu rep=%d lost or "
+                         "duplicated values\n",
+                         rts::to_string(backend), threads,
+                         static_cast<unsigned long long>(grain), r);
+            accounting_ok = false;
+          }
+          walls.push_back(o.wall_ns);
+        }
+        Row row;
+        row.backend = backend;
+        row.threads = threads;
+        row.grain = grain;
+        row.wall_ns = median(walls);
+        row.items_per_ms = row.wall_ns > 0
+                               ? static_cast<double>(items) /
+                                     (static_cast<double>(row.wall_ns) / 1e6)
+                               : 0.0;
+        rows.push_back(row);
+      }
+    }
+  }
+
+  std::printf("%-10s %8s %7s %12s %14s\n", "backend", "threads", "grain",
+              "median ms", "items/ms");
+  for (const Row& r : rows) {
+    std::printf("%-10s %8d %7llu %12.3f %14.1f\n", rts::to_string(r.backend),
+                r.threads, static_cast<unsigned long long>(r.grain),
+                static_cast<double>(r.wall_ns) / 1e6, r.items_per_ms);
+  }
+
+  std::printf("cross-backend structural-equivalence gate: ");
+  const bool equiv_ok = backends_agree_on_structure();
+  std::printf("%s\n", equiv_ok ? "pass" : "FAIL");
+  std::printf("value accounting across all runs: %s\n",
+              accounting_ok ? "pass" : "FAIL");
+
+  std::ofstream os(out_json);
+  if (!os) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_json.c_str());
+    return 1;
+  }
+  os << "{\n  \"bench\": \"perf_deque\",\n  \"items\": " << items
+     << ",\n  \"reps\": " << reps << ",\n  \"accounting_ok\": "
+     << (accounting_ok ? "true" : "false") << ",\n  \"equivalence_ok\": "
+     << (equiv_ok ? "true" : "false") << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    os << "    {\"backend\": \"" << rts::to_string(r.backend)
+       << "\", \"threads\": " << r.threads << ", \"grain\": " << r.grain
+       << ", \"median_ns\": " << r.wall_ns << ", \"items_per_ms\": "
+       << r.items_per_ms << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"pass\": "
+     << (accounting_ok && equiv_ok ? "true" : "false") << "\n}\n";
+  os.close();
+  std::printf("wrote %s\n", out_json.c_str());
+  return accounting_ok && equiv_ok ? 0 : 1;
+}

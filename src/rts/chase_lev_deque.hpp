@@ -142,9 +142,12 @@ class ChaseLevDeque {
   bool empty_estimate() const { return size_estimate() == 0; }
 
   /// Times the buffer doubled since construction. Owner-written (amortized,
-  /// off the hot path); read it only from the owner or after the owner
-  /// quiesced (e.g. post-join), as the counter is deliberately non-atomic.
-  u64 resize_count() const { return resizes_; }
+  /// off the hot path) but readable from any thread: the telemetry sampler
+  /// and supervisor poll it while the owner is live, so the counter is a
+  /// relaxed atomic — monotonic, no ordering implied for other state.
+  u64 resize_count() const {
+    return resizes_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Buffer {
@@ -166,7 +169,7 @@ class ChaseLevDeque {
 
   // Owner-only: doubles the buffer, copying live entries [t, b).
   Buffer* grow(Buffer* old, i64 t, i64 b) {
-    ++resizes_;
+    resizes_.fetch_add(1, std::memory_order_relaxed);
     auto bigger = std::make_unique<Buffer>(old->capacity * 2);
 #ifdef GG_MUT_DEQUE_GROW_DROP_OLDEST
     // Seeded bug: the copy starts one past the top, losing the oldest live
@@ -185,7 +188,7 @@ class ChaseLevDeque {
   std::atomic<i64> bottom_{0};
   std::atomic<Buffer*> buffer_{nullptr};
   std::vector<std::unique_ptr<Buffer>> retired_;  // owner-only mutation
-  u64 resizes_ = 0;                               // owner-only mutation
+  std::atomic<u64> resizes_{0};  // owner-written, any-thread readable
 };
 
 }  // namespace gg::rts

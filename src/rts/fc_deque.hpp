@@ -1,0 +1,210 @@
+// Flat-combining work-stealing deque (FCDeque).
+//
+// Flat combining (Hendler, Incze, Shavit & Tzafrir, SPAA'10) replaces
+// per-operation fine-grained synchronization with announcement + combining:
+// a thread publishes its operation as a request record on a lock-free
+// publication list (a Treiber stack claimed wholesale by the combiner, so
+// no per-slot registration is needed), then either becomes the combiner —
+// acquiring a try-lock and applying *every* pending request against a plain
+// sequential deque — or spins until some combiner has applied its request.
+// One cacheline acquisition per batch amortizes the synchronization cost
+// that a CAS-per-op deque pays on every operation; under contention the
+// batch grows and throughput rises instead of collapsing.
+//
+// Operation semantics match the other backends: push/pop at the newest end
+// (owner, LIFO), steal from the oldest end (FIFO). Requests are
+// stack-allocated by the caller and live until the combiner marks them
+// done; the combiner reads a request's link BEFORE completing it, and never
+// touches it after, so the release on `done` is the record's last use.
+//
+// Under the deterministic schedule controller, waiting threads spin at
+// PreemptPoint::Idle — a voluntary yield the controller can always switch
+// at, even with the preemption budget exhausted — so combining can never
+// livelock a serialized schedule. No preemption point sits inside the
+// combiner's critical section for the same reason preempt points sit
+// before the central queue's lock. The GG_MUT_* block is a compile-time
+// seeded bug for the mutation smoke-test; never enabled in production.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <optional>
+
+#include "common/types.hpp"
+#include "rts/preempt.hpp"
+
+namespace gg::rts {
+
+template <typename T>
+class FCDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "requests copy values; store pointers or handles");
+
+ public:
+  FCDeque() = default;
+  FCDeque(const FCDeque&) = delete;
+  FCDeque& operator=(const FCDeque&) = delete;
+
+  /// Owner-only by convention (any thread is actually safe — everything is
+  /// combined); publishes a value at the newest end.
+  void push(T value) {
+    preempt_point(PreemptPoint::DequePush);
+    Request req(Op::Push, value);
+    announce(req);
+    // Publish-class point: wakes sleep-set-parked thieves, exactly like the
+    // bottom publish in the Chase-Lev push.
+    preempt_point(PreemptPoint::DequePushPublish);
+    await(req);
+  }
+
+  /// Owner: takes the most recently pushed value (LIFO).
+  std::optional<T> pop(bool* lost_race = nullptr) {
+    if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::DequePopReserve);
+    Request req(Op::Pop, T{});
+    announce(req);
+    await(req);
+    return req.result;
+  }
+
+  /// Thief: takes the oldest value (FIFO).
+  std::optional<T> steal(bool* lost_race = nullptr) {
+    if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::DequeStealLoad);
+    Request req(Op::Steal, T{});
+    announce(req);
+    await(req);
+    return req.result;
+  }
+
+  /// Approximate number of queued items (any thread).
+  size_t size_estimate() const {
+    return size_hint_.load(std::memory_order_relaxed);
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+  /// The sequential deque never reallocates visibly; growth is a
+  /// non-event for this backend.
+  u64 grow_count() const { return 0; }
+
+  /// Failed combiner-lock acquisitions (any thread): each one is a batch
+  /// formed under contention.
+  u64 contention_events() const {
+    return contention_.load(std::memory_order_relaxed);
+  }
+
+  /// Requests applied minus combining batches: how much synchronization
+  /// flat combining amortized away (diagnostics for the bench).
+  u64 combined_ops() const {
+    return combined_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  enum class Op : u8 { Push, Pop, Steal };
+
+  struct Request {
+    Request(Op o, T v) : op(o), value(v) {}
+    const Op op;
+    const T value;
+    std::optional<T> result;
+    std::atomic<bool> done{false};
+    std::atomic<Request*> next{nullptr};
+  };
+
+  /// Treiber-stack publication: one release CAS, no registration.
+  void announce(Request& req) {
+    Request* head = published_.load(std::memory_order_relaxed);
+    do {
+      req.next.store(head, std::memory_order_relaxed);
+    } while (!published_.compare_exchange_weak(head, &req,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+  }
+
+  /// Spin until a combiner (possibly this thread) has applied `req`.
+  void await(Request& req) {
+    while (!req.done.load(std::memory_order_acquire)) {
+      preempt_point(PreemptPoint::DequeCombine);
+      if (!lock_.exchange(true, std::memory_order_acquire)) {
+        combine();
+        lock_.store(false, std::memory_order_release);
+        continue;  // re-check: our request was in some drained batch
+      }
+      contention_.fetch_add(1, std::memory_order_relaxed);
+      // Someone else is combining; a voluntary yield keeps the serialized
+      // schedule controller free to run the combiner.
+      preempt_point(PreemptPoint::Idle);
+    }
+  }
+
+  /// Combiner (lock held): claim the whole publication list, apply every
+  /// request against the sequential deque in announcement order.
+  void combine() {
+    Request* batch = published_.exchange(nullptr, std::memory_order_acquire);
+    // The Treiber stack yields newest-first; reverse so the batch applies
+    // in the order the operations were announced.
+    Request* ordered = nullptr;
+    size_t batch_size = 0;
+    while (batch != nullptr) {
+      Request* next = batch->next.load(std::memory_order_relaxed);
+      batch->next.store(ordered, std::memory_order_relaxed);
+      ordered = batch;
+      batch = next;
+      ++batch_size;
+    }
+    if (batch_size > 1) {
+      combined_.fetch_add(batch_size - 1, std::memory_order_relaxed);
+    }
+    while (ordered != nullptr) {
+      Request* req = ordered;
+      // Read the link BEFORE completing: the moment `done` is released the
+      // requester may destroy the record.
+      ordered = req->next.load(std::memory_order_relaxed);
+#ifdef GG_MUT_FC_DROP_COMBINE
+      // Seeded bug: the combiner's slot bookkeeping loses every third push
+      // — the request is marked done without ever being applied, so the
+      // announced value silently vanishes from the deque.
+      if (req->op == Op::Push && ++mut_drop_tick_ % 3 == 0) {
+        req->done.store(true, std::memory_order_release);
+        continue;
+      }
+#endif
+      apply(*req);
+      req->done.store(true, std::memory_order_release);
+    }
+  }
+
+  void apply(Request& req) {
+    switch (req.op) {
+      case Op::Push:
+        items_.push_back(req.value);
+        break;
+      case Op::Pop:
+        if (!items_.empty()) {
+          req.result = items_.back();
+          items_.pop_back();
+        }
+        break;
+      case Op::Steal:
+        if (!items_.empty()) {
+          req.result = items_.front();
+          items_.pop_front();
+        }
+        break;
+    }
+    size_hint_.store(items_.size(), std::memory_order_relaxed);
+  }
+
+  std::atomic<Request*> published_{nullptr};
+  std::atomic<bool> lock_{false};
+  std::deque<T> items_;  // combiner-only, guarded by lock_
+  std::atomic<size_t> size_hint_{0};
+  std::atomic<u64> contention_{0};
+  std::atomic<u64> combined_{0};
+#ifdef GG_MUT_FC_DROP_COMBINE
+  u64 mut_drop_tick_ = 0;  // combiner-only, guarded by lock_
+#endif
+};
+
+}  // namespace gg::rts

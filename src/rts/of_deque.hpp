@@ -1,0 +1,251 @@
+// Obstruction-free unbounded work-stealing deque (OFDeque).
+//
+// Design (after the unbounded obstruction-free deques of the Herlihy/
+// Luchangco/Moir lineage, simplified for the single-owner runtime setting):
+// values live in an append-only chain of fixed-size segments; each cell
+// carries an atomic state {Empty, Ready, Taken}. The owner publishes a cell
+// by writing the value and then releasing state=Ready; claiming — by the
+// owner from the newest end (LIFO) or by thieves from the oldest end
+// (FIFO) — is a single CAS Ready->Taken on the cell itself, so no two
+// claimants can ever receive the same value, and a stalled thread can only
+// delay, never block, the others: there is no shared top/bottom CAS to
+// fight over, only per-cell claims (obstruction freedom).
+//
+// Cells are never reused (indices grow monotonically), which rules out ABA
+// on the state byte by construction, and segments are retained until
+// destruction — the same retire-nothing simplification the Chase-Lev deque
+// makes for its grown buffers, with growth linear in pushes rather than
+// logarithmic. The runtime allocates a Task object per spawn anyway, so
+// one cell per push is the same order of traffic.
+//
+// Index hints: `bottom_` is the next index the owner writes (monotonic);
+// `top_hint_` is a lower bound on the oldest possibly-Ready index, advanced
+// cooperatively by thieves that observe Taken cells; `scan_top_` is an
+// owner-private cursor that skips the owner's own consumed suffix so
+// repeated pops stay amortized O(1). All are hints — per-cell state is the
+// ground truth — so stale loads cost extra scanning, never correctness.
+//
+// Preemption points (rts/preempt.hpp) mark every publish/claim step so the
+// deterministic schedule controller can explore interleavings, and the
+// GG_MUT_* block is a compile-time seeded bug for the mutation smoke-test;
+// never enabled in production builds.
+#pragma once
+
+#include <atomic>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "rts/preempt.hpp"
+
+namespace gg::rts {
+
+template <typename T>
+class OFDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "cells are raw atomics; store pointers or handles");
+
+ public:
+  explicit OFDeque(size_t segment_capacity = 64)
+      : segment_capacity_(segment_capacity < 2 ? 2 : segment_capacity) {
+    Segment* seg = new Segment(0, segment_capacity_, nullptr);
+    first_.store(seg, std::memory_order_release);
+    tail_seg_ = seg;
+  }
+
+  OFDeque(const OFDeque&) = delete;
+  OFDeque& operator=(const OFDeque&) = delete;
+
+  ~OFDeque() {
+    Segment* s = first_.load(std::memory_order_acquire);
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_acquire);
+      delete s;
+      s = next;
+    }
+  }
+
+  /// Owner-only: publishes a value at the newest end.
+  void push(T value) {
+    preempt_point(PreemptPoint::DequePush);
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    Cell* cell = owner_cell_for(b);
+#ifdef GG_MUT_OF_PUBLISH_BEFORE_WRITE
+    // Seeded bug: the Ready publish (and the bottom bump) is reordered
+    // before the value write — the missing release edge made visible in
+    // program order. A thief scheduled in the window claims the cell and
+    // reads the never-written slot (a bogus zero), and the owner's late
+    // write lands in a Taken cell nobody looks at again (the value is
+    // lost).
+    cell->state.store(kReady, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_release);
+    preempt_point(PreemptPoint::DequePushPublish);
+    cell->value.store(value, std::memory_order_relaxed);
+#else
+    cell->value.store(value, std::memory_order_relaxed);
+    preempt_point(PreemptPoint::DequePushPublish);
+    // Release on the state publish orders the value write before any
+    // claimant's acquire of the state.
+    cell->state.store(kReady, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_release);
+#endif
+    scan_top_ = b;
+  }
+
+  /// Owner-only: claims the newest Ready cell (LIFO). Sets `lost_race` iff
+  /// a thief won a claim CAS this pop attempted.
+  std::optional<T> pop(bool* lost_race = nullptr) {
+    if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::DequePopReserve);
+    const i64 t = top_hint_.load(std::memory_order_acquire);
+    i64 i = scan_top_;
+    while (i >= t) {
+      Cell& cell = owner_cell_at(i);
+      u8 st = cell.state.load(std::memory_order_acquire);
+      if (st == kTaken) {
+        // Consumed suffix: never rescanned (the cursor only moves down
+        // between pushes), keeping drains amortized O(1) per pop.
+        scan_top_ = --i;
+        continue;
+      }
+      GG_CHECK(st == kReady);  // owner never sees Empty below its bottom
+      preempt_point(PreemptPoint::DequePopCas);
+      if (cell.state.compare_exchange_strong(st, kTaken,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        scan_top_ = i - 1;
+        return cell.value.load(std::memory_order_relaxed);
+      }
+      // A thief claimed it between our load and CAS; it is Taken now.
+      if (lost_race) *lost_race = true;
+      contention_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
+
+  /// Thief: claims the oldest Ready cell (FIFO). Scans up from the top
+  /// hint, helping advance it over Taken prefixes. A lost claim CAS sets
+  /// `lost_race` and moves on to the next cell — a stalled competitor
+  /// never forces a retry loop on the same cell.
+  std::optional<T> steal(bool* lost_race = nullptr) {
+    if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::DequeStealLoad);
+    i64 t = top_hint_.load(std::memory_order_acquire);
+    const i64 b = bottom_.load(std::memory_order_acquire);
+    Segment* seg = segment_for(t);
+    for (i64 i = t; i < b; ++i) {
+      while (seg != nullptr &&
+             i >= seg->base + static_cast<i64>(seg->capacity)) {
+        seg = seg->next.load(std::memory_order_acquire);
+      }
+      if (seg == nullptr) break;  // next segment not linked in yet
+      Cell& cell = seg->cells[static_cast<size_t>(i - seg->base)];
+      u8 st = cell.state.load(std::memory_order_acquire);
+      if (st == kTaken) {
+        if (i == t) {
+          // Help advance the hint over the consumed prefix.
+          top_hint_.compare_exchange_strong(t, i + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
+          t = i + 1;
+        }
+        continue;
+      }
+      if (st == kEmpty) break;  // raced past the published range
+      preempt_point(PreemptPoint::DequeStealCas);
+      if (cell.state.compare_exchange_strong(st, kTaken,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        return cell.value.load(std::memory_order_relaxed);
+      }
+      if (lost_race) *lost_race = true;
+      contention_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate number of live items (any thread). Over-counts cells
+  /// claimed between the hints; an estimate, like Chase-Lev's.
+  size_t size_estimate() const {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 t = top_hint_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+  /// Segments allocated past the first (the unbounded-growth analogue of
+  /// Chase-Lev's resize count). Owner-written, any-thread readable.
+  u64 grow_count() const { return grows_.load(std::memory_order_relaxed); }
+
+  /// Claim CASes lost to a competing claimant (any thread).
+  u64 contention_events() const {
+    return contention_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr u8 kEmpty = 0;
+  static constexpr u8 kReady = 1;
+  static constexpr u8 kTaken = 2;
+
+  struct Cell {
+    std::atomic<u8> state{kEmpty};
+    std::atomic<T> value{};
+  };
+
+  struct Segment {
+    Segment(i64 base_, size_t cap, Segment* prev_)
+        : base(base_), capacity(cap), cells(new Cell[cap]), prev(prev_) {}
+    ~Segment() { delete[] cells; }
+    const i64 base;
+    const size_t capacity;
+    Cell* const cells;
+    std::atomic<Segment*> next{nullptr};
+    Segment* const prev;  // owner-only back-link for pop scans
+  };
+
+  // Owner-only: cell for index `i`, allocating a new tail segment when `i`
+  // is one past the chain.
+  Cell* owner_cell_for(i64 i) {
+    Segment* seg = tail_seg_;
+    if (i >= seg->base + static_cast<i64>(seg->capacity)) {
+      Segment* fresh = new Segment(
+          seg->base + static_cast<i64>(seg->capacity), segment_capacity_, seg);
+      grows_.fetch_add(1, std::memory_order_relaxed);
+      // Publish the link last so thieves only ever traverse fully
+      // constructed segments.
+      seg->next.store(fresh, std::memory_order_release);
+      tail_seg_ = fresh;
+      seg = fresh;
+    }
+    return &seg->cells[static_cast<size_t>(i - seg->base)];
+  }
+
+  // Owner-only: cell at an already-published index (pop scans).
+  Cell& owner_cell_at(i64 i) {
+    Segment* seg = tail_seg_;
+    while (i < seg->base) seg = seg->prev;
+    return seg->cells[static_cast<size_t>(i - seg->base)];
+  }
+
+  // Any thread: segment containing index `i`, or null past the chain.
+  Segment* segment_for(i64 i) const {
+    Segment* seg = first_.load(std::memory_order_acquire);
+    while (seg != nullptr &&
+           i >= seg->base + static_cast<i64>(seg->capacity)) {
+      seg = seg->next.load(std::memory_order_acquire);
+    }
+    return seg;
+  }
+
+  const size_t segment_capacity_;
+  std::atomic<Segment*> first_{nullptr};
+  Segment* tail_seg_ = nullptr;  // owner-only
+  i64 scan_top_ = -1;            // owner-only: newest maybe-unconsumed index
+  std::atomic<i64> top_hint_{0};
+  std::atomic<i64> bottom_{0};
+  std::atomic<u64> grows_{0};
+  std::atomic<u64> contention_{0};
+};
+
+}  // namespace gg::rts

@@ -106,7 +106,7 @@ struct alignas(64) SchedCounters {
 
 struct ThreadedEngine::Worker {
   int id = 0;
-  ChaseLevDeque<Task*> deque;
+  std::unique_ptr<WorkQueue<Task*>> queue;  // backend per opts_.queue_backend
   std::thread thread;  // not started for worker 0 (the caller's thread)
   TraceRecorder::Writer writer;
   Xoshiro256 rng;
@@ -122,8 +122,9 @@ struct ThreadedEngine::Worker {
   std::atomic<u8> state{static_cast<u8>(WorkerState::Idle)};
   std::atomic<TaskId> current_task{kNoTask};
 
-  Worker(int id_, TraceRecorder::Writer w, u64 seed)
-      : id(id_), writer(w), rng(seed) {}
+  Worker(int id_, std::unique_ptr<WorkQueue<Task*>> q, TraceRecorder::Writer w,
+         u64 seed)
+      : id(id_), queue(std::move(q)), writer(w), rng(seed) {}
 };
 
 /// Cached metric handles for the engine's self-telemetry. Registry lookups
@@ -268,7 +269,7 @@ class ThreadedEngine::CtxImpl final : public Ctx {
       }
       if (!inline_child && o.inline_queue_limit > 0) {
         const size_t qsize = o.scheduler == SchedulerKind::WorkStealing
-                                 ? w_->deque.size_estimate()
+                                 ? w_->queue->size_estimate()
                                  : eng.central_queue_.size_estimate();
         if (qsize >= o.inline_queue_limit) inline_child = true;
       }
@@ -283,6 +284,17 @@ class ThreadedEngine::CtxImpl final : public Ctx {
     const StrId child_src = child->src;
 
     const bool guarded = deps != nullptr && !deps->empty();
+    // creation_cost ends HERE — before the child becomes visible to
+    // thieves. The fork graph node spans [create_time, create_time +
+    // creation_cost] and carries a Creation edge to the child's first
+    // fragment, so the critical path sums both; if the cost included the
+    // enqueue (a flat-combining push can wait descheduled long after the
+    // combiner published the child, and every backend has a preemption
+    // point after its publish), the child could execute entirely inside
+    // the creation window and the summed path would exceed the wall-clock
+    // makespan. The enqueue wait is still in the trace, as the gap
+    // between the fork node and the parent's next fragment.
+    const TimeNs created = eng.now();
     if (!inline_child) {
       child->parent->refs.fetch_add(1, std::memory_order_relaxed);
       child->parent->live_children.fetch_add(1, std::memory_order_relaxed);
@@ -290,7 +302,6 @@ class ThreadedEngine::CtxImpl final : public Ctx {
       if (!guarded) eng.push_task(child, *w_);
       // else: enqueued when the creation guard drops below.
     }
-    const TimeNs created = eng.now();
     ++children_since_join_;
 
     if (eng.profiling()) {
@@ -496,14 +507,15 @@ front::RegionId ThreadedEngine::alloc_region(const std::string& name,
 
 TimeNs ThreadedEngine::now() const {
 #if defined(__x86_64__) || defined(__i386__)
-  return static_cast<TimeNs>(
-      static_cast<double>(tsc_now() - tsc_base_) * tsc_ns_per_tick());
-#else
+  if (!opts_.strict_clock) {
+    return static_cast<TimeNs>(
+        static_cast<double>(tsc_now() - tsc_base_) * tsc_ns_per_tick());
+  }
+#endif
   return static_cast<TimeNs>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - region_start_)
           .count());
-#endif
 }
 
 ThreadedEngine::Task* ThreadedEngine::make_task(TaskFn body, Task* parent,
@@ -529,9 +541,9 @@ void ThreadedEngine::release_task(Task* task) {
 void ThreadedEngine::push_task(Task* task, Worker& w) {
   if (opts_.profile) ++w.cnt.deque_pushes;
   if (opts_.scheduler == SchedulerKind::WorkStealing) {
-    w.deque.push(task);
+    w.queue->push(task);
     if (telem_ != nullptr)
-      telem_->queue_depth->observe(w.deque.size_estimate());
+      telem_->queue_depth->observe(w.queue->size_estimate());
   } else {
     central_queue_.push(task);
   }
@@ -547,7 +559,7 @@ ThreadedEngine::Task* ThreadedEngine::get_task(Worker& w) {
     return nullptr;
   }
   bool lost = false;
-  if (auto t = w.deque.pop(prof ? &lost : nullptr)) {
+  if (auto t = w.queue->pop(prof ? &lost : nullptr)) {
     if (prof) ++w.cnt.deque_pops;
     return *t;
   }
@@ -559,7 +571,7 @@ ThreadedEngine::Task* ThreadedEngine::get_task(Worker& w) {
   for (int i = 0; i < n; ++i) {
     const int victim = (start + i) % n;
     if (victim == w.id) continue;
-    if (auto t = workers_[static_cast<size_t>(victim)]->deque.steal(
+    if (auto t = workers_[static_cast<size_t>(victim)]->queue->steal(
             prof ? &lost : nullptr)) {
       if (prof) ++w.cnt.steals;
       if (telem_ != nullptr) telem_->steals->add();
@@ -874,7 +886,7 @@ SupervisorReport ThreadedEngine::build_supervisor_report(
     s.heartbeat_stuck = i < window_beats.size() && s.heartbeat == window_beats[i];
     s.current_task = w.current_task.load(std::memory_order_relaxed);
     s.queue_depth = opts_.scheduler == SchedulerKind::WorkStealing
-                        ? w.deque.size_estimate()
+                        ? w.queue->size_estimate()
                         : central_queue_.size_estimate();
     rep.workers.push_back(s);
   }
@@ -996,10 +1008,16 @@ Trace ThreadedEngine::run(const std::string& program_name,
   auto make_meta = [&](TimeNs region_end) {
     TraceMeta meta;
     meta.program = program_name;
-    meta.runtime = std::string("threaded/") +
-                   (opts_.scheduler == SchedulerKind::WorkStealing
-                        ? "ws"
-                        : "central");
+    if (opts_.scheduler == SchedulerKind::WorkStealing) {
+      // Chase-Lev stays plain "threaded/ws" (bit-compatible with pre-backend
+      // traces); alternatives carry a suffix so analyses can tell them apart.
+      meta.runtime = opts_.queue_backend == QueueBackend::ChaseLev
+                         ? "threaded/ws"
+                         : std::string("threaded/ws-") +
+                               to_string(opts_.queue_backend);
+    } else {
+      meta.runtime = "threaded/central";
+    }
     meta.topology = "host";
     meta.num_workers = opts_.num_workers;
     meta.num_cores = opts_.num_workers;
@@ -1013,7 +1031,7 @@ Trace ThreadedEngine::run(const std::string& program_name,
     }
     meta.profiled = opts_.profile;
 #if defined(__x86_64__) || defined(__i386__)
-    meta.clock_source = "tsc";
+    meta.clock_source = opts_.strict_clock ? "steady_clock" : "tsc";
 #else
     meta.clock_source = "steady_clock";
 #endif
@@ -1045,9 +1063,18 @@ Trace ThreadedEngine::run(const std::string& program_name,
   }
 
   workers_.clear();
+  // One shared stuttering clock per run keeps TSDeque stamps comparable
+  // across worker deques; other backends ignore it.
+  ts_clock_ = opts_.queue_backend == QueueBackend::TSDeque
+                  ? std::make_unique<StutteringStamp>(opts_.num_workers)
+                  : nullptr;
   for (int i = 0; i < opts_.num_workers; ++i) {
+    WorkQueueConfig qcfg;
+    qcfg.clock = ts_clock_.get();
+    qcfg.owner_slot = i;
     workers_.push_back(std::make_unique<Worker>(
-        i, recorder_->writer(i), mix64(0x9e3779b9u + static_cast<u64>(i))));
+        i, make_work_queue<Task*>(opts_.queue_backend, qcfg),
+        recorder_->writer(i), mix64(0x9e3779b9u + static_cast<u64>(i))));
   }
 
   region_start_ = std::chrono::steady_clock::now();
@@ -1175,7 +1202,7 @@ Trace ThreadedEngine::run(const std::string& program_name,
       s.cas_failures = w->cnt.cas_failures;
       s.deque_pushes = w->cnt.deque_pushes;
       s.deque_pops = w->cnt.deque_pops;
-      s.deque_resizes = w->deque.resize_count();
+      s.deque_resizes = w->queue->grow_count();
       s.taskwait_helps = w->cnt.taskwait_helps;
       s.idle_ns = w->cnt.idle_ns;
       s.trace_bytes = w->writer.recorded_bytes();
@@ -1287,7 +1314,11 @@ std::string ThreadedEngine::telemetry_payload() {
     reg.gauge(prefix + ".state")
         ->set(static_cast<double>(w.state.load(std::memory_order_relaxed)));
     reg.gauge(prefix + ".queue_depth")
-        ->set(static_cast<double>(w.deque.size_estimate()));
+        ->set(static_cast<double>(w.queue->size_estimate()));
+    // Per-backend contention signal: lost claim CASes (lock-free backends)
+    // or contended lock acquisitions (locked / flat-combining backends).
+    reg.gauge(prefix + ".queue_contention")
+        ->set(static_cast<double>(w.queue->contention_events()));
   }
   if (spool_sink_ != nullptr) {
     reg.gauge("spool.payload_bytes")

@@ -1,0 +1,250 @@
+// Timestamped work-stealing deque (TSDeque), after scal's ts_deque.
+//
+// Every pushed value is stamped with a stuttering per-thread timestamp
+// (rts/ts_stamp.hpp, SNIPPETS.md §3): cheap per-thread clocks that give a
+// relaxed global order without a contended fetch_add. The stamp doubles as
+// the claim word — a node's atomic stamp moves through
+//
+//     0 (unpublished)  ->  s >= 2 (ready, timestamp s)  ->  1 (claimed)
+//
+// so publishing is a release store of the stamp and claiming is a single
+// CAS s->1; two claimants can never both win, and the reserved sentinels
+// 0/1 are exactly what the clock's monotonicity contract protects (clocks
+// start at 1, so real stamps are always >= 2 — the seeded mutation
+// GG_MUT_TS_NONMONOTONIC_STAMP in ts_stamp.hpp breaks this and stamps
+// collide with "unpublished").
+//
+// A single owner pushes, so within one deque index order equals stamp
+// order: the owner pops the youngest ready node (highest index, LIFO) and
+// thieves claim the oldest ready node (lowest index / minimal stamp, FIFO)
+// — the single-owner specialization of scal's remove-oldest rule. Across
+// worker deques the shared StutteringStamp instance (threaded_engine wires
+// one per engine) keeps stamps comparable, which the engine reports as
+// per-worker steal-order diagnostics. Nodes live in an append-only chain
+// of segments, are never reused (no ABA on the claim word), and are
+// retained until destruction, like the other backends.
+//
+// Preemption points mark the stamp acquisition and every publish/claim
+// step so the deterministic schedule controller can explore interleavings.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "rts/preempt.hpp"
+#include "rts/ts_stamp.hpp"
+
+namespace gg::rts {
+
+template <typename T>
+class TSDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "nodes are raw atomics; store pointers or handles");
+
+ public:
+  /// `clock` may be shared across deques (the engine shares one per run so
+  /// stamps are comparable across workers); null makes a private clock.
+  /// `owner_slot` is this deque's owner index into the shared clock.
+  explicit TSDeque(size_t segment_capacity = 64,
+                   StutteringStamp* clock = nullptr, int owner_slot = 0)
+      : segment_capacity_(segment_capacity < 2 ? 2 : segment_capacity),
+        owner_slot_(owner_slot) {
+    if (clock == nullptr) {
+      own_clock_ = std::make_unique<StutteringStamp>(1);
+      clock_ = own_clock_.get();
+      owner_slot_ = 0;
+    } else {
+      GG_CHECK(owner_slot >= 0 && owner_slot < clock->slots());
+      clock_ = clock;
+    }
+    Segment* seg = new Segment(0, segment_capacity_, nullptr);
+    first_.store(seg, std::memory_order_release);
+    tail_seg_ = seg;
+  }
+
+  TSDeque(const TSDeque&) = delete;
+  TSDeque& operator=(const TSDeque&) = delete;
+
+  ~TSDeque() {
+    Segment* s = first_.load(std::memory_order_acquire);
+    while (s != nullptr) {
+      Segment* next = s->next.load(std::memory_order_acquire);
+      delete s;
+      s = next;
+    }
+  }
+
+  /// Owner-only: stamps and publishes a value at the newest end.
+  void push(T value) {
+    preempt_point(PreemptPoint::DequePush);
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    Node* node = owner_node_for(b);
+    preempt_point(PreemptPoint::DequeStamp);
+    const u64 stamp = clock_->acquire(owner_slot_);
+    node->value.store(value, std::memory_order_relaxed);
+    preempt_point(PreemptPoint::DequePushPublish);
+    // The stamp store is the publish: releases the value write to any
+    // claimant whose acquire sees the stamp.
+    node->stamp.store(stamp, std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_release);
+    scan_top_ = b;
+  }
+
+  /// Owner-only: claims the youngest ready node (LIFO; maximal stamp).
+  std::optional<T> pop(bool* lost_race = nullptr) {
+    if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::DequePopReserve);
+    const i64 t = top_hint_.load(std::memory_order_acquire);
+    i64 i = scan_top_;
+    while (i >= t) {
+      Node& node = owner_node_at(i);
+      u64 s = node.stamp.load(std::memory_order_acquire);
+      if (s < StutteringStamp::kFirstStamp) {
+        // Claimed (1) — or stamped with a reserved sentinel by a broken
+        // clock (0), in which case the value is unreachable forever and
+        // the accounting harness reports it lost.
+        scan_top_ = --i;
+        continue;
+      }
+      preempt_point(PreemptPoint::DequePopCas);
+      if (node.stamp.compare_exchange_strong(s, kClaimed,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        scan_top_ = i - 1;
+        return node.value.load(std::memory_order_relaxed);
+      }
+      if (lost_race) *lost_race = true;
+      contention_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
+
+  /// Thief: claims the oldest ready node (FIFO; minimal stamp — for a
+  /// single owner, index order and stamp order coincide). Advances the
+  /// top hint cooperatively over claimed prefixes.
+  std::optional<T> steal(bool* lost_race = nullptr) {
+    if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::DequeStealLoad);
+    i64 t = top_hint_.load(std::memory_order_acquire);
+    const i64 b = bottom_.load(std::memory_order_acquire);
+    Segment* seg = segment_for(t);
+    for (i64 i = t; i < b; ++i) {
+      while (seg != nullptr &&
+             i >= seg->base + static_cast<i64>(seg->capacity)) {
+        seg = seg->next.load(std::memory_order_acquire);
+      }
+      if (seg == nullptr) break;  // next segment not linked in yet
+      Node& node = seg->nodes[static_cast<size_t>(i - seg->base)];
+      u64 s = node.stamp.load(std::memory_order_acquire);
+      if (s == kClaimed) {
+        if (i == t) {
+          top_hint_.compare_exchange_strong(t, i + 1,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire);
+          t = i + 1;
+        }
+        continue;
+      }
+      if (s == kUnpublished) break;  // raced past the published range
+      preempt_point(PreemptPoint::DequeStealCas);
+      if (node.stamp.compare_exchange_strong(s, kClaimed,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        last_stolen_stamp_.store(s, std::memory_order_relaxed);
+        return node.value.load(std::memory_order_relaxed);
+      }
+      if (lost_race) *lost_race = true;
+      contention_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return std::nullopt;
+  }
+
+  /// Approximate number of live items (any thread).
+  size_t size_estimate() const {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 t = top_hint_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+  /// Segments allocated past the first. Owner-written, any-thread readable.
+  u64 grow_count() const { return grows_.load(std::memory_order_relaxed); }
+
+  /// Claim CASes lost to a competing claimant (any thread).
+  u64 contention_events() const {
+    return contention_.load(std::memory_order_relaxed);
+  }
+
+  /// Stamp of the most recently stolen node (cross-worker steal-order
+  /// diagnostics; relaxed, best-effort).
+  u64 last_stolen_stamp() const {
+    return last_stolen_stamp_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr u64 kUnpublished = 0;
+  static constexpr u64 kClaimed = 1;
+
+  struct Node {
+    std::atomic<u64> stamp{kUnpublished};
+    std::atomic<T> value{};
+  };
+
+  struct Segment {
+    Segment(i64 base_, size_t cap, Segment* prev_)
+        : base(base_), capacity(cap), nodes(new Node[cap]), prev(prev_) {}
+    ~Segment() { delete[] nodes; }
+    const i64 base;
+    const size_t capacity;
+    Node* const nodes;
+    std::atomic<Segment*> next{nullptr};
+    Segment* const prev;  // owner-only back-link
+  };
+
+  Node* owner_node_for(i64 i) {
+    Segment* seg = tail_seg_;
+    if (i >= seg->base + static_cast<i64>(seg->capacity)) {
+      Segment* fresh = new Segment(
+          seg->base + static_cast<i64>(seg->capacity), segment_capacity_, seg);
+      grows_.fetch_add(1, std::memory_order_relaxed);
+      seg->next.store(fresh, std::memory_order_release);
+      tail_seg_ = fresh;
+      seg = fresh;
+    }
+    return &seg->nodes[static_cast<size_t>(i - seg->base)];
+  }
+
+  Node& owner_node_at(i64 i) {
+    Segment* seg = tail_seg_;
+    while (i < seg->base) seg = seg->prev;
+    return seg->nodes[static_cast<size_t>(i - seg->base)];
+  }
+
+  Segment* segment_for(i64 i) const {
+    Segment* seg = first_.load(std::memory_order_acquire);
+    while (seg != nullptr &&
+           i >= seg->base + static_cast<i64>(seg->capacity)) {
+      seg = seg->next.load(std::memory_order_acquire);
+    }
+    return seg;
+  }
+
+  const size_t segment_capacity_;
+  int owner_slot_;
+  StutteringStamp* clock_ = nullptr;
+  std::unique_ptr<StutteringStamp> own_clock_;
+  std::atomic<Segment*> first_{nullptr};
+  Segment* tail_seg_ = nullptr;  // owner-only
+  i64 scan_top_ = -1;            // owner-only: newest maybe-unclaimed index
+  std::atomic<i64> top_hint_{0};
+  std::atomic<i64> bottom_{0};
+  std::atomic<u64> grows_{0};
+  std::atomic<u64> contention_{0};
+  std::atomic<u64> last_stolen_stamp_{0};
+};
+
+}  // namespace gg::rts

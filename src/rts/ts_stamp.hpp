@@ -1,0 +1,76 @@
+// Stuttering per-thread timestamps for the timestamped deque (TSDeque).
+//
+// The idea comes from scal's StutteringTimeStamp (see SNIPPETS.md §3): each
+// thread owns a cacheline-padded clock, and taking a timestamp reads every
+// clock, stores max+1 into the taker's own clock, and returns it. Two
+// threads can obtain the *same* value (the clocks "stutter"), which the
+// timestamped containers tolerate by treating equal stamps as concurrent —
+// what matters is that each thread's own stamps are strictly increasing and
+// that a stamp taken after another thread's store is never smaller. That
+// gives a cheap relaxed global order with no contended fetch_add.
+//
+// Protocol invariant the TSDeque relies on: clocks start at 1, so every
+// stamp handed out is >= 2. Stamp values 0 (unpublished) and 1 (claimed)
+// are reserved sentinels in the deque nodes; the seeded mutation
+// GG_MUT_TS_NONMONOTONIC_STAMP (see ts_deque.hpp) breaks exactly this
+// monotonicity contract.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace gg::rts {
+
+class StutteringStamp {
+ public:
+  /// Lowest stamp acquire() can ever return (clocks start at 1).
+  static constexpr u64 kFirstStamp = 2;
+
+  explicit StutteringStamp(int slots) : clocks_(static_cast<size_t>(slots)) {
+    GG_CHECK(slots >= 1);
+  }
+
+  StutteringStamp(const StutteringStamp&) = delete;
+  StutteringStamp& operator=(const StutteringStamp&) = delete;
+
+  int slots() const { return static_cast<int>(clocks_.size()); }
+
+  /// Takes a new timestamp on behalf of `slot`: max over all clocks plus
+  /// one, stored back into the caller's clock. Strictly increasing per
+  /// slot; globally only weakly ordered (stutters are allowed).
+  u64 acquire(int slot) {
+    u64 latest = 0;
+    for (const Clock& c : clocks_) {
+      const u64 v = c.value.load(std::memory_order_acquire);
+      if (v > latest) latest = v;
+    }
+#ifdef GG_MUT_TS_NONMONOTONIC_STAMP
+    // Seeded bug: the clock fails to advance — it hands out latest-1, which
+    // collides with the deque's reserved sentinels (a node stamped 0 looks
+    // unpublished forever), so pushed values silently vanish.
+    const u64 stamp = latest - 1;
+#else
+    const u64 stamp = latest + 1;
+#endif
+    clocks_[static_cast<size_t>(slot)].value.store(stamp,
+                                                   std::memory_order_release);
+    return stamp;
+  }
+
+  /// Most recent stamp taken by `slot` (diagnostics).
+  u64 last(int slot) const {
+    return clocks_[static_cast<size_t>(slot)].value.load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  struct Clock {
+    alignas(64) std::atomic<u64> value{1};
+  };
+  std::vector<Clock> clocks_;
+};
+
+}  // namespace gg::rts

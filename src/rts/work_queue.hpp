@@ -1,0 +1,263 @@
+// The common work-queue concept behind the runtime's pluggable scheduler
+// backends (ROADMAP item 2: low-contention alternatives to the Chase-Lev
+// deque, validated by the differential oracle instead of asserted correct).
+//
+// Every backend exposes the same owner/thief protocol:
+//   * push(v)        — owner-only, publishes at the newest end
+//   * pop(&lost)     — owner-only, claims the newest value (LIFO)
+//   * steal(&lost)   — any thread, claims the oldest value (FIFO)
+// plus introspection used by the engine's stats/telemetry/supervisor paths
+// (size_estimate, grow_count, contention_events). `lost_race` reports a
+// claim lost to a competitor, feeding the cas_failures worker counter.
+//
+// Backends:
+//   ChaseLev — the lock-free Chase-Lev deque (chase_lev_deque.hpp)
+//   OFDeque  — obstruction-free segmented deque, per-cell claim CAS
+//   FCDeque  — flat combining over a sequential deque
+//   TSDeque  — timestamped deque with stuttering per-thread clocks
+//   Central  — a mutex-protected deque; as a per-worker queue this is the
+//              "locked deque" foil, while SchedulerKind::CentralQueue keeps
+//              using the engine's single shared FIFO (central_queue.hpp)
+//
+// The virtual dispatch sits on the task-granularity path (hundreds of
+// nanoseconds to microseconds per operation), not inside the per-slot
+// atomics, so the indirection is noise next to the queue work itself —
+// bench/perf_deque.cpp measures exactly this.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "rts/central_queue.hpp"
+#include "rts/chase_lev_deque.hpp"
+#include "rts/fc_deque.hpp"
+#include "rts/of_deque.hpp"
+#include "rts/preempt.hpp"
+#include "rts/ts_deque.hpp"
+#include "rts/ts_stamp.hpp"
+
+namespace gg::rts {
+
+/// Which per-worker queue implementation the scheduler uses.
+enum class QueueBackend : u8 { ChaseLev, OFDeque, FCDeque, TSDeque, Central };
+
+inline const char* to_string(QueueBackend b) {
+  switch (b) {
+    case QueueBackend::ChaseLev: return "chase-lev";
+    case QueueBackend::OFDeque: return "of";
+    case QueueBackend::FCDeque: return "fc";
+    case QueueBackend::TSDeque: return "ts";
+    case QueueBackend::Central: return "locked";
+  }
+  return "?";
+}
+
+/// All selectable backends, in a stable order (tests/bench sweep this).
+inline constexpr QueueBackend kAllQueueBackends[] = {
+    QueueBackend::ChaseLev, QueueBackend::OFDeque, QueueBackend::FCDeque,
+    QueueBackend::TSDeque, QueueBackend::Central};
+
+inline bool parse_queue_backend(const std::string& s, QueueBackend& out) {
+  for (QueueBackend b : kAllQueueBackends) {
+    if (s == to_string(b)) {
+      out = b;
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename T>
+class WorkQueue {
+ public:
+  virtual ~WorkQueue() = default;
+  virtual void push(T value) = 0;
+  virtual std::optional<T> pop(bool* lost_race = nullptr) = 0;
+  virtual std::optional<T> steal(bool* lost_race = nullptr) = 0;
+  virtual size_t size_estimate() const = 0;
+  virtual u64 grow_count() const = 0;
+  virtual u64 contention_events() const = 0;
+  virtual QueueBackend backend() const = 0;
+  bool empty_estimate() const { return size_estimate() == 0; }
+  const char* backend_name() const { return to_string(backend()); }
+};
+
+namespace detail {
+
+template <typename T>
+class ChaseLevWorkQueue final : public WorkQueue<T> {
+ public:
+  explicit ChaseLevWorkQueue(size_t initial_capacity)
+      : dq_(initial_capacity) {}
+  void push(T value) override { dq_.push(value); }
+  std::optional<T> pop(bool* lost_race) override {
+    return count_lost(dq_.pop(lost_race), lost_race);
+  }
+  std::optional<T> steal(bool* lost_race) override {
+    return count_lost(dq_.steal(lost_race), lost_race);
+  }
+  size_t size_estimate() const override { return dq_.size_estimate(); }
+  u64 grow_count() const override { return dq_.resize_count(); }
+  u64 contention_events() const override {
+    return contention_.load(std::memory_order_relaxed);
+  }
+  QueueBackend backend() const override { return QueueBackend::ChaseLev; }
+
+ private:
+  std::optional<T> count_lost(std::optional<T> v, const bool* lost) {
+    if (lost != nullptr && *lost) {
+      contention_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return v;
+  }
+  ChaseLevDeque<T> dq_;
+  std::atomic<u64> contention_{0};
+};
+
+template <typename T>
+class OFWorkQueue final : public WorkQueue<T> {
+ public:
+  explicit OFWorkQueue(size_t segment_capacity) : dq_(segment_capacity) {}
+  void push(T value) override { dq_.push(value); }
+  std::optional<T> pop(bool* lost_race) override { return dq_.pop(lost_race); }
+  std::optional<T> steal(bool* lost_race) override {
+    return dq_.steal(lost_race);
+  }
+  size_t size_estimate() const override { return dq_.size_estimate(); }
+  u64 grow_count() const override { return dq_.grow_count(); }
+  u64 contention_events() const override { return dq_.contention_events(); }
+  QueueBackend backend() const override { return QueueBackend::OFDeque; }
+
+ private:
+  OFDeque<T> dq_;
+};
+
+template <typename T>
+class FCWorkQueue final : public WorkQueue<T> {
+ public:
+  void push(T value) override { dq_.push(value); }
+  std::optional<T> pop(bool* lost_race) override { return dq_.pop(lost_race); }
+  std::optional<T> steal(bool* lost_race) override {
+    return dq_.steal(lost_race);
+  }
+  size_t size_estimate() const override { return dq_.size_estimate(); }
+  u64 grow_count() const override { return dq_.grow_count(); }
+  u64 contention_events() const override { return dq_.contention_events(); }
+  QueueBackend backend() const override { return QueueBackend::FCDeque; }
+
+ private:
+  FCDeque<T> dq_;
+};
+
+template <typename T>
+class TSWorkQueue final : public WorkQueue<T> {
+ public:
+  TSWorkQueue(size_t segment_capacity, StutteringStamp* clock, int owner_slot)
+      : dq_(segment_capacity, clock, owner_slot) {}
+  void push(T value) override { dq_.push(value); }
+  std::optional<T> pop(bool* lost_race) override { return dq_.pop(lost_race); }
+  std::optional<T> steal(bool* lost_race) override {
+    return dq_.steal(lost_race);
+  }
+  size_t size_estimate() const override { return dq_.size_estimate(); }
+  u64 grow_count() const override { return dq_.grow_count(); }
+  u64 contention_events() const override { return dq_.contention_events(); }
+  QueueBackend backend() const override { return QueueBackend::TSDeque; }
+
+ private:
+  TSDeque<T> dq_;
+};
+
+/// A mutex-protected deque used per worker: pop takes the back (LIFO),
+/// steal the front (FIFO) — the distributed "locked deque" foil. Contention
+/// is a failed try_lock (somebody was inside the critical section).
+/// Preemption points reuse the central queue's lock-class points and sit
+/// BEFORE the acquisition, for the reason documented in central_queue.hpp.
+template <typename T>
+class LockedWorkQueue final : public WorkQueue<T> {
+ public:
+  void push(T value) override {
+    preempt_point(PreemptPoint::QueuePush);
+    std::lock_guard<std::mutex> guard(acquire(), std::adopt_lock);
+    items_.push_back(value);
+  }
+  std::optional<T> pop(bool* lost_race) override {
+    if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::QueuePop);
+    std::lock_guard<std::mutex> guard(acquire(), std::adopt_lock);
+    if (items_.empty()) return std::nullopt;
+    T v = items_.back();
+    items_.pop_back();
+    return v;
+  }
+  std::optional<T> steal(bool* lost_race) override {
+    if (lost_race) *lost_race = false;
+    preempt_point(PreemptPoint::QueuePop);
+    std::lock_guard<std::mutex> guard(acquire(), std::adopt_lock);
+    if (items_.empty()) return std::nullopt;
+    T v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+  size_t size_estimate() const override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    return items_.size();
+  }
+  u64 grow_count() const override { return 0; }
+  u64 contention_events() const override {
+    return contention_.load(std::memory_order_relaxed);
+  }
+  QueueBackend backend() const override { return QueueBackend::Central; }
+
+ private:
+  // Locks mutex_, counting acquisitions that found it held; callers adopt
+  // the ownership via lock_guard's adopt-lock constructor.
+  std::mutex& acquire() {
+    if (!mutex_.try_lock()) {
+      contention_.fetch_add(1, std::memory_order_relaxed);
+      mutex_.lock();
+    }
+    return mutex_;
+  }
+  mutable std::mutex mutex_;
+  std::deque<T> items_;
+  std::atomic<u64> contention_{0};
+};
+
+}  // namespace detail
+
+/// Construction-time knobs shared by the backends.
+struct WorkQueueConfig {
+  /// Chase-Lev initial capacity / OF & TS segment capacity.
+  size_t initial_capacity = 64;
+  /// Shared stuttering clock for TSDeque (null -> private clock).
+  StutteringStamp* clock = nullptr;
+  /// This queue's owner slot in the shared clock.
+  int owner_slot = 0;
+};
+
+template <typename T>
+std::unique_ptr<WorkQueue<T>> make_work_queue(
+    QueueBackend backend, const WorkQueueConfig& cfg = {}) {
+  switch (backend) {
+    case QueueBackend::ChaseLev:
+      return std::make_unique<detail::ChaseLevWorkQueue<T>>(
+          cfg.initial_capacity);
+    case QueueBackend::OFDeque:
+      return std::make_unique<detail::OFWorkQueue<T>>(cfg.initial_capacity);
+    case QueueBackend::FCDeque:
+      return std::make_unique<detail::FCWorkQueue<T>>();
+    case QueueBackend::TSDeque:
+      return std::make_unique<detail::TSWorkQueue<T>>(
+          cfg.initial_capacity, cfg.clock, cfg.owner_slot);
+    case QueueBackend::Central:
+      return std::make_unique<detail::LockedWorkQueue<T>>();
+  }
+  return nullptr;
+}
+
+}  // namespace gg::rts

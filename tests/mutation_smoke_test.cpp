@@ -19,6 +19,14 @@
 //                                  the same value is delivered repeatedly
 //   GG_MUT_RECORDER_DROP_FRAGMENT  recorder drops every task's fragment
 //                                  seq 1 -> validate_trace seq-contiguity
+//   GG_MUT_OF_PUBLISH_BEFORE_WRITE OF deque publishes Ready before the
+//                                  value write -> thieves claim unwritten
+//                                  cells (bogus zero + lost value)
+//   GG_MUT_FC_DROP_COMBINE         FC combiner marks every third push done
+//                                  without applying it -> values vanish
+//   GG_MUT_TS_NONMONOTONIC_STAMP   stuttering clock hands out latest-1 ->
+//                                  stamps collide with the reserved
+//                                  "unpublished" sentinel, values lost
 #include <string>
 #include <vector>
 
@@ -35,13 +43,15 @@ namespace {
 using check::DequeCheckOptions;
 using check::Strategy;
 
-/// Sweeps strategies x seeds until the deque harness reports a violation.
-/// Bounded and deterministic: either some schedule in the sweep exposes the
-/// mutant, or the smoke test fails.
-bool deque_sweep_finds_violation(int thieves, int items, int rounds,
-                                 int owner_pops, size_t capacity) {
+/// Sweeps strategies x seeds until the queue harness reports a violation on
+/// the given backend. Bounded and deterministic: either some schedule in
+/// the sweep exposes the mutant, or the smoke test fails.
+bool deque_sweep_finds_violation(
+    int thieves, int items, int rounds, int owner_pops, size_t capacity,
+    rts::QueueBackend backend = rts::QueueBackend::ChaseLev) {
   for (int s = 0; s < 48; ++s) {
     DequeCheckOptions opts;
+    opts.backend = backend;
     opts.schedule.strategy = static_cast<Strategy>(s % 3);
     opts.schedule.seed = test::test_seed() + static_cast<u64>(s);
     opts.num_thieves = thieves;
@@ -157,6 +167,47 @@ TEST(MutationSmoke, DetectsCentralQueuePopWithoutRemove) {
       << "repeated delivery from the central queue went undetected";
 }
 
+#elif defined(GG_MUT_OF_PUBLISH_BEFORE_WRITE)
+
+TEST(MutationSmoke, DetectsOFDequePublishBeforeWrite) {
+  // The mutated push publishes state=Ready (and bumps bottom) before the
+  // value store, with a preemption point in the window: a thief scheduled
+  // there claims the cell and reads the never-written slot — a bogus zero,
+  // plus the owner's late write lands in a Taken cell and is lost.
+  EXPECT_TRUE(deque_sweep_finds_violation(/*thieves=*/2, /*items=*/4,
+                                          /*rounds=*/8, /*owner_pops=*/1,
+                                          /*capacity=*/4,
+                                          rts::QueueBackend::OFDeque))
+      << "no explored schedule exposed the OF early publish";
+}
+
+#elif defined(GG_MUT_FC_DROP_COMBINE)
+
+TEST(MutationSmoke, DetectsFCDequeDroppedCombineSlot) {
+  // The mutated combiner completes every third push request without ever
+  // applying it to the sequential deque: deterministic value loss the
+  // accounting reports on the very first schedule.
+  EXPECT_TRUE(deque_sweep_finds_violation(/*thieves=*/1, /*items=*/4,
+                                          /*rounds=*/6, /*owner_pops=*/1,
+                                          /*capacity=*/64,
+                                          rts::QueueBackend::FCDeque))
+      << "the dropped combine slot went undetected";
+}
+
+#elif defined(GG_MUT_TS_NONMONOTONIC_STAMP)
+
+TEST(MutationSmoke, DetectsTSDequeNonMonotonicStamp) {
+  // The mutated clock hands out latest-1 — i.e. 0 forever, colliding with
+  // the TS deque's "unpublished" sentinel — so pushed nodes never look
+  // ready and every value is reported lost (the bounded steal attempts
+  // keep the run terminating).
+  EXPECT_TRUE(deque_sweep_finds_violation(/*thieves=*/1, /*items=*/2,
+                                          /*rounds=*/4, /*owner_pops=*/1,
+                                          /*capacity=*/64,
+                                          rts::QueueBackend::TSDeque))
+      << "the non-monotonic timestamp went undetected";
+}
+
 #elif defined(GG_MUT_RECORDER_DROP_FRAGMENT)
 
 TEST(MutationSmoke, DetectsDroppedFragmentRecord) {
@@ -173,9 +224,16 @@ TEST(MutationSmoke, DetectsDroppedFragmentRecord) {
 #else  // unmutated control build
 
 TEST(MutationSmoke, CleanDequeScenariosHaveNoFalsePositives) {
-  EXPECT_FALSE(deque_sweep_finds_violation(1, 1, 12, 1, 64));
-  EXPECT_FALSE(deque_sweep_finds_violation(2, 4, 8, 1, 4));
-  EXPECT_FALSE(deque_sweep_finds_violation(1, 16, 4, 2, 2));
+  // Every backend runs the same scenarios the mutation binaries use to
+  // expose their seeded bugs; unmutated, all of them must come back clean.
+  for (const rts::QueueBackend b : rts::kAllQueueBackends) {
+    EXPECT_FALSE(deque_sweep_finds_violation(1, 1, 12, 1, 64, b))
+        << rts::to_string(b);
+    EXPECT_FALSE(deque_sweep_finds_violation(2, 4, 8, 1, 4, b))
+        << rts::to_string(b);
+    EXPECT_FALSE(deque_sweep_finds_violation(1, 16, 4, 2, 2, b))
+        << rts::to_string(b);
+  }
 }
 
 TEST(MutationSmoke, CleanCentralQueueHasNoFalsePositives) {
