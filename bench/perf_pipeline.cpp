@@ -1,14 +1,20 @@
 // perf_pipeline — end-to-end analysis pipeline benchmark: legacy path
-// (istream parser + serial metrics) vs fast path (buffered parser +
-// parallel metrics) on a seeded synthetic trace.
+// (istream parser + serial metrics) vs fast path (mmap ingestion +
+// parallel decode + sharded graph/grain construction + parallel metrics)
+// on a seeded synthetic trace.
 //
 //   perf_pipeline [--grains N] [--seed S] [--workers W] [--out file.json]
+//                 [--skip-legacy] [--skip-text]
 //
 // Measures load + graph + grain-table + metrics + problem-view wall time
-// for both engines on the same input file, checks the two paths produce
-// byte-identical analysis output, and writes machine-readable results to
-// BENCH_analyze.json. Exit 1 on any parse error or output mismatch (so CI
-// can gate on correctness without gating on timing).
+// per engine/io/thread-count combination on the same input file, checks
+// every combination produces byte-identical analysis output (including a
+// thread sweep over 1/2/4/8 workers and mmap vs read() ingestion), and
+// writes machine-readable results to BENCH_analyze.json. Exit 1 on any
+// parse error or output mismatch (so CI can gate on correctness without
+// gating on timing). --skip-legacy / --skip-text drop the slow reference
+// paths for very large runs (e.g. --grains 10000000), where the text
+// round-trip would dominate the wall time and the memory budget.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,6 +22,8 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "export/grain_csv.hpp"
 #include "export/graphml.hpp"
@@ -42,13 +50,15 @@ struct PathResult {
   i64 total_ns() const { return load_ns + stages.total_ns(); }
 };
 
-/// Loads `path` with the given engine and runs the full pipeline.
-/// Returns false on any load failure.
-bool run_path(const std::string& path, ParseEngine engine, int threads,
-              PathResult& out) {
+/// Loads `path` with the given engine/io source and runs the full pipeline
+/// with `threads` workers in every stage. Returns false on load failure.
+bool run_path(const std::string& path, ParseEngine engine, IoSource io,
+              int threads, PathResult& out) {
   LoadOptions lo;
   lo.engine = engine;
   lo.mode = LoadMode::Strict;
+  lo.io = io;
+  lo.threads = threads;
   const i64 t0 = now_ns();
   LoadResult lr = load_trace_file_ex(path, lo);
   out.load_ns = now_ns() - t0;
@@ -57,6 +67,7 @@ bool run_path(const std::string& path, ParseEngine engine, int threads,
     return false;
   }
   AnalysisOptions opts;
+  opts.threads = threads;
   opts.metrics.threads = threads;
   const Analysis a = analyze(*lr.trace, Topology::generic4(), opts,
                              &out.stages);
@@ -67,7 +78,8 @@ bool run_path(const std::string& path, ParseEngine engine, int threads,
   return true;
 }
 
-void emit_stages(std::ofstream& os, const char* name, const PathResult& r) {
+void emit_stages(std::ofstream& os, const std::string& name,
+                 const PathResult& r) {
   os << "  \"" << name << "\": {\"load_ns\": " << r.load_ns
      << ", \"graph_ns\": " << r.stages.graph_ns
      << ", \"grains_ns\": " << r.stages.grains_ns
@@ -82,6 +94,7 @@ int main(int argc, char** argv) {
   SynthOptions sopts;
   sopts.grains = 1000000;
   std::string out_json = "BENCH_analyze.json";
+  bool skip_legacy = false, skip_text = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
@@ -99,73 +112,159 @@ int main(int argc, char** argv) {
       sopts.workers = std::atoi(value());
     } else if (arg == "--out") {
       out_json = value();
+    } else if (arg == "--skip-legacy") {
+      skip_legacy = true;
+    } else if (arg == "--skip-text") {
+      skip_text = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--grains N] [--seed S] [--workers W] "
-                   "[--out file.json]\n",
+                   "[--out file.json] [--skip-legacy] [--skip-text]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (skip_text) skip_legacy = true;  // the legacy engine is text-only
 
   bench::print_header(
-      "analysis pipeline throughput (fast vs legacy engine)",
-      "n/a (implementation benchmark; target >= 5x end-to-end)");
+      "analysis pipeline throughput (serial vs sharded-parallel)",
+      "n/a (implementation benchmark; target >= 1M grains/s end-to-end)");
 
   std::printf("generating synthetic trace: %llu grains, %d workers, seed "
               "%llu\n",
               static_cast<unsigned long long>(sopts.grains), sopts.workers,
               static_cast<unsigned long long>(sopts.seed));
-  const Trace trace = synth_trace(sopts);
   const std::string dir = bench::out_dir();
   const std::string text_path = dir + "/perf_pipeline.ggtrace";
   const std::string bin_path = dir + "/perf_pipeline.ggbin";
-  if (!save_trace_file(trace, text_path) ||
-      !save_trace_file(trace, bin_path)) {
-    std::fprintf(stderr, "error: cannot write trace files under %s\n",
-                 dir.c_str());
-    return 1;
+  u64 n_grains = 0;
+  int n_workers = 0;
+  {
+    // Scoped so the synthesized trace is freed before the measured loads:
+    // at 10M grains the in-memory trace is multiple GB and keeping it
+    // alive would double the peak footprint.
+    const Trace trace = synth_trace(sopts);
+    n_grains = trace.grain_count();
+    n_workers = trace.meta.num_workers;
+    if (!save_trace_file(trace, bin_path) ||
+        (!skip_text && !save_trace_file(trace, text_path))) {
+      std::fprintf(stderr, "error: cannot write trace files under %s\n",
+                   dir.c_str());
+      return 1;
+    }
   }
   std::error_code ec;
-  const u64 text_bytes = std::filesystem::file_size(text_path, ec);
   const u64 bin_bytes = std::filesystem::file_size(bin_path, ec);
-  std::printf("trace files: %s (%.1f MB text), %s (%.1f MB binary)\n",
-              text_path.c_str(), static_cast<double>(text_bytes) / 1e6,
-              bin_path.c_str(), static_cast<double>(bin_bytes) / 1e6);
-
-  PathResult legacy, fast, fast_bin;
-  if (!run_path(text_path, ParseEngine::Legacy, /*threads=*/1, legacy))
-    return 1;
-  if (!run_path(text_path, ParseEngine::Fast, /*threads=*/0, fast)) return 1;
-  if (!run_path(bin_path, ParseEngine::Fast, /*threads=*/0, fast_bin))
-    return 1;
-
-  const bool identical = legacy.report == fast.report &&
-                         legacy.summary == fast.summary &&
-                         legacy.report == fast_bin.report &&
-                         legacy.summary == fast_bin.summary;
-  if (!identical) {
-    std::fprintf(stderr,
-                 "error: fast and legacy paths produced different output\n");
+  const u64 text_bytes =
+      skip_text ? 0 : std::filesystem::file_size(text_path, ec);
+  if (skip_text) {
+    std::printf("trace file: %s (%.1f MB binary)\n", bin_path.c_str(),
+                static_cast<double>(bin_bytes) / 1e6);
+  } else {
+    std::printf("trace files: %s (%.1f MB text), %s (%.1f MB binary)\n",
+                text_path.c_str(), static_cast<double>(text_bytes) / 1e6,
+                bin_path.c_str(), static_cast<double>(bin_bytes) / 1e6);
   }
 
   auto ms = [](i64 ns) { return static_cast<double>(ns) / 1e6; };
-  auto print_path = [&](const char* name, const PathResult& r) {
-    std::printf("%-12s load %9.1f ms, graph %9.1f ms, grains %9.1f ms, "
+  auto print_path = [&](const std::string& name, const PathResult& r) {
+    std::printf("%-18s load %9.1f ms, graph %9.1f ms, grains %9.1f ms, "
                 "metrics %9.1f ms, problems %9.1f ms => total %9.1f ms\n",
-                name, ms(r.load_ns), ms(r.stages.graph_ns),
+                name.c_str(), ms(r.load_ns), ms(r.stages.graph_ns),
                 ms(r.stages.grains_ns), ms(r.stages.metrics_ns),
                 ms(r.stages.problems_ns), ms(r.total_ns()));
   };
-  print_path("legacy/text", legacy);
-  print_path("fast/text", fast);
-  print_path("fast/binary", fast_bin);
-  const double speedup = legacy.total_ns() > 0 && fast.total_ns() > 0
-                             ? static_cast<double>(legacy.total_ns()) /
-                                   static_cast<double>(fast.total_ns())
-                             : 0.0;
-  std::printf("end-to-end speedup (legacy/text vs fast/text): %.2fx\n",
-              speedup);
+
+  // The serial binary run is the correctness reference every other
+  // combination must match byte-for-byte.
+  PathResult serial;
+  if (!run_path(bin_path, ParseEngine::Fast, IoSource::Mmap, /*threads=*/1,
+                serial))
+    return 1;
+  print_path("serial/binary", serial);
+
+  bool identical = true;
+  auto gate = [&](const std::string& name, const PathResult& r) {
+    if (r.report != serial.report || r.summary != serial.summary) {
+      std::fprintf(stderr,
+                   "error: %s output differs from the serial reference\n",
+                   name.c_str());
+      identical = false;
+    }
+  };
+
+  PathResult parallel;
+  if (!run_path(bin_path, ParseEngine::Fast, IoSource::Mmap, /*threads=*/0,
+                parallel))
+    return 1;
+  print_path("parallel/binary", parallel);
+  gate("parallel/binary", parallel);
+
+  PathResult stream;
+  if (!run_path(bin_path, ParseEngine::Fast, IoSource::Stream, /*threads=*/0,
+                stream))
+    return 1;
+  print_path("stream/binary", stream);
+  gate("stream/binary", stream);
+
+  // Thread sweep: the sharded builders must be bit-identical at every
+  // worker count, not just serial-vs-auto.
+  struct SweepPoint {
+    int threads = 0;
+    i64 total_ns = 0;
+  };
+  std::vector<SweepPoint> sweep;
+  for (const int t : {2, 4, 8}) {
+    PathResult r;
+    if (!run_path(bin_path, ParseEngine::Fast, IoSource::Mmap, t, r))
+      return 1;
+    print_path("t=" + std::to_string(t) + "/binary", r);
+    gate("t=" + std::to_string(t) + "/binary", r);
+    sweep.push_back({t, r.total_ns()});
+  }
+
+  PathResult legacy, fast_text;
+  bool have_legacy = false, have_text = false;
+  if (!skip_text) {
+    if (!run_path(text_path, ParseEngine::Fast, IoSource::Mmap,
+                  /*threads=*/0, fast_text))
+      return 1;
+    have_text = true;
+    print_path("parallel/text", fast_text);
+    gate("parallel/text", fast_text);
+  }
+  if (!skip_legacy) {
+    if (!run_path(text_path, ParseEngine::Legacy, IoSource::Stream,
+                  /*threads=*/1, legacy))
+      return 1;
+    have_legacy = true;
+    print_path("legacy/text", legacy);
+    gate("legacy/text", legacy);
+  }
+
+  const double serial_over_parallel =
+      serial.total_ns() > 0 && parallel.total_ns() > 0
+          ? static_cast<double>(serial.total_ns()) /
+                static_cast<double>(parallel.total_ns())
+          : 0.0;
+  const double legacy_over_fast =
+      have_legacy && legacy.total_ns() > 0 && parallel.total_ns() > 0
+          ? static_cast<double>(legacy.total_ns()) /
+                static_cast<double>(parallel.total_ns())
+          : 0.0;
+  const double grains_per_sec =
+      parallel.total_ns() > 0
+          ? static_cast<double>(n_grains) * 1e9 /
+                static_cast<double>(parallel.total_ns())
+          : 0.0;
+  std::printf("parallel speedup over serial (binary): %.2fx\n",
+              serial_over_parallel);
+  if (have_legacy) {
+    std::printf("end-to-end speedup (legacy/text vs parallel): %.2fx\n",
+                legacy_over_fast);
+  }
+  std::printf("end-to-end throughput (parallel/binary): %.0f grains/s\n",
+              grains_per_sec);
   std::printf("outputs byte-identical across paths: %s\n",
               identical ? "yes" : "NO");
 
@@ -174,17 +273,36 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: cannot write %s\n", out_json.c_str());
     return 1;
   }
-  os << "{\n  \"bench\": \"perf_pipeline\",\n  \"grains\": "
-     << trace.grain_count() << ",\n  \"workers\": " << trace.meta.num_workers
-     << ",\n  \"seed\": " << sopts.seed
+  os << "{\n  \"bench\": \"perf_pipeline\",\n  \"grains\": " << n_grains
+     << ",\n  \"workers\": " << n_workers << ",\n  \"seed\": " << sopts.seed
+     << ",\n  \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency()
      << ",\n  \"text_bytes\": " << text_bytes
      << ",\n  \"binary_bytes\": " << bin_bytes << ",\n";
-  emit_stages(os, "legacy_text", legacy);
+  emit_stages(os, "serial_binary", serial);
   os << ",\n";
-  emit_stages(os, "fast_text", fast);
+  emit_stages(os, "parallel_binary", parallel);
   os << ",\n";
-  emit_stages(os, "fast_binary", fast_bin);
-  os << ",\n  \"speedup_end_to_end\": " << speedup
+  emit_stages(os, "stream_binary", stream);
+  if (have_text) {
+    os << ",\n";
+    emit_stages(os, "parallel_text", fast_text);
+  }
+  if (have_legacy) {
+    os << ",\n";
+    emit_stages(os, "legacy_text", legacy);
+  }
+  os << ",\n  \"thread_sweep\": [";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"threads\": " << sweep[i].threads
+       << ", \"total_ns\": " << sweep[i].total_ns << "}";
+  }
+  os << "]";
+  os << ",\n  \"speedup_parallel_over_serial\": " << serial_over_parallel;
+  if (have_legacy)
+    os << ",\n  \"speedup_end_to_end\": " << legacy_over_fast;
+  os << ",\n  \"grains_per_sec\": " << grains_per_sec
      << ",\n  \"outputs_identical\": " << (identical ? "true" : "false")
      << "\n}\n";
   os.close();

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "common/par_for.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "obs/telemetry.hpp"
@@ -23,15 +24,16 @@ i64 now_ns() {
 Analysis analyze(const Trace& trace, const Topology& topo,
                  const AnalysisOptions& opts, AnalysisTimings* timings) {
   Analysis a;
+  const int build_threads = resolve_threads(opts.threads);
   i64 t0 = now_ns();
   {
     obs::PhaseSpan span("analysis.graph");
-    a.graph = GrainGraph::build(trace);
+    a.graph = GrainGraph::build(trace, build_threads);
   }
   const i64 t1 = now_ns();
   {
     obs::PhaseSpan span("analysis.grains");
-    a.grains = GrainTable::build(trace);
+    a.grains = GrainTable::build(trace, build_threads);
   }
   const i64 t2 = now_ns();
   {
@@ -54,6 +56,9 @@ Analysis analyze(const Trace& trace, const Topology& topo,
     timings->grains_ns = t2 - t1;
     timings->metrics_ns = t3 - t2;
     timings->problems_ns = t4 - t3;
+    timings->graph_threads = build_threads;
+    timings->grains_threads = build_threads;
+    timings->metrics_threads = resolve_threads(opts.metrics.threads);
     timings->metric_passes = a.metrics.pass_timings;
   }
   if (obs::Registry* reg = obs::current_registry()) {

@@ -26,6 +26,10 @@ struct AnalysisOptions {
   std::optional<ProblemThresholds> thresholds;
   /// 1-core grain table of the same program, enabling work deviation.
   const GrainTable* baseline = nullptr;
+  /// Worker threads for the sharded graph build and grain derivation.
+  /// 0 = auto (GG_THREADS env, then hardware concurrency). Results are
+  /// bit-identical for every setting, same contract as metrics.threads.
+  int threads = 0;
 };
 
 struct Analysis {
@@ -43,6 +47,11 @@ struct AnalysisTimings {
   i64 grains_ns = 0;
   i64 metrics_ns = 0;
   i64 problems_ns = 0;  ///< thresholds + problem views + source profile
+  /// Resolved worker counts the parallel stages actually ran with (what an
+  /// `0 = auto` request expanded to).
+  int graph_threads = 1;
+  int grains_threads = 1;
+  int metrics_threads = 1;
   /// Per-pass breakdown of the metrics stage (copied from MetricsResult).
   MetricPassTimings metric_passes;
   i64 total_ns() const {

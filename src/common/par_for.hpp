@@ -69,4 +69,25 @@ void par_for_each_index(size_t n, int threads, Fn&& fn) {
   });
 }
 
+/// Runs `fn(s)` for each shard s in [0, nshards) with one thread per shard,
+/// bypassing the kParForMinItems threshold — for coarse-grained work where
+/// each shard index stands for a large block (the sharded graph/grain
+/// builders). Shard 0 runs on the caller; callers size nshards to their
+/// resolved thread count.
+template <class Fn>
+void par_for_shard(size_t nshards, Fn&& fn) {
+  if (nshards == 0) return;
+  if (nshards == 1) {
+    fn(size_t{0});
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(nshards - 1);
+  for (size_t s = 1; s < nshards; ++s) {
+    workers.emplace_back([&fn, s] { fn(s); });
+  }
+  fn(size_t{0});
+  for (auto& w : workers) w.join();
+}
+
 }  // namespace gg

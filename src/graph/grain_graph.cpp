@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/flat_hash.hpp"
+#include "common/par_for.hpp"
 #include "graph/thread_groups.hpp"
 
 namespace gg {
@@ -151,68 +152,163 @@ void GrainGraph::finalize_impl(bool require_dag) {
 
 namespace {
 
-/// Builder state for one trace -> graph construction.
-class Builder {
- public:
-  explicit Builder(const Trace& trace) : trace_(trace) {}
+// --- sharded construction --------------------------------------------------
+//
+// The serial builder produced nodes in a rigid order: every fragment node in
+// flat trace.fragments order, then per task (in uid order) the Fork / Join /
+// Bookkeep / Chunk nodes its fragments demand, then at most one synthesized
+// barrier join; edges in the same task-major order followed by the unjoined-
+// children and dependence edges. That order is what every export, golden
+// signature and topo result is pinned to — so the sharded build reproduces
+// it exactly:
+//
+//   phase A  fragment nodes, parallel over task-run-aligned blocks of the
+//            (task, seq)-sorted fragment vector (count, prefix-sum, fill —
+//            each fragment node lands at the id the serial walk gave it);
+//   phase B  each shard wires a contiguous block of tasks into *local* node
+//            and edge vectors, encoding references to its own new nodes as
+//            F + local_id (F = fragment node count) while fragment
+//            references stay absolute — cross-task edges only ever point at
+//            fragment nodes, so no shard needs another shard's ids;
+//   merge    per-shard node counts prefix-sum into shard bases; nodes and
+//            edges concatenate in shard (== task) order while every encoded
+//            reference >= F is rebased — yielding exactly the serial ids.
+//
+// Every phase partitions by a pure function of (size, threads), so the
+// result is bit-identical for every thread count; threads == 1 runs the
+// same code as a single shard.
 
-  GrainGraph build() {
-    frag_index_.reserve(trace_.tasks.size());
-    add_fragment_nodes();
-    for (const TaskRec& t : trace_.tasks) wire_task(t);
-    attach_unjoined_children();
-    add_dependence_edges();
-    g_.finalize();
-    return std::move(g_);
+constexpr u32 kNoNode = 0xFFFFFFFFu;
+
+/// Fragment-node index from phase A, indexed by task position in
+/// trace.tasks: first node id and node count per task (kNoNode/0 for tasks
+/// without fragment nodes).
+struct FragIndex {
+  std::vector<u32> first;
+  std::vector<u32> count;
+  u32 total = 0;  ///< F: number of fragment nodes
+
+  bool has(size_t task_idx) const { return first[task_idx] != kNoNode; }
+};
+
+/// Phase A: appends one node per non-orphan fragment to `nodes` (which must
+/// be empty) in flat fragment order, skipping fragments whose task record is
+/// missing (damaged traces), exactly like the serial task-by-task walk.
+FragIndex add_fragment_nodes(const Trace& trace, int threads,
+                             std::vector<GraphNode>& nodes) {
+  const auto& frags = trace.fragments;
+  FragIndex fi;
+  fi.first.assign(trace.tasks.size(), kNoNode);
+  fi.count.assign(trace.tasks.size(), 0);
+
+  // Task-run-aligned block bounds: start from the even partition and advance
+  // each boundary to the next task change, so every task's fragment run is
+  // owned by exactly one block (no write races on fi.first/fi.count, one
+  // task_index lookup per run). Alignment depends only on (n, threads) and
+  // the sorted fragment keys — never on timing.
+  const size_t n = frags.size();
+  size_t t = static_cast<size_t>(std::max(threads, 1));
+  if (t > n) t = n == 0 ? 1 : n;
+  std::vector<size_t> bounds(t + 1);
+  for (size_t b = 0; b <= t; ++b) bounds[b] = n * b / t;
+  for (size_t b = 1; b < t; ++b) {
+    size_t x = std::max(bounds[b], bounds[b - 1]);
+    while (x < n && x > 0 && frags[x].task == frags[x - 1].task) ++x;
+    bounds[b] = x;
   }
+  bounds[t] = n;
 
- private:
-  void add_fragment_nodes() {
-    // Fragments are sorted by (task, seq) after finalize(), so one walk over
-    // the flat vector adds every task's fragments contiguously.
-    const auto& frags = trace_.fragments;
-    size_t i = 0;
-    while (i < frags.size()) {
+  // Pass 1: per-block counts of fragments that get nodes.
+  std::vector<size_t> kept(t, 0);
+  par_for_shard(t, [&](size_t b) {
+    size_t cnt = 0;
+    for (size_t i = bounds[b]; i < bounds[b + 1];) {
       const TaskId uid = frags[i].task;
-      const auto idx = trace_.task_index(uid);
+      size_t run = i;
+      while (run < bounds[b + 1] && frags[run].task == uid) ++run;
+      if (trace.task_index(uid).has_value()) cnt += run - i;
+      i = run;
+    }
+    kept[b] = cnt;
+  });
+  std::vector<size_t> base(t + 1, 0);
+  for (size_t b = 0; b < t; ++b) base[b + 1] = base[b] + kept[b];
+  fi.total = static_cast<u32>(base[t]);
+  nodes.resize(base[t]);
+
+  // Pass 2: fill node slots and the per-task index.
+  par_for_shard(t, [&](size_t b) {
+    u32 id = static_cast<u32>(base[b]);
+    for (size_t i = bounds[b]; i < bounds[b + 1];) {
+      const TaskId uid = frags[i].task;
+      size_t run = i;
+      while (run < bounds[b + 1] && frags[run].task == uid) ++run;
+      const auto idx = trace.task_index(uid);
       if (!idx.has_value()) {
-        // Orphan fragments (task record missing from a damaged trace) get no
-        // nodes, same as when iteration went task-by-task.
-        while (i < frags.size() && frags[i].task == uid) ++i;
+        i = run;  // orphan fragments get no nodes
         continue;
       }
-      const StrId src = trace_.tasks[*idx].src;
-      u32 first = 0, count = 0;
-      for (; i < frags.size() && frags[i].task == uid; ++i) {
+      const StrId src = trace.tasks[*idx].src;
+      fi.first[*idx] = id;
+      fi.count[*idx] = static_cast<u32>(run - i);
+      for (; i < run; ++i) {
         const FragmentRec& f = frags[i];
-        GraphNode n;
-        n.kind = NodeKind::Fragment;
-        n.task = uid;
-        n.seq = f.seq;
-        n.core = f.core;
-        n.thread = f.core;
-        n.start = f.start;
-        n.end = f.end;
-        n.counters = f.counters;
-        n.src = src;
-        const u32 node = g_.add_node(n);
-        if (count == 0) first = node;
-        ++count;
+        GraphNode& gn = nodes[id];
+        gn.kind = NodeKind::Fragment;
+        gn.task = uid;
+        gn.seq = f.seq;
+        gn.core = f.core;
+        gn.thread = f.core;
+        gn.start = f.start;
+        gn.end = f.end;
+        gn.counters = f.counters;
+        gn.src = src;
+        gn.busy = gn.duration();
+        ++id;
       }
-      frag_index_[uid] = {first, count};
     }
+  });
+  return fi;
+}
+
+/// Phase B: wires tasks [task_lo, task_hi) of trace.tasks into local node /
+/// edge vectors. Node references < F (fi.total) are absolute fragment ids;
+/// references >= F are F + index into this shard's `nodes`.
+class ShardBuilder {
+ public:
+  ShardBuilder(const Trace& trace, const FragIndex& fi)
+      : trace_(trace), fi_(fi) {}
+
+  void wire_range(size_t task_lo, size_t task_hi) {
+    for (size_t i = task_lo; i < task_hi; ++i) wire_task(trace_.tasks[i]);
+  }
+
+  std::vector<GraphNode> nodes;
+  std::vector<GraphEdge> edges;
+  std::vector<TaskId> unjoined;   ///< in task order within the shard
+  std::vector<u32> root_joins;    ///< encoded refs (root lives in one shard)
+
+ private:
+  u32 add_local(GraphNode n) {
+    if (n.busy == 0) n.busy = n.duration();
+    nodes.push_back(n);
+    return fi_.total + static_cast<u32>(nodes.size() - 1);
+  }
+
+  void add_edge(u32 from, u32 to, EdgeKind kind) {
+    edges.push_back(GraphEdge{from, to, kind});
   }
 
   u32 first_frag(TaskId task) const {
-    const auto* p = frag_index_.find(task);
-    GG_CHECK(p != nullptr);
-    return p->first;
+    const auto idx = trace_.task_index(task);
+    GG_CHECK(idx.has_value() && fi_.has(*idx));
+    return fi_.first[*idx];
   }
 
   u32 last_frag(TaskId task) const {
-    const auto* p = frag_index_.find(task);
-    GG_CHECK(p != nullptr);
-    return p->first + p->second - 1;
+    const auto idx = trace_.task_index(task);
+    GG_CHECK(idx.has_value() && fi_.has(*idx));
+    return fi_.first[*idx] + fi_.count[*idx] - 1;
   }
 
   u32 frag_node(TaskId task, u32 seq) const { return first_frag(task) + seq; }
@@ -238,21 +334,18 @@ class Builder {
           fork.start = child.create_time;
           fork.end = child.create_time + child.creation_cost;
           fork.src = child.src;
-          const u32 nf = g_.add_node(fork);
-          g_.add_edge(fi, nf, EdgeKind::Continuation);
-          g_.add_edge(nf, first_frag(child.uid), EdgeKind::Creation);
+          const u32 nf = add_local(fork);
+          add_edge(fi, nf, EdgeKind::Continuation);
+          add_edge(nf, first_frag(child.uid), EdgeKind::Creation);
           if (i + 1 < frags.size()) {
-            g_.add_edge(nf, frag_node(t.uid, frags[i + 1].seq),
-                        EdgeKind::Continuation);
+            add_edge(nf, frag_node(t.uid, frags[i + 1].seq),
+                     EdgeKind::Continuation);
           }
           pending.push_back(child.uid);
           break;
         }
         case FragmentEnd::Join: {
-          const JoinRec* jr = nullptr;
-          for (const JoinRec& j : joins) {
-            if (j.seq == f.end_ref) jr = &j;
-          }
+          const JoinRec* jr = find_join(joins, f.end_ref);
           GG_CHECK_MSG(jr != nullptr, "fragment references missing join");
           GraphNode join;
           join.kind = NodeKind::Join;
@@ -263,29 +356,29 @@ class Builder {
           join.start = jr->start;
           join.end = jr->end;
           join.src = t.src;
-          const u32 nj = g_.add_node(join);
-          g_.add_edge(fi, nj, EdgeKind::Continuation);
+          const u32 nj = add_local(join);
+          add_edge(fi, nj, EdgeKind::Continuation);
           for (TaskId c : pending) {
-            g_.add_edge(last_frag(c), nj, EdgeKind::Join);
+            add_edge(last_frag(c), nj, EdgeKind::Join);
           }
           pending.clear();
-          if (t.uid == kRootTask) root_joins_.push_back(nj);
+          if (t.uid == kRootTask) root_joins.push_back(nj);
           if (i + 1 < frags.size()) {
-            g_.add_edge(nj, frag_node(t.uid, frags[i + 1].seq),
-                        EdgeKind::Continuation);
+            add_edge(nj, frag_node(t.uid, frags[i + 1].seq),
+                     EdgeKind::Continuation);
           }
           break;
         }
         case FragmentEnd::Loop: {
           const u32 nlj = wire_loop(f.end_ref, fi);
           if (i + 1 < frags.size()) {
-            g_.add_edge(nlj, frag_node(t.uid, frags[i + 1].seq),
-                        EdgeKind::Continuation);
+            add_edge(nlj, frag_node(t.uid, frags[i + 1].seq),
+                     EdgeKind::Continuation);
           }
           break;
         }
         case FragmentEnd::TaskEnd: {
-          for (TaskId c : pending) unjoined_.push_back(c);
+          for (TaskId c : pending) unjoined.push_back(c);
           pending.clear();
           break;
         }
@@ -295,7 +388,7 @@ class Builder {
 
   /// Wires one parallel for-loop: per-thread book-keeping/chunk chains
   /// hanging off the encountering fragment, all joining at the loop's join
-  /// node. Returns the join node index.
+  /// node. Returns the (encoded) join node index.
   u32 wire_loop(LoopId uid, u32 encountering_fragment) {
     const auto loop_idx = trace_.loop_index(uid);
     GG_CHECK(loop_idx.has_value());
@@ -309,7 +402,7 @@ class Builder {
     join.start = loop.end;
     join.end = loop.end;
     join.src = loop.src;
-    const u32 nlj = g_.add_node(join);
+    const u32 nlj = add_local(join);
 
     // Per-thread chains: bookkeeps/chunks are (thread, seq)-sorted after
     // finalize(), so the per-thread groups are contiguous runs.
@@ -332,8 +425,8 @@ class Builder {
             bk.start = b.start;
             bk.end = b.end;
             bk.src = loop.src;
-            const u32 nb = g_.add_node(bk);
-            g_.add_edge(prev, nb, next_kind);
+            const u32 nb = add_local(bk);
+            add_edge(prev, nb, next_kind);
             next_kind = EdgeKind::Continuation;
             prev = nb;
             if (b.got_chunk && chunk_i < cs.size()) {
@@ -350,71 +443,122 @@ class Builder {
               ch.src = loop.src;
               ch.iter_begin = c.iter_begin;
               ch.iter_end = c.iter_end;
-              const u32 nc = g_.add_node(ch);
-              g_.add_edge(prev, nc, EdgeKind::Continuation);
+              const u32 nc = add_local(ch);
+              add_edge(prev, nc, EdgeKind::Continuation);
               prev = nc;
             }
           }
           // The chain's final node synchronizes at the loop join.
-          g_.add_edge(prev, nlj, EdgeKind::Join);
+          add_edge(prev, nlj, EdgeKind::Join);
         });
     if (!any_thread) {
       // Empty loop: the fragment continues straight to the join.
-      g_.add_edge(encountering_fragment, nlj, EdgeKind::Continuation);
+      add_edge(encountering_fragment, nlj, EdgeKind::Continuation);
     }
     return nlj;
   }
 
-  /// OpenMP 4.0 task dependences (§6 future work, implemented): the
-  /// predecessor's last fragment happens-before the successor's first.
-  void add_dependence_edges() {
-    for (const DependRec& d : trace_.depends) {
-      if (frag_index_.find(d.pred) == nullptr ||
-          frag_index_.find(d.succ) == nullptr)
-        continue;
-      g_.add_edge(last_frag(d.pred), first_frag(d.succ),
-                  EdgeKind::Dependence);
-    }
-  }
-
-  /// Children never taskwait-ed by their parent synchronize at the region's
-  /// implicit barrier — the root's last join. Synthesizes one if absent.
-  void attach_unjoined_children() {
-    if (unjoined_.empty()) return;
-    u32 barrier;
-    if (!root_joins_.empty()) {
-      barrier = root_joins_.back();
-    } else {
-      GraphNode join;
-      join.kind = NodeKind::Join;
-      join.task = kRootTask;
-      join.seq = 0;
-      join.start = trace_.meta.region_end;
-      join.end = trace_.meta.region_end;
-      const u32 nj = g_.add_node(join);
-      if (frag_index_.find(kRootTask) != nullptr) {
-        g_.add_edge(last_frag(kRootTask), nj, EdgeKind::Continuation);
-      }
-      barrier = nj;
-    }
-    for (TaskId c : unjoined_) {
-      g_.add_edge(last_frag(c), barrier, EdgeKind::Join);
-    }
-  }
-
   const Trace& trace_;
-  GrainGraph g_;
-  FlatMap<TaskId, std::pair<u32, u32>> frag_index_;  // uid -> (first, count)
-  std::vector<TaskId> unjoined_;
-  std::vector<u32> root_joins_;
+  const FragIndex& fi_;
 };
 
 }  // namespace
 
-GrainGraph GrainGraph::build(const Trace& trace) {
+GrainGraph GrainGraph::build(const Trace& trace, int threads) {
   GG_CHECK_MSG(trace.finalized(), "build requires a finalized trace");
-  Builder b(trace);
-  return b.build();
+  GrainGraph g;
+
+  // Phase A: fragment nodes.
+  FragIndex fi = add_fragment_nodes(trace, threads, g.nodes_);
+
+  // Phase B: shard the task-wiring over contiguous task blocks.
+  const size_t ntasks = trace.tasks.size();
+  size_t nshards = static_cast<size_t>(std::max(threads, 1));
+  if (nshards > ntasks) nshards = ntasks == 0 ? 1 : ntasks;
+  std::vector<ShardBuilder> shards;
+  shards.reserve(nshards);
+  for (size_t s = 0; s < nshards; ++s) shards.emplace_back(trace, fi);
+  par_for_shard(nshards, [&](size_t s) {
+    shards[s].wire_range(ntasks * s / nshards, ntasks * (s + 1) / nshards);
+  });
+
+  // Merge: rebase each shard's encoded references onto its node base and
+  // concatenate in shard order — the ids the serial walk would assign.
+  const u32 F = fi.total;
+  std::vector<u32> node_base(nshards + 1, F);
+  std::vector<size_t> edge_base(nshards + 1, 0);
+  for (size_t s = 0; s < nshards; ++s) {
+    node_base[s + 1] =
+        node_base[s] + static_cast<u32>(shards[s].nodes.size());
+    edge_base[s + 1] = edge_base[s] + shards[s].edges.size();
+  }
+  g.nodes_.resize(node_base[nshards]);
+  g.edges_.resize(edge_base[nshards]);
+  par_for_shard(nshards, [&](size_t s) {
+    ShardBuilder& sb = shards[s];
+    const u32 nbase = node_base[s];
+    std::copy(sb.nodes.begin(), sb.nodes.end(), g.nodes_.begin() + nbase);
+    auto rebase = [&](u32 ref) {
+      return ref < F ? ref : nbase + (ref - F);
+    };
+    GraphEdge* out = g.edges_.data() + edge_base[s];
+    for (const GraphEdge& e : sb.edges) {
+      *out++ = GraphEdge{rebase(e.from), rebase(e.to), e.kind};
+    }
+  });
+
+  // Serial epilogue, identical to the original builder: unjoined children
+  // synchronize at the region's implicit barrier (the root's last join,
+  // synthesized when absent), then dependence edges.
+  std::vector<TaskId> unjoined;
+  u32 barrier = kNoNode;
+  for (size_t s = 0; s < nshards; ++s) {
+    ShardBuilder& sb = shards[s];
+    unjoined.insert(unjoined.end(), sb.unjoined.begin(), sb.unjoined.end());
+    if (!sb.root_joins.empty()) {
+      barrier = node_base[s] + (sb.root_joins.back() - F);
+    }
+  }
+  const auto first_frag_of = [&](TaskId uid) -> u32 {
+    const auto idx = trace.task_index(uid);
+    GG_CHECK(idx.has_value() && fi.has(*idx));
+    return fi.first[*idx];
+  };
+  const auto last_frag_of = [&](TaskId uid) -> u32 {
+    const auto idx = trace.task_index(uid);
+    GG_CHECK(idx.has_value() && fi.has(*idx));
+    return fi.first[*idx] + fi.count[*idx] - 1;
+  };
+  const auto has_frags = [&](TaskId uid) {
+    const auto idx = trace.task_index(uid);
+    return idx.has_value() && fi.has(*idx);
+  };
+  if (!unjoined.empty()) {
+    if (barrier == kNoNode) {
+      GraphNode join;
+      join.kind = NodeKind::Join;
+      join.task = kRootTask;
+      join.seq = 0;
+      join.start = trace.meta.region_end;
+      join.end = trace.meta.region_end;
+      barrier = g.add_node(join);
+      if (has_frags(kRootTask)) {
+        g.add_edge(last_frag_of(kRootTask), barrier, EdgeKind::Continuation);
+      }
+    }
+    for (TaskId c : unjoined) {
+      g.add_edge(last_frag_of(c), barrier, EdgeKind::Join);
+    }
+  }
+  // OpenMP 4.0 task dependences (§6 future work, implemented): the
+  // predecessor's last fragment happens-before the successor's first.
+  for (const DependRec& d : trace.depends) {
+    if (!has_frags(d.pred) || !has_frags(d.succ)) continue;
+    g.add_edge(last_frag_of(d.pred), first_frag_of(d.succ),
+               EdgeKind::Dependence);
+  }
+  g.finalize();
+  return g;
 }
 
 std::vector<std::string> validate_graph(const GrainGraph& g) {

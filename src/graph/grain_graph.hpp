@@ -65,7 +65,15 @@ struct GraphEdge {
 class GrainGraph {
  public:
   /// Builds the grain graph from a finalized, valid trace.
-  static GrainGraph build(const Trace& trace);
+  ///
+  /// `threads` shards the construction: fragment nodes are added by a
+  /// parallel pass over the (task, seq)-sorted fragment vector, then each
+  /// shard wires a contiguous block of tasks into local node/edge runs that
+  /// a deterministic merge concatenates in task order — assigning every
+  /// node and edge the exact id the serial builder would. The resulting
+  /// graph (ids, edge order, topological order, every export) is
+  /// bit-identical for every thread count.
+  static GrainGraph build(const Trace& trace, int threads = 1);
 
   const std::vector<GraphNode>& nodes() const { return nodes_; }
   const std::vector<GraphEdge>& edges() const { return edges_; }

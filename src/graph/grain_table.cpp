@@ -1,128 +1,203 @@
 #include "graph/grain_table.hpp"
 
 #include <algorithm>
-#include <functional>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/par_for.hpp"
 #include "graph/thread_groups.hpp"
 
 namespace gg {
 
 namespace {
 
-/// Computes the path-enumeration id of every task: root is "0", a child is
-/// "<parent path>.<child_index>".
-std::unordered_map<TaskId, std::string> task_paths(const Trace& trace) {
-  std::unordered_map<TaskId, std::string> paths;
-  paths.reserve(trace.tasks.size());
-  // Tasks are sorted by uid and every runtime assigns child uids greater
-  // than the parent's... which is true for both our engines (monotonic
-  // counters), but don't rely on it: iterate until fixpoint-free ordering
-  // via recursion over the parent chain.
-  std::function<const std::string&(TaskId)> path_of =
-      [&](TaskId uid) -> const std::string& {
-    auto it = paths.find(uid);
-    if (it != paths.end()) return it->second;
-    const auto idx = trace.task_index(uid);
+/// Path-enumeration id of one task: root is "0", a child is
+/// "<parent path>.<child_index>". Each call walks the parent chain
+/// independently, so the pass parallelizes without a shared memo; the cost
+/// stays linear in the emitted string length, which is what the memoized
+/// serial walk paid too (it copied the parent's path into every child).
+std::string task_path(const Trace& trace, const TaskRec& t0) {
+  std::vector<u32> chain;  // child indices, deepest first
+  const TaskRec* t = &t0;
+  size_t steps = 0;
+  while (t->uid != kRootTask && t->parent != kNoTask) {
+    chain.push_back(t->child_index);
+    const auto idx = trace.task_index(t->parent);
     GG_CHECK(idx.has_value());
-    const TaskRec& t = trace.tasks[*idx];
-    std::string p;
-    if (t.uid == kRootTask || t.parent == kNoTask) {
-      p = "0";
-    } else {
-      p = path_of(t.parent) + "." + std::to_string(t.child_index);
-    }
-    return paths.emplace(uid, std::move(p)).first->second;
-  };
-  for (const TaskRec& t : trace.tasks) path_of(t.uid);
-  return paths;
+    t = &trace.tasks[*idx];
+    GG_CHECK_MSG(++steps <= trace.tasks.size(),
+                 "task parent chain contains a cycle");
+  }
+  std::string p = "0";
+  for (size_t i = chain.size(); i-- > 0;) {
+    p += '.';
+    p += std::to_string(chain[i]);
+  }
+  return p;
 }
+
+/// Synchronization-cost writes one shard of tasks produced, in walk order.
+/// Shards only collect; the writes are applied serially in shard order so
+/// the combined sequence is exactly the serial builder's (last writer wins
+/// even on damaged traces where two parents claim the same child).
+struct SyncShard {
+  std::vector<std::pair<size_t, TimeNs>> assigns;  // (row, share)
+  std::vector<TaskId> unjoined;
+  size_t root_barrier_extra = 0;
+  bool root_barrier_seen = false;
+};
 
 }  // namespace
 
-GrainTable GrainTable::build(const Trace& trace) {
+struct GrainTable::PathIndex {
+  std::once_flag once;
+  std::unordered_map<std::string_view, size_t> map;
+};
+
+GrainTable::GrainTable() : index_(std::make_unique<PathIndex>()) {}
+GrainTable::~GrainTable() = default;
+GrainTable::GrainTable(GrainTable&&) noexcept = default;
+GrainTable& GrainTable::operator=(GrainTable&&) noexcept = default;
+
+// The path index views into grains_[i].path, so it never transfers across a
+// copy: the copy gets a fresh (unbuilt) index over its own strings. Moves
+// keep the index — the Grain objects (and their string buffers) stay put.
+GrainTable::GrainTable(const GrainTable& other)
+    : grains_(other.grains_), index_(std::make_unique<PathIndex>()) {}
+GrainTable& GrainTable::operator=(const GrainTable& other) {
+  if (this != &other) {
+    grains_ = other.grains_;
+    index_ = std::make_unique<PathIndex>();
+  }
+  return *this;
+}
+
+GrainTable GrainTable::build(const Trace& trace, int threads) {
   GG_CHECK(trace.finalized());
   GrainTable table;
-  const auto paths = task_paths(trace);
+  const size_t ntasks = trace.tasks.size();
+  const size_t t = static_cast<size_t>(std::max(threads, 1));
+
+  // Tasks are uid-sorted and the root uid is 0, so root records (the region
+  // itself, not a grain) occupy a prefix; every other task's row is its
+  // position minus that prefix — a pure function of the sorted order,
+  // independent of sharding.
+  size_t nroots = 0;
+  while (nroots < ntasks && trace.tasks[nroots].uid == kRootTask) ++nroots;
+  const size_t ntask_grains = ntasks - nroots;
+
+  // Chunk grain rows follow the task grains, one run per loop in loop
+  // order; prefix-summed bases let every shard fill its loops in place.
+  const size_t nloops = trace.loops.size();
+  std::vector<size_t> chunk_base(nloops + 1, ntask_grains);
+  for (size_t l = 0; l < nloops; ++l) {
+    chunk_base[l + 1] =
+        chunk_base[l] + trace.chunks_span(trace.loops[l].uid).size();
+  }
+  table.grains_.resize(chunk_base[nloops]);
 
   // --- Task grains ---------------------------------------------------------
-  // First pass: per-task aggregates.
-  FlatMap<TaskId, size_t> index_of;
-  index_of.reserve(trace.tasks.size());
-  table.grains_.reserve(trace.grain_count());
-  for (const TaskRec& t : trace.tasks) {
-    if (t.uid == kRootTask) continue;
-    Grain g;
-    g.kind = GrainKind::Task;
-    g.task = t.uid;
-    g.parent = t.parent;
-    g.src = t.src;
-    g.path = paths.at(t.uid);
-    g.creation_cost = t.creation_cost;
-    g.inlined = t.inlined;
-    const auto frags = trace.fragments_span(t.uid);
-    GG_CHECK(!frags.empty());
-    g.first_start = frags.front().start;
-    g.last_end = frags.back().end;
-    g.core = frags.front().core;
-    g.n_fragments = static_cast<u32>(frags.size());
-    for (const FragmentRec& f : frags) {
-      g.exec_time += f.end - f.start;
-      g.counters += f.counters;
-      if (f.end_reason == FragmentEnd::Fork) g.n_children++;
+  // First pass: per-task aggregates, written to disjoint rows.
+  const size_t task_shards = ntask_grains == 0 ? 1 : std::min(t, ntask_grains);
+  par_for_shard(task_shards, [&](size_t s) {
+    const size_t lo = nroots + ntask_grains * s / task_shards;
+    const size_t hi = nroots + ntask_grains * (s + 1) / task_shards;
+    for (size_t i = lo; i < hi; ++i) {
+      const TaskRec& tr = trace.tasks[i];
+      Grain g;
+      g.kind = GrainKind::Task;
+      g.task = tr.uid;
+      g.parent = tr.parent;
+      g.src = tr.src;
+      g.path = task_path(trace, tr);
+      g.creation_cost = tr.creation_cost;
+      g.inlined = tr.inlined;
+      const auto frags = trace.fragments_span(tr.uid);
+      GG_CHECK(!frags.empty());
+      g.first_start = frags.front().start;
+      g.last_end = frags.back().end;
+      g.core = frags.front().core;
+      g.n_fragments = static_cast<u32>(frags.size());
+      for (const FragmentRec& f : frags) {
+        g.exec_time += f.end - f.start;
+        g.counters += f.counters;
+        if (f.end_reason == FragmentEnd::Fork) g.n_children++;
+      }
+      table.grains_[i - nroots] = std::move(g);
     }
-    index_of[t.uid] = table.grains_.size();
-    table.grains_.push_back(std::move(g));
-  }
+  });
+
+  // Row of a task grain by uid; duplicate uids (damaged traces) resolve to
+  // the last occurrence, matching the serial builder's insert order.
+  FlatMap<TaskId, size_t> index_of;
+  index_of.reserve(ntask_grains);
+  for (size_t i = nroots; i < ntasks; ++i)
+    index_of[trace.tasks[i].uid] = i - nroots;
 
   // Second pass: synchronization-cost shares. Walk every task's fragment
   // stream matching forked children to the join they synchronize at (the
   // same pending-children discipline as the graph builder). Children left
   // unjoined synchronize at the root's last join (the implicit barrier).
-  std::vector<TaskId> unjoined;
   const JoinRec* root_last_join = nullptr;
   {
     const auto rjoins = trace.joins_span(kRootTask);
     if (!rjoins.empty()) root_last_join = &rjoins.back();
   }
-  size_t root_barrier_extra = 0;  // children of root pending at its last join
-  for (const TaskRec& t : trace.tasks) {
-    const auto frags = trace.fragments_span(t.uid);
-    const auto joins = trace.joins_span(t.uid);
+  const size_t sync_shards = ntasks == 0 ? 1 : std::min(t, ntasks);
+  std::vector<SyncShard> sync(sync_shards);
+  par_for_shard(sync_shards, [&](size_t s) {
+    SyncShard& sh = sync[s];
+    const size_t lo = ntasks * s / sync_shards;
+    const size_t hi = ntasks * (s + 1) / sync_shards;
     std::vector<TaskId> pending;
-    for (const FragmentRec& f : frags) {
-      if (f.end_reason == FragmentEnd::Fork) {
-        pending.push_back(f.end_ref);
-      } else if (f.end_reason == FragmentEnd::Join) {
-        const JoinRec* jr = nullptr;
-        for (const JoinRec& j : joins) {
-          if (j.seq == f.end_ref) jr = &j;
-        }
-        GG_CHECK(jr != nullptr);
-        // The chargeable synchronization cost is the join overhead — the
-        // tail of the join interval not overlapped by any synchronizing
-        // child's execution. Time the parent spends merely *waiting* for
-        // (or helping while) children run is not a parallelization cost.
-        TimeNs last_child_end = jr->start;
-        for (TaskId c : pending) {
-          if (const size_t* row = index_of.find(c)) {
-            last_child_end =
-                std::max(last_child_end, table.grains_[*row].last_end);
+    for (size_t i = lo; i < hi; ++i) {
+      const TaskRec& tr = trace.tasks[i];
+      const auto frags = trace.fragments_span(tr.uid);
+      const auto joins = trace.joins_span(tr.uid);
+      pending.clear();
+      for (const FragmentRec& f : frags) {
+        if (f.end_reason == FragmentEnd::Fork) {
+          pending.push_back(f.end_ref);
+        } else if (f.end_reason == FragmentEnd::Join) {
+          const JoinRec* jr = find_join(joins, f.end_ref);
+          GG_CHECK(jr != nullptr);
+          // The chargeable synchronization cost is the join overhead — the
+          // tail of the join interval not overlapped by any synchronizing
+          // child's execution. Time the parent spends merely *waiting* for
+          // (or helping while) children run is not a parallelization cost.
+          TimeNs last_child_end = jr->start;
+          for (TaskId c : pending) {
+            if (const size_t* row = index_of.find(c)) {
+              last_child_end =
+                  std::max(last_child_end, table.grains_[*row].last_end);
+            }
           }
+          const TimeNs overhead =
+              jr->end > last_child_end ? jr->end - last_child_end : 0;
+          const TimeNs share = pending.empty() ? 0 : overhead / pending.size();
+          for (TaskId c : pending) {
+            if (const size_t* row = index_of.find(c))
+              sh.assigns.emplace_back(*row, share);
+          }
+          if (tr.uid == kRootTask && jr == root_last_join) {
+            sh.root_barrier_extra = pending.size();
+            sh.root_barrier_seen = true;
+          }
+          pending.clear();
         }
-        const TimeNs overhead =
-            jr->end > last_child_end ? jr->end - last_child_end : 0;
-        const TimeNs share = pending.empty() ? 0 : overhead / pending.size();
-        for (TaskId c : pending) {
-          if (const size_t* row = index_of.find(c))
-            table.grains_[*row].sync_cost = share;
-        }
-        if (t.uid == kRootTask && jr == root_last_join)
-          root_barrier_extra = pending.size();
-        pending.clear();
       }
+      for (TaskId c : pending) sh.unjoined.push_back(c);
     }
-    for (TaskId c : pending) unjoined.push_back(c);
+  });
+  std::vector<TaskId> unjoined;
+  size_t root_barrier_extra = 0;  // children of root pending at its last join
+  for (const SyncShard& sh : sync) {
+    for (const auto& [row, share] : sh.assigns)
+      table.grains_[row].sync_cost = share;
+    if (sh.root_barrier_seen) root_barrier_extra = sh.root_barrier_extra;
+    unjoined.insert(unjoined.end(), sh.unjoined.begin(), sh.unjoined.end());
   }
   if (!unjoined.empty() && root_last_join != nullptr) {
     const size_t total = unjoined.size() + root_barrier_extra;
@@ -143,57 +218,68 @@ GrainTable GrainTable::build(const Trace& trace) {
     }
   }
 
-  // --- Chunk grains ----------------------------------------------------------
-  for (const LoopRec& loop : trace.loops) {
-    // Pair each chunk with the book-keeping step that delivered it: the
-    // n-th got_chunk book-keeping of a thread delivered the n-th chunk.
-    // Both record kinds are (thread, seq)-sorted runs after finalize().
-    std::string loop_prefix = "L";
-    loop_prefix += std::to_string(loop.starting_thread);
-    loop_prefix += '.';
-    loop_prefix += std::to_string(loop.seq);
-    loop_prefix += ':';
-    for_each_thread_pair(
-        trace.chunks_span(loop.uid), trace.bookkeeps_span(loop.uid),
-        [&](u16, std::span<const ChunkRec> cs,
-            std::span<const BookkeepRec> bs) {
-          size_t bi = 0;  // next got_chunk book-keeping record
-          for (const ChunkRec& c : cs) {
-            Grain g;
-            g.kind = GrainKind::Chunk;
-            g.loop = loop.uid;
-            g.thread = c.thread;
-            g.chunk_seq = c.seq_on_thread;
-            g.iter_begin = c.iter_begin;
-            g.iter_end = c.iter_end;
-            g.parent = loop.enclosing_task;
-            g.src = loop.src;
-            g.path = loop_prefix + std::to_string(c.iter_begin) + "-" +
-                     std::to_string(c.iter_end);
-            g.first_start = c.start;
-            g.last_end = c.end;
-            g.exec_time = c.end - c.start;
-            g.counters = c.counters;
-            g.core = c.core;
-            while (bi < bs.size() && !bs[bi].got_chunk) ++bi;
-            if (bi < bs.size()) {
-              g.creation_cost = bs[bi].end - bs[bi].start;
-              ++bi;
+  // --- Chunk grains --------------------------------------------------------
+  const size_t loop_shards = nloops == 0 ? 1 : std::min(t, nloops);
+  par_for_shard(loop_shards, [&](size_t s) {
+    const size_t lo = nloops * s / loop_shards;
+    const size_t hi = nloops * (s + 1) / loop_shards;
+    for (size_t l = lo; l < hi; ++l) {
+      const LoopRec& loop = trace.loops[l];
+      size_t row = chunk_base[l];
+      // Pair each chunk with the book-keeping step that delivered it: the
+      // n-th got_chunk book-keeping of a thread delivered the n-th chunk.
+      // Both record kinds are (thread, seq)-sorted runs after finalize().
+      std::string loop_prefix = "L";
+      loop_prefix += std::to_string(loop.starting_thread);
+      loop_prefix += '.';
+      loop_prefix += std::to_string(loop.seq);
+      loop_prefix += ':';
+      for_each_thread_pair(
+          trace.chunks_span(loop.uid), trace.bookkeeps_span(loop.uid),
+          [&](u16, std::span<const ChunkRec> cs,
+              std::span<const BookkeepRec> bs) {
+            size_t bi = 0;  // next got_chunk book-keeping record
+            for (const ChunkRec& c : cs) {
+              Grain g;
+              g.kind = GrainKind::Chunk;
+              g.loop = loop.uid;
+              g.thread = c.thread;
+              g.chunk_seq = c.seq_on_thread;
+              g.iter_begin = c.iter_begin;
+              g.iter_end = c.iter_end;
+              g.parent = loop.enclosing_task;
+              g.src = loop.src;
+              g.path = loop_prefix + std::to_string(c.iter_begin) + "-" +
+                       std::to_string(c.iter_end);
+              g.first_start = c.start;
+              g.last_end = c.end;
+              g.exec_time = c.end - c.start;
+              g.counters = c.counters;
+              g.core = c.core;
+              while (bi < bs.size() && !bs[bi].got_chunk) ++bi;
+              if (bi < bs.size()) {
+                g.creation_cost = bs[bi].end - bs[bi].start;
+                ++bi;
+              }
+              table.grains_[row++] = std::move(g);
             }
-            table.grains_.push_back(std::move(g));
-          }
-        });
-  }
+          });
+      GG_CHECK(row == chunk_base[l + 1]);
+    }
+  });
 
-  table.by_path_.reserve(table.grains_.size());
-  for (size_t i = 0; i < table.grains_.size(); ++i)
-    table.by_path_.emplace(table.grains_[i].path, i);
   return table;
 }
 
 const Grain* GrainTable::by_path(const std::string& path) const {
-  auto it = by_path_.find(path);
-  return it == by_path_.end() ? nullptr : &grains_[it->second];
+  if (index_ == nullptr) return nullptr;  // moved-from table
+  std::call_once(index_->once, [&] {
+    index_->map.reserve(grains_.size());
+    for (size_t i = 0; i < grains_.size(); ++i)
+      index_->map.emplace(std::string_view(grains_[i].path), i);
+  });
+  auto it = index_->map.find(std::string_view(path));
+  return it == index_->map.end() ? nullptr : &grains_[it->second];
 }
 
 std::vector<const Grain*> GrainTable::children_of(TaskId parent) const {

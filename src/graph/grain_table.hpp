@@ -10,9 +10,9 @@
 //    iteration range), e.g. "L0.2:128-256".
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/flat_hash.hpp"
@@ -59,18 +59,37 @@ class GrainTable {
  public:
   /// Builds the table from a finalized trace. The root task is the region
   /// itself and is not a grain (matching the paper's grain counts).
-  static GrainTable build(const Trace& trace);
+  ///
+  /// `threads` shards the build: task grains are filled by a parallel pass
+  /// over the uid-sorted task vector (rows are a pure function of task
+  /// position), chunk grains by a parallel pass over loops with
+  /// prefix-summed row bases, and synchronization-cost shares are collected
+  /// per shard and applied serially in global task order. Rows, paths, and
+  /// costs are bit-identical for every thread count.
+  static GrainTable build(const Trace& trace, int threads = 1);
+
+  GrainTable();
+  ~GrainTable();
+  GrainTable(GrainTable&&) noexcept;
+  GrainTable& operator=(GrainTable&&) noexcept;
+  GrainTable(const GrainTable& other);
+  GrainTable& operator=(const GrainTable& other);
 
   const std::vector<Grain>& grains() const { return grains_; }
   size_t size() const { return grains_.size(); }
 
+  /// Looks up a grain by its schedule-independent path. The index is built
+  /// lazily on first use (thread-safe), so the bulk load→graph→grains
+  /// pipeline never pays for hashing millions of path strings.
   const Grain* by_path(const std::string& path) const;
   /// All task grains that are children of `parent`, in creation order.
   std::vector<const Grain*> children_of(TaskId parent) const;
 
  private:
+  struct PathIndex;  // lazy path → row map; keys view into grains_[i].path
+
   std::vector<Grain> grains_;
-  std::unordered_map<std::string, size_t> by_path_;
+  mutable std::unique_ptr<PathIndex> index_;
 };
 
 /// Flat-hash index from trace identities to grain-table rows, shared by the

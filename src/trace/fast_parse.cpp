@@ -1,7 +1,11 @@
 #include "trace/fast_parse.hpp"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <charconv>
-#include <cstdio>
 #include <cstring>
 #include <istream>
 #include <limits>
@@ -9,6 +13,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/par_for.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/serialize_detail.hpp"
 
 namespace gg {
@@ -434,9 +440,11 @@ constexpr char kBinMagic[] = "GGTB3";  // v3 adds worker stats + profiling meta
 constexpr char kBinMagicV2[] = "GGTB2";  // v2 added a dependence section
 constexpr char kBinMagicV1[] = "GGTB1";
 
-// Minimum encoded sizes per record, used to reject section counts that could
-// not possibly fit in the remaining bytes (a bit-flipped count would
-// otherwise demand a huge allocation).
+// Encoded sizes per record. These are *exact* strides — every record kind
+// below serializes to a fixed byte count — which buys two things: a section
+// count that passes the plausibility check (n <= remaining / stride, exact
+// division) proves the whole section is present, and record i lives at a
+// computable offset, so the section decodes in parallel with no scan.
 constexpr size_t kMinTaskBytes = 48;
 constexpr size_t kMinFragBytes = 76;
 constexpr size_t kMinJoinBytes = 32;
@@ -446,11 +454,206 @@ constexpr size_t kMinBookBytes = 40;
 constexpr size_t kMinDependBytes = 16;
 constexpr size_t kMinWstatBytes = 100;
 
+// --- parallel fixed-stride section decode ----------------------------------
+
+inline u64 ld64(const char* p) {
+  u64 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+inline u32 ld32(const char* p) {
+  u32 v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+// Per-record decoders, each reading exactly the stride above from `p`.
+// Return false for a malformed (but complete) record — the same validity
+// checks the strict loader applies.
+
+inline bool decode_task(const char* p, TaskRec& t) {
+  t.uid = ld64(p);
+  t.parent = ld64(p + 8);
+  t.child_index = ld32(p + 16);
+  t.src = ld32(p + 20);
+  t.create_time = ld64(p + 24);
+  t.create_core = static_cast<u16>(ld32(p + 32));
+  t.creation_cost = ld64(p + 36);
+  t.inlined = ld32(p + 44) != 0;
+  return true;
+}
+
+inline bool decode_frag(const char* p, FragmentRec& f) {
+  f.task = ld64(p);
+  f.seq = ld32(p + 8);
+  f.start = ld64(p + 12);
+  f.end = ld64(p + 20);
+  f.core = static_cast<u16>(ld32(p + 28));
+  const u32 reason = ld32(p + 32);
+  f.end_ref = ld64(p + 36);
+  f.counters.compute = ld64(p + 44);
+  f.counters.stall = ld64(p + 52);
+  f.counters.cache_misses = ld64(p + 60);
+  f.counters.bytes_accessed = ld64(p + 68);
+  if (reason > 3) return false;
+  f.end_reason = static_cast<FragmentEnd>(reason);
+  return true;
+}
+
+inline bool decode_join(const char* p, JoinRec& j) {
+  j.task = ld64(p);
+  j.seq = ld32(p + 8);
+  j.start = ld64(p + 12);
+  j.end = ld64(p + 20);
+  j.core = static_cast<u16>(ld32(p + 28));
+  return true;
+}
+
+inline bool decode_loop(const char* p, LoopRec& l) {
+  l.uid = ld64(p);
+  l.enclosing_task = ld64(p + 8);
+  l.src = ld32(p + 16);
+  const u32 sched = ld32(p + 20);
+  l.chunk_param = ld64(p + 24);
+  l.iter_begin = ld64(p + 32);
+  l.iter_end = ld64(p + 40);
+  l.num_threads = static_cast<u16>(ld32(p + 48));
+  l.starting_thread = static_cast<u16>(ld32(p + 52));
+  l.seq = ld32(p + 56);
+  l.start = ld64(p + 60);
+  l.end = ld64(p + 68);
+  if (sched > 2) return false;
+  l.sched = static_cast<ScheduleKind>(sched);
+  return true;
+}
+
+inline bool decode_chunk(const char* p, ChunkRec& c) {
+  c.loop = ld64(p);
+  c.thread = static_cast<u16>(ld32(p + 8));
+  c.core = static_cast<u16>(ld32(p + 12));
+  c.seq_on_thread = ld32(p + 16);
+  c.iter_begin = ld64(p + 20);
+  c.iter_end = ld64(p + 28);
+  c.start = ld64(p + 36);
+  c.end = ld64(p + 44);
+  c.counters.compute = ld64(p + 52);
+  c.counters.stall = ld64(p + 60);
+  c.counters.cache_misses = ld64(p + 68);
+  c.counters.bytes_accessed = ld64(p + 76);
+  return true;
+}
+
+inline bool decode_book(const char* p, BookkeepRec& b) {
+  b.loop = ld64(p);
+  b.thread = static_cast<u16>(ld32(p + 8));
+  b.core = static_cast<u16>(ld32(p + 12));
+  b.seq_on_thread = ld32(p + 16);
+  b.start = ld64(p + 20);
+  b.end = ld64(p + 28);
+  b.got_chunk = ld32(p + 36) != 0;
+  return true;
+}
+
+inline bool decode_depend(const char* p, DependRec& d) {
+  d.pred = ld64(p);
+  d.succ = ld64(p + 8);
+  return true;
+}
+
+inline bool decode_wstat(const char* p, WorkerStatsRec& s) {
+  s.worker = static_cast<u16>(ld32(p));
+  s.tasks_spawned = ld64(p + 4);
+  s.tasks_executed = ld64(p + 12);
+  s.tasks_inlined = ld64(p + 20);
+  s.steals = ld64(p + 28);
+  s.steal_failures = ld64(p + 36);
+  s.cas_failures = ld64(p + 44);
+  s.deque_pushes = ld64(p + 52);
+  s.deque_pops = ld64(p + 60);
+  s.deque_resizes = ld64(p + 68);
+  s.taskwait_helps = ld64(p + 76);
+  s.idle_ns = ld64(p + 84);
+  s.trace_bytes = ld64(p + 92);
+  return true;
+}
+
+// Decodes a whole fixed-stride section (count already read and validated, so
+// all `n` records are present) into `out`, partitioned across `threads`
+// workers. Serial and parallel runs share this exact code path —
+// par_for_blocks degenerates to one block — so the decoded records and the
+// diagnostics are identical for every thread count by construction.
+//
+// Malformed-record semantics match the strict loader: in Strict/Lenient the
+// first bad record is reported (at its byte offset) and the parse fails; in
+// Salvage every bad record is reported in offset order and skipped, the
+// survivors compacted in their original order.
+template <class Rec, class Decode>
+bool decode_section(ByteReader& r, u64 n, size_t stride, int threads,
+                    bool salv, const char* ctx, const char* bad_msg,
+                    std::vector<Rec>& out,
+                    std::vector<LoadDiagnostic>& diags, Decode decode) {
+  const size_t base = r.pos;
+  const size_t count = static_cast<size_t>(n);
+  r.pos = base + count * stride;
+  out.resize(count);
+  const size_t nblocks = static_cast<size_t>(std::max(threads, 1));
+  // Per-block bad-record indices: block b only touches bad[b], and each
+  // block's list is ascending, so concatenation in block order is the
+  // ascending list of all bad records.
+  std::vector<std::vector<size_t>> bad(nblocks);
+  par_for_blocks(count, threads, [&](size_t b, size_t lo, size_t hi) {
+    auto& mine = bad[b];
+    const char* p = r.buf.data() + base + lo * stride;
+    for (size_t i = lo; i < hi; ++i, p += stride) {
+      if (!decode(p, out[i])) mine.push_back(i);
+    }
+  });
+  size_t nbad = 0;
+  for (const auto& b : bad) nbad += b.size();
+  if (nbad == 0) return true;
+  if (!salv) {
+    size_t first = count;
+    for (const auto& b : bad) {
+      if (!b.empty()) {
+        first = b.front();
+        break;
+      }
+    }
+    diags.push_back(LoadDiagnostic{LoadErrorCode::MalformedRecord,
+                                   base + first * stride, false, ctx,
+                                   bad_msg});
+    return false;
+  }
+  std::vector<size_t> bad_all;
+  bad_all.reserve(nbad);
+  for (const auto& b : bad) {
+    for (size_t i : b) {
+      bad_all.push_back(i);
+      diags.push_back(LoadDiagnostic{LoadErrorCode::MalformedRecord,
+                                     base + i * stride, false, ctx, bad_msg});
+    }
+  }
+  // Stable in-place compaction over the sorted bad list.
+  size_t w = bad_all.front();
+  size_t next = 0;
+  for (size_t i = bad_all.front(); i < count; ++i) {
+    if (next < bad_all.size() && bad_all[next] == i) {
+      ++next;
+      continue;
+    }
+    out[w++] = out[i];
+  }
+  out.resize(w);
+  return true;
+}
+
 // Parses the sections after the magic. Returns false on a fatal problem
 // (Strict/Lenient); in Salvage mode it always returns true and simply stops
 // at the end of the longest readable prefix, leaving what was parsed in
-// `trace`. Diagnostics are appended either way.
-bool parse_binary_body(ByteReader& r, bool v1, bool v2, bool salv,
+// `trace`. Diagnostics are appended either way. The fixed-stride record
+// sections decode across `threads` workers (see decode_section); the
+// variable-size preamble (meta, notes, strings) stays serial.
+bool parse_binary_body(ByteReader& r, bool v1, bool v2, bool salv, int threads,
                        Trace& trace, std::vector<LoadDiagnostic>& diags) {
   auto add = [&](LoadErrorCode code, u64 off, const char* ctx,
                  std::string msg) {
@@ -540,143 +743,69 @@ bool parse_binary_body(ByteReader& r, bool v1, bool v2, bool salv,
     bool ok = true;
     if (!get_count(n, kMinTaskBytes, "tasks", "truncated tasks", ok))
       return ok;
-    trace.tasks.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      TaskRec t;
-      u32 core = 0, inl = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(t.uid) && r.get_u64(t.parent) &&
-            r.get_u32(t.child_index) && r.get_u32(t.src) &&
-            r.get_u64(t.create_time) && r.get_u32(core) &&
-            r.get_u64(t.creation_cost) && r.get_u32(inl)))
-        return truncated(off, "tasks", "truncated task record");
-      t.create_core = static_cast<u16>(core);
-      t.inlined = inl != 0;
-      trace.tasks.push_back(t);
-    }
+    if (!decode_section(r, n, kMinTaskBytes, threads, salv, "tasks",
+                        "malformed task record", trace.tasks, diags,
+                        decode_task))
+      return false;
   }
   {
     u64 n = 0;
     bool ok = true;
     if (!get_count(n, kMinFragBytes, "fragments", "truncated fragments", ok))
       return ok;
-    trace.fragments.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      FragmentRec f;
-      u32 core = 0, reason = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(f.task) && r.get_u32(f.seq) && r.get_u64(f.start) &&
-            r.get_u64(f.end) && r.get_u32(core) && r.get_u32(reason) &&
-            r.get_u64(f.end_ref) && r.get_counters(f.counters)))
-        return truncated(off, "fragments", "truncated fragment record");
-      if (reason > 3) {
-        add(LoadErrorCode::MalformedRecord, off, "fragments",
-            "bad fragment end reason");
-        if (!salv) return false;
-        continue;  // salvage: skip the record, keep parsing
-      }
-      f.core = static_cast<u16>(core);
-      f.end_reason = static_cast<FragmentEnd>(reason);
-      trace.fragments.push_back(f);
-    }
+    if (!decode_section(r, n, kMinFragBytes, threads, salv, "fragments",
+                        "bad fragment end reason", trace.fragments, diags,
+                        decode_frag))
+      return false;
   }
   {
     u64 n = 0;
     bool ok = true;
     if (!get_count(n, kMinJoinBytes, "joins", "truncated joins", ok))
       return ok;
-    trace.joins.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      JoinRec j;
-      u32 core = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(j.task) && r.get_u32(j.seq) && r.get_u64(j.start) &&
-            r.get_u64(j.end) && r.get_u32(core)))
-        return truncated(off, "joins", "truncated join record");
-      j.core = static_cast<u16>(core);
-      trace.joins.push_back(j);
-    }
+    if (!decode_section(r, n, kMinJoinBytes, threads, salv, "joins",
+                        "malformed join record", trace.joins, diags,
+                        decode_join))
+      return false;
   }
   {
     u64 n = 0;
     bool ok = true;
     if (!get_count(n, kMinLoopBytes, "loops", "truncated loops", ok))
       return ok;
-    trace.loops.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      LoopRec l;
-      u32 sched = 0, threads = 0, start_thread = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(l.uid) && r.get_u64(l.enclosing_task) &&
-            r.get_u32(l.src) && r.get_u32(sched) && r.get_u64(l.chunk_param) &&
-            r.get_u64(l.iter_begin) && r.get_u64(l.iter_end) &&
-            r.get_u32(threads) && r.get_u32(start_thread) &&
-            r.get_u32(l.seq) && r.get_u64(l.start) && r.get_u64(l.end)))
-        return truncated(off, "loops", "truncated loop record");
-      if (sched > 2) {
-        add(LoadErrorCode::MalformedRecord, off, "loops", "bad loop schedule");
-        if (!salv) return false;
-        continue;
-      }
-      l.sched = static_cast<ScheduleKind>(sched);
-      l.num_threads = static_cast<u16>(threads);
-      l.starting_thread = static_cast<u16>(start_thread);
-      trace.loops.push_back(l);
-    }
+    if (!decode_section(r, n, kMinLoopBytes, threads, salv, "loops",
+                        "bad loop schedule", trace.loops, diags, decode_loop))
+      return false;
   }
   {
     u64 n = 0;
     bool ok = true;
     if (!get_count(n, kMinChunkBytes, "chunks", "truncated chunks", ok))
       return ok;
-    trace.chunks.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      ChunkRec c;
-      u32 thread = 0, core = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(c.loop) && r.get_u32(thread) && r.get_u32(core) &&
-            r.get_u32(c.seq_on_thread) && r.get_u64(c.iter_begin) &&
-            r.get_u64(c.iter_end) && r.get_u64(c.start) && r.get_u64(c.end) &&
-            r.get_counters(c.counters)))
-        return truncated(off, "chunks", "truncated chunk record");
-      c.thread = static_cast<u16>(thread);
-      c.core = static_cast<u16>(core);
-      trace.chunks.push_back(c);
-    }
+    if (!decode_section(r, n, kMinChunkBytes, threads, salv, "chunks",
+                        "malformed chunk record", trace.chunks, diags,
+                        decode_chunk))
+      return false;
   }
   {
     u64 n = 0;
     bool ok = true;
     if (!get_count(n, kMinBookBytes, "bookkeeps", "truncated bookkeeps", ok))
       return ok;
-    trace.bookkeeps.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      BookkeepRec b;
-      u32 thread = 0, core = 0, got = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u64(b.loop) && r.get_u32(thread) && r.get_u32(core) &&
-            r.get_u32(b.seq_on_thread) && r.get_u64(b.start) &&
-            r.get_u64(b.end) && r.get_u32(got)))
-        return truncated(off, "bookkeeps", "truncated bookkeep record");
-      b.thread = static_cast<u16>(thread);
-      b.core = static_cast<u16>(core);
-      b.got_chunk = got != 0;
-      trace.bookkeeps.push_back(b);
-    }
+    if (!decode_section(r, n, kMinBookBytes, threads, salv, "bookkeeps",
+                        "malformed bookkeep record", trace.bookkeeps, diags,
+                        decode_book))
+      return false;
   }
   if (!v1) {
     u64 n = 0;
     bool ok = true;
     if (!get_count(n, kMinDependBytes, "depends", "truncated depends", ok))
       return ok;
-    trace.depends.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      DependRec d;
-      const u64 off = r.pos;
-      if (!(r.get_u64(d.pred) && r.get_u64(d.succ)))
-        return truncated(off, "depends", "truncated depend record");
-      trace.depends.push_back(d);
-    }
+    if (!decode_section(r, n, kMinDependBytes, threads, salv, "depends",
+                        "malformed depend record", trace.depends, diags,
+                        decode_depend))
+      return false;
   }
   if (!v1 && !v2) {
     u32 profiled = 1;
@@ -689,22 +818,10 @@ bool parse_binary_body(ByteReader& r, bool v1, bool v2, bool salv,
     if (!get_count(n, kMinWstatBytes, "worker stats", "truncated worker stats",
                    ok))
       return ok;
-    trace.worker_stats.reserve(static_cast<size_t>(n));
-    for (u64 i = 0; i < n; ++i) {
-      WorkerStatsRec s;
-      u32 worker = 0;
-      const u64 off = r.pos;
-      if (!(r.get_u32(worker) && r.get_u64(s.tasks_spawned) &&
-            r.get_u64(s.tasks_executed) && r.get_u64(s.tasks_inlined) &&
-            r.get_u64(s.steals) && r.get_u64(s.steal_failures) &&
-            r.get_u64(s.cas_failures) && r.get_u64(s.deque_pushes) &&
-            r.get_u64(s.deque_pops) && r.get_u64(s.deque_resizes) &&
-            r.get_u64(s.taskwait_helps) && r.get_u64(s.idle_ns) &&
-            r.get_u64(s.trace_bytes)))
-        return truncated(off, "worker stats", "truncated worker stats record");
-      s.worker = static_cast<u16>(worker);
-      trace.worker_stats.push_back(s);
-    }
+    if (!decode_section(r, n, kMinWstatBytes, threads, salv, "worker stats",
+                        "malformed worker stats record", trace.worker_stats,
+                        diags, decode_wstat))
+      return false;
   }
   return true;
 }
@@ -730,7 +847,8 @@ LoadResult parse_trace_binary(std::string_view buf, const LoadOptions& opts) {
   }
   ByteReader r{buf, 5};
   Trace trace;
-  if (!parse_binary_body(r, v1, v2, salv, trace, res.diagnostics)) {
+  const int threads = resolve_threads(opts.threads);
+  if (!parse_binary_body(r, v1, v2, salv, threads, trace, res.diagnostics)) {
     return res;  // fatal in Strict/Lenient; diagnostics already recorded
   }
   detail::finish_load(std::move(trace), opts, res);
@@ -738,23 +856,23 @@ LoadResult parse_trace_binary(std::string_view buf, const LoadOptions& opts) {
 }
 
 bool read_file_contents(const std::string& path, std::string& out) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return false;
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    std::fclose(f);
-    return false;
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+  out.clear();
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode) && st.st_size > 0) {
+    out.reserve(static_cast<size_t>(st.st_size));
   }
-  const long size = std::ftell(f);
-  if (size < 0) {
-    std::fclose(f);
-    return false;
-  }
-  std::rewind(f);
-  out.resize(static_cast<size_t>(size));
-  const size_t got = size > 0 ? std::fread(out.data(), 1, out.size(), f) : 0;
-  std::fclose(f);
-  out.resize(got);  // short read: parse what we got (truncation diagnostics)
-  return true;
+  // EINTR-safe read loop — unlike the old fread-once version this survives
+  // signal interruption and short reads, and works on non-seekable sources
+  // (pipes), reading to true EOF.
+  const bool ok = read_fd_contents(fd, out);
+  ::close(fd);
+  if (!ok) out.clear();
+  return ok;
 }
 
 std::string slurp_stream(std::istream& is) {

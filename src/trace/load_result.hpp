@@ -70,10 +70,24 @@ enum class ParseEngine : u8 {
   Legacy,  ///< getline + per-line istringstream (the seed implementation)
 };
 
+/// How file-path loads get their bytes. Both produce identical traces and
+/// identical diagnostics (byte offsets are into the file either way); Stream
+/// is the read()-based fallback, also used automatically for non-regular
+/// files (pipes, sockets) where mmap cannot apply.
+enum class IoSource : u8 {
+  Mmap,    ///< zero-copy mmap of regular files (the default)
+  Stream,  ///< EINTR-safe read() loop into a heap buffer
+};
+
 struct LoadOptions {
   LoadMode mode = LoadMode::Lenient;
   bool validate = true;  ///< run validate_trace after load (and after salvage)
   ParseEngine engine = ParseEngine::Fast;
+  IoSource io = IoSource::Mmap;  ///< file-path loads only; streams unaffected
+  /// Worker threads for binary section decode and trace finalize sorting.
+  /// 0 = auto (GG_THREADS env, else hardware concurrency, clamped to 8);
+  /// 1 = serial. Outputs are identical for every value.
+  int threads = 1;
 };
 
 /// Outcome of one load. `trace` is present when any records were recovered,

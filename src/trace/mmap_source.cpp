@@ -1,0 +1,103 @@
+#include "trace/mmap_source.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace gg {
+
+bool read_fd_contents(int fd, std::string& out) {
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return true;  // EOF
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool MmapSource::open(const std::string& path) {
+  reset();
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) return false;
+
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  if (S_ISREG(st.st_mode)) {
+    const size_t len = static_cast<size_t>(st.st_size);
+    if (len == 0) {
+      // mmap with length 0 is EINVAL; an empty file is simply an empty view.
+      ::close(fd);
+      view_ = std::string_view{};
+      return true;
+    }
+    void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base != MAP_FAILED) {
+#ifdef MADV_SEQUENTIAL
+      ::madvise(base, len, MADV_SEQUENTIAL);
+#endif
+      ::close(fd);
+      map_base_ = base;
+      map_len_ = len;
+      view_ = std::string_view(static_cast<const char*>(base), len);
+      return true;
+    }
+    // mmap can fail on exotic filesystems; fall through to the read loop.
+    if (::lseek(fd, 0, SEEK_SET) < 0) {
+      ::close(fd);
+      return false;
+    }
+  }
+
+  // Non-regular file (pipe, socket, /proc) or mmap refusal: read it.
+  fallback_.clear();
+  const bool ok = read_fd_contents(fd, fallback_);
+  ::close(fd);
+  if (!ok) {
+    fallback_.clear();
+    return false;
+  }
+  view_ = fallback_;
+  return true;
+}
+
+void MmapSource::reset() {
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_len_);
+    map_base_ = nullptr;
+    map_len_ = 0;
+  }
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+  view_ = std::string_view{};
+}
+
+void MmapSource::swap(MmapSource& other) noexcept {
+  // fallback_ owns bytes view_ may point into; re-derive views after the
+  // swap when they were fallback-backed (SSO makes pointer-stability of a
+  // swapped std::string implementation-defined).
+  const bool self_fb = !mapped() && !view_.empty();
+  const bool other_fb = !other.mapped() && !other.view_.empty();
+  std::swap(view_, other.view_);
+  std::swap(map_base_, other.map_base_);
+  std::swap(map_len_, other.map_len_);
+  fallback_.swap(other.fallback_);
+  if (other_fb) view_ = fallback_;
+  if (self_fb) other.view_ = other.fallback_;
+}
+
+}  // namespace gg

@@ -6,7 +6,9 @@
 #include <map>
 #include <sstream>
 
+#include "common/par_for.hpp"
 #include "trace/fast_parse.hpp"
+#include "trace/mmap_source.hpp"
 #include "trace/salvage.hpp"
 #include "trace/serialize_detail.hpp"
 #include "trace/validate.hpp"
@@ -59,7 +61,7 @@ std::optional<std::string> unescape(std::string_view s) {
 }
 
 void finish_load(Trace&& trace, const LoadOptions& opts, LoadResult& res) {
-  trace.finalize();
+  trace.finalize(resolve_threads(opts.threads));
   if (opts.mode == LoadMode::Salvage) {
     res.salvage = salvage_trace(trace);
     if (opts.validate) {
@@ -676,8 +678,23 @@ LoadResult load_trace_file_ex(const std::string& path,
     res.source = path;
     return res;
   }
+  // Both io engines produce one string_view over the whole file, parsed by
+  // the same code with the same byte offsets: Mmap maps regular files
+  // zero-copy (falling back to a read loop for pipes and the like), Stream
+  // always reads into a heap buffer. Failure to get bytes at all is the
+  // same CannotOpen either way.
+  MmapSource mapped;
   std::string buf;
-  if (!read_file_contents(path, buf)) {
+  std::string_view bytes;
+  bool opened;
+  if (opts.io == IoSource::Mmap) {
+    opened = mapped.open(path);
+    bytes = mapped.view();
+  } else {
+    opened = read_file_contents(path, buf);
+    bytes = buf;
+  }
+  if (!opened) {
     LoadResult res;
     res.source = path;
     res.diagnostics.push_back(LoadDiagnostic{LoadErrorCode::CannotOpen, 0,
@@ -685,8 +702,8 @@ LoadResult load_trace_file_ex(const std::string& path,
                                              "cannot open " + path});
     return res;
   }
-  LoadResult res = binary ? parse_trace_binary(buf, opts)
-                          : parse_trace_text(buf, opts);
+  LoadResult res = binary ? parse_trace_binary(bytes, opts)
+                          : parse_trace_text(bytes, opts);
   res.source = path;
   return res;
 }

@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "trace/incremental.hpp"
+#include "trace/mmap_source.hpp"
 
 namespace gg::spool {
 
@@ -1013,16 +1014,18 @@ RecoverResult recover_spool_bytes(std::string_view bytes) {
 }
 
 RecoverResult recover_spool_file(const std::string& path, std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  // Zero-copy recovery: the frame walk in recover_spool_bytes is already
+  // view-based, so mapping the spool avoids buffering what can be a
+  // multi-gigabyte crash artifact (MmapSource falls back to a read loop for
+  // non-regular files).
+  MmapSource src;
+  if (!src.open(path)) {
     if (error != nullptr) *error = "cannot open " + path;
     RecoverResult res;
     res.report.diagnostics.push_back("cannot open " + path);
     return res;
   }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  return recover_spool_bytes(bytes);
+  return recover_spool_bytes(src.view());
 }
 
 // --- whole-trace spooling ---------------------------------------------------

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/par_sort.hpp"
+
 namespace gg {
 
 const char* to_string(ScheduleKind k) {
@@ -13,38 +15,44 @@ const char* to_string(ScheduleKind k) {
   return "?";
 }
 
-void Trace::finalize() {
-  std::sort(tasks.begin(), tasks.end(),
-            [](const TaskRec& a, const TaskRec& b) { return a.uid < b.uid; });
-  std::sort(fragments.begin(), fragments.end(),
-            [](const FragmentRec& a, const FragmentRec& b) {
-              return a.task != b.task ? a.task < b.task : a.seq < b.seq;
-            });
-  std::sort(joins.begin(), joins.end(), [](const JoinRec& a, const JoinRec& b) {
+void Trace::finalize(int threads) {
+  // Stable sorts throughout: records with equal keys (possible in damaged
+  // inputs) keep their arrival order, and par_stable_sort produces the same
+  // permutation for every thread count — so a salvaged trace serializes
+  // identically whether finalized serial or parallel.
+  par_stable_sort(tasks, threads, [](const TaskRec& a, const TaskRec& b) {
+    return a.uid < b.uid;
+  });
+  par_stable_sort(fragments, threads,
+                  [](const FragmentRec& a, const FragmentRec& b) {
+                    return a.task != b.task ? a.task < b.task : a.seq < b.seq;
+                  });
+  par_stable_sort(joins, threads, [](const JoinRec& a, const JoinRec& b) {
     return a.task != b.task ? a.task < b.task : a.seq < b.seq;
   });
-  std::sort(loops.begin(), loops.end(),
-            [](const LoopRec& a, const LoopRec& b) { return a.uid < b.uid; });
-  std::sort(chunks.begin(), chunks.end(),
-            [](const ChunkRec& a, const ChunkRec& b) {
-              if (a.loop != b.loop) return a.loop < b.loop;
-              if (a.thread != b.thread) return a.thread < b.thread;
-              return a.seq_on_thread < b.seq_on_thread;
-            });
-  std::sort(depends.begin(), depends.end(),
-            [](const DependRec& a, const DependRec& b) {
-              return a.succ != b.succ ? a.succ < b.succ : a.pred < b.pred;
-            });
-  std::sort(bookkeeps.begin(), bookkeeps.end(),
-            [](const BookkeepRec& a, const BookkeepRec& b) {
-              if (a.loop != b.loop) return a.loop < b.loop;
-              if (a.thread != b.thread) return a.thread < b.thread;
-              return a.seq_on_thread < b.seq_on_thread;
-            });
-  std::sort(worker_stats.begin(), worker_stats.end(),
-            [](const WorkerStatsRec& a, const WorkerStatsRec& b) {
-              return a.worker < b.worker;
-            });
+  par_stable_sort(loops, threads, [](const LoopRec& a, const LoopRec& b) {
+    return a.uid < b.uid;
+  });
+  par_stable_sort(chunks, threads, [](const ChunkRec& a, const ChunkRec& b) {
+    if (a.loop != b.loop) return a.loop < b.loop;
+    if (a.thread != b.thread) return a.thread < b.thread;
+    return a.seq_on_thread < b.seq_on_thread;
+  });
+  par_stable_sort(depends, threads,
+                  [](const DependRec& a, const DependRec& b) {
+                    return a.succ != b.succ ? a.succ < b.succ
+                                            : a.pred < b.pred;
+                  });
+  par_stable_sort(bookkeeps, threads,
+                  [](const BookkeepRec& a, const BookkeepRec& b) {
+                    if (a.loop != b.loop) return a.loop < b.loop;
+                    if (a.thread != b.thread) return a.thread < b.thread;
+                    return a.seq_on_thread < b.seq_on_thread;
+                  });
+  par_stable_sort(worker_stats, threads,
+                  [](const WorkerStatsRec& a, const WorkerStatsRec& b) {
+                    return a.worker < b.worker;
+                  });
 
   task_index_.clear();
   task_index_.reserve(tasks.size());
@@ -57,13 +65,12 @@ void Trace::finalize() {
   children_index_.clear();
   children_index_.reserve(tasks.size());
   for (size_t i = 0; i < tasks.size(); ++i) children_index_.push_back(i);
-  std::sort(children_index_.begin(), children_index_.end(),
-            [this](size_t a, size_t b) {
-              const TaskRec& ta = tasks[a];
-              const TaskRec& tb = tasks[b];
-              return ta.parent != tb.parent ? ta.parent < tb.parent
-                                            : ta.child_index < tb.child_index;
-            });
+  par_stable_sort(children_index_, threads, [this](size_t a, size_t b) {
+    const TaskRec& ta = tasks[a];
+    const TaskRec& tb = tasks[b];
+    return ta.parent != tb.parent ? ta.parent < tb.parent
+                                  : ta.child_index < tb.child_index;
+  });
   finalized_ = true;
 }
 
@@ -110,6 +117,17 @@ std::span<const BookkeepRec> Trace::bookkeeps_span(LoopId uid) const {
       [](LoopId v, const BookkeepRec& b) { return v < b.loop; });
   return {bookkeeps.data() + (lo - bookkeeps.begin()),
           static_cast<size_t>(hi - lo)};
+}
+
+const JoinRec* find_join(std::span<const JoinRec> joins, u64 seq) {
+  // The span is seq-sorted (Trace::finalize), so the last occurrence is the
+  // element before the upper bound. u32 seqs promote losslessly to u64.
+  auto hi = std::upper_bound(
+      joins.begin(), joins.end(), seq,
+      [](u64 v, const JoinRec& j) { return v < j.seq; });
+  if (hi == joins.begin()) return nullptr;
+  const JoinRec* j = &*(hi - 1);
+  return j->seq == seq ? j : nullptr;
 }
 
 std::optional<size_t> Trace::task_index(TaskId uid) const {

@@ -81,7 +81,12 @@ class Trace {
   /// after recording and after deserialization, before lookups. Lookups on
   /// a not-yet-finalized trace return empty/nullopt instead of aborting, so
   /// partially-ingested traces are safe to probe.
-  void finalize();
+  ///
+  /// `threads` parallelizes the sorts (par_stable_sort). Every sort is
+  /// stable, so the canonical order — including the relative order of
+  /// duplicate-key records a damaged input may contain — is identical for
+  /// every thread count.
+  void finalize(int threads = 1);
 
   /// Index of a task by uid after finalize(); nullopt if absent.
   std::optional<size_t> task_index(TaskId uid) const;
@@ -143,6 +148,13 @@ class Trace {
   std::vector<size_t> children_index_;  // task indices, sorted by
                                         // (parent, child_index)
 };
+
+/// Join with the given seq in one task's (seq-sorted) span, or nullptr.
+/// Damaged traces can carry duplicate seqs; the *last* occurrence is
+/// returned, matching what a forward linear scan that keeps overwriting its
+/// match would select — every caller that resolves a fragment's
+/// FragmentEnd::Join end_ref must use this so they agree on damaged inputs.
+const JoinRec* find_join(std::span<const JoinRec> joins, u64 seq);
 
 /// Interns a "file:line(func)" source identifier, the format the paper uses
 /// to name task/loop definitions (e.g. "sparselu.c:246(bmod)").

@@ -145,10 +145,7 @@ ValidationReport validate_trace_structured(const Trace& trace) {
                  " references missing loop ", f.end_ref);
       }
       if (f.end_reason == FragmentEnd::Join) {
-        const bool found = std::any_of(
-            joins.begin(), joins.end(),
-            [&](const JoinRec& j) { return j.seq == f.end_ref; });
-        if (!found)
+        if (find_join(joins, f.end_ref) == nullptr)
           report(S::Fragment, t.uid, "task ", t.uid, " fragment ", i,
                  " references missing join ", f.end_ref);
       }

@@ -28,6 +28,7 @@ namespace {
 /// byte diff here.
 std::string analysis_bytes(const Trace& trace, int threads) {
   AnalysisOptions opts;
+  opts.threads = threads;
   opts.metrics.threads = threads;
   const Analysis a = analyze(trace, Topology::generic4(), opts);
   std::ostringstream os;
@@ -97,7 +98,8 @@ TEST(FastPathSweepTest, FiftySeededTracesAgree) {
   }
 }
 
-// The parallel metric passes must be bit-deterministic: any thread count
+// The parallel metric passes (and, via analysis_bytes, the sharded graph
+// and grain-table builders) must be bit-deterministic: any thread count
 // (serial, small, large, auto) yields identical bytes.
 TEST(FastPathThreadsTest, ThreadCountNeverChangesOutput) {
   SynthOptions sopts;
@@ -111,6 +113,71 @@ TEST(FastPathThreadsTest, ThreadCountNeverChangesOutput) {
   EXPECT_EQ(serial, analysis_bytes(trace, /*threads=*/8));
   // And across repeated runs at the same setting.
   EXPECT_EQ(analysis_bytes(trace, 0), analysis_bytes(trace, 0));
+}
+
+// The sharded graph build and grain derivation at a size where the shards
+// genuinely run in parallel (well past the serial-fallback threshold): node
+// ids, edge order, topological order, and every grain row must be the exact
+// serial result for every thread count. The trace round-trips through the
+// binary format so the parallel section decoder is in the loop too.
+TEST(FastPathThreadsTest, ShardedBuildersDeterministicAtScale) {
+  SynthOptions sopts;
+  sopts.seed = 123;
+  sopts.grains = 30000;
+  sopts.workers = 8;
+  sopts.loop_fraction = 0.4;
+  const Trace synthesized = synth_trace(sopts);
+  std::ostringstream bin;
+  save_trace_binary(synthesized, bin);
+
+  // Parallel binary decode: identical trace for every load thread count.
+  std::string serial_trace_bytes;
+  for (const int threads : {1, 2, 4, 8}) {
+    LoadOptions lo;
+    lo.mode = LoadMode::Strict;
+    lo.threads = threads;
+    std::istringstream is(bin.str());
+    const LoadResult lr = load_trace_binary_ex(is, lo);
+    ASSERT_TRUE(lr.usable()) << "threads " << threads << ": "
+                             << lr.describe();
+    std::ostringstream rt;
+    save_trace_binary(*lr.trace, rt);
+    if (threads == 1) {
+      serial_trace_bytes = rt.str();
+    } else {
+      EXPECT_EQ(serial_trace_bytes, rt.str()) << "threads " << threads;
+    }
+  }
+
+  // Sharded builders: structural identity against the serial build.
+  const GrainGraph g1 = GrainGraph::build(synthesized, /*threads=*/1);
+  const GrainTable t1 = GrainTable::build(synthesized, /*threads=*/1);
+  auto graph_bytes = [&](const GrainGraph& g) {
+    std::ostringstream os;
+    write_graphml(os, g, synthesized, nullptr, nullptr, GraphMlOptions{});
+    for (const u32 n : g.topo_order()) os << n << ',';
+    return os.str();
+  };
+  auto table_bytes = [&](const GrainTable& t) {
+    std::ostringstream os;
+    for (const Grain& g : t.grains()) {
+      os << static_cast<int>(g.kind) << '|' << g.task << '|' << g.loop << '|'
+         << g.thread << '|' << g.chunk_seq << '|' << g.path << '|' << g.src
+         << '|' << g.parent << '|' << g.first_start << '|' << g.last_end
+         << '|' << g.exec_time << '|' << g.core << '|' << g.n_fragments
+         << '|' << g.n_children << '|' << g.inlined << '|' << g.creation_cost
+         << '|' << g.sync_cost << '\n';
+    }
+    return os.str();
+  };
+  const std::string g_serial = graph_bytes(g1);
+  const std::string t_serial = table_bytes(t1);
+  for (const int threads : {2, 4, 8}) {
+    EXPECT_EQ(g_serial, graph_bytes(GrainGraph::build(synthesized, threads)))
+        << "graph differs at " << threads << " threads";
+    EXPECT_EQ(t_serial, table_bytes(GrainTable::build(synthesized, threads)))
+        << "grain table differs at " << threads << " threads";
+  }
 }
 
 }  // namespace

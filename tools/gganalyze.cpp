@@ -44,8 +44,10 @@
 //                            JSON to stderr, chrome writes span timeline to
 //                            gganalyze.telemetry.json. GG_TELEMETRY=1 in
 //                            the environment implies --telemetry=prom.
-//     --threads <N>          metric-computation threads (0 = auto; results
-//                            are bit-identical for every setting)
+//     --threads <N>          worker threads for trace load, graph build,
+//                            grain derivation, and the metric passes
+//                            (0 = auto; results are bit-identical for
+//                            every setting)
 //     --legacy-parse         use the original istream-based text parser
 //                            instead of the buffered fast path
 //
@@ -77,6 +79,7 @@
 #include <string>
 
 #include "analysis/compare.hpp"
+#include "common/par_for.hpp"
 #include "check/deque_check.hpp"
 #include "check/oracle.hpp"
 #include "analysis/recommend.hpp"
@@ -151,6 +154,7 @@ std::optional<Topology> parse_topology(const std::string& name) {
 /// string: report, GraphML, CSV, JSON. Used to compare engines/settings.
 std::string analysis_bytes(const Trace& trace, int threads) {
   AnalysisOptions opts;
+  opts.threads = threads;
   opts.metrics.threads = threads;
   const Analysis a = analyze(trace, Topology::generic4(), opts);
   std::ostringstream out;
@@ -548,6 +552,7 @@ int main(int argc, char** argv) {
     lopts.mode = salvage ? LoadMode::Salvage
                          : (strict ? LoadMode::Strict : LoadMode::Lenient);
     lopts.engine = legacy_parse ? ParseEngine::Legacy : ParseEngine::Fast;
+    lopts.threads = threads;
     const i64 load_start = now_ns();
     lr = load_trace_file_ex(trace_path, lopts);
     load_ns = now_ns() - load_start;
@@ -580,6 +585,7 @@ int main(int argc, char** argv) {
   }
 
   AnalysisOptions opts;
+  opts.threads = threads;
   opts.metrics.threads = threads;
   GrainTable baseline;
   if (!baseline_path.empty()) {
@@ -700,18 +706,22 @@ int main(int argc, char** argv) {
   if (timing) {
     std::error_code ec;
     const auto input_bytes = std::filesystem::file_size(trace_path, ec);
+    const int load_threads = legacy_parse ? 1 : resolve_threads(threads);
     std::fprintf(stderr,
                  "[timing] input %llu bytes (%s engine)\n"
-                 "[timing] load     %10.3f ms\n"
-                 "[timing] graph    %10.3f ms\n"
-                 "[timing] grains   %10.3f ms\n"
-                 "[timing] metrics  %10.3f ms (%d thread(s) requested)\n",
+                 "[timing] load     %10.3f ms (%d thread(s))\n"
+                 "[timing] graph    %10.3f ms (%d thread(s))\n"
+                 "[timing] grains   %10.3f ms (%d thread(s))\n"
+                 "[timing] metrics  %10.3f ms (%d thread(s))\n",
                  ec ? 0ULL : static_cast<unsigned long long>(input_bytes),
                  legacy_parse ? "legacy" : "fast",
-                 static_cast<double>(load_ns) / 1e6,
+                 static_cast<double>(load_ns) / 1e6, load_threads,
                  static_cast<double>(timings.graph_ns) / 1e6,
+                 timings.graph_threads,
                  static_cast<double>(timings.grains_ns) / 1e6,
-                 static_cast<double>(timings.metrics_ns) / 1e6, threads);
+                 timings.grains_threads,
+                 static_cast<double>(timings.metrics_ns) / 1e6,
+                 timings.metrics_threads);
     const MetricPassTimings& mp = timings.metric_passes;
     std::fprintf(stderr,
                  "[timing]   benefit       %10.3f ms\n"
