@@ -88,6 +88,13 @@ const char* to_string(FaultKind kind) {
     case FaultKind::SpoolSlowWriter: return "spool-slow-writer";
     case FaultKind::SpoolMidStreamGarble: return "spool-mid-stream-garble";
     case FaultKind::SpoolFooterLoss: return "spool-footer-loss";
+    case FaultKind::WireReset: return "wire-reset";
+    case FaultKind::WireMidFrameReset: return "wire-mid-frame-reset";
+    case FaultKind::WirePartialWrite: return "wire-partial-write";
+    case FaultKind::WireDuplicate: return "wire-duplicate";
+    case FaultKind::WireBitFlip: return "wire-bit-flip";
+    case FaultKind::WireSlowloris: return "wire-slowloris";
+    case FaultKind::WireGarbage: return "wire-garbage";
   }
   return "?";
 }

@@ -45,6 +45,13 @@ enum class FaultKind : u8 {
   SpoolSlowWriter,     ///< live writer appending in tiny unaligned slices
   SpoolMidStreamGarble,  ///< garbled span mid-stream, valid frames after
   SpoolFooterLoss,       ///< writer died after its last epoch, no footer
+  WireReset,           ///< connection reset at a wire-frame boundary
+  WireMidFrameReset,   ///< connection reset mid-frame (partial send lands)
+  WirePartialWrite,    ///< frame split across many tiny writes (benign)
+  WireDuplicate,       ///< one wire frame sent twice (retransmit overlap)
+  WireBitFlip,         ///< one bit flipped in a wire frame in flight
+  WireSlowloris,       ///< sender stalls mid-frame past the read deadline
+  WireGarbage,         ///< garbage preamble injected before a frame
 };
 
 const char* to_string(FaultKind kind);
@@ -218,6 +225,44 @@ class LiveSpoolWriter {
   size_t pos_ = 0;
   u64 rng_state_;
   LiveWriterPlan plan_;
+};
+
+// --- wire injection (network ingestion) -------------------------------------
+//
+// GGWIRE1 (src/serve/wire.hpp) streams spool frames into ggserved over a
+// socket; the network is the flakiest component in that loop, so the fault
+// surface grows a wire tier: resets at frame and byte granularity, partial
+// writes, duplicated sends (retransmit overlap), bit flips in flight,
+// stalled senders, and garbage preambles. The plan plugs into two places:
+// the wire client's send path (client-side faults, deterministic) and the
+// WireFaultProxy (wire_fault.hpp), which damages the byte stream between a
+// well-behaved client and the server.
+
+struct WireFaultPlan {
+  enum class Kind : u8 {
+    None,
+    ResetAtFrame,     ///< close the connection instead of sending the frame
+    ResetMidFrame,    ///< send a prefix of the frame, then close
+    PartialWrite,     ///< deliver the frame in 1..7-byte slices (benign)
+    DuplicateFrame,   ///< send the frame twice; the receiver must dedupe
+    BitFlip,          ///< flip one seeded bit of the frame in flight
+    Slowloris,        ///< send a prefix, stall stall_ns, then the rest
+    GarbagePreamble,  ///< inject garbage_bytes of noise before the frame
+  };
+
+  Kind kind = Kind::None;
+  /// Which EPOCH (1-based wire seq) to hit; 0 hits the first frame of any
+  /// type that flows after arming.
+  u32 target_seq = 1;
+  /// How many times to inject before the plan goes clean (reconnects after
+  /// a fault replay the same seq — a repeating fault must eventually clear
+  /// or the loss bound is untestable).
+  u32 repeat = 1;
+  u64 seed = 1;              ///< bit positions, garbage bytes, split sizes
+  u64 stall_ns = 0;          ///< Slowloris stall (0 = plan default)
+  size_t garbage_bytes = 32; ///< GarbagePreamble noise length
+
+  bool enabled() const { return kind != Kind::None; }
 };
 
 }  // namespace gg::fault

@@ -1,0 +1,256 @@
+#include "fault/wire_fault.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/prng.hpp"
+
+namespace gg::fault {
+
+namespace {
+
+constexpr char kWireMagic[4] = {'G', 'G', 'W', '1'};
+constexpr size_t kWireHeaderBytes = 4 + 1 + 4 + 8 + 8;
+
+u32 le32_at(const char* p) {
+  u32 v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<u32>(static_cast<u8>(p[i])) << (8 * i);
+  return v;
+}
+
+u64 le64_at(const char* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<u64>(static_cast<u8>(p[i])) << (8 * i);
+  return v;
+}
+
+bool fill_addr(const std::string& path, sockaddr_un* addr) {
+  if (path.size() >= sizeof(addr->sun_path)) return false;
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool send_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+WireFaultProxy::WireFaultProxy(std::string listen_path,
+                               std::string upstream_path, WireFaultPlan plan)
+    : listen_path_(std::move(listen_path)),
+      upstream_path_(std::move(upstream_path)),
+      plan_(plan) {}
+
+WireFaultProxy::~WireFaultProxy() { stop(); }
+
+bool WireFaultProxy::start(std::string* error) {
+  sockaddr_un addr;
+  if (!fill_addr(listen_path_, &addr)) {
+    if (error != nullptr) *error = "socket path too long: " + listen_path_;
+    return false;
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  ::unlink(listen_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr)
+      *error = "cannot bind " + listen_path_ + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void WireFaultProxy::stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  while (active_.load(std::memory_order_acquire) > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(listen_path_.c_str());
+}
+
+void WireFaultProxy::accept_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    active_.fetch_add(1, std::memory_order_acq_rel);
+    std::thread([this, fd] {
+      proxy_connection(fd);
+      active_.fetch_sub(1, std::memory_order_acq_rel);
+    }).detach();
+  }
+}
+
+void WireFaultProxy::proxy_connection(int client_fd) {
+  sockaddr_un addr;
+  int server_fd = -1;
+  if (fill_addr(upstream_path_, &addr)) {
+    server_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (server_fd >= 0 &&
+        ::connect(server_fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      ::close(server_fd);
+      server_fd = -1;
+    }
+  }
+  if (server_fd < 0) {
+    ::close(client_fd);
+    return;
+  }
+  std::string upstream_buf;
+  bool alive = true;
+  while (alive && !stop_.load(std::memory_order_acquire)) {
+    pollfd pfds[2] = {{client_fd, POLLIN, 0}, {server_fd, POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, /*timeout_ms=*/50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    char buf[64 * 1024];
+    if (pfds[0].revents != 0) {
+      const ssize_t n = ::read(client_fd, buf, sizeof buf);
+      if (n <= 0 && !(n < 0 && errno == EINTR)) break;
+      if (n > 0) {
+        upstream_buf.append(buf, static_cast<size_t>(n));
+        if (!forward_upstream(client_fd, server_fd, &upstream_buf)) break;
+      }
+    }
+    if (pfds[1].revents != 0) {
+      const ssize_t n = ::read(server_fd, buf, sizeof buf);
+      if (n <= 0 && !(n < 0 && errno == EINTR)) break;
+      // ACKs pass through untouched: the faults under test live on the
+      // ingestion path.
+      if (n > 0 && !send_all(client_fd, buf, static_cast<size_t>(n)))
+        alive = false;
+    }
+  }
+  ::close(client_fd);
+  ::close(server_fd);
+}
+
+bool WireFaultProxy::forward_upstream(int client_fd, int server_fd,
+                                      std::string* buf) {
+  while (!buf->empty()) {
+    if (buf->size() < kWireHeaderBytes ||
+        std::memcmp(buf->data(), kWireMagic, sizeof kWireMagic) != 0) {
+      // Not at a frame boundary we can delimit (short header, or a stream
+      // already damaged upstream of us): pass the bytes through raw.
+      if (!send_all(server_fd, buf->data(), buf->size())) return false;
+      buf->clear();
+      return true;
+    }
+    const u32 seq = le32_at(buf->data() + 5);
+    const u64 payload_len = le64_at(buf->data() + 9);
+    const u64 frame_len = kWireHeaderBytes + payload_len;
+    if (payload_len > (64ull << 20) || buf->size() < frame_len)
+      return true;  // wait for the full frame
+    std::string frame = buf->substr(0, static_cast<size_t>(frame_len));
+    buf->erase(0, static_cast<size_t>(frame_len));
+
+    const char type = frame[4];
+    const bool match =
+        plan_.enabled() &&
+        injections_.load(std::memory_order_acquire) < plan_.repeat &&
+        (plan_.target_seq == 0 || (type == 'E' && seq == plan_.target_seq));
+    if (!match) {
+      if (!send_all(server_fd, frame.data(), frame.size())) return false;
+      continue;
+    }
+    const u64 nth = injections_.fetch_add(1, std::memory_order_acq_rel);
+    SplitMix64 rng(plan_.seed + nth);
+    switch (plan_.kind) {
+      case WireFaultPlan::Kind::None:
+        break;
+      case WireFaultPlan::Kind::ResetAtFrame:
+        // Drop the frame and kill the connection: the client saw the bytes
+        // leave but the server never did.
+        ::shutdown(client_fd, SHUT_RDWR);
+        return false;
+      case WireFaultPlan::Kind::ResetMidFrame: {
+        const size_t keep = 1 + rng.next() % (frame.size() - 1);
+        send_all(server_fd, frame.data(), keep);
+        ::shutdown(client_fd, SHUT_RDWR);
+        return false;
+      }
+      case WireFaultPlan::Kind::PartialWrite: {
+        size_t off = 0;
+        while (off < frame.size()) {
+          const size_t slice =
+              std::min<size_t>(1 + rng.next() % 7, frame.size() - off);
+          if (!send_all(server_fd, frame.data() + off, slice)) return false;
+          off += slice;
+        }
+        break;
+      }
+      case WireFaultPlan::Kind::DuplicateFrame:
+        if (!send_all(server_fd, frame.data(), frame.size())) return false;
+        if (!send_all(server_fd, frame.data(), frame.size())) return false;
+        break;
+      case WireFaultPlan::Kind::BitFlip: {
+        const size_t byte = rng.next() % frame.size();
+        frame[byte] = static_cast<char>(
+            static_cast<u8>(frame[byte]) ^ (1u << (rng.next() % 8)));
+        if (!send_all(server_fd, frame.data(), frame.size())) return false;
+        break;
+      }
+      case WireFaultPlan::Kind::Slowloris: {
+        const size_t keep = 1 + rng.next() % (frame.size() - 1);
+        if (!send_all(server_fd, frame.data(), keep)) return false;
+        const u64 stall =
+            plan_.stall_ns != 0 ? plan_.stall_ns : 200'000'000ull;
+        std::this_thread::sleep_for(std::chrono::nanoseconds(stall));
+        if (!send_all(server_fd, frame.data() + keep, frame.size() - keep))
+          return false;
+        break;
+      }
+      case WireFaultPlan::Kind::GarbagePreamble: {
+        std::string garbage(plan_.garbage_bytes, '\0');
+        for (char& c : garbage) c = static_cast<char>(rng.next() & 0xff);
+        if (!send_all(server_fd, garbage.data(), garbage.size()))
+          return false;
+        if (!send_all(server_fd, frame.data(), frame.size())) return false;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gg::fault

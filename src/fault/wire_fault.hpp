@@ -1,0 +1,64 @@
+// Fault-injecting AF_UNIX proxy for GGWIRE1 streams.
+//
+// Sits between a well-behaved wire client and ggserved's ingest socket and
+// damages the client→server byte stream per a WireFaultPlan: resets at
+// frame or byte granularity, re-slicing into tiny writes, duplicated
+// frames, bit flips, stalls, garbage preambles. Server→client bytes (ACKs)
+// pass through untouched — the faults under test are on the ingestion
+// path, and a damaged ACK stream is just another client-side reconnect.
+//
+// The proxy delimits frames with its own minimal GGW1 header scan (magic +
+// length field only — deliberately duplicated from serve/wire.hpp so the
+// fault layer stays below the serve layer in the dependency graph). It
+// never verifies checksums: it damages streams, it does not validate them.
+//
+// One fault is injected per matching frame occurrence until plan.repeat
+// injections have happened; after that the proxy is a clean pipe, so a
+// resuming client always eventually gets through — the property the chaos
+// tests need to terminate.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "fault/fault.hpp"
+
+namespace gg::fault {
+
+class WireFaultProxy {
+ public:
+  /// Listens on `listen_path`, forwards each connection to `upstream_path`.
+  WireFaultProxy(std::string listen_path, std::string upstream_path,
+                 WireFaultPlan plan);
+  ~WireFaultProxy();
+
+  WireFaultProxy(const WireFaultProxy&) = delete;
+  WireFaultProxy& operator=(const WireFaultProxy&) = delete;
+
+  bool start(std::string* error);
+  void stop();
+
+  const std::string& listen_path() const { return listen_path_; }
+  u64 injections() const {
+    return injections_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void accept_loop();
+  void proxy_connection(int client_fd);
+  /// Forwards client→server bytes, injecting per the plan. Returns false
+  /// when the client connection must be torn down (reset faults).
+  bool forward_upstream(int client_fd, int server_fd, std::string* buf);
+
+  std::string listen_path_;
+  std::string upstream_path_;
+  WireFaultPlan plan_;
+  int listen_fd_ = -1;
+  std::thread thread_;
+  std::atomic<u64> injections_{0};
+  std::atomic<size_t> active_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace gg::fault

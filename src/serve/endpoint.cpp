@@ -5,8 +5,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
+
+#include "obs/span.hpp"
 
 namespace gg::serve {
 
@@ -28,7 +33,9 @@ bool fill_addr(const std::string& path, sockaddr_un* addr,
 
 void write_all_fd(int fd, const char* data, size_t len) {
   while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
+    // MSG_NOSIGNAL: a client that disconnects mid-response must surface
+    // as EPIPE here, never as a SIGPIPE that kills the daemon.
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return;
@@ -38,11 +45,29 @@ void write_all_fd(int fd, const char* data, size_t len) {
   }
 }
 
-/// Reads until '\n' or EOF (bounded); the request is the first line.
-std::string read_request(int fd) {
+/// Reads until '\n', EOF, or the deadline (bounded); the request is the
+/// first line. *timed_out reports a deadline hit with no complete line.
+std::string read_request(int fd, u64 deadline_ns, bool* timed_out) {
+  *timed_out = false;
   std::string req;
   char buf[4096];
+  const u64 start = obs::mono_ns();
   while (req.size() < kMaxRequestBytes) {
+    const u64 elapsed = obs::mono_ns() - start;
+    if (elapsed >= deadline_ns) {
+      *timed_out = true;
+      break;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(
+        &pfd, 1,
+        static_cast<int>(
+            std::min<u64>((deadline_ns - elapsed) / 1'000'000, 100) | 1));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // trickling client: re-check the deadline
     const ssize_t n = ::read(fd, buf, sizeof buf);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -53,15 +78,23 @@ std::string read_request(int fd) {
     if (req.find('\n') != std::string::npos) break;
   }
   const size_t nl = req.find('\n');
-  if (nl != std::string::npos) req.resize(nl);
+  if (nl != std::string::npos) {
+    req.resize(nl);
+    *timed_out = false;
+  } else if (*timed_out) {
+    req.clear();
+  }
   if (!req.empty() && req.back() == '\r') req.pop_back();
   return req;
 }
 
 }  // namespace
 
-Endpoint::Endpoint(std::string socket_path, Handler handler)
-    : path_(std::move(socket_path)), handler_(std::move(handler)) {}
+Endpoint::Endpoint(std::string socket_path, Handler handler,
+                   u64 read_deadline_ns)
+    : path_(std::move(socket_path)),
+      handler_(std::move(handler)),
+      read_deadline_ns_(read_deadline_ns) {}
 
 Endpoint::~Endpoint() { stop(); }
 
@@ -104,8 +137,12 @@ void Endpoint::accept_loop() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    const std::string request = read_request(fd);
-    const std::string response = handler_ ? handler_(request) : std::string();
+    bool timed_out = false;
+    const std::string request =
+        read_request(fd, read_deadline_ns_, &timed_out);
+    const std::string response =
+        timed_out ? "ERR timeout\n"
+                  : (handler_ ? handler_(request) : std::string());
     write_all_fd(fd, response.data(), response.size());
     ::shutdown(fd, SHUT_WR);
     ::close(fd);
@@ -146,6 +183,27 @@ bool endpoint_request(const std::string& socket_path,
   }
   ::close(fd);
   return true;
+}
+
+bool endpoint_request_retry(const std::string& socket_path,
+                            const std::string& request, u32 max_attempts,
+                            u64 backoff_initial_ns, u64 backoff_max_ns,
+                            std::string* response, std::string* error) {
+  u64 backoff = backoff_initial_ns;
+  std::string err;
+  for (u32 attempt = 0;; ++attempt) {
+    if (endpoint_request(socket_path, request, response, &err)) return true;
+    // Only the daemon-still-starting failures are retryable; anything
+    // else (path too long, read error) fails immediately.
+    const bool retryable =
+        err.find("cannot connect") != std::string::npos;
+    if (!retryable || attempt + 1 >= max_attempts) {
+      if (error != nullptr) *error = err;
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    backoff = std::min(backoff * 2, backoff_max_ns);
+  }
 }
 
 }  // namespace gg::serve

@@ -12,13 +12,19 @@
 #include <string>
 #include <thread>
 
+#include "common/types.hpp"
+
 namespace gg::serve {
 
 class Endpoint {
  public:
   using Handler = std::function<std::string(const std::string&)>;
 
-  Endpoint(std::string socket_path, Handler handler);
+  /// `read_deadline_ns`: a connection that has not produced a full request
+  /// line within this long is answered with "ERR timeout" and closed
+  /// (slowloris guard — a stalled client must not hold a handler).
+  Endpoint(std::string socket_path, Handler handler,
+           u64 read_deadline_ns = 5'000'000'000);
   ~Endpoint();
 
   Endpoint(const Endpoint&) = delete;
@@ -36,6 +42,7 @@ class Endpoint {
 
   std::string path_;
   Handler handler_;
+  u64 read_deadline_ns_;
   int listen_fd_ = -1;
   std::thread thread_;
   std::atomic<bool> stop_{false};
@@ -46,5 +53,13 @@ class Endpoint {
 bool endpoint_request(const std::string& socket_path,
                       const std::string& request, std::string* response,
                       std::string* error);
+
+/// endpoint_request with capped exponential backoff on connection failure
+/// (ECONNREFUSED / ENOENT): lets scripts launch daemon + client without
+/// racing the socket's appearance. Non-connect errors fail immediately.
+bool endpoint_request_retry(const std::string& socket_path,
+                            const std::string& request, u32 max_attempts,
+                            u64 backoff_initial_ns, u64 backoff_max_ns,
+                            std::string* response, std::string* error);
 
 }  // namespace gg::serve

@@ -40,7 +40,9 @@ std::string first_word(const std::string& line, std::string* rest) {
 }  // namespace
 
 Server::Server(const ServerOptions& opts)
-    : opts_(opts), admission_(opts.admission, opts.telemetry) {
+    : opts_(opts),
+      admission_(opts.admission, opts.telemetry),
+      ingest_(opts.ingest, opts.telemetry) {
   if (opts_.telemetry != nullptr) {
     m_ticks_ = opts_.telemetry->counter("serve.ticks");
     m_frames_ = opts_.telemetry->counter("serve.frames_applied");
@@ -53,6 +55,7 @@ Server::~Server() {
   stop();
   watchdog_stop_.store(true, std::memory_order_release);
   if (watchdog_.joinable()) watchdog_.join();
+  if (ingest_listener_) ingest_listener_->stop();
   if (endpoint_) endpoint_->stop();
 }
 
@@ -89,17 +92,24 @@ void Server::scan_dir_locked(u64 now) {
 }
 
 void Server::tick() {
+  // Ingest supervision runs before the session lock: the sweep takes the
+  // registry's own locks and may finalize abandoned wire streams.
+  const u64 tick_now = now_ns();
+  ingest_.sweep(tick_now);
+  const u64 ingest_resident = ingest_.resident_bytes();
+  const size_t ingest_streams = ingest_.stream_count();
+
   std::lock_guard<std::mutex> lock(mu_);
   const u64 now = now_ns();
   scan_dir_locked(now);
 
   size_t frames = 0;
-  u64 resident = 0;
+  u64 resident = ingest_resident;
   for (auto& [path, session] : sessions_) {
     frames += session->tick(now);
     resident += session->resident_bytes();
   }
-  admission_.update(resident, sessions_.size());
+  admission_.update(resident, sessions_.size() + ingest_streams);
   apply_backpressure_locked(now);
   evict_sweep_locked(now);
 
@@ -209,6 +219,8 @@ std::string Server::status_locked() const {
      << " paused=" << admission_.tailers_paused()
      << " evicted=" << admission_.sessions_evicted()
      << " stalls=" << watchdog_stalls_.load(std::memory_order_relaxed)
+     << " ingest_streams=" << ingest_.stream_count()
+     << " ingest_open=" << ingest_.open_count()
      << "\n";
   return os.str();
 }
@@ -230,12 +242,24 @@ std::string Server::query(const std::string& request) {
     std::string out;
     for (const auto& [path, session] : sessions_)
       out += session->status_line() + "\n";
+    ingest_.for_each([&out](const IngestStream& s) {
+      out += s.status_line() + "\n";
+    });
     if (out.empty()) out = "no sessions\n";
     return out;
   }
   if (cmd == "SUMMARY") {
     Session* s = find_locked(rest);
-    if (s == nullptr) return "ERR no such session: " + rest + "\n";
+    if (s == nullptr) {
+      // Wire-fed streams answer the same query surface as tailed files.
+      if (auto ws = ingest_.find_by_key(rest)) {
+        ws->touch_query(now);
+        const spool::RecoverReport* rep = ws->report();
+        if (rep == nullptr) return "no data yet\n";
+        return rep->summary() + "\n";
+      }
+      return "ERR no such session: " + rest + "\n";
+    }
     s->touch_query(now);
     const spool::RecoverReport* rep = s->report();
     if (rep == nullptr) return "no data yet\n";
@@ -243,8 +267,14 @@ std::string Server::query(const std::string& request) {
   }
   if (cmd == "REPORT") {
     Session* s = find_locked(rest);
-    if (s == nullptr) return "ERR no such session: " + rest + "\n";
-    s->touch_query(now);
+    std::shared_ptr<IngestStream> ws;
+    if (s == nullptr) {
+      ws = ingest_.find_by_key(rest);
+      if (!ws) return "ERR no such session: " + rest + "\n";
+      ws->touch_query(now);
+    } else {
+      s->touch_query(now);
+    }
     if (!admission_.admit_heavy_query()) {
       return "SHED report refused under memory pressure (level=" +
              std::string(degrade_level_name(admission_.level())) +
@@ -252,7 +282,7 @@ std::string Server::query(const std::string& request) {
              "/" + std::to_string(admission_.budget_bytes()) +
              "); retry later or use SUMMARY\n";
     }
-    std::string text = s->report_text();
+    std::string text = s != nullptr ? s->report_text() : ws->report_text();
     if (text.empty()) return "ERR session not usable\n";
     return text;
   }
@@ -330,9 +360,14 @@ std::string Server::diagnosis() const {
   os << "sessions=" << sessions_.size()
      << " resident=" << admission_.resident_bytes() << "/"
      << admission_.budget_bytes()
-     << " level=" << degrade_level_name(admission_.level()) << "\n";
+     << " level=" << degrade_level_name(admission_.level())
+     << " ingest_streams=" << ingest_.stream_count()
+     << " ingest_open=" << ingest_.open_count() << "\n";
   for (const auto& [path, session] : sessions_)
     os << "  " << session->status_line() << "\n";
+  ingest_.for_each([&os](const IngestStream& s) {
+    os << "  " << s.status_line() << "\n";
+  });
   return os.str();
 }
 
@@ -366,14 +401,15 @@ void Server::watchdog_main() {
 }
 
 void Server::finalize_all() {
+  ingest_.finalize_all(now_ns());
   std::lock_guard<std::mutex> lock(mu_);
   const u64 now = now_ns();
-  u64 resident = 0;
+  u64 resident = ingest_.resident_bytes();
   for (auto& [path, session] : sessions_) {
     session->finalize(now);
     resident += session->resident_bytes();
   }
-  admission_.update(resident, sessions_.size());
+  admission_.update(resident, sessions_.size() + ingest_.stream_count());
 }
 
 int Server::run() {
@@ -383,11 +419,35 @@ int Server::run() {
   if (!opts_.socket_path.empty()) {
     endpoint_ = std::make_unique<Endpoint>(
         opts_.socket_path,
-        [this](const std::string& req) { return query(req); });
+        [this](const std::string& req) { return query(req); },
+        opts_.query_read_deadline_ns);
     std::string err;
     if (!endpoint_->start(&err)) {
       std::fprintf(stderr, "ggserved: endpoint failed: %s\n", err.c_str());
       endpoint_.reset();
+      watchdog_stop_.store(true, std::memory_order_release);
+      watchdog_.join();
+      return 1;
+    }
+  }
+
+  if (!opts_.ingest_socket_path.empty()) {
+    // New streams' OFFERs are shed as soon as admission starts degrading —
+    // before any tailer pauses; streams already carrying data always get
+    // through (admission never abandons an accepted session).
+    ingest_listener_ = std::make_unique<IngestListener>(
+        opts_.ingest_socket_path, &ingest_,
+        [this] { return admission_.level() == DegradeLevel::Normal; },
+        [this] { return now_ns(); });
+    std::string err;
+    if (!ingest_listener_->start(&err)) {
+      std::fprintf(stderr, "ggserved: ingest listener failed: %s\n",
+                   err.c_str());
+      ingest_listener_.reset();
+      if (endpoint_) {
+        endpoint_->stop();
+        endpoint_.reset();
+      }
       watchdog_stop_.store(true, std::memory_order_release);
       watchdog_.join();
       return 1;
@@ -401,6 +461,10 @@ int Server::run() {
         std::chrono::nanoseconds(opts_.tick_sleep_ns));
   }
 
+  if (ingest_listener_) {
+    ingest_listener_->stop();
+    ingest_listener_.reset();
+  }
   finalize_all();
   if (endpoint_) {
     endpoint_->stop();

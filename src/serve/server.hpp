@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "serve/admission.hpp"
+#include "serve/ingest.hpp"
 #include "serve/session.hpp"
 
 namespace gg::obs {
@@ -43,8 +44,14 @@ struct ServerOptions {
   std::string dir;
   /// AF_UNIX socket path for the query endpoint; empty disables it.
   std::string socket_path;
+  /// AF_UNIX socket path for GGWIRE1 network ingestion; empty disables it.
+  std::string ingest_socket_path;
   SessionOptions session;
   AdmissionOptions admission;
+  IngestOptions ingest;
+  /// Query-endpoint slowloris guard: a connection without a complete
+  /// request line within this long gets "ERR timeout" and is closed.
+  u64 query_read_deadline_ns = 5'000'000'000;
   /// Directory re-scan period.
   u64 scan_interval_ns = 500'000'000;
   /// run() loop sleep between ticks.
@@ -98,6 +105,8 @@ class Server {
     return watchdog_stalls_.load(std::memory_order_relaxed);
   }
   AdmissionController& admission() { return admission_; }
+  IngestRegistry& ingest() { return ingest_; }
+  const IngestRegistry& ingest() const { return ingest_; }
   /// Runs `fn` under the session lock for every session, in path order.
   void for_each_session(
       const std::function<void(const Session&)>& fn) const;
@@ -117,6 +126,7 @@ class Server {
 
   ServerOptions opts_;
   AdmissionController admission_;
+  IngestRegistry ingest_;
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Session>> sessions_;  // by path
   u64 next_id_ = 1;
@@ -134,6 +144,7 @@ class Server {
   std::atomic<bool> watchdog_stop_{false};
   std::thread watchdog_;
   std::unique_ptr<Endpoint> endpoint_;
+  std::unique_ptr<IngestListener> ingest_listener_;
 };
 
 }  // namespace gg::serve

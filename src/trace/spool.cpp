@@ -656,6 +656,7 @@ std::unique_ptr<SpoolSink> SpoolSink::open(const SpoolOptions& opts,
   std::string header(kSpoolMagic);
   put_u32(header, static_cast<u32>(num_workers));
   sink->write_all(header.data(), header.size());
+  sink->tap_offset_ = header.size();
   {
     std::lock_guard lock(sink->file_mutex_);
     sink->write_frame_locked(FrameType::Meta, 0, 0,
@@ -700,6 +701,11 @@ void SpoolSink::enqueue_or_write(std::string frame_bytes) {
     m_frames_->add();
     m_bytes_->add(frame_bytes.size());
   }
+  // The tap sees frames in emission order (callers hold file_mutex_) at the
+  // offset they will occupy in the file, even in ring mode — the ring
+  // preserves order, so the mirrored stream matches the eventual file.
+  if (opts_.frame_tap) opts_.frame_tap(frame_bytes, tap_offset_);
+  tap_offset_ += frame_bytes.size();
   if (opts_.durable_epochs) {
     if (m_flush_ns_ != nullptr) {
       const u64 t0 = obs::mono_ns();

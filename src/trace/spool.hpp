@@ -115,6 +115,15 @@ struct SpoolOptions {
   /// spool.emergency_flushes, spool.flush_ns) into this registry. Null (the
   /// default) keeps the sink free of any telemetry branch cost.
   obs::Registry* telemetry = nullptr;
+  /// When set, called (under the frame-emission lock, so frames arrive in
+  /// stream order) with every complete frame's bytes and the spool-stream
+  /// offset the frame starts at. This is the recorder's network-sink hook:
+  /// a WireClient mirrors each tapped frame to a ggserved ingest socket as
+  /// one EPOCH. The emergency crash flush bypasses the tap — it must stay
+  /// async-signal-safe, so a mirrored stream can lose the unacked tail a
+  /// crash leaves behind, exactly the wire protocol's documented bound.
+  std::function<void(std::string_view frame_bytes, u64 spool_offset)>
+      frame_tap;
 
   bool enabled() const { return !path.empty(); }
 };
@@ -253,6 +262,7 @@ class SpoolSink {
   std::mutex file_mutex_;  // serializes frame emission order
   u32 strings_flushed_ = 1;  // id 0 (the empty string) is implicit
   u32 telemetry_seq_ = 0;  // guarded by file_mutex_
+  u64 tap_offset_ = 0;  // guarded by file_mutex_; next frame's stream offset
 
   // Self-metrics (null when SpoolOptions::telemetry is unset). Counter
   // updates are lock-free atomics, safe even from the emergency flush.

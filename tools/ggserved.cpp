@@ -18,9 +18,20 @@
 //  * a watchdog thread supervises the ingest loop itself and dumps a
 //    structured diagnosis to stderr if the heartbeat freezes.
 //
+//  * the --ingest-socket accepts GGWIRE1 pushes (client: ggspool-push or a
+//    recorder's frame tap): token-keyed resumable sessions, acked epochs,
+//    wire damage poisons only the connection — never an accepted stream.
+//
 // Usage:
 //   ggserved --dir <spool-dir> [options]
 //     --socket <path>          query endpoint (AF_UNIX); off by default
+//     --ingest-socket <path>   GGWIRE1 network ingestion socket; off by
+//                              default
+//     --ingest-sessions <n>    max concurrent unfinished wire streams (64)
+//     --ingest-conns <n>       max concurrent ingest connections (64)
+//     --ingest-stale-ms <ms>   abandoned wire stream finalized (def 30000)
+//     --read-deadline-ms <ms>  per-connection slowloris deadline, both
+//                              sockets (def 5000 query / 10000 ingest)
 //     --budget <MiB>           admission budget (default 256)
 //     --poll-ms <ms>           tick sleep (default 2)
 //     --stale-ms <ms>          footer-less writer presumed dead (def 10000)
@@ -57,12 +68,15 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--dir d] [--attach spool]... [--socket s] [--budget MiB]\n"
+      "       [--ingest-socket s] [--ingest-sessions n] [--ingest-conns n]\n"
+      "       [--ingest-stale-ms n] [--read-deadline-ms n]\n"
       "       [--poll-ms n] [--stale-ms n] [--evict-ms n]\n"
       "       [--torn-deadline-ms n] [--scan-ms n] [--telemetry]\n"
       "       [--exit-when-idle]\n"
-      "  tails *.ggspool files, ingesting epochs live with crash recovery,\n"
-      "  bounded memory and graceful degradation; query it with\n"
-      "  `ggstat --connect <socket>`.\n",
+      "  tails *.ggspool files and accepts GGWIRE1 pushes, ingesting epochs\n"
+      "  live with crash recovery, bounded memory and graceful degradation;\n"
+      "  query it with `ggstat --connect <socket>`, push with\n"
+      "  `ggspool-push --socket <ingest-socket>`.\n",
       argv0);
   return 2;
 }
@@ -96,6 +110,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--socket") {
       if (i + 1 >= argc) return usage(argv[0]);
       opts.socket_path = argv[++i];
+    } else if (arg == "--ingest-socket") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      opts.ingest_socket_path = argv[++i];
+    } else if (arg == "--ingest-sessions") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const long v = std::atol(argv[++i]);
+      if (v <= 0) return usage(argv[0]);
+      opts.ingest.max_sessions = static_cast<size_t>(v);
+    } else if (arg == "--ingest-conns") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const long v = std::atol(argv[++i]);
+      if (v <= 0) return usage(argv[0]);
+      opts.ingest.max_connections = static_cast<size_t>(v);
+    } else if (arg == "--ingest-stale-ms") {
+      if (!parse_ms(argc, argv, &i, &opts.ingest.stale_after_ns))
+        return usage(argv[0]);
+    } else if (arg == "--read-deadline-ms") {
+      if (!parse_ms(argc, argv, &i, &opts.query_read_deadline_ns))
+        return usage(argv[0]);
+      opts.ingest.read_deadline_ns = opts.query_read_deadline_ns;
     } else if (arg == "--budget") {
       if (i + 1 >= argc) return usage(argv[0]);
       const long v = std::atol(argv[++i]);
@@ -124,8 +158,10 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (opts.dir.empty() && attach.empty()) {
-    std::fprintf(stderr, "error: need --dir or at least one --attach\n");
+  if (opts.dir.empty() && attach.empty() &&
+      opts.ingest_socket_path.empty()) {
+    std::fprintf(stderr,
+                 "error: need --dir, --attach, or --ingest-socket\n");
     return usage(argv[0]);
   }
   opts.admission.budget_bytes = budget_mib << 20;
@@ -150,6 +186,9 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(server.ticks()),
                server.session_count());
   server.for_each_session([](const serve::Session& s) {
+    std::fprintf(stderr, "  %s\n", s.status_line().c_str());
+  });
+  server.ingest().for_each([](const serve::IngestStream& s) {
     std::fprintf(stderr, "  %s\n", s.status_line().c_str());
   });
   return rc;

@@ -327,7 +327,13 @@ int follow(const std::string& path, int interval_ms, int max_interval_ms) {
 int connect_mode(const std::string& socket_path,
                  const std::string& request) {
   std::string response, error;
-  if (!gg::serve::endpoint_request(socket_path, request, &response, &error)) {
+  // Retry connection failures with capped backoff: scripts routinely start
+  // ggserved and query it in the same breath, racing the socket's bind.
+  if (!gg::serve::endpoint_request_retry(socket_path, request,
+                                         /*max_attempts=*/20,
+                                         /*backoff_initial_ns=*/10'000'000,
+                                         /*backoff_max_ns=*/500'000'000,
+                                         &response, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 1;
   }
